@@ -1,0 +1,216 @@
+// Execution-time overhead of the runtime checks ("The cost of the runtime
+// checks is limited by a selective instrumentation, avoiding unnecessary
+// checks" — Section 5).
+//
+// Three EPCC-style hybrid kernels run under four instrumentation levels:
+//   none        uninstrumented execution
+//   selective   the paper's plan. NOTE: collectives inside loops are
+//               control-dependent on the loop conditional, so Algorithm 1
+//               conservatively warns and arms the CC protocol even on these
+//               clean kernels — exactly the original tool's behaviour.
+//   taint       selective + rank-taint refinement: loop bounds are
+//               rank-uniform, the warnings disappear, and so do the checks
+//               (the refinement's runtime payoff).
+//   blanket     checks at every site (the ablation upper bound).
+// The summary reports wall-clock overhead vs `none` and the number of CC
+// rounds actually executed (verifier communicator slots).
+#include "driver/pipeline.h"
+#include "interp/executor.h"
+#include "support/str.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+namespace {
+
+using namespace parcoach;
+
+struct Kernel {
+  const char* name;
+  std::string source;
+};
+
+std::vector<Kernel> kernels() {
+  auto loop_kernel = [](const char* name, const char* body, int reps) {
+    return Kernel{name, str::cat("func main() {\n  mpi_init(serialized);\n"
+                                 "  var x = rank() + 1;\n  for (r = 0 to ",
+                                 reps, ") {\n", body,
+                                 "  }\n  mpi_finalize();\n}\n")};
+  };
+  return {
+      loop_kernel("serialized_allreduce",
+                  "    omp parallel num_threads(2) {\n"
+                  "      omp single {\n"
+                  "        x = mpi_allreduce(x, sum);\n"
+                  "      }\n"
+                  "      omp for nowait (i = 0 to 64) {\n"
+                  "        var w = i * 2;\n"
+                  "      }\n"
+                  "      omp barrier;\n"
+                  "    }\n",
+                  150),
+      loop_kernel("masteronly_bcast_reduce",
+                  "    x = mpi_bcast(x, 0);\n"
+                  "    x = mpi_reduce(x, sum, 0);\n"
+                  "    omp parallel num_threads(2) {\n"
+                  "      omp for (i = 0 to 64) {\n"
+                  "        var w = i + r;\n"
+                  "      }\n"
+                  "    }\n",
+                  150),
+      loop_kernel("funneled_barrier",
+                  "    omp parallel num_threads(2) {\n"
+                  "      omp barrier;\n"
+                  "      omp master {\n"
+                  "        mpi_barrier();\n"
+                  "      }\n"
+                  "      omp barrier;\n"
+                  "    }\n",
+                  150),
+  };
+}
+
+enum class Level { None, Selective, Taint, Blanket };
+
+struct Compiled {
+  SourceManager sm;
+  driver::CompileResult result;
+  core::InstrumentationPlan taint_plan;
+  core::InstrumentationPlan blanket;
+};
+
+std::unique_ptr<Compiled> compile_kernel(const Kernel& k) {
+  auto c = std::make_unique<Compiled>();
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  c->result = driver::compile(c->sm, k.name, k.source, diags, opts);
+  if (!c->result.ok) std::abort();
+  c->blanket = core::make_blanket_plan(*c->result.module);
+  {
+    SourceManager sm2;
+    DiagnosticEngine d2;
+    driver::PipelineOptions o2;
+    o2.mode = driver::Mode::WarningsAndCodegen;
+    o2.algorithm1.rank_taint_filter = true;
+    const auto r2 = driver::compile(sm2, k.name, k.source, d2, o2);
+    if (!r2.ok) std::abort();
+    c->taint_plan = r2.plan;
+  }
+  return c;
+}
+
+struct RunStats {
+  double ns = 0;
+  uint64_t cc_rounds = 0;
+};
+
+RunStats run_once(const Compiled& c, Level level) {
+  const core::InstrumentationPlan* plan = nullptr;
+  if (level == Level::Selective) plan = &c.result.plan;
+  if (level == Level::Taint) plan = &c.taint_plan;
+  if (level == Level::Blanket) plan = &c.blanket;
+  interp::Executor exec(c.result.program, c.sm, plan);
+  interp::ExecOptions eopts;
+  eopts.num_ranks = 2;
+  eopts.num_threads = 2;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(5000);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = exec.run(eopts);
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!result.clean) std::abort();
+  return RunStats{static_cast<double>(ns.count()),
+                  result.mpi.verifier_slots_completed};
+}
+
+void bench_run(benchmark::State& state, size_t kernel, Level level) {
+  static const auto ks = kernels();
+  const auto c = compile_kernel(ks[kernel]);
+  uint64_t cc = 0;
+  for (auto _ : state) {
+    const auto stats = run_once(*c, level);
+    state.SetIterationTime(stats.ns / 1e9);
+    cc = stats.cc_rounds;
+  }
+  state.counters["cc_rounds"] = benchmark::Counter(static_cast<double>(cc));
+}
+
+void register_benchmarks() {
+  static const auto ks = kernels();
+  static const struct {
+    Level level;
+    const char* label;
+  } kLevels[] = {{Level::None, "none"},
+                 {Level::Selective, "selective"},
+                 {Level::Taint, "taint"},
+                 {Level::Blanket, "blanket"}};
+  for (size_t k = 0; k < ks.size(); ++k) {
+    for (const auto& l : kLevels) {
+      benchmark::RegisterBenchmark(
+          (std::string("RuntimeOverhead/") + ks[k].name + "/" + l.label).c_str(),
+          [k, level = l.level](benchmark::State& st) { bench_run(st, k, level); })
+          ->Unit(benchmark::kMillisecond)
+          ->UseManualTime()
+          ->Iterations(3);
+    }
+  }
+}
+
+double min_of(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+void print_summary() {
+  constexpr int kReps = 5;
+  std::cout << "\n=== Runtime-check overhead (2 ranks x 2 threads, best of "
+            << kReps << " runs) ===\n\n"
+            << std::left << std::setw(26) << "kernel" << std::right
+            << std::setw(12) << "none ms" << std::setw(14) << "selective %"
+            << std::setw(10) << "taint %" << std::setw(12) << "blanket %"
+            << std::setw(10) << "cc(sel)" << std::setw(10) << "cc(tnt)"
+            << std::setw(10) << "cc(blkt)" << '\n';
+  for (const auto& k : kernels()) {
+    const auto c = compile_kernel(k);
+    std::vector<double> none, sel, tnt, blk;
+    uint64_t cc_sel = 0, cc_tnt = 0, cc_blk = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      none.push_back(run_once(*c, Level::None).ns);
+      const auto s = run_once(*c, Level::Selective);
+      sel.push_back(s.ns);
+      cc_sel = s.cc_rounds;
+      const auto t = run_once(*c, Level::Taint);
+      tnt.push_back(t.ns);
+      cc_tnt = t.cc_rounds;
+      const auto b = run_once(*c, Level::Blanket);
+      blk.push_back(b.ns);
+      cc_blk = b.cc_rounds;
+    }
+    const double n = min_of(none);
+    std::cout << std::left << std::setw(26) << k.name << std::right
+              << std::setw(12) << std::fixed << std::setprecision(2) << n / 1e6
+              << std::setw(13) << std::setprecision(1)
+              << 100.0 * (min_of(sel) / n - 1.0) << '%' << std::setw(9)
+              << 100.0 * (min_of(tnt) / n - 1.0) << '%' << std::setw(11)
+              << 100.0 * (min_of(blk) / n - 1.0) << '%' << std::setw(10)
+              << cc_sel << std::setw(10) << cc_tnt << std::setw(10) << cc_blk
+              << '\n';
+  }
+  std::cout << "\nShape to check: taint-refined plans drop to ~0% (zero CC "
+               "rounds) on these clean\nkernels; unrefined selective pays "
+               "CC on loop collectives (conservative Algorithm 1,\nas in "
+               "the original tool); blanket is the upper bound.\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Substrate micro-benchmark: latency of each simulated blocking collective
+// versus rank count (EPCC-suite shape: per-operation latency curves). Keeps
+// the simulator honest — collectives must scale sanely with participants so
+// runtime-overhead measurements upstream are meaningful.
+#include "simmpi/world.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+namespace {
+
+using namespace parcoach;
+using simmpi::Rank;
+
+enum class Op { Barrier, Bcast, Allreduce, Allgather, Alltoall, Scan };
+
+const char* name_of(Op op) {
+  switch (op) {
+    case Op::Barrier: return "barrier";
+    case Op::Bcast: return "bcast";
+    case Op::Allreduce: return "allreduce";
+    case Op::Allgather: return "allgather";
+    case Op::Alltoall: return "alltoall";
+    case Op::Scan: return "scan";
+  }
+  return "?";
+}
+
+void run_op(Rank& mpi, Op op) {
+  switch (op) {
+    case Op::Barrier: mpi.barrier(); break;
+    case Op::Bcast: benchmark::DoNotOptimize(mpi.bcast(1, 0)); break;
+    case Op::Allreduce:
+      benchmark::DoNotOptimize(mpi.allreduce(mpi.rank(), simmpi::ReduceOp::Sum));
+      break;
+    case Op::Allgather:
+      benchmark::DoNotOptimize(mpi.allgather(mpi.rank()).size());
+      break;
+    case Op::Alltoall: {
+      std::vector<int64_t> v(static_cast<size_t>(mpi.size()), mpi.rank());
+      benchmark::DoNotOptimize(mpi.alltoall(v).size());
+      break;
+    }
+    case Op::Scan:
+      benchmark::DoNotOptimize(mpi.scan(1, simmpi::ReduceOp::Sum));
+      break;
+  }
+}
+
+double op_latency_ns(Op op, int32_t ranks, int rounds) {
+  simmpi::World::Options wopts;
+  wopts.num_ranks = ranks;
+  wopts.hang_timeout = std::chrono::milliseconds(10000);
+  simmpi::World world(wopts);
+  const auto start = std::chrono::steady_clock::now();
+  const auto rep = world.run([&](Rank& mpi) {
+    for (int i = 0; i < rounds; ++i) run_op(mpi, op);
+  });
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!rep.ok) std::abort();
+  return static_cast<double>(ns.count()) / rounds;
+}
+
+void bench_collective(benchmark::State& state, Op op) {
+  const int32_t ranks = static_cast<int32_t>(state.range(0));
+  constexpr int kRounds = 300;
+  for (auto _ : state)
+    state.SetIterationTime(op_latency_ns(op, ranks, kRounds) * kRounds / 1e9);
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+
+void print_summary() {
+  std::cout << "\n=== simmpi collective latency (ns/op) ===\n\nop          ";
+  for (int32_t ranks : {2, 4, 8}) std::cout << "  ranks=" << ranks << "  ";
+  std::cout << '\n';
+  for (Op op : {Op::Barrier, Op::Bcast, Op::Allreduce, Op::Allgather,
+                Op::Alltoall, Op::Scan}) {
+    std::cout << name_of(op);
+    for (size_t pad = std::string(name_of(op)).size(); pad < 12; ++pad)
+      std::cout << ' ';
+    for (int32_t ranks : {2, 4, 8})
+      std::cout << "  " << static_cast<long>(op_latency_ns(op, ranks, 600))
+                << "      ";
+    std::cout << '\n';
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  for (Op op : {Op::Barrier, Op::Bcast, Op::Allreduce, Op::Allgather,
+                Op::Alltoall, Op::Scan}) {
+    benchmark::RegisterBenchmark(
+        (std::string("SimMpi/") + name_of(op)).c_str(),
+        [op](benchmark::State& st) { bench_collective(st, op); })
+        ->Arg(2)
+        ->Arg(4)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

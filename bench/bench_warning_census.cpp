@@ -1,0 +1,167 @@
+// Warning census (Section 4 prose) + Ablation B (rank-taint refinement).
+//
+// Regenerates the compile-time output the paper describes: per benchmark,
+// the number of potential-error warnings by type, with collective names and
+// source lines available in the diagnostics. The ablation column shows how
+// many Algorithm-1 conditionals survive the rank-taint refinement (false
+// positive reduction on rank-uniform control flow such as HERA's
+// Allreduce-driven regrid decision).
+//
+// google-benchmark timings cover the three analysis stages separately
+// (summaries, phases 1+2, Algorithm 1) per subject.
+#include "core/summaries.h"
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "workloads/workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iomanip>
+#include <iostream>
+
+namespace {
+
+using namespace parcoach;
+
+const std::vector<workloads::GeneratedProgram>& subjects() {
+  static const auto s = workloads::figure1_suite();
+  return s;
+}
+
+struct Prepared {
+  SourceManager sm;
+  std::unique_ptr<ir::Module> mod;
+};
+
+std::unique_ptr<Prepared> prepare(size_t subject) {
+  auto p = std::make_unique<Prepared>();
+  DiagnosticEngine diags;
+  auto prog = frontend::Parser::parse_source(p->sm, subjects()[subject].name,
+                                             subjects()[subject].source, diags);
+  frontend::Sema::analyze(prog, diags);
+  p->mod = frontend::Lowering::lower(prog, diags);
+  if (diags.has_errors()) std::abort();
+  return p;
+}
+
+void bench_summaries(benchmark::State& state) {
+  auto p = prepare(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto sums = core::Summaries::build(*p->mod);
+    benchmark::DoNotOptimize(sums.all().size());
+  }
+}
+
+void bench_phases(benchmark::State& state) {
+  auto p = prepare(static_cast<size_t>(state.range(0)));
+  const auto sums = core::Summaries::build(*p->mod);
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto r = core::run_phases(*p->mod, sums, {}, diags);
+    benchmark::DoNotOptimize(r.multithreaded.size());
+  }
+}
+
+void bench_algorithm1(benchmark::State& state) {
+  auto p = prepare(static_cast<size_t>(state.range(0)));
+  const auto sums = core::Summaries::build(*p->mod);
+  for (auto _ : state) {
+    DiagnosticEngine diags;
+    auto r = core::run_algorithm1(*p->mod, sums, {}, diags);
+    benchmark::DoNotOptimize(r.divergences.size());
+  }
+}
+
+void register_benchmarks() {
+  for (size_t s = 0; s < subjects().size(); ++s) {
+    const auto& name = subjects()[s].name;
+    benchmark::RegisterBenchmark(("Census/summaries/" + name).c_str(),
+                                 bench_summaries)
+        ->Arg(static_cast<int64_t>(s))
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("Census/phases12/" + name).c_str(),
+                                 bench_phases)
+        ->Arg(static_cast<int64_t>(s))
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+    benchmark::RegisterBenchmark(("Census/algorithm1/" + name).c_str(),
+                                 bench_algorithm1)
+        ->Arg(static_cast<int64_t>(s))
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.05);
+  }
+}
+
+void print_refinement_ablation() {
+  struct Config {
+    const char* name;
+    bool taint;
+    bool sequences;
+  };
+  constexpr Config kConfigs[] = {
+      {"paper (PDF+ membership)", false, false},
+      {"+rank-taint", true, false},
+      {"+sequence-match", false, true},
+      {"+both", true, true},
+  };
+  std::cout << "\n=== Ablation B': Algorithm 1 refinements (phase-3 warning "
+               "count per subject) ===\n\n"
+            << std::left << std::setw(28) << "configuration";
+  for (const auto& g : subjects()) std::cout << std::right << std::setw(12) << g.name;
+  std::cout << '\n';
+  for (const auto& cfg : kConfigs) {
+    std::cout << std::left << std::setw(28) << cfg.name;
+    for (const auto& g : subjects()) {
+      SourceManager sm;
+      DiagnosticEngine diags;
+      driver::PipelineOptions opts;
+      opts.mode = driver::Mode::Warnings;
+      opts.algorithm1.rank_taint_filter = cfg.taint;
+      opts.algorithm1.match_sequences = cfg.sequences;
+      const auto r = driver::compile(sm, g.name, g.source, diags, opts);
+      if (!r.ok) std::abort();
+      std::cout << std::right << std::setw(12) << r.algorithm1.divergences.size();
+    }
+    std::cout << '\n';
+  }
+  std::cout << "\nEach refinement only removes warnings (monotone), and the "
+               "suites stay fully\ncovered by the dynamic phase regardless of "
+               "configuration.\n";
+}
+
+void print_census() {
+  std::vector<driver::WarningCensus> rows;
+  for (const auto& g : subjects()) {
+    SourceManager sm;
+    DiagnosticEngine diags;
+    driver::PipelineOptions opts;
+    opts.mode = driver::Mode::WarningsAndCodegen;
+    const auto r = driver::compile(sm, g.name, g.source, diags, opts);
+    if (!r.ok) std::abort();
+    auto census = driver::census_of(g.name, r, diags);
+    census.code_lines = g.code_lines;
+    rows.push_back(census);
+  }
+  std::cout << "\n=== Warning census (ph3 = Algorithm 1 conditionals, "
+               "ph3-rank = after rank-taint refinement) ===\n\n"
+            << driver::format_census_table(rows)
+            << "\nAblation B: the refinement drops rank-uniform conditionals "
+               "(loop bounds, Allreduce-driven\ndecisions); the suites are "
+               "hybrid-clean so ph1/ph2/lvl must be 0.\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  register_benchmarks();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_census();
+  print_refinement_ablation();
+  return 0;
+}

@@ -1,0 +1,156 @@
+// parcoachmt — command-line front end for the validator.
+//
+//   parcoachmt analyze    FILE [options]   static analysis, print warnings
+//   parcoachmt instrument FILE [options]   dump IR after verification codegen
+//   parcoachmt run        FILE [options]   execute on the simulated runtime
+//
+// Options:
+//   --ranks=N           MPI processes for `run` (default 2)
+//   --threads=N         default omp team size for `run` (default 2)
+//   --no-verify         run without the generated runtime checks
+//   --taint-filter      Algorithm 1 keeps only rank-dependent conditionals
+//   --match-sequences   suppress provably balanced conditionals (IJHPCA rule)
+//   --initial=multithreaded
+//                       analyze functions as if called from parallel code
+//   --timeout-ms=N      watchdog hang timeout for `run` (default 1000)
+//   --type-only-cc      paper-faithful CC (ignore reduction op / root)
+//
+// Exit codes: 0 clean, 1 usage/compile error, 2 static warnings found,
+// 3 runtime error detected, 4 deadlock detected.
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "interp/executor.h"
+#include "support/str.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+namespace {
+
+using namespace parcoach;
+
+struct CliOptions {
+  std::string command;
+  std::string file;
+  int32_t ranks = 2;
+  int32_t threads = 2;
+  bool verify = true;
+  bool taint_filter = false;
+  bool match_sequences = false;
+  bool multithreaded_initial = false;
+  bool type_only_cc = false;
+  int32_t timeout_ms = 1000;
+};
+
+int usage() {
+  std::cerr << "usage: parcoachmt {analyze|instrument|run} FILE"
+               " [--ranks=N] [--threads=N] [--no-verify] [--taint-filter]"
+               " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]\n";
+  return 1;
+}
+
+bool parse_args(int argc, char** argv, CliOptions& opts) {
+  if (argc < 3) return false;
+  opts.command = argv[1];
+  opts.file = argv[2];
+  for (int i = 3; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto value_of = [&](const std::string& prefix) -> std::string {
+      return a.substr(prefix.size());
+    };
+    if (a == "--no-verify") opts.verify = false;
+    else if (a == "--taint-filter") opts.taint_filter = true;
+    else if (a == "--match-sequences") opts.match_sequences = true;
+    else if (a == "--type-only-cc") opts.type_only_cc = true;
+    else if (a == "--initial=multithreaded") opts.multithreaded_initial = true;
+    else if (a.rfind("--ranks=", 0) == 0) opts.ranks = std::stoi(value_of("--ranks="));
+    else if (a.rfind("--threads=", 0) == 0) opts.threads = std::stoi(value_of("--threads="));
+    else if (a.rfind("--timeout-ms=", 0) == 0)
+      opts.timeout_ms = std::stoi(value_of("--timeout-ms="));
+    else {
+      std::cerr << "unknown option: " << a << '\n';
+      return false;
+    }
+  }
+  return opts.command == "analyze" || opts.command == "instrument" ||
+         opts.command == "run";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  CliOptions cli;
+  if (!parse_args(argc, argv, cli)) return usage();
+
+  std::ifstream in(cli.file);
+  if (!in) {
+    std::cerr << "cannot open " << cli.file << '\n';
+    return 1;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::PipelineOptions popts;
+  popts.mode = driver::Mode::WarningsAndCodegen;
+  popts.algorithm1.rank_taint_filter = cli.taint_filter;
+  popts.algorithm1.match_sequences = cli.match_sequences;
+  if (cli.multithreaded_initial)
+    popts.analysis.initial_context = core::InitialContext::Multithreaded;
+
+  const auto compiled = driver::compile(sm, cli.file, buf.str(), diags, popts);
+  if (!compiled.ok) {
+    diags.print(std::cerr, sm);
+    return 1;
+  }
+
+  if (cli.command == "analyze") {
+    diags.print(std::cout, sm);
+    auto census = driver::census_of(cli.file, compiled, diags);
+    census.code_lines = str::count_code_lines(sm.buffer_text(0));
+    std::cout << '\n' << driver::format_census_table({census});
+    std::cout << "\nrequired thread level: MPI_THREAD_"
+              << ir::to_string(compiled.thread_levels.required) << '\n'
+              << "stage times: " << driver::format_stage_times(compiled.times)
+              << '\n';
+    return diags.size() > 0 ? 2 : 0;
+  }
+
+  if (cli.command == "instrument") {
+    diags.print(std::cerr, sm);
+    std::cout << compiled.emitted;
+    std::cerr << "inserted " << compiled.inserted_checks << " checks over "
+              << compiled.plan.total_collective_sites
+              << " collective sites\n";
+    return 0;
+  }
+
+  // run
+  diags.print(std::cout, sm);
+  interp::Executor exec(compiled.program, sm,
+                        cli.verify ? &compiled.plan : nullptr);
+  interp::ExecOptions eopts;
+  eopts.num_ranks = cli.ranks;
+  eopts.num_threads = cli.threads;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(cli.timeout_ms);
+  eopts.verify.check_arguments = !cli.type_only_cc;
+  const auto result = exec.run(eopts);
+
+  for (const auto& line : result.output) std::cout << line << '\n';
+  for (const auto& d : result.rt_diags)
+    std::cout << sm.describe(d.loc) << ": " << to_string(d.severity) << " ["
+              << to_string(d.kind) << "] " << d.message << '\n';
+  if (result.mpi.deadlock) {
+    std::cout << result.mpi.deadlock_details;
+    return 4;
+  }
+  if (result.rt_error_count() > 0) return 3;
+  if (!result.clean) {
+    for (const auto& e : result.mpi.rank_errors)
+      if (!e.empty()) std::cout << e << '\n';
+    return 3;
+  }
+  return 0;
+}

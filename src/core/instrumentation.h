@@ -1,0 +1,61 @@
+// Static instrumentation for execution-time verification (Section 3).
+//
+// From the analysis results this pass derives an InstrumentationPlan and can
+// materialize it into the IR ("verification code generation", the measured
+// quantity of Figure 1):
+//   - CheckCC before every collective, and CheckCCFinal before returns of
+//     main, when any inter-process divergence is possible (the CC protocol
+//     is a distributed agreement, so it is enabled program-wide or not at
+//     all; a clean program gets zero checks);
+//   - CheckMono before collectives in set S (phase-1 violations) — at
+//     runtime the occupancy counter validates that the region is *actually*
+//     monothreaded, killing the static false positives the paper mentions
+//     (if clauses, num_threads(1), serialized nested regions);
+//   - RegionEnter/RegionExit around regions in Scc so the runtime registry
+//     can detect two monothreaded regions with collectives running
+//     concurrently (and self-overlap across loop iterations).
+#pragma once
+
+#include "core/algorithm1.h"
+#include "core/phases.h"
+#include "ir/module.h"
+
+#include <unordered_set>
+
+namespace parcoach::core {
+
+struct InstrumentationPlan {
+  /// Stmt ids of collectives that get a CC check.
+  std::unordered_set<int32_t> cc_stmts;
+  /// Stmt ids of collectives that get an occupancy (monothread) check.
+  std::unordered_set<int32_t> mono_stmts;
+  /// Region ids watched by the concurrent-region registry.
+  std::unordered_set<int32_t> watched_regions;
+  /// Insert CheckCCFinal before main's returns (and at its end).
+  bool cc_final_in_main = false;
+
+  size_t total_collective_sites = 0; // census for selectivity stats
+  [[nodiscard]] bool empty() const noexcept {
+    return cc_stmts.empty() && mono_stmts.empty() && watched_regions.empty() &&
+           !cc_final_in_main;
+  }
+  [[nodiscard]] size_t check_count() const noexcept {
+    return cc_stmts.size() + mono_stmts.size() + watched_regions.size() +
+           (cc_final_in_main ? 1 : 0);
+  }
+};
+
+/// Derives the selective plan from the analysis results.
+[[nodiscard]] InstrumentationPlan
+make_plan(const ir::Module& m, const PhaseResult& phases,
+          const Algorithm1Result& alg1);
+
+/// Blanket plan: checks at every collective site regardless of analysis
+/// results (the ablation baseline for bench_selective_instrumentation).
+[[nodiscard]] InstrumentationPlan make_blanket_plan(const ir::Module& m);
+
+/// Materializes the plan into the IR (inserts Check*/Region* instructions).
+/// Returns the number of instructions inserted.
+size_t apply_plan(ir::Module& m, const InstrumentationPlan& plan);
+
+} // namespace parcoach::core

@@ -1,0 +1,137 @@
+#include "core/parallelism_word.h"
+
+#include "support/str.h"
+
+#include <algorithm>
+
+namespace parcoach::core {
+
+void Word::append_parallel(int32_t region_id) {
+  toks_.push_back(WordToken{TokKind::P, region_id, ir::OmpKind::Parallel});
+}
+
+void Word::append_single(int32_t region_id, ir::OmpKind construct) {
+  toks_.push_back(WordToken{TokKind::S, region_id, construct});
+}
+
+void Word::append_barrier() {
+  // Canonical form: collapse B runs (B+ -> B). Loop fixpoints stay finite
+  // and neither phase-1 membership nor the phase-2 first-difference test can
+  // distinguish B from BB.
+  if (!toks_.empty() && toks_.back().kind == TokKind::B) return;
+  toks_.push_back(WordToken{TokKind::B, -1, ir::OmpKind::Parallel});
+}
+
+void Word::close_region(int32_t region_id) {
+  for (size_t i = toks_.size(); i-- > 0;) {
+    if (toks_[i].kind != TokKind::B && toks_[i].id == region_id) {
+      toks_.resize(i);
+      return;
+    }
+  }
+}
+
+bool Word::monothreaded() const noexcept {
+  // B-stripped membership in (S|PS)*: track whether there is an unmatched P,
+  // and reject on two unmatched Ps (nested parallelism). Accept iff the
+  // B-stripped word is empty or ends in S with no unmatched P.
+  bool pending_p = false;
+  for (const auto& t : toks_) {
+    switch (t.kind) {
+      case TokKind::B:
+        break;
+      case TokKind::P:
+        if (pending_p) return false; // PP with no S in between
+        pending_p = true;
+        break;
+      case TokKind::S:
+        pending_p = false;
+        break;
+    }
+  }
+  if (pending_p) return false; // ends in an open multithreaded region
+  // Empty (serial) or last non-B token is S.
+  return true;
+}
+
+bool Word::in_strict_language() const noexcept {
+  // DFA for (S|PB*S)*: q0 accepting; q0 --S--> q0, q0 --P--> q1,
+  // q1 --B--> q1, q1 --S--> q0; anything else -> dead.
+  int state = 0;
+  for (const auto& t : toks_) {
+    if (state == 0) {
+      if (t.kind == TokKind::S) state = 0;
+      else if (t.kind == TokKind::P) state = 1;
+      else return false; // B at group boundary is outside the strict regex
+    } else {
+      if (t.kind == TokKind::B) state = 1;
+      else if (t.kind == TokKind::S) state = 0;
+      else return false; // PP
+    }
+  }
+  return state == 0;
+}
+
+const WordToken* Word::innermost_single() const noexcept {
+  for (size_t i = toks_.size(); i-- > 0;) {
+    if (toks_[i].kind == TokKind::S) return &toks_[i];
+    if (toks_[i].kind == TokKind::P) return nullptr;
+  }
+  return nullptr;
+}
+
+const WordToken* Word::innermost_parallel() const noexcept {
+  for (size_t i = toks_.size(); i-- > 0;)
+    if (toks_[i].kind == TokKind::P) return &toks_[i];
+  return nullptr;
+}
+
+size_t Word::common_prefix_len(const Word& other) const noexcept {
+  const size_t n = std::min(toks_.size(), other.toks_.size());
+  size_t i = 0;
+  while (i < n && toks_[i] == other.toks_[i]) ++i;
+  return i;
+}
+
+void Word::truncate(size_t len) {
+  if (len < toks_.size()) toks_.resize(len);
+}
+
+std::string Word::str() const {
+  if (toks_.empty()) return "<empty>";
+  std::vector<std::string> parts;
+  parts.reserve(toks_.size());
+  for (const auto& t : toks_) {
+    switch (t.kind) {
+      case TokKind::P:
+        parts.push_back(str::cat("P", t.id));
+        break;
+      case TokKind::S:
+        parts.push_back(str::cat("S", t.id, "(", ir::to_string(t.omp), ")"));
+        break;
+      case TokKind::B:
+        parts.push_back("B");
+        break;
+    }
+  }
+  return str::join(parts, " ");
+}
+
+bool words_concurrent(const Word& a, const Word& b) noexcept {
+  const size_t lcp = a.common_prefix_len(b);
+  if (lcp >= a.size() || lcp >= b.size()) return false; // prefix: ordered
+  const WordToken& ta = a.tokens()[lcp];
+  const WordToken& tb = b.tokens()[lcp];
+  return ta.kind == TokKind::S && tb.kind == TokKind::S && ta.id != tb.id;
+}
+
+bool meet_words(Word& into, const Word& incoming, bool* ambiguous) {
+  if (into == incoming) return false;
+  const size_t lcp = into.common_prefix_len(incoming);
+  if (ambiguous) *ambiguous = true;
+  if (lcp == into.size()) return false; // already the common prefix
+  into.truncate(lcp);
+  return true;
+}
+
+} // namespace parcoach::core

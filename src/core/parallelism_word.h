@@ -1,0 +1,95 @@
+// Parallelism words (Section 2 of the paper).
+//
+// pw[n] is the sequence of parallel constructs (P_i), single-threaded
+// constructs (S_i) and barriers (B) traversed from the beginning of a
+// function to node n, with a simplification at region ends (perfect nesting:
+// closing a region truncates the word back to its state at the region
+// begin). Words are canonicalized by collapsing runs of B, which keeps loop
+// dataflow finite and does not affect any of the three uses:
+//   - phase 1 membership in L = (S | P B* S)*  (monothreaded contexts);
+//   - phase 2 concurrency: pw[n1] = w S_j u, pw[n2] = w S_k v, j != k;
+//   - reporting (words are printed in warnings).
+#pragma once
+
+#include "ir/omp.h"
+#include "support/source_location.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcoach::core {
+
+enum class TokKind : uint8_t { P, S, B };
+
+struct WordToken {
+  TokKind kind = TokKind::B;
+  /// Region id for P/S tokens (-1 for B and for synthetic initial tokens).
+  int32_t id = -1;
+  /// What kind of single-threaded construct produced an S token; master
+  /// tokens refine the required MPI thread level (FUNNELED vs SERIALIZED).
+  ir::OmpKind omp = ir::OmpKind::Parallel;
+
+  friend bool operator==(const WordToken&, const WordToken&) = default;
+};
+
+/// A canonical parallelism word. Appends maintain the B-collapse invariant.
+class Word {
+public:
+  Word() = default;
+
+  void append_parallel(int32_t region_id);
+  void append_single(int32_t region_id, ir::OmpKind construct);
+  void append_barrier();
+  /// Region end: truncates back to just before the P/S token with `region_id`
+  /// (no-op if the token is absent, e.g. truncated at an outer join already).
+  void close_region(int32_t region_id);
+
+  [[nodiscard]] const std::vector<WordToken>& tokens() const noexcept { return toks_; }
+  [[nodiscard]] bool empty() const noexcept { return toks_.empty(); }
+  [[nodiscard]] size_t size() const noexcept { return toks_.size(); }
+
+  /// The paper's phase-1 acceptance (prose formulation): ignoring B tokens,
+  /// the word must be empty or end in S, and must never contain two P with
+  /// no S in between (nested parallelism). Equivalent to membership of the
+  /// B-stripped word in (S|PS)*.
+  [[nodiscard]] bool monothreaded() const noexcept;
+
+  /// Strict regex membership in (S|PB*S)* — used by tests to document where
+  /// the prose rule ("Bs are ignored") and the regex differ (leading or
+  /// inter-group Bs).
+  [[nodiscard]] bool in_strict_language() const noexcept;
+
+  /// The innermost S token if the word is monothreaded and non-empty-suffix;
+  /// nullptr otherwise (e.g. empty word = serial context).
+  [[nodiscard]] const WordToken* innermost_single() const noexcept;
+
+  /// The innermost P token, if any (used to locate the Sipw region).
+  [[nodiscard]] const WordToken* innermost_parallel() const noexcept;
+
+  /// Longest common prefix with `other` (token-wise).
+  [[nodiscard]] size_t common_prefix_len(const Word& other) const noexcept;
+
+  /// Keeps only the first `len` tokens (used by the dataflow meet).
+  void truncate(size_t len);
+
+  /// Rendering, e.g. "P0 B S3".
+  [[nodiscard]] std::string str() const;
+
+  friend bool operator==(const Word&, const Word&) = default;
+
+private:
+  std::vector<WordToken> toks_;
+};
+
+/// Phase-2 test: true iff the two words decompose as w S_j u / w S_k v with
+/// j != k (first differing tokens are both S with different region ids).
+/// Such nodes sit in sibling monothreaded regions separated by no barrier,
+/// so they may execute simultaneously.
+[[nodiscard]] bool words_concurrent(const Word& a, const Word& b) noexcept;
+
+/// Meet for dataflow joins: longest common prefix. Returns true if the meet
+/// changed `into`; sets `*ambiguous` if the inputs disagreed.
+bool meet_words(Word& into, const Word& incoming, bool* ambiguous);
+
+} // namespace parcoach::core

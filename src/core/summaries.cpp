@@ -1,0 +1,202 @@
+#include "core/summaries.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace parcoach::core {
+
+Word concat_words(const Word& base, const Word& suffix) {
+  Word out = base;
+  for (const auto& t : suffix.tokens()) {
+    switch (t.kind) {
+      case TokKind::P: out.append_parallel(t.id); break;
+      case TokKind::S: out.append_single(t.id, t.omp); break;
+      case TokKind::B: out.append_barrier(); break;
+    }
+  }
+  return out;
+}
+
+Summaries Summaries::build(const ir::Module& m) {
+  Summaries s;
+
+  // Pass 1: per-function local facts + call-graph edges in one sweep. Word
+  // analyses are deferred until we know which functions can contain sites
+  // (most functions in large codes are pure compute and never need words).
+  std::map<std::string, std::vector<std::string>> callees;
+  for (const auto& fn : m.functions()) {
+    FunctionSummary fs;
+    fs.fn = fn.get();
+    auto& edges = callees[fn->name];
+    for (const auto& bb : fn->blocks()) {
+      for (const auto& in : bb.instrs) {
+        if (in.op == ir::Opcode::OmpBegin && in.omp == ir::OmpKind::Parallel)
+          fs.has_parallel_region = true;
+        else if (in.op == ir::Opcode::CollComm)
+          fs.has_collective = true;
+        else if (in.op == ir::Opcode::Call)
+          edges.push_back(in.callee);
+      }
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    s.by_name_.emplace(fn->name, std::move(fs));
+  }
+
+  // Pass 2: propagate has_collective / has_parallel_region over the call
+  // graph to a fixpoint (handles recursion without an explicit SCC pass).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [name, fs] : s.by_name_) {
+      for (const auto& callee : callees[name]) {
+        auto it = s.by_name_.find(callee);
+        if (it == s.by_name_.end()) continue;
+        if (it->second.has_collective && !fs.has_collective) {
+          fs.has_collective = true;
+          changed = true;
+        }
+        if (it->second.has_parallel_region && !fs.has_parallel_region) {
+          fs.has_parallel_region = true;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  // Pass 3: word analyses + sites (direct collectives + collective-bearing
+  // calls) in block/instruction order, only for functions that can contain
+  // sites.
+  for (auto& [name, fs] : s.by_name_) {
+    if (!fs.has_collective) continue;
+    const ir::Function& fn = *fs.fn;
+    fs.words = compute_words(fn, InitialContext::Serial);
+    for (const auto& bb : fn.blocks()) {
+      if (fs.words.unreachable[static_cast<size_t>(bb.id)]) continue;
+      for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        const ir::Instruction& in = bb.instrs[i];
+        const bool coll = in.op == ir::Opcode::CollComm;
+        const bool call =
+            in.op == ir::Opcode::Call &&
+            s.by_name_.count(in.callee) &&
+            s.by_name_.at(in.callee).has_collective;
+        if (!coll && !call) continue;
+        Site site;
+        site.site_kind = coll ? Site::Kind::Collective : Site::Kind::Call;
+        if (coll) site.collective = in.collective;
+        if (call) site.callee = in.callee;
+        site.loc = in.loc;
+        site.stmt_id = in.stmt_id;
+        site.block = bb.id;
+        site.instr_index = i;
+        site.local_word = word_at(fs.words, fn, bb.id, i);
+        site.ambiguous = fs.words.block_ambiguous(bb.id);
+        fs.sites.push_back(std::move(site));
+      }
+    }
+  }
+
+  // Pass 4: mark recursion — a function is recursive iff it belongs to a
+  // nontrivial SCC of the call graph (or calls itself). One Tarjan pass.
+  {
+    std::map<std::string, int32_t> index, low;
+    std::vector<std::string> stack;
+    std::map<std::string, bool> on_stack;
+    int32_t next_index = 0;
+    std::function<void(const std::string&)> strongconnect =
+        [&](const std::string& v) {
+          index[v] = low[v] = next_index++;
+          stack.push_back(v);
+          on_stack[v] = true;
+          for (const auto& w : callees[v]) {
+            if (!s.by_name_.count(w)) continue;
+            if (!index.count(w)) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack[w]) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+          if (low[v] == index[v]) {
+            std::vector<std::string> scc;
+            for (;;) {
+              const std::string w = stack.back();
+              stack.pop_back();
+              on_stack[w] = false;
+              scc.push_back(w);
+              if (w == v) break;
+            }
+            const bool self_loop =
+                std::find(callees[v].begin(), callees[v].end(), v) !=
+                callees[v].end();
+            if (scc.size() > 1 || self_loop)
+              for (const auto& m : scc) s.by_name_.at(m).recursive = true;
+          }
+        };
+    for (const auto& [name, fs] : s.by_name_)
+      if (!index.count(name)) strongconnect(name);
+  }
+
+  return s;
+}
+
+const FunctionSummary* Summaries::find(std::string_view name) const {
+  auto it = by_name_.find(std::string(name));
+  return it == by_name_.end() ? nullptr : &it->second;
+}
+
+std::vector<Summaries::Expanded> Summaries::expand_from(const std::string& root,
+                                                        const Word& base) const {
+  std::vector<Expanded> out;
+  const FunctionSummary* fs = find(root);
+  if (!fs) return out;
+  std::vector<SourceLoc> chain;
+  std::vector<std::string> stack{root};
+  expand_into(*fs, base, false, chain, stack, out);
+  return out;
+}
+
+void Summaries::expand_into(const FunctionSummary& fs, const Word& base,
+                            bool base_amb, std::vector<SourceLoc>& chain,
+                            std::vector<std::string>& stack,
+                            std::vector<Expanded>& out) const {
+  for (const auto& site : fs.sites) {
+    const Word word = concat_words(base, site.local_word);
+    const bool amb = base_amb || site.ambiguous;
+    if (site.site_kind == Site::Kind::Collective) {
+      Expanded e;
+      e.kind = site.collective;
+      e.word = word;
+      e.ambiguous = amb;
+      e.loc = site.loc;
+      e.stmt_id = site.stmt_id;
+      e.call_chain = chain;
+      out.push_back(std::move(e));
+      continue;
+    }
+    // Collective-bearing call.
+    if (std::find(stack.begin(), stack.end(), site.callee) != stack.end()) {
+      // Recursive cycle: report an opaque occurrence so the caller knows a
+      // collective may execute here, but stop expanding.
+      Expanded e;
+      e.kind = ir::CollectiveKind::Barrier; // placeholder kind
+      e.word = word;
+      e.ambiguous = true;
+      e.loc = site.loc;
+      e.stmt_id = site.stmt_id;
+      e.call_chain = chain;
+      e.truncated_by_recursion = true;
+      out.push_back(std::move(e));
+      continue;
+    }
+    const FunctionSummary* callee = find(site.callee);
+    if (!callee) continue;
+    chain.push_back(site.loc);
+    stack.push_back(site.callee);
+    expand_into(*callee, word, amb, chain, stack, out);
+    stack.pop_back();
+    chain.pop_back();
+  }
+}
+
+} // namespace parcoach::core

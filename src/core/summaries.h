@@ -1,0 +1,91 @@
+// Bottom-up interprocedural summaries.
+//
+// PARCOACH treats a call to a function that (transitively) executes MPI
+// collectives as a collective node itself. A summary records, per function,
+// the direct collective sites with their function-local parallelism words,
+// and the call sites to collective-bearing callees. `expand_sites` splices
+// callee words onto caller words so phases 1 and 2 can check whole-program
+// contexts, with a cycle guard for recursion (recursive expansion stops and
+// the site is reported with an "opaque recursion" note).
+#pragma once
+
+#include "core/parallelism_word.h"
+#include "core/word_dataflow.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace parcoach::core {
+
+/// One direct collective or collective-bearing call inside a function.
+struct Site {
+  enum class Kind : uint8_t { Collective, Call };
+  Kind site_kind = Kind::Collective;
+  ir::CollectiveKind collective{}; // valid for Collective
+  std::string callee;              // valid for Call
+  SourceLoc loc;
+  int32_t stmt_id = -1;
+  ir::BlockId block = ir::kNoBlock;
+  size_t instr_index = 0;
+  /// Function-local word at the site (InitialContext::Serial) and whether
+  /// the word was ambiguous at that block.
+  Word local_word;
+  bool ambiguous = false;
+};
+
+struct FunctionSummary {
+  const ir::Function* fn = nullptr;
+  bool has_collective = false;      // transitively (direct or via calls)
+  bool has_parallel_region = false; // this function lexically
+  bool recursive = false;           // participates in a call-graph cycle
+  std::vector<Site> sites;          // direct collectives AND bearing calls,
+                                    // in block/instruction order
+  WordAnalysis words;               // function-local word analysis (Serial)
+};
+
+class Summaries {
+public:
+  /// Builds summaries for every function in the module.
+  static Summaries build(const ir::Module& m);
+
+  [[nodiscard]] const FunctionSummary* find(std::string_view name) const;
+  [[nodiscard]] const std::map<std::string, FunctionSummary>& all() const {
+    return by_name_;
+  }
+
+  /// A fully expanded collective occurrence: the collective kind, the
+  /// composed parallelism word (root word ++ call-path words), the source
+  /// location of the collective, and the call chain that reaches it.
+  struct Expanded {
+    ir::CollectiveKind kind{};
+    Word word;
+    bool ambiguous = false;
+    SourceLoc loc;
+    int32_t stmt_id = -1;
+    std::vector<SourceLoc> call_chain; // outermost call first
+    bool truncated_by_recursion = false;
+  };
+
+  /// Expands all collective occurrences reachable from `root` (a function
+  /// name), composing words. `base` is the word context at the root's entry.
+  [[nodiscard]] std::vector<Expanded> expand_from(const std::string& root,
+                                                  const Word& base) const;
+
+private:
+  void expand_into(const FunctionSummary& fs, const Word& base, bool base_amb,
+                   std::vector<SourceLoc>& chain,
+                   std::vector<std::string>& stack,
+                   std::vector<Expanded>& out) const;
+
+  std::map<std::string, FunctionSummary> by_name_;
+};
+
+/// Concatenates `suffix` onto `base` (token-wise append preserving the
+/// B-collapse canonical form).
+[[nodiscard]] Word concat_words(const Word& base, const Word& suffix);
+
+} // namespace parcoach::core

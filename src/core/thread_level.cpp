@@ -1,0 +1,71 @@
+#include "core/thread_level.h"
+
+#include "support/str.h"
+
+namespace parcoach::core {
+
+ir::ThreadLevel required_level(const Word& word, bool program_has_threads) noexcept {
+  if (!word.monothreaded()) return ir::ThreadLevel::Multiple;
+  const WordToken* s = word.innermost_single();
+  if (!s) {
+    // Serial context. If the program forks threads anywhere, the process is
+    // multithreaded and the standard requires at least FUNNELED for
+    // communication from the main thread.
+    return program_has_threads ? ir::ThreadLevel::Funneled
+                               : ir::ThreadLevel::Single;
+  }
+  // Master regions always execute on the main thread -> FUNNELED suffices.
+  if (s->omp == ir::OmpKind::Master) return ir::ThreadLevel::Funneled;
+  // single/section: any thread of the team may execute -> SERIALIZED.
+  return ir::ThreadLevel::Serialized;
+}
+
+ThreadLevelResult check_thread_levels(const ir::Module& m, const Summaries& sums,
+                                      DiagnosticEngine& diags) {
+  ThreadLevelResult result;
+  bool program_has_threads = false;
+  for (const auto& [name, fs] : sums.all())
+    program_has_threads |= fs.has_parallel_region;
+
+  const std::string root = m.find("main") ? "main" : "";
+  std::vector<Summaries::Expanded> sites;
+  if (!root.empty()) {
+    sites = sums.expand_from(root, Word{});
+  } else {
+    for (const auto& fn : m.functions())
+      for (auto& e : sums.expand_from(fn->name, Word{}))
+        sites.push_back(std::move(e));
+  }
+
+  for (const auto& e : sites) {
+    if (e.truncated_by_recursion) continue;
+    LevelRequirement req;
+    req.required = required_level(e.word, program_has_threads);
+    req.loc = e.loc;
+    req.kind = e.kind;
+    req.word = e.word;
+    if (static_cast<int>(req.required) > static_cast<int>(result.required))
+      result.required = req.required;
+    result.per_call.push_back(std::move(req));
+  }
+
+  if (m.requested_thread_level &&
+      static_cast<int>(result.required) >
+          static_cast<int>(*m.requested_thread_level)) {
+    result.violation = true;
+    // Attach the first offending call for a precise message.
+    for (const auto& r : result.per_call) {
+      if (r.required != result.required) continue;
+      diags.report(
+          Severity::Warning, DiagKind::ThreadLevelViolation, r.loc,
+          str::cat(ir::to_string(r.kind), " requires MPI_THREAD_",
+                   ir::to_string(r.required), " but mpi_init requested MPI_THREAD_",
+                   ir::to_string(*m.requested_thread_level), " (word [",
+                   r.word.str(), "])"));
+      break;
+    }
+  }
+  return result;
+}
+
+} // namespace parcoach::core

@@ -1,0 +1,44 @@
+// MPI thread-support-level inference.
+//
+// The paper's analysis is parameterized by the thread level: a collective in
+// a monothreaded region still requires MPI_THREAD_SERIALIZED (any thread may
+// be the one executing it), master-only collectives need FUNNELED, serial
+// collectives in a program with parallel regions need FUNNELED at entry,
+// and collectives in multithreaded contexts require MPI_THREAD_MULTIPLE.
+// The inferred requirement is compared with the level requested by
+// mpi_init(...) and violations are reported.
+#pragma once
+
+#include "core/phases.h"
+#include "core/summaries.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+#include <vector>
+
+namespace parcoach::core {
+
+struct LevelRequirement {
+  ir::ThreadLevel required{};
+  SourceLoc loc;              // the collective that imposes it
+  ir::CollectiveKind kind{};
+  Word word;
+};
+
+struct ThreadLevelResult {
+  ir::ThreadLevel required = ir::ThreadLevel::Single;
+  std::vector<LevelRequirement> per_call;
+  /// Set when mpi_init requests less than `required`.
+  bool violation = false;
+};
+
+[[nodiscard]] ThreadLevelResult check_thread_levels(const ir::Module& m,
+                                                    const Summaries& sums,
+                                                    DiagnosticEngine& diags);
+
+/// The minimum level required for a collective executing under `word` in a
+/// program where `program_has_threads` indicates any parallel region exists.
+[[nodiscard]] ir::ThreadLevel required_level(const Word& word,
+                                             bool program_has_threads) noexcept;
+
+} // namespace parcoach::core

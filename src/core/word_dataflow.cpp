@@ -1,0 +1,108 @@
+#include "core/word_dataflow.h"
+
+#include "ir/dominators.h"
+
+namespace parcoach::core {
+
+void apply_instruction(Word& w, const ir::Instruction& in) {
+  using ir::Opcode;
+  switch (in.op) {
+    case Opcode::OmpBegin:
+      switch (in.omp) {
+        case ir::OmpKind::Parallel:
+          w.append_parallel(in.region_id);
+          break;
+        case ir::OmpKind::Single:
+        case ir::OmpKind::Master:
+        case ir::OmpKind::Section:
+          w.append_single(in.region_id, in.omp);
+          break;
+        case ir::OmpKind::Critical:
+        case ir::OmpKind::Sections:
+        case ir::OmpKind::For:
+          break; // no word effect (not single-threaded, not a fork)
+      }
+      break;
+    case Opcode::OmpEnd:
+      if (in.omp == ir::OmpKind::Parallel || ir::is_single_threaded(in.omp))
+        w.close_region(in.region_id);
+      break;
+    case Opcode::ImplicitBarrier:
+    case Opcode::ExplicitBarrier:
+      w.append_barrier();
+      break;
+    default:
+      break;
+  }
+}
+
+WordAnalysis compute_words(const ir::Function& fn, InitialContext ctx) {
+  const size_t n = static_cast<size_t>(fn.num_blocks());
+  WordAnalysis wa;
+  wa.entry.assign(n, Word{});
+  wa.ambiguous.assign(n, 0);
+  wa.unreachable.assign(n, 1);
+
+  if (fn.entry == ir::kNoBlock) return wa;
+
+  Word initial;
+  if (ctx == InitialContext::Multithreaded)
+    initial.append_parallel(-1); // synthetic enclosing parallel region
+
+  // Identify back edges by RPO numbering: edge u->v is retreating iff v does
+  // not come after u in reverse post-order. The structured frontend only
+  // produces reducible CFGs, where retreating edges are exactly the back
+  // edges, so this matches the dominator-based definition at a fraction of
+  // the cost.
+  const std::vector<ir::BlockId> rpo = fn.reverse_post_order();
+  std::vector<int32_t> rpo_index(n, -1);
+  for (size_t i = 0; i < rpo.size(); ++i)
+    rpo_index[static_cast<size_t>(rpo[i])] = static_cast<int32_t>(i);
+  for (ir::BlockId b : rpo) wa.unreachable[static_cast<size_t>(b)] = 0;
+
+  // One RPO pass suffices: every non-retreating edge goes forward in RPO,
+  // so predecessor exit words are final when a block is visited. Block exit
+  // words are cached so each instruction is applied exactly once.
+  std::vector<Word> exit_words(n);
+  {
+    for (ir::BlockId b : rpo) {
+      Word in_word;
+      bool first = true;
+      bool ambiguous = false;
+      if (b == fn.entry) {
+        in_word = initial;
+      } else {
+        for (ir::BlockId p : fn.block(b).preds) {
+          if (wa.unreachable[static_cast<size_t>(p)]) continue;
+          if (rpo_index[static_cast<size_t>(p)] >=
+              rpo_index[static_cast<size_t>(b)])
+            continue; // retreating (back) edge: excluded from meet
+          const Word& w = exit_words[static_cast<size_t>(p)];
+          if (first) {
+            in_word = w;
+            first = false;
+          } else {
+            meet_words(in_word, w, &ambiguous);
+          }
+        }
+      }
+      Word out = in_word;
+      for (const auto& ins : fn.block(b).instrs) apply_instruction(out, ins);
+      exit_words[static_cast<size_t>(b)] = std::move(out);
+      wa.entry[static_cast<size_t>(b)] = std::move(in_word);
+      if (ambiguous) wa.ambiguous[static_cast<size_t>(b)] = 1;
+    }
+  }
+  return wa;
+}
+
+Word word_at(const WordAnalysis& wa, const ir::Function& fn, ir::BlockId b,
+             size_t index) {
+  Word w = wa.entry[static_cast<size_t>(b)];
+  const auto& instrs = fn.block(b).instrs;
+  for (size_t i = 0; i < index && i < instrs.size(); ++i)
+    apply_instruction(w, instrs[i]);
+  return w;
+}
+
+} // namespace parcoach::core

@@ -1,0 +1,52 @@
+// Forward dataflow computing the parallelism word at the entry of every
+// basic block, and on demand at any instruction.
+//
+// Back edges are excluded from the meet: the word is a *prefix path*
+// property and perfectly nested regions make all forward paths agree except
+// possibly in trailing barrier tokens (a join after `if (c) { omp barrier; }`
+// sees "…B" on one edge and "…" on the other). Disagreements meet to the
+// longest common prefix and mark the block word-ambiguous; collectives at
+// ambiguous nodes are conservatively warned (DiagKind::WordAmbiguity).
+// Iteration-crossing concurrency (a region overlapping itself across loop
+// iterations) is handled separately in phase 2 via natural loops.
+#pragma once
+
+#include "core/parallelism_word.h"
+#include "ir/function.h"
+
+#include <vector>
+
+namespace parcoach::core {
+
+/// Initial parallelism context of a function (the paper's "initial level"
+/// compile-time option): Serial analyses a function as if called from
+/// monothreaded code; Multithreaded prepends a synthetic P token, modelling
+/// a call from inside some parallel region.
+enum class InitialContext : uint8_t { Serial, Multithreaded };
+
+struct WordAnalysis {
+  /// Word at block entry, indexed by BlockId.
+  std::vector<Word> entry;
+  /// Block got disagreeing incoming words.
+  std::vector<uint8_t> ambiguous;
+  /// Blocks never reached from entry (their words are meaningless).
+  std::vector<uint8_t> unreachable;
+
+  [[nodiscard]] bool block_ambiguous(ir::BlockId b) const {
+    return ambiguous[static_cast<size_t>(b)] != 0;
+  }
+};
+
+/// Applies one instruction's effect to a word (exposed for unit tests and
+/// for computing words at instruction granularity).
+void apply_instruction(Word& w, const ir::Instruction& in);
+
+/// Runs the dataflow. `fn` must have preds computed.
+[[nodiscard]] WordAnalysis compute_words(const ir::Function& fn,
+                                         InitialContext ctx);
+
+/// Word immediately before instruction `index` of block `b`.
+[[nodiscard]] Word word_at(const WordAnalysis& wa, const ir::Function& fn,
+                           ir::BlockId b, size_t index);
+
+} // namespace parcoach::core

@@ -1,0 +1,87 @@
+#include "driver/pipeline.h"
+
+#include "core/summaries.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "passes/pass_manager.h"
+
+namespace parcoach::driver {
+
+namespace {
+
+class StageClock {
+public:
+  explicit StageClock(std::chrono::nanoseconds& out)
+      : out_(out), start_(std::chrono::steady_clock::now()) {}
+  ~StageClock() { out_ += std::chrono::steady_clock::now() - start_; }
+
+private:
+  std::chrono::nanoseconds& out_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace
+
+CompileResult compile_buffer(const SourceManager& sm, int32_t file_id,
+                             DiagnosticEngine& diags,
+                             const PipelineOptions& opts) {
+  CompileResult r;
+
+  {
+    StageClock c(r.times.parse);
+    r.program = frontend::Parser::parse(sm, file_id, diags);
+  }
+  if (diags.has_errors()) return r;
+
+  {
+    StageClock c(r.times.sema);
+    const auto sema = frontend::Sema::analyze(r.program, diags);
+    if (!sema.ok) return r;
+  }
+
+  {
+    StageClock c(r.times.lower);
+    r.module = frontend::Lowering::lower(r.program, diags);
+  }
+  if (opts.verify_ir && !ir::verify(*r.module, diags)) return r;
+
+  if (opts.optimize) {
+    StageClock c(r.times.optimize);
+    auto pm = passes::PassManager::standard_pipeline();
+    pm.run(*r.module);
+  }
+
+  if (opts.mode != Mode::Baseline) {
+    StageClock c(r.times.analysis);
+    const core::Summaries sums = core::Summaries::build(*r.module);
+    r.phases = core::run_phases(*r.module, sums, opts.analysis, diags);
+    r.algorithm1 = core::run_algorithm1(*r.module, sums, opts.algorithm1, diags);
+    r.thread_levels = core::check_thread_levels(*r.module, sums, diags);
+  }
+
+  if (opts.mode == Mode::WarningsAndCodegen) {
+    StageClock c(r.times.instrument);
+    r.plan = core::make_plan(*r.module, r.phases, r.algorithm1);
+    r.inserted_checks = core::apply_plan(*r.module, r.plan);
+  }
+
+  {
+    StageClock c(r.times.emit);
+    r.emitted = ir::to_text(*r.module);
+    r.emitted_bytes = r.emitted.size();
+  }
+
+  r.ok = !diags.has_errors();
+  return r;
+}
+
+CompileResult compile(SourceManager& sm, std::string name, std::string source,
+                      DiagnosticEngine& diags, const PipelineOptions& opts) {
+  const int32_t id = sm.add_buffer(std::move(name), std::move(source));
+  return compile_buffer(sm, id, diags, opts);
+}
+
+} // namespace parcoach::driver

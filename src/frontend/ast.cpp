@@ -1,0 +1,183 @@
+#include "frontend/ast.h"
+
+#include <cctype>
+#include <sstream>
+
+namespace parcoach::frontend {
+
+const FuncDecl* Program::find(std::string_view name) const {
+  for (const auto& f : funcs)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+void walk_stmts(const std::vector<StmtPtr>& body,
+                const std::function<void(const Stmt&)>& fn) {
+  for (const auto& s : body) {
+    fn(*s);
+    walk_stmts(s->body, fn);
+    walk_stmts(s->else_body, fn);
+  }
+}
+
+namespace {
+
+void indent(std::ostream& os, int n) {
+  for (int i = 0; i < n; ++i) os << "  ";
+}
+
+void print_block(std::ostream& os, const std::vector<StmtPtr>& body, int depth);
+
+// Prints the mpi_xxx(...) call expression part of an MpiCall statement.
+void print_mpi_call(std::ostream& os, const Stmt& s) {
+  using ir::CollectiveKind;
+  if (s.is_mpi_init) {
+    os << "mpi_init(" << ir::to_string(s.init_level) << ")";
+    return;
+  }
+  switch (s.coll) {
+    case CollectiveKind::Barrier: os << "mpi_barrier()"; return;
+    case CollectiveKind::Finalize: os << "mpi_finalize()"; return;
+    default: break;
+  }
+  // Name: MPI_Reduce_scatter -> mpi_reduce_scatter.
+  std::string name(ir::to_string(s.coll));
+  for (auto& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  os << name << '(';
+  os << to_string(*s.mpi_value);
+  if (s.reduce_op) os << ", " << ir::to_string(*s.reduce_op);
+  if (s.mpi_root) os << ", " << to_string(*s.mpi_root);
+  os << ')';
+}
+
+void print_stmt(std::ostream& os, const Stmt& s, int depth) {
+  indent(os, depth);
+  switch (s.kind) {
+    case StmtKind::VarDecl:
+      os << "var " << s.name << " = " << to_string(*s.value) << ";\n";
+      break;
+    case StmtKind::Assign:
+      os << s.name << " = " << to_string(*s.value) << ";\n";
+      break;
+    case StmtKind::If:
+      os << "if (" << to_string(*s.value) << ") ";
+      print_block(os, s.body, depth);
+      if (!s.else_body.empty()) {
+        indent(os, depth);
+        os << "else ";
+        print_block(os, s.else_body, depth);
+      }
+      break;
+    case StmtKind::While:
+      os << "while (" << to_string(*s.value) << ") ";
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::For:
+      os << "for (" << s.name << " = " << to_string(*s.lo) << " to "
+         << to_string(*s.hi) << ") ";
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::Return:
+      os << "return";
+      if (s.value) os << ' ' << to_string(*s.value);
+      os << ";\n";
+      break;
+    case StmtKind::Print: {
+      os << "print(";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*s.args[i]);
+      }
+      os << ");\n";
+      break;
+    }
+    case StmtKind::CallStmt: {
+      if (!s.name.empty()) os << s.name << " = ";
+      os << s.callee << '(';
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*s.args[i]);
+      }
+      os << ");\n";
+      break;
+    }
+    case StmtKind::MpiCall:
+      if (!s.name.empty()) os << s.name << " = ";
+      print_mpi_call(os, s);
+      os << ";\n";
+      break;
+    case StmtKind::OmpParallel:
+      os << "omp parallel";
+      if (s.num_threads) os << " num_threads(" << to_string(*s.num_threads) << ')';
+      if (s.if_clause) os << " if(" << to_string(*s.if_clause) << ')';
+      os << ' ';
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::OmpSingle:
+      os << "omp single" << (s.nowait ? " nowait " : " ");
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::OmpMaster:
+      os << "omp master ";
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::OmpCritical:
+      os << "omp critical ";
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::OmpBarrier:
+      os << "omp barrier;\n";
+      break;
+    case StmtKind::OmpSections:
+      os << "omp sections" << (s.nowait ? " nowait " : " ");
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::OmpSection:
+      os << "omp section ";
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::OmpFor:
+      os << "omp for" << (s.nowait ? " nowait" : "") << " (" << s.name << " = "
+         << to_string(*s.lo) << " to " << to_string(*s.hi) << ") ";
+      print_block(os, s.body, depth);
+      break;
+    case StmtKind::MpiSend:
+      os << "mpi_send(" << to_string(*s.mpi_value) << ", "
+         << to_string(*s.mpi_root) << ", " << to_string(*s.hi) << ");\n";
+      break;
+    case StmtKind::MpiRecv:
+      if (!s.name.empty()) os << s.name << " = ";
+      os << "mpi_recv(" << to_string(*s.mpi_root) << ", " << to_string(*s.hi)
+         << ");\n";
+      break;
+  }
+}
+
+void print_block(std::ostream& os, const std::vector<StmtPtr>& body, int depth) {
+  os << "{\n";
+  for (const auto& s : body) print_stmt(os, *s, depth + 1);
+  indent(os, depth);
+  os << "}\n";
+}
+
+} // namespace
+
+std::string to_source(const FuncDecl& f) {
+  std::ostringstream os;
+  os << "func " << f.name << '(';
+  for (size_t i = 0; i < f.params.size(); ++i) {
+    if (i) os << ", ";
+    os << f.params[i];
+  }
+  os << ") ";
+  print_block(os, f.body, 0);
+  return os.str();
+}
+
+std::string to_source(const Program& p) {
+  std::ostringstream os;
+  for (const auto& f : p.funcs) os << to_source(f) << '\n';
+  return os.str();
+}
+
+} // namespace parcoach::frontend

@@ -1,0 +1,115 @@
+// MiniHPC abstract syntax tree.
+//
+// Statements carry dense `stmt_id`s (module-wide) so the instrumentation
+// plan produced by the static analysis can be keyed by statement, and omp
+// constructs carry dense `region_id`s shared with the lowered IR. The
+// interpreter executes this AST; the analyses run on the lowered CFG.
+// Expressions reuse ir::Expr (they are built side-effect free by
+// construction: user calls and MPI operations are statements).
+#pragma once
+
+#include "ir/collective.h"
+#include "ir/expr.h"
+#include "ir/instruction.h"
+#include "ir/omp.h"
+#include "support/source_location.h"
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcoach::frontend {
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+enum class StmtKind : uint8_t {
+  VarDecl,   // var NAME = expr;
+  Assign,    // NAME = expr;
+  If,        // if (cond) body [else else_body]
+  While,     // while (cond) body
+  For,       // for (NAME = lo to hi) body       -- iterates [lo, hi)
+  Return,    // return [expr];
+  Print,     // print(args...);
+  CallStmt,  // [NAME =] callee(args...);
+  MpiCall,   // [NAME =] mpi_xxx(...); includes mpi_init / mpi_finalize
+  OmpParallel,
+  OmpSingle,
+  OmpMaster,
+  OmpCritical,
+  OmpBarrier,
+  OmpSections, // body holds OmpSection statements only
+  OmpSection,
+  OmpFor,      // worksharing loop: for (NAME = lo to hi) distributed
+  MpiSend,     // mpi_send(value, dest, tag);
+  MpiRecv,     // NAME = mpi_recv(source, tag);
+};
+
+struct Stmt {
+  StmtKind kind;
+  int32_t stmt_id = -1;
+  SourceLoc loc;
+
+  // VarDecl/Assign/For/OmpFor loop variable, CallStmt/MpiCall result target.
+  std::string name;
+  // CallStmt callee.
+  std::string callee;
+  // True for `var x = f(...)` / `var x = mpi_xxx(...)`: the call statement
+  // also declares its target variable.
+  bool declares_target = false;
+
+  ir::ExprPtr value;          // VarDecl/Assign value; If/While cond; Return value
+  ir::ExprPtr lo, hi;         // For/OmpFor bounds
+  std::vector<ir::ExprPtr> args; // Print/CallStmt arguments
+
+  // MpiSend/MpiRecv payload (value/dest/source/tag reuse mpi_value, mpi_root
+  // and `hi` as the tag slot).
+  // MpiCall payload.
+  ir::CollectiveKind coll{};
+  bool is_mpi_init = false;
+  ir::ThreadLevel init_level{};
+  ir::ExprPtr mpi_value;                 // payload expression
+  ir::ExprPtr mpi_root;                  // root rank expression
+  std::optional<ir::ReduceOp> reduce_op;
+
+  // Omp construct payload.
+  int32_t region_id = -1;
+  bool nowait = false;
+  ir::ExprPtr num_threads; // parallel clause (may be null)
+  ir::ExprPtr if_clause;   // parallel clause (may be null)
+
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> else_body;
+
+  [[nodiscard]] bool is_omp() const noexcept {
+    return kind >= StmtKind::OmpParallel && kind <= StmtKind::OmpFor;
+  }
+};
+
+struct FuncDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<StmtPtr> body;
+  SourceLoc loc;
+};
+
+struct Program {
+  std::vector<FuncDecl> funcs;
+  int32_t num_stmts = 0;   // stmt_ids are in [0, num_stmts)
+  int32_t num_regions = 0; // region_ids are in [0, num_regions)
+
+  [[nodiscard]] const FuncDecl* find(std::string_view name) const;
+};
+
+/// Walks all statements of a function (pre-order, including nested bodies).
+void walk_stmts(const std::vector<StmtPtr>& body,
+                const std::function<void(const Stmt&)>& fn);
+
+/// Renders the program back to parseable MiniHPC source (used by tests for
+/// round-tripping and by examples to show generated workloads).
+[[nodiscard]] std::string to_source(const Program& p);
+[[nodiscard]] std::string to_source(const FuncDecl& f);
+
+} // namespace parcoach::frontend

@@ -1,0 +1,190 @@
+#include "frontend/lexer.h"
+
+#include "support/str.h"
+
+#include <cctype>
+#include <unordered_map>
+
+namespace parcoach::frontend {
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keyword_table() {
+  static const std::unordered_map<std::string_view, Tok> table = {
+      {"func", Tok::KwFunc},        {"var", Tok::KwVar},
+      {"if", Tok::KwIf},            {"else", Tok::KwElse},
+      {"while", Tok::KwWhile},      {"for", Tok::KwFor},
+      {"to", Tok::KwTo},            {"return", Tok::KwReturn},
+      {"print", Tok::KwPrint},      {"omp", Tok::KwOmp},
+      {"parallel", Tok::KwParallel},{"single", Tok::KwSingle},
+      {"master", Tok::KwMaster},    {"critical", Tok::KwCritical},
+      {"barrier", Tok::KwBarrier},  {"sections", Tok::KwSections},
+      {"section", Tok::KwSection},  {"nowait", Tok::KwNowait},
+      {"num_threads", Tok::KwNumThreads},
+  };
+  return table;
+}
+
+} // namespace
+
+std::string_view to_string(Tok t) noexcept {
+  switch (t) {
+    case Tok::End: return "<eof>";
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer";
+    case Tok::LParen: return "(";
+    case Tok::RParen: return ")";
+    case Tok::LBrace: return "{";
+    case Tok::RBrace: return "}";
+    case Tok::Comma: return ",";
+    case Tok::Semi: return ";";
+    case Tok::Plus: return "+";
+    case Tok::Minus: return "-";
+    case Tok::Star: return "*";
+    case Tok::Slash: return "/";
+    case Tok::Percent: return "%";
+    case Tok::Lt: return "<";
+    case Tok::Le: return "<=";
+    case Tok::Gt: return ">";
+    case Tok::Ge: return ">=";
+    case Tok::EqEq: return "==";
+    case Tok::Ne: return "!=";
+    case Tok::Not: return "!";
+    case Tok::AndAnd: return "&&";
+    case Tok::OrOr: return "||";
+    case Tok::Assign: return "=";
+    case Tok::KwFunc: return "func";
+    case Tok::KwVar: return "var";
+    case Tok::KwIf: return "if";
+    case Tok::KwElse: return "else";
+    case Tok::KwWhile: return "while";
+    case Tok::KwFor: return "for";
+    case Tok::KwTo: return "to";
+    case Tok::KwReturn: return "return";
+    case Tok::KwPrint: return "print";
+    case Tok::KwOmp: return "omp";
+    case Tok::KwParallel: return "parallel";
+    case Tok::KwSingle: return "single";
+    case Tok::KwMaster: return "master";
+    case Tok::KwCritical: return "critical";
+    case Tok::KwBarrier: return "barrier";
+    case Tok::KwSections: return "sections";
+    case Tok::KwSection: return "section";
+    case Tok::KwNowait: return "nowait";
+    case Tok::KwNumThreads: return "num_threads";
+  }
+  return "?";
+}
+
+std::vector<Token> Lexer::lex(const SourceManager& sm, int32_t file_id,
+                              DiagnosticEngine& diags) {
+  const std::string_view src = sm.buffer_text(file_id);
+  std::vector<Token> out;
+  int32_t line = 1, col = 1;
+  size_t i = 0;
+
+  auto loc_here = [&]() { return SourceLoc{file_id, line, col}; };
+  auto advance = [&](size_t n) {
+    for (size_t k = 0; k < n; ++k) {
+      if (src[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto push = [&](Tok kind, SourceLoc loc, std::string_view text) {
+    out.push_back(Token{kind, text, 0, loc});
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance(1);
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') advance(1);
+      continue;
+    }
+    const SourceLoc loc = loc_here();
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < src.size() && std::isdigit(static_cast<unsigned char>(src[i])))
+        advance(1);
+      Token t{Tok::Int, src.substr(start, i - start), 0, loc};
+      t.int_val = 0;
+      for (char d : t.text) t.int_val = t.int_val * 10 + (d - '0');
+      out.push_back(t);
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < src.size() && (std::isalnum(static_cast<unsigned char>(src[i])) ||
+                                src[i] == '_'))
+        advance(1);
+      const std::string_view text = src.substr(start, i - start);
+      const auto& kw = keyword_table();
+      auto it = kw.find(text);
+      push(it != kw.end() ? it->second : Tok::Ident, loc, text);
+      continue;
+    }
+    auto two = [&](char second) {
+      return i + 1 < src.size() && src[i + 1] == second;
+    };
+    switch (c) {
+      case '(': push(Tok::LParen, loc, "("); advance(1); break;
+      case ')': push(Tok::RParen, loc, ")"); advance(1); break;
+      case '{': push(Tok::LBrace, loc, "{"); advance(1); break;
+      case '}': push(Tok::RBrace, loc, "}"); advance(1); break;
+      case ',': push(Tok::Comma, loc, ","); advance(1); break;
+      case ';': push(Tok::Semi, loc, ";"); advance(1); break;
+      case '+': push(Tok::Plus, loc, "+"); advance(1); break;
+      case '-': push(Tok::Minus, loc, "-"); advance(1); break;
+      case '*': push(Tok::Star, loc, "*"); advance(1); break;
+      case '/': push(Tok::Slash, loc, "/"); advance(1); break;
+      case '%': push(Tok::Percent, loc, "%"); advance(1); break;
+      case '<':
+        if (two('=')) { push(Tok::Le, loc, "<="); advance(2); }
+        else { push(Tok::Lt, loc, "<"); advance(1); }
+        break;
+      case '>':
+        if (two('=')) { push(Tok::Ge, loc, ">="); advance(2); }
+        else { push(Tok::Gt, loc, ">"); advance(1); }
+        break;
+      case '=':
+        if (two('=')) { push(Tok::EqEq, loc, "=="); advance(2); }
+        else { push(Tok::Assign, loc, "="); advance(1); }
+        break;
+      case '!':
+        if (two('=')) { push(Tok::Ne, loc, "!="); advance(2); }
+        else { push(Tok::Not, loc, "!"); advance(1); }
+        break;
+      case '&':
+        if (two('&')) { push(Tok::AndAnd, loc, "&&"); advance(2); }
+        else {
+          diags.report(Severity::Error, DiagKind::LexError, loc, "stray '&'");
+          advance(1);
+        }
+        break;
+      case '|':
+        if (two('|')) { push(Tok::OrOr, loc, "||"); advance(2); }
+        else {
+          diags.report(Severity::Error, DiagKind::LexError, loc, "stray '|'");
+          advance(1);
+        }
+        break;
+      default:
+        diags.report(Severity::Error, DiagKind::LexError, loc,
+                     str::cat("unexpected character '", c, "'"));
+        advance(1);
+        break;
+    }
+  }
+  out.push_back(Token{Tok::End, "", 0, loc_here()});
+  return out;
+}
+
+} // namespace parcoach::frontend

@@ -1,0 +1,22 @@
+// Hand-written lexer for MiniHPC. Produces the whole token stream up front
+// (programs are small enough that a token vector is simpler and faster than
+// a pull lexer, and it lets the parser backtrack trivially).
+#pragma once
+
+#include "frontend/token.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+#include <vector>
+
+namespace parcoach::frontend {
+
+class Lexer {
+public:
+  /// Lexes buffer `file_id` of `sm`. Lex errors are reported to `diags`;
+  /// the returned stream always ends with a Tok::End token.
+  static std::vector<Token> lex(const SourceManager& sm, int32_t file_id,
+                                DiagnosticEngine& diags);
+};
+
+} // namespace parcoach::frontend

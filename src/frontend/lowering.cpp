@@ -1,0 +1,409 @@
+#include "frontend/lowering.h"
+
+#include "support/str.h"
+
+namespace parcoach::frontend {
+
+namespace {
+
+using ir::BlockId;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+class Lowerer {
+public:
+  Lowerer(ir::Module& mod, DiagnosticEngine& diags) : mod_(mod), diags_(diags) {}
+
+  void lower_function(const FuncDecl& f) {
+    fn_ = &mod_.add_function(f.name);
+    fn_->params = f.params;
+    fn_->entry = fn_->add_block();
+    fn_->exit = fn_->add_block();
+    cur_ = fn_->entry;
+    lower_body(f.body);
+    // Fall-through return for functions whose last path reaches the end.
+    if (!fn_->block(cur_).has_terminator()) {
+      Instruction ret;
+      ret.op = Opcode::Return;
+      ret.loc = f.loc;
+      append(std::move(ret));
+      fn_->add_edge(cur_, fn_->exit);
+    }
+    fn_->recompute_preds();
+  }
+
+private:
+  void append(Instruction in) { fn_->block(cur_).instrs.push_back(std::move(in)); }
+
+  /// Ends the current block with an unconditional branch to a fresh block
+  /// and makes that block current.
+  BlockId branch_to_new_block(SourceLoc loc, int32_t stmt_id) {
+    const BlockId next = fn_->add_block();
+    Instruction br;
+    br.op = Opcode::Br;
+    br.loc = loc;
+    br.stmt_id = stmt_id;
+    append(std::move(br));
+    fn_->add_edge(cur_, next);
+    cur_ = next;
+    return next;
+  }
+
+  /// Emits `in` alone in a dedicated block: [br] -> [in; br] -> [next].
+  void emit_boundary_block(Instruction in) {
+    const SourceLoc loc = in.loc;
+    const int32_t sid = in.stmt_id;
+    branch_to_new_block(loc, sid);
+    append(std::move(in));
+    branch_to_new_block(loc, sid);
+  }
+
+  void lower_body(const std::vector<StmtPtr>& body) {
+    for (const auto& s : body) lower_stmt(*s);
+  }
+
+  void lower_stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::VarDecl:
+      case StmtKind::Assign: {
+        Instruction in;
+        in.op = Opcode::Assign;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        in.var = s.name;
+        in.expr = s.value->clone();
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::Print: {
+        Instruction in;
+        in.op = Opcode::Print;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        for (const auto& a : s.args) in.args.push_back(a->clone());
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::CallStmt: {
+        Instruction in;
+        in.op = Opcode::Call;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        in.var = s.name;
+        in.callee = s.callee;
+        for (const auto& a : s.args) in.args.push_back(a->clone());
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::MpiSend: {
+        Instruction in;
+        in.op = Opcode::SendMsg;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        in.args.push_back(s.mpi_value->clone());
+        in.root = s.mpi_root->clone();
+        in.expr = s.hi->clone();
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::MpiRecv: {
+        Instruction in;
+        in.op = Opcode::RecvMsg;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        in.var = s.name;
+        in.root = s.mpi_root->clone();
+        in.expr = s.hi->clone();
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::MpiCall: {
+        Instruction in;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        if (s.is_mpi_init) {
+          in.op = Opcode::MpiInit;
+          in.thread_level = s.init_level;
+          mod_.requested_thread_level = s.init_level;
+        } else {
+          in.op = Opcode::CollComm;
+          in.collective = s.coll;
+          in.var = s.name;
+          if (s.mpi_value) in.args.push_back(s.mpi_value->clone());
+          if (s.mpi_root) in.root = s.mpi_root->clone();
+          in.reduce_op = s.reduce_op;
+        }
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::Return: {
+        Instruction in;
+        in.op = Opcode::Return;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        if (s.value) in.expr = s.value->clone();
+        append(std::move(in));
+        fn_->add_edge(cur_, fn_->exit);
+        // Statements after a return land in a fresh (unreachable) block.
+        cur_ = fn_->add_block();
+        break;
+      }
+      case StmtKind::If:
+        lower_if(s);
+        break;
+      case StmtKind::While:
+        lower_while(s);
+        break;
+      case StmtKind::For:
+        lower_counted_loop(s, /*worksharing=*/false);
+        break;
+      case StmtKind::OmpParallel:
+        lower_region(s, ir::OmpKind::Parallel, /*implicit_barrier=*/false);
+        break;
+      case StmtKind::OmpSingle:
+        lower_region(s, ir::OmpKind::Single, !s.nowait);
+        break;
+      case StmtKind::OmpMaster:
+        lower_region(s, ir::OmpKind::Master, false);
+        break;
+      case StmtKind::OmpCritical:
+        lower_region(s, ir::OmpKind::Critical, false);
+        break;
+      case StmtKind::OmpBarrier: {
+        Instruction in;
+        in.op = Opcode::ExplicitBarrier;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        emit_boundary_block(std::move(in));
+        break;
+      }
+      case StmtKind::OmpSections:
+        lower_sections(s);
+        break;
+      case StmtKind::OmpSection:
+        // Parser only nests these under sections; unreachable here.
+        break;
+      case StmtKind::OmpFor:
+        lower_omp_for(s);
+        break;
+    }
+  }
+
+  void lower_if(const Stmt& s) {
+    Instruction br;
+    br.op = Opcode::CondBr;
+    br.loc = s.loc;
+    br.stmt_id = s.stmt_id;
+    br.expr = s.value->clone();
+    const BlockId cond_block = cur_;
+    append(std::move(br));
+
+    const BlockId then_block = fn_->add_block();
+    fn_->add_edge(cond_block, then_block);
+    cur_ = then_block;
+    lower_body(s.body);
+    const BlockId then_end = cur_;
+
+    BlockId else_end = ir::kNoBlock;
+    BlockId else_block = ir::kNoBlock;
+    if (!s.else_body.empty()) {
+      else_block = fn_->add_block();
+      cur_ = else_block;
+      lower_body(s.else_body);
+      else_end = cur_;
+    }
+
+    const BlockId join = fn_->add_block();
+    auto seal = [&](BlockId end) {
+      cur_ = end;
+      if (!fn_->block(end).has_terminator()) {
+        Instruction j;
+        j.op = Opcode::Br;
+        j.loc = s.loc;
+        j.stmt_id = s.stmt_id;
+        append(std::move(j));
+        fn_->add_edge(end, join);
+      }
+    };
+    seal(then_end);
+    if (else_block != ir::kNoBlock) {
+      fn_->add_edge(cond_block, else_block);
+      seal(else_end);
+    } else {
+      fn_->add_edge(cond_block, join);
+    }
+    cur_ = join;
+  }
+
+  void lower_while(const Stmt& s) {
+    const BlockId header = branch_to_new_block(s.loc, s.stmt_id);
+    Instruction br;
+    br.op = Opcode::CondBr;
+    br.loc = s.loc;
+    br.stmt_id = s.stmt_id;
+    br.expr = s.value->clone();
+    append(std::move(br));
+
+    const BlockId body = fn_->add_block();
+    const BlockId exit = fn_->add_block();
+    fn_->add_edge(header, body);
+    fn_->add_edge(header, exit);
+
+    cur_ = body;
+    lower_body(s.body);
+    if (!fn_->block(cur_).has_terminator()) {
+      Instruction back;
+      back.op = Opcode::Br;
+      back.loc = s.loc;
+      back.stmt_id = s.stmt_id;
+      append(std::move(back));
+      fn_->add_edge(cur_, header);
+    }
+    cur_ = exit;
+  }
+
+  /// for (i = lo to hi) { body }  ==>  i = lo; while (i < hi) { body; i = i + 1; }
+  void lower_counted_loop(const Stmt& s, bool worksharing) {
+    (void)worksharing;
+    Instruction init;
+    init.op = Opcode::Assign;
+    init.loc = s.loc;
+    init.stmt_id = s.stmt_id;
+    init.var = s.name;
+    init.expr = s.lo->clone();
+    append(std::move(init));
+
+    const BlockId header = branch_to_new_block(s.loc, s.stmt_id);
+    Instruction br;
+    br.op = Opcode::CondBr;
+    br.loc = s.loc;
+    br.stmt_id = s.stmt_id;
+    br.expr = ir::Expr::binary(ir::BinaryOp::Lt, ir::Expr::var_ref(s.name, s.loc),
+                               s.hi->clone(), s.loc);
+    append(std::move(br));
+
+    const BlockId body = fn_->add_block();
+    const BlockId exit = fn_->add_block();
+    fn_->add_edge(header, body);
+    fn_->add_edge(header, exit);
+
+    cur_ = body;
+    lower_body(s.body);
+    if (!fn_->block(cur_).has_terminator()) {
+      Instruction step;
+      step.op = Opcode::Assign;
+      step.loc = s.loc;
+      step.stmt_id = s.stmt_id;
+      step.var = s.name;
+      step.expr = ir::Expr::binary(ir::BinaryOp::Add, ir::Expr::var_ref(s.name, s.loc),
+                                   ir::Expr::int_lit(1, s.loc), s.loc);
+      append(std::move(step));
+      Instruction back;
+      back.op = Opcode::Br;
+      back.loc = s.loc;
+      back.stmt_id = s.stmt_id;
+      append(std::move(back));
+      fn_->add_edge(cur_, header);
+    }
+    cur_ = exit;
+  }
+
+  void lower_region(const Stmt& s, ir::OmpKind kind, bool implicit_barrier) {
+    Instruction begin;
+    begin.op = Opcode::OmpBegin;
+    begin.loc = s.loc;
+    begin.stmt_id = s.stmt_id;
+    begin.omp = kind;
+    begin.region_id = s.region_id;
+    begin.nowait = s.nowait;
+    if (s.num_threads) begin.num_threads = s.num_threads->clone();
+    if (s.if_clause) begin.if_clause = s.if_clause->clone();
+    emit_boundary_block(std::move(begin));
+
+    lower_body(s.body);
+
+    Instruction end;
+    end.op = Opcode::OmpEnd;
+    end.loc = s.loc;
+    end.stmt_id = s.stmt_id;
+    end.omp = kind;
+    end.region_id = s.region_id;
+    emit_boundary_block(std::move(end));
+
+    if (implicit_barrier) emit_implicit_barrier(s);
+  }
+
+  void emit_implicit_barrier(const Stmt& s) {
+    Instruction bar;
+    bar.op = Opcode::ImplicitBarrier;
+    bar.loc = s.loc;
+    bar.stmt_id = s.stmt_id;
+    bar.region_id = s.region_id;
+    emit_boundary_block(std::move(bar));
+  }
+
+  void lower_sections(const Stmt& s) {
+    Instruction begin;
+    begin.op = Opcode::OmpBegin;
+    begin.loc = s.loc;
+    begin.stmt_id = s.stmt_id;
+    begin.omp = ir::OmpKind::Sections;
+    begin.region_id = s.region_id;
+    begin.nowait = s.nowait;
+    emit_boundary_block(std::move(begin));
+
+    for (const auto& sec : s.body)
+      lower_region(*sec, ir::OmpKind::Section, /*implicit_barrier=*/false);
+
+    Instruction end;
+    end.op = Opcode::OmpEnd;
+    end.loc = s.loc;
+    end.stmt_id = s.stmt_id;
+    end.omp = ir::OmpKind::Sections;
+    end.region_id = s.region_id;
+    emit_boundary_block(std::move(end));
+
+    if (!s.nowait) emit_implicit_barrier(s);
+  }
+
+  void lower_omp_for(const Stmt& s) {
+    Instruction begin;
+    begin.op = Opcode::OmpBegin;
+    begin.loc = s.loc;
+    begin.stmt_id = s.stmt_id;
+    begin.omp = ir::OmpKind::For;
+    begin.region_id = s.region_id;
+    begin.nowait = s.nowait;
+    emit_boundary_block(std::move(begin));
+
+    lower_counted_loop(s, /*worksharing=*/true);
+
+    Instruction end;
+    end.op = Opcode::OmpEnd;
+    end.loc = s.loc;
+    end.stmt_id = s.stmt_id;
+    end.omp = ir::OmpKind::For;
+    end.region_id = s.region_id;
+    emit_boundary_block(std::move(end));
+
+    if (!s.nowait) emit_implicit_barrier(s);
+  }
+
+  ir::Module& mod_;
+  [[maybe_unused]] DiagnosticEngine& diags_;
+  Function* fn_ = nullptr;
+  BlockId cur_ = ir::kNoBlock;
+};
+
+} // namespace
+
+std::unique_ptr<ir::Module> Lowering::lower(const Program& program,
+                                            DiagnosticEngine& diags) {
+  auto mod = std::make_unique<ir::Module>();
+  Lowerer lw(*mod, diags);
+  for (const auto& f : program.funcs) lw.lower_function(f);
+  return mod;
+}
+
+} // namespace parcoach::frontend

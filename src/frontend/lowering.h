@@ -1,0 +1,30 @@
+// AST -> CFG lowering.
+//
+// Produces the IR shape the paper's analyses expect:
+//   - OpenMP directive boundaries (OmpBegin/OmpEnd) each in their own basic
+//     block;
+//   - implicit barriers as dedicated ImplicitBarrier blocks (after `single`,
+//     `sections` and worksharing `for` unless nowait);
+//   - a unique synthetic exit block per function, targeted by all returns,
+//     so post-dominators are total;
+//   - every IR instruction tagged with the originating AST stmt_id, linking
+//     the instrumentation plan back to executable statements.
+#pragma once
+
+#include "frontend/ast.h"
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+#include <memory>
+
+namespace parcoach::frontend {
+
+class Lowering {
+public:
+  /// Lowers a sema-checked program. Never fails on valid input; the caller
+  /// should run ir::verify() afterwards in debug pipelines.
+  static std::unique_ptr<ir::Module> lower(const Program& program,
+                                           DiagnosticEngine& diags);
+};
+
+} // namespace parcoach::frontend

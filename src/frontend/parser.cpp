@@ -1,0 +1,568 @@
+#include "frontend/parser.h"
+
+#include "frontend/lexer.h"
+#include "support/str.h"
+
+namespace parcoach::frontend {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprPtr;
+
+class ParserImpl {
+public:
+  ParserImpl(std::vector<Token> toks, DiagnosticEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  Program run() {
+    Program p;
+    while (!at(Tok::End) && !fatal_) {
+      if (at(Tok::KwFunc)) {
+        p.funcs.push_back(parse_func());
+      } else {
+        error(cur().loc, str::cat("expected 'func', got '", cur().text, "'"));
+        sync_to_func();
+      }
+    }
+    p.num_stmts = next_stmt_id_;
+    p.num_regions = next_region_id_;
+    return p;
+  }
+
+private:
+  // -- Token helpers ---------------------------------------------------------
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(size_t n = 1) const {
+    return toks_[std::min(pos_ + n, toks_.size() - 1)];
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  Token eat() { return toks_[pos_ == toks_.size() - 1 ? pos_ : pos_++]; }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    eat();
+    return true;
+  }
+  Token expect(Tok k, std::string_view what) {
+    if (at(k)) return eat();
+    error(cur().loc, str::cat("expected ", to_string(k), " (", what, "), got '",
+                              cur().text, "'"));
+    fatal_ = true;
+    return cur();
+  }
+  void error(SourceLoc loc, std::string msg) {
+    diags_.report(Severity::Error, DiagKind::ParseError, loc, std::move(msg));
+  }
+  void sync_to_func() {
+    while (!at(Tok::End) && !at(Tok::KwFunc)) eat();
+  }
+
+  StmtPtr make_stmt(StmtKind kind, SourceLoc loc) {
+    auto s = std::make_unique<Stmt>();
+    s->kind = kind;
+    s->loc = loc;
+    s->stmt_id = next_stmt_id_++;
+    return s;
+  }
+
+  // -- Declarations ----------------------------------------------------------
+  FuncDecl parse_func() {
+    FuncDecl f;
+    f.loc = cur().loc;
+    expect(Tok::KwFunc, "function declaration");
+    const Token name = eat();
+    if (!name.ident_like())
+      error(name.loc, "expected function name");
+    f.name = std::string(name.text);
+    expect(Tok::LParen, "parameter list");
+    if (!at(Tok::RParen)) {
+      do {
+        const Token p = eat();
+        if (!p.ident_like()) {
+          error(p.loc, "expected parameter name");
+          break;
+        }
+        f.params.emplace_back(p.text);
+      } while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "parameter list");
+    f.body = parse_block();
+    return f;
+  }
+
+  std::vector<StmtPtr> parse_block() {
+    std::vector<StmtPtr> body;
+    expect(Tok::LBrace, "block");
+    while (!at(Tok::RBrace) && !at(Tok::End) && !fatal_) {
+      if (auto s = parse_stmt()) body.push_back(std::move(s));
+    }
+    expect(Tok::RBrace, "block");
+    return body;
+  }
+
+  // -- Statements ------------------------------------------------------------
+  StmtPtr parse_stmt() {
+    switch (cur().kind) {
+      case Tok::KwVar: return parse_var_decl();
+      case Tok::KwIf: return parse_if();
+      case Tok::KwWhile: return parse_while();
+      case Tok::KwFor: return parse_for();
+      case Tok::KwReturn: return parse_return();
+      case Tok::KwPrint: return parse_print();
+      case Tok::KwOmp: return parse_omp();
+      case Tok::Ident: return parse_assign_or_call();
+      default:
+        error(cur().loc, str::cat("unexpected token '", cur().text, "'"));
+        fatal_ = true;
+        return nullptr;
+    }
+  }
+
+  StmtPtr parse_var_decl() {
+    auto s = make_stmt(StmtKind::VarDecl, cur().loc);
+    expect(Tok::KwVar, "variable declaration");
+    const Token name = eat();
+    if (!name.ident_like()) error(name.loc, "expected variable name");
+    s->name = std::string(name.text);
+    expect(Tok::Assign, "initializer");
+    // `var x = f(...)` / `var x = mpi_xxx(...)` become call statements with
+    // a declared target; sema records the declaration.
+    if (is_call_start()) {
+      StmtPtr call = parse_call_stmt(std::string(name.text), /*declares=*/true);
+      call->loc = s->loc;
+      expect(Tok::Semi, "statement end");
+      return call;
+    }
+    s->value = parse_expr();
+    expect(Tok::Semi, "statement end");
+    return s;
+  }
+
+  bool is_call_start() const {
+    return cur().ident_like() && peek().kind == Tok::LParen &&
+           !is_builtin_name(cur().text);
+  }
+
+  static bool is_builtin_name(std::string_view name) {
+    return name == "rank" || name == "size" || name == "omp_thread_num" ||
+           name == "omp_num_threads";
+  }
+
+  StmtPtr parse_assign_or_call() {
+    const Token first = cur();
+    if (peek().kind == Tok::LParen) {
+      // Bare call statement.
+      StmtPtr s = parse_call_stmt("", false);
+      expect(Tok::Semi, "statement end");
+      return s;
+    }
+    // Assignment.
+    eat(); // name
+    auto s = make_stmt(StmtKind::Assign, first.loc);
+    s->name = std::string(first.text);
+    expect(Tok::Assign, "assignment");
+    if (is_call_start()) {
+      StmtPtr call = parse_call_stmt(std::string(first.text), /*declares=*/false);
+      call->loc = first.loc;
+      expect(Tok::Semi, "statement end");
+      return call;
+    }
+    s->value = parse_expr();
+    expect(Tok::Semi, "statement end");
+    return s;
+  }
+
+  /// Parses NAME '(' args ')' where NAME may be an mpi_* spelling or a user
+  /// function. `target` is the assignment destination ("" for none).
+  StmtPtr parse_call_stmt(std::string target, bool declares) {
+    const Token name = eat();
+    const std::string callee(name.text);
+    if (callee == "mpi_init") return parse_mpi_init(name.loc, target, declares);
+    if (callee == "mpi_send" || callee == "mpi_recv")
+      return parse_mpi_p2p(callee == "mpi_send", name.loc, std::move(target),
+                           declares);
+    if (auto kind = ir::collective_from_name(callee))
+      return parse_mpi_collective(*kind, name.loc, std::move(target), declares);
+
+    auto s = make_stmt(StmtKind::CallStmt, name.loc);
+    s->callee = callee;
+    s->name = std::move(target);
+    s->is_mpi_init = false;
+    if (declares) s->declares_target = true;
+    expect(Tok::LParen, "call");
+    if (!at(Tok::RParen)) {
+      do s->args.push_back(parse_expr());
+      while (accept(Tok::Comma));
+    }
+    expect(Tok::RParen, "call");
+    return s;
+  }
+
+  /// mpi_send(value, dest, tag);   NAME = mpi_recv(source, tag);
+  StmtPtr parse_mpi_p2p(bool is_send, SourceLoc loc, std::string target,
+                        bool declares) {
+    auto s = make_stmt(is_send ? StmtKind::MpiSend : StmtKind::MpiRecv, loc);
+    if (is_send && !target.empty())
+      error(loc, "mpi_send does not produce a value");
+    if (!is_send && target.empty())
+      error(loc, "mpi_recv must be assigned to a variable");
+    s->name = std::move(target);
+    if (declares) s->declares_target = true;
+    expect(Tok::LParen, "point-to-point call");
+    if (is_send) {
+      s->mpi_value = parse_expr();
+      expect(Tok::Comma, "destination rank");
+    }
+    s->mpi_root = parse_expr(); // dest (send) / source (recv)
+    expect(Tok::Comma, "message tag");
+    s->hi = parse_expr(); // tag
+    expect(Tok::RParen, "point-to-point call");
+    return s;
+  }
+
+  StmtPtr parse_mpi_init(SourceLoc loc, const std::string& target, bool declares) {
+    if (!target.empty())
+      error(loc, "mpi_init does not produce a value");
+    (void)declares;
+    auto s = make_stmt(StmtKind::MpiCall, loc);
+    s->is_mpi_init = true;
+    expect(Tok::LParen, "mpi_init");
+    const Token lv = eat();
+    if (auto level = ir::thread_level_from_name(lv.text)) {
+      s->init_level = *level;
+    } else {
+      error(lv.loc, str::cat("unknown thread level '", lv.text,
+                             "' (want single|funneled|serialized|multiple)"));
+    }
+    expect(Tok::RParen, "mpi_init");
+    return s;
+  }
+
+  StmtPtr parse_mpi_collective(ir::CollectiveKind kind, SourceLoc loc,
+                               std::string target, bool declares) {
+    auto s = make_stmt(StmtKind::MpiCall, loc);
+    s->coll = kind;
+    s->name = std::move(target);
+    if (declares) s->declares_target = true;
+    expect(Tok::LParen, "collective call");
+    if (ir::produces_value(kind)) {
+      s->mpi_value = parse_expr();
+      if (ir::has_reduce_op(kind)) {
+        expect(Tok::Comma, "reduction operator");
+        const Token op = eat();
+        if (auto r = ir::reduce_op_from_name(op.text))
+          s->reduce_op = *r;
+        else
+          error(op.loc, str::cat("unknown reduction op '", op.text, "'"));
+      }
+      if (ir::has_root(kind)) {
+        expect(Tok::Comma, "root rank");
+        s->mpi_root = parse_expr();
+      }
+    } else if (!s->name.empty()) {
+      error(loc, str::cat(ir::to_string(kind), " does not produce a value"));
+    }
+    expect(Tok::RParen, "collective call");
+    return s;
+  }
+
+  StmtPtr parse_if() {
+    auto s = make_stmt(StmtKind::If, cur().loc);
+    expect(Tok::KwIf, "if");
+    expect(Tok::LParen, "condition");
+    s->value = parse_expr();
+    expect(Tok::RParen, "condition");
+    s->body = parse_block();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        s->else_body.push_back(parse_if());
+      } else {
+        s->else_body = parse_block();
+      }
+    }
+    return s;
+  }
+
+  StmtPtr parse_while() {
+    auto s = make_stmt(StmtKind::While, cur().loc);
+    expect(Tok::KwWhile, "while");
+    expect(Tok::LParen, "condition");
+    s->value = parse_expr();
+    expect(Tok::RParen, "condition");
+    s->body = parse_block();
+    return s;
+  }
+
+  StmtPtr parse_for() {
+    auto s = make_stmt(StmtKind::For, cur().loc);
+    expect(Tok::KwFor, "for");
+    expect(Tok::LParen, "loop header");
+    const Token name = eat();
+    if (!name.ident_like()) error(name.loc, "expected loop variable");
+    s->name = std::string(name.text);
+    expect(Tok::Assign, "loop header");
+    s->lo = parse_expr();
+    expect(Tok::KwTo, "loop bound");
+    s->hi = parse_expr();
+    expect(Tok::RParen, "loop header");
+    s->body = parse_block();
+    return s;
+  }
+
+  StmtPtr parse_return() {
+    auto s = make_stmt(StmtKind::Return, cur().loc);
+    expect(Tok::KwReturn, "return");
+    if (!at(Tok::Semi)) s->value = parse_expr();
+    expect(Tok::Semi, "statement end");
+    return s;
+  }
+
+  StmtPtr parse_print() {
+    auto s = make_stmt(StmtKind::Print, cur().loc);
+    expect(Tok::KwPrint, "print");
+    expect(Tok::LParen, "print");
+    do s->args.push_back(parse_expr());
+    while (accept(Tok::Comma));
+    expect(Tok::RParen, "print");
+    expect(Tok::Semi, "statement end");
+    return s;
+  }
+
+  // -- OpenMP constructs -----------------------------------------------------
+  StmtPtr parse_omp() {
+    const SourceLoc loc = cur().loc;
+    expect(Tok::KwOmp, "omp directive");
+    switch (cur().kind) {
+      case Tok::KwParallel: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpParallel, loc);
+        s->region_id = next_region_id_++;
+        // Clauses in any order.
+        for (;;) {
+          if (at(Tok::KwNumThreads)) {
+            eat();
+            expect(Tok::LParen, "num_threads clause");
+            s->num_threads = parse_expr();
+            expect(Tok::RParen, "num_threads clause");
+          } else if (at(Tok::KwIf)) {
+            eat();
+            expect(Tok::LParen, "if clause");
+            s->if_clause = parse_expr();
+            expect(Tok::RParen, "if clause");
+          } else {
+            break;
+          }
+        }
+        s->body = parse_block();
+        return s;
+      }
+      case Tok::KwSingle: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpSingle, loc);
+        s->region_id = next_region_id_++;
+        s->nowait = accept(Tok::KwNowait);
+        s->body = parse_block();
+        return s;
+      }
+      case Tok::KwMaster: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpMaster, loc);
+        s->region_id = next_region_id_++;
+        s->body = parse_block();
+        return s;
+      }
+      case Tok::KwCritical: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpCritical, loc);
+        s->region_id = next_region_id_++;
+        s->body = parse_block();
+        return s;
+      }
+      case Tok::KwBarrier: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpBarrier, loc);
+        expect(Tok::Semi, "barrier");
+        return s;
+      }
+      case Tok::KwSections: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpSections, loc);
+        s->region_id = next_region_id_++;
+        s->nowait = accept(Tok::KwNowait);
+        expect(Tok::LBrace, "sections");
+        while (at(Tok::KwOmp) && peek().kind == Tok::KwSection) {
+          const SourceLoc sloc = cur().loc;
+          eat(); // omp
+          eat(); // section
+          auto sec = make_stmt(StmtKind::OmpSection, sloc);
+          sec->region_id = next_region_id_++;
+          sec->body = parse_block();
+          s->body.push_back(std::move(sec));
+        }
+        expect(Tok::RBrace, "sections");
+        if (s->body.empty())
+          error(loc, "omp sections requires at least one omp section");
+        return s;
+      }
+      case Tok::KwFor: {
+        eat();
+        auto s = make_stmt(StmtKind::OmpFor, loc);
+        s->region_id = next_region_id_++;
+        s->nowait = accept(Tok::KwNowait);
+        expect(Tok::LParen, "loop header");
+        const Token name = eat();
+        if (!name.ident_like()) error(name.loc, "expected loop variable");
+        s->name = std::string(name.text);
+        expect(Tok::Assign, "loop header");
+        s->lo = parse_expr();
+        expect(Tok::KwTo, "loop bound");
+        s->hi = parse_expr();
+        expect(Tok::RParen, "loop header");
+        s->body = parse_block();
+        return s;
+      }
+      default:
+        error(cur().loc, str::cat("unknown omp directive '", cur().text, "'"));
+        fatal_ = true;
+        return nullptr;
+    }
+  }
+
+  // -- Expressions (precedence climbing) --------------------------------------
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr lhs = parse_and();
+    while (at(Tok::OrOr)) {
+      const SourceLoc loc = eat().loc;
+      lhs = Expr::binary(ir::BinaryOp::Or, std::move(lhs), parse_and(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr lhs = parse_cmp();
+    while (at(Tok::AndAnd)) {
+      const SourceLoc loc = eat().loc;
+      lhs = Expr::binary(ir::BinaryOp::And, std::move(lhs), parse_cmp(), loc);
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_cmp() {
+    ExprPtr lhs = parse_add();
+    for (;;) {
+      ir::BinaryOp op;
+      switch (cur().kind) {
+        case Tok::Lt: op = ir::BinaryOp::Lt; break;
+        case Tok::Le: op = ir::BinaryOp::Le; break;
+        case Tok::Gt: op = ir::BinaryOp::Gt; break;
+        case Tok::Ge: op = ir::BinaryOp::Ge; break;
+        case Tok::EqEq: op = ir::BinaryOp::Eq; break;
+        case Tok::Ne: op = ir::BinaryOp::Ne; break;
+        default: return lhs;
+      }
+      const SourceLoc loc = eat().loc;
+      lhs = Expr::binary(op, std::move(lhs), parse_add(), loc);
+    }
+  }
+
+  ExprPtr parse_add() {
+    ExprPtr lhs = parse_mul();
+    for (;;) {
+      ir::BinaryOp op;
+      if (at(Tok::Plus)) op = ir::BinaryOp::Add;
+      else if (at(Tok::Minus)) op = ir::BinaryOp::Sub;
+      else return lhs;
+      const SourceLoc loc = eat().loc;
+      lhs = Expr::binary(op, std::move(lhs), parse_mul(), loc);
+    }
+  }
+
+  ExprPtr parse_mul() {
+    ExprPtr lhs = parse_unary();
+    for (;;) {
+      ir::BinaryOp op;
+      if (at(Tok::Star)) op = ir::BinaryOp::Mul;
+      else if (at(Tok::Slash)) op = ir::BinaryOp::Div;
+      else if (at(Tok::Percent)) op = ir::BinaryOp::Mod;
+      else return lhs;
+      const SourceLoc loc = eat().loc;
+      lhs = Expr::binary(op, std::move(lhs), parse_unary(), loc);
+    }
+  }
+
+  ExprPtr parse_unary() {
+    if (at(Tok::Minus)) {
+      const SourceLoc loc = eat().loc;
+      return Expr::unary(ir::UnaryOp::Neg, parse_unary(), loc);
+    }
+    if (at(Tok::Not)) {
+      const SourceLoc loc = eat().loc;
+      return Expr::unary(ir::UnaryOp::Not, parse_unary(), loc);
+    }
+    return parse_primary();
+  }
+
+  ExprPtr parse_primary() {
+    const Token t = cur();
+    if (t.kind == Tok::Int) {
+      eat();
+      return Expr::int_lit(t.int_val, t.loc);
+    }
+    if (t.kind == Tok::LParen) {
+      eat();
+      ExprPtr e = parse_expr();
+      expect(Tok::RParen, "parenthesized expression");
+      return e;
+    }
+    if (t.ident_like()) {
+      if (is_builtin_name(t.text) && peek().kind == Tok::LParen) {
+        eat();
+        expect(Tok::LParen, "builtin call");
+        expect(Tok::RParen, "builtin call");
+        ir::Builtin b = ir::Builtin::Rank;
+        if (t.text == "size") b = ir::Builtin::Size;
+        else if (t.text == "omp_thread_num") b = ir::Builtin::OmpThreadNum;
+        else if (t.text == "omp_num_threads") b = ir::Builtin::OmpNumThreads;
+        return Expr::builtin_call(b, t.loc);
+      }
+      if (peek().kind == Tok::LParen) {
+        error(t.loc, str::cat("call to '", t.text,
+                              "' cannot appear inside an expression; assign "
+                              "its result to a variable first"));
+        fatal_ = true;
+        return Expr::int_lit(0, t.loc);
+      }
+      eat();
+      return Expr::var_ref(std::string(t.text), t.loc);
+    }
+    error(t.loc, str::cat("expected expression, got '", t.text, "'"));
+    fatal_ = true;
+    if (!at(Tok::End)) eat();
+    return Expr::int_lit(0, t.loc);
+  }
+
+  std::vector<Token> toks_;
+  DiagnosticEngine& diags_;
+  size_t pos_ = 0;
+  bool fatal_ = false;
+  int32_t next_stmt_id_ = 0;
+  int32_t next_region_id_ = 0;
+};
+
+} // namespace
+
+Program Parser::parse(const SourceManager& sm, int32_t file_id,
+                      DiagnosticEngine& diags) {
+  ParserImpl impl(Lexer::lex(sm, file_id, diags), diags);
+  return impl.run();
+}
+
+Program Parser::parse_source(SourceManager& sm, std::string name,
+                             std::string source, DiagnosticEngine& diags) {
+  const int32_t id = sm.add_buffer(std::move(name), std::move(source));
+  return parse(sm, id, diags);
+}
+
+} // namespace parcoach::frontend

@@ -1,0 +1,246 @@
+#include "frontend/sema.h"
+
+#include "support/str.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace parcoach::frontend {
+
+namespace {
+
+/// Lexical OpenMP context used for closely-nested legality checks.
+enum class OmpCtx : uint8_t { None, Parallel, Single, Master, Critical, Section, For };
+
+bool forbids_worksharing(OmpCtx c) {
+  return c == OmpCtx::Single || c == OmpCtx::Master || c == OmpCtx::Critical ||
+         c == OmpCtx::Section || c == OmpCtx::For;
+}
+
+class SemaImpl {
+public:
+  SemaImpl(const Program& p, DiagnosticEngine& diags) : p_(p), diags_(diags) {}
+
+  SemaResult run() {
+    collect_functions();
+    for (const auto& f : p_.funcs) check_function(f);
+    SemaResult r;
+    r.ok = !diags_.has_errors();
+    r.requested_thread_level = level_;
+    r.has_mpi_init = saw_init_;
+    r.has_mpi_finalize = saw_finalize_;
+    return r;
+  }
+
+private:
+  void error(SourceLoc loc, std::string msg) {
+    diags_.report(Severity::Error, DiagKind::SemaError, loc, std::move(msg));
+  }
+  void warn(SourceLoc loc, std::string msg) {
+    diags_.report(Severity::Warning, DiagKind::SemaError, loc, std::move(msg));
+  }
+
+  void collect_functions() {
+    for (const auto& f : p_.funcs) {
+      if (!arity_.emplace(f.name, f.params.size()).second)
+        error(f.loc, str::cat("duplicate function '", f.name, "'"));
+      std::unordered_set<std::string> seen;
+      for (const auto& prm : f.params)
+        if (!seen.insert(prm).second)
+          error(f.loc, str::cat("duplicate parameter '", prm, "' in '", f.name, "'"));
+    }
+  }
+
+  // -- Scopes ---------------------------------------------------------------
+  void push_scope() { scopes_.emplace_back(); }
+  void pop_scope() { scopes_.pop_back(); }
+  void declare(SourceLoc loc, const std::string& name) {
+    if (scopes_.back().count(name)) {
+      error(loc, str::cat("redeclaration of '", name, "' in the same scope"));
+      return;
+    }
+    scopes_.back().insert(name);
+  }
+  bool is_declared(const std::string& name) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
+      if (it->count(name)) return true;
+    return false;
+  }
+
+  void check_expr(const ir::Expr& e) {
+    e.walk([&](const ir::Expr& n) {
+      if (n.kind == ir::Expr::Kind::VarRef && !is_declared(n.var))
+        error(n.loc, str::cat("use of undeclared variable '", n.var, "'"));
+    });
+  }
+
+  // -- Statements -------------------------------------------------------------
+  void check_function(const FuncDecl& f) {
+    scopes_.clear();
+    push_scope();
+    for (const auto& prm : f.params) scopes_.back().insert(prm);
+    check_body(f.body, OmpCtx::None, /*omp_depth=*/0);
+    pop_scope();
+  }
+
+  void check_body(const std::vector<StmtPtr>& body, OmpCtx ctx, int omp_depth) {
+    push_scope();
+    for (const auto& s : body) check_stmt(*s, ctx, omp_depth);
+    pop_scope();
+  }
+
+  void check_stmt(const Stmt& s, OmpCtx ctx, int omp_depth) {
+    switch (s.kind) {
+      case StmtKind::VarDecl:
+        check_expr(*s.value);
+        declare(s.loc, s.name);
+        break;
+      case StmtKind::Assign:
+        check_expr(*s.value);
+        if (!is_declared(s.name))
+          error(s.loc, str::cat("assignment to undeclared variable '", s.name, "'"));
+        break;
+      case StmtKind::If:
+        check_expr(*s.value);
+        check_body(s.body, ctx, omp_depth);
+        check_body(s.else_body, ctx, omp_depth);
+        break;
+      case StmtKind::While:
+        check_expr(*s.value);
+        check_body(s.body, ctx, omp_depth);
+        break;
+      case StmtKind::For: {
+        check_expr(*s.lo);
+        check_expr(*s.hi);
+        push_scope();
+        declare(s.loc, s.name);
+        for (const auto& c : s.body) check_stmt(*c, ctx, omp_depth);
+        pop_scope();
+        break;
+      }
+      case StmtKind::Return:
+        if (s.value) check_expr(*s.value);
+        if (omp_depth > 0)
+          error(s.loc, "return may not branch out of an OpenMP structured block");
+        break;
+      case StmtKind::Print:
+        for (const auto& a : s.args) check_expr(*a);
+        break;
+      case StmtKind::CallStmt: {
+        for (const auto& a : s.args) check_expr(*a);
+        auto it = arity_.find(s.callee);
+        if (it == arity_.end()) {
+          error(s.loc, str::cat("call to undefined function '", s.callee, "'"));
+        } else if (it->second != s.args.size()) {
+          error(s.loc, str::cat("'", s.callee, "' expects ", it->second,
+                                " arguments, got ", s.args.size()));
+        }
+        handle_target(s);
+        break;
+      }
+      case StmtKind::MpiSend:
+        check_expr(*s.mpi_value);
+        check_expr(*s.mpi_root);
+        check_expr(*s.hi);
+        break;
+      case StmtKind::MpiRecv:
+        check_expr(*s.mpi_root);
+        check_expr(*s.hi);
+        handle_target(s);
+        break;
+      case StmtKind::MpiCall:
+        if (s.is_mpi_init) {
+          if (saw_init_) warn(s.loc, "mpi_init called more than once");
+          saw_init_ = true;
+          level_ = s.init_level;
+        } else {
+          if (s.coll == ir::CollectiveKind::Finalize) saw_finalize_ = true;
+          if (s.mpi_value) check_expr(*s.mpi_value);
+          if (s.mpi_root) check_expr(*s.mpi_root);
+        }
+        handle_target(s);
+        break;
+      case StmtKind::OmpParallel:
+        if (s.num_threads) check_expr(*s.num_threads);
+        if (s.if_clause) check_expr(*s.if_clause);
+        // parallel resets the closely-nested context: constructs inside bind
+        // to the new team.
+        check_body(s.body, OmpCtx::Parallel, omp_depth + 1);
+        break;
+      case StmtKind::OmpSingle:
+        check_worksharing_nesting(s, ctx, "single");
+        check_body(s.body, OmpCtx::Single, omp_depth + 1);
+        break;
+      case StmtKind::OmpMaster:
+        // master is not a worksharing construct; legal anywhere except that
+        // we still flag it inside worksharing for symmetry with real
+        // compilers' warnings? No: keep silent, per spec it is legal.
+        check_body(s.body, OmpCtx::Master, omp_depth + 1);
+        break;
+      case StmtKind::OmpCritical:
+        if (ctx == OmpCtx::Critical)
+          error(s.loc, "critical region may not be closely nested inside a "
+                       "critical region (self-deadlock)");
+        check_body(s.body, OmpCtx::Critical, omp_depth + 1);
+        break;
+      case StmtKind::OmpBarrier:
+        if (ctx != OmpCtx::None && ctx != OmpCtx::Parallel)
+          error(s.loc, "barrier may not be closely nested inside a "
+                       "worksharing, single, master or critical region");
+        break;
+      case StmtKind::OmpSections:
+        check_worksharing_nesting(s, ctx, "sections");
+        for (const auto& sec : s.body) {
+          // Parser guarantees children are OmpSection.
+          check_body(sec->body, OmpCtx::Section, omp_depth + 2);
+        }
+        break;
+      case StmtKind::OmpSection:
+        error(s.loc, "omp section outside of omp sections");
+        break;
+      case StmtKind::OmpFor: {
+        check_worksharing_nesting(s, ctx, "for");
+        check_expr(*s.lo);
+        check_expr(*s.hi);
+        push_scope();
+        declare(s.loc, s.name);
+        for (const auto& c : s.body) check_stmt(*c, OmpCtx::For, omp_depth + 1);
+        pop_scope();
+        break;
+      }
+    }
+  }
+
+  void check_worksharing_nesting(const Stmt& s, OmpCtx ctx, std::string_view what) {
+    if (forbids_worksharing(ctx))
+      error(s.loc, str::cat("worksharing construct '", what,
+                            "' may not be closely nested inside a "
+                            "worksharing, single, master, critical or "
+                            "section region"));
+  }
+
+  void handle_target(const Stmt& s) {
+    if (s.name.empty()) return;
+    if (s.declares_target) {
+      declare(s.loc, s.name);
+    } else if (!is_declared(s.name)) {
+      error(s.loc, str::cat("assignment to undeclared variable '", s.name, "'"));
+    }
+  }
+
+  const Program& p_;
+  DiagnosticEngine& diags_;
+  std::unordered_map<std::string, size_t> arity_;
+  std::vector<std::unordered_set<std::string>> scopes_;
+  std::optional<ir::ThreadLevel> level_;
+  bool saw_init_ = false;
+  bool saw_finalize_ = false;
+};
+
+} // namespace
+
+SemaResult Sema::analyze(const Program& program, DiagnosticEngine& diags) {
+  return SemaImpl(program, diags).run();
+}
+
+} // namespace parcoach::frontend

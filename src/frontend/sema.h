@@ -1,0 +1,35 @@
+// Semantic analysis for MiniHPC.
+//
+// Checks name/scope rules, call arities, and the OpenMP nesting legality
+// rules that the lowering and the parallelism-word analysis rely on:
+//   - `omp barrier` may not be closely nested inside single / master /
+//     critical / section / worksharing regions;
+//   - worksharing constructs (single, sections, for) may not be closely
+//     nested inside another worksharing, single, master, critical or
+//     section region of the same team (no intervening parallel);
+//   - `critical` may not be closely nested inside `critical` (self-deadlock);
+//   - `return` may not branch out of an OpenMP structured block.
+#pragma once
+
+#include "frontend/ast.h"
+#include "support/diagnostics.h"
+
+#include <optional>
+
+namespace parcoach::frontend {
+
+struct SemaResult {
+  bool ok = false;
+  /// Thread level requested by mpi_init, if the program contains one.
+  std::optional<ir::ThreadLevel> requested_thread_level;
+  bool has_mpi_init = false;
+  bool has_mpi_finalize = false;
+};
+
+class Sema {
+public:
+  /// Analyzes the program; reports errors/warnings to `diags`.
+  static SemaResult analyze(const Program& program, DiagnosticEngine& diags);
+};
+
+} // namespace parcoach::frontend

@@ -1,0 +1,46 @@
+// Tokens of the MiniHPC language.
+//
+// Only structural words are reserved; MPI call names, builtins, reduction
+// operators and thread levels are ordinary identifiers resolved contextually
+// by the parser, which keeps the keyword set small and the language easy to
+// extend with new collectives.
+#pragma once
+
+#include "support/source_location.h"
+
+#include <cstdint>
+#include <string_view>
+
+namespace parcoach::frontend {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,
+  Int,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, Comma, Semi,
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne, Not, AndAnd, OrOr,
+  Assign,
+  // Keywords.
+  KwFunc, KwVar, KwIf, KwElse, KwWhile, KwFor, KwTo, KwReturn, KwPrint,
+  KwOmp, KwParallel, KwSingle, KwMaster, KwCritical, KwBarrier,
+  KwSections, KwSection, KwNowait, KwNumThreads,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string_view text;
+  int64_t int_val = 0;
+  SourceLoc loc;
+
+  /// True for identifiers and keywords (contextual names like "single" in
+  /// mpi_init(single) arrive as keyword tokens but are used as names).
+  [[nodiscard]] bool ident_like() const noexcept {
+    return kind == Tok::Ident || kind >= Tok::KwFunc;
+  }
+};
+
+[[nodiscard]] std::string_view to_string(Tok t) noexcept;
+
+} // namespace parcoach::frontend

@@ -1,0 +1,438 @@
+#include "interp/executor.h"
+
+#include "miniomp/team.h"
+#include "support/str.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <unordered_map>
+
+namespace parcoach::interp {
+
+namespace {
+
+using frontend::Stmt;
+using frontend::StmtKind;
+using ir::Expr;
+
+/// Runtime fault in user code (division by zero, missing main, step limit).
+class EvalError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Variable cell. Atomic so user-level data races (shared variables written
+/// from several OpenMP threads) are C++-defined; ordering is relaxed — the
+/// validator checks collective placement, not user data determinism.
+struct Cell {
+  std::atomic<int64_t> v{0};
+};
+
+/// Lexical scope chain. Scopes are created per block / function call / team
+/// thread; lookups walk outward. Cells live in a deque for address
+/// stability; inner scopes of parallel bodies are thread-private while outer
+/// scopes are shared by the team (OpenMP shared-by-default).
+class Env {
+public:
+  explicit Env(Env* parent = nullptr) : parent_(parent) {}
+
+  Cell* declare(const std::string& name) {
+    cells_.emplace_back();
+    vars_[name] = &cells_.back();
+    return &cells_.back();
+  }
+
+  Cell* lookup(const std::string& name) {
+    for (Env* e = this; e; e = e->parent_) {
+      auto it = e->vars_.find(name);
+      if (it != e->vars_.end()) return it->second;
+    }
+    return nullptr;
+  }
+
+private:
+  Env* parent_;
+  std::unordered_map<std::string, Cell*> vars_;
+  std::deque<Cell> cells_;
+};
+
+struct SharedState {
+  const frontend::Program* program = nullptr;
+  const SourceManager* sm = nullptr;
+  const core::InstrumentationPlan* plan = nullptr;
+  rt::Verifier* verifier = nullptr;
+  std::atomic<uint64_t> steps{0};
+  uint64_t max_steps = 0;
+  std::mutex output_mu;
+  std::vector<std::string> output;
+};
+
+/// Per-thread execution state within one rank.
+struct ThreadState {
+  miniomp::ThreadContext* omp = nullptr;
+  /// Worksharing-construct counter; identical across team threads in
+  /// conforming programs, used as the construct-instance id.
+  uint64_t construct_counter = 0;
+};
+
+/// True iff the executing thread is thread 0 of every enclosing team — the
+/// process main thread, which is what MPI_THREAD_FUNNELED permits.
+bool is_master_chain(const miniomp::ThreadContext* ctx) {
+  for (const miniomp::ThreadContext* c = ctx; c; c = c->parent)
+    if (c->thread_num != 0) return false;
+  return true;
+}
+
+class RankExec {
+public:
+  RankExec(SharedState& shared, simmpi::Rank& rank)
+      : shared_(shared), rank_(rank) {}
+
+  void run_main() {
+    const frontend::FuncDecl* main_fn = shared_.program->find("main");
+    if (!main_fn) throw EvalError("program has no main()");
+    miniomp::ProcessDomain domain; // per-rank process-wide OpenMP state
+    miniomp::ThreadContext root;   // serial context (no team)
+    root.domain = &domain;
+    ThreadState ts;
+    ts.omp = &root;
+    call_function(*main_fn, {}, ts);
+    if (shared_.plan && shared_.plan->cc_final_in_main)
+      shared_.verifier->check_cc_final(rank_, main_fn->loc);
+  }
+
+private:
+  // ---- Expressions ----------------------------------------------------------
+  int64_t eval(const Expr& e, Env& env, ThreadState& ts) {
+    bump_step();
+    switch (e.kind) {
+      case Expr::Kind::IntLit:
+        return e.int_val;
+      case Expr::Kind::VarRef: {
+        Cell* c = env.lookup(e.var);
+        if (!c) throw EvalError(str::cat("undefined variable '", e.var, "'"));
+        return c->v.load(std::memory_order_relaxed);
+      }
+      case Expr::Kind::Unary: {
+        const int64_t v = eval(*e.kids[0], env, ts);
+        return e.un_op == ir::UnaryOp::Neg ? -v : (v == 0 ? 1 : 0);
+      }
+      case Expr::Kind::Binary: {
+        // Short-circuit for && / ||.
+        if (e.bin_op == ir::BinaryOp::And)
+          return eval(*e.kids[0], env, ts) != 0 && eval(*e.kids[1], env, ts) != 0;
+        if (e.bin_op == ir::BinaryOp::Or)
+          return eval(*e.kids[0], env, ts) != 0 || eval(*e.kids[1], env, ts) != 0;
+        const int64_t a = eval(*e.kids[0], env, ts);
+        const int64_t b = eval(*e.kids[1], env, ts);
+        switch (e.bin_op) {
+          case ir::BinaryOp::Add: return a + b;
+          case ir::BinaryOp::Sub: return a - b;
+          case ir::BinaryOp::Mul: return a * b;
+          case ir::BinaryOp::Div:
+            if (b == 0) throw EvalError("division by zero");
+            return a / b;
+          case ir::BinaryOp::Mod:
+            if (b == 0) throw EvalError("modulo by zero");
+            return a % b;
+          case ir::BinaryOp::Lt: return a < b;
+          case ir::BinaryOp::Le: return a <= b;
+          case ir::BinaryOp::Gt: return a > b;
+          case ir::BinaryOp::Ge: return a >= b;
+          case ir::BinaryOp::Eq: return a == b;
+          case ir::BinaryOp::Ne: return a != b;
+          default: return 0;
+        }
+      }
+      case Expr::Kind::BuiltinCall:
+        switch (e.builtin) {
+          case ir::Builtin::Rank: return rank_.rank();
+          case ir::Builtin::Size: return rank_.size();
+          case ir::Builtin::OmpThreadNum: return ts.omp->thread_num;
+          case ir::Builtin::OmpNumThreads: return ts.omp->team_size();
+        }
+        return 0;
+    }
+    return 0;
+  }
+
+  void bump_step() {
+    if (shared_.steps.fetch_add(1, std::memory_order_relaxed) >
+        shared_.max_steps) {
+      rank_.abort("interpreter step limit exceeded (runaway program?)");
+      throw simmpi::AbortedError("step limit exceeded");
+    }
+  }
+
+  // ---- Statements -----------------------------------------------------------
+  /// Returns the function's return value when a `return` executed.
+  std::optional<int64_t> exec_block(const std::vector<frontend::StmtPtr>& body,
+                                    Env& env, ThreadState& ts) {
+    Env scope(&env);
+    for (const auto& s : body) {
+      if (auto ret = exec_stmt(*s, scope, ts)) return ret;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<int64_t> exec_stmt(const Stmt& s, Env& env, ThreadState& ts) {
+    bump_step();
+    switch (s.kind) {
+      case StmtKind::VarDecl: {
+        Cell* c = env.declare(s.name);
+        c->v.store(eval(*s.value, env, ts), std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      case StmtKind::Assign: {
+        Cell* c = env.lookup(s.name);
+        if (!c) throw EvalError(str::cat("undefined variable '", s.name, "'"));
+        c->v.store(eval(*s.value, env, ts), std::memory_order_relaxed);
+        return std::nullopt;
+      }
+      case StmtKind::If:
+        if (eval(*s.value, env, ts) != 0) return exec_block(s.body, env, ts);
+        return exec_block(s.else_body, env, ts);
+      case StmtKind::While:
+        while (eval(*s.value, env, ts) != 0) {
+          if (auto r = exec_block(s.body, env, ts)) return r;
+        }
+        return std::nullopt;
+      case StmtKind::For: {
+        Env scope(&env);
+        Cell* iv = scope.declare(s.name);
+        const int64_t hi = eval(*s.hi, env, ts);
+        for (int64_t i = eval(*s.lo, env, ts); i < hi; ++i) {
+          iv->v.store(i, std::memory_order_relaxed);
+          if (auto r = exec_block(s.body, scope, ts)) return r;
+        }
+        return std::nullopt;
+      }
+      case StmtKind::Return:
+        return s.value ? eval(*s.value, env, ts) : 0;
+      case StmtKind::Print: {
+        std::string line = str::cat("rank ", rank_.rank(), ":");
+        for (const auto& a : s.args) line += str::cat(" ", eval(*a, env, ts));
+        std::scoped_lock lk(shared_.output_mu);
+        shared_.output.push_back(std::move(line));
+        return std::nullopt;
+      }
+      case StmtKind::CallStmt: {
+        const frontend::FuncDecl* callee = shared_.program->find(s.callee);
+        if (!callee) throw EvalError(str::cat("undefined function '", s.callee, "'"));
+        std::vector<int64_t> args;
+        args.reserve(s.args.size());
+        for (const auto& a : s.args) args.push_back(eval(*a, env, ts));
+        const int64_t ret = call_function(*callee, args, ts);
+        store_target(s, ret, env, ts);
+        return std::nullopt;
+      }
+      case StmtKind::MpiCall:
+        exec_mpi(s, env, ts);
+        return std::nullopt;
+      case StmtKind::MpiSend: {
+        const int64_t value = eval(*s.mpi_value, env, ts);
+        const int32_t dest = static_cast<int32_t>(eval(*s.mpi_root, env, ts));
+        const int32_t tag = static_cast<int32_t>(eval(*s.hi, env, ts));
+        rank_.send(value, dest, tag);
+        return std::nullopt;
+      }
+      case StmtKind::MpiRecv: {
+        const int32_t src = static_cast<int32_t>(eval(*s.mpi_root, env, ts));
+        const int32_t tag = static_cast<int32_t>(eval(*s.hi, env, ts));
+        store_target(s, rank_.recv(src, tag), env, ts);
+        return std::nullopt;
+      }
+      case StmtKind::OmpParallel:
+        exec_parallel(s, env, ts);
+        return std::nullopt;
+      case StmtKind::OmpSingle: {
+        const uint64_t cid = ts.construct_counter++;
+        miniomp::Runtime::single(*ts.omp, cid, s.nowait, [&] {
+          run_region_body(s, env, ts);
+        });
+        return std::nullopt;
+      }
+      case StmtKind::OmpMaster:
+        miniomp::Runtime::master(*ts.omp, [&] {
+          run_region_body(s, env, ts);
+        });
+        return std::nullopt;
+      case StmtKind::OmpCritical:
+        miniomp::Runtime::critical(*ts.omp, [&] {
+          // Critical does not change the master chain (all threads pass).
+          Env scope(&env);
+          exec_block_no_return(s.body, scope, ts);
+        });
+        return std::nullopt;
+      case StmtKind::OmpBarrier:
+        miniomp::Runtime::barrier(*ts.omp);
+        return std::nullopt;
+      case StmtKind::OmpSections: {
+        const uint64_t cid = ts.construct_counter++;
+        std::vector<std::function<void()>> bodies;
+        bodies.reserve(s.body.size());
+        for (const auto& sec : s.body) {
+          const Stmt* sec_ptr = sec.get();
+          bodies.push_back([this, sec_ptr, &env, &ts] {
+            run_region_body(*sec_ptr, env, ts);
+          });
+        }
+        miniomp::Runtime::sections(*ts.omp, cid, s.nowait, bodies);
+        return std::nullopt;
+      }
+      case StmtKind::OmpSection:
+        // Only reachable through OmpSections.
+        return std::nullopt;
+      case StmtKind::OmpFor: {
+        ts.construct_counter++;
+        const int64_t lo = eval(*s.lo, env, ts);
+        const int64_t hi = eval(*s.hi, env, ts);
+        miniomp::Runtime::ws_for(*ts.omp, s.nowait, lo, hi, [&](int64_t i) {
+          Env scope(&env);
+          Cell* iv = scope.declare(s.name);
+          iv->v.store(i, std::memory_order_relaxed);
+          exec_block_no_return(s.body, scope, ts);
+        });
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Region bodies cannot contain `return` (sema guarantee); guard anyway.
+  void exec_block_no_return(const std::vector<frontend::StmtPtr>& body, Env& env,
+                            ThreadState& ts) {
+    if (exec_block(body, env, ts))
+      throw EvalError("return escaped an OpenMP structured block");
+  }
+
+  /// Executes a single/master/section body with the optional RegionGuard for
+  /// watched regions (set Scc).
+  void run_region_body(const Stmt& s, Env& env, ThreadState& ts) {
+    if (shared_.plan && shared_.plan->watched_regions.count(s.region_id)) {
+      rt::Verifier::RegionGuard guard(*shared_.verifier, rank_, s.region_id,
+                                      s.loc);
+      Env scope(&env);
+      exec_block_no_return(s.body, scope, ts);
+    } else {
+      Env scope(&env);
+      exec_block_no_return(s.body, scope, ts);
+    }
+  }
+
+  void exec_parallel(const Stmt& s, Env& env, ThreadState& ts) {
+    int32_t n = default_threads_;
+    if (s.num_threads) {
+      n = static_cast<int32_t>(eval(*s.num_threads, env, ts));
+      if (n < 1) n = 1;
+    }
+    const bool if_clause = !s.if_clause || eval(*s.if_clause, env, ts) != 0;
+    miniomp::Runtime::parallel(
+        *ts.omp, n, if_clause, [&](miniomp::ThreadContext& child) {
+          ThreadState child_ts;
+          child_ts.omp = &child;
+          child_ts.construct_counter = 0;
+          Env scope(&env); // thread-private inner scope, shared outer scopes
+          exec_block_no_return(s.body, scope, child_ts);
+        });
+  }
+
+  void store_target(const Stmt& s, int64_t value, Env& env, ThreadState& ts) {
+    (void)ts;
+    if (s.name.empty()) return;
+    Cell* c = s.declares_target ? env.declare(s.name) : env.lookup(s.name);
+    if (!c) throw EvalError(str::cat("undefined variable '", s.name, "'"));
+    c->v.store(value, std::memory_order_relaxed);
+  }
+
+  void exec_mpi(const Stmt& s, Env& env, ThreadState& ts) {
+    if (s.is_mpi_init) {
+      rank_.init(s.init_level);
+      return;
+    }
+    // Planned runtime checks, in paper order: occupancy first (validates the
+    // monothread assumption), then CC (validates sequence agreement), then
+    // the collective itself.
+    const bool mono = shared_.plan && shared_.plan->mono_stmts.count(s.stmt_id);
+    const bool cc = shared_.plan && shared_.plan->cc_stmts.count(s.stmt_id);
+    std::optional<rt::Verifier::MonoGuard> mono_guard;
+    if (mono)
+      mono_guard.emplace(*shared_.verifier, rank_, s.stmt_id, s.loc);
+    if (shared_.plan)
+      shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
+                                           is_master_chain(ts.omp), s.loc);
+    simmpi::Signature sig;
+    sig.kind = s.coll;
+    sig.root = s.mpi_root
+                   ? static_cast<int32_t>(eval(*s.mpi_root, env, ts))
+                   : -1;
+    sig.op = s.reduce_op;
+    if (cc) shared_.verifier->check_cc(rank_, s.coll, s.loc, sig.op, sig.root);
+    const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
+    const auto result = rank_.execute(sig, payload);
+    if (s.coll == ir::CollectiveKind::Finalize) return;
+    store_target(s, result.scalar, env, ts);
+  }
+
+  int64_t call_function(const frontend::FuncDecl& fn,
+                        const std::vector<int64_t>& args, ThreadState& ts) {
+    Env env; // fresh root scope per call (no globals in MiniHPC)
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      Cell* c = env.declare(fn.params[i]);
+      c->v.store(i < args.size() ? args[i] : 0, std::memory_order_relaxed);
+    }
+    const auto ret = exec_block(fn.body, env, ts);
+    return ret.value_or(0);
+  }
+
+public:
+  int32_t default_threads_ = 2;
+
+private:
+  SharedState& shared_;
+  simmpi::Rank& rank_;
+};
+
+} // namespace
+
+Executor::Executor(const frontend::Program& program, const SourceManager& sm,
+                   const core::InstrumentationPlan* plan)
+    : program_(program), sm_(sm), plan_(plan) {}
+
+ExecResult Executor::run(const ExecOptions& opts) {
+  ExecResult result;
+  simmpi::World::Options wopts = opts.mpi;
+  wopts.num_ranks = opts.num_ranks;
+  simmpi::World world(wopts);
+  rt::Verifier verifier(sm_, opts.verify, opts.num_ranks);
+
+  SharedState shared;
+  shared.program = &program_;
+  shared.sm = &sm_;
+  shared.plan = plan_;
+  shared.verifier = &verifier;
+  shared.max_steps = opts.max_steps;
+
+  result.mpi = world.run([&](simmpi::Rank& rank) {
+    RankExec exec(shared, rank);
+    exec.default_threads_ = opts.num_threads;
+    try {
+      exec.run_main();
+    } catch (const EvalError& e) {
+      rank.abort(str::cat("rank ", rank.rank(), ": ", e.what()));
+      throw;
+    }
+  });
+
+  result.rt_diags = verifier.diagnostics();
+  {
+    std::scoped_lock lk(shared.output_mu);
+    result.output = std::move(shared.output);
+  }
+  std::sort(result.output.begin(), result.output.end());
+  result.clean = result.mpi.ok && verifier.error_count() == 0;
+  return result;
+}
+
+} // namespace parcoach::interp

@@ -1,0 +1,70 @@
+// Hybrid MPI+OpenMP interpreter for MiniHPC programs.
+//
+// Each MPI rank runs on its own thread (simmpi::World); OpenMP constructs
+// fork real thread teams (miniomp); MPI statements map to blocking slot-
+// matched collectives (simmpi). When an InstrumentationPlan is attached, the
+// interpreter performs the paper's runtime checks at exactly the planned
+// program points: CC before flagged collectives, CC-final when a process
+// leaves main, occupancy checks at set-S collectives, region registry
+// enter/exit around set-Scc regions.
+//
+// Variable semantics follow OpenMP defaults: variables declared outside a
+// parallel construct are shared by the team (stored in atomic cells, so data
+// races in user programs stay defined in C++ terms); declarations inside the
+// construct body are private to each thread.
+#pragma once
+
+#include "core/instrumentation.h"
+#include "frontend/ast.h"
+#include "rt/verifier.h"
+#include "simmpi/world.h"
+#include "support/source_manager.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parcoach::interp {
+
+struct ExecOptions {
+  int32_t num_ranks = 2;
+  /// Default team size for `omp parallel` without a num_threads clause.
+  int32_t num_threads = 2;
+  simmpi::World::Options mpi; // num_ranks is overwritten from the above
+  rt::VerifierOptions verify;
+  /// Global step budget (all ranks/threads); exceeding it aborts the run.
+  uint64_t max_steps = 50'000'000;
+};
+
+struct ExecResult {
+  simmpi::RunReport mpi;
+  /// Runtime verifier diagnostics (rt-* kinds).
+  std::vector<Diagnostic> rt_diags;
+  /// print(...) output lines, sorted deterministically ("rank R: ...").
+  std::vector<std::string> output;
+  /// Convenience: true if the run finished with no deadlock, no abort, no
+  /// rank errors and no runtime verifier errors.
+  bool clean = false;
+  [[nodiscard]] size_t rt_error_count() const {
+    size_t n = 0;
+    for (const auto& d : rt_diags) n += d.severity == Severity::Error;
+    return n;
+  }
+};
+
+class Executor {
+public:
+  /// `plan` may be null (uninstrumented run). Lifetimes: program, sm and
+  /// plan must outlive the Executor.
+  Executor(const frontend::Program& program, const SourceManager& sm,
+           const core::InstrumentationPlan* plan);
+
+  [[nodiscard]] ExecResult run(const ExecOptions& opts);
+
+private:
+  const frontend::Program& program_;
+  const SourceManager& sm_;
+  const core::InstrumentationPlan* plan_;
+};
+
+} // namespace parcoach::interp

@@ -1,0 +1,32 @@
+// Basic blocks: a sequence of instructions ending in at most one terminator,
+// with explicit successor edges (0, 1 or 2).
+#pragma once
+
+#include "ir/instruction.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace parcoach::ir {
+
+using BlockId = int32_t;
+inline constexpr BlockId kNoBlock = -1;
+
+struct BasicBlock {
+  BlockId id = kNoBlock;
+  std::vector<Instruction> instrs;
+  /// succs[0] is the fall-through / taken edge; CondBr has succs[0]=then,
+  /// succs[1]=else. Return blocks have the synthetic exit as successor.
+  std::vector<BlockId> succs;
+  std::vector<BlockId> preds; // maintained by Function::recompute_preds()
+
+  [[nodiscard]] bool has_terminator() const noexcept {
+    return !instrs.empty() && instrs.back().is_terminator();
+  }
+  [[nodiscard]] const Instruction* terminator() const noexcept {
+    return has_terminator() ? &instrs.back() : nullptr;
+  }
+  [[nodiscard]] bool empty() const noexcept { return instrs.empty(); }
+};
+
+} // namespace parcoach::ir

@@ -1,0 +1,78 @@
+#include "ir/collective.h"
+
+namespace parcoach::ir {
+
+std::string_view to_string(CollectiveKind k) noexcept {
+  switch (k) {
+    case CollectiveKind::Barrier: return "MPI_Barrier";
+    case CollectiveKind::Bcast: return "MPI_Bcast";
+    case CollectiveKind::Reduce: return "MPI_Reduce";
+    case CollectiveKind::Allreduce: return "MPI_Allreduce";
+    case CollectiveKind::Gather: return "MPI_Gather";
+    case CollectiveKind::Allgather: return "MPI_Allgather";
+    case CollectiveKind::Scatter: return "MPI_Scatter";
+    case CollectiveKind::Alltoall: return "MPI_Alltoall";
+    case CollectiveKind::Scan: return "MPI_Scan";
+    case CollectiveKind::ReduceScatter: return "MPI_Reduce_scatter";
+    case CollectiveKind::Finalize: return "MPI_Finalize";
+  }
+  return "?";
+}
+
+std::string_view to_string(ReduceOp op) noexcept {
+  switch (op) {
+    case ReduceOp::Sum: return "sum";
+    case ReduceOp::Prod: return "prod";
+    case ReduceOp::Min: return "min";
+    case ReduceOp::Max: return "max";
+    case ReduceOp::Land: return "land";
+    case ReduceOp::Lor: return "lor";
+    case ReduceOp::Band: return "band";
+    case ReduceOp::Bor: return "bor";
+  }
+  return "?";
+}
+
+namespace {
+constexpr std::string_view kThreadLevelNames[] = {"single", "funneled",
+                                                  "serialized", "multiple"};
+} // namespace
+
+std::string_view to_string(ThreadLevel lv) noexcept {
+  return kThreadLevelNames[static_cast<size_t>(lv)];
+}
+
+std::optional<ThreadLevel> thread_level_from_name(std::string_view name) noexcept {
+  for (size_t i = 0; i < 4; ++i)
+    if (name == kThreadLevelNames[i]) return static_cast<ThreadLevel>(i);
+  return std::nullopt;
+}
+
+std::optional<CollectiveKind> collective_from_name(std::string_view name) noexcept {
+  if (name == "mpi_barrier") return CollectiveKind::Barrier;
+  if (name == "mpi_bcast") return CollectiveKind::Bcast;
+  if (name == "mpi_reduce") return CollectiveKind::Reduce;
+  if (name == "mpi_allreduce") return CollectiveKind::Allreduce;
+  if (name == "mpi_gather") return CollectiveKind::Gather;
+  if (name == "mpi_allgather") return CollectiveKind::Allgather;
+  if (name == "mpi_scatter") return CollectiveKind::Scatter;
+  if (name == "mpi_alltoall") return CollectiveKind::Alltoall;
+  if (name == "mpi_scan") return CollectiveKind::Scan;
+  if (name == "mpi_reduce_scatter") return CollectiveKind::ReduceScatter;
+  if (name == "mpi_finalize") return CollectiveKind::Finalize;
+  return std::nullopt;
+}
+
+std::optional<ReduceOp> reduce_op_from_name(std::string_view name) noexcept {
+  if (name == "sum") return ReduceOp::Sum;
+  if (name == "prod") return ReduceOp::Prod;
+  if (name == "min") return ReduceOp::Min;
+  if (name == "max") return ReduceOp::Max;
+  if (name == "land") return ReduceOp::Land;
+  if (name == "lor") return ReduceOp::Lor;
+  if (name == "band") return ReduceOp::Band;
+  if (name == "bor") return ReduceOp::Bor;
+  return std::nullopt;
+}
+
+} // namespace parcoach::ir

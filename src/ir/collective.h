@@ -1,0 +1,64 @@
+// MPI collective kinds and reduction operators.
+//
+// Shared vocabulary between the frontend (parsing `mpi_allreduce(...)`), the
+// static analysis (sequence matching per kind), the runtime verifier (CC
+// protocol ids) and the simulated MPI substrate (matching and execution).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace parcoach::ir {
+
+/// Every blocking collective the validator understands. `Finalize` is
+/// modeled as a collective over WORLD (it synchronizes like one, and
+/// "rank 0 finalizes while rank 1 broadcasts" is a real mismatch bug).
+enum class CollectiveKind : uint8_t {
+  Barrier,
+  Bcast,
+  Reduce,
+  Allreduce,
+  Gather,
+  Allgather,
+  Scatter,
+  Alltoall,
+  Scan,
+  ReduceScatter,
+  Finalize,
+};
+inline constexpr int kNumCollectiveKinds = 11;
+
+enum class ReduceOp : uint8_t { Sum, Prod, Min, Max, Land, Lor, Band, Bor };
+
+/// MPI thread support levels (MPI_THREAD_*).
+enum class ThreadLevel : uint8_t { Single, Funneled, Serialized, Multiple };
+[[nodiscard]] std::string_view to_string(ThreadLevel lv) noexcept;
+[[nodiscard]] std::optional<ThreadLevel> thread_level_from_name(std::string_view name) noexcept;
+
+[[nodiscard]] std::string_view to_string(CollectiveKind k) noexcept;
+[[nodiscard]] std::string_view to_string(ReduceOp op) noexcept;
+
+/// Parses the DSL spelling ("mpi_allreduce" → Allreduce). Returns nullopt for
+/// unknown names.
+[[nodiscard]] std::optional<CollectiveKind> collective_from_name(std::string_view name) noexcept;
+[[nodiscard]] std::optional<ReduceOp> reduce_op_from_name(std::string_view name) noexcept;
+
+/// True for collectives whose call site carries a root argument.
+[[nodiscard]] constexpr bool has_root(CollectiveKind k) noexcept {
+  return k == CollectiveKind::Bcast || k == CollectiveKind::Reduce ||
+         k == CollectiveKind::Gather || k == CollectiveKind::Scatter;
+}
+
+/// True for collectives whose call site carries a reduction operator.
+[[nodiscard]] constexpr bool has_reduce_op(CollectiveKind k) noexcept {
+  return k == CollectiveKind::Reduce || k == CollectiveKind::Allreduce ||
+         k == CollectiveKind::Scan || k == CollectiveKind::ReduceScatter;
+}
+
+/// True for collectives that produce a value in the DSL (used as call RHS).
+[[nodiscard]] constexpr bool produces_value(CollectiveKind k) noexcept {
+  return k != CollectiveKind::Barrier && k != CollectiveKind::Finalize;
+}
+
+} // namespace parcoach::ir

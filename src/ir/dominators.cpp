@@ -1,0 +1,128 @@
+#include "ir/dominators.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace parcoach::ir {
+
+const std::vector<BlockId>& DomTree::edges_in(BlockId b) const {
+  return dir_ == Direction::Forward ? fn_.block(b).preds : fn_.block(b).succs;
+}
+
+const std::vector<BlockId>& DomTree::edges_out(BlockId b) const {
+  return dir_ == Direction::Forward ? fn_.block(b).succs : fn_.block(b).preds;
+}
+
+DomTree::DomTree(const Function& fn, Direction dir) : fn_(fn), dir_(dir) {
+  root_ = dir == Direction::Forward ? fn.entry : fn.exit;
+  const size_t n = static_cast<size_t>(fn.num_blocks());
+  idom_.assign(n, kNoBlock);
+  rpo_index_.assign(n, -1);
+  children_.assign(n, {});
+  if (root_ == kNoBlock || n == 0) return;
+
+  const std::vector<BlockId> rpo = dir == Direction::Forward
+                                       ? fn.reverse_post_order()
+                                       : fn.reverse_post_order_backward();
+  for (size_t i = 0; i < rpo.size(); ++i)
+    rpo_index_[static_cast<size_t>(rpo[i])] = static_cast<int32_t>(i);
+
+  // Cooper-Harvey-Kennedy: iterate to fixpoint in RPO.
+  idom_[static_cast<size_t>(root_)] = root_;
+  bool changed = true;
+  auto intersect = [&](BlockId a, BlockId b) {
+    while (a != b) {
+      while (rpo_index_[static_cast<size_t>(a)] > rpo_index_[static_cast<size_t>(b)])
+        a = idom_[static_cast<size_t>(a)];
+      while (rpo_index_[static_cast<size_t>(b)] > rpo_index_[static_cast<size_t>(a)])
+        b = idom_[static_cast<size_t>(b)];
+    }
+    return a;
+  };
+  while (changed) {
+    changed = false;
+    for (BlockId b : rpo) {
+      if (b == root_) continue;
+      BlockId new_idom = kNoBlock;
+      for (BlockId p : edges_in(b)) {
+        if (rpo_index_[static_cast<size_t>(p)] < 0) continue; // unreachable
+        if (idom_[static_cast<size_t>(p)] == kNoBlock) continue; // unprocessed
+        new_idom = new_idom == kNoBlock ? p : intersect(p, new_idom);
+      }
+      if (new_idom != kNoBlock && idom_[static_cast<size_t>(b)] != new_idom) {
+        idom_[static_cast<size_t>(b)] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Root's idom is conventionally "none".
+  idom_[static_cast<size_t>(root_)] = kNoBlock;
+  for (BlockId b : rpo) {
+    const BlockId d = idom_[static_cast<size_t>(b)];
+    if (d != kNoBlock) children_[static_cast<size_t>(d)].push_back(b);
+  }
+}
+
+bool DomTree::dominates(BlockId a, BlockId b) const {
+  if (a == b) return true;
+  BlockId cur = b;
+  while (cur != kNoBlock && cur != root_) {
+    cur = idom_[static_cast<size_t>(cur)];
+    if (cur == a) return true;
+  }
+  return a == root_ && cur == root_;
+}
+
+std::vector<std::vector<BlockId>> DomTree::dominance_frontiers() const {
+  const size_t n = static_cast<size_t>(fn_.num_blocks());
+  std::vector<std::vector<BlockId>> df(n);
+  for (BlockId b = 0; b < static_cast<BlockId>(n); ++b) {
+    if (!reachable(b)) continue;
+    const auto& in = edges_in(b);
+    if (in.size() < 2) continue;
+    for (BlockId p : in) {
+      if (rpo_index_[static_cast<size_t>(p)] < 0) continue;
+      BlockId runner = p;
+      while (runner != kNoBlock && runner != idom_[static_cast<size_t>(b)]) {
+        auto& fr = df[static_cast<size_t>(runner)];
+        if (std::find(fr.begin(), fr.end(), b) == fr.end()) fr.push_back(b);
+        runner = idom_[static_cast<size_t>(runner)];
+      }
+    }
+  }
+  return df;
+}
+
+std::vector<BlockId>
+DomTree::iterated_frontier(const std::vector<BlockId>& seeds) const {
+  const auto df = dominance_frontiers();
+  const size_t n = static_cast<size_t>(fn_.num_blocks());
+  std::vector<uint8_t> in_result(n, 0);
+  std::vector<uint8_t> queued(n, 0);
+  std::vector<BlockId> work;
+  for (BlockId s : seeds) {
+    if (!queued[static_cast<size_t>(s)]) {
+      queued[static_cast<size_t>(s)] = 1;
+      work.push_back(s);
+    }
+  }
+  std::vector<BlockId> result;
+  while (!work.empty()) {
+    const BlockId b = work.back();
+    work.pop_back();
+    for (BlockId f : df[static_cast<size_t>(b)]) {
+      if (!in_result[static_cast<size_t>(f)]) {
+        in_result[static_cast<size_t>(f)] = 1;
+        result.push_back(f);
+        if (!queued[static_cast<size_t>(f)]) {
+          queued[static_cast<size_t>(f)] = 1;
+          work.push_back(f);
+        }
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+} // namespace parcoach::ir

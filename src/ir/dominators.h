@@ -1,0 +1,59 @@
+// Dominator and post-dominator trees (Cooper–Harvey–Kennedy), dominance
+// frontiers, and the iterated post-dominance frontier PDF+ used by PARCOACH
+// Algorithm 1 to locate divergence conditionals.
+#pragma once
+
+#include "ir/function.h"
+
+#include <vector>
+
+namespace parcoach::ir {
+
+/// Direction-agnostic dominator tree. Forward direction computes dominators
+/// rooted at `entry`; Backward computes post-dominators rooted at the
+/// synthetic `exit` (which the lowering guarantees exists and is reachable).
+class DomTree {
+public:
+  enum class Direction { Forward, Backward };
+
+  DomTree(const Function& fn, Direction dir);
+
+  /// Immediate dominator of `b`, or kNoBlock for the root / unreachable blocks.
+  [[nodiscard]] BlockId idom(BlockId b) const {
+    return idom_[static_cast<size_t>(b)];
+  }
+
+  /// True iff `a` dominates `b` (reflexive).
+  [[nodiscard]] bool dominates(BlockId a, BlockId b) const;
+
+  [[nodiscard]] BlockId root() const noexcept { return root_; }
+  [[nodiscard]] bool reachable(BlockId b) const {
+    return b == root_ || idom_[static_cast<size_t>(b)] != kNoBlock;
+  }
+
+  /// Children in the dominator tree.
+  [[nodiscard]] const std::vector<BlockId>& children(BlockId b) const {
+    return children_[static_cast<size_t>(b)];
+  }
+
+  /// Dominance frontier of every block. For Backward direction this is the
+  /// post-dominance frontier, i.e. control dependence sources.
+  [[nodiscard]] std::vector<std::vector<BlockId>> dominance_frontiers() const;
+
+  /// Iterated dominance frontier of a set of blocks (closure of DF).
+  [[nodiscard]] std::vector<BlockId>
+  iterated_frontier(const std::vector<BlockId>& seeds) const;
+
+private:
+  [[nodiscard]] const std::vector<BlockId>& edges_in(BlockId b) const;
+  [[nodiscard]] const std::vector<BlockId>& edges_out(BlockId b) const;
+
+  const Function& fn_;
+  Direction dir_;
+  BlockId root_;
+  std::vector<BlockId> idom_;
+  std::vector<int32_t> rpo_index_; // -1 if unreachable
+  std::vector<std::vector<BlockId>> children_;
+};
+
+} // namespace parcoach::ir

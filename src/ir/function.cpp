@@ -1,0 +1,116 @@
+#include "ir/function.h"
+
+#include <algorithm>
+
+namespace parcoach::ir {
+
+namespace {
+
+std::string_view opcode_names[] = {
+    "assign", "print", "call", "collcomm", "mpi_init", "send", "recv",
+    "omp_begin", "omp_end", "implicit_barrier", "explicit_barrier",
+    "br", "cond_br", "return",
+    "check_cc", "check_cc_final", "check_mono", "region_enter", "region_exit",
+};
+
+} // namespace
+
+std::string_view to_string(Opcode op) noexcept {
+  return opcode_names[static_cast<size_t>(op)];
+}
+
+Instruction Instruction::clone_instr() const {
+  Instruction c;
+  c.op = op;
+  c.loc = loc;
+  c.stmt_id = stmt_id;
+  c.var = var;
+  c.expr = expr ? expr->clone() : nullptr;
+  c.args.reserve(args.size());
+  for (const auto& a : args) c.args.push_back(a ? a->clone() : nullptr);
+  c.callee = callee;
+  c.collective = collective;
+  c.root = root ? root->clone() : nullptr;
+  c.reduce_op = reduce_op;
+  c.thread_level = thread_level;
+  c.omp = omp;
+  c.region_id = region_id;
+  c.nowait = nowait;
+  c.num_threads = num_threads ? num_threads->clone() : nullptr;
+  c.if_clause = if_clause ? if_clause->clone() : nullptr;
+  return c;
+}
+
+BlockId Function::add_block() {
+  const BlockId id = static_cast<BlockId>(blocks_.size());
+  blocks_.emplace_back();
+  blocks_.back().id = id;
+  return id;
+}
+
+void Function::add_edge(BlockId from, BlockId to) {
+  block(from).succs.push_back(to);
+}
+
+void Function::recompute_preds() {
+  for (auto& b : blocks_) b.preds.clear();
+  for (auto& b : blocks_)
+    for (BlockId s : b.succs) block(s).preds.push_back(b.id);
+}
+
+namespace {
+
+/// Iterative post-order DFS over an adjacency accessor.
+template <typename Next>
+std::vector<BlockId> post_order_from(BlockId start, int32_t n, Next&& next) {
+  std::vector<BlockId> order;
+  if (start == kNoBlock || n == 0) return order;
+  std::vector<uint8_t> state(static_cast<size_t>(n), 0); // 0=unseen 1=open 2=done
+  std::vector<std::pair<BlockId, size_t>> stack;
+  stack.emplace_back(start, 0);
+  state[static_cast<size_t>(start)] = 1;
+  while (!stack.empty()) {
+    auto& [b, i] = stack.back();
+    const auto& ns = next(b);
+    if (i < ns.size()) {
+      const BlockId s = ns[i++];
+      if (state[static_cast<size_t>(s)] == 0) {
+        state[static_cast<size_t>(s)] = 1;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      state[static_cast<size_t>(b)] = 2;
+      order.push_back(b);
+      stack.pop_back();
+    }
+  }
+  return order;
+}
+
+} // namespace
+
+std::vector<BlockId> Function::reverse_post_order() const {
+  auto po = post_order_from(entry, num_blocks(),
+                            [this](BlockId b) -> const std::vector<BlockId>& {
+                              return block(b).succs;
+                            });
+  std::reverse(po.begin(), po.end());
+  return po;
+}
+
+std::vector<BlockId> Function::reverse_post_order_backward() const {
+  auto po = post_order_from(exit, num_blocks(),
+                            [this](BlockId b) -> const std::vector<BlockId>& {
+                              return block(b).preds;
+                            });
+  std::reverse(po.begin(), po.end());
+  return po;
+}
+
+size_t Function::num_instructions() const noexcept {
+  size_t n = 0;
+  for (const auto& b : blocks_) n += b.instrs.size();
+  return n;
+}
+
+} // namespace parcoach::ir

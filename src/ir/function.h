@@ -1,0 +1,52 @@
+// IR functions: a CFG of basic blocks with a unique entry and a unique
+// synthetic exit block (every Return jumps to it), which makes post-dominator
+// computation total.
+#pragma once
+
+#include "ir/basic_block.h"
+
+#include <string>
+#include <vector>
+
+namespace parcoach::ir {
+
+class Function {
+public:
+  std::string name;
+  std::vector<std::string> params;
+  BlockId entry = kNoBlock;
+  BlockId exit = kNoBlock;
+
+  [[nodiscard]] BlockId add_block();
+  [[nodiscard]] BasicBlock& block(BlockId id) { return blocks_[static_cast<size_t>(id)]; }
+  [[nodiscard]] const BasicBlock& block(BlockId id) const {
+    return blocks_[static_cast<size_t>(id)];
+  }
+  [[nodiscard]] int32_t num_blocks() const noexcept {
+    return static_cast<int32_t>(blocks_.size());
+  }
+  [[nodiscard]] std::vector<BasicBlock>& blocks() noexcept { return blocks_; }
+  [[nodiscard]] const std::vector<BasicBlock>& blocks() const noexcept { return blocks_; }
+
+  /// Adds edge from -> to (appends to succs; preds rebuilt lazily).
+  void add_edge(BlockId from, BlockId to);
+
+  /// Rebuilds all predecessor lists from successor lists.
+  void recompute_preds();
+
+  /// Blocks reachable from entry, in reverse post-order (ideal for forward
+  /// dataflow: predecessors come first except on back edges).
+  [[nodiscard]] std::vector<BlockId> reverse_post_order() const;
+
+  /// Blocks from which `exit` is reachable, in reverse post-order of the
+  /// *reverse* CFG (for backward dataflow / post-dominators).
+  [[nodiscard]] std::vector<BlockId> reverse_post_order_backward() const;
+
+  /// Total number of instructions across all blocks.
+  [[nodiscard]] size_t num_instructions() const noexcept;
+
+private:
+  std::vector<BasicBlock> blocks_;
+};
+
+} // namespace parcoach::ir

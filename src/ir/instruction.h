@@ -1,0 +1,97 @@
+// IR instructions.
+//
+// The IR is a statement-level control-flow IR (not SSA): the validator's
+// analyses are purely control-flow based, so instructions stay close to
+// source statements. Per the paper, OpenMP directives live in *separate
+// basic blocks* and implicit barriers get their own nodes — the lowering
+// guarantees that OmpBegin/OmpEnd/ImplicitBarrier are each alone in their
+// block.
+#pragma once
+
+#include "ir/collective.h"
+#include "ir/expr.h"
+#include "ir/omp.h"
+#include "support/source_location.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcoach::ir {
+
+enum class Opcode : uint8_t {
+  // Straight-line statements.
+  Assign,       // var = expr
+  Print,        // print(args...)
+  Call,         // [var =] callee(args...)    user function call
+  CollComm,     // [var =] collective(...)    MPI collective operation
+  MpiInit,      // mpi_init(thread_level)
+  SendMsg,      // mpi_send(value, dest, tag)   point-to-point send
+  RecvMsg,      // var = mpi_recv(source, tag)  point-to-point receive
+  // OpenMP region boundaries (each alone in its basic block).
+  OmpBegin,
+  OmpEnd,
+  ImplicitBarrier, // team barrier implied by a construct end
+  ExplicitBarrier, // `omp barrier;`
+  // Control flow (always last in a block).
+  Br,     // unconditional, successor 0
+  CondBr, // cond ? successor 0 : successor 1
+  Return, // optional value; jumps to the function's synthetic exit block
+  // Verification instructions inserted by the instrumentation pass.
+  CheckCC,       // collective-consistency check before a collective
+  CheckCCFinal,  // CC sentinel before return (process about to leave)
+  CheckMono,     // occupancy check: node must execute monothreaded
+  RegionEnter,   // concurrent-region registry: region becomes active
+  RegionExit,    // concurrent-region registry: region done
+};
+
+[[nodiscard]] std::string_view to_string(Opcode op) noexcept;
+
+/// One IR instruction. A single struct with role-dependent fields: at this
+/// project scale a closed instruction set with plain members is simpler and
+/// safer than a class hierarchy, and keeps the IR trivially copyable apart
+/// from the owned expression trees.
+struct Instruction {
+  Opcode op = Opcode::Br;
+  SourceLoc loc;
+  /// Id of the originating AST statement; instrumentation instructions
+  /// inherit the id of the statement they guard. -1 for synthesized code.
+  int32_t stmt_id = -1;
+
+  std::string var;           // Assign/Call/CollComm result variable ("" if none)
+  ExprPtr expr;              // Assign value / CondBr condition / Return value
+  std::vector<ExprPtr> args; // Print/Call arguments; CollComm payload args
+
+  std::string callee;                  // Call
+  CollectiveKind collective{};         // CollComm / CheckCC
+  ExprPtr root;                        // CollComm root rank (Bcast/Reduce/...)
+  std::optional<ReduceOp> reduce_op;   // CollComm reduction
+
+  ThreadLevel thread_level{};          // MpiInit
+
+  OmpKind omp{};                       // OmpBegin/OmpEnd
+  int32_t region_id = -1;              // OmpBegin/OmpEnd/ImplicitBarrier/Check*/Region*
+  bool nowait = false;                 // OmpBegin(Single/For/Sections)
+  ExprPtr num_threads;                 // OmpBegin(Parallel) clause, may be null
+  ExprPtr if_clause;                   // OmpBegin(Parallel) clause, may be null
+
+  Instruction() = default;
+  Instruction(Instruction&&) = default;
+  Instruction& operator=(Instruction&&) = default;
+  Instruction(const Instruction&) = delete;
+  Instruction& operator=(const Instruction&) = delete;
+
+  [[nodiscard]] Instruction clone_instr() const;
+
+  [[nodiscard]] bool is_terminator() const noexcept {
+    return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Return;
+  }
+  [[nodiscard]] bool is_collective() const noexcept { return op == Opcode::CollComm; }
+  [[nodiscard]] bool is_omp_boundary() const noexcept {
+    return op == Opcode::OmpBegin || op == Opcode::OmpEnd ||
+           op == Opcode::ImplicitBarrier;
+  }
+};
+
+} // namespace parcoach::ir

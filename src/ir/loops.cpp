@@ -1,0 +1,46 @@
+#include "ir/loops.h"
+
+#include <algorithm>
+
+namespace parcoach::ir {
+
+bool NaturalLoop::contains(BlockId b) const {
+  return std::binary_search(body.begin(), body.end(), b);
+}
+
+std::vector<NaturalLoop> find_natural_loops(const Function& fn, const DomTree& dom) {
+  std::vector<NaturalLoop> loops;
+  for (const auto& bb : fn.blocks()) {
+    for (BlockId succ : bb.succs) {
+      if (!dom.reachable(bb.id)) continue;
+      if (!dom.dominates(succ, bb.id)) continue; // not a back edge
+      NaturalLoop loop;
+      loop.header = succ;
+      loop.latch = bb.id;
+      // Body: header + all nodes that reach latch without going through header.
+      std::vector<uint8_t> in_loop(static_cast<size_t>(fn.num_blocks()), 0);
+      in_loop[static_cast<size_t>(succ)] = 1;
+      std::vector<BlockId> work;
+      if (!in_loop[static_cast<size_t>(bb.id)]) {
+        in_loop[static_cast<size_t>(bb.id)] = 1;
+        work.push_back(bb.id);
+      }
+      while (!work.empty()) {
+        const BlockId b = work.back();
+        work.pop_back();
+        for (BlockId p : fn.block(b).preds) {
+          if (!in_loop[static_cast<size_t>(p)]) {
+            in_loop[static_cast<size_t>(p)] = 1;
+            work.push_back(p);
+          }
+        }
+      }
+      for (BlockId b = 0; b < fn.num_blocks(); ++b)
+        if (in_loop[static_cast<size_t>(b)]) loop.body.push_back(b);
+      loops.push_back(std::move(loop));
+    }
+  }
+  return loops;
+}
+
+} // namespace parcoach::ir

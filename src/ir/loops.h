@@ -1,0 +1,26 @@
+// Natural-loop detection (back edges via dominators, loop bodies via reverse
+// reachability). Phase 2 of the analysis uses loops to detect monothreaded
+// regions that can overlap *themselves* across iterations (e.g. a
+// `single nowait` inside a loop with no intervening barrier).
+#pragma once
+
+#include "ir/dominators.h"
+#include "ir/function.h"
+
+#include <vector>
+
+namespace parcoach::ir {
+
+struct NaturalLoop {
+  BlockId header = kNoBlock;
+  BlockId latch = kNoBlock;          // source of the back edge
+  std::vector<BlockId> body;         // includes header and latch, sorted
+  [[nodiscard]] bool contains(BlockId b) const;
+};
+
+/// All natural loops of `fn` (one per back edge; loops sharing a header are
+/// kept separate, which is fine for our overlap analysis).
+[[nodiscard]] std::vector<NaturalLoop> find_natural_loops(const Function& fn,
+                                                          const DomTree& dom);
+
+} // namespace parcoach::ir

@@ -1,0 +1,29 @@
+#include "ir/module.h"
+
+namespace parcoach::ir {
+
+Function& Module::add_function(std::string name) {
+  funcs_.push_back(std::make_unique<Function>());
+  funcs_.back()->name = std::move(name);
+  return *funcs_.back();
+}
+
+Function* Module::find(std::string_view name) {
+  for (auto& f : funcs_)
+    if (f->name == name) return f.get();
+  return nullptr;
+}
+
+const Function* Module::find(std::string_view name) const {
+  for (const auto& f : funcs_)
+    if (f->name == name) return f.get();
+  return nullptr;
+}
+
+size_t Module::num_instructions() const noexcept {
+  size_t n = 0;
+  for (const auto& f : funcs_) n += f->num_instructions();
+  return n;
+}
+
+} // namespace parcoach::ir

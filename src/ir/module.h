@@ -1,0 +1,38 @@
+// A module is an ordered set of functions plus program-level facts gathered
+// during lowering (e.g. the MPI thread level requested by mpi_init).
+#pragma once
+
+#include "ir/function.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcoach::ir {
+
+class Module {
+public:
+  Function& add_function(std::string name);
+  [[nodiscard]] Function* find(std::string_view name);
+  [[nodiscard]] const Function* find(std::string_view name) const;
+
+  [[nodiscard]] std::vector<std::unique_ptr<Function>>& functions() noexcept {
+    return funcs_;
+  }
+  [[nodiscard]] const std::vector<std::unique_ptr<Function>>& functions() const noexcept {
+    return funcs_;
+  }
+
+  /// Thread level requested by the program's mpi_init, if present.
+  std::optional<ThreadLevel> requested_thread_level;
+
+  /// Total instruction count over all functions.
+  [[nodiscard]] size_t num_instructions() const noexcept;
+
+private:
+  std::vector<std::unique_ptr<Function>> funcs_;
+};
+
+} // namespace parcoach::ir

@@ -1,0 +1,46 @@
+// OpenMP-like construct kinds for the explicit fork/join model of the paper.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace parcoach::ir {
+
+/// Region-forming constructs. `Section` is one branch of a `sections`
+/// construct; the paper's model treats it like a single-threaded region with
+/// its own id (two sections may run concurrently on different threads).
+enum class OmpKind : uint8_t {
+  Parallel, // fork: appends P_i to the parallelism word
+  Single,   // one (any) thread: appends S_i; implicit barrier unless nowait
+  Master,   // thread 0 only: appends S_i; NO implicit barrier
+  Critical, // mutual exclusion; all threads execute (serially) — not an S
+  Sections, // worksharing container for Section regions
+  Section,  // one section: appends S_i
+  For,      // worksharing loop; implicit barrier unless nowait — not an S
+};
+
+[[nodiscard]] constexpr std::string_view to_string(OmpKind k) noexcept {
+  switch (k) {
+    case OmpKind::Parallel: return "parallel";
+    case OmpKind::Single: return "single";
+    case OmpKind::Master: return "master";
+    case OmpKind::Critical: return "critical";
+    case OmpKind::Sections: return "sections";
+    case OmpKind::Section: return "section";
+    case OmpKind::For: return "for";
+  }
+  return "?";
+}
+
+/// Constructs whose body is executed by exactly one thread of the team.
+[[nodiscard]] constexpr bool is_single_threaded(OmpKind k) noexcept {
+  return k == OmpKind::Single || k == OmpKind::Master || k == OmpKind::Section;
+}
+
+/// Constructs that end with an implicit team barrier (unless `nowait`).
+/// `master` has no implicit barrier per the OpenMP spec.
+[[nodiscard]] constexpr bool has_implicit_barrier(OmpKind k) noexcept {
+  return k == OmpKind::Single || k == OmpKind::Sections || k == OmpKind::For;
+}
+
+} // namespace parcoach::ir

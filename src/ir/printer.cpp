@@ -1,0 +1,134 @@
+#include "ir/printer.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace parcoach::ir {
+
+void print(std::ostream& os, const Instruction& in) {
+  os << to_string(in.op);
+  switch (in.op) {
+    case Opcode::Assign:
+      os << ' ' << in.var << " = " << to_string(*in.expr);
+      break;
+    case Opcode::Print: {
+      os << ' ';
+      bool first = true;
+      for (const auto& a : in.args) {
+        if (!first) os << ", ";
+        os << to_string(*a);
+        first = false;
+      }
+      break;
+    }
+    case Opcode::Call: {
+      os << ' ';
+      if (!in.var.empty()) os << in.var << " = ";
+      os << in.callee << '(';
+      bool first = true;
+      for (const auto& a : in.args) {
+        if (!first) os << ", ";
+        os << to_string(*a);
+        first = false;
+      }
+      os << ')';
+      break;
+    }
+    case Opcode::CollComm:
+      os << ' ';
+      if (!in.var.empty()) os << in.var << " = ";
+      os << to_string(in.collective);
+      if (!in.args.empty()) os << " value=" << to_string(*in.args[0]);
+      if (in.root) os << " root=" << to_string(*in.root);
+      if (in.reduce_op) os << " op=" << to_string(*in.reduce_op);
+      break;
+    case Opcode::MpiInit:
+      os << ' ' << to_string(in.thread_level);
+      break;
+    case Opcode::SendMsg:
+      os << " value=" << to_string(*in.args[0]) << " dest=" << to_string(*in.root)
+         << " tag=" << to_string(*in.expr);
+      break;
+    case Opcode::RecvMsg:
+      os << ' ';
+      if (!in.var.empty()) os << in.var << " = ";
+      os << "src=" << to_string(*in.root) << " tag=" << to_string(*in.expr);
+      break;
+    case Opcode::OmpBegin:
+      os << ' ' << to_string(in.omp) << " #" << in.region_id;
+      if (in.num_threads) os << " num_threads=" << to_string(*in.num_threads);
+      if (in.if_clause) os << " if=" << to_string(*in.if_clause);
+      if (in.nowait) os << " nowait";
+      break;
+    case Opcode::OmpEnd:
+      os << ' ' << to_string(in.omp) << " #" << in.region_id;
+      break;
+    case Opcode::ImplicitBarrier:
+      os << " #" << in.region_id;
+      break;
+    case Opcode::ExplicitBarrier:
+      break;
+    case Opcode::Br:
+      break;
+    case Opcode::CondBr:
+      os << ' ' << to_string(*in.expr);
+      break;
+    case Opcode::Return:
+      if (in.expr) os << ' ' << to_string(*in.expr);
+      break;
+    case Opcode::CheckCC:
+      os << ' ' << to_string(in.collective);
+      break;
+    case Opcode::CheckCCFinal:
+      break;
+    case Opcode::CheckMono:
+    case Opcode::RegionEnter:
+    case Opcode::RegionExit:
+      os << " #" << in.region_id;
+      break;
+  }
+}
+
+void print(std::ostream& os, const Function& fn) {
+  os << "func " << fn.name << '(';
+  for (size_t i = 0; i < fn.params.size(); ++i) {
+    if (i) os << ", ";
+    os << fn.params[i];
+  }
+  os << ") entry=bb" << fn.entry << " exit=bb" << fn.exit << " {\n";
+  for (const auto& bb : fn.blocks()) {
+    os << "bb" << bb.id << ":";
+    if (!bb.succs.empty()) {
+      os << "  ; succs:";
+      for (BlockId s : bb.succs) os << " bb" << s;
+    }
+    os << '\n';
+    for (const auto& in : bb.instrs) {
+      os << "  ";
+      print(os, in);
+      os << '\n';
+    }
+  }
+  os << "}\n";
+}
+
+void print(std::ostream& os, const Module& m) {
+  for (const auto& f : m.functions()) {
+    print(os, *f);
+    os << '\n';
+  }
+}
+
+std::string to_text(const Function& fn) {
+  std::ostringstream os;
+  print(os, fn);
+  return os.str();
+}
+
+std::string to_text(const Module& m) {
+  std::ostringstream os;
+  print(os, m);
+  return os.str();
+}
+
+} // namespace parcoach::ir

@@ -1,0 +1,138 @@
+#include "ir/verifier.h"
+
+#include "support/str.h"
+
+namespace parcoach::ir {
+
+namespace {
+
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function& fn, DiagnosticEngine& diags)
+      : fn_(fn), diags_(diags) {}
+
+  bool run() {
+    check_entry_exit();
+    for (const auto& bb : fn_.blocks()) check_block(bb);
+    check_omp_balance();
+    return ok_;
+  }
+
+private:
+  void fail(SourceLoc loc, std::string msg) {
+    ok_ = false;
+    diags_.report(Severity::Error, DiagKind::IrVerifyError, loc,
+                  str::cat("[", fn_.name, "] ", msg));
+  }
+
+  void check_entry_exit() {
+    if (fn_.entry == kNoBlock || fn_.entry >= fn_.num_blocks())
+      fail({}, "missing or invalid entry block");
+    if (fn_.exit == kNoBlock || fn_.exit >= fn_.num_blocks()) {
+      fail({}, "missing or invalid exit block");
+      return;
+    }
+    if (!fn_.block(fn_.exit).succs.empty())
+      fail({}, "exit block must have no successors");
+  }
+
+  void check_block(const BasicBlock& bb) {
+    for (BlockId s : bb.succs) {
+      if (s < 0 || s >= fn_.num_blocks())
+        fail({}, str::cat("bb", bb.id, " has out-of-range successor ", s));
+    }
+    // Terminator discipline.
+    for (size_t i = 0; i + 1 < bb.instrs.size(); ++i) {
+      if (bb.instrs[i].is_terminator())
+        fail(bb.instrs[i].loc,
+             str::cat("bb", bb.id, " has a terminator before the last instruction"));
+    }
+    if (const Instruction* t = bb.terminator()) {
+      const size_t want = t->op == Opcode::CondBr ? 2 : 1;
+      if (bb.succs.size() != want)
+        fail(t->loc, str::cat("bb", bb.id, " terminator ", to_string(t->op),
+                              " expects ", want, " successors, has ",
+                              bb.succs.size()));
+      if (t->op == Opcode::Return && bb.succs[0] != fn_.exit)
+        fail(t->loc, str::cat("bb", bb.id, " return must target the exit block"));
+      if (t->op == Opcode::CondBr && !t->expr)
+        fail(t->loc, str::cat("bb", bb.id, " cond_br without condition"));
+    } else if (bb.id != fn_.exit && !bb.succs.empty()) {
+      fail({}, str::cat("bb", bb.id, " has successors but no terminator"));
+    } else if (bb.id != fn_.exit && bb.succs.empty()) {
+      // Only the exit block may dangle.
+      fail({}, str::cat("bb", bb.id, " is a dead-end non-exit block"));
+    }
+    // Paper invariant: OpenMP boundaries live alone in their block (plus the
+    // mandatory branch). Verification instructions inserted next to a
+    // boundary by the instrumentation pass are exempt.
+    auto is_check = [](const Instruction& j) {
+      return j.op == Opcode::CheckCC || j.op == Opcode::CheckCCFinal ||
+             j.op == Opcode::CheckMono || j.op == Opcode::RegionEnter ||
+             j.op == Opcode::RegionExit;
+    };
+    for (const auto& in : bb.instrs) {
+      if (in.is_omp_boundary()) {
+        size_t non_term = 0;
+        for (const auto& j : bb.instrs)
+          if (!j.is_terminator() && !is_check(j)) ++non_term;
+        if (non_term != 1)
+          fail(in.loc, str::cat("bb", bb.id, " mixes an OpenMP boundary with ",
+                                "other instructions"));
+      }
+    }
+  }
+
+  // Walks the DFS spanning tree keeping an OmpBegin stack; since the
+  // lowering emits structured regions, begin/end must match like parentheses
+  // along every path. The stack is passed by value so sibling branches see
+  // the state at block entry. We verify on the DFS tree only (joins
+  // re-verify via the parallelism-word dataflow later, which reports
+  // WordAmbiguity on disagreement).
+  void check_omp_balance() {
+    if (fn_.entry == kNoBlock) return;
+    std::vector<int8_t> seen(static_cast<size_t>(fn_.num_blocks()), 0);
+    dfs_balance(fn_.entry, seen, {});
+  }
+
+  void dfs_balance(BlockId b, std::vector<int8_t>& seen,
+                   std::vector<std::pair<OmpKind, int32_t>> stack) {
+    if (seen[static_cast<size_t>(b)]) return;
+    seen[static_cast<size_t>(b)] = 1;
+    for (const auto& in : fn_.block(b).instrs) {
+      if (in.op == Opcode::OmpBegin) {
+        stack.emplace_back(in.omp, in.region_id);
+      } else if (in.op == Opcode::OmpEnd) {
+        if (stack.empty()) {
+          fail(in.loc, str::cat("omp_end #", in.region_id, " with empty region stack"));
+        } else {
+          const auto [kind, id] = stack.back();
+          if (kind != in.omp || id != in.region_id)
+            fail(in.loc, str::cat("omp_end #", in.region_id, " (", to_string(in.omp),
+                                  ") does not match open region #", id, " (",
+                                  to_string(kind), ")"));
+          stack.pop_back();
+        }
+      }
+    }
+    for (BlockId s : fn_.block(b).succs) dfs_balance(s, seen, stack);
+  }
+
+  const Function& fn_;
+  DiagnosticEngine& diags_;
+  bool ok_ = true;
+};
+
+} // namespace
+
+bool verify(const Function& fn, DiagnosticEngine& diags) {
+  return FunctionVerifier(fn, diags).run();
+}
+
+bool verify(const Module& m, DiagnosticEngine& diags) {
+  bool ok = true;
+  for (const auto& f : m.functions()) ok &= verify(*f, diags);
+  return ok;
+}
+
+} // namespace parcoach::ir

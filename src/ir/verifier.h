@@ -1,0 +1,24 @@
+// Structural IR validity checks, run after lowering and after every
+// transformation pass in debug pipelines. Catching malformed CFGs here keeps
+// the analyses free of defensive code.
+#pragma once
+
+#include "ir/module.h"
+#include "support/diagnostics.h"
+
+namespace parcoach::ir {
+
+/// Checks, per function:
+///  - entry/exit exist; exit has no successors; every block reachable from
+///    entry ends in a terminator (except exit);
+///  - successor counts match terminators (Br:1, CondBr:2, Return:1 -> exit);
+///  - every OmpBegin/OmpEnd/ImplicitBarrier is alone in its block (the
+///    paper's "directives in separate basic blocks" invariant);
+///  - OmpBegin/OmpEnd region ids are balanced along every acyclic path
+///    (checked structurally: matching ids and kinds);
+///  - edges point to valid block ids.
+/// Reports IrVerifyError diagnostics; returns true if none were found.
+bool verify(const Function& fn, DiagnosticEngine& diags);
+bool verify(const Module& m, DiagnosticEngine& diags);
+
+} // namespace parcoach::ir

@@ -1,0 +1,169 @@
+#include "miniomp/team.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace parcoach::miniomp {
+
+int32_t ThreadContext::team_size() const noexcept {
+  return team ? team->size() : 1;
+}
+
+bool ThreadContext::in_parallel() const noexcept {
+  for (const ThreadContext* c = this; c; c = c->parent)
+    if (c->team && c->team->size() > 1) return true;
+  return false;
+}
+
+int32_t ThreadContext::active_level() const noexcept {
+  int32_t n = 0;
+  for (const ThreadContext* c = this; c; c = c->parent)
+    if (c->team && c->team->size() > 1) ++n;
+  return n;
+}
+
+Team::Team(int32_t size) : size_(size) {}
+
+void Team::barrier() {
+  if (size_ == 1) {
+    if (cancelled()) throw TeamCancelled();
+    return;
+  }
+  std::unique_lock lk(mu_);
+  if (cancelled_) throw TeamCancelled();
+  const uint64_t gen = generation_;
+  if (++arrived_ == size_) {
+    arrived_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lk, [&] { return generation_ != gen || cancelled_; });
+  if (cancelled_ && generation_ == gen) throw TeamCancelled();
+}
+
+bool Team::claim_single(uint64_t construct_id) {
+  std::scoped_lock lk(mu_);
+  if (cancelled_) throw TeamCancelled();
+  auto [it, inserted] = single_claims_.emplace(construct_id, true);
+  return inserted;
+}
+
+int32_t Team::next_section(uint64_t construct_id, int32_t num_sections) {
+  std::scoped_lock lk(mu_);
+  if (cancelled_) throw TeamCancelled();
+  int32_t& next = section_next_[construct_id];
+  if (next >= num_sections) return -1;
+  return next++;
+}
+
+void Team::cancel() noexcept {
+  {
+    std::scoped_lock lk(mu_);
+    cancelled_ = true;
+  }
+  cv_.notify_all();
+}
+
+bool Team::cancelled() const noexcept {
+  // Benign read: cancellation is monotonic and re-checked under the lock by
+  // blocking operations.
+  return cancelled_;
+}
+
+void Runtime::parallel(const ThreadContext& parent, int32_t num_threads,
+                       bool if_clause,
+                       const std::function<void(ThreadContext&)>& body) {
+  const int32_t n = (!if_clause || num_threads < 1) ? 1 : num_threads;
+  Team team(n);
+
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto run_member = [&](int32_t tid) {
+    ThreadContext ctx;
+    ctx.team = &team;
+    ctx.thread_num = tid;
+    ctx.parent = &parent;
+    ctx.domain = parent.domain;
+    try {
+      body(ctx);
+      team.barrier(); // implicit join barrier
+    } catch (const TeamCancelled&) {
+      // Another member failed first; unwind quietly.
+    } catch (...) {
+      {
+        std::scoped_lock lk(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+      team.cancel();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(n - 1));
+  for (int32_t t = 1; t < n; ++t) workers.emplace_back(run_member, t);
+  run_member(0);
+  for (auto& w : workers) w.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void Runtime::single(ThreadContext& ctx, uint64_t construct_id, bool nowait,
+                     const std::function<void()>& body) {
+  if (!ctx.team) { // orphaned at serial level: team of one
+    body();
+    return;
+  }
+  Team& team = *ctx.team;
+  if (team.claim_single(construct_id)) body();
+  if (!nowait) team.barrier();
+}
+
+void Runtime::master(ThreadContext& ctx, const std::function<void()>& body) {
+  if (ctx.thread_num == 0) body();
+}
+
+void Runtime::critical(ThreadContext& ctx, const std::function<void()>& body) {
+  static std::mutex fallback;
+  ProcessDomain* domain = nullptr;
+  for (const ThreadContext* c = &ctx; c; c = c->parent)
+    if (c->domain) {
+      domain = c->domain;
+      break;
+    }
+  std::scoped_lock lk(domain ? domain->critical_mu : fallback);
+  body();
+}
+
+void Runtime::barrier(ThreadContext& ctx) {
+  if (ctx.team) ctx.team->barrier();
+}
+
+void Runtime::sections(ThreadContext& ctx, uint64_t construct_id, bool nowait,
+                       const std::vector<std::function<void()>>& bodies) {
+  if (!ctx.team) {
+    for (const auto& b : bodies) b();
+    return;
+  }
+  Team& team = *ctx.team;
+  const int32_t n = static_cast<int32_t>(bodies.size());
+  for (;;) {
+    const int32_t idx = team.next_section(construct_id, n);
+    if (idx < 0) break;
+    bodies[static_cast<size_t>(idx)]();
+  }
+  if (!nowait) team.barrier();
+}
+
+void Runtime::ws_for(ThreadContext& ctx, bool nowait, int64_t lo, int64_t hi,
+                     const std::function<void(int64_t)>& body) {
+  const int64_t n = ctx.team_size();
+  const int64_t tid = ctx.thread_num;
+  const int64_t total = hi > lo ? hi - lo : 0;
+  const int64_t chunk = (total + n - 1) / (n > 0 ? n : 1);
+  const int64_t begin = lo + tid * chunk;
+  const int64_t end = std::min(hi, begin + chunk);
+  for (int64_t i = begin; i < end; ++i) body(i);
+  if (!nowait && ctx.team) ctx.team->barrier();
+}
+
+} // namespace parcoach::miniomp

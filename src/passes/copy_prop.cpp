@@ -1,0 +1,74 @@
+// Block-local copy propagation: after `x = y`, later uses of `x` in the same
+// block are rewritten to `y` until either side is redefined. Collective and
+// call results invalidate their target; region boundaries are barriers for
+// the local window (other threads may observe/write shared variables).
+#include "passes/pass_manager.h"
+
+#include <unordered_map>
+
+namespace parcoach::passes {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Instruction;
+using ir::Opcode;
+
+/// Rewrites VarRefs per `copies`; returns true on change.
+bool rewrite(ExprPtr& e, const std::unordered_map<std::string, std::string>& copies) {
+  if (!e) return false;
+  bool changed = false;
+  if (e->kind == Expr::Kind::VarRef) {
+    auto it = copies.find(e->var);
+    if (it != copies.end()) {
+      e->var = it->second;
+      changed = true;
+    }
+  }
+  for (auto& k : e->kids) changed |= rewrite(k, copies);
+  return changed;
+}
+
+void invalidate(std::unordered_map<std::string, std::string>& copies,
+                const std::string& var) {
+  copies.erase(var);
+  for (auto it = copies.begin(); it != copies.end();) {
+    if (it->second == var)
+      it = copies.erase(it);
+    else
+      ++it;
+  }
+}
+
+} // namespace
+
+bool propagate_copies(ir::Function& fn) {
+  bool changed = false;
+  for (auto& bb : fn.blocks()) {
+    std::unordered_map<std::string, std::string> copies;
+    for (auto& in : bb.instrs) {
+      // Uses first (the RHS sees the state before this definition).
+      changed |= rewrite(in.expr, copies);
+      for (auto& a : in.args) changed |= rewrite(a, copies);
+      changed |= rewrite(in.root, copies);
+      changed |= rewrite(in.num_threads, copies);
+      changed |= rewrite(in.if_clause, copies);
+
+      if (in.is_omp_boundary() || in.op == Opcode::ExplicitBarrier) {
+        // Conservative: shared variables may change across region edges.
+        copies.clear();
+        continue;
+      }
+      if (!in.var.empty()) {
+        invalidate(copies, in.var);
+        if (in.op == Opcode::Assign && in.expr &&
+            in.expr->kind == Expr::Kind::VarRef && in.expr->var != in.var)
+          copies[in.var] = in.expr->var;
+      }
+    }
+  }
+  return changed;
+}
+
+} // namespace parcoach::passes

@@ -1,0 +1,90 @@
+// Block-local common-subexpression elimination over pure expressions:
+// repeated assignments computing a structurally identical expression reuse
+// the earlier result variable (`b = <e>` becomes `b = a` when `a = <e>` is
+// still valid). Windows reset at region boundaries and when an input of the
+// cached expression is redefined. Builtins rank()/size() are loop-invariant
+// per process; omp_thread_num()/omp_num_threads() are invalidated at
+// boundaries along with everything else.
+#include "passes/pass_manager.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace parcoach::passes {
+
+namespace {
+
+using ir::Expr;
+using ir::Instruction;
+using ir::Opcode;
+
+struct Available {
+  const Expr* expr;  // points into the defining instruction (stable)
+  std::string var;   // holds the value
+  std::vector<std::string> inputs;
+};
+
+void collect_inputs(const Expr& e, std::vector<std::string>& out) {
+  if (e.kind == Expr::Kind::VarRef) out.push_back(e.var);
+  for (const auto& k : e.kids) collect_inputs(*k, out);
+}
+
+bool worth_caching(const Expr& e) {
+  // Only composite expressions: caching literals/refs is churn.
+  return e.kind == Expr::Kind::Binary || e.kind == Expr::Kind::Unary;
+}
+
+} // namespace
+
+bool local_cse(ir::Function& fn) {
+  bool changed = false;
+  for (auto& bb : fn.blocks()) {
+    std::vector<Available> window;
+    for (auto& in : bb.instrs) {
+      if (in.is_omp_boundary() || in.op == Opcode::ExplicitBarrier) {
+        window.clear();
+        continue;
+      }
+      bool replaced = false;
+      const bool cacheable =
+          in.op == Opcode::Assign && in.expr && worth_caching(*in.expr);
+      if (cacheable) {
+        for (const auto& av : window) {
+          if (ir::equal(*av.expr, *in.expr) && av.var != in.var) {
+            in.expr = Expr::var_ref(av.var, in.loc);
+            changed = true;
+            replaced = true;
+            break;
+          }
+        }
+      }
+      // The definition invalidates cached expressions using or producing
+      // this variable — before caching the fresh one.
+      if (!in.var.empty()) {
+        const std::string& def = in.var;
+        for (auto it = window.begin(); it != window.end();) {
+          const bool uses_def =
+              it->var == def ||
+              std::find(it->inputs.begin(), it->inputs.end(), def) !=
+                  it->inputs.end();
+          it = uses_def ? window.erase(it) : ++it;
+        }
+      }
+      if (cacheable && !replaced) {
+        Available av;
+        av.expr = in.expr.get();
+        av.var = in.var;
+        collect_inputs(*in.expr, av.inputs);
+        // Self-referencing assignments (`x = x + 1`) cache a value computed
+        // from the *old* x: unsafe to reuse, skip them.
+        if (std::find(av.inputs.begin(), av.inputs.end(), in.var) ==
+            av.inputs.end())
+          window.push_back(std::move(av));
+      }
+    }
+  }
+  return changed;
+}
+
+} // namespace parcoach::passes

@@ -1,0 +1,38 @@
+#include "passes/pass_manager.h"
+
+namespace parcoach::passes {
+
+void PassManager::add(std::string name, FunctionPass pass) {
+  passes_.emplace_back(std::move(name), std::move(pass));
+}
+
+bool PassManager::run(ir::Module& m) {
+  timings_.clear();
+  timings_.reserve(passes_.size());
+  bool any = false;
+  for (auto& [name, pass] : passes_) {
+    PassTiming t;
+    t.name = name;
+    const auto start = std::chrono::steady_clock::now();
+    for (auto& fn : m.functions()) t.changed |= pass(*fn);
+    t.elapsed = std::chrono::steady_clock::now() - start;
+    any |= t.changed;
+    timings_.push_back(std::move(t));
+  }
+  return any;
+}
+
+PassManager PassManager::standard_pipeline() {
+  PassManager pm;
+  for (int round = 0; round < 2; ++round) {
+    const std::string suffix = round == 0 ? "" : "#2";
+    pm.add("const-fold" + suffix, fold_constants);
+    pm.add("copy-prop" + suffix, propagate_copies);
+    pm.add("local-cse" + suffix, local_cse);
+    pm.add("simplify-cfg" + suffix, simplify_cfg);
+    pm.add("dce" + suffix, eliminate_dead_code);
+  }
+  return pm;
+}
+
+} // namespace parcoach::passes

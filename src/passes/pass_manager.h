@@ -1,0 +1,54 @@
+// Middle-end pass manager with per-pass wall-clock accounting.
+//
+// The Figure-1 experiment measures the *relative* cost of the PARCOACH
+// analysis and instrumentation on top of an ordinary compile pipeline, so the
+// baseline must do real work: the default pipeline runs constant folding,
+// CFG simplification and dead-code elimination to fixpoint-ish (two rounds),
+// like a -O1 compiler would.
+#pragma once
+
+#include "ir/module.h"
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace parcoach::passes {
+
+struct PassTiming {
+  std::string name;
+  std::chrono::nanoseconds elapsed{0};
+  bool changed = false;
+};
+
+class PassManager {
+public:
+  using FunctionPass = std::function<bool(ir::Function&)>;
+
+  void add(std::string name, FunctionPass pass);
+
+  /// Runs all passes over all functions, in order. Returns true if anything
+  /// changed. Timings are accumulated per pass across functions.
+  bool run(ir::Module& m);
+
+  [[nodiscard]] const std::vector<PassTiming>& timings() const noexcept {
+    return timings_;
+  }
+
+  /// The standard optimization pipeline (const-fold, simplify-cfg, dce) x2.
+  static PassManager standard_pipeline();
+
+private:
+  std::vector<std::pair<std::string, FunctionPass>> passes_;
+  std::vector<PassTiming> timings_;
+};
+
+// Individual passes (exposed for unit tests).
+bool fold_constants(ir::Function& fn);
+bool simplify_cfg(ir::Function& fn);
+bool eliminate_dead_code(ir::Function& fn);
+bool propagate_copies(ir::Function& fn);
+bool local_cse(ir::Function& fn);
+
+} // namespace parcoach::passes

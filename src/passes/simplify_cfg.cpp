@@ -1,0 +1,116 @@
+// CFG simplification:
+//   1. CondBr with a constant condition becomes Br (dropping one edge);
+//   2. blocks containing only a Br are threaded out of the graph;
+//   3. unreachable blocks are compacted away (ids are remapped).
+// OpenMP boundary blocks are never threaded or merged: the analyses rely on
+// the "directive alone in its block" invariant from the paper.
+#include "passes/pass_manager.h"
+
+#include <algorithm>
+
+namespace parcoach::passes {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::BlockId;
+using ir::Function;
+using ir::Instruction;
+using ir::Opcode;
+
+bool has_boundary(const BasicBlock& bb) {
+  return std::any_of(bb.instrs.begin(), bb.instrs.end(), [](const Instruction& in) {
+    return in.is_omp_boundary() || in.op == Opcode::ExplicitBarrier;
+  });
+}
+
+bool fold_constant_branches(Function& fn) {
+  bool changed = false;
+  for (auto& bb : fn.blocks()) {
+    if (bb.instrs.empty()) continue;
+    Instruction& t = bb.instrs.back();
+    if (t.op != Opcode::CondBr || !t.expr ||
+        t.expr->kind != ir::Expr::Kind::IntLit)
+      continue;
+    const bool taken = t.expr->int_val != 0;
+    const BlockId target = bb.succs[taken ? 0 : 1];
+    t.op = Opcode::Br;
+    t.expr.reset();
+    bb.succs.assign(1, target);
+    changed = true;
+  }
+  return changed;
+}
+
+/// Redirects edges through blocks that contain nothing but `br`.
+bool thread_trivial_blocks(Function& fn) {
+  bool changed = false;
+  for (auto& bb : fn.blocks()) {
+    for (BlockId& s : bb.succs) {
+      // Follow chains of trivial forwarding blocks (bounded to avoid cycles).
+      for (int hops = 0; hops < 8; ++hops) {
+        const BasicBlock& mid = fn.block(s);
+        if (mid.id == fn.exit || mid.id == fn.entry) break;
+        if (mid.instrs.size() != 1 || mid.instrs[0].op != Opcode::Br) break;
+        if (has_boundary(mid)) break;
+        const BlockId next = mid.succs[0];
+        if (next == s) break; // self-loop
+        s = next;
+        changed = true;
+      }
+    }
+  }
+  return changed;
+}
+
+/// Drops blocks unreachable from entry (keeps exit), remapping ids.
+bool compact_unreachable(Function& fn) {
+  const int32_t n = fn.num_blocks();
+  std::vector<uint8_t> reach(static_cast<size_t>(n), 0);
+  std::vector<BlockId> work{fn.entry};
+  reach[static_cast<size_t>(fn.entry)] = 1;
+  while (!work.empty()) {
+    const BlockId b = work.back();
+    work.pop_back();
+    for (BlockId s : fn.block(b).succs) {
+      if (!reach[static_cast<size_t>(s)]) {
+        reach[static_cast<size_t>(s)] = 1;
+        work.push_back(s);
+      }
+    }
+  }
+  reach[static_cast<size_t>(fn.exit)] = 1; // always keep the synthetic exit
+  bool any_dead = false;
+  for (int32_t b = 0; b < n; ++b) any_dead |= !reach[static_cast<size_t>(b)];
+  if (!any_dead) return false;
+
+  std::vector<BlockId> remap(static_cast<size_t>(n), ir::kNoBlock);
+  std::vector<BasicBlock> kept;
+  kept.reserve(static_cast<size_t>(n));
+  for (int32_t b = 0; b < n; ++b) {
+    if (!reach[static_cast<size_t>(b)]) continue;
+    remap[static_cast<size_t>(b)] = static_cast<BlockId>(kept.size());
+    kept.push_back(std::move(fn.block(b)));
+  }
+  for (auto& bb : kept) {
+    bb.id = remap[static_cast<size_t>(bb.id)];
+    for (BlockId& s : bb.succs) s = remap[static_cast<size_t>(s)];
+  }
+  fn.blocks() = std::move(kept);
+  fn.entry = remap[static_cast<size_t>(fn.entry)];
+  fn.exit = remap[static_cast<size_t>(fn.exit)];
+  return true;
+}
+
+} // namespace
+
+bool simplify_cfg(ir::Function& fn) {
+  bool changed = false;
+  changed |= fold_constant_branches(fn);
+  changed |= thread_trivial_blocks(fn);
+  changed |= compact_unreachable(fn);
+  fn.recompute_preds();
+  return changed;
+}
+
+} // namespace parcoach::passes

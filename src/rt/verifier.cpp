@@ -1,0 +1,228 @@
+#include "rt/verifier.h"
+
+#include "support/str.h"
+
+#include <thread>
+
+namespace parcoach::rt {
+
+namespace {
+
+/// CC wire encoding. FINAL sentinel is negative; regular ids pack
+/// (kind, op, root) so argument divergence is part of the agreement when
+/// enabled: id = (kind+1)*1e6 + (op+1)*1e4 + (root+2).
+constexpr int64_t kFinalId = -1;
+constexpr int64_t kKindBase = 1'000'000;
+constexpr int64_t kOpBase = 10'000;
+
+int64_t encode_cc(ir::CollectiveKind kind, std::optional<ir::ReduceOp> op,
+                  int32_t root, bool with_args) {
+  const int64_t k = static_cast<int64_t>(kind) + 1;
+  if (!with_args) return k * kKindBase;
+  const int64_t o = op ? static_cast<int64_t>(*op) + 1 : 0;
+  return k * kKindBase + o * kOpBase + (root + 2);
+}
+
+std::string cc_name(int64_t id) {
+  if (id == kFinalId) return "<left main>";
+  const auto kind = static_cast<ir::CollectiveKind>(id / kKindBase - 1);
+  std::string name(ir::to_string(kind));
+  const int64_t rest = id % kKindBase;
+  const int64_t op = rest / kOpBase;
+  const int64_t root = rest % kOpBase;
+  if (op > 0)
+    name += str::cat("[", ir::to_string(static_cast<ir::ReduceOp>(op - 1)), "]");
+  if (root > 1) name += str::cat("(root=", root - 2, ")");
+  return name;
+}
+
+} // namespace
+
+Verifier::Verifier(const SourceManager& sm, VerifierOptions opts,
+                   int32_t num_ranks)
+    : sm_(sm), opts_(opts), num_ranks_(num_ranks) {
+  cc_mu_.reserve(static_cast<size_t>(num_ranks));
+  for (int32_t r = 0; r < num_ranks; ++r)
+    cc_mu_.push_back(std::make_unique<std::mutex>());
+}
+
+void Verifier::record(Severity sev, DiagKind kind, SourceLoc loc, std::string msg,
+                      std::vector<std::pair<SourceLoc, std::string>> notes) {
+  std::scoped_lock lk(mu_);
+  Diagnostic d;
+  d.severity = sev;
+  d.kind = kind;
+  d.loc = loc;
+  d.message = std::move(msg);
+  d.notes = std::move(notes);
+  diags_.push_back(std::move(d));
+}
+
+void Verifier::check_cc(simmpi::Rank& rank, ir::CollectiveKind kind,
+                        SourceLoc loc, std::optional<ir::ReduceOp> op,
+                        int32_t root) {
+  const int64_t my_id = encode_cc(kind, op, root, opts_.check_arguments);
+  std::vector<int64_t> ids;
+  {
+    std::scoped_lock cc_lock(*cc_mu_[static_cast<size_t>(rank.rank())]);
+    const simmpi::Signature sig{ir::CollectiveKind::Allgather, -1, {}};
+    ids = rank.verifier_comm().execute(rank.rank(), sig, my_id).vec;
+  }
+  bool mismatch = false;
+  for (int64_t id : ids) mismatch |= id != ids[0];
+  if (!mismatch) return;
+
+  // Every rank observes the same allgather result; let rank 0's thread
+  // produce the report to avoid duplicates, then abort the world.
+  if (rank.rank() == static_cast<int32_t>(0)) {
+    std::string detail;
+    for (size_t r = 0; r < ids.size(); ++r)
+      detail += str::cat(r ? ", " : "", "rank ", r, "=", cc_name(ids[r]));
+    record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
+           str::cat("CC check: MPI processes are about to execute different "
+                    "collectives (", detail, "); stopping before deadlock"));
+  }
+  rank.abort(str::cat("CC mismatch detected before ", ir::to_string(kind),
+                      " at ", sm_.describe(loc)));
+  throw simmpi::AbortedError("CC mismatch");
+}
+
+void Verifier::check_cc_final(simmpi::Rank& rank, SourceLoc loc) {
+  std::vector<int64_t> ids;
+  {
+    std::scoped_lock cc_lock(*cc_mu_[static_cast<size_t>(rank.rank())]);
+    const simmpi::Signature sig{ir::CollectiveKind::Allgather, -1, {}};
+    ids = rank.verifier_comm().execute(rank.rank(), sig, kFinalId).vec;
+  }
+  bool mismatch = false;
+  for (int64_t id : ids) mismatch |= id != kFinalId;
+  if (!mismatch) return;
+  if (rank.rank() == 0) {
+    std::string detail;
+    for (size_t r = 0; r < ids.size(); ++r)
+      detail += str::cat(r ? ", " : "", "rank ", r, "=", cc_name(ids[r]));
+    record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
+           str::cat("CC check: some processes leave main while others still "
+                    "execute collectives (", detail, "); stopping before "
+                    "deadlock"));
+  }
+  rank.abort(str::cat("CC mismatch at process exit, ", sm_.describe(loc)));
+  throw simmpi::AbortedError("CC mismatch at exit");
+}
+
+// ---- MonoGuard ----------------------------------------------------------------
+
+Verifier::MonoGuard::MonoGuard(Verifier& v, simmpi::Rank& rank, int32_t stmt_id,
+                               SourceLoc loc)
+    : v_(v), rank_(rank), stmt_id_(stmt_id) {
+  int32_t occupancy;
+  {
+    std::scoped_lock lk(v_.mu_);
+    occupancy = ++v_.site_occupancy_[{rank.rank(), stmt_id}];
+  }
+  if (v_.opts_.rendezvous.count() > 0)
+    std::this_thread::sleep_for(v_.opts_.rendezvous);
+  if (occupancy > 1) {
+    v_.record(Severity::Error, DiagKind::RtMultithreadedCollective, loc,
+              str::cat("monothread check: collective statement executed by ",
+                       occupancy, " threads concurrently in rank ",
+                       rank.rank()));
+    rank.abort(str::cat("collective executed by multiple threads at ",
+                        v_.sm_.describe(loc)));
+    throw simmpi::AbortedError("multithreaded collective");
+  }
+}
+
+Verifier::MonoGuard::~MonoGuard() {
+  std::scoped_lock lk(v_.mu_);
+  --v_.site_occupancy_[{rank_.rank(), stmt_id_}];
+}
+
+// ---- RegionGuard --------------------------------------------------------------
+
+Verifier::RegionGuard::RegionGuard(Verifier& v, simmpi::Rank& rank,
+                                   int32_t region_id, SourceLoc loc)
+    : v_(v), rank_(rank), region_id_(region_id) {
+  int32_t self_active = 0;
+  int32_t other_region = -1;
+  SourceLoc other_loc;
+  {
+    std::scoped_lock lk(v_.mu_);
+    self_active = ++v_.region_active_[{rank.rank(), region_id}];
+    v_.region_loc_[{rank.rank(), region_id}] = loc;
+    for (const auto& [key, count] : v_.region_active_) {
+      if (key.first != rank.rank() || count <= 0) continue;
+      if (key.second != region_id) {
+        other_region = key.second;
+        other_loc = v_.region_loc_[key];
+        break;
+      }
+    }
+  }
+  if (v_.opts_.rendezvous.count() > 0)
+    std::this_thread::sleep_for(v_.opts_.rendezvous);
+
+  if (self_active > 1) {
+    v_.record(Severity::Error, DiagKind::RtConcurrentCollectives, loc,
+              str::cat("region check: monothreaded region S", region_id,
+                       " overlaps itself (", self_active,
+                       " instances) in rank ", rank.rank(),
+                       "; collective order is nondeterministic"));
+    rank.abort(str::cat("concurrent instances of region S", region_id, " at ",
+                        v_.sm_.describe(loc)));
+    throw simmpi::AbortedError("self-concurrent region");
+  }
+  if (other_region >= 0) {
+    v_.record(
+        Severity::Error, DiagKind::RtConcurrentCollectives, loc,
+        str::cat("region check: monothreaded regions S", region_id, " and S",
+                 other_region, " with collectives are active concurrently in "
+                 "rank ", rank.rank(), "; collective order is "
+                 "nondeterministic"),
+        {{other_loc, str::cat("region S", other_region, " entered here")}});
+    rank.abort(str::cat("concurrent collective regions S", region_id, "/S",
+                        other_region, " at ", v_.sm_.describe(loc)));
+    throw simmpi::AbortedError("concurrent regions");
+  }
+}
+
+Verifier::RegionGuard::~RegionGuard() {
+  std::scoped_lock lk(v_.mu_);
+  --v_.region_active_[{rank_.rank(), region_id_}];
+}
+
+void Verifier::check_thread_usage(simmpi::Rank& rank, bool in_parallel,
+                                  bool master_only, SourceLoc loc) {
+  if (!rank.initialized()) return;
+  const ir::ThreadLevel lv = rank.provided();
+  bool violation = false;
+  std::string what;
+  if (lv == ir::ThreadLevel::Single && in_parallel) {
+    violation = true;
+    what = "MPI call from a parallel region under MPI_THREAD_single";
+  } else if (lv == ir::ThreadLevel::Funneled && in_parallel && !master_only) {
+    violation = true;
+    what = "MPI call from a non-master thread under MPI_THREAD_funneled";
+  }
+  if (!violation) return;
+  record(Severity::Warning, DiagKind::RtThreadLevelViolation, loc,
+         str::cat(what, " in rank ", rank.rank()));
+  if (opts_.abort_on_thread_level) {
+    rank.abort(str::cat(what, " at ", sm_.describe(loc)));
+    throw simmpi::AbortedError(what);
+  }
+}
+
+std::vector<Diagnostic> Verifier::diagnostics() const {
+  std::scoped_lock lk(mu_);
+  return diags_;
+}
+
+size_t Verifier::error_count() const {
+  std::scoped_lock lk(mu_);
+  size_t n = 0;
+  for (const auto& d : diags_) n += d.severity == Severity::Error;
+  return n;
+}
+
+} // namespace parcoach::rt

@@ -1,0 +1,119 @@
+// Execution-time verification (Section 3 of the paper).
+//
+// The CC check runs *before* each instrumented collective: every rank
+// contributes the id of the collective it is about to execute to an
+// allgather on a dedicated verifier communicator. If the ids disagree, every
+// rank learns the full per-rank picture, the error is reported with the
+// collective names and source locations involved, and the world is aborted —
+// *before* the mismatched application collectives can deadlock. A sentinel
+// id is contributed before a process leaves main, catching "rank 0 returned
+// while rank 1 still waits in MPI_Allreduce" situations.
+//
+// Occupancy checks guard collectives that the static phase could not prove
+// monothreaded: a per-site counter detects two threads inside the same
+// collective statement. The region registry detects two concurrent
+// monothreaded regions (set Scc) overlapping inside one process, including a
+// region overlapping itself across loop iterations. An optional rendezvous
+// window dwells inside checks to make genuinely racy overlaps deterministic
+// in tests.
+#pragma once
+
+#include "ir/collective.h"
+#include "simmpi/world.h"
+#include "support/diagnostics.h"
+#include "support/source_manager.h"
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <optional>
+
+namespace parcoach::rt {
+
+struct VerifierOptions {
+  /// Dwell time inside occupancy/region checks; widens real race windows so
+  /// tests can observe them deterministically. Zero = no dwell.
+  std::chrono::milliseconds rendezvous{0};
+  /// Record (not abort) thread-level violations.
+  bool abort_on_thread_level = false;
+  /// Include reduction operator and root rank in the CC agreement (extension
+  /// over the paper, which checks collective *types* only — "the correctness
+  /// of collectives arguments ... is not checked"). Off = paper-faithful:
+  /// an op/root divergence then manifests as a hang caught by the watchdog.
+  bool check_arguments = true;
+};
+
+class Verifier {
+public:
+  Verifier(const SourceManager& sm, VerifierOptions opts, int32_t num_ranks);
+
+  /// CC before a collective. Aborts the world on mismatch (throws
+  /// simmpi::AbortedError into the calling rank like any abort). `op` and
+  /// `root` take part in the agreement when options.check_arguments is set;
+  /// root is the *evaluated* root rank (-1 for rootless collectives).
+  void check_cc(simmpi::Rank& rank, ir::CollectiveKind kind, SourceLoc loc,
+                std::optional<ir::ReduceOp> op = std::nullopt,
+                int32_t root = -1);
+
+  /// CC sentinel before a process leaves main.
+  void check_cc_final(simmpi::Rank& rank, SourceLoc loc);
+
+  /// RAII guard for collective-site occupancy (set S / Sipw validation).
+  class MonoGuard {
+  public:
+    MonoGuard(Verifier& v, simmpi::Rank& rank, int32_t stmt_id, SourceLoc loc);
+    ~MonoGuard();
+    MonoGuard(const MonoGuard&) = delete;
+    MonoGuard& operator=(const MonoGuard&) = delete;
+
+  private:
+    Verifier& v_;
+    simmpi::Rank& rank_;
+    int32_t stmt_id_;
+  };
+
+  /// RAII guard for watched monothreaded regions (set Scc validation).
+  class RegionGuard {
+  public:
+    RegionGuard(Verifier& v, simmpi::Rank& rank, int32_t region_id,
+                SourceLoc loc);
+    ~RegionGuard();
+    RegionGuard(const RegionGuard&) = delete;
+    RegionGuard& operator=(const RegionGuard&) = delete;
+
+  private:
+    Verifier& v_;
+    simmpi::Rank& rank_;
+    int32_t region_id_;
+  };
+
+  /// Thread-level usage check at a collective site. `master_only` = the
+  /// executing thread is thread 0 of every enclosing team.
+  void check_thread_usage(simmpi::Rank& rank, bool in_parallel, bool master_only,
+                          SourceLoc loc);
+
+  /// Runtime diagnostics collected so far (thread-safe copy).
+  [[nodiscard]] std::vector<Diagnostic> diagnostics() const;
+  [[nodiscard]] size_t error_count() const;
+
+private:
+  void record(Severity sev, DiagKind kind, SourceLoc loc, std::string msg,
+              std::vector<std::pair<SourceLoc, std::string>> notes = {});
+
+  const SourceManager& sm_;
+  VerifierOptions opts_;
+  int32_t num_ranks_;
+
+  mutable std::mutex mu_;
+  std::vector<Diagnostic> diags_;
+  /// Serializes CC calls within one rank so misuse cannot desynchronize the
+  /// verifier communicator itself.
+  std::vector<std::unique_ptr<std::mutex>> cc_mu_;
+  /// Occupancy per (rank, stmt). Guarded by mu_.
+  std::map<std::pair<int32_t, int32_t>, int32_t> site_occupancy_;
+  /// Active watched regions per (rank, region) with entry loc. Guarded by mu_.
+  std::map<std::pair<int32_t, int32_t>, int32_t> region_active_;
+  std::map<std::pair<int32_t, int32_t>, SourceLoc> region_loc_;
+};
+
+} // namespace parcoach::rt

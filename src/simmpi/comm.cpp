@@ -1,0 +1,285 @@
+#include "simmpi/comm.h"
+
+#include "support/str.h"
+
+#include <algorithm>
+
+namespace parcoach::simmpi {
+
+std::string Signature::str() const {
+  std::string s(ir::to_string(kind));
+  if (root >= 0) s += str::cat("(root=", root, ")");
+  if (op) s += str::cat("[", ir::to_string(*op), "]");
+  return s;
+}
+
+void WorldState::abort(const std::string& reason) {
+  std::vector<std::condition_variable*> to_wake;
+  {
+    std::scoped_lock lk(mu);
+    if (!aborted) {
+      aborted = true;
+      abort_reason = reason;
+    }
+    to_wake = cvs_;
+  }
+  cv.notify_all();
+  for (auto* c : to_wake) c->notify_all();
+}
+
+bool WorldState::is_aborted() {
+  std::scoped_lock lk(mu);
+  return aborted;
+}
+
+void WorldState::register_cv(std::condition_variable* waiter_cv) {
+  std::scoped_lock lk(mu);
+  cvs_.push_back(waiter_cv);
+}
+
+int64_t apply_reduce(ReduceOp op, int64_t a, int64_t b) noexcept {
+  switch (op) {
+    case ReduceOp::Sum: return a + b;
+    case ReduceOp::Prod: return a * b;
+    case ReduceOp::Min: return std::min(a, b);
+    case ReduceOp::Max: return std::max(a, b);
+    case ReduceOp::Land: return (a != 0 && b != 0) ? 1 : 0;
+    case ReduceOp::Lor: return (a != 0 || b != 0) ? 1 : 0;
+    case ReduceOp::Band: return a & b;
+    case ReduceOp::Bor: return a | b;
+  }
+  return 0;
+}
+
+Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict)
+    : name_(std::move(name)), size_(size), world_(world), strict_(strict),
+      next_slot_(static_cast<size_t>(size), 0),
+      blocked_(static_cast<size_t>(size)) {
+  world_.register_cv(&cv_);
+}
+
+void Comm::compute_results(Slot& s) {
+  const size_t n = static_cast<size_t>(size_);
+  s.out_scalar.assign(n, 0);
+  s.out_vec.assign(n, {});
+  const Signature& sig = s.sig;
+  switch (sig.kind) {
+    case CollectiveKind::Barrier:
+    case CollectiveKind::Finalize:
+      break;
+    case CollectiveKind::Bcast: {
+      const int64_t v = s.contrib[static_cast<size_t>(sig.root)];
+      std::fill(s.out_scalar.begin(), s.out_scalar.end(), v);
+      break;
+    }
+    case CollectiveKind::Reduce:
+    case CollectiveKind::Allreduce:
+    case CollectiveKind::ReduceScatter: {
+      int64_t acc = s.contrib[0];
+      for (size_t r = 1; r < n; ++r) acc = apply_reduce(*sig.op, acc, s.contrib[r]);
+      if (sig.kind == CollectiveKind::Reduce) {
+        // Non-root receive buffers are undefined in MPI; we return the
+        // rank's own contribution (documented).
+        s.out_scalar = s.contrib;
+        s.out_scalar[static_cast<size_t>(sig.root)] = acc;
+      } else {
+        std::fill(s.out_scalar.begin(), s.out_scalar.end(), acc);
+      }
+      break;
+    }
+    case CollectiveKind::Scan: {
+      int64_t acc = 0;
+      for (size_t r = 0; r < n; ++r) {
+        acc = r == 0 ? s.contrib[0] : apply_reduce(*sig.op, acc, s.contrib[r]);
+        s.out_scalar[r] = acc;
+      }
+      break;
+    }
+    case CollectiveKind::Gather: {
+      s.out_vec[static_cast<size_t>(sig.root)] = s.contrib;
+      // Scalar view: checksum at root (used by the DSL bridge).
+      int64_t sum = 0;
+      for (int64_t v : s.contrib) sum += v;
+      s.out_scalar[static_cast<size_t>(sig.root)] = sum;
+      break;
+    }
+    case CollectiveKind::Allgather: {
+      for (size_t r = 0; r < n; ++r) s.out_vec[r] = s.contrib;
+      int64_t sum = 0;
+      for (int64_t v : s.contrib) sum += v;
+      std::fill(s.out_scalar.begin(), s.out_scalar.end(), sum);
+      break;
+    }
+    case CollectiveKind::Scatter: {
+      const auto& src = s.vec_contrib[static_cast<size_t>(sig.root)];
+      for (size_t r = 0; r < n; ++r) {
+        // Missing root vector entries default to root's scalar + r (the DSL
+        // bridge's synthetic scatter payload).
+        s.out_scalar[r] = r < src.size()
+                              ? src[r]
+                              : s.contrib[static_cast<size_t>(sig.root)] +
+                                    static_cast<int64_t>(r);
+      }
+      break;
+    }
+    case CollectiveKind::Alltoall: {
+      for (size_t r = 0; r < n; ++r) {
+        auto& out = s.out_vec[r];
+        out.assign(n, 0);
+        int64_t sum = 0;
+        for (size_t q = 0; q < n; ++q) {
+          const auto& src = s.vec_contrib[q];
+          out[q] = r < src.size() ? src[r] : s.contrib[q];
+          sum += out[q];
+        }
+        s.out_scalar[r] = sum;
+      }
+      break;
+    }
+  }
+}
+
+Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
+                           const std::vector<int64_t>& vec) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+
+  const size_t idx = next_slot_[static_cast<size_t>(rank)]++;
+  if (idx < slot_base_)
+    throw UsageError("internal: slot index below base (double completion?)");
+  while (slots_.size() <= idx - slot_base_) {
+    Slot s;
+    s.present.assign(static_cast<size_t>(size_), 0);
+    s.contrib.assign(static_cast<size_t>(size_), 0);
+    s.vec_contrib.assign(static_cast<size_t>(size_), {});
+    slots_.push_back(std::move(s));
+  }
+  Slot& s = slots_[idx - slot_base_];
+  if (s.arrived == 0 && !s.complete) s.sig = sig;
+
+  auto& binfo = blocked_[static_cast<size_t>(rank)];
+  if (!(s.sig == sig)) {
+    // Signature mismatch: real MPI would hang or corrupt. Default: block
+    // until the watchdog or a verifier aborts the world.
+    if (strict_) {
+      const std::string msg =
+          str::cat("collective mismatch on ", name_, " slot ", idx, ": rank ",
+                   rank, " called ", sig.str(), " but slot is ", s.sig.str());
+      world_.abort(msg);
+      cv_.notify_all();
+      throw MismatchError(msg);
+    }
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.mismatch = true;
+    binfo.slot = idx;
+    binfo.sig = sig;
+    cv_.wait(lk, [&] { return world_.is_aborted(); });
+    binfo = BlockedInfo{};
+    throw AbortedError(world_.abort_reason);
+  }
+
+  s.present[static_cast<size_t>(rank)] = 1;
+  s.contrib[static_cast<size_t>(rank)] = scalar;
+  s.vec_contrib[static_cast<size_t>(rank)] = vec;
+  ++s.arrived;
+
+  if (s.arrived == size_) {
+    compute_results(s);
+    s.complete = true;
+    ++completed_;
+    {
+      std::scoped_lock wlk(world_.mu);
+      ++world_.progress;
+    }
+    cv_.notify_all();
+  } else {
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.slot = idx;
+    binfo.sig = sig;
+    cv_.wait(lk, [&] { return s.complete || world_.is_aborted(); });
+    binfo = BlockedInfo{};
+    if (!s.complete) throw AbortedError(world_.abort_reason);
+  }
+
+  Result r;
+  r.scalar = s.out_scalar[static_cast<size_t>(rank)];
+  r.vec = s.out_vec[static_cast<size_t>(rank)];
+  if (++s.consumed == size_) {
+    // Pop fully consumed slots from the front to bound memory.
+    while (!slots_.empty() && slots_.front().consumed == size_) {
+      slots_.pop_front();
+      ++slot_base_;
+    }
+  }
+  return r;
+}
+
+void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
+                bool rendezvous) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (dst < 0 || dst >= size_)
+    throw UsageError(str::cat("send to invalid rank ", dst));
+  Mailbox& box = mail_[MailKey{src, dst, tag}];
+  box.messages.push_back(value);
+  {
+    std::scoped_lock wlk(world_.mu);
+    ++world_.progress;
+  }
+  cv_.notify_all();
+  if (!rendezvous) return;
+  // Rendezvous: wait until a receiver consumed this message (box drained to
+  // before-our-message level is hard to track exactly; we wait until our
+  // message is gone, which for FIFO order means all earlier ones went too).
+  auto& binfo = blocked_[static_cast<size_t>(src)];
+  binfo = BlockedInfo{};
+  binfo.blocked = true;
+  binfo.p2p = str::cat("send to ", dst, " tag ", tag, " (rendezvous)");
+  const size_t target = box.messages.size() - 1; // entries that must drain
+  cv_.wait(lk, [&] {
+    return world_.is_aborted() ||
+           mail_[MailKey{src, dst, tag}].messages.size() <= target;
+  });
+  binfo = BlockedInfo{};
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+}
+
+int64_t Comm::recv(int32_t dst, int32_t src, int32_t tag) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (src < 0 || src >= size_)
+    throw UsageError(str::cat("recv from invalid rank ", src));
+  Mailbox& box = mail_[MailKey{src, dst, tag}];
+  auto& binfo = blocked_[static_cast<size_t>(dst)];
+  if (box.messages.empty()) {
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.p2p = str::cat("recv from ", src, " tag ", tag);
+    cv_.wait(lk, [&] { return world_.is_aborted() || !box.messages.empty(); });
+    binfo = BlockedInfo{};
+    if (world_.is_aborted() && box.messages.empty())
+      throw AbortedError(world_.abort_reason);
+  }
+  const int64_t v = box.messages.front();
+  box.messages.pop_front();
+  {
+    std::scoped_lock wlk(world_.mu);
+    ++world_.progress;
+  }
+  cv_.notify_all();
+  return v;
+}
+
+std::vector<BlockedInfo> Comm::blocked_snapshot() {
+  std::scoped_lock lk(mu_);
+  return blocked_;
+}
+
+uint64_t Comm::completed_slots() {
+  std::scoped_lock lk(mu_);
+  return completed_;
+}
+
+} // namespace parcoach::simmpi

@@ -1,0 +1,153 @@
+// Communicator with slot-based collective matching.
+//
+// Semantics mirror a real blocking MPI implementation: the k-th collective
+// call a rank issues on a communicator matches the k-th call of every other
+// rank. The first arriver stamps the slot's signature (kind, root, reduce
+// op); later arrivers with a different signature either block forever
+// (default — the behaviour that turns mismatches into application hangs,
+// which the watchdog then reports) or fail fast in `strict` mode (MUST-like
+// reference behaviour used by tests to cross-check the validator).
+//
+// All entry points are fully thread-safe: with MPI_THREAD_MULTIPLE, several
+// threads of one rank may call concurrently; each call consumes its own slot
+// index, faithfully reproducing the desynchronization such races cause.
+#pragma once
+
+#include "ir/collective.h"
+#include "simmpi/errors.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace parcoach::simmpi {
+
+using ir::CollectiveKind;
+using ir::ReduceOp;
+
+/// Collective call signature; all ranks must agree per slot.
+struct Signature {
+  CollectiveKind kind{};
+  int32_t root = -1;
+  std::optional<ReduceOp> op;
+
+  friend bool operator==(const Signature&, const Signature&) = default;
+  [[nodiscard]] std::string str() const;
+};
+
+/// Shared world state: abort flag + progress heartbeat for the watchdog.
+/// Communicators register their condition variables so that an abort wakes
+/// every rank blocked anywhere in the world.
+struct WorldState {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool aborted = false;
+  std::string abort_reason;
+  uint64_t progress = 0; // bumped on every slot completion
+
+  /// Sets the abort flag (first reason wins) and wakes all waiters of all
+  /// registered communicators.
+  void abort(const std::string& reason);
+  [[nodiscard]] bool is_aborted();
+  void register_cv(std::condition_variable* waiter_cv);
+
+private:
+  std::vector<std::condition_variable*> cvs_;
+};
+
+/// Per-rank blocked-state snapshot for deadlock reports.
+struct BlockedInfo {
+  bool blocked = false;
+  bool mismatch = false; // arrived with a signature that differs from slot's
+  size_t slot = 0;
+  Signature sig;
+  /// Non-empty for point-to-point waits ("recv from 1 tag 0").
+  std::string p2p;
+};
+
+class Comm {
+public:
+  Comm(std::string name, int32_t size, WorldState& world, bool strict);
+
+  [[nodiscard]] int32_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  struct Result {
+    int64_t scalar = 0;
+    std::vector<int64_t> vec;
+  };
+
+  /// Executes one blocking collective for `rank`. `scalar` is the rank's
+  /// scalar contribution; `vec` its vector contribution (for scatter at
+  /// root / alltoall). Blocks until all ranks arrive at the slot (or the
+  /// world aborts -> AbortedError / strict mismatch -> MismatchError).
+  Result execute(int32_t rank, const Signature& sig, int64_t scalar,
+                 const std::vector<int64_t>& vec = {});
+
+  /// Snapshot of who is blocked where (for the watchdog's report).
+  [[nodiscard]] std::vector<BlockedInfo> blocked_snapshot();
+
+  /// Number of completed slots (tests & stats).
+  [[nodiscard]] uint64_t completed_slots();
+
+  // -- Point-to-point ---------------------------------------------------------
+  /// Blocking send. Default semantics are *eager* (buffered: enqueues and
+  /// returns); with `rendezvous` the sender blocks until the matching
+  /// receive arrives — reproducing the classic head-to-head exchange
+  /// deadlock of unbuffered MPI_Send.
+  void send(int32_t src, int32_t dst, int32_t tag, int64_t value,
+            bool rendezvous = false);
+
+  /// Blocking receive of one message from (src, tag). Messages from the
+  /// same (src, dst, tag) triple arrive in send order (MPI ordering rule).
+  int64_t recv(int32_t dst, int32_t src, int32_t tag);
+
+private:
+  struct Slot {
+    Signature sig;
+    int32_t arrived = 0;
+    int32_t consumed = 0;
+    bool complete = false;
+    std::vector<uint8_t> present;
+    std::vector<int64_t> contrib;
+    std::vector<std::vector<int64_t>> vec_contrib;
+    std::vector<int64_t> out_scalar;
+    std::vector<std::vector<int64_t>> out_vec;
+  };
+
+  void compute_results(Slot& s);
+
+  std::string name_;
+  int32_t size_;
+  WorldState& world_;
+  bool strict_;
+
+  struct MailKey {
+    int32_t src, dst, tag;
+    friend auto operator<=>(const MailKey&, const MailKey&) = default;
+  };
+  struct Mailbox {
+    std::deque<int64_t> messages;
+    int32_t recv_waiting = 0; // receivers blocked on this key (rendezvous)
+  };
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<MailKey, Mailbox> mail_;
+  std::deque<Slot> slots_;
+  size_t slot_base_ = 0; // index of slots_.front()
+  std::vector<size_t> next_slot_;
+  std::vector<BlockedInfo> blocked_;
+  uint64_t completed_ = 0;
+};
+
+/// Applies a reduction operator.
+[[nodiscard]] int64_t apply_reduce(ReduceOp op, int64_t a, int64_t b) noexcept;
+
+} // namespace parcoach::simmpi

@@ -1,0 +1,38 @@
+// Error conditions surfaced by the simulated MPI runtime.
+//
+// Exceptions are used to unwind rank threads: a rank blocked inside a
+// collective throws when the world aborts (verifier-initiated or watchdog
+// deadlock). World::run catches them per rank and folds them into the
+// RunReport — they never escape to the caller.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace parcoach::simmpi {
+
+/// The world was aborted (verifier check failed, or user abort).
+class AbortedError : public std::runtime_error {
+public:
+  explicit AbortedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The watchdog declared a hang (collective mismatch left ranks blocked).
+class DeadlockError : public std::runtime_error {
+public:
+  explicit DeadlockError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Strict-matching mode detected a signature mismatch at match time.
+class MismatchError : public std::runtime_error {
+public:
+  explicit MismatchError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// MPI misuse independent of matching (e.g. collective after finalize).
+class UsageError : public std::runtime_error {
+public:
+  explicit UsageError(const std::string& what) : std::runtime_error(what) {}
+};
+
+} // namespace parcoach::simmpi

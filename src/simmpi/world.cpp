@@ -1,0 +1,242 @@
+#include "simmpi/world.h"
+
+#include "support/str.h"
+
+#include <sstream>
+#include <thread>
+
+namespace parcoach::simmpi {
+
+// ---- Rank -------------------------------------------------------------------
+
+class Rank::CallGuard {
+public:
+  CallGuard(Rank& r, const char* what) : r_(r) {
+    const int32_t concurrent = r_.in_mpi_.fetch_add(1) + 1;
+    if (concurrent > 1 && r_.world_->options().monitor_thread_levels &&
+        r_.provided_ != ir::ThreadLevel::Multiple) {
+      r_.world_->record_thread_violation(
+          r_.rank_, str::cat("rank ", r_.rank_, ": ", concurrent,
+                             " threads concurrently inside MPI (", what,
+                             ") but provided level is MPI_THREAD_",
+                             ir::to_string(r_.provided_)));
+    }
+  }
+  ~CallGuard() { r_.in_mpi_.fetch_sub(1); }
+  CallGuard(const CallGuard&) = delete;
+  CallGuard& operator=(const CallGuard&) = delete;
+
+private:
+  Rank& r_;
+};
+
+int32_t Rank::size() const noexcept { return world_->options().num_ranks; }
+
+ir::ThreadLevel Rank::init(ir::ThreadLevel requested) {
+  initialized_ = true;
+  const auto cap = world_->options().max_provided_level;
+  provided_ = static_cast<int>(requested) <= static_cast<int>(cap) ? requested : cap;
+  return provided_;
+}
+
+Comm& Rank::app_comm() noexcept { return *world_->app_comm_; }
+Comm& Rank::verifier_comm() noexcept { return *world_->verifier_comm_; }
+
+Comm::Result Rank::execute(const Signature& sig, int64_t scalar,
+                           const std::vector<int64_t>& vec) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, ir::to_string(sig.kind).data());
+  return app_comm().execute(rank_, sig, scalar, vec);
+}
+
+void Rank::barrier() { execute({CollectiveKind::Barrier, -1, {}}, 0); }
+
+int64_t Rank::bcast(int64_t value, int32_t root) {
+  return execute({CollectiveKind::Bcast, root, {}}, value).scalar;
+}
+
+int64_t Rank::reduce(int64_t value, ReduceOp op, int32_t root) {
+  return execute({CollectiveKind::Reduce, root, op}, value).scalar;
+}
+
+int64_t Rank::allreduce(int64_t value, ReduceOp op) {
+  return execute({CollectiveKind::Allreduce, -1, op}, value).scalar;
+}
+
+std::vector<int64_t> Rank::gather(int64_t value, int32_t root) {
+  return execute({CollectiveKind::Gather, root, {}}, value).vec;
+}
+
+std::vector<int64_t> Rank::allgather(int64_t value) {
+  return execute({CollectiveKind::Allgather, -1, {}}, value).vec;
+}
+
+int64_t Rank::scatter(const std::vector<int64_t>& values, int32_t root) {
+  const int64_t own = values.empty() ? 0 : values[0];
+  return execute({CollectiveKind::Scatter, root, {}}, own, values).scalar;
+}
+
+std::vector<int64_t> Rank::alltoall(const std::vector<int64_t>& values) {
+  const int64_t own = values.empty() ? 0 : values[0];
+  return execute({CollectiveKind::Alltoall, -1, {}}, own, values).vec;
+}
+
+int64_t Rank::scan(int64_t value, ReduceOp op) {
+  return execute({CollectiveKind::Scan, -1, op}, value).scalar;
+}
+
+int64_t Rank::reduce_scatter(int64_t value, ReduceOp op) {
+  return execute({CollectiveKind::ReduceScatter, -1, op}, value).scalar;
+}
+
+void Rank::send(int64_t value, int32_t dest, int32_t tag) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Send");
+  app_comm().send(rank_, dest, tag, value,
+                  world_->options().rendezvous_sends);
+}
+
+int64_t Rank::recv(int32_t source, int32_t tag) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Recv");
+  return app_comm().recv(rank_, source, tag);
+}
+
+void Rank::finalize() {
+  execute({CollectiveKind::Finalize, -1, {}}, 0);
+  finalized_ = true;
+}
+
+void Rank::abort(const std::string& reason) { world_->state().abort(reason); }
+
+bool Rank::aborted() const { return world_->state_.is_aborted(); }
+
+// ---- World ------------------------------------------------------------------
+
+World::World(Options opts) : opts_(opts) {
+  app_comm_ = std::make_unique<Comm>("MPI_COMM_WORLD", opts_.num_ranks, state_,
+                                     opts_.strict_matching);
+  verifier_comm_ = std::make_unique<Comm>("PARCOACH_COMM", opts_.num_ranks,
+                                          state_, opts_.strict_matching);
+  ranks_.reserve(static_cast<size_t>(opts_.num_ranks));
+  for (int32_t r = 0; r < opts_.num_ranks; ++r) {
+    ranks_.push_back(std::unique_ptr<Rank>(new Rank()));
+    ranks_.back()->world_ = this;
+    ranks_.back()->rank_ = r;
+  }
+}
+
+void World::record_thread_violation(int32_t rank, const std::string& what) {
+  (void)rank;
+  std::scoped_lock lk(violations_mu_);
+  violations_.push_back(what);
+}
+
+RunReport World::run(const std::function<void(Rank&)>& body) {
+  RunReport report;
+  report.rank_errors.assign(static_cast<size_t>(opts_.num_ranks), "");
+
+  std::atomic<int32_t> finished{0};
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(opts_.num_ranks));
+  for (int32_t r = 0; r < opts_.num_ranks; ++r) {
+    threads.emplace_back([&, r] {
+      Rank& rank = *ranks_[static_cast<size_t>(r)];
+      try {
+        body(rank);
+      } catch (const AbortedError& e) {
+        report.rank_errors[static_cast<size_t>(r)] = str::cat("aborted: ", e.what());
+      } catch (const DeadlockError& e) {
+        report.rank_errors[static_cast<size_t>(r)] = str::cat("deadlock: ", e.what());
+      } catch (const MismatchError& e) {
+        report.rank_errors[static_cast<size_t>(r)] = str::cat("mismatch: ", e.what());
+      } catch (const std::exception& e) {
+        report.rank_errors[static_cast<size_t>(r)] = str::cat("error: ", e.what());
+      }
+      finished.fetch_add(1);
+    });
+  }
+
+  // Watchdog: no progress for hang_timeout while not everyone finished and
+  // at least one rank is blocked in a collective => declare deadlock.
+  uint64_t last_progress = 0;
+  auto last_change = std::chrono::steady_clock::now();
+  while (finished.load() < opts_.num_ranks) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (state_.is_aborted()) break;
+    uint64_t progress;
+    {
+      std::scoped_lock lk(state_.mu);
+      progress = state_.progress;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (progress != last_progress) {
+      last_progress = progress;
+      last_change = now;
+      continue;
+    }
+    const auto app_blocked = app_comm_->blocked_snapshot();
+    const auto ver_blocked = verifier_comm_->blocked_snapshot();
+    bool any_blocked = false;
+    for (const auto& b : app_blocked) any_blocked |= b.blocked;
+    for (const auto& b : ver_blocked) any_blocked |= b.blocked;
+    if (!any_blocked) {
+      last_change = now; // ranks are computing, not stuck in MPI
+      continue;
+    }
+    if (now - last_change < opts_.hang_timeout) continue;
+
+    // Deadlock: build the arrival map, then abort so blocked ranks unwind.
+    std::ostringstream os;
+    os << "hang detected: no collective progress for "
+       << std::chrono::duration_cast<std::chrono::milliseconds>(
+              opts_.hang_timeout)
+              .count()
+       << "ms\n";
+    auto describe = [&](const char* comm_name,
+                        const std::vector<BlockedInfo>& blocked) {
+      for (size_t i = 0; i < blocked.size(); ++i) {
+        const auto& b = blocked[i];
+        if (!b.blocked) continue;
+        if (!b.p2p.empty()) {
+          os << "  rank " << i << " blocked on " << comm_name << " in "
+             << b.p2p << '\n';
+        } else {
+          os << "  rank " << i << " blocked on " << comm_name << " slot "
+             << b.slot << " in " << b.sig.str()
+             << (b.mismatch ? " (signature differs from the slot's)" : "")
+             << '\n';
+        }
+      }
+    };
+    describe("MPI_COMM_WORLD", app_blocked);
+    describe("PARCOACH_COMM", ver_blocked);
+    report.deadlock = true;
+    report.deadlock_details = os.str();
+    state_.abort(str::cat("deadlock: ", os.str()));
+    break;
+  }
+
+  for (auto& t : threads) t.join();
+
+  report.aborted = state_.is_aborted() && !report.deadlock;
+  {
+    std::scoped_lock lk(state_.mu);
+    report.abort_reason = state_.abort_reason;
+  }
+  {
+    std::scoped_lock lk(violations_mu_);
+    report.thread_level_violations = violations_;
+  }
+  report.app_slots_completed = app_comm_->completed_slots();
+  report.verifier_slots_completed = verifier_comm_->completed_slots();
+  bool all_clean = !report.deadlock && !report.aborted;
+  for (const auto& e : report.rank_errors) all_clean &= e.empty();
+  report.ok = all_clean;
+  return report;
+}
+
+} // namespace parcoach::simmpi

@@ -1,0 +1,145 @@
+// The simulated MPI world: ranks as threads, a watchdog that converts
+// blocked-forever situations into deadlock reports, and per-rank MPI handles.
+//
+// Usage:
+//   World::Options opts; opts.num_ranks = 4;
+//   World world(opts);
+//   RunReport rep = world.run([](Rank& mpi) {
+//     mpi.init(ir::ThreadLevel::Serialized);
+//     int64_t sum = mpi.allreduce(mpi.rank(), ReduceOp::Sum);
+//     mpi.finalize();
+//   });
+//
+// The Rank object is the per-process MPI library instance. With thread level
+// MULTIPLE, multiple threads may call into the same Rank concurrently; lower
+// levels are *monitored*: concurrent calls are detected and recorded as
+// thread-level violations (like a checking MPI implementation would).
+#pragma once
+
+#include "simmpi/comm.h"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace parcoach::simmpi {
+
+class World;
+
+/// Per-process (per-rank) MPI handle.
+class Rank {
+public:
+  [[nodiscard]] int32_t rank() const noexcept { return rank_; }
+  [[nodiscard]] int32_t size() const noexcept;
+
+  /// MPI_Init_thread: returns the provided level (requested, capped by
+  /// World::Options::max_provided_level).
+  ir::ThreadLevel init(ir::ThreadLevel requested);
+  [[nodiscard]] bool initialized() const noexcept { return initialized_; }
+  [[nodiscard]] ir::ThreadLevel provided() const noexcept { return provided_; }
+
+  // -- Blocking collectives on the application communicator -----------------
+  void barrier();
+  int64_t bcast(int64_t value, int32_t root);
+  int64_t reduce(int64_t value, ReduceOp op, int32_t root);
+  int64_t allreduce(int64_t value, ReduceOp op);
+  std::vector<int64_t> gather(int64_t value, int32_t root);
+  std::vector<int64_t> allgather(int64_t value);
+  int64_t scatter(const std::vector<int64_t>& values, int32_t root);
+  std::vector<int64_t> alltoall(const std::vector<int64_t>& values);
+  int64_t scan(int64_t value, ReduceOp op);
+  int64_t reduce_scatter(int64_t value, ReduceOp op);
+  void finalize();
+
+  // -- Blocking point-to-point (tagged, FIFO per (src,dst,tag)) -------------
+  void send(int64_t value, int32_t dest, int32_t tag);
+  int64_t recv(int32_t source, int32_t tag);
+
+  /// Raw slot-level access for bridged callers (the interpreter): executes
+  /// `sig` with the given contributions on the application communicator.
+  Comm::Result execute(const Signature& sig, int64_t scalar,
+                       const std::vector<int64_t>& vec = {});
+
+  /// Dedicated communicator for verifier traffic (the CC protocol) so that
+  /// checks never perturb application slot matching.
+  [[nodiscard]] Comm& verifier_comm() noexcept;
+  [[nodiscard]] Comm& app_comm() noexcept;
+
+  /// Aborts the whole world (all ranks unwind with AbortedError).
+  void abort(const std::string& reason);
+  [[nodiscard]] bool aborted() const;
+
+private:
+  friend class World;
+  World* world_ = nullptr;
+  int32_t rank_ = -1;
+  bool initialized_ = false;
+  bool finalized_ = false;
+  ir::ThreadLevel provided_ = ir::ThreadLevel::Single;
+  std::atomic<int32_t> in_mpi_{0};
+
+  /// RAII guard counting concurrent MPI calls on this rank for thread-level
+  /// monitoring.
+  class CallGuard;
+};
+
+struct RunReport {
+  bool ok = false;
+  bool deadlock = false;
+  bool aborted = false;
+  std::string abort_reason;
+  std::string deadlock_details;
+  /// Per-rank error strings ("" when the rank finished cleanly).
+  std::vector<std::string> rank_errors;
+  /// Thread-level violations observed (rank, description).
+  std::vector<std::string> thread_level_violations;
+  uint64_t app_slots_completed = 0;
+  uint64_t verifier_slots_completed = 0;
+};
+
+class World {
+public:
+  struct Options {
+    int32_t num_ranks = 2;
+    /// Watchdog: declare deadlock after this long without progress while at
+    /// least one rank is blocked.
+    std::chrono::milliseconds hang_timeout{500};
+    /// Report signature mismatches at match time instead of hanging.
+    bool strict_matching = false;
+    /// Cap on the provided thread level (models MPI builds without
+    /// MPI_THREAD_MULTIPLE support).
+    ir::ThreadLevel max_provided_level = ir::ThreadLevel::Multiple;
+    /// Record concurrent MPI calls at insufficient thread levels.
+    bool monitor_thread_levels = true;
+    /// Sends block until the matching receive (unbuffered MPI_Send
+    /// semantics; exposes head-to-head exchange deadlocks). Default: eager.
+    bool rendezvous_sends = false;
+  };
+
+  explicit World(Options opts);
+
+  /// Runs `body` once per rank, each on its own thread; returns when all
+  /// rank threads finished (normally or by unwinding). Reentrant per World:
+  /// call run() once per World instance.
+  RunReport run(const std::function<void(Rank&)>& body);
+
+  [[nodiscard]] const Options& options() const noexcept { return opts_; }
+  WorldState& state() noexcept { return state_; }
+
+private:
+  friend class Rank;
+  void record_thread_violation(int32_t rank, const std::string& what);
+
+  Options opts_;
+  WorldState state_;
+  std::unique_ptr<Comm> app_comm_;
+  std::unique_ptr<Comm> verifier_comm_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+  std::mutex violations_mu_;
+  std::vector<std::string> violations_;
+};
+
+} // namespace parcoach::simmpi

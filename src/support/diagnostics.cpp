@@ -1,0 +1,73 @@
+#include "support/diagnostics.h"
+
+#include <ostream>
+#include <sstream>
+
+namespace parcoach {
+
+std::string_view to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+    case Severity::Fatal: return "fatal";
+  }
+  return "?";
+}
+
+std::string_view to_string(DiagKind k) noexcept {
+  switch (k) {
+    case DiagKind::LexError: return "lex";
+    case DiagKind::ParseError: return "parse";
+    case DiagKind::SemaError: return "sema";
+    case DiagKind::IrVerifyError: return "ir-verify";
+    case DiagKind::MultithreadedCollective: return "multithreaded-collective";
+    case DiagKind::ConcurrentCollectives: return "concurrent-collectives";
+    case DiagKind::CollectiveMismatch: return "collective-mismatch";
+    case DiagKind::ThreadLevelViolation: return "thread-level";
+    case DiagKind::WordAmbiguity: return "word-ambiguity";
+    case DiagKind::UnbalancedParallelism: return "unbalanced-parallelism";
+    case DiagKind::RtCollectiveMismatch: return "rt-collective-mismatch";
+    case DiagKind::RtMultithreadedCollective: return "rt-multithreaded-collective";
+    case DiagKind::RtConcurrentCollectives: return "rt-concurrent-collectives";
+    case DiagKind::RtThreadLevelViolation: return "rt-thread-level";
+    case DiagKind::RtDeadlock: return "rt-deadlock";
+  }
+  return "?";
+}
+
+Diagnostic& DiagnosticEngine::report(Severity sev, DiagKind kind, SourceLoc loc,
+                                     std::string msg) {
+  diags_.push_back(Diagnostic{sev, kind, loc, std::move(msg), {}});
+  return diags_.back();
+}
+
+size_t DiagnosticEngine::count(Severity sev) const noexcept {
+  size_t n = 0;
+  for (const auto& d : diags_) n += (d.severity == sev);
+  return n;
+}
+
+size_t DiagnosticEngine::count(DiagKind kind) const noexcept {
+  size_t n = 0;
+  for (const auto& d : diags_) n += (d.kind == kind);
+  return n;
+}
+
+void DiagnosticEngine::print(std::ostream& os, const SourceManager& sm) const {
+  for (const auto& d : diags_) {
+    os << sm.describe(d.loc) << ": " << to_string(d.severity) << " ["
+       << to_string(d.kind) << "] " << d.message << '\n';
+    for (const auto& [loc, text] : d.notes) {
+      os << "    " << sm.describe(loc) << ": note: " << text << '\n';
+    }
+  }
+}
+
+std::string DiagnosticEngine::to_text(const SourceManager& sm) const {
+  std::ostringstream os;
+  print(os, sm);
+  return os.str();
+}
+
+} // namespace parcoach

@@ -1,0 +1,83 @@
+// Diagnostics engine.
+//
+// Carries the error taxonomy of the paper:
+//   - multithreaded collective execution     (Phase 1, set S / Sipw)
+//   - concurrent collective calls            (Phase 2, set Scc)
+//   - collective mismatch between processes  (Phase 3, Algorithm 1 set O)
+//   - insufficient MPI thread level
+// plus ordinary front-end errors/warnings. Diagnostics are collected (never
+// printed eagerly) so tests and the driver can inspect them.
+#pragma once
+
+#include "support/source_location.h"
+#include "support/source_manager.h"
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcoach {
+
+enum class Severity : uint8_t { Note, Warning, Error, Fatal };
+
+/// Stable machine-readable categories. The four *Check* categories are the
+/// paper's error types; tests assert on them.
+enum class DiagKind : uint8_t {
+  // Generic front-end / pipeline.
+  LexError,
+  ParseError,
+  SemaError,
+  IrVerifyError,
+  // Static analysis results (compile-time warnings of the paper).
+  MultithreadedCollective,   // collective not proven monothreaded (pw[n] not in L)
+  ConcurrentCollectives,     // two monothreaded regions with collectives may run concurrently
+  CollectiveMismatch,        // control-flow divergence may desynchronize processes
+  ThreadLevelViolation,      // required MPI thread level exceeds provided one
+  WordAmbiguity,             // parallelism words disagree at a CFG join
+  UnbalancedParallelism,     // function has a non-empty net parallelism effect
+  // Runtime verifier results (execution-time errors of the paper).
+  RtCollectiveMismatch,      // CC protocol detected inter-process mismatch
+  RtMultithreadedCollective, // occupancy check saw >1 thread at a collective
+  RtConcurrentCollectives,   // two flagged regions were active concurrently
+  RtThreadLevelViolation,    // collective usage exceeded the provided level
+  RtDeadlock,                // substrate watchdog declared a hang (check missed/off)
+};
+
+[[nodiscard]] std::string_view to_string(Severity s) noexcept;
+[[nodiscard]] std::string_view to_string(DiagKind k) noexcept;
+
+struct Diagnostic {
+  Severity severity = Severity::Warning;
+  DiagKind kind = DiagKind::SemaError;
+  SourceLoc loc;
+  std::string message;
+  /// Related locations (e.g. the collectives involved in a mismatch).
+  std::vector<std::pair<SourceLoc, std::string>> notes;
+};
+
+/// Collects diagnostics; thread-safe appends are NOT needed at compile time
+/// (single-threaded pipeline) — the runtime verifier aggregates its own
+/// reports and forwards them here from one thread.
+class DiagnosticEngine {
+public:
+  Diagnostic& report(Severity sev, DiagKind kind, SourceLoc loc, std::string msg);
+
+  [[nodiscard]] const std::vector<Diagnostic>& all() const noexcept { return diags_; }
+  [[nodiscard]] size_t count(Severity sev) const noexcept;
+  [[nodiscard]] size_t count(DiagKind kind) const noexcept;
+  [[nodiscard]] bool has_errors() const noexcept {
+    return count(Severity::Error) + count(Severity::Fatal) > 0;
+  }
+  [[nodiscard]] size_t size() const noexcept { return diags_.size(); }
+  void clear() noexcept { diags_.clear(); }
+
+  /// Renders all diagnostics, one per line plus indented notes.
+  void print(std::ostream& os, const SourceManager& sm) const;
+  [[nodiscard]] std::string to_text(const SourceManager& sm) const;
+
+private:
+  std::vector<Diagnostic> diags_;
+};
+
+} // namespace parcoach

@@ -1,0 +1,38 @@
+// Deterministic RNG (splitmix64) for property tests and workload generators.
+// We avoid std::mt19937 so that generated programs are bit-identical across
+// library versions — benchmark inputs must be reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace parcoach {
+
+class SplitMix64 {
+public:
+  explicit constexpr SplitMix64(uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr uint64_t next() noexcept {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  constexpr uint64_t below(uint64_t bound) noexcept { return next() % bound; }
+
+  /// Uniform in [lo, hi] inclusive.
+  constexpr int64_t range(int64_t lo, int64_t hi) noexcept {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability num/den.
+  constexpr bool chance(uint64_t num, uint64_t den) noexcept {
+    return below(den) < num;
+  }
+
+private:
+  uint64_t state_;
+};
+
+} // namespace parcoach

@@ -1,0 +1,25 @@
+// Source locations for MiniHPC programs.
+//
+// Every AST node, IR instruction and diagnostic carries a SourceLoc so that
+// warnings can name "the collective at foo.mh:42:7" exactly as PARCOACH does.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parcoach {
+
+/// A position inside a source buffer registered with a SourceManager.
+/// `file` is a SourceManager buffer id; line/column are 1-based.
+/// A default-constructed SourceLoc is "unknown" (compiler-synthesized code).
+struct SourceLoc {
+  int32_t file = -1;
+  int32_t line = 0;
+  int32_t column = 0;
+
+  [[nodiscard]] constexpr bool valid() const noexcept { return line > 0; }
+
+  friend constexpr bool operator==(const SourceLoc&, const SourceLoc&) = default;
+};
+
+} // namespace parcoach

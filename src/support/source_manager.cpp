@@ -1,0 +1,44 @@
+#include "support/source_manager.h"
+
+#include <sstream>
+
+namespace parcoach {
+
+int32_t SourceManager::add_buffer(std::string name, std::string text) {
+  buffers_.push_back(Buffer{std::move(name), std::move(text)});
+  return static_cast<int32_t>(buffers_.size()) - 1;
+}
+
+std::string_view SourceManager::buffer_text(int32_t id) const {
+  if (id < 0 || id >= buffer_count()) return {};
+  return buffers_[static_cast<size_t>(id)].text;
+}
+
+std::string_view SourceManager::buffer_name(int32_t id) const {
+  if (id < 0 || id >= buffer_count()) return "<unknown>";
+  return buffers_[static_cast<size_t>(id)].name;
+}
+
+std::string SourceManager::describe(SourceLoc loc) const {
+  if (!loc.valid()) return "<unknown>";
+  std::ostringstream os;
+  os << buffer_name(loc.file) << ':' << loc.line << ':' << loc.column;
+  return os.str();
+}
+
+std::string_view SourceManager::line_text(SourceLoc loc) const {
+  if (!loc.valid()) return {};
+  std::string_view text = buffer_text(loc.file);
+  int32_t line = 1;
+  size_t begin = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      if (line == loc.line) return text.substr(begin, i - begin);
+      ++line;
+      begin = i + 1;
+    }
+  }
+  return {};
+}
+
+} // namespace parcoach

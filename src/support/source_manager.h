@@ -1,0 +1,39 @@
+// Owns source buffers and renders SourceLocs as "name:line:col".
+#pragma once
+
+#include "support/source_location.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace parcoach {
+
+/// Registry of named source buffers. Buffer ids are dense and stable; the
+/// manager owns the text so string_views into it stay valid for its lifetime.
+class SourceManager {
+public:
+  /// Registers a buffer and returns its id. Name is typically a file name.
+  int32_t add_buffer(std::string name, std::string text);
+
+  [[nodiscard]] std::string_view buffer_text(int32_t id) const;
+  [[nodiscard]] std::string_view buffer_name(int32_t id) const;
+  [[nodiscard]] int32_t buffer_count() const noexcept {
+    return static_cast<int32_t>(buffers_.size());
+  }
+
+  /// Renders a location as "name:line:col" ("<unknown>" if invalid).
+  [[nodiscard]] std::string describe(SourceLoc loc) const;
+
+  /// Returns the full text of the line containing `loc` (for caret messages).
+  [[nodiscard]] std::string_view line_text(SourceLoc loc) const;
+
+private:
+  struct Buffer {
+    std::string name;
+    std::string text;
+  };
+  std::vector<Buffer> buffers_;
+};
+
+} // namespace parcoach

@@ -1,0 +1,40 @@
+#include "support/str.h"
+
+namespace parcoach::str {
+
+std::vector<std::string> split_lines(std::string_view text) {
+  std::vector<std::string> out;
+  size_t begin = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == '\n') {
+      out.emplace_back(text.substr(begin, i - begin));
+      begin = i + 1;
+    }
+  }
+  if (!out.empty() && out.back().empty() && !text.empty() && text.back() == '\n')
+    out.pop_back();
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
+  return s.substr(0, prefix.size()) == prefix;
+}
+
+bool contains(std::string_view s, std::string_view needle) noexcept {
+  return s.find(needle) != std::string_view::npos;
+}
+
+size_t count_code_lines(std::string_view text) {
+  size_t n = 0;
+  for (const auto& line : split_lines(text)) {
+    std::string_view v = line;
+    size_t i = v.find_first_not_of(" \t\r");
+    if (i == std::string_view::npos) continue;
+    v.remove_prefix(i);
+    if (starts_with(v, "//")) continue;
+    ++n;
+  }
+  return n;
+}
+
+} // namespace parcoach::str

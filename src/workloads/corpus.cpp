@@ -1,0 +1,493 @@
+#include "workloads/corpus.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace parcoach::workloads {
+
+namespace {
+
+std::vector<CorpusEntry> build_corpus() {
+  std::vector<CorpusEntry> c;
+
+  // ---- Clean programs -------------------------------------------------------
+  c.push_back(CorpusEntry{
+      "clean_serial_allreduce",
+      "collectives in pure serial flow; nothing to warn about",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  var s = mpi_allreduce(x, sum);
+  var m = mpi_reduce(x, max, 0);
+  mpi_barrier();
+  if (rank() == 0) {
+    print(s, m);
+  }
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives,
+       DiagKind::ThreadLevelViolation},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "clean_single_allreduce",
+      "collective inside `omp single` within parallel: monothreaded, ordered",
+      R"(func main() {
+  mpi_init(serialized);
+  var x = rank() * 10;
+  omp parallel num_threads(4) {
+    omp for (i = 0 to 16) {
+      var w = i * 2;
+    }
+    omp single {
+      x = mpi_allreduce(x, sum);
+    }
+  }
+  if (rank() == 0) {
+    print(x);
+  }
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives,
+       DiagKind::ThreadLevelViolation},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 2, 4});
+
+  c.push_back(CorpusEntry{
+      "clean_master_bcast",
+      "collective inside `omp master` with surrounding barriers (funneled)",
+      R"(func main() {
+  mpi_init(funneled);
+  var v = rank();
+  omp parallel num_threads(3) {
+    omp barrier;
+    omp master {
+      v = mpi_bcast(v, 0);
+    }
+    omp barrier;
+  }
+  print(v);
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives,
+       DiagKind::ThreadLevelViolation},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 3, 3});
+
+  c.push_back(CorpusEntry{
+      "clean_singles_with_barrier",
+      "two singles with collectives separated by the implicit barrier",
+      R"(func main() {
+  mpi_init(serialized);
+  var a = rank();
+  var b = rank() * 2;
+  omp parallel num_threads(4) {
+    omp single {
+      a = mpi_allreduce(a, sum);
+    }
+    omp single {
+      b = mpi_allreduce(b, max);
+    }
+  }
+  if (rank() == 0) {
+    print(a, b);
+  }
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::ConcurrentCollectives, DiagKind::MultithreadedCollective},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 2, 4});
+
+  c.push_back(CorpusEntry{
+      "clean_balanced_if",
+      "if/else with the same collective on both branches: Algorithm 1 warns "
+      "(conservative static false positive) but execution is clean",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank();
+  if (rank() % 2 == 0) {
+    x = mpi_allreduce(x, sum);
+  } else {
+    x = mpi_allreduce(x, sum);
+  }
+  print(x);
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "clean_collective_in_callee",
+      "collectives behind two call levels; interprocedural words stay mono",
+      R"(func leaf(v) {
+  var r = mpi_allreduce(v, sum);
+  return r;
+}
+func phase(step) {
+  var x = leaf(step);
+  return x;
+}
+func main() {
+  mpi_init(serialized);
+  var acc = 0;
+  for (step = 0 to 3) {
+    acc = phase(step);
+  }
+  omp parallel num_threads(2) {
+    omp single {
+      acc = leaf(acc);
+    }
+  }
+  print(acc);
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean});
+
+  // ---- Inter-process mismatch bugs (phase 3 / Algorithm 1) -------------------
+  c.push_back(CorpusEntry{
+      "bug_rank_divergent_bcast",
+      "only rank 0 broadcasts: classic mismatch -> deadlock without checks",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank();
+  if (rank() == 0) {
+    x = mpi_bcast(x, 0);
+  }
+  mpi_barrier();
+  print(x);
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
+      "bug_kind_mismatch",
+      "rank 0 reduces while others broadcast: kind mismatch at same slot",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank() + 5;
+  if (rank() == 0) {
+    x = mpi_reduce(x, sum, 0);
+  } else {
+    x = mpi_bcast(x, 0);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
+      "bug_early_return",
+      "rank 0 leaves main before the final barrier",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank();
+  if (rank() == 0) {
+    return;
+  }
+  mpi_barrier();
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
+      "bug_extra_iteration",
+      "rank-dependent loop bound: one rank runs one more allreduce",
+      R"(func main() {
+  mpi_init(single);
+  var n = 3;
+  if (rank() == 0) {
+    n = 4;
+  }
+  var x = 0;
+  for (i = 0 to n) {
+    x = mpi_allreduce(i, sum);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
+      "bug_divergent_callee",
+      "rank-dependent call to a collective-bearing function",
+      R"(func do_comm(v) {
+  var r = mpi_allreduce(v, sum);
+  return r;
+}
+func main() {
+  mpi_init(single);
+  var x = rank();
+  if (rank() < 1) {
+    x = do_comm(x);
+  }
+  mpi_barrier();
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  // ---- Multithreaded-context bugs (phase 1) ----------------------------------
+  c.push_back(CorpusEntry{
+      "bug_multithreaded_allreduce",
+      "collective directly inside parallel: every thread calls it",
+      R"(func main() {
+  mpi_init(multiple);
+  var x = rank();
+  omp parallel num_threads(4) {
+    var y = mpi_allreduce(x, sum);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::MultithreadedCollective},
+      {},
+      DynamicOutcome::CaughtRace, DiagKind::RtMultithreadedCollective, 2, 4});
+
+  c.push_back(CorpusEntry{
+      "bug_collective_in_ws_for",
+      "collective inside a worksharing loop body",
+      R"(func main() {
+  mpi_init(multiple);
+  var x = 1;
+  omp parallel num_threads(2) {
+    omp for (i = 0 to 4) {
+      x = mpi_allreduce(i, sum);
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::MultithreadedCollective},
+      {},
+      DynamicOutcome::CaughtRace, DiagKind::RtMultithreadedCollective, 2, 2});
+
+  c.push_back(CorpusEntry{
+      "bug_critical_collective",
+      "collective inside critical: serialized but executed once per thread",
+      R"(func main() {
+  mpi_init(multiple);
+  var x = rank();
+  omp parallel num_threads(2) {
+    omp critical {
+      x = mpi_allreduce(x, sum);
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::MultithreadedCollective},
+      {},
+      DynamicOutcome::Clean /* ranks+threads symmetric: see tests */,
+      DiagKind::RtMultithreadedCollective, 2, 2});
+
+  c.push_back(CorpusEntry{
+      "bug_nested_parallel_single",
+      "single inside nested parallelism: one thread per inner team",
+      R"(func main() {
+  mpi_init(multiple);
+  var x = rank();
+  omp parallel num_threads(2) {
+    omp parallel num_threads(2) {
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::MultithreadedCollective},
+      {},
+      DynamicOutcome::CaughtRace, DiagKind::RtMultithreadedCollective, 2, 2});
+
+  // ---- Concurrent monothreaded regions (phase 2) ------------------------------
+  c.push_back(CorpusEntry{
+      "bug_concurrent_singles",
+      "two nowait singles with different collectives can run simultaneously",
+      R"(func main() {
+  mpi_init(multiple);
+  var a = rank();
+  var b = rank() * 3;
+  omp parallel num_threads(4) {
+    omp single nowait {
+      a = mpi_allreduce(a, sum);
+    }
+    omp single nowait {
+      b = mpi_allreduce(b, max);
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::ConcurrentCollectives},
+      {},
+      DynamicOutcome::CaughtRace, DiagKind::RtConcurrentCollectives, 2, 4});
+
+  c.push_back(CorpusEntry{
+      "bug_sections_collectives",
+      "two sections each with a collective: concurrent by construction",
+      R"(func main() {
+  mpi_init(multiple);
+  var a = rank();
+  var b = rank() + 1;
+  omp parallel num_threads(2) {
+    omp sections {
+      omp section {
+        a = mpi_allreduce(a, sum);
+      }
+      omp section {
+        b = mpi_reduce(b, sum, 0);
+      }
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::ConcurrentCollectives},
+      {},
+      DynamicOutcome::CaughtRace, DiagKind::RtConcurrentCollectives, 2, 2});
+
+  c.push_back(CorpusEntry{
+      "bug_single_nowait_loop",
+      "nowait single in a barrier-free loop overlaps itself across iterations",
+      R"(func main() {
+  mpi_init(multiple);
+  var x = rank();
+  omp parallel num_threads(4) {
+    for (i = 0 to 6) {
+      omp single nowait {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::ConcurrentCollectives},
+      {},
+      DynamicOutcome::CaughtRace, DiagKind::RtConcurrentCollectives, 2, 4});
+
+  c.push_back(CorpusEntry{
+      "clean_master_then_single_barrier",
+      "master then barrier then single: ordered, not concurrent",
+      R"(func main() {
+  mpi_init(serialized);
+  var a = rank();
+  var b = rank();
+  omp parallel num_threads(3) {
+    omp master {
+      a = mpi_allreduce(a, sum);
+    }
+    omp barrier;
+    omp single {
+      b = mpi_allreduce(b, max);
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::ConcurrentCollectives, DiagKind::MultithreadedCollective},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 2, 3});
+
+  // ---- Thread-level issues ----------------------------------------------------
+  c.push_back(CorpusEntry{
+      "bug_insufficient_level",
+      "collective in single region but mpi_init only requested funneled",
+      R"(func main() {
+  mpi_init(funneled);
+  var x = rank();
+  omp parallel num_threads(2) {
+    omp single {
+      x = mpi_allreduce(x, sum);
+    }
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::ThreadLevelViolation},
+      {},
+      DynamicOutcome::ThreadLevelWarn, DiagKind::RtThreadLevelViolation, 2, 2});
+
+  c.push_back(CorpusEntry{
+      "clean_p2p_pipeline",
+      "tagged send/recv ring + collectives: p2p must not disturb matching",
+      R"(func main() {
+  mpi_init(single);
+  var right = (rank() + 1) % size();
+  var left = (rank() + size() - 1) % size();
+  mpi_send(rank() * 7, right, 0);
+  var got = mpi_recv(left, 0);
+  var total = mpi_allreduce(got, sum);
+  mpi_barrier();
+  if (rank() == 0) {
+    print(total);
+  }
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives,
+       DiagKind::CollectiveMismatch},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "clean_balanced_multi",
+      "multi-collective balanced branches: conservative ph3 warning, clean run",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  if (x % 2 == 0) {
+    x = mpi_allreduce(x, sum);
+    mpi_barrier();
+  } else {
+    x = mpi_allreduce(x, sum);
+    mpi_barrier();
+  }
+  print(x);
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean});
+
+  return c;
+}
+
+} // namespace
+
+const std::vector<CorpusEntry>& corpus() {
+  static const std::vector<CorpusEntry> c = build_corpus();
+  return c;
+}
+
+const CorpusEntry& corpus_entry(const std::string& name) {
+  for (const auto& e : corpus())
+    if (e.name == name) return e;
+  throw std::runtime_error("unknown corpus entry: " + name);
+}
+
+} // namespace parcoach::workloads

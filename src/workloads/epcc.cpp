@@ -1,0 +1,235 @@
+// EPCC mixed-mode OpenMP/MPI microbenchmark suite (v1.0) skeleton.
+//
+// The real suite measures master-only / funnelled / serialized / multiple
+// variants of pingpong, haloexchange and collective operations. The skeleton
+// reproduces the suite's *shape*: one function per (benchmark x thread
+// model), each sweeping data sizes inside repetition loops, with the MPI
+// operation placed per the thread model:
+//   masteronly  - MPI outside parallel regions,
+//   funnelled   - MPI inside `omp master`,
+//   serialized  - MPI inside `omp single`,
+//   multiple    - MPI guarded per-thread (modeled with single + barrier so
+//                 the suite stays hybrid-clean like the original).
+#include "workloads/workloads.h"
+
+#include "support/str.h"
+
+#include <sstream>
+#include <string>
+
+namespace parcoach::workloads {
+
+namespace {
+
+struct Bench {
+  const char* name;
+  const char* collective; // DSL spelling, takes (value) or (value, op/root)
+  const char* args_tail;  // after the payload expression
+};
+
+constexpr Bench kBenches[] = {
+    {"barrier_bench", "mpi_barrier", ""},
+    {"reduce_bench", "mpi_reduce", ", sum, 0"},
+    {"allreduce_bench", "mpi_allreduce", ", max"},
+    {"bcast_bench", "mpi_bcast", ", 0"},
+    {"alltoall_bench", "mpi_alltoall", ""},
+    {"scan_bench", "mpi_scan", ", sum"},
+};
+
+void emit_mpi_call(std::ostream& os, const Bench& b, const char* indent) {
+  if (std::string(b.collective) == "mpi_barrier") {
+    os << indent << "mpi_barrier();\n";
+  } else {
+    os << indent << "buf = " << b.collective << "(buf" << b.args_tail << ");\n";
+  }
+}
+
+} // namespace
+
+GeneratedProgram make_epcc_suite(const EpccParams& p) {
+  std::ostringstream os;
+  os << "// EPCC mixed-mode suite skeleton (generated)\n\n";
+
+  os << "func compute_delay(amount) {\n"
+     << "  var x = 0;\n"
+     << "  for (i = 0 to amount) {\n"
+     << "    x = x + i % 13;\n"
+     << "  }\n"
+     << "  return x;\n}\n\n";
+
+  for (const Bench& b : kBenches) {
+    // -- masteronly: MPI between parallel compute regions.
+    os << "func " << b.name << "_masteronly(reps, sizes) {\n"
+       << "  var buf = rank();\n"
+       << "  for (s = 0 to sizes) {\n"
+       << "    for (r = 0 to reps) {\n"
+       << "      omp parallel num_threads(" << p.threads << ") {\n"
+       << "        omp for (i = 0 to 64) {\n"
+       << "          var w = i + s;\n"
+       << "        }\n"
+       << "      }\n";
+    emit_mpi_call(os, b, "      ");
+    os << "    }\n"
+       << "  }\n"
+       << "  return buf;\n}\n\n";
+
+    // -- funnelled: MPI inside omp master (no implicit barrier; explicit
+    //    barrier orders it w.r.t. the team, as the real suite does).
+    os << "func " << b.name << "_funnelled(reps, sizes) {\n"
+       << "  var buf = rank();\n"
+       << "  for (s = 0 to sizes) {\n"
+       << "    omp parallel num_threads(" << p.threads << ") {\n"
+       << "      for (r = 0 to reps) {\n"
+       << "        omp barrier;\n"
+       << "        omp master {\n";
+    emit_mpi_call(os, b, "          ");
+    os << "        }\n"
+       << "        omp barrier;\n"
+       << "        omp for nowait (i = 0 to 64) {\n"
+       << "          var w = i + r;\n"
+       << "        }\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n"
+       << "  return buf;\n}\n\n";
+
+    // -- serialized: MPI inside omp single (implicit barrier).
+    os << "func " << b.name << "_serialized(reps, sizes) {\n"
+       << "  var buf = rank();\n"
+       << "  for (s = 0 to sizes) {\n"
+       << "    omp parallel num_threads(" << p.threads << ") {\n"
+       << "      for (r = 0 to reps) {\n"
+       << "        omp single {\n";
+    emit_mpi_call(os, b, "          ");
+    os << "        }\n"
+       << "        omp for nowait (i = 0 to 32) {\n"
+       << "          var w = i * 2;\n"
+       << "        }\n"
+       << "        omp barrier;\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n"
+       << "  return buf;\n}\n\n";
+  }
+
+  // -- pingpong / pingping / haloexchange: the suite's point-to-point family,
+  //    using real tagged send/recv between ranks 0 and 1 (other ranks do the
+  //    local compute only, like the real suite's inactive processes).
+  auto emit_exchange = [&os](const char* fam, const char* indent) {
+    const bool bidirectional = std::string(fam) != "pingpong";
+    os << indent << "if (rank() == 0) {\n"
+       << indent << "  mpi_send(buf, 1, 0);\n"
+       << indent << "  buf = mpi_recv(1, 1);\n"
+       << indent << "}\n"
+       << indent << "if (rank() == 1) {\n";
+    if (bidirectional)
+      os << indent << "  mpi_send(buf, 0, 1);\n"
+         << indent << "  buf = mpi_recv(0, 0);\n";
+    else
+      os << indent << "  var m = mpi_recv(0, 0);\n"
+         << indent << "  mpi_send(m + 1, 0, 1);\n";
+    os << indent << "}\n";
+  };
+  for (const char* fam : {"pingpong", "pingping", "haloexchange"}) {
+    os << "func " << fam << "_masteronly(reps, sizes) {\n"
+       << "  var buf = rank() + 1;\n"
+       << "  for (s = 0 to sizes) {\n"
+       << "    for (r = 0 to reps) {\n";
+    emit_exchange(fam, "      ");
+    os << "      omp parallel num_threads(" << p.threads << ") {\n"
+       << "        omp for (i = 0 to 32) {\n"
+       << "          var local = i + buf % 7;\n"
+       << "        }\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n"
+       << "  return buf;\n}\n\n";
+    os << "func " << fam << "_funnelled(reps, sizes) {\n"
+       << "  var buf = rank() + 1;\n"
+       << "  for (s = 0 to sizes) {\n"
+       << "    omp parallel num_threads(" << p.threads << ") {\n"
+       << "      for (r = 0 to reps) {\n"
+       << "        omp barrier;\n"
+       << "        omp master {\n";
+    emit_exchange(fam, "          ");
+    os << "        }\n"
+       << "        omp barrier;\n"
+       << "        omp for nowait (i = 0 to 32) {\n"
+       << "          var local = i * 2;\n"
+       << "        }\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n"
+       << "  return buf;\n}\n\n";
+    os << "func " << fam << "_serialized(reps, sizes) {\n"
+       << "  var buf = rank() + 1;\n"
+       << "  for (s = 0 to sizes) {\n"
+       << "    omp parallel num_threads(" << p.threads << ") {\n"
+       << "      for (r = 0 to reps) {\n"
+       << "        omp single {\n";
+    emit_exchange(fam, "          ");
+    os << "        }\n"
+       << "        omp for nowait (i = 0 to 16) {\n"
+       << "          var local = i + 1;\n"
+       << "        }\n"
+       << "        omp barrier;\n"
+       << "      }\n"
+       << "    }\n"
+       << "  }\n"
+       << "  return buf;\n}\n\n";
+  }
+
+  // Overhead-measurement helpers, mirroring the suite's reference kernels.
+  os << "func serial_reference(reps) {\n"
+     << "  var acc = 0;\n"
+     << "  for (r = 0 to reps) {\n"
+     << "    for (i = 0 to 128) {\n"
+     << "      acc = acc + i % 11;\n"
+     << "    }\n"
+     << "  }\n"
+     << "  return acc;\n}\n\n"
+     << "func parallel_reference(reps) {\n"
+     << "  var acc = 0;\n"
+     << "  for (r = 0 to reps) {\n"
+     << "    omp parallel num_threads(" << p.threads << ") {\n"
+     << "      omp for (i = 0 to 128) {\n"
+     << "        var w = i % 11;\n"
+     << "      }\n"
+     << "    }\n"
+     << "  }\n"
+     << "  return acc;\n}\n\n";
+
+  os << "func main() {\n"
+     << "  mpi_init(serialized);\n"
+     << "  var reps = " << p.reps << ";\n"
+     << "  var sizes = " << p.data_sizes << ";\n"
+     << "  var warm = compute_delay(100);\n"
+     << "  var ref_s = serial_reference(reps);\n"
+     << "  var ref_p = parallel_reference(reps);\n";
+  for (const Bench& b : kBenches) {
+    os << "  var r_" << b.name << "_m = " << b.name << "_masteronly(reps, sizes);\n"
+       << "  var r_" << b.name << "_f = " << b.name << "_funnelled(reps, sizes);\n"
+       << "  var r_" << b.name << "_s = " << b.name << "_serialized(reps, sizes);\n"
+       << "  mpi_barrier();\n";
+  }
+  for (const char* fam : {"pingpong", "pingping", "haloexchange"}) {
+    os << "  var p_" << fam << "_m = " << fam << "_masteronly(reps, sizes);\n"
+       << "  var p_" << fam << "_f = " << fam << "_funnelled(reps, sizes);\n"
+       << "  var p_" << fam << "_s = " << fam << "_serialized(reps, sizes);\n"
+       << "  mpi_barrier();\n";
+  }
+  os << "  var sig = mpi_allreduce(warm, sum);\n"
+     << "  if (rank() == 0) {\n"
+     << "    print(sig);\n"
+     << "  }\n"
+     << "  mpi_finalize();\n"
+     << "}\n";
+
+  GeneratedProgram g;
+  g.name = "epcc_suite";
+  g.source = os.str();
+  g.code_lines = str::count_code_lines(g.source);
+  return g;
+}
+
+} // namespace parcoach::workloads

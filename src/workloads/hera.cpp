@@ -1,0 +1,149 @@
+// HERA-like multi-physics AMR platform skeleton.
+//
+// HERA is a large 2D/3D AMR hydrocode: many physics packages over an AMR
+// hierarchy, time-step control via global reductions, periodic regrid and
+// load-balance phases with gather/scatter, and IO dumps. The skeleton
+// reproduces that architecture: `packages x kernels` leaf functions behind
+// per-package drivers, an AMR level hierarchy, a regrid decision driven by
+// an Allreduce'd imbalance metric (a multi-valued but rank-uniform
+// conditional — the classic PARCOACH false-positive shape that the
+// rank-taint refinement filters), and a deep call graph from main.
+#include "workloads/workloads.h"
+
+#include "support/str.h"
+
+#include <sstream>
+
+namespace parcoach::workloads {
+
+GeneratedProgram make_hera(const HeraParams& p) {
+  std::ostringstream os;
+  os << "// HERA-like AMR multiphysics skeleton (generated)\n\n";
+
+  // Leaf kernels: branchy compute in OpenMP regions.
+  for (int32_t pkg = 0; pkg < p.packages; ++pkg) {
+    for (int32_t k = 0; k < p.kernels; ++k) {
+      os << "func pkg" << pkg << "_kernel" << k << "(cells, level) {\n"
+         << "  var acc = 0;\n"
+         << "  omp parallel num_threads(" << p.threads << ") {\n"
+         << "    omp for (c = 0 to cells) {\n"
+         << "      var v = c + level * " << (k + 1) << ";\n"
+         << "      if (v % 4 == 0) {\n"
+         << "        v = v * 3;\n"
+         << "      } else {\n"
+         << "        v = v + " << pkg << ";\n"
+         << "      }\n"
+         << "      for (s = 0 to 4) {\n"
+         << "        v = v + s % 3;\n"
+         << "      }\n"
+         << "    }\n"
+         << "  }\n"
+         << "  acc = acc + cells % 97;\n"
+         << "  return acc;\n}\n\n";
+    }
+    // Package driver sweeping its kernels over AMR levels.
+    os << "func pkg" << pkg << "_advance(cells) {\n"
+       << "  var r = 0;\n"
+       << "  for (lvl = 0 to " << p.amr_levels << ") {\n";
+    for (int32_t k = 0; k < p.kernels; ++k)
+      os << "    r = pkg" << pkg << "_kernel" << k << "(cells, lvl);\n";
+    os << "  }\n"
+       << "  return r;\n}\n\n";
+  }
+
+  // Global time-step control: Allreduce(min) of the package dt estimates.
+  os << "func compute_dt(step) {\n"
+     << "  var local_dt = 1000 - (rank() * 7 + step) % 13;\n"
+     << "  var dt = mpi_allreduce(local_dt, min);\n"
+     << "  return dt;\n}\n\n";
+
+  // Load-balance metric and regrid: the conditional is rank-uniform (driven
+  // by an Allreduce result), so only the unfiltered Algorithm 1 flags it.
+  os << "func imbalance_metric(step) {\n"
+     << "  var local_load = (rank() * 31 + step * 7) % 100;\n"
+     << "  var max_load = mpi_allreduce(local_load, max);\n"
+     << "  var sum_load = mpi_allreduce(local_load, sum);\n"
+     << "  var avg = sum_load / size();\n"
+     << "  if (avg == 0) {\n"
+     << "    return 0;\n"
+     << "  }\n"
+     << "  return (max_load * 100) / avg;\n}\n\n";
+
+  os << "func regrid(level) {\n"
+     << "  var marks = (rank() + level) % 5;\n"
+     << "  var all_marks = mpi_allgather(marks);\n"
+     << "  var plan = mpi_bcast(all_marks, 0);\n"
+     << "  var parts = mpi_scatter(plan, 0);\n"
+     << "  return parts;\n}\n\n";
+
+  os << "func load_balance(step) {\n"
+     << "  var m = imbalance_metric(step);\n"
+     << "  var moved = 0;\n"
+     << "  if (m > 150) {\n";
+  for (int32_t lvl = 0; lvl < p.amr_levels; ++lvl)
+    os << "    moved = regrid(" << lvl << ");\n";
+  os << "    mpi_barrier();\n"
+     << "  }\n"
+     << "  return moved;\n}\n\n";
+
+  os << "func io_dump(step) {\n"
+     << "  var local_bytes = (rank() + 1) * 4096 + step;\n"
+     << "  var total = mpi_reduce(local_bytes, sum, 0);\n"
+     << "  if (rank() == 0) {\n"
+     << "    print(step, total);\n"
+     << "  }\n"
+     << "  return total;\n}\n\n";
+
+  os << "func advance_all(cells) {\n"
+     << "  var r = 0;\n";
+  for (int32_t pkg = 0; pkg < p.packages; ++pkg)
+    os << "  r = pkg" << pkg << "_advance(cells);\n";
+  os << "  return r;\n}\n\n";
+
+  os << "func main() {\n"
+     << "  mpi_init(funneled);\n"
+     << "  var cells = 64;\n"
+     << "  var nsteps = " << p.steps << ";\n"
+     << "  var steps = mpi_bcast(nsteps, 0);\n"
+     << "  for (step = 0 to steps) {\n"
+     << "    var dt = compute_dt(step);\n"
+     << "    var r = advance_all(cells);\n"
+     << "    var lb = load_balance(step);\n"
+     << "    if (step % 5 == 0) {\n"
+     << "      var bytes = io_dump(step);\n"
+     << "    }\n"
+     << "  }\n"
+     << "  var done = mpi_allreduce(1, land);\n"
+     << "  if (rank() == 0) {\n"
+     << "    print(done);\n"
+     << "  }\n"
+     << "  mpi_finalize();\n"
+     << "}\n";
+
+  GeneratedProgram g;
+  g.name = "hera";
+  g.source = os.str();
+  g.code_lines = str::count_code_lines(g.source);
+  return g;
+}
+
+std::vector<GeneratedProgram> figure1_suite() {
+  NpbParams bt;
+  bt.zones = 16;
+  bt.stages = 8;
+  NpbParams sp;
+  sp.zones = 16;
+  sp.stages = 6;
+  NpbParams lu;
+  lu.zones = 12;
+  lu.stages = 7;
+  return {
+      make_npb_mz(NpbVariant::BT, bt),
+      make_npb_mz(NpbVariant::SP, sp),
+      make_npb_mz(NpbVariant::LU, lu),
+      make_epcc_suite(EpccParams{}),
+      make_hera(HeraParams{}),
+  };
+}
+
+} // namespace parcoach::workloads

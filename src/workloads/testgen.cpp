@@ -1,0 +1,261 @@
+#include "workloads/testgen.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+#include <sstream>
+#include <vector>
+
+namespace parcoach::workloads {
+
+namespace {
+
+class Generator {
+public:
+  explicit Generator(const GenOptions& opts) : opts_(opts), rng_(opts.seed) {}
+
+  GenResult run() {
+    std::ostringstream os;
+    os << "// random hybrid program, seed=" << opts_.seed << "\n";
+    // Helpers first (deterministic RNG order).
+    for (int32_t h = 0; h < opts_.num_helpers; ++h) emit_helper(os, h);
+    emit_main(os);
+    GenResult r;
+    r.source = os.str();
+    r.collective_sites = site_counter_;
+    r.mutation_applied = mutation_applied_;
+    return r;
+  }
+
+private:
+  // -- helpers ---------------------------------------------------------------
+  void indent(std::ostream& os, int depth) {
+    for (int i = 0; i < depth; ++i) os << "  ";
+  }
+
+  /// Emits one collective statement assigning into `u` (uniform results) or
+  /// `junk` (rank-dependent results). Applies the mutation when this is the
+  /// chosen site. `top_level_main` enables the EarlyExit mutation.
+  void emit_collective(std::ostream& os, int depth, bool top_level_main) {
+    const int32_t site = site_counter_++;
+    const bool mutate_here =
+        opts_.mutation != Mutation::None && site == opts_.mutation_site;
+
+    if (mutate_here && opts_.mutation == Mutation::EarlyExit) {
+      if (top_level_main) {
+        indent(os, depth);
+        os << "if (rank() == 0) {\n";
+        indent(os, depth + 1);
+        os << "return;\n";
+        indent(os, depth);
+        os << "}\n";
+        mutation_applied_ = true;
+      } else {
+        // Not eligible here: retarget to the next top-level-main site.
+        ++retarget_;
+      }
+      emit_plain_collective(os, depth);
+      return;
+    }
+    if (mutate_here && opts_.mutation == Mutation::RankGuard) {
+      indent(os, depth);
+      os << "if (rank() == 0) {\n";
+      emit_plain_collective(os, depth + 1);
+      indent(os, depth);
+      os << "}\n";
+      mutation_applied_ = true;
+      return;
+    }
+    if (mutate_here && opts_.mutation == Mutation::KindDivergence) {
+      indent(os, depth);
+      os << "if (rank() == 0) {\n";
+      indent(os, depth + 1);
+      os << "u = mpi_allreduce(u, sum);\n";
+      indent(os, depth);
+      os << "} else {\n";
+      indent(os, depth + 1);
+      os << "u = mpi_bcast(u, 0);\n";
+      indent(os, depth);
+      os << "}\n";
+      mutation_applied_ = true;
+      return;
+    }
+    // Retargeted EarlyExit: apply at the first eligible later site.
+    if (retarget_ > 0 && top_level_main &&
+        opts_.mutation == Mutation::EarlyExit && !mutation_applied_) {
+      indent(os, depth);
+      os << "if (rank() == 0) {\n";
+      indent(os, depth + 1);
+      os << "return;\n";
+      indent(os, depth);
+      os << "}\n";
+      mutation_applied_ = true;
+    }
+    emit_plain_collective(os, depth);
+  }
+
+  void emit_plain_collective(std::ostream& os, int depth) {
+    indent(os, depth);
+    switch (rng_.below(6)) {
+      case 0: os << "u = mpi_allreduce(u, sum);\n"; break;
+      case 1: os << "u = mpi_allreduce(u + 1, max);\n"; break;
+      case 2: os << "u = mpi_bcast(u, 0);\n"; break;
+      case 3: os << "mpi_barrier();\n"; break;
+      case 4: os << "junk = mpi_reduce(junk, sum, 0);\n"; break; // non-uniform
+      case 5: os << "junk = mpi_scan(junk, sum);\n"; break;      // non-uniform
+    }
+  }
+
+  void emit_compute(std::ostream& os, int depth) {
+    indent(os, depth);
+    switch (rng_.below(3)) {
+      case 0: os << "junk = junk * 3 + " << rng_.below(10) << ";\n"; break;
+      case 1: os << "u = u + " << rng_.below(5) << ";\n"; break;
+      case 2: os << "junk = junk + u % " << (2 + rng_.below(7)) << ";\n"; break;
+    }
+  }
+
+  /// Parallel region whose collectives (if any) sit in single/master.
+  void emit_parallel(std::ostream& os, int depth, int budget) {
+    indent(os, depth);
+    os << "omp parallel num_threads(" << opts_.threads << ") {\n";
+    const bool use_master = rng_.chance(1, 3);
+    // Some worksharing compute first.
+    indent(os, depth + 1);
+    os << "omp for (i_" << unique_++ << " = 0 to " << (4 + rng_.below(8))
+       << ") {\n";
+    indent(os, depth + 2);
+    os << "var w = omp_thread_num() + " << rng_.below(5) << ";\n";
+    indent(os, depth + 1);
+    os << "}\n";
+    if (budget > 0 && rng_.chance(3, 4)) {
+      if (use_master) {
+        indent(os, depth + 1);
+        os << "omp barrier;\n";
+        indent(os, depth + 1);
+        os << "omp master {\n";
+        emit_collective(os, depth + 2, /*top_level_main=*/false);
+        indent(os, depth + 1);
+        os << "}\n";
+        indent(os, depth + 1);
+        os << "omp barrier;\n";
+      } else {
+        indent(os, depth + 1);
+        os << "omp single {\n";
+        emit_collective(os, depth + 2, /*top_level_main=*/false);
+        indent(os, depth + 1);
+        os << "}\n";
+      }
+    }
+    indent(os, depth);
+    os << "}\n";
+  }
+
+  /// One program segment. `top_main` marks main's top statement level.
+  void emit_segment(std::ostream& os, int depth, int nesting, bool top_main) {
+    switch (rng_.below(6)) {
+      case 0:
+        emit_collective(os, depth, top_main);
+        break;
+      case 1:
+      case 2:
+        emit_compute(os, depth);
+        break;
+      case 3: { // uniform loop
+        if (nesting <= 0) {
+          emit_compute(os, depth);
+          break;
+        }
+        const int id = unique_++;
+        indent(os, depth);
+        os << "for (k_" << id << " = 0 to " << (2 + rng_.below(2)) << ") {\n";
+        emit_segment(os, depth + 1, nesting - 1, top_main && false);
+        emit_segment(os, depth + 1, nesting - 1, false);
+        indent(os, depth);
+        os << "}\n";
+        break;
+      }
+      case 4: { // uniform branch (both sides clean)
+        if (nesting <= 0) {
+          emit_compute(os, depth);
+          break;
+        }
+        indent(os, depth);
+        os << "if (u % " << (2 + rng_.below(3)) << " == " << rng_.below(2)
+           << ") {\n";
+        emit_segment(os, depth + 1, nesting - 1, false);
+        indent(os, depth);
+        os << "} else {\n";
+        emit_segment(os, depth + 1, nesting - 1, false);
+        indent(os, depth);
+        os << "}\n";
+        break;
+      }
+      case 5:
+        if (nesting <= 0) {
+          emit_compute(os, depth);
+          break;
+        }
+        emit_parallel(os, depth, nesting - 1);
+        break;
+    }
+  }
+
+  void emit_helper(std::ostream& os, int32_t index) {
+    os << "func helper" << index << "(v) {\n"
+       << "  var u = v;\n"
+       << "  var junk = rank();\n";
+    const int32_t segments = 1 + static_cast<int32_t>(rng_.below(
+                                     static_cast<uint64_t>(opts_.max_segments)));
+    for (int32_t s = 0; s < segments; ++s)
+      emit_segment(os, 1, opts_.max_depth - 1, /*top_main=*/false);
+    os << "  return u + 1;\n}\n\n";
+    helpers_emitted_ = index + 1;
+  }
+
+  void emit_main(std::ostream& os) {
+    os << "func main() {\n"
+       << "  mpi_init(serialized);\n"
+       << "  var u = 7;\n"
+       << "  var junk = rank();\n";
+    // Every helper is called at least once so collective sites inside
+    // helpers are dynamically reachable (the property tests rely on it).
+    for (int32_t h = 0; h < helpers_emitted_; ++h)
+      os << "  u = helper" << h << "(u);\n";
+    const int32_t segments = 2 + static_cast<int32_t>(rng_.below(
+                                     static_cast<uint64_t>(opts_.max_segments)));
+    for (int32_t s = 0; s < segments; ++s) {
+      if (helpers_emitted_ > 0 && rng_.chance(1, 4)) {
+        indent(os, 1);
+        os << "u = helper" << rng_.below(static_cast<uint64_t>(helpers_emitted_))
+           << "(u);\n";
+      } else {
+        emit_segment(os, 1, opts_.max_depth, /*top_main=*/true);
+      }
+    }
+    // A guaranteed top-level collective so EarlyExit always has an eligible
+    // site, then finalize (a collective over WORLD).
+    emit_collective(os, 1, /*top_level_main=*/true);
+    os << "  if (rank() == 0) {\n"
+       << "    print(u);\n"
+       << "  }\n"
+       << "  mpi_finalize();\n"
+       << "}\n";
+  }
+
+  const GenOptions& opts_;
+  SplitMix64 rng_;
+  int32_t site_counter_ = 0;
+  int32_t helpers_emitted_ = 0;
+  int32_t unique_ = 0;
+  int32_t retarget_ = 0;
+  bool mutation_applied_ = false;
+};
+
+} // namespace
+
+GenResult generate_random_program(const GenOptions& opts) {
+  return Generator(opts).run();
+}
+
+} // namespace parcoach::workloads

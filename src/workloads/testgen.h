@@ -1,0 +1,50 @@
+// Random structured program generator for property testing and fuzzing.
+//
+// Generates MiniHPC programs that are *hybrid-clean by construction*: every
+// MPI collective executes unconditionally on all ranks, in monothreaded
+// contexts (serial flow, or `omp single` / `omp master`+barriers inside
+// parallel regions), and all branching happens on rank-uniform values
+// (literals, loop counters, allreduce/bcast results). Rank-dependent values
+// flow only into a write-only sink variable.
+//
+// A seeded mutation converts the program into a buggy one at a chosen
+// collective site:
+//   RankGuard       if (rank() == 0) { <collective> }
+//   KindDivergence  rank 0 executes a different collective kind
+//   EarlyExit       rank 0 returns from main before the site
+// Every mutation produces a real, statically-flaggable, dynamically-
+// catchable collective mismatch, giving the property suite its ground truth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace parcoach::workloads {
+
+enum class Mutation : uint8_t { None, RankGuard, KindDivergence, EarlyExit };
+
+struct GenOptions {
+  uint64_t seed = 1;
+  int32_t max_segments = 5; // top-level segments in main and helpers
+  int32_t max_depth = 3;    // nesting depth of loops/ifs/regions
+  int32_t num_helpers = 2;  // helper functions callable from main
+  int32_t threads = 2;      // num_threads for generated parallel regions
+  Mutation mutation = Mutation::None;
+  /// Which collective site (in generation order) receives the mutation.
+  int32_t mutation_site = 0;
+};
+
+struct GenResult {
+  std::string source;
+  /// Total collective sites emitted (valid mutation_site values are
+  /// [0, collective_sites); EarlyExit requires a main top-level site).
+  int32_t collective_sites = 0;
+  /// True if the requested mutation was actually applied (e.g. EarlyExit
+  /// only applies at main's top level; the generator retargets to the first
+  /// eligible site, and reports failure if none existed).
+  bool mutation_applied = false;
+};
+
+[[nodiscard]] GenResult generate_random_program(const GenOptions& opts);
+
+} // namespace parcoach::workloads

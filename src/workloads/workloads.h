@@ -1,0 +1,58 @@
+// Synthetic recreations of the paper's evaluation subjects.
+//
+// Figure 1 measures *compile-time* overhead on NASPB-MZ (BT-MZ, SP-MZ,
+// LU-MZ, class B), the EPCC mixed-mode suite and the HERA AMR platform.
+// Compile-time cost depends on program size, CFG shape, and the density of
+// OpenMP constructs and MPI collectives — these generators synthesize
+// MiniHPC programs with the same structural skeletons at realistic scale
+// (thousands of source lines, hundreds of functions for HERA). They are
+// hybrid-clean by construction (the real suites validate cleanly too), so
+// warning counts reflect the analysis' conservatism, not seeded bugs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcoach::workloads {
+
+struct GeneratedProgram {
+  std::string name;
+  std::string source;
+  size_t code_lines = 0; // non-blank, non-comment lines
+};
+
+enum class NpbVariant : uint8_t { BT, SP, LU };
+
+struct NpbParams {
+  int32_t zones = 16;      // zones per rank-group (class B: 8x8 zones total)
+  int32_t steps = 20;      // time steps in the driver loop
+  int32_t threads = 4;     // omp team size in solve kernels
+  int32_t stages = 8;      // per-zone solver stages (x/y/z solve sweeps)
+};
+
+[[nodiscard]] GeneratedProgram make_npb_mz(NpbVariant variant, const NpbParams& p);
+
+struct EpccParams {
+  int32_t reps = 10;           // outer repetitions per microbenchmark
+  int32_t threads = 4;
+  int32_t data_sizes = 8;      // sweep points per benchmark
+};
+
+[[nodiscard]] GeneratedProgram make_epcc_suite(const EpccParams& p);
+
+struct HeraParams {
+  int32_t packages = 12;   // physics packages (hydro, thermal, ...)
+  int32_t kernels = 10;    // kernels per package
+  int32_t amr_levels = 4;  // AMR hierarchy depth
+  int32_t steps = 10;      // time steps
+  int32_t threads = 4;
+};
+
+[[nodiscard]] GeneratedProgram make_hera(const HeraParams& p);
+
+/// All five Figure-1 subjects at default scale, in the paper's order:
+/// BT-MZ, SP-MZ, LU-MZ, EPCC suite, HERA.
+[[nodiscard]] std::vector<GeneratedProgram> figure1_suite();
+
+} // namespace parcoach::workloads

@@ -1,0 +1,432 @@
+// Unit tests: Algorithm 1 (inter-process divergence detection via iterated
+// post-dominance frontiers) and the rank-taint refinement.
+#include "core/algorithm1.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::core {
+namespace {
+
+struct Alg1Run {
+  Algorithm1Result result;
+  DiagnosticEngine diags;
+  std::unique_ptr<ir::Module> mod;
+  SourceManager sm;
+};
+
+std::unique_ptr<Alg1Run> run(const std::string& src,
+                             Algorithm1Options opts = {}) {
+  auto ar = std::make_unique<Alg1Run>();
+  auto prog = frontend::Parser::parse_source(ar->sm, "t", src, ar->diags);
+  frontend::Sema::analyze(prog, ar->diags);
+  EXPECT_FALSE(ar->diags.has_errors()) << ar->diags.to_text(ar->sm);
+  ar->mod = frontend::Lowering::lower(prog, ar->diags);
+  const Summaries sums = Summaries::build(*ar->mod);
+  ar->result = run_algorithm1(*ar->mod, sums, opts, ar->diags);
+  return ar;
+}
+
+TEST(Algorithm1, StraightLineIsClean) {
+  auto ar = run(R"(func main() {
+    var x = mpi_allreduce(1, sum);
+    mpi_barrier();
+    x = mpi_bcast(x, 0);
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty()) << ar->diags.to_text(ar->sm);
+}
+
+TEST(Algorithm1, RankGuardedCollectiveFlagged) {
+  auto ar = run(R"(func main() {
+    var x = rank();
+    if (rank() == 0) {
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  ASSERT_EQ(ar->result.divergences.size(), 1u);
+  EXPECT_EQ(ar->result.divergences[0].label, "MPI_Bcast");
+  EXPECT_TRUE(ar->result.divergences[0].rank_dependent);
+  EXPECT_EQ(ar->diags.count(DiagKind::CollectiveMismatch), 1u);
+  EXPECT_EQ(ar->result.flagged_functions,
+            (std::vector<std::string>{"main"}));
+}
+
+TEST(Algorithm1, BalancedBranchesStillFlagged) {
+  // Both branches call the same collective from different blocks: the
+  // conditional is in PDF+ of the bcast set — the original algorithm flags
+  // it (conservatively); the dynamic phase filters it.
+  auto ar = run(R"(func main() {
+    var x = rank();
+    if (x % 2 == 0) {
+      x = mpi_bcast(x, 0);
+    } else {
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  EXPECT_EQ(ar->result.divergences.size(), 1u);
+}
+
+TEST(Algorithm1, LoopConditionFlagged) {
+  // A collective inside a loop is control-dependent on the loop header.
+  auto ar = run(R"(func main() {
+    var n = 5;
+    for (i = 0 to n) {
+      mpi_barrier();
+    }
+  })");
+  ASSERT_GE(ar->result.divergences.size(), 1u);
+  EXPECT_FALSE(ar->result.divergences[0].rank_dependent)
+      << "loop bound is rank-uniform";
+}
+
+TEST(Algorithm1, CollectiveBearingCallIsACollectiveNode) {
+  auto ar = run(R"(func comm_phase() {
+    mpi_barrier();
+    return 0;
+  }
+  func main() {
+    if (rank() < 2) {
+      comm_phase();
+    }
+  })");
+  ASSERT_GE(ar->result.divergences.size(), 1u);
+  bool call_label = false;
+  for (const auto& d : ar->result.divergences)
+    call_label |= d.label == "call comm_phase()";
+  EXPECT_TRUE(call_label);
+}
+
+TEST(Algorithm1, PlainCallsAreNotCollectiveNodes) {
+  auto ar = run(R"(func compute(v) {
+    return v * 2;
+  }
+  func main() {
+    if (rank() == 0) {
+      var x = compute(1);
+    }
+    mpi_barrier();
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty()) << ar->diags.to_text(ar->sm);
+}
+
+TEST(Algorithm1, CollectiveAfterJoinNotControlDependent) {
+  auto ar = run(R"(func main() {
+    var x = 0;
+    if (rank() == 0) {
+      x = 1;
+    } else {
+      x = 2;
+    }
+    mpi_barrier();
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty());
+}
+
+// ---- Rank-taint refinement ---------------------------------------------------
+
+TEST(RankTaint, DirectAndTransitiveTaint) {
+  auto ar = run(R"(func main() {
+    var r = rank();
+    var derived = r * 2 + 1;
+    var uniform = size() * 3;
+    if (derived > 1) {
+      mpi_barrier();
+    }
+    if (uniform > 1) {
+      var y = mpi_allreduce(1, sum);
+    }
+  })");
+  // Unfiltered: both conditionals flagged; filtered: only the tainted one.
+  EXPECT_EQ(ar->result.conditionals_flagged_unfiltered, 2u);
+  EXPECT_EQ(ar->result.conditionals_flagged_filtered, 1u);
+}
+
+TEST(RankTaint, FilterDropsUniformConditionals) {
+  Algorithm1Options opts;
+  opts.rank_taint_filter = true;
+  auto ar = run(R"(func main() {
+    var n = size();
+    for (i = 0 to n) {
+      mpi_barrier();
+    }
+    if (rank() == 0) {
+      mpi_barrier();
+    }
+  })",
+                opts);
+  ASSERT_EQ(ar->result.divergences.size(), 1u);
+  EXPECT_TRUE(ar->result.divergences[0].rank_dependent);
+}
+
+TEST(RankTaint, AllreduceResultIsUniform) {
+  // The classic HERA shape: a regrid decision driven by an Allreduce result
+  // is rank-uniform; the taint filter must drop it.
+  auto ar = run(R"(func main() {
+    var load = rank() * 7;
+    var maxload = mpi_allreduce(load, max);
+    if (maxload > 10) {
+      mpi_barrier();
+    }
+  })");
+  EXPECT_EQ(ar->result.conditionals_flagged_unfiltered, 1u);
+  EXPECT_EQ(ar->result.conditionals_flagged_filtered, 0u);
+}
+
+TEST(RankTaint, RootedCollectiveResultsAreTainted) {
+  // mpi_scatter / mpi_reduce results differ per rank.
+  auto ar = run(R"(func main() {
+    var part = mpi_scatter(100, 0);
+    if (part > 100) {
+      mpi_barrier();
+    }
+  })");
+  EXPECT_EQ(ar->result.conditionals_flagged_filtered, 1u);
+}
+
+TEST(RankTaint, TaintFlowsThroughCallArguments) {
+  auto ar = run(R"(func guard(v) {
+    if (v > 0) {
+      mpi_barrier();
+    }
+    return 0;
+  }
+  func main() {
+    guard(rank());
+  })");
+  // guard's parameter is tainted via the call site.
+  bool tainted_branch = false;
+  for (const auto& d : ar->result.divergences)
+    if (d.function == "guard") tainted_branch |= d.rank_dependent;
+  EXPECT_TRUE(tainted_branch);
+}
+
+TEST(RankTaint, BranchOracle) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  auto prog = frontend::Parser::parse_source(sm, "t", R"(func f(p) {
+    var a = rank() + 1;
+    var b = size();
+    if (a > 0) { var q1 = 1; }
+    if (b > 0) { var q2 = 1; }
+    if (p > 0) { var q3 = 1; }
+  })",
+                                             d);
+  frontend::Sema::analyze(prog, d);
+  auto mod = frontend::Lowering::lower(prog, d);
+  const ir::Function& fn = *mod->find("f");
+  const auto no_param_taint = rank_dependent_branches(fn, {});
+  const auto with_param_taint = rank_dependent_branches(fn, {"p"});
+  int tainted_no = 0, tainted_with = 0;
+  for (uint8_t v : no_param_taint) tainted_no += v;
+  for (uint8_t v : with_param_taint) tainted_with += v;
+  EXPECT_EQ(tainted_no, 1);   // only `a > 0`
+  EXPECT_EQ(tainted_with, 2); // plus `p > 0`
+}
+
+} // namespace
+} // namespace parcoach::core
+
+namespace parcoach::core {
+namespace {
+
+std::unique_ptr<Alg1Run> run_matched(const std::string& src) {
+  Algorithm1Options opts;
+  opts.match_sequences = true;
+  return run(src, opts);
+}
+
+TEST(SequenceMatching, BalancedBranchesSuppressed) {
+  auto ar = run_matched(R"(func main() {
+    var x = rank();
+    if (x % 2 == 0) {
+      x = mpi_bcast(x, 0);
+    } else {
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty()) << ar->diags.to_text(ar->sm);
+  EXPECT_EQ(ar->result.conditionals_balanced, 1u);
+}
+
+TEST(SequenceMatching, BalancedMultiCollectiveSequences) {
+  auto ar = run_matched(R"(func main() {
+    var x = rank();
+    if (x > 0) {
+      x = mpi_allreduce(x, sum);
+      mpi_barrier();
+      x = mpi_bcast(x, 0);
+    } else {
+      x = mpi_allreduce(x, sum);
+      mpi_barrier();
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty()) << ar->diags.to_text(ar->sm);
+}
+
+TEST(SequenceMatching, DifferentKindsStillFlagged) {
+  auto ar = run_matched(R"(func main() {
+    var x = rank();
+    if (x == 0) {
+      x = mpi_bcast(x, 0);
+    } else {
+      x = mpi_allreduce(x, sum);
+    }
+  })");
+  EXPECT_GE(ar->result.divergences.size(), 1u);
+  EXPECT_EQ(ar->result.conditionals_balanced, 0u);
+}
+
+TEST(SequenceMatching, DifferentOpsOrRootsStillFlagged) {
+  auto ar = run_matched(R"(func main() {
+    var x = rank();
+    if (x == 0) {
+      x = mpi_allreduce(x, sum);
+    } else {
+      x = mpi_allreduce(x, max);
+    }
+    if (x > 5) {
+      x = mpi_bcast(x, 0);
+    } else {
+      x = mpi_bcast(x, 1);
+    }
+  })");
+  EXPECT_GE(ar->result.divergences.size(), 2u);
+}
+
+TEST(SequenceMatching, MissingElseBranchStillFlagged) {
+  auto ar = run_matched(R"(func main() {
+    var x = rank();
+    if (x == 0) {
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  EXPECT_GE(ar->result.divergences.size(), 1u);
+}
+
+TEST(SequenceMatching, EarlyReturnStillFlagged) {
+  auto ar = run_matched(R"(func main() {
+    if (rank() == 0) {
+      return;
+    }
+    mpi_barrier();
+  })");
+  EXPECT_GE(ar->result.divergences.size(), 1u)
+      << "escaping branch skips the barrier";
+}
+
+TEST(SequenceMatching, LoopsRemainConservative) {
+  auto ar = run_matched(R"(func main() {
+    var n = 4;
+    for (i = 0 to n) {
+      mpi_barrier();
+    }
+  })");
+  EXPECT_GE(ar->result.divergences.size(), 1u)
+      << "trip-count-dependent sequences stay flagged";
+}
+
+TEST(SequenceMatching, NestedBalancedConditionals) {
+  auto ar = run_matched(R"(func main() {
+    var x = rank();
+    if (x > 1) {
+      if (x > 2) {
+        mpi_barrier();
+      } else {
+        mpi_barrier();
+      }
+      x = mpi_allreduce(x, sum);
+    } else {
+      mpi_barrier();
+      x = mpi_allreduce(x, sum);
+    }
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty()) << ar->diags.to_text(ar->sm);
+  EXPECT_GE(ar->result.conditionals_balanced, 1u);
+}
+
+TEST(SequenceMatching, BalancedCallsToSameCollectiveBearer) {
+  auto ar = run_matched(R"(func comm(v) {
+    var r = mpi_allreduce(v, sum);
+    return r;
+  }
+  func main() {
+    var x = rank();
+    if (x == 0) {
+      x = comm(x);
+    } else {
+      x = comm(x + 1);
+    }
+  })");
+  EXPECT_TRUE(ar->result.divergences.empty()) << ar->diags.to_text(ar->sm);
+}
+
+TEST(SequenceMatching, DefaultOffKeepsPaperBehaviour) {
+  auto ar = run(R"(func main() {
+    var x = rank();
+    if (x % 2 == 0) {
+      x = mpi_bcast(x, 0);
+    } else {
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  EXPECT_EQ(ar->result.divergences.size(), 1u)
+      << "without the option the conservative warning stays";
+}
+
+} // namespace
+} // namespace parcoach::core
+
+namespace parcoach::core {
+namespace {
+
+TEST(RankTaint, ReturnValueTaintPropagates) {
+  // converged() returns a rank-guarded value: the caller's loop condition is
+  // genuinely rank-dependent and the taint filter must NOT drop it.
+  Algorithm1Options opts;
+  opts.rank_taint_filter = true;
+  auto ar = run(R"(func converged(step) {
+    if (rank() == 0) {
+      return step > 2;
+    }
+    return 0;
+  }
+  func main() {
+    var done = 0;
+    var step = 0;
+    while (done == 0) {
+      var v = mpi_allreduce(step, sum);
+      step = step + 1;
+      done = converged(step);
+    }
+  })",
+                opts);
+  ASSERT_GE(ar->result.divergences.size(), 1u)
+      << "rank-dependence through a return value was lost";
+  bool loop_flagged = false;
+  for (const auto& d : ar->result.divergences)
+    loop_flagged |= d.function == "main" && d.rank_dependent;
+  EXPECT_TRUE(loop_flagged);
+}
+
+TEST(RankTaint, UniformReturnsStayUniform) {
+  Algorithm1Options opts;
+  opts.rank_taint_filter = true;
+  auto ar = run(R"(func bound() {
+    return size() * 2;
+  }
+  func main() {
+    var n = bound();
+    for (i = 0 to n) {
+      mpi_barrier();
+    }
+  })",
+                opts);
+  EXPECT_TRUE(ar->result.divergences.empty())
+      << "uniform return value must not taint the loop";
+}
+
+} // namespace
+} // namespace parcoach::core

@@ -1,0 +1,140 @@
+// Unit tests: the compile pipeline driver — mode behaviour, stage timing
+// accounting, census reporting.
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "support/str.h"
+#include "workloads/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::driver {
+namespace {
+
+const char* kBuggy = R"(func main() {
+  var x = rank();
+  if (rank() == 0) {
+    x = mpi_bcast(x, 0);
+  }
+  mpi_barrier();
+  mpi_finalize();
+})";
+
+TEST(Driver, BaselineModeRunsNoAnalysis) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  opts.mode = Mode::Baseline;
+  const auto r = compile(sm, "t", kBuggy, diags, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(diags.count(DiagKind::CollectiveMismatch), 0u);
+  EXPECT_EQ(r.times.analysis.count(), 0);
+  EXPECT_EQ(r.times.instrument.count(), 0);
+  EXPECT_TRUE(r.plan.empty());
+  EXPECT_GT(r.emitted_bytes, 0u);
+}
+
+TEST(Driver, WarningsModeAnalyzesButDoesNotInstrument) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  opts.mode = Mode::Warnings;
+  const auto r = compile(sm, "t", kBuggy, diags, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(diags.count(DiagKind::CollectiveMismatch), 1u);
+  EXPECT_GT(r.times.analysis.count(), 0);
+  EXPECT_EQ(r.times.instrument.count(), 0);
+  EXPECT_FALSE(str::contains(r.emitted, "check_cc"));
+}
+
+TEST(Driver, CodegenModeEmitsChecks) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  opts.mode = Mode::WarningsAndCodegen;
+  const auto r = compile(sm, "t", kBuggy, diags, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GT(r.inserted_checks, 0u);
+  EXPECT_TRUE(str::contains(r.emitted, "check_cc"));
+  EXPECT_TRUE(str::contains(r.emitted, "check_cc_final"));
+  EXPECT_GT(r.times.instrument.count(), 0);
+}
+
+TEST(Driver, InstrumentedEmissionIsLargerThanBaseline) {
+  SourceManager sm1, sm2;
+  DiagnosticEngine d1, d2;
+  PipelineOptions base;
+  base.mode = Mode::Baseline;
+  PipelineOptions full;
+  full.mode = Mode::WarningsAndCodegen;
+  const auto rb = compile(sm1, "t", kBuggy, d1, base);
+  const auto rf = compile(sm2, "t", kBuggy, d2, full);
+  EXPECT_GT(rf.emitted_bytes, rb.emitted_bytes);
+}
+
+TEST(Driver, FrontEndErrorsStopThePipeline) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  const auto r = compile(sm, "t", "func f() { var x = ; }", diags, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(r.module, nullptr);
+}
+
+TEST(Driver, SemaErrorsStopThePipeline) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  const auto r = compile(sm, "t", "func f() { y = 1; }", diags, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.module, nullptr);
+}
+
+TEST(Driver, StageTimesAddUp) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  opts.mode = Mode::WarningsAndCodegen;
+  const auto r = compile(sm, "t", kBuggy, diags, opts);
+  const auto& t = r.times;
+  EXPECT_EQ(t.total(), t.baseline() + t.analysis + t.instrument);
+  EXPECT_GT(t.baseline().count(), 0);
+  const std::string text = format_stage_times(t);
+  EXPECT_TRUE(str::contains(text, "baseline="));
+  EXPECT_TRUE(str::contains(text, "instrument="));
+}
+
+TEST(Driver, CensusCountsArtifacts) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  PipelineOptions opts;
+  opts.mode = Mode::WarningsAndCodegen;
+  const auto& entry = workloads::corpus_entry("bug_concurrent_singles");
+  const auto r = compile(sm, entry.name, entry.source, diags, opts);
+  ASSERT_TRUE(r.ok);
+  const auto census = census_of(entry.name, r, diags);
+  EXPECT_EQ(census.program, entry.name);
+  EXPECT_EQ(census.collectives, 3u); // two allreduce + finalize
+  EXPECT_EQ(census.parallel_regions, 1u);
+  EXPECT_GE(census.concurrent, 1u);
+  EXPECT_GT(census.checks_inserted, 0u);
+
+  const std::string table = format_census_table({census});
+  EXPECT_TRUE(str::contains(table, entry.name));
+  EXPECT_TRUE(str::contains(table, "ph2"));
+}
+
+TEST(Driver, CompileBufferReusesRegisteredSource) {
+  SourceManager sm;
+  const int32_t id = sm.add_buffer("x", "func main() { mpi_barrier(); }");
+  PipelineOptions opts;
+  for (int i = 0; i < 3; ++i) {
+    DiagnosticEngine diags;
+    const auto r = compile_buffer(sm, id, diags, opts);
+    EXPECT_TRUE(r.ok);
+  }
+  EXPECT_EQ(sm.buffer_count(), 1);
+}
+
+} // namespace
+} // namespace parcoach::driver

@@ -1,0 +1,104 @@
+// Unit tests: MiniHPC lexer.
+#include "frontend/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::frontend {
+namespace {
+
+std::vector<Token> lex(const std::string& src, DiagnosticEngine& diags) {
+  static SourceManager sm; // distinct buffer per call keeps views alive
+  const int32_t id = sm.add_buffer("t", src);
+  return Lexer::lex(sm, id, diags);
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& toks) {
+  std::vector<Tok> out;
+  for (const auto& t : toks) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputYieldsEof) {
+  DiagnosticEngine d;
+  const auto toks = lex("", d);
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::End);
+  EXPECT_FALSE(d.has_errors());
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  DiagnosticEngine d;
+  const auto toks = lex("func foo omp parallel single rankx", d);
+  const auto k = kinds(toks);
+  EXPECT_EQ(k, (std::vector<Tok>{Tok::KwFunc, Tok::Ident, Tok::KwOmp,
+                                 Tok::KwParallel, Tok::KwSingle, Tok::Ident,
+                                 Tok::End}));
+  EXPECT_EQ(toks[1].text, "foo");
+  EXPECT_EQ(toks[5].text, "rankx");
+}
+
+TEST(Lexer, IntegerValues) {
+  DiagnosticEngine d;
+  const auto toks = lex("0 7 12345", d);
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].int_val, 0);
+  EXPECT_EQ(toks[1].int_val, 7);
+  EXPECT_EQ(toks[2].int_val, 12345);
+}
+
+TEST(Lexer, TwoCharOperators) {
+  DiagnosticEngine d;
+  const auto toks = lex("<= >= == != && || < > = !", d);
+  const auto k = kinds(toks);
+  EXPECT_EQ(k, (std::vector<Tok>{Tok::Le, Tok::Ge, Tok::EqEq, Tok::Ne,
+                                 Tok::AndAnd, Tok::OrOr, Tok::Lt, Tok::Gt,
+                                 Tok::Assign, Tok::Not, Tok::End}));
+}
+
+TEST(Lexer, CommentsAreSkipped) {
+  DiagnosticEngine d;
+  const auto toks = lex("x // the rest is gone\ny", d);
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "y");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  DiagnosticEngine d;
+  const auto toks = lex("a\n  b\n    c", d);
+  EXPECT_EQ(toks[0].loc.line, 1);
+  EXPECT_EQ(toks[0].loc.column, 1);
+  EXPECT_EQ(toks[1].loc.line, 2);
+  EXPECT_EQ(toks[1].loc.column, 3);
+  EXPECT_EQ(toks[2].loc.line, 3);
+  EXPECT_EQ(toks[2].loc.column, 5);
+}
+
+TEST(Lexer, StrayCharactersAreErrors) {
+  DiagnosticEngine d;
+  lex("a $ b", d);
+  EXPECT_EQ(d.count(DiagKind::LexError), 1u);
+  DiagnosticEngine d2;
+  lex("a & b | c", d2);
+  EXPECT_EQ(d2.count(DiagKind::LexError), 2u);
+}
+
+TEST(Lexer, IdentLikeAcceptsKeywords) {
+  DiagnosticEngine d;
+  const auto toks = lex("single serialized", d);
+  EXPECT_TRUE(toks[0].ident_like()); // keyword usable as contextual name
+  EXPECT_TRUE(toks[1].ident_like());
+  EXPECT_EQ(toks[0].text, "single");
+}
+
+TEST(Lexer, UnderscoreNames) {
+  DiagnosticEngine d;
+  const auto toks = lex("_x x_y_z mpi_allreduce num_threads", d);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[1].kind, Tok::Ident);
+  EXPECT_EQ(toks[2].kind, Tok::Ident); // mpi names are contextual
+  EXPECT_EQ(toks[3].kind, Tok::KwNumThreads);
+}
+
+} // namespace
+} // namespace parcoach::frontend

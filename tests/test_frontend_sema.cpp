@@ -1,0 +1,169 @@
+// Unit tests: semantic analysis — scoping, call checking, OpenMP nesting
+// legality, MPI init facts.
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::frontend {
+namespace {
+
+struct SemaRun {
+  SemaResult result;
+  size_t errors;
+  std::string text;
+};
+
+SemaRun run_sema(const std::string& src) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  Program p = Parser::parse_source(sm, "t.mh", src, d);
+  EXPECT_EQ(d.count(DiagKind::ParseError), 0u) << d.to_text(sm);
+  SemaRun r;
+  r.result = Sema::analyze(p, d);
+  r.errors = d.count(Severity::Error);
+  r.text = d.to_text(sm);
+  return r;
+}
+
+TEST(Sema, CleanProgramPasses) {
+  const auto r = run_sema(R"(func f(a) { return a * 2; }
+func main() {
+  mpi_init(funneled);
+  var x = f(21);
+  print(x);
+  mpi_finalize();
+})");
+  EXPECT_TRUE(r.result.ok) << r.text;
+  EXPECT_TRUE(r.result.has_mpi_init);
+  EXPECT_TRUE(r.result.has_mpi_finalize);
+  ASSERT_TRUE(r.result.requested_thread_level.has_value());
+  EXPECT_EQ(*r.result.requested_thread_level, ir::ThreadLevel::Funneled);
+}
+
+TEST(Sema, UndeclaredVariableUse) {
+  EXPECT_GE(run_sema("func f() { var x = y + 1; }").errors, 1u);
+  EXPECT_GE(run_sema("func f() { x = 1; }").errors, 1u);
+}
+
+TEST(Sema, RedeclarationInSameScope) {
+  EXPECT_GE(run_sema("func f() { var x = 1; var x = 2; }").errors, 1u);
+  // Shadowing in an inner scope is allowed.
+  EXPECT_EQ(run_sema("func f() { var x = 1; if (x) { var x = 2; } }").errors, 0u);
+}
+
+TEST(Sema, BlockScopesExpire) {
+  EXPECT_GE(run_sema("func f() { if (1) { var x = 1; } x = 2; }").errors, 1u);
+  EXPECT_GE(run_sema("func f() { for (i = 0 to 3) { var q = i; } q = 1; }").errors,
+            1u);
+}
+
+TEST(Sema, LoopVariableScoping) {
+  EXPECT_EQ(run_sema("func f() { for (i = 0 to 3) { var x = i; } }").errors, 0u);
+  // Loop variable not visible after the loop.
+  EXPECT_GE(run_sema("func f() { for (i = 0 to 3) { } print(i); }").errors, 1u);
+}
+
+TEST(Sema, CallChecking) {
+  EXPECT_GE(run_sema("func f() { g(); }").errors, 1u); // undefined
+  EXPECT_GE(run_sema("func g(a) { return a; } func f() { g(); }").errors, 1u);
+  EXPECT_GE(run_sema("func g(a) { return a; } func f() { g(1, 2); }").errors, 1u);
+  EXPECT_EQ(run_sema("func g(a) { return a; } func f() { g(1); }").errors, 0u);
+}
+
+TEST(Sema, DuplicateFunctionsAndParams) {
+  EXPECT_GE(run_sema("func f() { } func f() { }").errors, 1u);
+  EXPECT_GE(run_sema("func f(a, a) { }").errors, 1u);
+}
+
+TEST(Sema, CallTargetDeclarationRules) {
+  // var x = f(...) declares x.
+  EXPECT_EQ(run_sema("func g() { return 1; } func f() { var x = g(); print(x); }")
+                .errors,
+            0u);
+  // x = f(...) needs a prior declaration.
+  EXPECT_GE(run_sema("func g() { return 1; } func f() { x = g(); }").errors, 1u);
+}
+
+TEST(Sema, BarrierNestingRules) {
+  // Directly in parallel: fine.
+  EXPECT_EQ(run_sema("func f() { omp parallel { omp barrier; } }").errors, 0u);
+  // Inside single/master/critical/sections/for: illegal.
+  EXPECT_GE(run_sema("func f() { omp parallel { omp single { omp barrier; } } }")
+                .errors,
+            1u);
+  EXPECT_GE(run_sema("func f() { omp parallel { omp master { omp barrier; } } }")
+                .errors,
+            1u);
+  EXPECT_GE(
+      run_sema("func f() { omp parallel { omp critical { omp barrier; } } }")
+          .errors,
+      1u);
+  EXPECT_GE(run_sema("func f() { omp parallel { omp for (i = 0 to 4) { omp "
+                     "barrier; } } }")
+                .errors,
+            1u);
+}
+
+TEST(Sema, WorksharingNestingRules) {
+  // single inside single (same team, no intervening parallel): illegal.
+  EXPECT_GE(
+      run_sema(
+          "func f() { omp parallel { omp single { omp single { var x = 1; } } } }")
+          .errors,
+      1u);
+  // for inside master: illegal.
+  EXPECT_GE(run_sema("func f() { omp parallel { omp master { omp for (i = 0 to "
+                     "4) { var x = i; } } } }")
+                .errors,
+            1u);
+  // single inside a NEW parallel region: legal.
+  EXPECT_EQ(
+      run_sema("func f() { omp parallel { omp single { omp parallel { omp "
+               "single { var x = 1; } } } } }")
+          .errors,
+      0u);
+}
+
+TEST(Sema, CriticalInsideCritical) {
+  EXPECT_GE(
+      run_sema(
+          "func f() { omp critical { omp critical { var x = 1; } } }")
+          .errors,
+      1u);
+}
+
+TEST(Sema, ReturnInsideOmpRegionIsRejected) {
+  EXPECT_GE(run_sema("func f() { omp parallel { return; } }").errors, 1u);
+  EXPECT_GE(run_sema("func f() { omp parallel { omp single { return; } } }")
+                .errors,
+            1u);
+  EXPECT_GE(run_sema("func f() { omp critical { return; } }").errors, 1u);
+  // Return after the region is fine.
+  EXPECT_EQ(run_sema("func f() { omp parallel { var x = 1; } return; }").errors,
+            0u);
+}
+
+TEST(Sema, DoubleInitWarns) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  Program p = Parser::parse_source(
+      sm, "t", "func main() { mpi_init(single); mpi_init(multiple); }", d);
+  Sema::analyze(p, d);
+  EXPECT_EQ(d.count(Severity::Warning), 1u);
+}
+
+TEST(Sema, SharedOuterVariablesVisibleInParallel) {
+  EXPECT_EQ(run_sema(R"(func main() {
+  var x = 0;
+  omp parallel {
+    x = x + 1;
+    var y = x;
+  }
+  print(x);
+})").errors,
+            0u);
+}
+
+} // namespace
+} // namespace parcoach::frontend

@@ -1,0 +1,233 @@
+// Unit tests: selective instrumentation planning and IR materialization.
+#include "core/instrumentation.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/str.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::core {
+namespace {
+
+struct InstrRun {
+  InstrumentationPlan plan;
+  PhaseResult phases;
+  Algorithm1Result alg1;
+  std::unique_ptr<ir::Module> mod;
+  DiagnosticEngine diags;
+  SourceManager sm;
+  size_t inserted = 0;
+};
+
+std::unique_ptr<InstrRun> plan_for(const std::string& src, bool apply = true) {
+  auto r = std::make_unique<InstrRun>();
+  auto prog = frontend::Parser::parse_source(r->sm, "t", src, r->diags);
+  frontend::Sema::analyze(prog, r->diags);
+  EXPECT_FALSE(r->diags.has_errors()) << r->diags.to_text(r->sm);
+  r->mod = frontend::Lowering::lower(prog, r->diags);
+  const Summaries sums = Summaries::build(*r->mod);
+  r->phases = run_phases(*r->mod, sums, {}, r->diags);
+  r->alg1 = run_algorithm1(*r->mod, sums, {}, r->diags);
+  r->plan = make_plan(*r->mod, r->phases, r->alg1);
+  if (apply) r->inserted = apply_plan(*r->mod, r->plan);
+  return r;
+}
+
+TEST(Plan, CleanProgramGetsZeroChecks) {
+  auto r = plan_for(R"(func main() {
+    mpi_init(serialized);
+    var x = mpi_allreduce(1, sum);
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  EXPECT_TRUE(r->plan.empty());
+  EXPECT_EQ(r->inserted, 0u);
+  EXPECT_EQ(r->plan.total_collective_sites, 3u);
+}
+
+TEST(Plan, DivergenceEnablesProgramWideCc) {
+  auto r = plan_for(R"(func main() {
+    var x = rank();
+    if (rank() == 0) {
+      x = mpi_bcast(x, 0);
+    }
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  // All three collectives get CC, plus CC-final in main.
+  EXPECT_EQ(r->plan.cc_stmts.size(), 3u);
+  EXPECT_TRUE(r->plan.cc_final_in_main);
+  EXPECT_TRUE(r->plan.mono_stmts.empty());
+  EXPECT_TRUE(r->plan.watched_regions.empty());
+}
+
+TEST(Plan, MonoChecksOnlyAtFlaggedSites) {
+  auto r = plan_for(R"(func main() {
+    var x = 0;
+    var y = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum);
+    }
+    y = mpi_allreduce(y, sum);
+  })");
+  EXPECT_EQ(r->plan.mono_stmts.size(), 1u);
+  // CC is program-wide once anything is flagged.
+  EXPECT_EQ(r->plan.cc_stmts.size(), 2u);
+}
+
+TEST(Plan, WatchedRegionsFromScc) {
+  auto r = plan_for(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp single nowait {
+        a = mpi_allreduce(a, sum);
+      }
+      omp single nowait {
+        b = mpi_allreduce(b, max);
+      }
+    }
+  })");
+  EXPECT_EQ(r->plan.watched_regions.size(), 2u);
+}
+
+TEST(Plan, BlanketPlanCoversEverything) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  auto prog = frontend::Parser::parse_source(sm, "t", R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+      omp master {
+        x = mpi_bcast(x, 0);
+      }
+    }
+    mpi_barrier();
+  })",
+                                             d);
+  frontend::Sema::analyze(prog, d);
+  auto mod = frontend::Lowering::lower(prog, d);
+  const auto plan = make_blanket_plan(*mod);
+  EXPECT_EQ(plan.cc_stmts.size(), 3u);
+  EXPECT_EQ(plan.mono_stmts.size(), 3u);
+  EXPECT_EQ(plan.watched_regions.size(), 2u); // single + master
+  EXPECT_TRUE(plan.cc_final_in_main);
+}
+
+TEST(Apply, InsertsChecksBeforeGuardedInstructions) {
+  auto r = plan_for(R"(func main() {
+    var x = rank();
+    if (rank() == 0) {
+      x = mpi_bcast(x, 0);
+    }
+    mpi_barrier();
+  })");
+  EXPECT_GE(r->inserted, 3u); // 2 CC + CC-final (>= because of mono checks)
+  // In every block, a CheckCC must immediately precede its CollComm.
+  for (const auto& fn : r->mod->functions()) {
+    for (const auto& bb : fn->blocks()) {
+      for (size_t i = 0; i < bb.instrs.size(); ++i) {
+        if (bb.instrs[i].op != ir::Opcode::CollComm) continue;
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(bb.instrs[i - 1].op, ir::Opcode::CheckCC);
+        EXPECT_EQ(bb.instrs[i - 1].collective, bb.instrs[i].collective);
+        EXPECT_EQ(bb.instrs[i - 1].stmt_id, bb.instrs[i].stmt_id);
+      }
+    }
+  }
+  // CheckCCFinal precedes main's returns.
+  const ir::Function& main_fn = *r->mod->find("main");
+  bool final_before_return = false;
+  for (const auto& bb : main_fn.blocks()) {
+    for (size_t i = 0; i + 1 < bb.instrs.size(); ++i) {
+      if (bb.instrs[i].op == ir::Opcode::CheckCCFinal &&
+          bb.instrs[i + 1].op == ir::Opcode::Return)
+        final_before_return = true;
+    }
+  }
+  EXPECT_TRUE(final_before_return);
+}
+
+TEST(Apply, RegionGuardsWrapWatchedRegions) {
+  auto r = plan_for(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp single nowait {
+        a = mpi_allreduce(a, sum);
+      }
+      omp single nowait {
+        b = mpi_allreduce(b, max);
+      }
+    }
+  })");
+  const ir::Function& fn = *r->mod->find("main");
+  size_t enters = 0, exits = 0;
+  for (const auto& bb : fn.blocks()) {
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+      const auto& in = bb.instrs[i];
+      if (in.op == ir::Opcode::RegionEnter) {
+        ++enters;
+        // Must directly follow its OmpBegin.
+        ASSERT_GT(i, 0u);
+        EXPECT_EQ(bb.instrs[i - 1].op, ir::Opcode::OmpBegin);
+        EXPECT_EQ(bb.instrs[i - 1].region_id, in.region_id);
+      }
+      if (in.op == ir::Opcode::RegionExit) {
+        ++exits;
+        ASSERT_LT(i + 1, bb.instrs.size());
+        EXPECT_EQ(bb.instrs[i + 1].op, ir::Opcode::OmpEnd);
+      }
+    }
+  }
+  EXPECT_EQ(enters, 2u);
+  EXPECT_EQ(exits, 2u);
+}
+
+TEST(Apply, InstrumentedIrStillVerifies) {
+  auto r = plan_for(R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp single nowait {
+        x = mpi_allreduce(x, sum);
+      }
+      omp single nowait {
+        x = mpi_allreduce(x, max);
+      }
+    }
+    if (rank() == 0) {
+      x = mpi_bcast(x, 0);
+    }
+  })");
+  DiagnosticEngine vd;
+  EXPECT_TRUE(ir::verify(*r->mod, vd)) << vd.to_text(r->sm);
+  const std::string text = ir::to_text(*r->mod);
+  EXPECT_TRUE(str::contains(text, "check_cc"));
+  EXPECT_TRUE(str::contains(text, "region_enter"));
+}
+
+TEST(Plan, CheckCountReflectsSelectivity) {
+  auto clean = plan_for(R"(func main() {
+    mpi_barrier();
+    mpi_barrier();
+    mpi_barrier();
+  })");
+  EXPECT_EQ(clean->plan.check_count(), 0u);
+
+  auto buggy = plan_for(R"(func main() {
+    if (rank() == 0) {
+      mpi_barrier();
+    }
+  })");
+  EXPECT_GT(buggy->plan.check_count(), 0u);
+  EXPECT_LE(buggy->plan.check_count(),
+            make_blanket_plan(*buggy->mod).check_count());
+}
+
+} // namespace
+} // namespace parcoach::core

@@ -1,0 +1,115 @@
+// Integration: every corpus entry goes through the full static pipeline and
+// (where the expectation is deterministic) through instrumented execution.
+//
+// Parameterized over the corpus so each program shows up as its own test.
+#include "driver/pipeline.h"
+#include "interp/executor.h"
+#include "workloads/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach {
+namespace {
+
+using workloads::CorpusEntry;
+using workloads::DynamicOutcome;
+
+class CorpusTest : public ::testing::TestWithParam<CorpusEntry> {};
+
+driver::CompileResult compile_full(const CorpusEntry& e, SourceManager& sm,
+                                   DiagnosticEngine& diags) {
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  opts.verify_ir = true;
+  return driver::compile(sm, e.name, e.source, diags, opts);
+}
+
+TEST_P(CorpusTest, StaticExpectations) {
+  const CorpusEntry& e = GetParam();
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_full(e, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+  for (DiagKind k : e.expected_static)
+    EXPECT_GE(diags.count(k), 1u) << "missing expected warning "
+                                  << to_string(k) << "\n"
+                                  << diags.to_text(sm);
+  for (DiagKind k : e.forbidden_static)
+    EXPECT_EQ(diags.count(k), 0u) << "unexpected warning " << to_string(k)
+                                  << "\n"
+                                  << diags.to_text(sm);
+}
+
+TEST_P(CorpusTest, InstrumentedExecution) {
+  const CorpusEntry& e = GetParam();
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_full(e, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+
+  interp::Executor exec(r.program, sm, &r.plan);
+  interp::ExecOptions opts;
+  opts.num_ranks = e.ranks;
+  opts.num_threads = e.threads;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(2500);
+  if (e.dynamic == DynamicOutcome::CaughtRace)
+    opts.verify.rendezvous = std::chrono::milliseconds(40);
+  const auto result = exec.run(opts);
+
+  switch (e.dynamic) {
+    case DynamicOutcome::Clean:
+      EXPECT_TRUE(result.clean)
+          << result.mpi.abort_reason << "\n"
+          << result.mpi.deadlock_details;
+      break;
+    case DynamicOutcome::CaughtBeforeHang:
+    case DynamicOutcome::CaughtRace: {
+      EXPECT_FALSE(result.mpi.deadlock)
+          << "verifier should catch the error before the watchdog: "
+          << result.mpi.deadlock_details;
+      EXPECT_GE(result.rt_error_count(), 1u) << result.mpi.abort_reason;
+      bool kind_found = false;
+      for (const auto& d : result.rt_diags) kind_found |= d.kind == e.expected_rt;
+      EXPECT_TRUE(kind_found)
+          << "expected runtime diagnostic " << to_string(e.expected_rt);
+      break;
+    }
+    case DynamicOutcome::ThreadLevelWarn:
+      // The violating thread choice is scheduler-dependent; require only
+      // that the run neither hangs nor aborts.
+      EXPECT_FALSE(result.mpi.deadlock) << result.mpi.deadlock_details;
+      break;
+  }
+}
+
+TEST_P(CorpusTest, UninstrumentedMismatchesDeadlock) {
+  const CorpusEntry& e = GetParam();
+  if (e.dynamic != DynamicOutcome::CaughtBeforeHang)
+    GTEST_SKIP() << "only deterministic-deadlock entries";
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::Warnings; // no instrumentation
+  const auto r = driver::compile(sm, e.name, e.source, diags, opts);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+
+  interp::Executor exec(r.program, sm, nullptr);
+  interp::ExecOptions eopts;
+  eopts.num_ranks = e.ranks;
+  eopts.num_threads = e.threads;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(150);
+  const auto result = exec.run(eopts);
+  EXPECT_TRUE(result.mpi.deadlock)
+      << "expected a hang without instrumentation; abort="
+      << result.mpi.abort_reason;
+  EXPECT_FALSE(result.mpi.deadlock_details.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusTest,
+                         ::testing::ValuesIn(workloads::corpus()),
+                         [](const ::testing::TestParamInfo<CorpusEntry>& info) {
+                           return info.param.name;
+                         });
+
+} // namespace
+} // namespace parcoach

@@ -1,0 +1,343 @@
+// Unit tests: phases 1 and 2 of the compile-time verification, including the
+// interprocedural expansion and the loop self-overlap refinement.
+#include "core/phases.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::core {
+namespace {
+
+struct PhasesRun {
+  PhaseResult result;
+  DiagnosticEngine diags;
+  std::unique_ptr<ir::Module> mod;
+  SourceManager sm;
+};
+
+std::unique_ptr<PhasesRun> run(const std::string& src,
+                               AnalysisOptions opts = {}) {
+  auto pr = std::make_unique<PhasesRun>();
+  auto prog = frontend::Parser::parse_source(pr->sm, "t", src, pr->diags);
+  frontend::Sema::analyze(prog, pr->diags);
+  EXPECT_FALSE(pr->diags.has_errors()) << pr->diags.to_text(pr->sm);
+  pr->mod = frontend::Lowering::lower(prog, pr->diags);
+  const Summaries sums = Summaries::build(*pr->mod);
+  pr->result = run_phases(*pr->mod, sums, opts, pr->diags);
+  return pr;
+}
+
+TEST(Phase1, SerialAndSingleContextsAreClean) {
+  auto pr = run(R"(func main() {
+    var x = mpi_allreduce(1, sum);
+    omp parallel {
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.multithreaded.empty()) << pr->diags.to_text(pr->sm);
+  EXPECT_EQ(pr->diags.count(DiagKind::MultithreadedCollective), 0u);
+}
+
+TEST(Phase1, ParallelCollectiveFlagged) {
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum);
+    }
+  })");
+  ASSERT_EQ(pr->result.multithreaded.size(), 1u);
+  const MonoViolation& v = pr->result.multithreaded[0];
+  EXPECT_EQ(v.kind, ir::CollectiveKind::Allreduce);
+  EXPECT_EQ(v.sipw_region, 0); // innermost parallel region id
+  EXPECT_EQ(pr->diags.count(DiagKind::MultithreadedCollective), 1u);
+  EXPECT_EQ(pr->result.mono_check_stmts.size(), 1u);
+}
+
+TEST(Phase1, NestedParallelismRejectedEvenWithSingle) {
+  // PPS: one thread per *inner* team still means multiple executions.
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp parallel {
+        omp single {
+          x = mpi_allreduce(x, sum);
+        }
+      }
+    }
+  })");
+  ASSERT_EQ(pr->result.multithreaded.size(), 1u);
+  EXPECT_EQ(pr->diags.count(DiagKind::MultithreadedCollective), 1u);
+}
+
+TEST(Phase1, SingleThenNestedParallelThenSingleIsMono) {
+  // S P S decomposes as S | PS: one inner team, one executor.
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp single {
+        omp parallel {
+          omp single {
+            x = mpi_allreduce(x, sum);
+          }
+        }
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.multithreaded.empty()) << pr->diags.to_text(pr->sm);
+}
+
+TEST(Phase1, CriticalIsNotMonothreaded) {
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp critical {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  })");
+  EXPECT_EQ(pr->result.multithreaded.size(), 1u);
+}
+
+TEST(Phase1, WorksharingForIsNotMonothreaded) {
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp for (i = 0 to 8) {
+        x = mpi_allreduce(i, sum);
+      }
+    }
+  })");
+  EXPECT_EQ(pr->result.multithreaded.size(), 1u);
+}
+
+TEST(Phase1, InitialContextOptionTurnsSerialIntoParallel) {
+  AnalysisOptions opts;
+  opts.initial_context = InitialContext::Multithreaded;
+  auto pr = run("func main() { mpi_barrier(); }", opts);
+  EXPECT_EQ(pr->result.multithreaded.size(), 1u)
+      << "serial collective is multithreaded when the function may be "
+         "called from a parallel region";
+}
+
+TEST(Phase1, InterproceduralParallelContextPropagates) {
+  // The collective is monothreaded within do_comm, but do_comm is called
+  // from inside a parallel region -> composed word ends with P.
+  auto pr = run(R"(func do_comm(v) {
+    var r = mpi_allreduce(v, sum);
+    return r;
+  }
+  func main() {
+    var x = 0;
+    omp parallel {
+      var y = do_comm(x);
+    }
+  })");
+  ASSERT_GE(pr->result.multithreaded.size(), 1u);
+  EXPECT_FALSE(pr->result.multithreaded[0].call_chain.empty())
+      << "warning should carry the call chain";
+}
+
+TEST(Phase2, NowaitSinglesAreConcurrent) {
+  auto pr = run(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp single nowait {
+        a = mpi_allreduce(a, sum);
+      }
+      omp single nowait {
+        b = mpi_allreduce(b, max);
+      }
+    }
+  })");
+  ASSERT_EQ(pr->result.concurrent.size(), 1u);
+  const auto& v = pr->result.concurrent[0];
+  EXPECT_FALSE(v.self);
+  EXPECT_NE(v.a_region, v.b_region);
+  EXPECT_EQ(pr->result.watched_regions.size(), 2u);
+  EXPECT_EQ(pr->diags.count(DiagKind::ConcurrentCollectives), 1u);
+}
+
+TEST(Phase2, ImplicitBarrierOrdersSingles) {
+  auto pr = run(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp single {
+        a = mpi_allreduce(a, sum);
+      }
+      omp single {
+        b = mpi_allreduce(b, max);
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.concurrent.empty()) << pr->diags.to_text(pr->sm);
+}
+
+TEST(Phase2, MasterAndSingleAreConcurrent) {
+  // master has no implicit barrier; thread 0 may be in master while another
+  // thread enters the single.
+  auto pr = run(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp master {
+        a = mpi_allreduce(a, sum);
+      }
+      omp single {
+        b = mpi_allreduce(b, max);
+      }
+    }
+  })");
+  EXPECT_EQ(pr->result.concurrent.size(), 1u);
+}
+
+TEST(Phase2, TwoMastersAreOrdered) {
+  // Both execute on thread 0: never concurrent; must not be flagged.
+  auto pr = run(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp master {
+        a = mpi_allreduce(a, sum);
+      }
+      omp master {
+        b = mpi_allreduce(b, max);
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.concurrent.empty()) << pr->diags.to_text(pr->sm);
+}
+
+TEST(Phase2, SectionsWithCollectivesAreConcurrent) {
+  auto pr = run(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp sections {
+        omp section {
+          a = mpi_allreduce(a, sum);
+        }
+        omp section {
+          b = mpi_reduce(b, sum, 0);
+        }
+      }
+    }
+  })");
+  EXPECT_EQ(pr->result.concurrent.size(), 1u);
+}
+
+TEST(Phase2, SectionWithoutCollectiveIsHarmless) {
+  auto pr = run(R"(func main() {
+    var a = 0;
+    omp parallel {
+      omp sections {
+        omp section {
+          a = mpi_allreduce(a, sum);
+        }
+        omp section {
+          var compute = 42;
+        }
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.concurrent.empty());
+}
+
+TEST(Phase2, LoopSelfOverlapNowaitSingle) {
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      for (i = 0 to 4) {
+        omp single nowait {
+          x = mpi_allreduce(x, sum);
+        }
+      }
+    }
+  })");
+  ASSERT_EQ(pr->result.concurrent.size(), 1u);
+  EXPECT_TRUE(pr->result.concurrent[0].self);
+}
+
+TEST(Phase2, LoopWithBarrierHasNoSelfOverlap) {
+  auto pr = run(R"(func main() {
+    var x = 0;
+    omp parallel {
+      for (i = 0 to 4) {
+        omp single {
+          x = mpi_allreduce(x, sum);
+        }
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.concurrent.empty()) << pr->diags.to_text(pr->sm);
+}
+
+TEST(Phase2, SerialLoopSingleOutsideParallelNotSelfConcurrent) {
+  // Orphaned single at serial level: only one thread exists.
+  auto pr = run(R"(func main() {
+    var x = 0;
+    for (i = 0 to 4) {
+      omp single nowait {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  })");
+  EXPECT_TRUE(pr->result.concurrent.empty());
+}
+
+TEST(Phases, UnreachableFunctionsAnalyzedAsRoots) {
+  AnalysisOptions opts;
+  opts.analyze_unreachable_roots = true;
+  auto pr = run(R"(func helper() {
+    var x = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum);
+    }
+  }
+  func main() {
+    var y = 1;
+  })",
+                opts);
+  EXPECT_EQ(pr->result.multithreaded.size(), 1u);
+
+  AnalysisOptions off;
+  off.analyze_unreachable_roots = false;
+  auto pr2 = run(R"(func helper() {
+    var x = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum);
+    }
+  }
+  func main() {
+    var y = 1;
+  })",
+                 off);
+  EXPECT_TRUE(pr2->result.multithreaded.empty());
+}
+
+TEST(Phases, RecursionIsReportedNotCrashed) {
+  auto pr = run(R"(func ping(n) {
+    if (n > 0) {
+      pong(n - 1);
+    }
+    mpi_barrier();
+    return 0;
+  }
+  func pong(n) {
+    ping(n);
+    return 0;
+  }
+  func main() {
+    ping(3);
+  })");
+  // The recursive cycle yields a WordAmbiguity note, not a crash/false error.
+  EXPECT_GE(pr->diags.count(DiagKind::WordAmbiguity), 1u);
+}
+
+} // namespace
+} // namespace parcoach::core

@@ -1,0 +1,234 @@
+// Property-based tests (parameterized seed sweeps).
+//
+// P1  Correct-by-construction random hybrid programs produce no phase-1/2 or
+//     thread-level warnings and run clean under full instrumentation.
+// P2  A seeded mutation (rank guard / kind divergence / early exit) is
+//     always flagged statically (CollectiveMismatch), and the instrumented
+//     run NEVER hangs: it either aborts with a precise runtime diagnostic or
+//     the mutated site was dynamically unreachable and the run stays clean.
+//     Early-exit mutations are always dynamically reachable, so there the
+//     runtime catch is asserted unconditionally.
+// P3  Uninstrumented mutated runs may hang — the watchdog must report them;
+//     checked for early-exit mutations (deterministically hanging).
+#include "driver/pipeline.h"
+#include "interp/executor.h"
+#include "workloads/testgen.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach {
+namespace {
+
+using workloads::GenOptions;
+using workloads::GenResult;
+using workloads::Mutation;
+
+driver::CompileResult compile_src(const std::string& src, SourceManager& sm,
+                                  DiagnosticEngine& diags) {
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  opts.verify_ir = true;
+  return driver::compile(sm, "gen", src, diags, opts);
+}
+
+interp::ExecResult run_program(const driver::CompileResult& r,
+                               const SourceManager& sm, bool instrumented,
+                               int hang_ms) {
+  interp::Executor exec(r.program, sm, instrumented ? &r.plan : nullptr);
+  interp::ExecOptions eopts;
+  eopts.num_ranks = 2;
+  eopts.num_threads = 2;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(hang_ms);
+  return exec.run(eopts);
+}
+
+class PropertySeed : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertySeed, CleanProgramsAnalyzeAndRunClean) {
+  GenOptions gopts;
+  gopts.seed = GetParam();
+  const GenResult gen = workloads::generate_random_program(gopts);
+  ASSERT_GT(gen.collective_sites, 0);
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_src(gen.source, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm) << "\n" << gen.source;
+  EXPECT_EQ(diags.count(DiagKind::MultithreadedCollective), 0u)
+      << diags.to_text(sm) << "\n" << gen.source;
+  EXPECT_EQ(diags.count(DiagKind::ConcurrentCollectives), 0u)
+      << diags.to_text(sm) << "\n" << gen.source;
+  EXPECT_EQ(diags.count(DiagKind::ThreadLevelViolation), 0u)
+      << diags.to_text(sm);
+
+  const auto result = run_program(r, sm, /*instrumented=*/true, 2000);
+  EXPECT_TRUE(result.clean) << result.mpi.abort_reason << "\n"
+                            << result.mpi.deadlock_details << "\n"
+                            << gen.source;
+}
+
+class PropertyMutation
+    : public ::testing::TestWithParam<std::tuple<uint64_t, Mutation>> {};
+
+TEST_P(PropertyMutation, MutationsAreFlaggedAndNeverHangInstrumented) {
+  const auto [seed, mutation] = GetParam();
+  GenOptions clean_opts;
+  clean_opts.seed = seed;
+  const GenResult clean = workloads::generate_random_program(clean_opts);
+  ASSERT_GT(clean.collective_sites, 0);
+
+  GenOptions mopts = clean_opts;
+  mopts.mutation = mutation;
+  mopts.mutation_site =
+      static_cast<int32_t>(seed % static_cast<uint64_t>(clean.collective_sites));
+  const GenResult mutated = workloads::generate_random_program(mopts);
+  ASSERT_TRUE(mutated.mutation_applied) << mutated.source;
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_src(mutated.source, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm) << "\n" << mutated.source;
+
+  // Static: the divergence conditional must be flagged.
+  EXPECT_GE(diags.count(DiagKind::CollectiveMismatch), 1u)
+      << diags.to_text(sm) << "\n" << mutated.source;
+  // And the CC protocol must be armed program-wide.
+  EXPECT_FALSE(r.plan.cc_stmts.empty());
+  EXPECT_TRUE(r.plan.cc_final_in_main);
+
+  // Dynamic: instrumented run must never hang.
+  const auto result = run_program(r, sm, /*instrumented=*/true, 2500);
+  EXPECT_FALSE(result.mpi.deadlock)
+      << result.mpi.deadlock_details << "\n" << mutated.source;
+  const bool caught = result.rt_error_count() >= 1;
+  if (mutation == Mutation::EarlyExit) {
+    EXPECT_TRUE(caught) << "early exit is always reachable\n" << mutated.source;
+  } else {
+    // Either caught, or the mutated site was dynamically unreachable and
+    // the program ran clean.
+    EXPECT_TRUE(caught || result.clean)
+        << result.mpi.abort_reason << "\n" << mutated.source;
+  }
+  if (caught) {
+    bool kind_ok = false;
+    for (const auto& d : result.rt_diags)
+      kind_ok |= d.kind == DiagKind::RtCollectiveMismatch;
+    EXPECT_TRUE(kind_ok);
+  }
+}
+
+TEST_P(PropertySeed, EarlyExitHangsWithoutInstrumentationAndIsCaughtWithIt) {
+  const uint64_t seed = GetParam();
+  GenOptions clean_opts;
+  clean_opts.seed = seed;
+  const GenResult clean = workloads::generate_random_program(clean_opts);
+
+  GenOptions mopts = clean_opts;
+  mopts.mutation = Mutation::EarlyExit;
+  mopts.mutation_site =
+      static_cast<int32_t>(seed % static_cast<uint64_t>(clean.collective_sites));
+  const GenResult mutated = workloads::generate_random_program(mopts);
+  ASSERT_TRUE(mutated.mutation_applied);
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_src(mutated.source, sm, diags);
+  ASSERT_TRUE(r.ok);
+
+  // Without checks: rank 0 leaves, rank 1 blocks -> watchdog hang.
+  const auto bare = run_program(r, sm, /*instrumented=*/false, 150);
+  EXPECT_TRUE(bare.mpi.deadlock) << bare.mpi.abort_reason << "\n"
+                                 << mutated.source;
+
+  // With checks: clean abort before the hang.
+  const auto checked = run_program(r, sm, /*instrumented=*/true, 2500);
+  EXPECT_FALSE(checked.mpi.deadlock);
+  EXPECT_GE(checked.rt_error_count(), 1u);
+}
+
+constexpr uint64_t kSeeds[] = {1,  2,  3,  5,  8,  13, 21, 34,
+                               55, 89, 144, 233, 377, 610, 987, 1597};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySeed, ::testing::ValuesIn(kSeeds));
+
+INSTANTIATE_TEST_SUITE_P(
+    Mutations, PropertyMutation,
+    ::testing::Combine(::testing::ValuesIn(kSeeds),
+                       ::testing::Values(Mutation::RankGuard,
+                                         Mutation::KindDivergence,
+                                         Mutation::EarlyExit)),
+    [](const ::testing::TestParamInfo<std::tuple<uint64_t, Mutation>>& info) {
+      const uint64_t seed = std::get<0>(info.param);
+      const Mutation m = std::get<1>(info.param);
+      const char* name = m == Mutation::RankGuard        ? "RankGuard"
+                         : m == Mutation::KindDivergence ? "KindDivergence"
+                                                         : "EarlyExit";
+      return std::string(name) + "_seed" + std::to_string(seed);
+    });
+
+} // namespace
+} // namespace parcoach
+
+namespace parcoach {
+namespace {
+
+// P4: cross-checking the two detectors. For mutated programs, running the
+// *uninstrumented* program on the strict-matching substrate (a MUST-like
+// reference checker that validates signatures at match time) must agree
+// with the CC verdict: if strict matching reports a mismatch, the CC
+// protocol must also have caught it (or the site was never reached, in
+// which case both stay silent).
+class PropertyCrossCheck
+    : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PropertyCrossCheck, StrictSubstrateAgreesWithCcVerdict) {
+  const uint64_t seed = GetParam();
+  GenOptions clean_opts;
+  clean_opts.seed = seed;
+  const GenResult clean = workloads::generate_random_program(clean_opts);
+
+  GenOptions mopts = clean_opts;
+  mopts.mutation = Mutation::KindDivergence;
+  mopts.mutation_site =
+      static_cast<int32_t>(seed % static_cast<uint64_t>(clean.collective_sites));
+  const GenResult mutated = workloads::generate_random_program(mopts);
+  ASSERT_TRUE(mutated.mutation_applied);
+
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_src(mutated.source, sm, diags);
+  ASSERT_TRUE(r.ok);
+
+  // Reference run: strict substrate, no instrumentation.
+  interp::Executor ref_exec(r.program, sm, nullptr);
+  interp::ExecOptions ref_opts;
+  ref_opts.num_ranks = 2;
+  ref_opts.num_threads = 2;
+  ref_opts.mpi.strict_matching = true;
+  ref_opts.mpi.hang_timeout = std::chrono::milliseconds(2000);
+  const auto ref = ref_exec.run(ref_opts);
+  const bool ref_mismatch =
+      ref.mpi.abort_reason.find("collective mismatch") != std::string::npos;
+
+  // Verified run: normal substrate + CC checks.
+  const auto checked = run_program(r, sm, /*instrumented=*/true, 2500);
+  const bool cc_caught = checked.rt_error_count() >= 1;
+
+  if (ref_mismatch) {
+    EXPECT_TRUE(cc_caught)
+        << "strict matching saw a mismatch the CC protocol missed\n"
+        << mutated.source;
+  }
+  // Consistency in the other direction is weaker (CC sees divergence one
+  // step earlier and can catch cases strict matching would deadlock on,
+  // e.g. count mismatches), so only require: CC-caught => not clean.
+  if (cc_caught) {
+    EXPECT_FALSE(checked.clean);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(CrossCheck, PropertyCrossCheck,
+                         ::testing::ValuesIn(kSeeds));
+
+} // namespace
+} // namespace parcoach

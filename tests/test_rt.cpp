@@ -1,0 +1,286 @@
+// Unit tests: the runtime verifier — CC protocol (agreement, mismatch,
+// process-exit sentinel), occupancy guards, region registry, thread-usage
+// checks. Exercised directly over simmpi worlds (no interpreter).
+#include "rt/verifier.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::rt {
+namespace {
+
+using simmpi::Rank;
+using simmpi::World;
+
+World::Options fast_world(int32_t ranks) {
+  World::Options o;
+  o.num_ranks = ranks;
+  o.hang_timeout = std::chrono::milliseconds(200);
+  return o;
+}
+
+TEST(CcProtocol, AgreementPassesAndCostsOneVerifierSlot) {
+  SourceManager sm;
+  World w(fast_world(4));
+  Verifier v(sm, {}, 4);
+  const auto rep = w.run([&](Rank& mpi) {
+    v.check_cc(mpi, ir::CollectiveKind::Allreduce, {});
+    mpi.allreduce(1, simmpi::ReduceOp::Sum);
+    v.check_cc(mpi, ir::CollectiveKind::Barrier, {});
+    mpi.barrier();
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason;
+  EXPECT_EQ(v.error_count(), 0u);
+  EXPECT_EQ(rep.verifier_slots_completed, 2u);
+}
+
+TEST(CcProtocol, KindMismatchAbortsBeforeCollective) {
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  std::atomic<int> reached_collective{0};
+  const auto rep = w.run([&](Rank& mpi) {
+    if (mpi.rank() == 0) {
+      v.check_cc(mpi, ir::CollectiveKind::Bcast, {});
+      reached_collective.fetch_add(1);
+      mpi.bcast(1, 0);
+    } else {
+      v.check_cc(mpi, ir::CollectiveKind::Reduce, {});
+      reached_collective.fetch_add(1);
+      mpi.reduce(1, simmpi::ReduceOp::Sum, 0);
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock) << "CC must fire before the app collectives hang";
+  EXPECT_EQ(reached_collective.load(), 0);
+  ASSERT_EQ(v.error_count(), 1u);
+  const auto diags = v.diagnostics();
+  EXPECT_EQ(diags[0].kind, DiagKind::RtCollectiveMismatch);
+  EXPECT_NE(diags[0].message.find("MPI_Bcast"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("MPI_Reduce"), std::string::npos);
+}
+
+TEST(CcProtocol, ArgumentDivergenceCaughtWhenEnabled) {
+  // Extension over the paper: op/root take part in the agreement.
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    const auto op = mpi.rank() == 0 ? simmpi::ReduceOp::Sum : simmpi::ReduceOp::Max;
+    v.check_cc(mpi, ir::CollectiveKind::Allreduce, {}, op, -1);
+    mpi.allreduce(1, op);
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock) << "argument checking must fire before the hang";
+  ASSERT_EQ(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("[sum]"), std::string::npos);
+  EXPECT_NE(v.diagnostics()[0].message.find("[max]"), std::string::npos);
+}
+
+TEST(CcProtocol, TypeOnlyModeIsPaperFaithful) {
+  // With check_arguments off, an op divergence passes CC (the paper does not
+  // check arguments) and becomes a hang caught by the watchdog instead.
+  SourceManager sm;
+  World w(fast_world(2));
+  VerifierOptions vopts;
+  vopts.check_arguments = false;
+  Verifier v(sm, vopts, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    const auto op = mpi.rank() == 0 ? simmpi::ReduceOp::Sum : simmpi::ReduceOp::Max;
+    v.check_cc(mpi, ir::CollectiveKind::Allreduce, {}, op, -1);
+    mpi.allreduce(1, op);
+  });
+  EXPECT_EQ(v.error_count(), 0u) << "type-only CC must not flag op divergence";
+  EXPECT_TRUE(rep.deadlock) << "the op mismatch then hangs in the collective";
+}
+
+TEST(CcProtocol, RootDivergenceCaught) {
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    v.check_cc(mpi, ir::CollectiveKind::Bcast, {}, std::nullopt, mpi.rank());
+    mpi.bcast(1, mpi.rank());
+  });
+  EXPECT_FALSE(rep.deadlock);
+  ASSERT_EQ(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("root="), std::string::npos);
+}
+
+TEST(CcProtocol, EarlyExitDetectedBySentinel) {
+  SourceManager sm;
+  World w(fast_world(3));
+  Verifier v(sm, {}, 3);
+  const auto rep = w.run([&](Rank& mpi) {
+    if (mpi.rank() == 0) {
+      v.check_cc_final(mpi, {}); // leaving while others still communicate
+    } else {
+      v.check_cc(mpi, ir::CollectiveKind::Barrier, {});
+      mpi.barrier();
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock);
+  ASSERT_GE(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("leave main"), std::string::npos);
+}
+
+TEST(CcProtocol, AllFinalsPass) {
+  SourceManager sm;
+  World w(fast_world(3));
+  Verifier v(sm, {}, 3);
+  const auto rep = w.run([&](Rank& mpi) { v.check_cc_final(mpi, {}); });
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(v.error_count(), 0u);
+}
+
+TEST(MonoGuard, SingleThreadPasses) {
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    for (int i = 0; i < 5; ++i) {
+      Verifier::MonoGuard guard(v, mpi, /*stmt_id=*/7, {});
+      mpi.barrier();
+    }
+  });
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(v.error_count(), 0u);
+}
+
+TEST(MonoGuard, ConcurrentThreadsDetected) {
+  SourceManager sm;
+  World w(fast_world(1));
+  VerifierOptions vopts;
+  vopts.rendezvous = std::chrono::milliseconds(50);
+  Verifier v(sm, vopts, 1);
+  const auto rep = w.run([&](Rank& mpi) {
+    auto hit_site = [&] {
+      try {
+        Verifier::MonoGuard guard(v, mpi, /*stmt_id=*/9, {});
+      } catch (const simmpi::AbortedError&) {
+        // expected on the detecting thread
+      }
+    };
+    std::thread t(hit_site);
+    hit_site();
+    t.join();
+  });
+  (void)rep;
+  ASSERT_GE(v.error_count(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].kind, DiagKind::RtMultithreadedCollective);
+}
+
+TEST(RegionGuard, DistinctRegionsConcurrentlyActiveDetected) {
+  SourceManager sm;
+  World w(fast_world(1));
+  VerifierOptions vopts;
+  vopts.rendezvous = std::chrono::milliseconds(50);
+  Verifier v(sm, vopts, 1);
+  w.run([&](Rank& mpi) {
+    auto enter = [&](int32_t region) {
+      try {
+        Verifier::RegionGuard guard(v, mpi, region, {});
+      } catch (const simmpi::AbortedError&) {
+      }
+    };
+    std::thread t([&] { enter(1); });
+    enter(2);
+    t.join();
+  });
+  ASSERT_GE(v.error_count(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].kind, DiagKind::RtConcurrentCollectives);
+}
+
+TEST(RegionGuard, SelfOverlapDetected) {
+  SourceManager sm;
+  World w(fast_world(1));
+  VerifierOptions vopts;
+  vopts.rendezvous = std::chrono::milliseconds(50);
+  Verifier v(sm, vopts, 1);
+  w.run([&](Rank& mpi) {
+    auto enter = [&] {
+      try {
+        Verifier::RegionGuard guard(v, mpi, 5, {});
+      } catch (const simmpi::AbortedError&) {
+      }
+    };
+    std::thread t(enter);
+    enter();
+    t.join();
+  });
+  ASSERT_GE(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("overlaps itself"),
+            std::string::npos);
+}
+
+TEST(RegionGuard, SequentialRegionsAreFine) {
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    for (int32_t region = 0; region < 4; ++region) {
+      Verifier::RegionGuard guard(v, mpi, region, {});
+    }
+  });
+  EXPECT_TRUE(rep.ok);
+  EXPECT_EQ(v.error_count(), 0u);
+}
+
+TEST(RegionGuard, DifferentRanksDoNotInterfere) {
+  SourceManager sm;
+  World w(fast_world(2));
+  VerifierOptions vopts;
+  vopts.rendezvous = std::chrono::milliseconds(30);
+  Verifier v(sm, vopts, 2);
+  // Rank 0 sits in region 1 while rank 1 sits in region 2: fine (the
+  // registry is per process).
+  const auto rep = w.run([&](Rank& mpi) {
+    Verifier::RegionGuard guard(v, mpi, mpi.rank() + 1, {});
+    mpi.barrier(); // both inside simultaneously
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason;
+  EXPECT_EQ(v.error_count(), 0u);
+}
+
+TEST(ThreadUsage, FunneledViolationRecorded) {
+  SourceManager sm;
+  World w(fast_world(1));
+  Verifier v(sm, {}, 1);
+  w.run([&](Rank& mpi) {
+    mpi.init(ir::ThreadLevel::Funneled);
+    v.check_thread_usage(mpi, /*in_parallel=*/true, /*master_only=*/false, {});
+    v.check_thread_usage(mpi, /*in_parallel=*/true, /*master_only=*/true, {});
+    v.check_thread_usage(mpi, /*in_parallel=*/false, /*master_only=*/true, {});
+  });
+  const auto diags = v.diagnostics();
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].kind, DiagKind::RtThreadLevelViolation);
+  EXPECT_EQ(diags[0].severity, Severity::Warning);
+}
+
+TEST(ThreadUsage, SingleLevelViolationAndAbortOption) {
+  SourceManager sm;
+  VerifierOptions vopts;
+  vopts.abort_on_thread_level = true;
+  World w(fast_world(1));
+  Verifier v(sm, vopts, 1);
+  const auto rep = w.run([&](Rank& mpi) {
+    mpi.init(ir::ThreadLevel::Single);
+    v.check_thread_usage(mpi, /*in_parallel=*/true, /*master_only=*/true, {});
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_GE(v.diagnostics().size(), 1u);
+}
+
+TEST(ThreadUsage, UninitializedRankIsIgnored) {
+  SourceManager sm;
+  World w(fast_world(1));
+  Verifier v(sm, {}, 1);
+  w.run([&](Rank& mpi) {
+    v.check_thread_usage(mpi, true, false, {});
+  });
+  EXPECT_TRUE(v.diagnostics().empty());
+}
+
+} // namespace
+} // namespace parcoach::rt

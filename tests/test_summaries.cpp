@@ -1,0 +1,211 @@
+// Unit tests: interprocedural summaries — transitive facts, site collection,
+// word composition through call chains, recursion marking and expansion.
+#include "core/summaries.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::core {
+namespace {
+
+struct Built {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  std::unique_ptr<ir::Module> mod;
+  Summaries sums;
+};
+
+std::unique_ptr<Built> build(const std::string& src) {
+  auto b = std::make_unique<Built>();
+  auto prog = frontend::Parser::parse_source(b->sm, "t", src, b->diags);
+  frontend::Sema::analyze(prog, b->diags);
+  EXPECT_FALSE(b->diags.has_errors()) << b->diags.to_text(b->sm);
+  b->mod = frontend::Lowering::lower(prog, b->diags);
+  b->sums = Summaries::build(*b->mod);
+  return b;
+}
+
+TEST(Summaries, TransitiveCollectiveFlag) {
+  auto b = build(R"(func leaf() {
+    mpi_barrier();
+    return 0;
+  }
+  func middle() {
+    leaf();
+    return 0;
+  }
+  func pure(v) {
+    return v * 2;
+  }
+  func main() {
+    middle();
+  })");
+  EXPECT_TRUE(b->sums.find("leaf")->has_collective);
+  EXPECT_TRUE(b->sums.find("middle")->has_collective);
+  EXPECT_TRUE(b->sums.find("main")->has_collective);
+  EXPECT_FALSE(b->sums.find("pure")->has_collective);
+}
+
+TEST(Summaries, TransitiveParallelFlag) {
+  auto b = build(R"(func kernel() {
+    omp parallel {
+      var x = 1;
+    }
+    return 0;
+  }
+  func main() {
+    kernel();
+  })");
+  EXPECT_TRUE(b->sums.find("kernel")->has_parallel_region);
+  EXPECT_TRUE(b->sums.find("main")->has_parallel_region);
+}
+
+TEST(Summaries, SitesInProgramOrderWithWords) {
+  auto b = build(R"(func main() {
+    mpi_barrier();
+    omp parallel {
+      omp single {
+        var x = mpi_allreduce(1, sum);
+      }
+    }
+    comm();
+  }
+  func comm() {
+    var y = mpi_bcast(1, 0);
+    return y;
+  })");
+  const FunctionSummary* fs = b->sums.find("main");
+  ASSERT_NE(fs, nullptr);
+  ASSERT_EQ(fs->sites.size(), 3u);
+  EXPECT_EQ(fs->sites[0].site_kind, Site::Kind::Collective);
+  EXPECT_EQ(fs->sites[0].collective, ir::CollectiveKind::Barrier);
+  EXPECT_EQ(fs->sites[0].local_word.str(), "<empty>");
+  EXPECT_EQ(fs->sites[1].collective, ir::CollectiveKind::Allreduce);
+  EXPECT_EQ(fs->sites[1].local_word.str(), "P0 S1(single)");
+  EXPECT_EQ(fs->sites[2].site_kind, Site::Kind::Call);
+  EXPECT_EQ(fs->sites[2].callee, "comm");
+}
+
+TEST(Summaries, ExpansionComposesWordsAndChains) {
+  auto b = build(R"(func comm() {
+    var y = mpi_allreduce(1, sum);
+    return y;
+  }
+  func main() {
+    omp parallel {
+      omp single {
+        var z = comm();
+      }
+    }
+  })");
+  const auto expanded = b->sums.expand_from("main", Word{});
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].kind, ir::CollectiveKind::Allreduce);
+  EXPECT_EQ(expanded[0].word.str(), "P0 S1(single)");
+  EXPECT_EQ(expanded[0].call_chain.size(), 1u);
+  EXPECT_TRUE(expanded[0].word.monothreaded());
+}
+
+TEST(Summaries, ExpansionWithBaseWord) {
+  auto b = build(R"(func comm() {
+    mpi_barrier();
+    return 0;
+  }
+  func main() {
+    comm();
+  })");
+  Word base;
+  base.append_parallel(-1);
+  const auto expanded = b->sums.expand_from("main", base);
+  ASSERT_EQ(expanded.size(), 1u);
+  EXPECT_EQ(expanded[0].word.str(), "P-1");
+  EXPECT_FALSE(expanded[0].word.monothreaded());
+}
+
+TEST(Summaries, RecursionMarkedAndTruncated) {
+  auto b = build(R"(func ping(n) {
+    if (n > 0) {
+      pong(n - 1);
+    }
+    mpi_barrier();
+    return 0;
+  }
+  func pong(n) {
+    ping(n);
+    return 0;
+  }
+  func solo() {
+    solo();
+    return 0;
+  }
+  func plain() {
+    return 1;
+  }
+  func main() {
+    ping(2);
+  })");
+  EXPECT_TRUE(b->sums.find("ping")->recursive);
+  EXPECT_TRUE(b->sums.find("pong")->recursive);
+  EXPECT_TRUE(b->sums.find("solo")->recursive);
+  EXPECT_FALSE(b->sums.find("plain")->recursive);
+  EXPECT_FALSE(b->sums.find("main")->recursive);
+
+  const auto expanded = b->sums.expand_from("main", Word{});
+  bool truncated = false;
+  for (const auto& e : expanded) truncated |= e.truncated_by_recursion;
+  EXPECT_TRUE(truncated) << "cycle must yield an opaque occurrence";
+}
+
+TEST(Summaries, MultipleCallSitesExpandSeparately) {
+  auto b = build(R"(func comm() {
+    mpi_barrier();
+    return 0;
+  }
+  func main() {
+    comm();
+    omp parallel {
+      omp single {
+        var a = comm();
+      }
+    }
+  })");
+  const auto expanded = b->sums.expand_from("main", Word{});
+  ASSERT_EQ(expanded.size(), 2u);
+  EXPECT_EQ(expanded[0].word.str(), "<empty>");
+  EXPECT_EQ(expanded[1].word.str(), "P0 S1(single)");
+}
+
+TEST(Summaries, LazyWordsOnlyForCollectiveBearers) {
+  auto b = build(R"(func pure_kernel(n) {
+    omp parallel {
+      omp for (i = 0 to n) {
+        var w = i;
+      }
+    }
+    return n;
+  }
+  func main() {
+    var x = pure_kernel(8);
+    mpi_barrier();
+  })");
+  // pure_kernel has no collectives (directly or transitively): its word
+  // analysis is skipped (empty vectors), while main's exists.
+  EXPECT_TRUE(b->sums.find("pure_kernel")->words.entry.empty());
+  EXPECT_FALSE(b->sums.find("main")->words.entry.empty());
+}
+
+TEST(Summaries, ConcatWordsRespectsCanonicalForm) {
+  Word a;
+  a.append_parallel(0);
+  a.append_barrier();
+  Word bword;
+  bword.append_barrier();
+  bword.append_single(2, ir::OmpKind::Single);
+  const Word joined = concat_words(a, bword);
+  EXPECT_EQ(joined.str(), "P0 B S2(single)");
+}
+
+} // namespace
+} // namespace parcoach::core

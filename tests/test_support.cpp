@@ -1,0 +1,127 @@
+// Unit tests: support layer (source manager, diagnostics, string utils, rng).
+#include "support/diagnostics.h"
+#include "support/rng.h"
+#include "support/source_manager.h"
+#include "support/str.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+namespace parcoach {
+namespace {
+
+TEST(SourceManager, RegistersAndDescribesBuffers) {
+  SourceManager sm;
+  const int32_t a = sm.add_buffer("a.mh", "line one\nline two\n");
+  const int32_t b = sm.add_buffer("b.mh", "x");
+  EXPECT_EQ(sm.buffer_count(), 2);
+  EXPECT_EQ(sm.buffer_name(a), "a.mh");
+  EXPECT_EQ(sm.buffer_text(b), "x");
+  EXPECT_EQ(sm.describe(SourceLoc{a, 2, 5}), "a.mh:2:5");
+  EXPECT_EQ(sm.describe(SourceLoc{}), "<unknown>");
+}
+
+TEST(SourceManager, LineTextExtraction) {
+  SourceManager sm;
+  const int32_t id = sm.add_buffer("f", "first\nsecond\nthird");
+  EXPECT_EQ(sm.line_text(SourceLoc{id, 1, 1}), "first");
+  EXPECT_EQ(sm.line_text(SourceLoc{id, 2, 1}), "second");
+  EXPECT_EQ(sm.line_text(SourceLoc{id, 3, 1}), "third");
+  EXPECT_EQ(sm.line_text(SourceLoc{id, 9, 1}), "");
+}
+
+TEST(SourceManager, InvalidIdsAreSafe) {
+  SourceManager sm;
+  EXPECT_EQ(sm.buffer_name(-1), "<unknown>");
+  EXPECT_EQ(sm.buffer_name(42), "<unknown>");
+  EXPECT_TRUE(sm.buffer_text(42).empty());
+}
+
+TEST(Diagnostics, CountsBySeverityAndKind) {
+  DiagnosticEngine d;
+  d.report(Severity::Warning, DiagKind::MultithreadedCollective, {}, "w1");
+  d.report(Severity::Warning, DiagKind::ConcurrentCollectives, {}, "w2");
+  d.report(Severity::Error, DiagKind::ParseError, {}, "e1");
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.count(Severity::Warning), 2u);
+  EXPECT_EQ(d.count(Severity::Error), 1u);
+  EXPECT_EQ(d.count(DiagKind::MultithreadedCollective), 1u);
+  EXPECT_EQ(d.count(DiagKind::CollectiveMismatch), 0u);
+  EXPECT_TRUE(d.has_errors());
+  d.clear();
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_FALSE(d.has_errors());
+}
+
+TEST(Diagnostics, NotesAreRendered) {
+  SourceManager sm;
+  const int32_t id = sm.add_buffer("p.mh", "code\n");
+  DiagnosticEngine d;
+  auto& diag = d.report(Severity::Warning, DiagKind::CollectiveMismatch,
+                        SourceLoc{id, 1, 1}, "main message");
+  diag.notes.emplace_back(SourceLoc{id, 1, 3}, "related here");
+  const std::string text = d.to_text(sm);
+  EXPECT_TRUE(str::contains(text, "p.mh:1:1"));
+  EXPECT_TRUE(str::contains(text, "main message"));
+  EXPECT_TRUE(str::contains(text, "collective-mismatch"));
+  EXPECT_TRUE(str::contains(text, "related here"));
+}
+
+TEST(Diagnostics, AllKindNamesAreUnique) {
+  std::set<std::string_view> names;
+  for (int k = 0; k <= static_cast<int>(DiagKind::RtDeadlock); ++k)
+    names.insert(to_string(static_cast<DiagKind>(k)));
+  EXPECT_EQ(names.size(), static_cast<size_t>(DiagKind::RtDeadlock) + 1);
+}
+
+TEST(Str, SplitLines) {
+  EXPECT_EQ(str::split_lines("a\nb\nc").size(), 3u);
+  EXPECT_EQ(str::split_lines("a\nb\n").size(), 2u);
+  EXPECT_EQ(str::split_lines("").size(), 1u); // one empty line
+  EXPECT_EQ(str::split_lines("x")[0], "x");
+}
+
+TEST(Str, JoinAndCat) {
+  std::vector<std::string> v{"a", "b", "c"};
+  EXPECT_EQ(str::join(v, ", "), "a, b, c");
+  EXPECT_EQ(str::join(std::vector<std::string>{}, ","), "");
+  EXPECT_EQ(str::cat("x=", 3, "!"), "x=3!");
+}
+
+TEST(Str, CountCodeLines) {
+  const char* src = R"(// comment
+func main() {
+  // another comment
+
+  var x = 1;
+}
+)";
+  EXPECT_EQ(str::count_code_lines(src), 3u);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, RangeStaysInBounds) {
+  SplitMix64 r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = r.range(-3, 9);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, ChanceIsMonotonicInNumerator) {
+  SplitMix64 r(1);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += r.chance(1, 4);
+  EXPECT_GT(hits, 2000);
+  EXPECT_LT(hits, 3000);
+}
+
+} // namespace
+} // namespace parcoach

@@ -1,0 +1,174 @@
+// Unit tests: MPI thread-support-level inference and violation reporting.
+#include "core/thread_level.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+namespace parcoach::core {
+namespace {
+
+struct LevelRun {
+  ThreadLevelResult result;
+  DiagnosticEngine diags;
+  std::unique_ptr<ir::Module> mod;
+  SourceManager sm;
+};
+
+std::unique_ptr<LevelRun> run(const std::string& src) {
+  auto lr = std::make_unique<LevelRun>();
+  auto prog = frontend::Parser::parse_source(lr->sm, "t", src, lr->diags);
+  frontend::Sema::analyze(prog, lr->diags);
+  EXPECT_FALSE(lr->diags.has_errors()) << lr->diags.to_text(lr->sm);
+  lr->mod = frontend::Lowering::lower(prog, lr->diags);
+  const Summaries sums = Summaries::build(*lr->mod);
+  lr->result = check_thread_levels(*lr->mod, sums, lr->diags);
+  return lr;
+}
+
+TEST(RequiredLevel, WordBasedRules) {
+  Word serial;
+  EXPECT_EQ(required_level(serial, false), ir::ThreadLevel::Single);
+  EXPECT_EQ(required_level(serial, true), ir::ThreadLevel::Funneled);
+
+  Word master;
+  master.append_parallel(0);
+  master.append_single(1, ir::OmpKind::Master);
+  EXPECT_EQ(required_level(master, true), ir::ThreadLevel::Funneled);
+
+  Word single;
+  single.append_parallel(0);
+  single.append_single(1, ir::OmpKind::Single);
+  EXPECT_EQ(required_level(single, true), ir::ThreadLevel::Serialized);
+
+  Word par;
+  par.append_parallel(0);
+  EXPECT_EQ(required_level(par, true), ir::ThreadLevel::Multiple);
+}
+
+TEST(ThreadLevel, PureSerialProgramNeedsSingle) {
+  auto lr = run(R"(func main() {
+    mpi_init(single);
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Single);
+  EXPECT_FALSE(lr->result.violation);
+}
+
+TEST(ThreadLevel, ThreadedProgramWithSerialCommNeedsFunneled) {
+  auto lr = run(R"(func main() {
+    mpi_init(funneled);
+    omp parallel {
+      var x = omp_thread_num();
+    }
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Funneled);
+  EXPECT_FALSE(lr->result.violation);
+}
+
+TEST(ThreadLevel, SingleRegionCommNeedsSerialized) {
+  auto lr = run(R"(func main() {
+    mpi_init(serialized);
+    var x = 0;
+    omp parallel {
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Serialized);
+  EXPECT_FALSE(lr->result.violation);
+}
+
+TEST(ThreadLevel, MasterOnlyCommNeedsFunneledOnly) {
+  auto lr = run(R"(func main() {
+    mpi_init(funneled);
+    var x = 0;
+    omp parallel {
+      omp master {
+        x = mpi_bcast(x, 0);
+      }
+      omp barrier;
+    }
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Funneled);
+  EXPECT_FALSE(lr->result.violation);
+}
+
+TEST(ThreadLevel, MultithreadedCommNeedsMultiple) {
+  auto lr = run(R"(func main() {
+    mpi_init(multiple);
+    var x = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum);
+    }
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Multiple);
+  EXPECT_FALSE(lr->result.violation);
+}
+
+TEST(ThreadLevel, ViolationReported) {
+  auto lr = run(R"(func main() {
+    mpi_init(funneled);
+    var x = 0;
+    omp parallel {
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Serialized);
+  EXPECT_TRUE(lr->result.violation);
+  EXPECT_EQ(lr->diags.count(DiagKind::ThreadLevelViolation), 1u);
+}
+
+TEST(ThreadLevel, RequirementComposesThroughCalls) {
+  auto lr = run(R"(func comm() {
+    var x = mpi_allreduce(1, sum);
+    return x;
+  }
+  func main() {
+    mpi_init(single);
+    omp parallel {
+      omp single {
+        var y = comm();
+      }
+    }
+    mpi_finalize();
+  })");
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Serialized);
+  EXPECT_TRUE(lr->result.violation);
+}
+
+TEST(ThreadLevel, PerCallBreakdownAvailable) {
+  auto lr = run(R"(func main() {
+    mpi_init(multiple);
+    mpi_barrier();
+    var x = 0;
+    omp parallel {
+      omp master {
+        x = mpi_bcast(x, 0);
+      }
+      omp barrier;
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+    mpi_finalize();
+  })");
+  // finalize + barrier (Funneled base because program has threads),
+  // bcast (Funneled), allreduce (Serialized).
+  ASSERT_EQ(lr->result.per_call.size(), 4u);
+  EXPECT_EQ(lr->result.required, ir::ThreadLevel::Serialized);
+}
+
+} // namespace
+} // namespace parcoach::core

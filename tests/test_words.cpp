@@ -1,0 +1,362 @@
+// Unit tests: parallelism words — token algebra, the mono-language DFA, the
+// strict regex variant, phase-2 concurrency predicate, and the CFG dataflow.
+//
+// Includes a reference-oracle property check: DFA membership must agree with
+// a brute-force regex matcher for all words up to a bounded length.
+#include "core/parallelism_word.h"
+#include "core/summaries.h"
+#include "core/word_dataflow.h"
+#include "frontend/lowering.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace parcoach::core {
+namespace {
+
+Word make_word(const std::string& spec) {
+  // spec: one char per token: 'P', 'S', 'M' (master-S), 'B'; ids increase.
+  Word w;
+  int32_t id = 0;
+  for (char c : spec) {
+    switch (c) {
+      case 'P': w.append_parallel(id++); break;
+      case 'S': w.append_single(id++, ir::OmpKind::Single); break;
+      case 'M': w.append_single(id++, ir::OmpKind::Master); break;
+      case 'B': w.append_barrier(); break;
+      default: ADD_FAILURE() << "bad spec char " << c;
+    }
+  }
+  return w;
+}
+
+TEST(Word, AppendAndRender) {
+  Word w;
+  w.append_parallel(0);
+  w.append_barrier();
+  w.append_single(3, ir::OmpKind::Single);
+  EXPECT_EQ(w.str(), "P0 B S3(single)");
+  EXPECT_EQ(w.size(), 3u);
+  EXPECT_EQ(Word{}.str(), "<empty>");
+}
+
+TEST(Word, BarrierRunsCollapse) {
+  Word w;
+  w.append_parallel(0);
+  w.append_barrier();
+  w.append_barrier();
+  w.append_barrier();
+  EXPECT_EQ(w.size(), 2u); // P B
+  w.append_single(1, ir::OmpKind::Single);
+  w.append_barrier();
+  w.append_barrier();
+  EXPECT_EQ(w.size(), 4u); // P B S B
+}
+
+TEST(Word, CloseRegionTruncates) {
+  Word w;
+  w.append_parallel(0);
+  w.append_single(1, ir::OmpKind::Single);
+  w.append_barrier();
+  w.close_region(1); // closes the single: back to just P0
+  EXPECT_EQ(w.str(), "P0");
+  w.close_region(0);
+  EXPECT_TRUE(w.empty());
+  w.close_region(42); // absent id: no-op
+  EXPECT_TRUE(w.empty());
+}
+
+TEST(Word, MonothreadedRule) {
+  // The paper's prose rule: ignore Bs; must end in S (or empty); no PP
+  // without S in between.
+  EXPECT_TRUE(make_word("").monothreaded());
+  EXPECT_TRUE(make_word("S").monothreaded());
+  EXPECT_TRUE(make_word("PS").monothreaded());
+  EXPECT_TRUE(make_word("PBS").monothreaded());
+  EXPECT_TRUE(make_word("PBBS").monothreaded()); // collapse keeps semantics
+  EXPECT_TRUE(make_word("SPS").monothreaded());
+  EXPECT_TRUE(make_word("PSPS").monothreaded());
+  EXPECT_TRUE(make_word("B").monothreaded());
+  EXPECT_TRUE(make_word("PSB").monothreaded()); // trailing barrier ignored
+  EXPECT_TRUE(make_word("PM").monothreaded()); // master region is mono
+  EXPECT_FALSE(make_word("P").monothreaded());
+  EXPECT_FALSE(make_word("PB").monothreaded());
+  EXPECT_FALSE(make_word("PP").monothreaded());
+  EXPECT_FALSE(make_word("PPS").monothreaded()); // nested parallelism
+  EXPECT_FALSE(make_word("PSP").monothreaded());
+  EXPECT_FALSE(make_word("SP").monothreaded());
+}
+
+TEST(Word, StrictLanguageDiffersOnlyOnGroupBoundaryBarriers) {
+  // Strict (S|PB*S)* rejects words with B at a group boundary; the prose
+  // rule ignores Bs entirely. Both agree on everything else.
+  EXPECT_TRUE(make_word("PS").in_strict_language());
+  EXPECT_TRUE(make_word("PBS").in_strict_language());
+  EXPECT_TRUE(make_word("SPS").in_strict_language());
+  EXPECT_FALSE(make_word("B").in_strict_language());
+  EXPECT_TRUE(make_word("B").monothreaded());
+  EXPECT_FALSE(make_word("SB").in_strict_language());
+  EXPECT_TRUE(make_word("SB").monothreaded());
+  EXPECT_FALSE(make_word("PP").in_strict_language());
+  EXPECT_FALSE(make_word("PPS").in_strict_language());
+}
+
+// Brute-force regex oracle for (S|PB*S)* via recursive descent.
+bool strict_ref(const std::vector<TokKind>& toks, size_t i = 0) {
+  if (i == toks.size()) return true;
+  if (toks[i] == TokKind::S && strict_ref(toks, i + 1)) return true;
+  if (toks[i] == TokKind::P) {
+    size_t j = i + 1;
+    while (j < toks.size() && toks[j] == TokKind::B) {
+      // try consuming S after any number of Bs
+      if (j + 0 < toks.size()) { /* continue scanning */ }
+      ++j;
+    }
+    if (j < toks.size() && toks[j] == TokKind::S && strict_ref(toks, j + 1))
+      return true;
+  }
+  return false;
+}
+
+TEST(Word, StrictDfaMatchesOracleForAllShortWords) {
+  // Enumerate all token strings up to length 7 over {P, S, B}.
+  for (int len = 0; len <= 7; ++len) {
+    const int total = static_cast<int>(std::pow(3, len));
+    for (int code = 0; code < total; ++code) {
+      int c = code;
+      Word w;
+      std::vector<TokKind> toks;
+      bool collapsed = false;
+      int32_t id = 0;
+      for (int k = 0; k < len; ++k) {
+        const int digit = c % 3;
+        c /= 3;
+        switch (digit) {
+          case 0:
+            w.append_parallel(id++);
+            toks.push_back(TokKind::P);
+            break;
+          case 1:
+            w.append_single(id++, ir::OmpKind::Single);
+            toks.push_back(TokKind::S);
+            break;
+          case 2:
+            if (!toks.empty() && toks.back() == TokKind::B) collapsed = true;
+            w.append_barrier();
+            if (toks.empty() || toks.back() != TokKind::B)
+              toks.push_back(TokKind::B);
+            break;
+        }
+      }
+      (void)collapsed; // canonical form only; oracle sees collapsed tokens
+      EXPECT_EQ(w.in_strict_language(), strict_ref(toks))
+          << "len=" << len << " code=" << code;
+    }
+  }
+}
+
+TEST(Word, ConcurrencyPredicate) {
+  // w S_j u vs w S_k v with j != k -> concurrent.
+  Word a = make_word("P");         // P0
+  a.append_single(10, ir::OmpKind::Single);
+  Word b = make_word("P");         // P0
+  b.append_single(20, ir::OmpKind::Single);
+  EXPECT_TRUE(words_concurrent(a, b));
+  EXPECT_TRUE(words_concurrent(b, a));
+
+  // Same region id: not concurrent.
+  Word c = make_word("P");
+  c.append_single(10, ir::OmpKind::Single);
+  EXPECT_FALSE(words_concurrent(a, c));
+
+  // Barrier between: first difference is S vs B -> ordered.
+  Word d = make_word("P");
+  d.append_barrier();
+  d.append_single(20, ir::OmpKind::Single);
+  EXPECT_FALSE(words_concurrent(a, d));
+
+  // Prefix relation: ordered.
+  Word e = a; // P0 S10
+  Word f = make_word("P");
+  EXPECT_FALSE(words_concurrent(e, f));
+
+  // Divergence at P tokens: not the phase-2 pattern.
+  Word g = make_word("P");
+  Word h;
+  h.append_parallel(99);
+  EXPECT_FALSE(words_concurrent(g, h));
+}
+
+TEST(Word, MeetComputesLcpAndFlagsAmbiguity) {
+  Word a = make_word("PBS");
+  Word b = make_word("PS"); // differs after P
+  bool amb = false;
+  Word m = a;
+  meet_words(m, b, &amb);
+  EXPECT_TRUE(amb);
+  EXPECT_EQ(m.str(), "P0");
+  amb = false;
+  Word same = make_word("PS");
+  Word m2 = make_word("PS");
+  meet_words(m2, same, &amb);
+  // Equal ids? make_word assigns fresh ids, so P0 S1 == P0 S1.
+  EXPECT_FALSE(amb);
+}
+
+// ---- Dataflow over lowered programs ----------------------------------------
+
+struct WordsAt {
+  std::vector<std::pair<ir::CollectiveKind, std::string>> collective_words;
+};
+
+WordsAt words_of(const std::string& src,
+                 InitialContext ctx = InitialContext::Serial) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  auto prog = frontend::Parser::parse_source(sm, "t", src, d);
+  frontend::Sema::analyze(prog, d);
+  EXPECT_FALSE(d.has_errors()) << d.to_text(sm);
+  auto mod = frontend::Lowering::lower(prog, d);
+  const ir::Function& fn = *mod->find("main");
+  const WordAnalysis wa = compute_words(fn, ctx);
+  WordsAt out;
+  for (const auto& bb : fn.blocks()) {
+    if (wa.unreachable[static_cast<size_t>(bb.id)]) continue;
+    for (size_t i = 0; i < bb.instrs.size(); ++i) {
+      if (bb.instrs[i].op != ir::Opcode::CollComm) continue;
+      out.collective_words.emplace_back(
+          bb.instrs[i].collective, word_at(wa, fn, bb.id, i).str());
+    }
+  }
+  return out;
+}
+
+TEST(WordDataflow, SerialCollectiveHasEmptyWord) {
+  const auto w = words_of("func main() { mpi_barrier(); }");
+  ASSERT_EQ(w.collective_words.size(), 1u);
+  EXPECT_EQ(w.collective_words[0].second, "<empty>");
+}
+
+TEST(WordDataflow, SingleInsideParallel) {
+  const auto w = words_of(R"(func main() {
+    var x = 0;
+    omp parallel num_threads(2) {
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  })");
+  ASSERT_EQ(w.collective_words.size(), 1u);
+  EXPECT_EQ(w.collective_words[0].second, "P0 S1(single)");
+}
+
+TEST(WordDataflow, BarrierAppearsBetweenRegions) {
+  const auto w = words_of(R"(func main() {
+    var a = 0;
+    var b = 0;
+    omp parallel {
+      omp single {
+        a = mpi_allreduce(a, sum);
+      }
+      omp single {
+        b = mpi_allreduce(b, sum);
+      }
+    }
+  })");
+  ASSERT_EQ(w.collective_words.size(), 2u);
+  EXPECT_EQ(w.collective_words[0].second, "P0 S1(single)");
+  EXPECT_EQ(w.collective_words[1].second, "P0 B S2(single)");
+}
+
+TEST(WordDataflow, RegionEndRestoresWord) {
+  const auto w = words_of(R"(func main() {
+    var x = 0;
+    omp parallel {
+      omp single nowait {
+        var y = 1;
+      }
+      omp master {
+        x = mpi_bcast(x, 0);
+      }
+    }
+  })");
+  ASSERT_EQ(w.collective_words.size(), 1u);
+  // single nowait leaves no barrier; master S token carries its own id.
+  EXPECT_EQ(w.collective_words[0].second, "P0 S2(master)");
+}
+
+TEST(WordDataflow, CollectiveDirectlyInParallelEndsWithP) {
+  const auto w = words_of(R"(func main() {
+    var x = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum);
+    }
+  })");
+  ASSERT_EQ(w.collective_words.size(), 1u);
+  EXPECT_EQ(w.collective_words[0].second, "P0");
+}
+
+TEST(WordDataflow, LoopDoesNotGrowWord) {
+  const auto w = words_of(R"(func main() {
+    var x = 0;
+    omp parallel {
+      for (i = 0 to 10) {
+        omp barrier;
+        omp single {
+          x = mpi_allreduce(x, sum);
+        }
+      }
+    }
+  })");
+  ASSERT_EQ(w.collective_words.size(), 1u);
+  EXPECT_EQ(w.collective_words[0].second, "P0 B S1(single)");
+}
+
+TEST(WordDataflow, InitialContextMultithreadedPrefixesP) {
+  const auto w = words_of("func main() { mpi_barrier(); }",
+                          InitialContext::Multithreaded);
+  ASSERT_EQ(w.collective_words.size(), 1u);
+  EXPECT_EQ(w.collective_words[0].second, "P-1");
+}
+
+TEST(WordDataflow, UnbalancedBarrierBranchMarksAmbiguity) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  auto prog = frontend::Parser::parse_source(sm, "t", R"(func main() {
+    var x = 0;
+    omp parallel {
+      if (omp_thread_num() == 0) {
+        var t = 1;
+      } else {
+        omp barrier;
+      }
+      omp single {
+        x = mpi_allreduce(x, sum);
+      }
+    }
+  })", d);
+  frontend::Sema::analyze(prog, d);
+  auto mod = frontend::Lowering::lower(prog, d);
+  const ir::Function& fn = *mod->find("main");
+  const WordAnalysis wa = compute_words(fn, InitialContext::Serial);
+  bool any_ambiguous = false;
+  for (const auto& bb : fn.blocks())
+    any_ambiguous |= !wa.unreachable[static_cast<size_t>(bb.id)] &&
+                     wa.block_ambiguous(bb.id);
+  EXPECT_TRUE(any_ambiguous);
+}
+
+TEST(WordDataflow, ConcatWordsKeepsCanonicalForm) {
+  Word base = make_word("PB");
+  Word suffix;
+  suffix.append_barrier();
+  suffix.append_single(7, ir::OmpKind::Single);
+  const Word joined = concat_words(base, suffix);
+  EXPECT_EQ(joined.str(), "P0 B S7(single)"); // B+B collapsed
+}
+
+} // namespace
+} // namespace parcoach::core

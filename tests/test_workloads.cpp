@@ -1,0 +1,154 @@
+// Unit tests: workload generators — the five Figure-1 subjects must parse,
+// pass sema, lower, verify and analyze cleanly at realistic scale, and the
+// corpus table must be internally consistent.
+#include "driver/pipeline.h"
+#include "driver/report.h"
+#include "support/str.h"
+#include "workloads/corpus.h"
+#include "workloads/workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace parcoach::workloads {
+namespace {
+
+class Figure1SuiteTest : public ::testing::TestWithParam<GeneratedProgram> {};
+
+TEST_P(Figure1SuiteTest, CompilesAndAnalyzesCleanly) {
+  const GeneratedProgram& g = GetParam();
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  opts.verify_ir = true;
+  const auto r = driver::compile(sm, g.name, g.source, diags, opts);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+  // The suites are hybrid-clean: no phase-1/2 findings, no thread-level
+  // violations. Algorithm 1 may flag loop/uniform conditionals
+  // (conservative), which is exactly the paper's false-positive story.
+  EXPECT_EQ(diags.count(DiagKind::MultithreadedCollective), 0u)
+      << diags.to_text(sm);
+  EXPECT_EQ(diags.count(DiagKind::ConcurrentCollectives), 0u);
+  EXPECT_EQ(diags.count(DiagKind::ThreadLevelViolation), 0u);
+}
+
+TEST_P(Figure1SuiteTest, HasRealisticScale) {
+  const GeneratedProgram& g = GetParam();
+  EXPECT_GT(g.code_lines, 400u) << g.name << " too small to be meaningful";
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::Warnings;
+  const auto r = driver::compile(sm, g.name, g.source, diags, opts);
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.program.funcs.size(), 5u);
+  const auto census = driver::census_of(g.name, r, diags);
+  EXPECT_GE(census.collectives, 4u) << "suites must communicate";
+  EXPECT_GE(census.parallel_regions, 3u) << "suites must be hybrid";
+}
+
+TEST_P(Figure1SuiteTest, GenerationIsDeterministic) {
+  const GeneratedProgram& g = GetParam();
+  for (const auto& again : figure1_suite()) {
+    if (again.name == g.name) {
+      EXPECT_EQ(again.source, g.source);
+      return;
+    }
+  }
+  FAIL() << "subject disappeared from the suite";
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, Figure1SuiteTest,
+                         ::testing::ValuesIn(figure1_suite()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Workloads, SuiteHasThePaperSubjectsInOrder) {
+  const auto suite = figure1_suite();
+  ASSERT_EQ(suite.size(), 5u);
+  EXPECT_EQ(suite[0].name, "bt_mz");
+  EXPECT_EQ(suite[1].name, "sp_mz");
+  EXPECT_EQ(suite[2].name, "lu_mz");
+  EXPECT_EQ(suite[3].name, "epcc_suite");
+  EXPECT_EQ(suite[4].name, "hera");
+}
+
+TEST(Workloads, ScaleParametersGrowPrograms) {
+  NpbParams small;
+  small.zones = 2;
+  small.stages = 2;
+  NpbParams big;
+  big.zones = 8;
+  big.stages = 8;
+  EXPECT_GT(make_npb_mz(NpbVariant::BT, big).code_lines,
+            2 * make_npb_mz(NpbVariant::BT, small).code_lines);
+
+  HeraParams hsmall;
+  hsmall.packages = 2;
+  hsmall.kernels = 2;
+  HeraParams hbig;
+  hbig.packages = 8;
+  hbig.kernels = 8;
+  EXPECT_GT(make_hera(hbig).code_lines, 3 * make_hera(hsmall).code_lines);
+}
+
+TEST(Workloads, EpccCoversThreadModels) {
+  const auto g = make_epcc_suite(EpccParams{});
+  EXPECT_TRUE(str::contains(g.source, "_masteronly"));
+  EXPECT_TRUE(str::contains(g.source, "_funnelled"));
+  EXPECT_TRUE(str::contains(g.source, "_serialized"));
+  EXPECT_TRUE(str::contains(g.source, "omp master"));
+  EXPECT_TRUE(str::contains(g.source, "omp single"));
+}
+
+TEST(Workloads, HeraHasTheRegridFalsePositiveShape) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::Warnings;
+  const auto g = make_hera(HeraParams{});
+  const auto r = driver::compile(sm, g.name, g.source, diags, opts);
+  ASSERT_TRUE(r.ok);
+  // Unfiltered Algorithm 1 flags conditionals; the rank-taint refinement
+  // must remove some of them (the Allreduce-driven regrid decision).
+  EXPECT_GT(r.algorithm1.conditionals_flagged_unfiltered,
+            r.algorithm1.conditionals_flagged_filtered);
+}
+
+// ---- Corpus sanity -------------------------------------------------------------
+
+TEST(Corpus, NamesAreUniqueAndLookupWorks) {
+  std::set<std::string> names;
+  for (const auto& e : corpus()) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate " << e.name;
+    EXPECT_EQ(corpus_entry(e.name).name, e.name);
+  }
+  EXPECT_THROW(static_cast<void>(corpus_entry("no_such_program")),
+               std::runtime_error);
+}
+
+TEST(Corpus, CoversAllStaticWarningKinds) {
+  std::set<DiagKind> covered;
+  for (const auto& e : corpus())
+    for (DiagKind k : e.expected_static) covered.insert(k);
+  EXPECT_TRUE(covered.count(DiagKind::MultithreadedCollective));
+  EXPECT_TRUE(covered.count(DiagKind::ConcurrentCollectives));
+  EXPECT_TRUE(covered.count(DiagKind::CollectiveMismatch));
+  EXPECT_TRUE(covered.count(DiagKind::ThreadLevelViolation));
+}
+
+TEST(Corpus, HasBothCleanAndBuggyEntries) {
+  size_t clean = 0, buggy = 0;
+  for (const auto& e : corpus()) {
+    if (e.expected_static.empty()) ++clean;
+    if (e.dynamic == DynamicOutcome::CaughtBeforeHang ||
+        e.dynamic == DynamicOutcome::CaughtRace)
+      ++buggy;
+  }
+  EXPECT_GE(clean, 4u);
+  EXPECT_GE(buggy, 8u);
+}
+
+} // namespace
+} // namespace parcoach::workloads
