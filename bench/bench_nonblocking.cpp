@@ -1,0 +1,126 @@
+// Nonblocking-collectives micro-benchmark: issue+wait latency of the request
+// engine versus its blocking counterpart, and the overlap win from keeping a
+// window of outstanding requests in flight before draining with waitall.
+// Keeps the request engine honest: issue must stay cheap (no blocking work),
+// and deep windows must not degrade (slot bookkeeping is O(1) amortized).
+#include "simmpi/world.h"
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace {
+
+using namespace parcoach;
+using simmpi::Rank;
+
+enum class Shape {
+  BlockingAllreduce,  // baseline: allreduce per round
+  IssueWait,          // iallreduce immediately waited (no overlap)
+  Window4,            // 4 outstanding iallreduces, then waitall
+  Window16,           // 16 outstanding
+  IbarrierPoll,       // ibarrier completed by a test-poll loop
+};
+
+const char* name_of(Shape s) {
+  switch (s) {
+    case Shape::BlockingAllreduce: return "blocking";
+    case Shape::IssueWait: return "issue+wait";
+    case Shape::Window4: return "window4";
+    case Shape::Window16: return "window16";
+    case Shape::IbarrierPoll: return "ibarrier-poll";
+  }
+  return "?";
+}
+
+void run_shape(Rank& mpi, Shape s, int rounds) {
+  switch (s) {
+    case Shape::BlockingAllreduce:
+      for (int i = 0; i < rounds; ++i)
+        benchmark::DoNotOptimize(mpi.allreduce(i, simmpi::ReduceOp::Sum));
+      break;
+    case Shape::IssueWait:
+      for (int i = 0; i < rounds; ++i)
+        benchmark::DoNotOptimize(
+            mpi.wait(mpi.iallreduce(i, simmpi::ReduceOp::Sum)));
+      break;
+    case Shape::Window4:
+    case Shape::Window16: {
+      const int window = s == Shape::Window4 ? 4 : 16;
+      for (int i = 0; i < rounds; i += window) {
+        std::vector<int64_t> reqs;
+        reqs.reserve(static_cast<size_t>(window));
+        for (int k = 0; k < window; ++k)
+          reqs.push_back(mpi.iallreduce(i + k, simmpi::ReduceOp::Sum));
+        mpi.waitall(reqs);
+      }
+      break;
+    }
+    case Shape::IbarrierPoll:
+      for (int i = 0; i < rounds; ++i) {
+        const int64_t r = mpi.ibarrier();
+        while (!mpi.test(r).has_value()) std::this_thread::yield();
+      }
+      break;
+  }
+}
+
+double shape_latency_ns(Shape s, int32_t ranks, int rounds) {
+  simmpi::World::Options wopts;
+  wopts.num_ranks = ranks;
+  wopts.hang_timeout = std::chrono::milliseconds(10000);
+  simmpi::World world(wopts);
+  const auto start = std::chrono::steady_clock::now();
+  const auto rep = world.run([&](Rank& mpi) { run_shape(mpi, s, rounds); });
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!rep.ok || !rep.leaked_requests.empty()) std::abort();
+  return static_cast<double>(ns.count()) / rounds;
+}
+
+void bench_shape(benchmark::State& state, Shape s) {
+  const int32_t ranks = static_cast<int32_t>(state.range(0));
+  constexpr int kRounds = 256;
+  for (auto _ : state)
+    state.SetIterationTime(shape_latency_ns(s, ranks, kRounds) * kRounds / 1e9);
+  state.SetItemsProcessed(state.iterations() * kRounds);
+}
+
+void print_summary() {
+  std::cout << "\n=== nonblocking collectives (ns/op) ===\n\nshape         ";
+  for (int32_t ranks : {2, 4, 8}) std::cout << "  ranks=" << ranks << "  ";
+  std::cout << '\n';
+  for (Shape s : {Shape::BlockingAllreduce, Shape::IssueWait, Shape::Window4,
+                  Shape::Window16, Shape::IbarrierPoll}) {
+    std::cout << name_of(s);
+    for (size_t pad = std::string(name_of(s)).size(); pad < 14; ++pad)
+      std::cout << ' ';
+    for (int32_t ranks : {2, 4, 8})
+      std::cout << "  " << static_cast<long>(shape_latency_ns(s, ranks, 512))
+                << "      ";
+    std::cout << '\n';
+  }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  for (Shape s : {Shape::BlockingAllreduce, Shape::IssueWait, Shape::Window4,
+                  Shape::Window16, Shape::IbarrierPoll}) {
+    benchmark::RegisterBenchmark(
+        (std::string("Nonblocking/") + name_of(s)).c_str(),
+        [s](benchmark::State& st) { bench_shape(st, s); })
+        ->Arg(2)
+        ->Arg(4)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(2);
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  print_summary();
+  return 0;
+}

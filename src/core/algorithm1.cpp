@@ -57,6 +57,8 @@ tainted_vars_of(const Function& fn, const std::vector<std::string>& tainted_para
         if (in.op == Opcode::Call && tainted_callees &&
             tainted_callees->count(in.callee))
           can_taint = true;
+        if (in.op == Opcode::WaitReq || in.op == Opcode::TestReq)
+          can_taint = true;
         auto reads_rank = [](const ir::ExprPtr& e) {
           return e && e->any_of([](const Expr& n) {
             return n.kind == Expr::Kind::BuiltinCall &&
@@ -100,6 +102,13 @@ tainted_vars_of(const Function& fn, const std::vector<std::string>& tainted_para
                     in.collective == ir::CollectiveKind::Reduce ||
                     in.collective == ir::CollectiveKind::Scan;
             break;
+          case Opcode::WaitReq:
+          case Opcode::TestReq:
+            // A wait result may come from a rooted nonblocking collective
+            // (rank-dependent at non-roots) and a test flag is timing-
+            // dependent; without request->kind dataflow stay conservative.
+            taint = true;
+            break;
           default:
             break;
         }
@@ -133,6 +142,8 @@ bool returns_tainted(const Function& fn,
 
 std::string label_of(const Instruction& in) {
   if (in.op == Opcode::CollComm) return std::string(ir::to_string(in.collective));
+  if (in.op == Opcode::WaitReq) return "MPI_Wait";
+  if (in.op == Opcode::WaitAllReq) return "MPI_Waitall";
   return str::cat("call ", in.callee, "()");
 }
 
@@ -181,7 +192,7 @@ private:
 
     std::string own;
     for (const auto& in : fn_.block(b).instrs) {
-      const bool coll = in.op == Opcode::CollComm;
+      const bool coll = in.op == Opcode::CollComm || in.is_request_sync();
       const bool call = in.op == Opcode::Call && sums_.find(in.callee) &&
                         sums_.find(in.callee)->has_collective;
       if (coll || call) {
@@ -298,7 +309,11 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
     std::map<std::string, std::vector<SourceLoc>> seed_locs;
     for (const auto& bb : fn->blocks()) {
       for (const auto& in : bb.instrs) {
-        const bool coll = in.op == Opcode::CollComm;
+        // Nonblocking collective/wait pairs both count as collective labels:
+        // a rank-dependent branch that issues (or waits on) a different
+        // nonblocking sequence desynchronizes slot matching exactly like a
+        // divergent blocking collective.
+        const bool coll = in.op == Opcode::CollComm || in.is_request_sync();
         const bool call = in.op == Opcode::Call && sums.find(in.callee) &&
                           sums.find(in.callee)->has_collective;
         if (!coll && !call) continue;

@@ -44,7 +44,7 @@ void print_mpi_call(std::ostream& os, const Stmt& s) {
   std::string name(ir::to_string(s.coll));
   for (auto& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   os << name << '(';
-  os << to_string(*s.mpi_value);
+  if (s.mpi_value) os << to_string(*s.mpi_value);
   if (s.reduce_op) os << ", " << ir::to_string(*s.reduce_op);
   if (s.mpi_root) os << ", " << to_string(*s.mpi_root);
   os << ')';
@@ -150,6 +150,23 @@ void print_stmt(std::ostream& os, const Stmt& s, int depth) {
       os << "mpi_recv(" << to_string(*s.mpi_root) << ", " << to_string(*s.hi)
          << ");\n";
       break;
+    case StmtKind::MpiWait:
+      if (!s.name.empty()) os << s.name << " = ";
+      os << "mpi_wait(" << to_string(*s.mpi_value) << ");\n";
+      break;
+    case StmtKind::MpiTest:
+      if (!s.name.empty()) os << s.name << " = ";
+      os << "mpi_test(" << to_string(*s.mpi_value) << ");\n";
+      break;
+    case StmtKind::MpiWaitall: {
+      os << "mpi_waitall(";
+      for (size_t i = 0; i < s.args.size(); ++i) {
+        if (i) os << ", ";
+        os << to_string(*s.args[i]);
+      }
+      os << ");\n";
+      break;
+    }
   }
 }
 

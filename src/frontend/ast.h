@@ -45,6 +45,9 @@ enum class StmtKind : uint8_t {
   OmpFor,      // worksharing loop: for (NAME = lo to hi) distributed
   MpiSend,     // mpi_send(value, dest, tag);
   MpiRecv,     // NAME = mpi_recv(source, tag);
+  MpiWait,     // [NAME =] mpi_wait(request);   completes a nonblocking op
+  MpiTest,     // NAME = mpi_test(request);     1 when complete, else 0
+  MpiWaitall,  // mpi_waitall(r1, r2, ...);
 };
 
 struct Stmt {
@@ -65,7 +68,8 @@ struct Stmt {
   std::vector<ir::ExprPtr> args; // Print/CallStmt arguments
 
   // MpiSend/MpiRecv payload (value/dest/source/tag reuse mpi_value, mpi_root
-  // and `hi` as the tag slot).
+  // and `hi` as the tag slot). MpiWait/MpiTest reuse mpi_value as the request
+  // expression; MpiWaitall keeps its requests in `args`.
   // MpiCall payload.
   ir::CollectiveKind coll{};
   bool is_mpi_init = false;

@@ -118,6 +118,26 @@ private:
         append(std::move(in));
         break;
       }
+      case StmtKind::MpiWait:
+      case StmtKind::MpiTest: {
+        Instruction in;
+        in.op = s.kind == StmtKind::MpiWait ? Opcode::WaitReq : Opcode::TestReq;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        in.var = s.name;
+        in.args.push_back(s.mpi_value->clone()); // the request
+        append(std::move(in));
+        break;
+      }
+      case StmtKind::MpiWaitall: {
+        Instruction in;
+        in.op = Opcode::WaitAllReq;
+        in.loc = s.loc;
+        in.stmt_id = s.stmt_id;
+        for (const auto& a : s.args) in.args.push_back(a->clone());
+        append(std::move(in));
+        break;
+      }
       case StmtKind::MpiCall: {
         Instruction in;
         in.loc = s.loc;

@@ -181,6 +181,11 @@ private:
     if (callee == "mpi_send" || callee == "mpi_recv")
       return parse_mpi_p2p(callee == "mpi_send", name.loc, std::move(target),
                            declares);
+    if (callee == "mpi_wait" || callee == "mpi_test")
+      return parse_mpi_wait(callee == "mpi_test", name.loc, std::move(target),
+                            declares);
+    if (callee == "mpi_waitall")
+      return parse_mpi_waitall(name.loc, std::move(target));
     if (auto kind = ir::collective_from_name(callee))
       return parse_mpi_collective(*kind, name.loc, std::move(target), declares);
 
@@ -220,6 +225,32 @@ private:
     return s;
   }
 
+  /// [NAME =] mpi_wait(request);   NAME = mpi_test(request);
+  StmtPtr parse_mpi_wait(bool is_test, SourceLoc loc, std::string target,
+                         bool declares) {
+    auto s = make_stmt(is_test ? StmtKind::MpiTest : StmtKind::MpiWait, loc);
+    if (is_test && target.empty())
+      error(loc, "mpi_test must be assigned to a variable");
+    s->name = std::move(target);
+    if (declares) s->declares_target = true;
+    expect(Tok::LParen, is_test ? "mpi_test" : "mpi_wait");
+    s->mpi_value = parse_expr(); // the request
+    expect(Tok::RParen, is_test ? "mpi_test" : "mpi_wait");
+    return s;
+  }
+
+  /// mpi_waitall(r1, r2, ...);
+  StmtPtr parse_mpi_waitall(SourceLoc loc, const std::string& target) {
+    if (!target.empty())
+      error(loc, "mpi_waitall does not produce a value");
+    auto s = make_stmt(StmtKind::MpiWaitall, loc);
+    expect(Tok::LParen, "mpi_waitall");
+    do s->args.push_back(parse_expr());
+    while (accept(Tok::Comma));
+    expect(Tok::RParen, "mpi_waitall");
+    return s;
+  }
+
   StmtPtr parse_mpi_init(SourceLoc loc, const std::string& target, bool declares) {
     if (!target.empty())
       error(loc, "mpi_init does not produce a value");
@@ -244,8 +275,11 @@ private:
     s->coll = kind;
     s->name = std::move(target);
     if (declares) s->declares_target = true;
+    if (ir::is_nonblocking(kind) && s->name.empty())
+      error(loc, str::cat(ir::to_string(kind), " produces a request that must "
+                          "be assigned (it would leak immediately)"));
     expect(Tok::LParen, "collective call");
-    if (ir::produces_value(kind)) {
+    if (ir::takes_payload(kind)) {
       s->mpi_value = parse_expr();
       if (ir::has_reduce_op(kind)) {
         expect(Tok::Comma, "reduction operator");
@@ -259,7 +293,7 @@ private:
         expect(Tok::Comma, "root rank");
         s->mpi_root = parse_expr();
       }
-    } else if (!s->name.empty()) {
+    } else if (!s->name.empty() && !ir::produces_value(kind)) {
       error(loc, str::cat(ir::to_string(kind), " does not produce a value"));
     }
     expect(Tok::RParen, "collective call");

@@ -52,33 +52,65 @@ private:
   }
 
   // -- Scopes ---------------------------------------------------------------
+  // Each scope maps a variable name to whether it currently holds a request
+  // handle (the result of an mpi_i* call). Request variables form a tiny
+  // second type: they may only flow into mpi_wait/mpi_test/mpi_waitall, and
+  // plain values may not be waited on.
   void push_scope() { scopes_.emplace_back(); }
   void pop_scope() { scopes_.pop_back(); }
-  void declare(SourceLoc loc, const std::string& name) {
+  void declare(SourceLoc loc, const std::string& name, bool is_request = false) {
     if (scopes_.back().count(name)) {
       error(loc, str::cat("redeclaration of '", name, "' in the same scope"));
       return;
     }
-    scopes_.back().insert(name);
+    scopes_.back().emplace(name, is_request);
   }
-  bool is_declared(const std::string& name) const {
-    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it)
-      if (it->count(name)) return true;
-    return false;
+  bool* find_var(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto vit = it->find(name);
+      if (vit != it->end()) return &vit->second;
+    }
+    return nullptr;
+  }
+  bool is_declared(const std::string& name) {
+    return find_var(name) != nullptr;
   }
 
   void check_expr(const ir::Expr& e) {
     e.walk([&](const ir::Expr& n) {
-      if (n.kind == ir::Expr::Kind::VarRef && !is_declared(n.var))
+      if (n.kind != ir::Expr::Kind::VarRef) return;
+      bool* req = find_var(n.var);
+      if (!req)
         error(n.loc, str::cat("use of undeclared variable '", n.var, "'"));
+      else if (*req)
+        error(n.loc, str::cat("request variable '", n.var, "' used as a "
+                              "plain value; only mpi_wait/mpi_test/"
+                              "mpi_waitall accept requests"));
     });
+  }
+
+  /// Validates an mpi_wait/mpi_test/mpi_waitall argument: must be a plain
+  /// reference to a request-typed variable.
+  void check_request_arg(const ir::Expr& e, std::string_view what) {
+    if (e.kind != ir::Expr::Kind::VarRef) {
+      error(e.loc, str::cat(what, " argument must be a request variable "
+                            "(the result of an mpi_i* call)"));
+      return;
+    }
+    bool* req = find_var(e.var);
+    if (!req) {
+      error(e.loc, str::cat("use of undeclared variable '", e.var, "'"));
+    } else if (!*req) {
+      error(e.loc, str::cat("'", e.var, "' is not a request variable; ", what,
+                            " needs the result of an mpi_i* call"));
+    }
   }
 
   // -- Statements -------------------------------------------------------------
   void check_function(const FuncDecl& f) {
     scopes_.clear();
     push_scope();
-    for (const auto& prm : f.params) scopes_.back().insert(prm);
+    for (const auto& prm : f.params) scopes_.back().emplace(prm, false);
     check_body(f.body, OmpCtx::None, /*omp_depth=*/0);
     pop_scope();
   }
@@ -97,14 +129,30 @@ private:
         break;
       case StmtKind::Assign:
         check_expr(*s.value);
-        if (!is_declared(s.name))
+        if (bool* req = find_var(s.name)) {
+          *req = false; // a plain assignment overwrites any request handle
+        } else {
           error(s.loc, str::cat("assignment to undeclared variable '", s.name, "'"));
+        }
         break;
-      case StmtKind::If:
+      case StmtKind::If: {
         check_expr(*s.value);
+        // Branches update request-ness independently and join with OR: if
+        // either path can leave a request in a variable, later uses must
+        // treat it as a request (conservative, like the runtime checks).
+        const auto before = scopes_;
         check_body(s.body, ctx, omp_depth);
+        const auto after_then = scopes_;
+        scopes_ = before;
         check_body(s.else_body, ctx, omp_depth);
+        for (size_t i = 0; i < scopes_.size() && i < after_then.size(); ++i) {
+          for (auto& [name, req] : scopes_[i]) {
+            auto it = after_then[i].find(name);
+            if (it != after_then[i].end()) req = req || it->second;
+          }
+        }
         break;
+      }
       case StmtKind::While:
         check_expr(*s.value);
         check_body(s.body, ctx, omp_depth);
@@ -158,7 +206,19 @@ private:
           if (s.mpi_value) check_expr(*s.mpi_value);
           if (s.mpi_root) check_expr(*s.mpi_root);
         }
+        handle_target(s, /*is_request=*/ir::is_nonblocking(s.coll) &&
+                            !s.is_mpi_init);
+        break;
+      case StmtKind::MpiWait:
+        check_request_arg(*s.mpi_value, "mpi_wait");
         handle_target(s);
+        break;
+      case StmtKind::MpiTest:
+        check_request_arg(*s.mpi_value, "mpi_test");
+        handle_target(s);
+        break;
+      case StmtKind::MpiWaitall:
+        for (const auto& a : s.args) check_request_arg(*a, "mpi_waitall");
         break;
       case StmtKind::OmpParallel:
         if (s.num_threads) check_expr(*s.num_threads);
@@ -219,11 +279,13 @@ private:
                             "section region"));
   }
 
-  void handle_target(const Stmt& s) {
+  void handle_target(const Stmt& s, bool is_request = false) {
     if (s.name.empty()) return;
     if (s.declares_target) {
-      declare(s.loc, s.name);
-    } else if (!is_declared(s.name)) {
+      declare(s.loc, s.name, is_request);
+    } else if (bool* req = find_var(s.name)) {
+      *req = is_request;
+    } else {
       error(s.loc, str::cat("assignment to undeclared variable '", s.name, "'"));
     }
   }
@@ -231,7 +293,8 @@ private:
   const Program& p_;
   DiagnosticEngine& diags_;
   std::unordered_map<std::string, size_t> arity_;
-  std::vector<std::unordered_set<std::string>> scopes_;
+  /// Scope chain: variable name -> currently-holds-a-request.
+  std::vector<std::unordered_map<std::string, bool>> scopes_;
   std::optional<ir::ThreadLevel> level_;
   bool saw_init_ = false;
   bool saw_finalize_ = false;

@@ -243,6 +243,32 @@ private:
         store_target(s, rank_.recv(src, tag), env, ts);
         return std::nullopt;
       }
+      case StmtKind::MpiWait: {
+        const int64_t req = eval(*s.mpi_value, env, ts);
+        check_wait_thread_usage(s, ts);
+        const auto out = rank_.wait_outcome(req);
+        if (!out.ok()) request_misuse(s.loc, out.error);
+        store_target(s, out.value, env, ts);
+        return std::nullopt;
+      }
+      case StmtKind::MpiTest: {
+        const int64_t req = eval(*s.mpi_value, env, ts);
+        check_wait_thread_usage(s, ts);
+        bool done = false;
+        const auto out = rank_.test_outcome(req, done);
+        if (!out.ok()) request_misuse(s.loc, out.error);
+        store_target(s, done ? 1 : 0, env, ts);
+        return std::nullopt;
+      }
+      case StmtKind::MpiWaitall: {
+        check_wait_thread_usage(s, ts);
+        for (const auto& a : s.args) {
+          const int64_t req = eval(*a, env, ts);
+          const auto out = rank_.wait_outcome(req);
+          if (!out.ok()) request_misuse(s.loc, out.error);
+        }
+        return std::nullopt;
+      }
       case StmtKind::OmpParallel:
         exec_parallel(s, env, ts);
         return std::nullopt;
@@ -346,6 +372,22 @@ private:
     c->v.store(value, std::memory_order_relaxed);
   }
 
+  /// MPI_Wait/Test are MPI calls: they fall under the same thread-level
+  /// usage rules as collectives (e.g. non-master wait under FUNNELED).
+  void check_wait_thread_usage(const Stmt& s, ThreadState& ts) {
+    if (!shared_.plan) return;
+    shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
+                                         is_master_chain(ts.omp), s.loc);
+  }
+
+  /// Routes a request-discipline violation: through the verifier when checks
+  /// are planned (precise diagnostic + abort), as a plain runtime fault
+  /// otherwise (the uninstrumented behaviour).
+  [[noreturn]] void request_misuse(SourceLoc loc, const std::string& what) {
+    if (shared_.plan) shared_.verifier->report_request_misuse(rank_, loc, what);
+    throw EvalError(what);
+  }
+
   void exec_mpi(const Stmt& s, Env& env, ThreadState& ts) {
     if (s.is_mpi_init) {
       rank_.init(s.init_level);
@@ -353,7 +395,9 @@ private:
     }
     // Planned runtime checks, in paper order: occupancy first (validates the
     // monothread assumption), then CC (validates sequence agreement), then
-    // the collective itself.
+    // the collective itself. Nonblocking collectives are checked at *issue*
+    // time — that is where the slot is claimed, so that is where divergence
+    // must be stopped.
     const bool mono = shared_.plan && shared_.plan->mono_stmts.count(s.stmt_id);
     const bool cc = shared_.plan && shared_.plan->cc_stmts.count(s.stmt_id);
     std::optional<rt::Verifier::MonoGuard> mono_guard;
@@ -368,8 +412,15 @@ private:
                    ? static_cast<int32_t>(eval(*s.mpi_root, env, ts))
                    : -1;
     sig.op = s.reduce_op;
+    if (s.coll == ir::CollectiveKind::Finalize && shared_.plan)
+      shared_.verifier->report_leaked_requests(
+          rank_, s.loc, rank_.requests().outstanding(rank_.rank()));
     if (cc) shared_.verifier->check_cc(rank_, s.coll, s.loc, sig.op, sig.root);
     const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
+    if (ir::is_nonblocking(s.coll)) {
+      store_target(s, rank_.istart(sig, payload), env, ts);
+      return;
+    }
     const auto result = rank_.execute(sig, payload);
     if (s.coll == ir::CollectiveKind::Finalize) return;
     store_target(s, result.scalar, env, ts);

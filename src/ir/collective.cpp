@@ -15,6 +15,10 @@ std::string_view to_string(CollectiveKind k) noexcept {
     case CollectiveKind::Scan: return "MPI_Scan";
     case CollectiveKind::ReduceScatter: return "MPI_Reduce_scatter";
     case CollectiveKind::Finalize: return "MPI_Finalize";
+    case CollectiveKind::Ibarrier: return "MPI_Ibarrier";
+    case CollectiveKind::Ibcast: return "MPI_Ibcast";
+    case CollectiveKind::Ireduce: return "MPI_Ireduce";
+    case CollectiveKind::Iallreduce: return "MPI_Iallreduce";
   }
   return "?";
 }
@@ -60,6 +64,10 @@ std::optional<CollectiveKind> collective_from_name(std::string_view name) noexce
   if (name == "mpi_scan") return CollectiveKind::Scan;
   if (name == "mpi_reduce_scatter") return CollectiveKind::ReduceScatter;
   if (name == "mpi_finalize") return CollectiveKind::Finalize;
+  if (name == "mpi_ibarrier") return CollectiveKind::Ibarrier;
+  if (name == "mpi_ibcast") return CollectiveKind::Ibcast;
+  if (name == "mpi_ireduce") return CollectiveKind::Ireduce;
+  if (name == "mpi_iallreduce") return CollectiveKind::Iallreduce;
   return std::nullopt;
 }
 

@@ -11,9 +11,13 @@
 
 namespace parcoach::ir {
 
-/// Every blocking collective the validator understands. `Finalize` is
-/// modeled as a collective over WORLD (it synchronizes like one, and
-/// "rank 0 finalizes while rank 1 broadcasts" is a real mismatch bug).
+/// Every collective the validator understands. `Finalize` is modeled as a
+/// collective over WORLD (it synchronizes like one, and "rank 0 finalizes
+/// while rank 1 broadcasts" is a real mismatch bug). The `I*` kinds are the
+/// nonblocking family: they claim a matching slot when *issued* and complete
+/// later through a request handle (MPI_Wait/MPI_Test), so a blocking and a
+/// nonblocking collective on the same communicator never match each other —
+/// exactly the MPI rule.
 enum class CollectiveKind : uint8_t {
   Barrier,
   Bcast,
@@ -26,8 +30,13 @@ enum class CollectiveKind : uint8_t {
   Scan,
   ReduceScatter,
   Finalize,
+  // Nonblocking collectives (request-producing).
+  Ibarrier,
+  Ibcast,
+  Ireduce,
+  Iallreduce,
 };
-inline constexpr int kNumCollectiveKinds = 11;
+inline constexpr int kNumCollectiveKinds = 15;
 
 enum class ReduceOp : uint8_t { Sum, Prod, Min, Max, Land, Lor, Band, Bor };
 
@@ -44,20 +53,47 @@ enum class ThreadLevel : uint8_t { Single, Funneled, Serialized, Multiple };
 [[nodiscard]] std::optional<CollectiveKind> collective_from_name(std::string_view name) noexcept;
 [[nodiscard]] std::optional<ReduceOp> reduce_op_from_name(std::string_view name) noexcept;
 
+/// True for the nonblocking (request-producing) collective kinds.
+[[nodiscard]] constexpr bool is_nonblocking(CollectiveKind k) noexcept {
+  return k == CollectiveKind::Ibarrier || k == CollectiveKind::Ibcast ||
+         k == CollectiveKind::Ireduce || k == CollectiveKind::Iallreduce;
+}
+
+/// Blocking counterpart of a nonblocking kind (identity for blocking kinds).
+[[nodiscard]] constexpr CollectiveKind blocking_counterpart(CollectiveKind k) noexcept {
+  switch (k) {
+    case CollectiveKind::Ibarrier: return CollectiveKind::Barrier;
+    case CollectiveKind::Ibcast: return CollectiveKind::Bcast;
+    case CollectiveKind::Ireduce: return CollectiveKind::Reduce;
+    case CollectiveKind::Iallreduce: return CollectiveKind::Allreduce;
+    default: return k;
+  }
+}
+
 /// True for collectives whose call site carries a root argument.
 [[nodiscard]] constexpr bool has_root(CollectiveKind k) noexcept {
-  return k == CollectiveKind::Bcast || k == CollectiveKind::Reduce ||
-         k == CollectiveKind::Gather || k == CollectiveKind::Scatter;
+  const CollectiveKind b = blocking_counterpart(k);
+  return b == CollectiveKind::Bcast || b == CollectiveKind::Reduce ||
+         b == CollectiveKind::Gather || b == CollectiveKind::Scatter;
 }
 
 /// True for collectives whose call site carries a reduction operator.
 [[nodiscard]] constexpr bool has_reduce_op(CollectiveKind k) noexcept {
-  return k == CollectiveKind::Reduce || k == CollectiveKind::Allreduce ||
-         k == CollectiveKind::Scan || k == CollectiveKind::ReduceScatter;
+  const CollectiveKind b = blocking_counterpart(k);
+  return b == CollectiveKind::Reduce || b == CollectiveKind::Allreduce ||
+         b == CollectiveKind::Scan || b == CollectiveKind::ReduceScatter;
+}
+
+/// True for collectives whose call site carries a payload expression.
+[[nodiscard]] constexpr bool takes_payload(CollectiveKind k) noexcept {
+  const CollectiveKind b = blocking_counterpart(k);
+  return b != CollectiveKind::Barrier && b != CollectiveKind::Finalize;
 }
 
 /// True for collectives that produce a value in the DSL (used as call RHS).
+/// Nonblocking collectives always produce a value: the request handle.
 [[nodiscard]] constexpr bool produces_value(CollectiveKind k) noexcept {
+  if (is_nonblocking(k)) return true;
   return k != CollectiveKind::Barrier && k != CollectiveKind::Finalize;
 }
 

@@ -8,6 +8,7 @@ namespace {
 
 std::string_view opcode_names[] = {
     "assign", "print", "call", "collcomm", "mpi_init", "send", "recv",
+    "wait", "test", "waitall",
     "omp_begin", "omp_end", "implicit_barrier", "explicit_barrier",
     "br", "cond_br", "return",
     "check_cc", "check_cc_final", "check_mono", "region_enter", "region_exit",

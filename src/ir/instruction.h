@@ -29,6 +29,9 @@ enum class Opcode : uint8_t {
   MpiInit,      // mpi_init(thread_level)
   SendMsg,      // mpi_send(value, dest, tag)   point-to-point send
   RecvMsg,      // var = mpi_recv(source, tag)  point-to-point receive
+  WaitReq,      // [var =] mpi_wait(request)    completes a nonblocking op
+  TestReq,      // var = mpi_test(request)      nonblocking completion probe
+  WaitAllReq,   // mpi_waitall(requests...)
   // OpenMP region boundaries (each alone in its basic block).
   OmpBegin,
   OmpEnd,
@@ -88,6 +91,11 @@ struct Instruction {
     return op == Opcode::Br || op == Opcode::CondBr || op == Opcode::Return;
   }
   [[nodiscard]] bool is_collective() const noexcept { return op == Opcode::CollComm; }
+  /// Wait/Waitall block until a nonblocking collective completes; the static
+  /// analyses treat them as collective-labeled synchronization nodes.
+  [[nodiscard]] bool is_request_sync() const noexcept {
+    return op == Opcode::WaitReq || op == Opcode::WaitAllReq;
+  }
   [[nodiscard]] bool is_omp_boundary() const noexcept {
     return op == Opcode::OmpBegin || op == Opcode::OmpEnd ||
            op == Opcode::ImplicitBarrier;

@@ -54,6 +54,22 @@ void print(std::ostream& os, const Instruction& in) {
       if (!in.var.empty()) os << in.var << " = ";
       os << "src=" << to_string(*in.root) << " tag=" << to_string(*in.expr);
       break;
+    case Opcode::WaitReq:
+    case Opcode::TestReq:
+      os << ' ';
+      if (!in.var.empty()) os << in.var << " = ";
+      os << "req=" << to_string(*in.args[0]);
+      break;
+    case Opcode::WaitAllReq: {
+      os << " reqs=";
+      bool first = true;
+      for (const auto& a : in.args) {
+        if (!first) os << ", ";
+        os << to_string(*a);
+        first = false;
+      }
+      break;
+    }
     case Opcode::OmpBegin:
       os << ' ' << to_string(in.omp) << " #" << in.region_id;
       if (in.num_threads) os << " num_threads=" << to_string(*in.num_threads);

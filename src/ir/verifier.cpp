@@ -63,6 +63,22 @@ private:
       // Only the exit block may dangle.
       fail({}, str::cat("bb", bb.id, " is a dead-end non-exit block"));
     }
+    // Request discipline at the IR level: nonblocking collectives must bind
+    // their request, wait/test carry exactly the request operand(s).
+    for (const auto& in : bb.instrs) {
+      if (in.op == Opcode::CollComm && is_nonblocking(in.collective) &&
+          in.var.empty())
+        fail(in.loc, str::cat("bb", bb.id, " nonblocking collective without a "
+                              "request result variable"));
+      if ((in.op == Opcode::WaitReq || in.op == Opcode::TestReq) &&
+          (in.args.size() != 1 || !in.args[0]))
+        fail(in.loc, str::cat("bb", bb.id, " ", to_string(in.op),
+                              " expects exactly one request operand"));
+      if (in.op == Opcode::WaitAllReq && in.args.empty())
+        fail(in.loc, str::cat("bb", bb.id, " waitall without request operands"));
+      if (in.op == Opcode::TestReq && in.var.empty())
+        fail(in.loc, str::cat("bb", bb.id, " test without a result variable"));
+    }
     // Paper invariant: OpenMP boundaries live alone in their block (plus the
     // mandatory branch). Verification instructions inserted next to a
     // boundary by the instrumentation pass are exempt.

@@ -191,6 +191,26 @@ Verifier::RegionGuard::~RegionGuard() {
   --v_.region_active_[{rank_.rank(), region_id_}];
 }
 
+void Verifier::report_request_misuse(simmpi::Rank& rank, SourceLoc loc,
+                                     const std::string& what) {
+  record(Severity::Error, DiagKind::RtRequestMisuse, loc,
+         str::cat("request check: ", what));
+  rank.abort(str::cat("request misuse at ", sm_.describe(loc), ": ", what));
+  throw simmpi::AbortedError(what);
+}
+
+void Verifier::report_leaked_requests(simmpi::Rank& rank, SourceLoc loc,
+                                      const std::vector<std::string>& leaked) {
+  if (leaked.empty()) return;
+  std::string msg =
+      str::cat("request check: rank ", rank.rank(), " reaches mpi_finalize with ",
+               leaked.size(), " outstanding nonblocking request",
+               leaked.size() == 1 ? "" : "s", " (never waited on): ");
+  for (size_t i = 0; i < leaked.size(); ++i)
+    msg += str::cat(i ? "; " : "", leaked[i]);
+  record(Severity::Error, DiagKind::RtRequestLeak, loc, std::move(msg));
+}
+
 void Verifier::check_thread_usage(simmpi::Rank& rank, bool in_parallel,
                                   bool master_only, SourceLoc loc) {
   if (!rank.initialized()) return;

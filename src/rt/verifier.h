@@ -92,6 +92,20 @@ public:
   void check_thread_usage(simmpi::Rank& rank, bool in_parallel, bool master_only,
                           SourceLoc loc);
 
+  // -- Request discipline (nonblocking collectives) ---------------------------
+  /// Reports a request-discipline violation detected by the request engine
+  /// (double wait, cross-thread wait race, foreign/unknown handle) and
+  /// aborts the world: after misuse the request state is unreliable, so
+  /// continuing would produce cascading nonsense.
+  [[noreturn]] void report_request_misuse(simmpi::Rank& rank, SourceLoc loc,
+                                          const std::string& what);
+
+  /// Reports requests still outstanding when `rank` reaches mpi_finalize
+  /// (leaked: issued but never completed by wait/test). Recording only — the
+  /// program completes, the run is just not clean.
+  void report_leaked_requests(simmpi::Rank& rank, SourceLoc loc,
+                              const std::vector<std::string>& leaked);
+
   /// Runtime diagnostics collected so far (thread-safe copy).
   [[nodiscard]] std::vector<Diagnostic> diagnostics() const;
   [[nodiscard]] size_t error_count() const;

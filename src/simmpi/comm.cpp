@@ -13,6 +13,14 @@ std::string Signature::str() const {
   return s;
 }
 
+std::string BlockedInfo::describe() const {
+  if (!blocked) return "not blocked";
+  if (!p2p.empty()) return str::cat("blocked on ", comm, " in ", p2p);
+  return str::cat(in_wait ? "blocked in MPI_Wait on " : "blocked on ", comm,
+                  " slot ", slot, " in ", sig.str(),
+                  mismatch ? " (signature differs from the slot's)" : "");
+}
+
 void WorldState::abort(const std::string& reason) {
   std::vector<std::condition_variable*> to_wake;
   {
@@ -63,7 +71,8 @@ void Comm::compute_results(Slot& s) {
   s.out_scalar.assign(n, 0);
   s.out_vec.assign(n, {});
   const Signature& sig = s.sig;
-  switch (sig.kind) {
+  // Nonblocking kinds share the data semantics of their blocking counterpart.
+  switch (ir::blocking_counterpart(sig.kind)) {
     case CollectiveKind::Barrier:
     case CollectiveKind::Finalize:
       break;
@@ -77,7 +86,7 @@ void Comm::compute_results(Slot& s) {
     case CollectiveKind::ReduceScatter: {
       int64_t acc = s.contrib[0];
       for (size_t r = 1; r < n; ++r) acc = apply_reduce(*sig.op, acc, s.contrib[r]);
-      if (sig.kind == CollectiveKind::Reduce) {
+      if (ir::blocking_counterpart(sig.kind) == CollectiveKind::Reduce) {
         // Non-root receive buffers are undefined in MPI; we return the
         // rank's own contribution (documented).
         s.out_scalar = s.contrib;
@@ -136,15 +145,12 @@ void Comm::compute_results(Slot& s) {
       }
       break;
     }
+    default:
+      break; // I* kinds never reach here (mapped to counterparts above)
   }
 }
 
-Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
-                           const std::vector<int64_t>& vec) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
-
-  const size_t idx = next_slot_[static_cast<size_t>(rank)]++;
+Comm::Slot& Comm::ensure_slot(size_t idx) {
   if (idx < slot_base_)
     throw UsageError("internal: slot index below base (double completion?)");
   while (slots_.size() <= idx - slot_base_) {
@@ -154,55 +160,10 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
     s.vec_contrib.assign(static_cast<size_t>(size_), {});
     slots_.push_back(std::move(s));
   }
-  Slot& s = slots_[idx - slot_base_];
-  if (s.arrived == 0 && !s.complete) s.sig = sig;
+  return slots_[idx - slot_base_];
+}
 
-  auto& binfo = blocked_[static_cast<size_t>(rank)];
-  if (!(s.sig == sig)) {
-    // Signature mismatch: real MPI would hang or corrupt. Default: block
-    // until the watchdog or a verifier aborts the world.
-    if (strict_) {
-      const std::string msg =
-          str::cat("collective mismatch on ", name_, " slot ", idx, ": rank ",
-                   rank, " called ", sig.str(), " but slot is ", s.sig.str());
-      world_.abort(msg);
-      cv_.notify_all();
-      throw MismatchError(msg);
-    }
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.mismatch = true;
-    binfo.slot = idx;
-    binfo.sig = sig;
-    cv_.wait(lk, [&] { return world_.is_aborted(); });
-    binfo = BlockedInfo{};
-    throw AbortedError(world_.abort_reason);
-  }
-
-  s.present[static_cast<size_t>(rank)] = 1;
-  s.contrib[static_cast<size_t>(rank)] = scalar;
-  s.vec_contrib[static_cast<size_t>(rank)] = vec;
-  ++s.arrived;
-
-  if (s.arrived == size_) {
-    compute_results(s);
-    s.complete = true;
-    ++completed_;
-    {
-      std::scoped_lock wlk(world_.mu);
-      ++world_.progress;
-    }
-    cv_.notify_all();
-  } else {
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.slot = idx;
-    binfo.sig = sig;
-    cv_.wait(lk, [&] { return s.complete || world_.is_aborted(); });
-    binfo = BlockedInfo{};
-    if (!s.complete) throw AbortedError(world_.abort_reason);
-  }
-
+Comm::Result Comm::take_result(int32_t rank, Slot& s) {
   Result r;
   r.scalar = s.out_scalar[static_cast<size_t>(rank)];
   r.vec = s.out_vec[static_cast<size_t>(rank)];
@@ -214,6 +175,142 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
     }
   }
   return r;
+}
+
+void Comm::deposit(Slot& s, int32_t rank, int64_t scalar,
+                   const std::vector<int64_t>& vec) {
+  s.present[static_cast<size_t>(rank)] = 1;
+  s.contrib[static_cast<size_t>(rank)] = scalar;
+  s.vec_contrib[static_cast<size_t>(rank)] = vec;
+  ++s.arrived;
+  if (s.arrived != size_) return;
+  compute_results(s);
+  s.complete = true;
+  ++completed_;
+  {
+    std::scoped_lock wlk(world_.mu);
+    ++world_.progress;
+  }
+  cv_.notify_all();
+}
+
+void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
+                       const Signature& slot_sig, const char* verb) {
+  const std::string msg =
+      str::cat("collective mismatch on ", name_, " slot ", idx, ": rank ",
+               rank, " ", verb, " ", sig.str(), " but slot is ",
+               slot_sig.str());
+  world_.abort(msg);
+  cv_.notify_all();
+  throw MismatchError(msg);
+}
+
+Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
+                           const std::vector<int64_t>& vec) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+
+  const size_t idx = next_slot_[static_cast<size_t>(rank)]++;
+  Slot& s = ensure_slot(idx);
+  if (s.arrived == 0 && !s.complete) s.sig = sig;
+
+  auto& binfo = blocked_[static_cast<size_t>(rank)];
+  if (!(s.sig == sig)) {
+    // Signature mismatch: real MPI would hang or corrupt. Default: block
+    // until the watchdog or a verifier aborts the world.
+    if (strict_) fail_strict(idx, rank, sig, s.sig, "called");
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.mismatch = true;
+    binfo.slot = idx;
+    binfo.sig = sig;
+    binfo.comm = name_;
+    cv_.wait(lk, [&] { return world_.is_aborted(); });
+    binfo = BlockedInfo{};
+    throw AbortedError(world_.abort_reason);
+  }
+
+  deposit(s, rank, scalar, vec);
+  if (!s.complete) {
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.slot = idx;
+    binfo.sig = sig;
+    binfo.comm = name_;
+    cv_.wait(lk, [&] { return s.complete || world_.is_aborted(); });
+    binfo = BlockedInfo{};
+    if (!s.complete) throw AbortedError(world_.abort_reason);
+  }
+
+  return take_result(rank, s);
+}
+
+size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
+                  const std::vector<int64_t>& vec, bool& mismatch) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+
+  mismatch = false;
+  const size_t idx = next_slot_[static_cast<size_t>(rank)]++;
+  Slot& s = ensure_slot(idx);
+  if (s.arrived == 0 && !s.complete) s.sig = sig;
+
+  if (!(s.sig == sig)) {
+    if (strict_) fail_strict(idx, rank, sig, s.sig, "issued");
+    // Nonblocking issue never blocks: the contribution is withheld, the
+    // slot stays incomplete, and the hang surfaces at wait time.
+    mismatch = true;
+    return idx;
+  }
+
+  deposit(s, rank, scalar, vec);
+  return idx;
+}
+
+Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
+                          bool mismatched) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+
+  auto& binfo = blocked_[static_cast<size_t>(rank)];
+  if (mismatched) {
+    // The deferred hang of a mismatched issue: real MPI would never complete
+    // this request. Publish the wait state and sleep until the world aborts.
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.mismatch = true;
+    binfo.in_wait = true;
+    binfo.slot = slot;
+    binfo.sig = sig;
+    binfo.comm = name_;
+    cv_.wait(lk, [&] { return world_.is_aborted(); });
+    binfo = BlockedInfo{};
+    throw AbortedError(world_.abort_reason);
+  }
+
+  Slot& s = ensure_slot(slot);
+  if (!s.complete) {
+    binfo = BlockedInfo{};
+    binfo.blocked = true;
+    binfo.in_wait = true;
+    binfo.slot = slot;
+    binfo.sig = sig;
+    binfo.comm = name_;
+    cv_.wait(lk, [&] { return s.complete || world_.is_aborted(); });
+    binfo = BlockedInfo{};
+    if (!s.complete) throw AbortedError(world_.abort_reason);
+  }
+  return take_result(rank, s);
+}
+
+bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
+  std::unique_lock lk(mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (mismatched) return false; // never completes
+  Slot& s = ensure_slot(slot);
+  if (!s.complete) return false;
+  out = take_result(rank, s);
+  return true;
 }
 
 void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
@@ -236,6 +333,7 @@ void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
   auto& binfo = blocked_[static_cast<size_t>(src)];
   binfo = BlockedInfo{};
   binfo.blocked = true;
+  binfo.comm = name_;
   binfo.p2p = str::cat("send to ", dst, " tag ", tag, " (rendezvous)");
   const size_t target = box.messages.size() - 1; // entries that must drain
   cv_.wait(lk, [&] {
@@ -256,6 +354,7 @@ int64_t Comm::recv(int32_t dst, int32_t src, int32_t tag) {
   if (box.messages.empty()) {
     binfo = BlockedInfo{};
     binfo.blocked = true;
+    binfo.comm = name_;
     binfo.p2p = str::cat("recv from ", src, " tag ", tag);
     cv_.wait(lk, [&] { return world_.is_aborted() || !box.messages.empty(); });
     binfo = BlockedInfo{};

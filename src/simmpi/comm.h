@@ -61,14 +61,22 @@ private:
   std::vector<std::condition_variable*> cvs_;
 };
 
-/// Per-rank blocked-state snapshot for deadlock reports.
+/// Per-rank blocked-state snapshot for deadlock reports. Every blocked path
+/// fills `comm` (communicator name) and, for slot waits, `sig`/`slot`, so
+/// watchdog reports read uniformly for collectives, requests and p2p.
 struct BlockedInfo {
   bool blocked = false;
   bool mismatch = false; // arrived with a signature that differs from slot's
+  bool in_wait = false;  // blocked in MPI_Wait on a nonblocking request
   size_t slot = 0;
   Signature sig;
+  std::string comm; // communicator name ("" when not blocked)
   /// Non-empty for point-to-point waits ("recv from 1 tag 0").
   std::string p2p;
+
+  /// One-line human description ("blocked in MPI_Wait on MPI_COMM_WORLD
+  /// slot 3 in MPI_Iallreduce[sum]"), shared by the watchdog and tests.
+  [[nodiscard]] std::string describe() const;
 };
 
 class Comm {
@@ -96,6 +104,25 @@ public:
   /// Number of completed slots (tests & stats).
   [[nodiscard]] uint64_t completed_slots();
 
+  // -- Nonblocking slot access (the request engine) ---------------------------
+  /// Issues a nonblocking collective: claims `rank`'s next slot, stamps or
+  /// checks the signature and deposits the contribution WITHOUT blocking.
+  /// On a signature mismatch nothing is deposited: strict mode aborts the
+  /// world immediately (MismatchError); otherwise `mismatch` is set and the
+  /// hang surfaces when the request is waited on. Returns the slot index.
+  size_t post(int32_t rank, const Signature& sig, int64_t scalar,
+              const std::vector<int64_t>& vec, bool& mismatch);
+
+  /// Completes a posted slot for `rank` (MPI_Wait): blocks until every rank
+  /// arrived, publishing a BlockedInfo with `in_wait` set meanwhile. A
+  /// mismatched post blocks until the world aborts (the deferred hang).
+  Result finish(int32_t rank, size_t slot, const Signature& sig, bool mismatched);
+
+  /// Non-blocking completion probe (MPI_Test): if the slot is complete,
+  /// consumes `rank`'s result and returns true; otherwise returns false
+  /// without blocking. A mismatched post never completes.
+  bool try_finish(int32_t rank, size_t slot, bool mismatched, Result& out);
+
   // -- Point-to-point ---------------------------------------------------------
   /// Blocking send. Default semantics are *eager* (buffered: enqueues and
   /// returns); with `rendezvous` the sender blocks until the matching
@@ -122,6 +149,20 @@ private:
   };
 
   void compute_results(Slot& s);
+  /// Grows slots_ until `idx` exists; returns the slot. Requires mu_ held.
+  Slot& ensure_slot(size_t idx);
+  /// Extracts `rank`'s result from a complete slot and pops fully consumed
+  /// slots off the front. Requires mu_ held.
+  Result take_result(int32_t rank, Slot& s);
+  /// Records `rank`'s contribution; when the last rank arrives, computes
+  /// results, marks the slot complete, bumps world progress and wakes
+  /// waiters. Requires mu_ held.
+  void deposit(Slot& s, int32_t rank, int64_t scalar,
+               const std::vector<int64_t>& vec);
+  /// Strict-mode signature clash: aborts the world and throws. `verb` is
+  /// "called" (blocking) or "issued" (nonblocking). Requires mu_ held.
+  [[noreturn]] void fail_strict(size_t idx, int32_t rank, const Signature& sig,
+                                const Signature& slot_sig, const char* verb);
 
   std::string name_;
   int32_t size_;

@@ -1,0 +1,124 @@
+#include "simmpi/request.h"
+
+#include "support/str.h"
+
+namespace parcoach::simmpi {
+
+int64_t RequestEngine::start(Comm& comm, int32_t rank, const Signature& sig,
+                             int64_t scalar, const std::vector<int64_t>& vec) {
+  bool mismatch = false;
+  const size_t slot = comm.post(rank, sig, scalar, vec, mismatch);
+  std::scoped_lock lk(mu_);
+  const int64_t id = next_id_++;
+  Request& r = requests_[id];
+  r.comm = &comm;
+  r.rank = rank;
+  r.slot = slot;
+  r.sig = sig;
+  r.mismatched = mismatch;
+  return id;
+}
+
+RequestEngine::Outcome RequestEngine::claim(int32_t rank, int64_t request,
+                                            std::string_view verb,
+                                            Request& out) {
+  auto it = requests_.find(request);
+  if (it == requests_.end()) {
+    // Completed requests are erased, so a plausible id that is gone means
+    // the operation was already completed by an earlier wait/test.
+    if (request > 0 && request < next_id_) {
+      // Retired handle: ownership is no longer known, so this is either a
+      // double completion or a foreign rank touching a completed request.
+      return {Outcome::Status::AlreadyDone, 0, {},
+              str::cat("request ", request, " already completed (waited on "
+                       "twice, or another rank's retired handle)")};
+    }
+    return {Outcome::Status::Unknown, 0, {},
+            str::cat(verb, " on unknown request ", request)};
+  }
+  Request& r = it->second;
+  if (r.rank != rank) {
+    return {Outcome::Status::WrongRank, 0, {},
+            str::cat("rank ", rank, " ", verb, "s on request ", request,
+                     " issued by rank ", r.rank)};
+  }
+  if (r.claimants > 0) {
+    return {Outcome::Status::ConcurrentWait, 0, {},
+            str::cat("two threads concurrently wait/test on request ", request,
+                     " (", r.sig.str(), ") in rank ", rank)};
+  }
+  ++r.claimants;
+  out = r;
+  return {};
+}
+
+void RequestEngine::release(int64_t request, bool completed) {
+  std::scoped_lock lk(mu_);
+  auto it = requests_.find(request);
+  if (it == requests_.end()) return;
+  --it->second.claimants;
+  if (completed) requests_.erase(it);
+}
+
+RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {
+  Request r;
+  {
+    std::scoped_lock lk(mu_);
+    const Outcome bad = claim(rank, request, "wait", r);
+    if (!bad.ok()) return bad;
+  }
+
+  Comm::Result result;
+  try {
+    result = r.comm->finish(rank, r.slot, r.sig, r.mismatched);
+  } catch (...) {
+    release(request, /*completed=*/false);
+    throw;
+  }
+  release(request, /*completed=*/true);
+  return {Outcome::Status::Ok, result.scalar, std::move(result.vec), {}};
+}
+
+RequestEngine::Outcome RequestEngine::test(int32_t rank, int64_t request,
+                                           bool& done) {
+  done = false;
+  Request r;
+  {
+    std::scoped_lock lk(mu_);
+    const Outcome bad = claim(rank, request, "test", r);
+    if (!bad.ok()) {
+      if (bad.status == Outcome::Status::AlreadyDone) {
+        return {Outcome::Status::AlreadyDone, 0, {},
+                str::cat("request ", request, " tested after completion")};
+      }
+      return bad;
+    }
+  }
+
+  Comm::Result result;
+  bool completed = false;
+  try {
+    completed = r.comm->try_finish(rank, r.slot, r.mismatched, result);
+  } catch (...) {
+    release(request, /*completed=*/false);
+    throw;
+  }
+  release(request, completed);
+  if (!completed) return {};
+  done = true;
+  return {Outcome::Status::Ok, result.scalar, std::move(result.vec), {}};
+}
+
+std::vector<std::string> RequestEngine::outstanding(int32_t rank) {
+  std::scoped_lock lk(mu_);
+  std::vector<std::string> out;
+  for (const auto& [id, r] : requests_) {
+    if (r.rank != rank) continue;
+    out.push_back(str::cat(r.sig.str(), " on ", r.comm->name(), " slot ",
+                           r.slot, ", request ", id));
+  }
+  return out;
+}
+
+
+} // namespace parcoach::simmpi

@@ -1,0 +1,97 @@
+// Request engine for nonblocking collectives (MPI_Ibarrier & friends).
+//
+// A nonblocking collective splits the blocking slot protocol in two: `start`
+// claims the issuing rank's next slot on the communicator and deposits the
+// contribution immediately (Comm::post, never blocks), returning an opaque
+// request handle; `wait`/`test` complete the request later by consuming the
+// slot result (Comm::finish / Comm::try_finish). Matching therefore follows
+// MPI's rule that nonblocking collectives match in *issue* order, and a
+// blocking collective never matches a nonblocking one (different signature
+// kinds on the same slot — the classic Barrier-vs-Ibarrier mismatch).
+//
+// The engine is also the source of truth for request *discipline*: waiting a
+// request twice, two threads racing into wait on the same request, waiting a
+// request issued by another rank, and requests never completed by finalize
+// ("leaked") are all detected here and surfaced as structured outcomes so
+// the runtime verifier can report them precisely instead of crashing.
+#pragma once
+
+#include "simmpi/comm.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parcoach::simmpi {
+
+class RequestEngine {
+public:
+  explicit RequestEngine(WorldState& world) : world_(world) {}
+
+  /// Issues a nonblocking collective for `rank` on `comm`; returns a fresh
+  /// request handle (> 0). Strict-mode signature mismatches abort the world
+  /// at issue time; otherwise a mismatched request hangs at wait time.
+  int64_t start(Comm& comm, int32_t rank, const Signature& sig, int64_t scalar,
+                const std::vector<int64_t>& vec = {});
+
+  struct Outcome {
+    enum class Status : uint8_t {
+      Ok,             // completed; `value` holds the scalar result
+      Unknown,        // handle was never issued (or is garbage)
+      WrongRank,      // request belongs to another rank
+      AlreadyDone,    // request was already completed by wait/test
+      ConcurrentWait, // another thread is blocked in wait on this request
+    };
+    Status status = Status::Ok;
+    int64_t value = 0;
+    std::vector<int64_t> vec;
+    std::string error; // human description, empty when status == Ok
+
+    [[nodiscard]] bool ok() const noexcept { return status == Status::Ok; }
+  };
+
+  /// MPI_Wait: blocks until the request's slot completes (or the world
+  /// aborts -> AbortedError). Discipline violations return a non-Ok outcome
+  /// without blocking.
+  Outcome wait(int32_t rank, int64_t request);
+
+  /// MPI_Test: `done` is set iff the operation has completed, in which case
+  /// the request is consumed and the outcome carries the result. Discipline
+  /// violations return non-Ok with `done` unchanged semantics (done=false).
+  Outcome test(int32_t rank, int64_t request, bool& done);
+
+  /// Descriptions of `rank`'s requests that were issued but never completed
+  /// ("MPI_Iallreduce[sum] on MPI_COMM_WORLD slot 3, request 7") — the
+  /// finalize-time leak check. Requests with a waiter currently blocked are
+  /// included: they are outstanding too.
+  [[nodiscard]] std::vector<std::string> outstanding(int32_t rank);
+
+private:
+  struct Request {
+    Comm* comm = nullptr;
+    int32_t rank = -1;
+    size_t slot = 0;
+    Signature sig;
+    bool mismatched = false; // signature clashed at issue time
+    int32_t claimants = 0;   // threads currently inside wait()/test()
+  };
+
+  /// Validates the handle and claims it for the calling thread (bumps
+  /// `claimants`), or returns the discipline violation. Requires mu_ held.
+  /// Completed requests are erased from the map; ids below next_id_ that are
+  /// no longer present were therefore already completed (AlreadyDone), which
+  /// keeps the map proportional to *outstanding* requests.
+  Outcome claim(int32_t rank, int64_t request, std::string_view verb,
+                Request& out);
+  /// Drops a claim; erases the entry when the operation completed.
+  void release(int64_t request, bool completed);
+
+  WorldState& world_;
+  std::mutex mu_;
+  int64_t next_id_ = 1;
+  std::map<int64_t, Request> requests_;
+};
+
+} // namespace parcoach::simmpi

@@ -110,6 +110,66 @@ void Rank::finalize() {
   finalized_ = true;
 }
 
+// ---- Nonblocking collectives --------------------------------------------------
+
+int64_t Rank::istart(const Signature& sig, int64_t scalar,
+                     const std::vector<int64_t>& vec) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, ir::to_string(sig.kind).data());
+  return world_->requests_->start(app_comm(), rank_, sig, scalar, vec);
+}
+
+int64_t Rank::ibarrier() {
+  return istart({CollectiveKind::Ibarrier, -1, {}}, 0);
+}
+
+int64_t Rank::ibcast(int64_t value, int32_t root) {
+  return istart({CollectiveKind::Ibcast, root, {}}, value);
+}
+
+int64_t Rank::ireduce(int64_t value, ReduceOp op, int32_t root) {
+  return istart({CollectiveKind::Ireduce, root, op}, value);
+}
+
+int64_t Rank::iallreduce(int64_t value, ReduceOp op) {
+  return istart({CollectiveKind::Iallreduce, -1, op}, value);
+}
+
+RequestEngine::Outcome Rank::wait_outcome(int64_t request) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Wait");
+  return world_->requests_->wait(rank_, request);
+}
+
+RequestEngine::Outcome Rank::test_outcome(int64_t request, bool& done) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Test");
+  return world_->requests_->test(rank_, request, done);
+}
+
+int64_t Rank::wait(int64_t request) {
+  const auto out = wait_outcome(request);
+  if (!out.ok()) throw UsageError(out.error);
+  return out.value;
+}
+
+std::optional<int64_t> Rank::test(int64_t request) {
+  bool done = false;
+  const auto out = test_outcome(request, done);
+  if (!out.ok()) throw UsageError(out.error);
+  if (!done) return std::nullopt;
+  return out.value;
+}
+
+void Rank::waitall(const std::vector<int64_t>& requests) {
+  for (int64_t r : requests) wait(r);
+}
+
+RequestEngine& Rank::requests() noexcept { return *world_->requests_; }
+
 void Rank::abort(const std::string& reason) { world_->state().abort(reason); }
 
 bool Rank::aborted() const { return world_->state_.is_aborted(); }
@@ -121,6 +181,7 @@ World::World(Options opts) : opts_(opts) {
                                      opts_.strict_matching);
   verifier_comm_ = std::make_unique<Comm>("PARCOACH_COMM", opts_.num_ranks,
                                           state_, opts_.strict_matching);
+  requests_ = std::make_unique<RequestEngine>(state_);
   ranks_.reserve(static_cast<size_t>(opts_.num_ranks));
   for (int32_t r = 0; r < opts_.num_ranks; ++r) {
     ranks_.push_back(std::unique_ptr<Rank>(new Rank()));
@@ -196,24 +257,15 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
               opts_.hang_timeout)
               .count()
        << "ms\n";
-    auto describe = [&](const char* comm_name,
-                        const std::vector<BlockedInfo>& blocked) {
+    auto describe = [&](const std::vector<BlockedInfo>& blocked) {
       for (size_t i = 0; i < blocked.size(); ++i) {
         const auto& b = blocked[i];
         if (!b.blocked) continue;
-        if (!b.p2p.empty()) {
-          os << "  rank " << i << " blocked on " << comm_name << " in "
-             << b.p2p << '\n';
-        } else {
-          os << "  rank " << i << " blocked on " << comm_name << " slot "
-             << b.slot << " in " << b.sig.str()
-             << (b.mismatch ? " (signature differs from the slot's)" : "")
-             << '\n';
-        }
+        os << "  rank " << i << ' ' << b.describe() << '\n';
       }
     };
-    describe("MPI_COMM_WORLD", app_blocked);
-    describe("PARCOACH_COMM", ver_blocked);
+    describe(app_blocked);
+    describe(ver_blocked);
     report.deadlock = true;
     report.deadlock_details = os.str();
     state_.abort(str::cat("deadlock: ", os.str()));
@@ -233,6 +285,9 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   }
   report.app_slots_completed = app_comm_->completed_slots();
   report.verifier_slots_completed = verifier_comm_->completed_slots();
+  for (int32_t r = 0; r < opts_.num_ranks; ++r)
+    for (const auto& leak : requests_->outstanding(r))
+      report.leaked_requests.push_back(str::cat("rank ", r, ": ", leak));
   bool all_clean = !report.deadlock && !report.aborted;
   for (const auto& e : report.rank_errors) all_clean &= e.empty();
   report.ok = all_clean;

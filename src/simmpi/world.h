@@ -17,6 +17,7 @@
 #pragma once
 
 #include "simmpi/comm.h"
+#include "simmpi/request.h"
 
 #include <atomic>
 #include <chrono>
@@ -53,6 +54,36 @@ public:
   int64_t scan(int64_t value, ReduceOp op);
   int64_t reduce_scatter(int64_t value, ReduceOp op);
   void finalize();
+
+  // -- Nonblocking collectives (request handles) ------------------------------
+  /// Issue MPI_Ibarrier/Ibcast/Ireduce/Iallreduce; returns a request handle
+  /// to pass to wait/test. The slot is claimed at issue time (MPI matching
+  /// order); completion happens in wait/test.
+  int64_t ibarrier();
+  int64_t ibcast(int64_t value, int32_t root);
+  int64_t ireduce(int64_t value, ReduceOp op, int32_t root);
+  int64_t iallreduce(int64_t value, ReduceOp op);
+
+  /// MPI_Wait: blocks until the request completes; returns the collective's
+  /// scalar result (0 for ibarrier). Request misuse (double wait, foreign
+  /// rank, unknown handle, cross-thread race) throws UsageError.
+  int64_t wait(int64_t request);
+  /// MPI_Test: completes the request and returns its value if the operation
+  /// finished; std::nullopt when still pending. Misuse throws UsageError.
+  std::optional<int64_t> test(int64_t request);
+  /// MPI_Waitall over any number of requests (in order).
+  void waitall(const std::vector<int64_t>& requests);
+
+  /// Structured-outcome variants used by the interpreter so the runtime
+  /// verifier can report discipline violations instead of unwinding.
+  RequestEngine::Outcome wait_outcome(int64_t request);
+  RequestEngine::Outcome test_outcome(int64_t request, bool& done);
+  /// Raw nonblocking issue for bridged callers (sig.kind must be an I-kind).
+  int64_t istart(const Signature& sig, int64_t scalar,
+                 const std::vector<int64_t>& vec = {});
+
+  /// The world's request engine (leak queries, tests).
+  [[nodiscard]] RequestEngine& requests() noexcept;
 
   // -- Blocking point-to-point (tagged, FIFO per (src,dst,tag)) -------------
   void send(int64_t value, int32_t dest, int32_t tag);
@@ -96,6 +127,9 @@ struct RunReport {
   std::vector<std::string> rank_errors;
   /// Thread-level violations observed (rank, description).
   std::vector<std::string> thread_level_violations;
+  /// Nonblocking requests never completed by wait/test, per description
+  /// ("rank 1: MPI_Iallreduce[sum] on MPI_COMM_WORLD slot 3, request 7").
+  std::vector<std::string> leaked_requests;
   uint64_t app_slots_completed = 0;
   uint64_t verifier_slots_completed = 0;
 };
@@ -137,6 +171,7 @@ private:
   WorldState state_;
   std::unique_ptr<Comm> app_comm_;
   std::unique_ptr<Comm> verifier_comm_;
+  std::unique_ptr<RequestEngine> requests_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   std::mutex violations_mu_;
   std::vector<std::string> violations_;

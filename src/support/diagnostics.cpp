@@ -32,6 +32,8 @@ std::string_view to_string(DiagKind k) noexcept {
     case DiagKind::RtConcurrentCollectives: return "rt-concurrent-collectives";
     case DiagKind::RtThreadLevelViolation: return "rt-thread-level";
     case DiagKind::RtDeadlock: return "rt-deadlock";
+    case DiagKind::RtRequestMisuse: return "rt-request-misuse";
+    case DiagKind::RtRequestLeak: return "rt-request-leak";
   }
   return "?";
 }

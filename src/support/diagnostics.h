@@ -42,6 +42,8 @@ enum class DiagKind : uint8_t {
   RtConcurrentCollectives,   // two flagged regions were active concurrently
   RtThreadLevelViolation,    // collective usage exceeded the provided level
   RtDeadlock,                // substrate watchdog declared a hang (check missed/off)
+  RtRequestMisuse,           // double wait / cross-thread wait race / bad handle
+  RtRequestLeak,             // nonblocking request never completed by finalize
 };
 
 [[nodiscard]] std::string_view to_string(Severity s) noexcept;

@@ -474,6 +474,104 @@ func main() {
       {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
       DynamicOutcome::Clean});
 
+  // ---- Nonblocking collectives ---------------------------------------------
+  c.push_back(CorpusEntry{
+      "nb_clean_window",
+      "ibarrier + iallreduce issued, computation overlaps, waits complete",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  var r1 = mpi_ibarrier();
+  var r2 = mpi_iallreduce(x, sum);
+  var y = x * 2;
+  mpi_wait(r1);
+  var s = mpi_wait(r2);
+  if (y > 0) {
+    print(s);
+  }
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives,
+       DiagKind::CollectiveMismatch},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "nb_rooted_pipeline",
+      "ibcast feeding ireduce through waits; rooted nonblocking data path",
+      R"(func main() {
+  mpi_init(single);
+  var v = rank() * 10;
+  var rb = mpi_ibcast(v, 0);
+  var b = mpi_wait(rb);
+  var rr = mpi_ireduce(b + rank(), sum, 0);
+  var t = mpi_wait(rr);
+  mpi_barrier();
+  print(t);
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "nb_kind_mismatch",
+      "rank-dependent branch issues iallreduce vs ibarrier: CC catches the "
+      "divergence at issue time, before the wait can hang",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  var r = 0;
+  if (rank() == 0) {
+    r = mpi_iallreduce(x, sum);
+  } else {
+    r = mpi_ibarrier();
+  }
+  mpi_wait(r);
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
+      "nb_missing_wait",
+      "only rank 0 waits; the other rank's request leaks at finalize",
+      R"(func main() {
+  mpi_init(single);
+  var r = mpi_ibarrier();
+  if (rank() == 0) {
+    mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtAtFinalize, DiagKind::RtRequestLeak});
+
+  c.push_back(CorpusEntry{
+      "nb_wait_deadlock",
+      "rank 0 waits on an iallreduce rank 1 never issues: uninstrumented the "
+      "wait hangs (watchdog reports the pending request), instrumented the "
+      "CC sequence divergence aborts first",
+      R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  if (rank() == 0) {
+    var r = mpi_iallreduce(x, sum);
+    x = mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
   return c;
 }
 

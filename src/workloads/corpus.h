@@ -16,6 +16,8 @@ enum class DynamicOutcome : uint8_t {
   CaughtBeforeHang, // uninstrumented: deadlock; instrumented: clean abort
   CaughtRace,       // instrumented with rendezvous: occupancy/region error
   ThreadLevelWarn,  // instrumented: RtThreadLevelViolation recorded
+  CaughtAtFinalize, // uninstrumented: completes (silently wrong);
+                    // instrumented: rt error recorded at mpi_finalize
 };
 
 struct CorpusEntry {

@@ -63,7 +63,8 @@ TEST_P(CorpusTest, InstrumentedExecution) {
           << result.mpi.deadlock_details;
       break;
     case DynamicOutcome::CaughtBeforeHang:
-    case DynamicOutcome::CaughtRace: {
+    case DynamicOutcome::CaughtRace:
+    case DynamicOutcome::CaughtAtFinalize: {
       EXPECT_FALSE(result.mpi.deadlock)
           << "verifier should catch the error before the watchdog: "
           << result.mpi.deadlock_details;

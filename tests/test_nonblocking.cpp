@@ -1,0 +1,665 @@
+// Nonblocking-collectives subsystem, end to end:
+//   - simmpi request engine: issue/wait/test semantics, out-of-order
+//     completion, overlap with blocking traffic, discipline violations;
+//   - watchdog integration: a rank stuck in MPI_Wait is reported with the
+//     communicator, slot signature and wait state;
+//   - frontend/sema: request typing (requests only flow into wait/test/
+//     waitall, plain values never do);
+//   - the acceptance triangle: (a) an Ibarrier/Iallreduce kind mismatch is
+//     caught by the CC check at issue time, before the wait can hang;
+//     (b) a missing wait is a leaked request at finalize (or, when the
+//     issue itself is missing, a watchdog deadlock naming the pending
+//     request); (c) Algorithm 1 flags rank-dependent conditionals whose
+//     branches issue different nonblocking sequences.
+#include "driver/pipeline.h"
+#include "frontend/parser.h"
+#include "frontend/sema.h"
+#include "interp/executor.h"
+#include "simmpi/world.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace parcoach {
+namespace {
+
+using simmpi::Rank;
+using simmpi::ReduceOp;
+using simmpi::RequestEngine;
+using simmpi::World;
+
+World::Options fast_world(int32_t ranks) {
+  World::Options o;
+  o.num_ranks = ranks;
+  o.hang_timeout = std::chrono::milliseconds(200);
+  return o;
+}
+
+// ---- Request engine semantics -------------------------------------------------
+
+TEST(RequestEngine, IbarrierIssueAndWaitCompletes) {
+  World w(fast_world(3));
+  const auto rep = w.run([](Rank& mpi) {
+    const int64_t r = mpi.ibarrier();
+    EXPECT_GT(r, 0);
+    EXPECT_EQ(mpi.wait(r), 0);
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_EQ(rep.app_slots_completed, 1u);
+  EXPECT_TRUE(rep.leaked_requests.empty());
+}
+
+TEST(RequestEngine, IallreduceComputesAcrossRanks) {
+  World w(fast_world(4));
+  std::atomic<int> ok{0};
+  w.run([&](Rank& mpi) {
+    const int64_t r = mpi.iallreduce(mpi.rank() + 1, ReduceOp::Sum);
+    if (mpi.wait(r) == 10) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 4);
+}
+
+TEST(RequestEngine, RootedNonblockingValues) {
+  World w(fast_world(3));
+  std::atomic<int> ok{0};
+  w.run([&](Rank& mpi) {
+    const int64_t rb = mpi.ibcast(mpi.rank() == 1 ? 55 : -1, 1);
+    if (mpi.wait(rb) == 55) ok.fetch_add(1);
+    const int64_t rr = mpi.ireduce(mpi.rank() + 1, ReduceOp::Sum, 0);
+    const int64_t v = mpi.wait(rr);
+    if (mpi.rank() == 0 ? v == 6 : v == mpi.rank() + 1) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 6);
+}
+
+TEST(RequestEngine, OutOfOrderWaitsComplete) {
+  // Requests match in issue order but may be completed in any order.
+  World w(fast_world(2));
+  std::atomic<int> ok{0};
+  w.run([&](Rank& mpi) {
+    const int64_t r1 = mpi.iallreduce(1, ReduceOp::Sum);
+    const int64_t r2 = mpi.iallreduce(10, ReduceOp::Sum);
+    const int64_t r3 = mpi.ibarrier();
+    if (mpi.wait(r3) == 0) ok.fetch_add(1);
+    if (mpi.wait(r2) == 20) ok.fetch_add(1);
+    if (mpi.wait(r1) == 2) ok.fetch_add(1);
+  });
+  EXPECT_EQ(ok.load(), 6);
+}
+
+TEST(RequestEngine, OverlapWithBlockingTraffic) {
+  // A pending nonblocking collective happily overlaps blocking collectives
+  // and p2p: slots are claimed in issue order per rank.
+  World w(fast_world(2));
+  std::atomic<int> ok{0};
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t r = mpi.iallreduce(mpi.rank(), ReduceOp::Max);
+    mpi.barrier();
+    if (mpi.rank() == 0) mpi.send(7, 1, 0);
+    if (mpi.rank() == 1 && mpi.recv(0, 0) == 7) ok.fetch_add(1);
+    if (mpi.wait(r) == 1) ok.fetch_add(1);
+  });
+  EXPECT_TRUE(rep.ok) << rep.deadlock_details;
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(RequestEngine, TestPollsUntilComplete) {
+  World w(fast_world(2));
+  std::atomic<int> ok{0};
+  w.run([&](Rank& mpi) {
+    const int64_t r = mpi.iallreduce(2, ReduceOp::Prod);
+    for (;;) {
+      const auto v = mpi.test(r);
+      if (v.has_value()) {
+        if (*v == 4) ok.fetch_add(1);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  EXPECT_EQ(ok.load(), 2);
+}
+
+TEST(RequestEngine, WaitallCompletesEverything) {
+  World w(fast_world(2));
+  const auto rep = w.run([](Rank& mpi) {
+    std::vector<int64_t> reqs;
+    for (int i = 0; i < 5; ++i) reqs.push_back(mpi.ibarrier());
+    mpi.waitall(reqs);
+  });
+  EXPECT_TRUE(rep.ok) << rep.deadlock_details;
+  EXPECT_TRUE(rep.leaked_requests.empty());
+  EXPECT_EQ(rep.app_slots_completed, 5u);
+}
+
+// ---- Watchdog and discipline --------------------------------------------------
+
+TEST(RequestEngine, MissingPeerWaitIsReportedAsPendingRequest) {
+  World w(fast_world(2));
+  const auto rep = w.run([](Rank& mpi) {
+    if (mpi.rank() != 0) return; // rank 1 never issues
+    const int64_t r = mpi.iallreduce(1, ReduceOp::Sum);
+    mpi.wait(r); // blocks forever -> watchdog
+  });
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_NE(rep.deadlock_details.find("blocked in MPI_Wait"), std::string::npos)
+      << rep.deadlock_details;
+  EXPECT_NE(rep.deadlock_details.find("MPI_Iallreduce[sum]"), std::string::npos);
+  EXPECT_NE(rep.deadlock_details.find("MPI_COMM_WORLD"), std::string::npos);
+}
+
+TEST(RequestEngine, LeakedRequestsSurfaceInRunReport) {
+  World w(fast_world(2));
+  const auto rep = w.run([](Rank& mpi) {
+    (void)mpi.ibarrier(); // both ranks issue (slot completes), nobody waits
+  });
+  EXPECT_TRUE(rep.ok); // nothing hangs: the op itself completed
+  ASSERT_EQ(rep.leaked_requests.size(), 2u);
+  EXPECT_NE(rep.leaked_requests[0].find("MPI_Ibarrier"), std::string::npos);
+  EXPECT_NE(rep.leaked_requests[0].find("request"), std::string::npos);
+}
+
+TEST(RequestEngine, DoubleWaitIsUsageError) {
+  World w(fast_world(2));
+  const auto rep = w.run([](Rank& mpi) {
+    const int64_t r = mpi.ibarrier();
+    mpi.wait(r);
+    if (mpi.rank() == 0) mpi.wait(r); // second completion
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_NE(rep.rank_errors[0].find("waited on twice"), std::string::npos)
+      << rep.rank_errors[0];
+}
+
+TEST(RequestEngine, UnknownAndForeignHandlesRejected) {
+  World w(fast_world(2));
+  std::atomic<int64_t> rank0_req{0};
+  std::atomic<bool> probed{false};
+  std::atomic<int> ok{0};
+  w.run([&](Rank& mpi) {
+    const int64_t r = mpi.ibarrier();
+    if (mpi.rank() == 0) rank0_req.store(r);
+    bool done = false;
+    auto unknown = mpi.test_outcome(999'999, done);
+    if (unknown.status == RequestEngine::Outcome::Status::Unknown)
+      ok.fetch_add(1);
+    if (mpi.rank() == 1) {
+      while (rank0_req.load() == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      auto foreign = mpi.wait_outcome(rank0_req.load());
+      if (foreign.status == RequestEngine::Outcome::Status::WrongRank)
+        ok.fetch_add(1);
+      probed.store(true);
+    } else {
+      // Keep rank 0's request alive until the foreign probe ran (completed
+      // requests are retired from the engine).
+      while (!probed.load())
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    mpi.wait(r);
+  });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(RequestEngine, CrossThreadWaitRaceDetected) {
+  World w(fast_world(2));
+  std::atomic<int> raced{0};
+  const auto rep = w.run([&](Rank& mpi) {
+    if (mpi.rank() != 0) return; // rank 1 never issues: the wait stays blocked
+    mpi.init(ir::ThreadLevel::Multiple);
+    const int64_t r = mpi.ibarrier();
+    std::atomic<bool> started{false};
+    std::thread t([&] {
+      started.store(true);
+      try {
+        mpi.wait(r); // blocks until the world aborts
+      } catch (const simmpi::AbortedError&) {
+      }
+    });
+    while (!started.load())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    const auto out = mpi.wait_outcome(r);
+    if (out.status == RequestEngine::Outcome::Status::ConcurrentWait)
+      raced.fetch_add(1);
+    mpi.abort("test done"); // release the blocked waiter
+    t.join();
+  });
+  EXPECT_EQ(raced.load(), 1);
+  EXPECT_TRUE(rep.aborted);
+}
+
+TEST(RequestEngine, StrictModeRejectsMismatchAtIssue) {
+  auto opts = fast_world(2);
+  opts.strict_matching = true;
+  World w(opts);
+  const auto rep = w.run([](Rank& mpi) {
+    const int64_t r =
+        mpi.rank() == 0 ? mpi.ibarrier() : mpi.iallreduce(1, ReduceOp::Sum);
+    mpi.wait(r);
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock) << "strict mode must not need the watchdog";
+  EXPECT_NE(rep.abort_reason.find("collective mismatch"), std::string::npos);
+}
+
+TEST(RequestEngine, BlockingNeverMatchesNonblocking) {
+  // MPI rule: MPI_Barrier and MPI_Ibarrier on the same communicator do not
+  // match; our slot signatures reproduce the resulting hang.
+  World w(fast_world(2));
+  const auto rep = w.run([](Rank& mpi) {
+    if (mpi.rank() == 0) {
+      mpi.barrier();
+    } else {
+      mpi.wait(mpi.ibarrier());
+    }
+  });
+  EXPECT_TRUE(rep.deadlock);
+  EXPECT_NE(rep.deadlock_details.find("MPI_Ibarrier"), std::string::npos);
+}
+
+// ---- Frontend: request typing -------------------------------------------------
+
+frontend::SemaResult analyze(const std::string& src, SourceManager& sm,
+                             DiagnosticEngine& diags) {
+  auto prog = frontend::Parser::parse_source(sm, "t.mhpc", src, diags);
+  return frontend::Sema::analyze(prog, diags);
+}
+
+TEST(NonblockingSema, RequestFlowAccepted) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze(R"(func main() {
+  mpi_init(single);
+  var x = 1;
+  var r1 = mpi_ibarrier();
+  var r2 = mpi_iallreduce(x, sum);
+  var r3 = mpi_ibcast(x, 0);
+  var r4 = mpi_ireduce(x, max, 0);
+  mpi_wait(r1);
+  var v = mpi_wait(r2);
+  var f = mpi_test(r3);
+  mpi_waitall(r4);
+  mpi_finalize();
+}
+)",
+          sm, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_text(sm);
+}
+
+TEST(NonblockingSema, RequestUsedAsValueRejected) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze("func main() { var r = mpi_ibarrier(); var y = r + 1; }", sm, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_text(sm).find("used as a plain value"), std::string::npos);
+}
+
+TEST(NonblockingSema, WaitOnPlainValueRejected) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze("func main() { var x = 3; mpi_wait(x); }", sm, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_text(sm).find("not a request variable"), std::string::npos);
+}
+
+TEST(NonblockingSema, WaitOnLiteralRejected) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze("func main() { mpi_wait(5); }", sm, diags);
+  ASSERT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_text(sm).find("must be a request variable"),
+            std::string::npos);
+}
+
+TEST(NonblockingSema, UnboundRequestRejectedAtParse) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze("func main() { mpi_ibarrier(); }", sm, diags);
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_NE(diags.to_text(sm).find("must be assigned"), std::string::npos);
+}
+
+TEST(NonblockingSema, ReassignmentClearsRequestType) {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze(R"(func main() {
+  var r = mpi_ibarrier();
+  mpi_wait(r);
+  r = 0;
+  var y = r + 1;
+}
+)",
+          sm, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_text(sm);
+}
+
+TEST(NonblockingSema, BranchStatesJoinConservatively) {
+  // One branch leaves a request in r, the other a plain value: the join
+  // keeps r waitable (either path may need the wait)...
+  SourceManager sm;
+  DiagnosticEngine diags;
+  analyze(R"(func main() {
+  var c = 1;
+  var r = 0;
+  if (c) {
+    r = mpi_ibarrier();
+  } else {
+    r = 1;
+  }
+  if (c) {
+    mpi_wait(r);
+  }
+}
+)",
+          sm, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.to_text(sm);
+
+  // ... and branch order must not matter: request-ness survives an else
+  // branch that assigns a plain value (last-write-wins would lose it).
+  DiagnosticEngine diags2;
+  analyze(R"(func main() {
+  var c = 1;
+  var r = 0;
+  if (c) {
+    r = 1;
+  } else {
+    r = mpi_ibarrier();
+  }
+  var y = r + 1;
+}
+)",
+          sm, diags2);
+  ASSERT_TRUE(diags2.has_errors());
+  EXPECT_NE(diags2.to_text(sm).find("used as a plain value"),
+            std::string::npos);
+}
+
+TEST(NonblockingFrontend, SourceRoundTrips) {
+  const std::string src = R"(func main() {
+  mpi_init(single);
+  var x = rank();
+  var r1 = mpi_ibarrier();
+  var r2 = mpi_iallreduce(x, sum);
+  var r3 = mpi_ibcast(x, 0);
+  var r4 = mpi_ireduce(x, min, 1);
+  var f = mpi_test(r1);
+  mpi_wait(r1);
+  var s = mpi_wait(r2);
+  mpi_waitall(r3, r4);
+  mpi_finalize();
+}
+)";
+  SourceManager sm;
+  DiagnosticEngine diags;
+  auto p1 = frontend::Parser::parse_source(sm, "a.mhpc", src, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.to_text(sm);
+  const std::string printed = frontend::to_source(p1);
+  auto p2 = frontend::Parser::parse_source(sm, "b.mhpc", printed, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.to_text(sm);
+  EXPECT_EQ(printed, frontend::to_source(p2));
+  EXPECT_NE(printed.find("mpi_ibarrier()"), std::string::npos);
+  EXPECT_NE(printed.find("mpi_iallreduce(x, sum)"), std::string::npos);
+  EXPECT_NE(printed.find("mpi_waitall(r3, r4)"), std::string::npos);
+}
+
+// ---- End-to-end acceptance (a) / (b) / (c) ------------------------------------
+
+struct Compiled {
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::CompileResult result;
+};
+
+std::unique_ptr<Compiled> compile(const std::string& src,
+                                  driver::Mode mode = driver::Mode::WarningsAndCodegen,
+                                  bool match_sequences = false) {
+  auto c = std::make_unique<Compiled>();
+  driver::PipelineOptions opts;
+  opts.mode = mode;
+  opts.verify_ir = true;
+  opts.algorithm1.match_sequences = match_sequences;
+  c->result = driver::compile(c->sm, "nb.mhpc", src, c->diags, opts);
+  return c;
+}
+
+std::unique_ptr<Compiled> compile_balanced(const std::string& src) {
+  return compile(src, driver::Mode::Warnings, /*match_sequences=*/true);
+}
+
+constexpr const char* kKindMismatch = R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  var r = 0;
+  if (rank() == 0) {
+    r = mpi_iallreduce(x, sum);
+  } else {
+    r = mpi_ibarrier();
+  }
+  mpi_wait(r);
+  mpi_finalize();
+}
+)";
+
+TEST(NonblockingEndToEnd, KindMismatchCaughtByCcBeforeHang) {
+  auto c = compile(kKindMismatch);
+  ASSERT_TRUE(c->result.ok) << c->diags.to_text(c->sm);
+  // (c) the static side saw it too ...
+  EXPECT_GE(c->diags.count(DiagKind::CollectiveMismatch), 1u);
+  // ... and armed the CC protocol.
+  EXPECT_FALSE(c->result.plan.cc_stmts.empty());
+
+  interp::Executor exec(c->result.program, c->sm, &c->result.plan);
+  interp::ExecOptions opts;
+  opts.num_ranks = 2;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(2500);
+  const auto res = exec.run(opts);
+  EXPECT_FALSE(res.mpi.deadlock)
+      << "CC must fire at issue time, before the wait hangs: "
+      << res.mpi.deadlock_details;
+  ASSERT_GE(res.rt_error_count(), 1u);
+  bool found = false;
+  for (const auto& d : res.rt_diags) {
+    if (d.kind != DiagKind::RtCollectiveMismatch) continue;
+    found = true;
+    EXPECT_NE(d.message.find("MPI_Iallreduce"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("MPI_Ibarrier"), std::string::npos) << d.message;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(NonblockingEndToEnd, KindMismatchHangsWithoutInstrumentation) {
+  auto c = compile(kKindMismatch, driver::Mode::Warnings);
+  ASSERT_TRUE(c->result.ok) << c->diags.to_text(c->sm);
+  interp::Executor exec(c->result.program, c->sm, nullptr);
+  interp::ExecOptions opts;
+  opts.num_ranks = 2;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(150);
+  const auto res = exec.run(opts);
+  EXPECT_TRUE(res.mpi.deadlock);
+  EXPECT_NE(res.mpi.deadlock_details.find("MPI_Wait"), std::string::npos)
+      << res.mpi.deadlock_details;
+}
+
+TEST(NonblockingEndToEnd, MissingWaitReportedAsLeakAtFinalize) {
+  auto c = compile(R"(func main() {
+  mpi_init(single);
+  var r = mpi_ibarrier();
+  if (rank() == 0) {
+    mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)");
+  ASSERT_TRUE(c->result.ok) << c->diags.to_text(c->sm);
+  interp::Executor exec(c->result.program, c->sm, &c->result.plan);
+  interp::ExecOptions opts;
+  opts.num_ranks = 2;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(2500);
+  const auto res = exec.run(opts);
+  EXPECT_FALSE(res.mpi.deadlock) << res.mpi.deadlock_details;
+  ASSERT_GE(res.rt_error_count(), 1u);
+  bool found = false;
+  for (const auto& d : res.rt_diags) {
+    if (d.kind != DiagKind::RtRequestLeak) continue;
+    found = true;
+    EXPECT_NE(d.message.find("rank 1"), std::string::npos) << d.message;
+    EXPECT_NE(d.message.find("MPI_Ibarrier"), std::string::npos) << d.message;
+  }
+  EXPECT_TRUE(found);
+  // The substrate agrees: the leaked request shows up in the run report.
+  EXPECT_FALSE(res.mpi.leaked_requests.empty());
+}
+
+TEST(NonblockingEndToEnd, MissingIssueDeadlocksWithPerRankBlockedReport) {
+  auto c = compile(R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  if (rank() == 0) {
+    var r = mpi_iallreduce(x, sum);
+    x = mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)",
+                   driver::Mode::Warnings);
+  ASSERT_TRUE(c->result.ok) << c->diags.to_text(c->sm);
+  interp::Executor exec(c->result.program, c->sm, nullptr);
+  interp::ExecOptions opts;
+  opts.num_ranks = 2;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(150);
+  const auto res = exec.run(opts);
+  EXPECT_TRUE(res.mpi.deadlock);
+  EXPECT_NE(res.mpi.deadlock_details.find("rank 0 blocked in MPI_Wait"),
+            std::string::npos)
+      << res.mpi.deadlock_details;
+  EXPECT_NE(res.mpi.deadlock_details.find("MPI_Iallreduce[sum]"),
+            std::string::npos);
+}
+
+TEST(NonblockingEndToEnd, DoubleWaitFlaggedByRequestDiscipline) {
+  auto c = compile(R"(func main() {
+  mpi_init(single);
+  var r = mpi_ibarrier();
+  mpi_wait(r);
+  mpi_wait(r);
+  mpi_finalize();
+}
+)");
+  ASSERT_TRUE(c->result.ok) << c->diags.to_text(c->sm);
+  interp::Executor exec(c->result.program, c->sm, &c->result.plan);
+  interp::ExecOptions opts;
+  opts.num_ranks = 2;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(2500);
+  const auto res = exec.run(opts);
+  ASSERT_GE(res.rt_error_count(), 1u);
+  bool found = false;
+  for (const auto& d : res.rt_diags)
+    found |= d.kind == DiagKind::RtRequestMisuse &&
+             d.message.find("waited on twice") != std::string::npos;
+  EXPECT_TRUE(found);
+}
+
+TEST(NonblockingEndToEnd, CleanOverlapProgramStaysClean) {
+  auto c = compile(R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  var r1 = mpi_ibarrier();
+  var r2 = mpi_iallreduce(x, sum);
+  var acc = 0;
+  for (i = 0 to 10) {
+    acc = acc + i;
+  }
+  var f = mpi_test(r1);
+  while (f == 0) {
+    f = mpi_test(r1);
+  }
+  var s = mpi_wait(r2);
+  print(s, acc);
+  mpi_finalize();
+}
+)");
+  ASSERT_TRUE(c->result.ok) << c->diags.to_text(c->sm);
+  interp::Executor exec(c->result.program, c->sm, &c->result.plan);
+  interp::ExecOptions opts;
+  opts.num_ranks = 3;
+  opts.mpi.hang_timeout = std::chrono::milliseconds(2500);
+  const auto res = exec.run(opts);
+  EXPECT_TRUE(res.clean) << res.mpi.abort_reason << res.mpi.deadlock_details;
+  ASSERT_EQ(res.output.size(), 3u);
+  EXPECT_NE(res.output[0].find("6 45"), std::string::npos) << res.output[0];
+}
+
+// ---- (c) Algorithm 1 over nonblocking sequences -------------------------------
+
+TEST(NonblockingStatic, DivergentWaitSequenceFlagged) {
+  // Same issue on both paths but only one waits: the MPI_Wait label makes
+  // the branches unbalanced.
+  auto c = compile(R"(func main() {
+  mpi_init(single);
+  var r = mpi_ibarrier();
+  if (rank() == 0) {
+    mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)",
+                   driver::Mode::Warnings);
+  ASSERT_TRUE(c->result.ok);
+  EXPECT_GE(c->diags.count(DiagKind::CollectiveMismatch), 1u)
+      << c->diags.to_text(c->sm);
+}
+
+TEST(NonblockingStatic, BalancedNonblockingBranchesNotFlaggedWithMatching) {
+  // With sequence matching on, identical issue+wait sequences on both
+  // branches (including the MPI_Wait labels) are recognized as balanced.
+  auto c = compile_balanced(R"(func main() {
+  mpi_init(single);
+  var x = rank() + 1;
+  var r = 0;
+  if (rank() == 0) {
+    r = mpi_iallreduce(x, sum);
+    mpi_wait(r);
+  } else {
+    r = mpi_iallreduce(x, sum);
+    mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)");
+  ASSERT_TRUE(c->result.ok);
+  EXPECT_EQ(c->diags.count(DiagKind::CollectiveMismatch), 0u)
+      << c->diags.to_text(c->sm);
+}
+
+TEST(NonblockingStatic, DivergentWaitSurvivesSequenceMatching) {
+  // Matching must NOT balance away a branch whose only difference is the
+  // missing wait: issue on both paths, wait on one.
+  auto c = compile_balanced(R"(func main() {
+  mpi_init(single);
+  var r = mpi_ibarrier();
+  if (rank() == 0) {
+    mpi_wait(r);
+  }
+  mpi_finalize();
+}
+)");
+  ASSERT_TRUE(c->result.ok);
+  EXPECT_GE(c->diags.count(DiagKind::CollectiveMismatch), 1u)
+      << c->diags.to_text(c->sm);
+}
+
+TEST(NonblockingStatic, DivergentIssueKindsFlaggedWithBothLabels) {
+  auto c = compile(kKindMismatch, driver::Mode::Warnings);
+  ASSERT_TRUE(c->result.ok);
+  ASSERT_GE(c->diags.count(DiagKind::CollectiveMismatch), 1u);
+  const std::string text = c->diags.to_text(c->sm);
+  EXPECT_TRUE(text.find("MPI_Iallreduce") != std::string::npos ||
+              text.find("MPI_Ibarrier") != std::string::npos)
+      << text;
+}
+
+} // namespace
+} // namespace parcoach

@@ -93,6 +93,68 @@ TEST(CcProtocol, TypeOnlyModeIsPaperFaithful) {
   EXPECT_TRUE(rep.deadlock) << "the op mismatch then hangs in the collective";
 }
 
+TEST(CcProtocol, TypeOnlyModeRootDivergenceHangs) {
+  // Paper-faithful mode on a *root* divergence: kinds agree so CC passes,
+  // and the wrong root becomes a hang the watchdog reports — not a CC abort.
+  SourceManager sm;
+  World w(fast_world(2));
+  VerifierOptions vopts;
+  vopts.check_arguments = false;
+  Verifier v(sm, vopts, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    v.check_cc(mpi, ir::CollectiveKind::Bcast, {}, std::nullopt, mpi.rank());
+    mpi.bcast(1, mpi.rank());
+  });
+  EXPECT_EQ(v.error_count(), 0u) << "type-only CC must not see the root";
+  EXPECT_TRUE(rep.deadlock) << "root divergence must surface as a hang";
+  EXPECT_NE(rep.deadlock_details.find("root="), std::string::npos)
+      << rep.deadlock_details;
+}
+
+TEST(CcProtocol, CoversNonblockingKinds) {
+  // The agreement distinguishes Ibarrier from Iallreduce (and from their
+  // blocking counterparts) at issue time.
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    const auto kind = mpi.rank() == 0 ? ir::CollectiveKind::Ibarrier
+                                      : ir::CollectiveKind::Iallreduce;
+    v.check_cc(mpi, kind, {});
+    const int64_t r = mpi.rank() == 0
+                          ? mpi.ibarrier()
+                          : mpi.iallreduce(1, simmpi::ReduceOp::Sum);
+    mpi.wait(r);
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock) << "CC must fire before the waits hang";
+  ASSERT_EQ(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("MPI_Ibarrier"), std::string::npos);
+  EXPECT_NE(v.diagnostics()[0].message.find("MPI_Iallreduce"),
+            std::string::npos);
+}
+
+TEST(CcProtocol, BlockingVsNonblockingKindDistinguished) {
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    const auto kind = mpi.rank() == 0 ? ir::CollectiveKind::Barrier
+                                      : ir::CollectiveKind::Ibarrier;
+    v.check_cc(mpi, kind, {});
+    if (mpi.rank() == 0) {
+      mpi.barrier();
+    } else {
+      mpi.wait(mpi.ibarrier());
+    }
+  });
+  EXPECT_FALSE(rep.deadlock);
+  ASSERT_EQ(v.error_count(), 1u);
+  const auto& msg = v.diagnostics()[0].message;
+  EXPECT_NE(msg.find("MPI_Barrier"), std::string::npos);
+  EXPECT_NE(msg.find("MPI_Ibarrier"), std::string::npos);
+}
+
 TEST(CcProtocol, RootDivergenceCaught) {
   SourceManager sm;
   World w(fast_world(2));
@@ -211,6 +273,93 @@ TEST(RegionGuard, SelfOverlapDetected) {
   ASSERT_GE(v.error_count(), 1u);
   EXPECT_NE(v.diagnostics()[0].message.find("overlaps itself"),
             std::string::npos);
+}
+
+TEST(RegionGuard, LoopIterationReentryIsFine) {
+  // The same region entered once per loop iteration, strictly sequentially
+  // (the conforming shape): never a self-overlap.
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    for (int iter = 0; iter < 6; ++iter) {
+      Verifier::RegionGuard guard(v, mpi, /*region_id=*/3, {});
+      mpi.barrier();
+    }
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason;
+  EXPECT_EQ(v.error_count(), 0u);
+}
+
+TEST(RegionGuard, LoopCarriedSelfOverlapDetected) {
+  // A nowait single in a loop lets iteration i+1's instance start while
+  // iteration i's is still running (another thread). Model the two loop
+  // iterations as two threads racing into the SAME region id.
+  SourceManager sm;
+  World w(fast_world(1));
+  VerifierOptions vopts;
+  vopts.rendezvous = std::chrono::milliseconds(50);
+  Verifier v(sm, vopts, 1);
+  w.run([&](Rank& mpi) {
+    auto iteration = [&] {
+      try {
+        Verifier::RegionGuard guard(v, mpi, /*region_id=*/8, {});
+      } catch (const simmpi::AbortedError&) {
+      }
+    };
+    std::thread next_iter(iteration);
+    iteration();
+    next_iter.join();
+  });
+  ASSERT_GE(v.error_count(), 1u);
+  EXPECT_EQ(v.diagnostics()[0].kind, DiagKind::RtConcurrentCollectives);
+  EXPECT_NE(v.diagnostics()[0].message.find("overlaps itself"),
+            std::string::npos);
+}
+
+TEST(CcProtocol, FinalSentinelAgainstNonblockingIssue) {
+  // Rank 0 leaves main while rank 1 is about to issue an Iallreduce: the
+  // sentinel names both sides.
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    if (mpi.rank() == 0) {
+      v.check_cc_final(mpi, {});
+    } else {
+      v.check_cc(mpi, ir::CollectiveKind::Iallreduce, {},
+                 simmpi::ReduceOp::Sum, -1);
+      mpi.wait(mpi.iallreduce(1, simmpi::ReduceOp::Sum));
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock);
+  ASSERT_GE(v.error_count(), 1u);
+  const auto& msg = v.diagnostics()[0].message;
+  EXPECT_NE(msg.find("leave main"), std::string::npos);
+  EXPECT_NE(msg.find("MPI_Iallreduce"), std::string::npos);
+}
+
+TEST(CcProtocol, FinalSentinelSymmetricInTypeOnlyMode) {
+  // The sentinel works identically when argument checking is off (it
+  // compares the FINAL id, not arguments).
+  SourceManager sm;
+  VerifierOptions vopts;
+  vopts.check_arguments = false;
+  World w(fast_world(2));
+  Verifier v(sm, vopts, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    if (mpi.rank() == 0) {
+      v.check_cc_final(mpi, {});
+    } else {
+      v.check_cc(mpi, ir::CollectiveKind::Barrier, {});
+      mpi.barrier();
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock);
+  ASSERT_GE(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("leave main"), std::string::npos);
 }
 
 TEST(RegionGuard, SequentialRegionsAreFine) {
