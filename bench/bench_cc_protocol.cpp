@@ -1,7 +1,15 @@
-// CC-protocol cost: latency of one collective-consistency round (an
-// allgather of collective ids on the dedicated verifier communicator) as a
-// function of the number of MPI processes — the marginal cost the paper's
-// instrumentation adds per verified collective.
+// CC-protocol cost: marginal cost the instrumentation adds per verified
+// collective, for both protocols:
+//
+//   legacy       the paper's scheme — a dedicated allgather round on the
+//                verifier communicator before every instrumented collective
+//                (2 synchronization rounds per collective);
+//   piggybacked  the agreement id rides inside the application collective's
+//                own slot arrival (1 synchronization round per collective).
+//
+// The summary reports ns per instrumented collective and the measured
+// synchronization rounds per collective (from the world's slot counters) —
+// the headline number is the drop from 2 to 1.
 #include "rt/verifier.h"
 
 #include <benchmark/benchmark.h>
@@ -12,9 +20,17 @@ namespace {
 
 using namespace parcoach;
 
-/// Runs `rounds` CC checks on every rank of an n-rank world; reports
-/// nanoseconds per CC round (per rank).
-double cc_round_ns(int32_t ranks, int rounds) {
+struct ProtocolStats {
+  double ns_per_coll = 0;
+  double rounds_per_coll = 0;
+};
+
+/// Times `rounds` instrumented allreduces per rank, with `one_check` run
+/// once per collective inside the rank body; sync rounds per collective are
+/// derived from the world's slot counters.
+template <typename CheckedCollective>
+ProtocolStats protocol_cost(int32_t ranks, int rounds,
+                            CheckedCollective one_check) {
   simmpi::World::Options wopts;
   wopts.num_ranks = ranks;
   wopts.hang_timeout = std::chrono::milliseconds(10000);
@@ -23,41 +39,80 @@ double cc_round_ns(int32_t ranks, int rounds) {
   rt::Verifier verifier(sm, {}, ranks);
   const auto start = std::chrono::steady_clock::now();
   const auto rep = world.run([&](simmpi::Rank& mpi) {
-    for (int i = 0; i < rounds; ++i)
-      verifier.check_cc(mpi, ir::CollectiveKind::Allreduce, {},
-                        ir::ReduceOp::Sum, -1);
+    for (int i = 0; i < rounds; ++i) one_check(verifier, mpi);
   });
   const auto ns = std::chrono::steady_clock::now() - start;
   if (!rep.ok) std::abort();
-  return static_cast<double>(ns.count()) / rounds;
+  ProtocolStats s;
+  s.ns_per_coll = static_cast<double>(ns.count()) / rounds;
+  s.rounds_per_coll =
+      static_cast<double>(rep.app_slots_completed + rep.verifier_slots_completed) /
+      static_cast<double>(rep.app_slots_completed);
+  return s;
 }
 
-void bench_cc(benchmark::State& state) {
+/// Legacy protocol: check_cc (verifier-communicator allgather) followed by
+/// the collective — two synchronization rounds.
+ProtocolStats legacy_cost(int32_t ranks, int rounds) {
+  return protocol_cost(ranks, rounds, [](rt::Verifier& v, simmpi::Rank& mpi) {
+    v.check_cc(mpi, ir::CollectiveKind::Allreduce, {}, ir::ReduceOp::Sum, -1);
+    mpi.allreduce(1, simmpi::ReduceOp::Sum);
+  });
+}
+
+/// Piggybacked protocol: the agreement id rides the collective's own slot.
+ProtocolStats piggybacked_cost(int32_t ranks, int rounds) {
+  return protocol_cost(ranks, rounds, [](rt::Verifier& v, simmpi::Rank& mpi) {
+    simmpi::Signature sig{ir::CollectiveKind::Allreduce, -1,
+                          simmpi::ReduceOp::Sum};
+    sig.cc = v.cc_lane_id(sig.kind, sig.op, sig.root);
+    benchmark::DoNotOptimize(mpi.execute(sig, 1).scalar);
+  });
+}
+
+void bench_cc(benchmark::State& state, bool piggybacked) {
   const int32_t ranks = static_cast<int32_t>(state.range(0));
   constexpr int kRounds = 400;
   for (auto _ : state) {
-    const double per_round = cc_round_ns(ranks, kRounds);
-    state.SetIterationTime(per_round * kRounds / 1e9);
+    const ProtocolStats s = piggybacked ? piggybacked_cost(ranks, kRounds)
+                                        : legacy_cost(ranks, kRounds);
+    state.SetIterationTime(s.ns_per_coll * kRounds / 1e9);
+    state.counters["rounds_per_coll"] = benchmark::Counter(s.rounds_per_coll);
   }
   state.SetItemsProcessed(state.iterations() * kRounds);
 }
 
 void print_summary() {
-  std::cout << "\n=== CC round latency vs process count ===\n\n"
-            << "ranks    ns/CC-round\n";
+  std::cout << "\n=== CC protocol cost per instrumented collective ===\n\n"
+            << "ranks   protocol      ns/coll   sync-rounds/coll\n";
   for (int32_t ranks : {2, 4, 8}) {
-    const double ns = cc_round_ns(ranks, 1000);
-    std::cout << ranks << "        " << static_cast<long>(ns) << "\n";
+    const ProtocolStats legacy = legacy_cost(ranks, 1000);
+    const ProtocolStats piggy = piggybacked_cost(ranks, 1000);
+    std::cout << ranks << "       legacy        "
+              << static_cast<long>(legacy.ns_per_coll) << "      "
+              << legacy.rounds_per_coll << "\n"
+              << ranks << "       piggybacked   "
+              << static_cast<long>(piggy.ns_per_coll) << "      "
+              << piggy.rounds_per_coll << "\n";
   }
-  std::cout << "\nShape to check: grows with rank count (allgather over more "
-               "participants), stays in\nthe microsecond range — cheap next "
-               "to any real collective.\n";
+  std::cout << "\nShape to check: piggybacked runs exactly 1.0 sync round per "
+               "collective (the\ncollective itself) where legacy pays 2.0, and "
+               "ns/coll drops accordingly.\n";
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-  benchmark::RegisterBenchmark("CcProtocol/round", bench_cc)
+  benchmark::RegisterBenchmark("CcProtocol/legacy",
+                               [](benchmark::State& st) { bench_cc(st, false); })
+      ->Arg(2)
+      ->Arg(4)
+      ->Arg(8)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(2);
+  benchmark::RegisterBenchmark("CcProtocol/piggybacked",
+                               [](benchmark::State& st) { bench_cc(st, true); })
       ->Arg(2)
       ->Arg(4)
       ->Arg(8)

@@ -12,8 +12,17 @@
 //               rank-uniform, the warnings disappear, and so do the checks
 //               (the refinement's runtime payoff).
 //   blanket     checks at every site (the ablation upper bound).
-// The summary reports wall-clock overhead vs `none` and the number of CC
-// rounds actually executed (verifier communicator slots).
+// The summary reports wall-clock overhead vs `none`, the number of CC
+// agreements actually executed, and the measured synchronization rounds per
+// collective (1.0 with the piggybacked protocol — the CC id rides inside
+// the application collective's own slot, so no dedicated round remains).
+//
+// Flags (accepted before the google-benchmark flags):
+//   --json=PATH   write machine-readable results to PATH (BENCH_runtime.json
+//                 in CI) with ns per kernel/level, overhead vs none, CC
+//                 rounds and sync rounds per collective.
+//   --smoke       skip the registered google-benchmark runs and produce the
+//                 summary/JSON from fewer repetitions (CI smoke step).
 #include "driver/pipeline.h"
 #include "interp/executor.h"
 #include "support/str.h"
@@ -21,6 +30,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 
@@ -75,6 +85,8 @@ std::vector<Kernel> kernels() {
 
 enum class Level { None, Selective, Taint, Blanket };
 
+constexpr const char* kLevelNames[] = {"none", "selective", "taint", "blanket"};
+
 struct Compiled {
   SourceManager sm;
   driver::CompileResult result;
@@ -105,7 +117,8 @@ std::unique_ptr<Compiled> compile_kernel(const Kernel& k) {
 
 struct RunStats {
   double ns = 0;
-  uint64_t cc_rounds = 0;
+  uint64_t cc_rounds = 0;         // CC agreements executed (piggybacked)
+  double rounds_per_coll = 1.0;   // sync rounds per application collective
 };
 
 RunStats run_once(const Compiled& c, Level level) {
@@ -122,8 +135,15 @@ RunStats run_once(const Compiled& c, Level level) {
   const auto result = exec.run(eopts);
   const auto ns = std::chrono::steady_clock::now() - start;
   if (!result.clean) std::abort();
-  return RunStats{static_cast<double>(ns.count()),
-                  result.mpi.verifier_slots_completed};
+  RunStats s;
+  s.ns = static_cast<double>(ns.count());
+  s.cc_rounds = result.mpi.cc_piggybacked + result.mpi.verifier_slots_completed;
+  if (result.mpi.app_slots_completed > 0)
+    s.rounds_per_coll =
+        static_cast<double>(result.mpi.app_slots_completed +
+                            result.mpi.verifier_slots_completed) /
+        static_cast<double>(result.mpi.app_slots_completed);
+  return s;
 }
 
 void bench_run(benchmark::State& state, size_t kernel, Level level) {
@@ -140,18 +160,15 @@ void bench_run(benchmark::State& state, size_t kernel, Level level) {
 
 void register_benchmarks() {
   static const auto ks = kernels();
-  static const struct {
-    Level level;
-    const char* label;
-  } kLevels[] = {{Level::None, "none"},
-                 {Level::Selective, "selective"},
-                 {Level::Taint, "taint"},
-                 {Level::Blanket, "blanket"}};
+  static constexpr Level kLevels[] = {Level::None, Level::Selective,
+                                      Level::Taint, Level::Blanket};
   for (size_t k = 0; k < ks.size(); ++k) {
-    for (const auto& l : kLevels) {
+    for (Level level : kLevels) {
       benchmark::RegisterBenchmark(
-          (std::string("RuntimeOverhead/") + ks[k].name + "/" + l.label).c_str(),
-          [k, level = l.level](benchmark::State& st) { bench_run(st, k, level); })
+          (std::string("RuntimeOverhead/") + ks[k].name + "/" +
+           kLevelNames[static_cast<size_t>(level)])
+              .c_str(),
+          [k, level](benchmark::State& st) { bench_run(st, k, level); })
           ->Unit(benchmark::kMillisecond)
           ->UseManualTime()
           ->Iterations(3);
@@ -163,54 +180,124 @@ double min_of(const std::vector<double>& v) {
   return *std::min_element(v.begin(), v.end());
 }
 
-void print_summary() {
-  constexpr int kReps = 5;
+struct LevelResult {
+  double ns = 0;          // best-of-reps wall clock
+  double overhead = 0;    // vs `none`, fractional
+  uint64_t cc_rounds = 0;
+  double rounds_per_coll = 1.0;
+};
+
+struct KernelResult {
+  std::string kernel;
+  LevelResult levels[4]; // indexed by Level
+};
+
+std::vector<KernelResult> measure_all(int reps) {
+  std::vector<KernelResult> out;
+  for (const auto& k : kernels()) {
+    const auto c = compile_kernel(k);
+    KernelResult kr;
+    kr.kernel = k.name;
+    std::vector<double> ns[4];
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t l = 0; l < 4; ++l) {
+        const auto s = run_once(*c, static_cast<Level>(l));
+        ns[l].push_back(s.ns);
+        kr.levels[l].cc_rounds = s.cc_rounds;
+        kr.levels[l].rounds_per_coll = s.rounds_per_coll;
+      }
+    }
+    for (size_t l = 0; l < 4; ++l) kr.levels[l].ns = min_of(ns[l]);
+    for (size_t l = 0; l < 4; ++l)
+      kr.levels[l].overhead = kr.levels[l].ns / kr.levels[0].ns - 1.0;
+    out.push_back(std::move(kr));
+  }
+  return out;
+}
+
+void print_summary(const std::vector<KernelResult>& results, int reps) {
   std::cout << "\n=== Runtime-check overhead (2 ranks x 2 threads, best of "
-            << kReps << " runs) ===\n\n"
+            << reps << " runs) ===\n\n"
             << std::left << std::setw(26) << "kernel" << std::right
             << std::setw(12) << "none ms" << std::setw(14) << "selective %"
             << std::setw(10) << "taint %" << std::setw(12) << "blanket %"
             << std::setw(10) << "cc(sel)" << std::setw(10) << "cc(tnt)"
-            << std::setw(10) << "cc(blkt)" << '\n';
-  for (const auto& k : kernels()) {
-    const auto c = compile_kernel(k);
-    std::vector<double> none, sel, tnt, blk;
-    uint64_t cc_sel = 0, cc_tnt = 0, cc_blk = 0;
-    for (int rep = 0; rep < kReps; ++rep) {
-      none.push_back(run_once(*c, Level::None).ns);
-      const auto s = run_once(*c, Level::Selective);
-      sel.push_back(s.ns);
-      cc_sel = s.cc_rounds;
-      const auto t = run_once(*c, Level::Taint);
-      tnt.push_back(t.ns);
-      cc_tnt = t.cc_rounds;
-      const auto b = run_once(*c, Level::Blanket);
-      blk.push_back(b.ns);
-      cc_blk = b.cc_rounds;
-    }
-    const double n = min_of(none);
-    std::cout << std::left << std::setw(26) << k.name << std::right
-              << std::setw(12) << std::fixed << std::setprecision(2) << n / 1e6
-              << std::setw(13) << std::setprecision(1)
-              << 100.0 * (min_of(sel) / n - 1.0) << '%' << std::setw(9)
-              << 100.0 * (min_of(tnt) / n - 1.0) << '%' << std::setw(11)
-              << 100.0 * (min_of(blk) / n - 1.0) << '%' << std::setw(10)
-              << cc_sel << std::setw(10) << cc_tnt << std::setw(10) << cc_blk
-              << '\n';
+            << std::setw(10) << "cc(blkt)" << std::setw(12) << "rounds/coll"
+            << '\n';
+  for (const auto& kr : results) {
+    std::cout << std::left << std::setw(26) << kr.kernel << std::right
+              << std::setw(12) << std::fixed << std::setprecision(2)
+              << kr.levels[0].ns / 1e6 << std::setw(13) << std::setprecision(1)
+              << 100.0 * kr.levels[1].overhead << '%' << std::setw(9)
+              << 100.0 * kr.levels[2].overhead << '%' << std::setw(11)
+              << 100.0 * kr.levels[3].overhead << '%' << std::setw(10)
+              << kr.levels[1].cc_rounds << std::setw(10)
+              << kr.levels[2].cc_rounds << std::setw(10)
+              << kr.levels[3].cc_rounds << std::setw(12)
+              << std::setprecision(2) << kr.levels[3].rounds_per_coll << '\n';
   }
   std::cout << "\nShape to check: taint-refined plans drop to ~0% (zero CC "
                "rounds) on these clean\nkernels; unrefined selective pays "
                "CC on loop collectives (conservative Algorithm 1,\nas in "
-               "the original tool); blanket is the upper bound.\n";
+               "the original tool); blanket is the upper bound. With the "
+               "piggybacked protocol\nevery level runs 1.0 sync round per "
+               "collective — the dedicated CC round is gone.\n";
+}
+
+void write_json(const std::string& path, const std::vector<KernelResult>& results) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n  \"protocol\": \"piggybacked\",\n  \"kernels\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& kr = results[i];
+    os << "    {\n      \"kernel\": \"" << kr.kernel << "\",\n"
+       << "      \"levels\": {\n";
+    for (size_t l = 0; l < 4; ++l) {
+      const auto& lv = kr.levels[l];
+      os << "        \"" << kLevelNames[l] << "\": {"
+         << "\"ns\": " << static_cast<long long>(lv.ns)
+         << ", \"overhead_vs_none\": " << std::fixed << std::setprecision(4)
+         << lv.overhead << ", \"cc_rounds\": " << lv.cc_rounds
+         << ", \"sync_rounds_per_collective\": " << std::setprecision(4)
+         << lv.rounds_per_coll << "}" << (l + 1 < 4 ? "," : "") << "\n";
+    }
+    os << "      }\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
 }
 
 } // namespace
 
 int main(int argc, char** argv) {
-  register_benchmarks();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  print_summary();
+  std::string json_path;
+  bool smoke = false;
+  // Strip our flags before handing argv to google-benchmark.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!smoke) {
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const int reps = smoke ? 2 : 5;
+  const auto results = measure_all(reps);
+  print_summary(results, reps);
+  if (!json_path.empty()) write_json(json_path, results);
   return 0;
 }

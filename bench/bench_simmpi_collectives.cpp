@@ -7,6 +7,8 @@
 #include <benchmark/benchmark.h>
 
 #include <iostream>
+#include <thread>
+#include <vector>
 
 namespace {
 
@@ -59,7 +61,39 @@ double op_latency_ns(Op op, int32_t ranks, int rounds) {
   });
   const auto ns = std::chrono::steady_clock::now() - start;
   if (!rep.ok) std::abort();
+  // Slot-engine accounting: every collective must cost exactly one
+  // synchronization round (one completed slot).
+  if (rep.app_slots_completed != static_cast<uint64_t>(rounds)) std::abort();
   return static_cast<double>(ns.count()) / rounds;
+}
+
+/// Multithreaded hammering: `threads` per rank race same-signature
+/// allreduces through the slot engine (MPI_THREAD_MULTIPLE, no external
+/// serialization). Exercises the per-slot parking + atomic arrival path the
+/// single-threaded curves cannot: with the old communicator-wide mutex and
+/// thundering-herd notify_all this scaled badly with thread count.
+double mt_allreduce_ns(int32_t ranks, int threads, int rounds_per_thread) {
+  simmpi::World::Options wopts;
+  wopts.num_ranks = ranks;
+  wopts.hang_timeout = std::chrono::milliseconds(10000);
+  simmpi::World world(wopts);
+  const auto start = std::chrono::steady_clock::now();
+  const auto rep = world.run([&](Rank& mpi) {
+    mpi.init(parcoach::ir::ThreadLevel::Multiple);
+    auto worker = [&] {
+      for (int i = 0; i < rounds_per_thread; ++i)
+        benchmark::DoNotOptimize(mpi.allreduce(1, simmpi::ReduceOp::Sum));
+    };
+    std::vector<std::thread> ts;
+    for (int t = 1; t < threads; ++t) ts.emplace_back(worker);
+    worker();
+    for (auto& t : ts) t.join();
+  });
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!rep.ok) std::abort();
+  const uint64_t total = static_cast<uint64_t>(threads) * rounds_per_thread;
+  if (rep.app_slots_completed != total) std::abort();
+  return static_cast<double>(ns.count()) / static_cast<double>(total);
 }
 
 void bench_collective(benchmark::State& state, Op op) {
@@ -71,7 +105,8 @@ void bench_collective(benchmark::State& state, Op op) {
 }
 
 void print_summary() {
-  std::cout << "\n=== simmpi collective latency (ns/op) ===\n\nop          ";
+  std::cout << "\n=== simmpi collective latency (ns/op, 1 slot round per op) "
+               "===\n\nop          ";
   for (int32_t ranks : {2, 4, 8}) std::cout << "  ranks=" << ranks << "  ";
   std::cout << '\n';
   for (Op op : {Op::Barrier, Op::Bcast, Op::Allreduce, Op::Allgather,
@@ -84,6 +119,15 @@ void print_summary() {
                 << "      ";
     std::cout << '\n';
   }
+  std::cout << "\n=== multithreaded allreduce (2 ranks, ns/op vs threads/rank) "
+               "===\n\n";
+  for (int threads : {1, 2, 4}) {
+    std::cout << "threads=" << threads << "    "
+              << static_cast<long>(mt_allreduce_ns(2, threads, 400)) << '\n';
+  }
+  std::cout << "\nShape to check: per-op latency grows gently with rank count; "
+               "the multithreaded\ncurve must not explode with thread count "
+               "(per-slot parking, no thundering herd).\n";
 }
 
 } // namespace
@@ -100,6 +144,20 @@ int main(int argc, char** argv) {
         ->Unit(benchmark::kMillisecond)
         ->Iterations(2);
   }
+  benchmark::RegisterBenchmark("SimMpi/allreduce_mt", [](benchmark::State& st) {
+    const int threads = static_cast<int>(st.range(0));
+    constexpr int kRounds = 300;
+    for (auto _ : st)
+      st.SetIterationTime(mt_allreduce_ns(2, threads, kRounds) * kRounds *
+                          threads / 1e9);
+    st.SetItemsProcessed(st.iterations() * kRounds * threads);
+  })
+      ->Arg(1)
+      ->Arg(2)
+      ->Arg(4)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond)
+      ->Iterations(2);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -99,7 +99,7 @@ public:
     ts.omp = &root;
     call_function(*main_fn, {}, ts);
     if (shared_.plan && shared_.plan->cc_final_in_main)
-      shared_.verifier->check_cc_final(rank_, main_fn->loc);
+      shared_.verifier->check_cc_final_piggybacked(rank_, main_fn->loc);
   }
 
 private:
@@ -395,9 +395,12 @@ private:
     }
     // Planned runtime checks, in paper order: occupancy first (validates the
     // monothread assumption), then CC (validates sequence agreement), then
-    // the collective itself. Nonblocking collectives are checked at *issue*
-    // time — that is where the slot is claimed, so that is where divergence
-    // must be stopped.
+    // the collective itself. The CC agreement is piggybacked: the id rides
+    // in the collective's own slot arrival (Signature::cc), so the check
+    // costs no dedicated synchronization round; a disagreement surfaces as
+    // CcMismatchError on exactly one thread, which produces the report.
+    // Nonblocking collectives are checked at *issue* time — that is where
+    // the slot is claimed, so that is where divergence must be stopped.
     const bool mono = shared_.plan && shared_.plan->mono_stmts.count(s.stmt_id);
     const bool cc = shared_.plan && shared_.plan->cc_stmts.count(s.stmt_id);
     std::optional<rt::Verifier::MonoGuard> mono_guard;
@@ -415,15 +418,19 @@ private:
     if (s.coll == ir::CollectiveKind::Finalize && shared_.plan)
       shared_.verifier->report_leaked_requests(
           rank_, s.loc, rank_.requests().outstanding(rank_.rank()));
-    if (cc) shared_.verifier->check_cc(rank_, s.coll, s.loc, sig.op, sig.root);
+    if (cc) sig.cc = shared_.verifier->cc_lane_id(s.coll, sig.op, sig.root);
     const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
-    if (ir::is_nonblocking(s.coll)) {
-      store_target(s, rank_.istart(sig, payload), env, ts);
-      return;
+    try {
+      if (ir::is_nonblocking(s.coll)) {
+        store_target(s, rank_.istart(sig, payload), env, ts);
+        return;
+      }
+      const auto result = rank_.execute(sig, payload);
+      if (s.coll == ir::CollectiveKind::Finalize) return;
+      store_target(s, result.scalar, env, ts);
+    } catch (const simmpi::CcMismatchError& e) {
+      shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
     }
-    const auto result = rank_.execute(sig, payload);
-    if (s.coll == ir::CollectiveKind::Finalize) return;
-    store_target(s, result.scalar, env, ts);
   }
 
   int64_t call_function(const frontend::FuncDecl& fn,

@@ -2,38 +2,71 @@
 
 #include "support/str.h"
 
+#include <cassert>
 #include <thread>
 
 namespace parcoach::rt {
 
 namespace {
 
-/// CC wire encoding. FINAL sentinel is negative; regular ids pack
-/// (kind, op, root) so argument divergence is part of the agreement when
-/// enabled: id = (kind+1)*1e6 + (op+1)*1e4 + (root+2).
+/// CC wire encoding, bit-packed into int64:
+///
+///   id = (kind+1) << 41  |  (op+1) << 33  |  (root + 2 + 2^31)
+///
+/// The FINAL sentinel is negative and never collides with packed ids (they
+/// are strictly positive). The root field is biased by 2^31 so ANY evaluated
+/// int32 root — including garbage negative roots from buggy programs — packs
+/// losslessly into its 33-bit field instead of silently carrying into the op
+/// field (the old decimal packing overflowed for root >= 9998). Field 0
+/// means "no arguments encoded" (type-only mode).
 constexpr int64_t kFinalId = -1;
-constexpr int64_t kKindBase = 1'000'000;
-constexpr int64_t kOpBase = 10'000;
+constexpr int kOpShift = 33;
+constexpr int kKindShift = 41;
+constexpr int64_t kRootBias = int64_t{1} << 31;
+
+// Invariants: kind and op+1 must fit their fields; every int32 root must fit
+// below the op field once biased.
+static_assert(ir::kNumCollectiveKinds + 1 < (1 << (kKindShift - kOpShift)),
+              "collective kind overflows its CC field");
+static_assert(kRootBias * 2 + 2 < (int64_t{1} << kOpShift),
+              "biased root overflows its CC field");
 
 int64_t encode_cc(ir::CollectiveKind kind, std::optional<ir::ReduceOp> op,
                   int32_t root, bool with_args) {
   const int64_t k = static_cast<int64_t>(kind) + 1;
-  if (!with_args) return k * kKindBase;
+  if (!with_args) return k << kKindShift;
   const int64_t o = op ? static_cast<int64_t>(*op) + 1 : 0;
-  return k * kKindBase + o * kOpBase + (root + 2);
+  const int64_t root_field = static_cast<int64_t>(root) + 2 + kRootBias;
+  assert(root_field > 0 && root_field < (int64_t{1} << kOpShift) &&
+         "biased root escaped its CC field");
+  assert(o >= 0 && o < (1 << (kKindShift - kOpShift)) &&
+         "reduce op escaped its CC field");
+  return (k << kKindShift) | (o << kOpShift) | root_field;
 }
 
 std::string cc_name(int64_t id) {
   if (id == kFinalId) return "<left main>";
-  const auto kind = static_cast<ir::CollectiveKind>(id / kKindBase - 1);
+  if (id == simmpi::kCcUnchecked) return "<unchecked>";
+  const auto kind = static_cast<ir::CollectiveKind>((id >> kKindShift) - 1);
   std::string name(ir::to_string(kind));
-  const int64_t rest = id % kKindBase;
-  const int64_t op = rest / kOpBase;
-  const int64_t root = rest % kOpBase;
+  const int64_t op = (id >> kOpShift) & ((1 << (kKindShift - kOpShift)) - 1);
+  const int64_t root_field = id & ((int64_t{1} << kOpShift) - 1);
   if (op > 0)
     name += str::cat("[", ir::to_string(static_cast<ir::ReduceOp>(op - 1)), "]");
-  if (root > 1) name += str::cat("(root=", root - 2, ")");
+  if (root_field > 0) {
+    const int64_t root = root_field - 2 - kRootBias;
+    if (root >= 0) name += str::cat("(root=", root, ")");
+  }
   return name;
+}
+
+/// Shared per-rank mismatch-detail builder ("rank 0=MPI_Bcast, rank
+/// 1=MPI_Reduce"), used by every CC report.
+std::string per_rank_detail(const std::vector<int64_t>& ids) {
+  std::string detail;
+  for (size_t r = 0; r < ids.size(); ++r)
+    detail += str::cat(r ? ", " : "", "rank ", r, "=", cc_name(ids[r]));
+  return detail;
 }
 
 } // namespace
@@ -75,12 +108,10 @@ void Verifier::check_cc(simmpi::Rank& rank, ir::CollectiveKind kind,
   // Every rank observes the same allgather result; let rank 0's thread
   // produce the report to avoid duplicates, then abort the world.
   if (rank.rank() == static_cast<int32_t>(0)) {
-    std::string detail;
-    for (size_t r = 0; r < ids.size(); ++r)
-      detail += str::cat(r ? ", " : "", "rank ", r, "=", cc_name(ids[r]));
     record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
            str::cat("CC check: MPI processes are about to execute different "
-                    "collectives (", detail, "); stopping before deadlock"));
+                    "collectives (", per_rank_detail(ids),
+                    "); stopping before deadlock"));
   }
   rank.abort(str::cat("CC mismatch detected before ", ir::to_string(kind),
                       " at ", sm_.describe(loc)));
@@ -98,16 +129,59 @@ void Verifier::check_cc_final(simmpi::Rank& rank, SourceLoc loc) {
   for (int64_t id : ids) mismatch |= id != kFinalId;
   if (!mismatch) return;
   if (rank.rank() == 0) {
-    std::string detail;
-    for (size_t r = 0; r < ids.size(); ++r)
-      detail += str::cat(r ? ", " : "", "rank ", r, "=", cc_name(ids[r]));
     record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
            str::cat("CC check: some processes leave main while others still "
-                    "execute collectives (", detail, "); stopping before "
-                    "deadlock"));
+                    "execute collectives (", per_rank_detail(ids),
+                    "); stopping before deadlock"));
   }
   rank.abort(str::cat("CC mismatch at process exit, ", sm_.describe(loc)));
   throw simmpi::AbortedError("CC mismatch at exit");
+}
+
+// ---- Piggybacked CC -----------------------------------------------------------
+
+int64_t Verifier::cc_lane_id(ir::CollectiveKind kind,
+                             std::optional<ir::ReduceOp> op,
+                             int32_t root) const {
+  return encode_cc(kind, op, root, opts_.check_arguments);
+}
+
+void Verifier::report_cc_mismatch(simmpi::Rank& rank, ir::CollectiveKind kind,
+                                  SourceLoc loc,
+                                  const simmpi::CcMismatchError& e) {
+  // The slot engine hands the full per-rank picture to exactly one thread,
+  // so the report is recorded unconditionally (no rank-0 dedup needed). The
+  // wording follows what rank 0 contributed — the thread that produced the
+  // report under the dedicated-communicator protocol.
+  const bool rank0_left_main = !e.ids.empty() && e.ids[0] == kFinalId;
+  if (rank0_left_main) {
+    record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
+           str::cat("CC check: some processes leave main while others still "
+                    "execute collectives (", per_rank_detail(e.ids),
+                    "); stopping before deadlock"));
+    rank.abort(str::cat("CC mismatch at process exit, ", sm_.describe(loc)));
+    throw simmpi::AbortedError("CC mismatch at exit");
+  }
+  record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
+         str::cat("CC check: MPI processes are about to execute different "
+                  "collectives (", per_rank_detail(e.ids),
+                  "); stopping before deadlock"));
+  rank.abort(str::cat("CC mismatch detected before ", ir::to_string(kind),
+                      " at ", sm_.describe(loc)));
+  throw simmpi::AbortedError("CC mismatch");
+}
+
+void Verifier::check_cc_final_piggybacked(simmpi::Rank& rank, SourceLoc loc) {
+  simmpi::Signature sig{ir::CollectiveKind::Finalize, -1, {}};
+  sig.cc = kFinalId;
+  try {
+    // Direct Comm access: the sentinel runs after mpi_finalize, past the
+    // Rank-level "call after finalize" guard, exactly like the legacy
+    // verifier-communicator sentinel did.
+    rank.app_comm().execute(rank.rank(), sig, 0);
+  } catch (const simmpi::CcMismatchError& e) {
+    report_cc_mismatch(rank, ir::CollectiveKind::Finalize, loc, e);
+  }
 }
 
 // ---- MonoGuard ----------------------------------------------------------------

@@ -58,6 +58,29 @@ public:
   /// CC sentinel before a process leaves main.
   void check_cc_final(simmpi::Rank& rank, SourceLoc loc);
 
+  // -- Piggybacked CC (zero extra synchronization rounds) ---------------------
+  /// CC id for an instrumented collective, to ride in simmpi::Signature::cc:
+  /// the agreement value travels inside the application collective's own
+  /// slot arrival, so the check costs no dedicated-communicator round. `op`
+  /// and `root` take part when options.check_arguments is set, exactly like
+  /// check_cc.
+  [[nodiscard]] int64_t cc_lane_id(ir::CollectiveKind kind,
+                                   std::optional<ir::ReduceOp> op = std::nullopt,
+                                   int32_t root = -1) const;
+
+  /// Reports a piggybacked CC disagreement — the CcMismatchError the slot
+  /// engine throws to exactly one thread world-wide — with the same wording
+  /// check_cc / check_cc_final produce, then aborts the world.
+  [[noreturn]] void report_cc_mismatch(simmpi::Rank& rank,
+                                       ir::CollectiveKind kind, SourceLoc loc,
+                                       const simmpi::CcMismatchError& e);
+
+  /// Piggybacked exit sentinel: deposits the FINAL id into the rank's next
+  /// application-communicator slot, where it meets whatever the other ranks
+  /// do next (their next collective, or their own sentinel) in one shared
+  /// synchronization round.
+  void check_cc_final_piggybacked(simmpi::Rank& rank, SourceLoc loc);
+
   /// RAII guard for collective-site occupancy (set S / Sipw validation).
   class MonoGuard {
   public:

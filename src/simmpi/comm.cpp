@@ -22,27 +22,25 @@ std::string BlockedInfo::describe() const {
 }
 
 void WorldState::abort(const std::string& reason) {
-  std::vector<std::condition_variable*> to_wake;
+  std::vector<std::function<void()>> wakers;
   {
     std::scoped_lock lk(mu);
-    if (!aborted) {
-      aborted = true;
-      abort_reason = reason;
-    }
-    to_wake = cvs_;
+    if (!aborted.load(std::memory_order_relaxed)) abort_reason = reason;
+    aborted.store(true, std::memory_order_release);
+    wakers = wakers_;
   }
   cv.notify_all();
-  for (auto* c : to_wake) c->notify_all();
+  for (auto& w : wakers) w();
 }
 
-bool WorldState::is_aborted() {
+std::string WorldState::reason() {
   std::scoped_lock lk(mu);
-  return aborted;
+  return abort_reason;
 }
 
-void WorldState::register_cv(std::condition_variable* waiter_cv) {
+void WorldState::register_waker(std::function<void()> waker) {
   std::scoped_lock lk(mu);
-  cvs_.push_back(waiter_cv);
+  wakers_.push_back(std::move(waker));
 }
 
 int64_t apply_reduce(ReduceOp op, int64_t a, int64_t b) noexcept {
@@ -59,11 +57,43 @@ int64_t apply_reduce(ReduceOp op, int64_t a, int64_t b) noexcept {
   return 0;
 }
 
+/// RAII publication of a thread's blocked state around a park; unregistering
+/// on unwind keeps the watchdog's view consistent on every exit path. The
+/// scope owns its record (stack frame outlives the park), so concurrent
+/// blocked threads of one rank each stay visible.
+class Comm::BlockedScope {
+public:
+  BlockedScope(Comm& c, int32_t rank, const BlockedRecord& rec)
+      : c_(c), rank_(static_cast<size_t>(rank)), rec_(rec) {
+    std::scoped_lock lk(c_.blocked_mu_);
+    c_.blocked_[rank_].push_back(&rec_);
+  }
+  ~BlockedScope() {
+    std::scoped_lock lk(c_.blocked_mu_);
+    auto& active = c_.blocked_[rank_];
+    active.erase(std::find(active.begin(), active.end(), &rec_));
+  }
+  BlockedScope(const BlockedScope&) = delete;
+  BlockedScope& operator=(const BlockedScope&) = delete;
+
+private:
+  Comm& c_;
+  size_t rank_;
+  BlockedRecord rec_;
+};
+
 Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict)
     : name_(std::move(name)), size_(size), world_(world), strict_(strict),
-      next_slot_(static_cast<size_t>(size), 0),
+      next_slot_(new std::atomic<size_t>[static_cast<size_t>(size)]),
       blocked_(static_cast<size_t>(size)) {
-  world_.register_cv(&cv_);
+  for (int32_t r = 0; r < size; ++r) next_slot_[static_cast<size_t>(r)] = 0;
+  world_.register_waker([this] {
+    wake_all_slots();
+    {
+      std::scoped_lock lk(mail_mu_);
+    }
+    mail_cv_.notify_all();
+  });
 }
 
 void Comm::compute_results(Slot& s) {
@@ -150,26 +180,102 @@ void Comm::compute_results(Slot& s) {
   }
 }
 
-Comm::Slot& Comm::ensure_slot(size_t idx) {
+Comm::Slot* Comm::slot_for(size_t idx) {
+  std::scoped_lock lk(slots_mu_);
   if (idx < slot_base_)
     throw UsageError("internal: slot index below base (double completion?)");
+  const size_t n = static_cast<size_t>(size_);
   while (slots_.size() <= idx - slot_base_) {
-    Slot s;
-    s.present.assign(static_cast<size_t>(size_), 0);
-    s.contrib.assign(static_cast<size_t>(size_), 0);
-    s.vec_contrib.assign(static_cast<size_t>(size_), {});
+    auto s = std::make_unique<Slot>();
+    s->present.assign(n, 0);
+    s->contrib.assign(n, 0);
+    s->vec_contrib.assign(n, {});
+    s->cc_ids.assign(n, kCcUnchecked);
     slots_.push_back(std::move(s));
   }
-  return slots_[idx - slot_base_];
+  return slots_[idx - slot_base_].get();
+}
+
+void Comm::cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc) {
+  if (cc != kCcNone) {
+    s.cc_ids[static_cast<size_t>(rank)] = cc;
+    s.cc_armed.store(true, std::memory_order_relaxed);
+  } else {
+    s.cc_ids[static_cast<size_t>(rank)] = kCcUnchecked;
+  }
+  // The acq_rel counter orders every lane publication before the comparison
+  // below: the arrival that reads size-1 sees all ids.
+  const int32_t seen = s.cc_seen.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (seen != size_ || !s.cc_armed.load(std::memory_order_relaxed)) return;
+  cc_checked_.fetch_add(1, std::memory_order_relaxed);
+  int64_t agreed = kCcUnchecked;
+  bool mismatch = false;
+  for (int64_t id : s.cc_ids) {
+    if (id == kCcUnchecked) continue; // unarmed arrival: not part of the vote
+    if (agreed == kCcUnchecked) agreed = id;
+    mismatch |= id != agreed;
+  }
+  if (!mismatch) return;
+  // Disagreement: this thread is the unique reporter; the slot can never
+  // complete (the ids imply at least one signature clash), so nobody blocks
+  // on a result. The verifier turns this into the CC diagnostic and aborts.
+  throw CcMismatchError(idx, s.cc_ids);
+}
+
+bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
+                  int64_t scalar, const std::vector<int64_t>& vec,
+                  const char* verb) {
+  Signature slot_sig;
+  {
+    std::scoped_lock lk(s.m);
+    if (!s.sig_stamped) {
+      s.sig = sig;
+      s.sig.cc = kCcNone; // the CC id lives in the lane, not the stamp
+      s.sig_stamped = true;
+    }
+    slot_sig = s.sig;
+  }
+  // CC agreement first: divergence must be reported before the signature
+  // clash can turn into a hang (the paper's check-before-collective order).
+  cc_lane(s, idx, rank, sig.cc);
+  if (!(slot_sig == sig)) {
+    // Strict mode is deliberately fail-fast: with 3+ ranks it can fire
+    // before the CC lane completes (the lane needs every rank), in which
+    // case the reference substrate's mismatch report wins over the CC one.
+    // Both stop the run cleanly before a hang.
+    if (strict_) fail_strict(idx, rank, sig, slot_sig, verb);
+    return false;
+  }
+  const size_t r = static_cast<size_t>(rank);
+  s.present[r] = 1;
+  s.contrib[r] = scalar;
+  s.vec_contrib[r] = vec;
+  const int32_t deposited =
+      s.deposited.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (deposited == size_) {
+    compute_results(s);
+    s.complete.store(true, std::memory_order_release);
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    world_.progress.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::scoped_lock lk(s.m);
+    }
+    s.cv.notify_all();
+  }
+  return true;
 }
 
 Comm::Result Comm::take_result(int32_t rank, Slot& s) {
   Result r;
   r.scalar = s.out_scalar[static_cast<size_t>(rank)];
   r.vec = s.out_vec[static_cast<size_t>(rank)];
-  if (++s.consumed == size_) {
-    // Pop fully consumed slots from the front to bound memory.
-    while (!slots_.empty() && slots_.front().consumed == size_) {
+  if (s.consumed.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
+    // Retire fully consumed slots from the front to bound memory. The
+    // acq_rel counter guarantees every rank copied its result out first.
+    std::scoped_lock lk(slots_mu_);
+    while (!slots_.empty() &&
+           slots_.front()->complete.load(std::memory_order_acquire) &&
+           slots_.front()->consumed.load(std::memory_order_acquire) == size_) {
       slots_.pop_front();
       ++slot_base_;
     }
@@ -177,21 +283,31 @@ Comm::Result Comm::take_result(int32_t rank, Slot& s) {
   return r;
 }
 
-void Comm::deposit(Slot& s, int32_t rank, int64_t scalar,
-                   const std::vector<int64_t>& vec) {
-  s.present[static_cast<size_t>(rank)] = 1;
-  s.contrib[static_cast<size_t>(rank)] = scalar;
-  s.vec_contrib[static_cast<size_t>(rank)] = vec;
-  ++s.arrived;
-  if (s.arrived != size_) return;
-  compute_results(s);
-  s.complete = true;
-  ++completed_;
+void Comm::wait_complete(Slot& s) {
+  std::unique_lock lk(s.m);
+  s.cv.wait(lk, [&] {
+    return s.complete.load(std::memory_order_acquire) || world_.is_aborted();
+  });
+}
+
+void Comm::wait_abort(Slot& s) {
   {
-    std::scoped_lock wlk(world_.mu);
-    ++world_.progress;
+    std::unique_lock lk(s.m);
+    s.cv.wait(lk, [&] { return world_.is_aborted(); });
   }
-  cv_.notify_all();
+  throw AbortedError(world_.reason());
+}
+
+void Comm::wake_all_slots() {
+  std::scoped_lock lk(slots_mu_);
+  for (auto& s : slots_) {
+    // Empty critical section: a waiter between its predicate check and the
+    // park holds the mutex, so the notify below cannot be lost.
+    {
+      std::scoped_lock slk(s->m);
+    }
+    s->cv.notify_all();
+  }
 }
 
 void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
@@ -201,184 +317,184 @@ void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
                rank, " ", verb, " ", sig.str(), " but slot is ",
                slot_sig.str());
   world_.abort(msg);
-  cv_.notify_all();
   throw MismatchError(msg);
 }
 
 Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
                            const std::vector<int64_t>& vec) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
 
-  const size_t idx = next_slot_[static_cast<size_t>(rank)]++;
-  Slot& s = ensure_slot(idx);
-  if (s.arrived == 0 && !s.complete) s.sig = sig;
-
-  auto& binfo = blocked_[static_cast<size_t>(rank)];
-  if (!(s.sig == sig)) {
+  const size_t idx =
+      next_slot_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+  Slot* s = slot_for(idx);
+  if (!arrive(*s, idx, rank, sig, scalar, vec, "called")) {
     // Signature mismatch: real MPI would hang or corrupt. Default: block
     // until the watchdog or a verifier aborts the world.
-    if (strict_) fail_strict(idx, rank, sig, s.sig, "called");
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.mismatch = true;
-    binfo.slot = idx;
-    binfo.sig = sig;
-    binfo.comm = name_;
-    cv_.wait(lk, [&] { return world_.is_aborted(); });
-    binfo = BlockedInfo{};
-    throw AbortedError(world_.abort_reason);
+    BlockedRecord rec;
+    rec.blocked = true;
+    rec.mismatch = true;
+    rec.slot = idx;
+    rec.sig = sig;
+    BlockedScope scope(*this, rank, rec);
+    wait_abort(*s); // throws AbortedError
   }
-
-  deposit(s, rank, scalar, vec);
-  if (!s.complete) {
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.slot = idx;
-    binfo.sig = sig;
-    binfo.comm = name_;
-    cv_.wait(lk, [&] { return s.complete || world_.is_aborted(); });
-    binfo = BlockedInfo{};
-    if (!s.complete) throw AbortedError(world_.abort_reason);
+  if (!s->complete.load(std::memory_order_acquire)) {
+    BlockedRecord rec;
+    rec.blocked = true;
+    rec.slot = idx;
+    rec.sig = sig;
+    BlockedScope scope(*this, rank, rec);
+    wait_complete(*s);
+    if (!s->complete.load(std::memory_order_acquire))
+      throw AbortedError(world_.reason());
   }
-
-  return take_result(rank, s);
+  return take_result(rank, *s);
 }
 
 size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
                   const std::vector<int64_t>& vec, bool& mismatch) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
 
   mismatch = false;
-  const size_t idx = next_slot_[static_cast<size_t>(rank)]++;
-  Slot& s = ensure_slot(idx);
-  if (s.arrived == 0 && !s.complete) s.sig = sig;
-
-  if (!(s.sig == sig)) {
-    if (strict_) fail_strict(idx, rank, sig, s.sig, "issued");
-    // Nonblocking issue never blocks: the contribution is withheld, the
-    // slot stays incomplete, and the hang surfaces at wait time.
-    mismatch = true;
-    return idx;
-  }
-
-  deposit(s, rank, scalar, vec);
+  const size_t idx =
+      next_slot_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+  Slot* s = slot_for(idx);
+  // Nonblocking issue never blocks: on a signature clash the contribution is
+  // withheld, the slot stays incomplete, and the hang surfaces at wait time
+  // (strict mode and a failed CC lane throw out of arrive instead).
+  if (!arrive(*s, idx, rank, sig, scalar, vec, "issued")) mismatch = true;
   return idx;
 }
 
 Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
                           bool mismatched) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
 
-  auto& binfo = blocked_[static_cast<size_t>(rank)];
   if (mismatched) {
     // The deferred hang of a mismatched issue: real MPI would never complete
     // this request. Publish the wait state and sleep until the world aborts.
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.mismatch = true;
-    binfo.in_wait = true;
-    binfo.slot = slot;
-    binfo.sig = sig;
-    binfo.comm = name_;
-    cv_.wait(lk, [&] { return world_.is_aborted(); });
-    binfo = BlockedInfo{};
-    throw AbortedError(world_.abort_reason);
+    BlockedRecord rec;
+    rec.blocked = true;
+    rec.mismatch = true;
+    rec.in_wait = true;
+    rec.slot = slot;
+    rec.sig = sig;
+    BlockedScope scope(*this, rank, rec);
+    Slot* s = slot_for(slot);
+    wait_abort(*s); // throws AbortedError
   }
 
-  Slot& s = ensure_slot(slot);
-  if (!s.complete) {
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.in_wait = true;
-    binfo.slot = slot;
-    binfo.sig = sig;
-    binfo.comm = name_;
-    cv_.wait(lk, [&] { return s.complete || world_.is_aborted(); });
-    binfo = BlockedInfo{};
-    if (!s.complete) throw AbortedError(world_.abort_reason);
+  Slot* s = slot_for(slot);
+  if (!s->complete.load(std::memory_order_acquire)) {
+    BlockedRecord rec;
+    rec.blocked = true;
+    rec.in_wait = true;
+    rec.slot = slot;
+    rec.sig = sig;
+    BlockedScope scope(*this, rank, rec);
+    wait_complete(*s);
+    if (!s->complete.load(std::memory_order_acquire))
+      throw AbortedError(world_.reason());
   }
-  return take_result(rank, s);
+  return take_result(rank, *s);
 }
 
 bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
   if (mismatched) return false; // never completes
-  Slot& s = ensure_slot(slot);
-  if (!s.complete) return false;
-  out = take_result(rank, s);
+  Slot* s = slot_for(slot);
+  if (!s->complete.load(std::memory_order_acquire)) return false;
+  out = take_result(rank, *s);
   return true;
 }
 
 void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
                 bool rendezvous) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  std::unique_lock lk(mail_mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
   if (dst < 0 || dst >= size_)
     throw UsageError(str::cat("send to invalid rank ", dst));
   Mailbox& box = mail_[MailKey{src, dst, tag}];
   box.messages.push_back(value);
-  {
-    std::scoped_lock wlk(world_.mu);
-    ++world_.progress;
-  }
-  cv_.notify_all();
+  world_.progress.fetch_add(1, std::memory_order_relaxed);
+  mail_cv_.notify_all();
   if (!rendezvous) return;
   // Rendezvous: wait until a receiver consumed this message (box drained to
   // before-our-message level is hard to track exactly; we wait until our
   // message is gone, which for FIFO order means all earlier ones went too).
-  auto& binfo = blocked_[static_cast<size_t>(src)];
-  binfo = BlockedInfo{};
-  binfo.blocked = true;
-  binfo.comm = name_;
-  binfo.p2p = str::cat("send to ", dst, " tag ", tag, " (rendezvous)");
+  BlockedRecord rec;
+  rec.blocked = true;
+  rec.p2p = BlockedRecord::P2p::Send;
+  rec.peer = dst;
+  rec.tag = tag;
+  BlockedScope scope(*this, src, rec);
   const size_t target = box.messages.size() - 1; // entries that must drain
-  cv_.wait(lk, [&] {
+  mail_cv_.wait(lk, [&] {
     return world_.is_aborted() ||
            mail_[MailKey{src, dst, tag}].messages.size() <= target;
   });
-  binfo = BlockedInfo{};
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
 }
 
 int64_t Comm::recv(int32_t dst, int32_t src, int32_t tag) {
-  std::unique_lock lk(mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.abort_reason);
+  std::unique_lock lk(mail_mu_);
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
   if (src < 0 || src >= size_)
     throw UsageError(str::cat("recv from invalid rank ", src));
   Mailbox& box = mail_[MailKey{src, dst, tag}];
-  auto& binfo = blocked_[static_cast<size_t>(dst)];
   if (box.messages.empty()) {
-    binfo = BlockedInfo{};
-    binfo.blocked = true;
-    binfo.comm = name_;
-    binfo.p2p = str::cat("recv from ", src, " tag ", tag);
-    cv_.wait(lk, [&] { return world_.is_aborted() || !box.messages.empty(); });
-    binfo = BlockedInfo{};
+    BlockedRecord rec;
+    rec.blocked = true;
+    rec.p2p = BlockedRecord::P2p::Recv;
+    rec.peer = src;
+    rec.tag = tag;
+    BlockedScope scope(*this, dst, rec);
+    mail_cv_.wait(lk, [&] { return world_.is_aborted() || !box.messages.empty(); });
     if (world_.is_aborted() && box.messages.empty())
-      throw AbortedError(world_.abort_reason);
+      throw AbortedError(world_.reason());
   }
   const int64_t v = box.messages.front();
   box.messages.pop_front();
-  {
-    std::scoped_lock wlk(world_.mu);
-    ++world_.progress;
-  }
-  cv_.notify_all();
+  world_.progress.fetch_add(1, std::memory_order_relaxed);
+  mail_cv_.notify_all();
   return v;
 }
 
 std::vector<BlockedInfo> Comm::blocked_snapshot() {
-  std::scoped_lock lk(mu_);
-  return blocked_;
+  // Copy the PODs under the lock, then materialize the report strings
+  // outside any contention with the blocking paths. One line per rank: the
+  // most recently parked thread speaks for the rank.
+  std::vector<BlockedRecord> recs(blocked_.size());
+  {
+    std::scoped_lock lk(blocked_mu_);
+    for (size_t i = 0; i < blocked_.size(); ++i)
+      if (!blocked_[i].empty()) recs[i] = *blocked_[i].back();
+  }
+  std::vector<BlockedInfo> out(recs.size());
+  for (size_t i = 0; i < recs.size(); ++i) {
+    const BlockedRecord& r = recs[i];
+    BlockedInfo& b = out[i];
+    b.blocked = r.blocked;
+    b.mismatch = r.mismatch;
+    b.in_wait = r.in_wait;
+    b.slot = r.slot;
+    b.sig = r.sig;
+    if (!r.blocked) continue;
+    b.comm = name_;
+    if (r.p2p == BlockedRecord::P2p::Send)
+      b.p2p = str::cat("send to ", r.peer, " tag ", r.tag, " (rendezvous)");
+    else if (r.p2p == BlockedRecord::P2p::Recv)
+      b.p2p = str::cat("recv from ", r.peer, " tag ", r.tag);
+  }
+  return out;
 }
 
-uint64_t Comm::completed_slots() {
-  std::scoped_lock lk(mu_);
-  return completed_;
+bool Comm::any_blocked() {
+  std::scoped_lock lk(blocked_mu_);
+  for (const auto& active : blocked_) {
+    if (!active.empty()) return true;
+  }
+  return false;
 }
 
 } // namespace parcoach::simmpi

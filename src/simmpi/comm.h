@@ -11,15 +11,35 @@
 // All entry points are fully thread-safe: with MPI_THREAD_MULTIPLE, several
 // threads of one rank may call concurrently; each call consumes its own slot
 // index, faithfully reproducing the desynchronization such races cause.
+//
+// Slot engine (lock-light). Arrival claims the rank's next index with an
+// atomic fetch-add, looks the slot up under a short structure lock, and then
+// operates on per-slot state only: contributions land in per-rank lanes
+// (disjoint indices, no lock), the last depositor computes results and
+// publishes them with a release store on `complete`, and readers consume
+// them after an acquire load without retaking any communicator-wide lock.
+// Waiters park on the slot's own mutex/condvar instead of one communicator
+// condition variable, so a completion wakes exactly the ranks of that slot.
+//
+// CC lane (piggybacked agreement). A Signature may carry a CC id
+// (Signature::cc); the id rides in the rank's slot arrival, so the paper's
+// collective-consistency agreement costs zero extra synchronization rounds
+// for blocking collectives. When every rank has arrived at a slot, the
+// arrival that completed the lane compares the armed ids; on disagreement it
+// throws CcMismatchError carrying the per-rank picture — before the slot can
+// complete (and therefore before the mismatched application collectives can
+// deadlock). The id is not part of the matching signature.
 #pragma once
 
 #include "ir/collective.h"
 #include "simmpi/errors.h"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <map>
 #include <optional>
@@ -31,39 +51,58 @@ namespace parcoach::simmpi {
 using ir::CollectiveKind;
 using ir::ReduceOp;
 
-/// Collective call signature; all ranks must agree per slot.
+/// Signature::cc value for "no CC id piggybacked on this call".
+inline constexpr int64_t kCcNone = INT64_MIN;
+/// CC-lane entry recorded for an arrival that carried no id while other
+/// arrivals at the slot did (mixed instrumentation); excluded from the
+/// agreement comparison.
+inline constexpr int64_t kCcUnchecked = INT64_MIN + 1;
+
+/// Collective call signature; all ranks must agree per slot. `cc` is the
+/// piggybacked CC-agreement id (kCcNone when the call is uninstrumented);
+/// it rides in the slot's CC lane and does NOT take part in slot matching.
 struct Signature {
   CollectiveKind kind{};
   int32_t root = -1;
   std::optional<ReduceOp> op;
+  int64_t cc = kCcNone;
 
-  friend bool operator==(const Signature&, const Signature&) = default;
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.kind == b.kind && a.root == b.root && a.op == b.op;
+  }
   [[nodiscard]] std::string str() const;
 };
 
 /// Shared world state: abort flag + progress heartbeat for the watchdog.
-/// Communicators register their condition variables so that an abort wakes
-/// every rank blocked anywhere in the world.
+/// Communicators register wakers so that an abort wakes every rank blocked
+/// anywhere in the world (per-slot condvars included).
 struct WorldState {
-  std::mutex mu;
+  std::mutex mu; // guards abort_reason / registries; flags are atomics
   std::condition_variable cv;
-  bool aborted = false;
+  std::atomic<bool> aborted{false};
   std::string abort_reason;
-  uint64_t progress = 0; // bumped on every slot completion
+  std::atomic<uint64_t> progress{0}; // bumped on every slot completion
 
   /// Sets the abort flag (first reason wins) and wakes all waiters of all
   /// registered communicators.
   void abort(const std::string& reason);
-  [[nodiscard]] bool is_aborted();
-  void register_cv(std::condition_variable* waiter_cv);
+  [[nodiscard]] bool is_aborted() const noexcept {
+    return aborted.load(std::memory_order_acquire);
+  }
+  /// Abort reason (thread-safe copy).
+  [[nodiscard]] std::string reason();
+  /// Registers a callback run on abort (communicators wake their per-slot
+  /// parkers and mail waiters through this).
+  void register_waker(std::function<void()> waker);
 
 private:
-  std::vector<std::condition_variable*> cvs_;
+  std::vector<std::function<void()>> wakers_;
 };
 
 /// Per-rank blocked-state snapshot for deadlock reports. Every blocked path
 /// fills `comm` (communicator name) and, for slot waits, `sig`/`slot`, so
 /// watchdog reports read uniformly for collectives, requests and p2p.
+/// Materialized from POD records only when a snapshot is actually taken.
 struct BlockedInfo {
   bool blocked = false;
   bool mismatch = false; // arrived with a signature that differs from slot's
@@ -94,15 +133,28 @@ public:
   /// Executes one blocking collective for `rank`. `scalar` is the rank's
   /// scalar contribution; `vec` its vector contribution (for scatter at
   /// root / alltoall). Blocks until all ranks arrive at the slot (or the
-  /// world aborts -> AbortedError / strict mismatch -> MismatchError).
+  /// world aborts -> AbortedError / strict mismatch -> MismatchError /
+  /// piggybacked CC disagreement -> CcMismatchError on the one arrival that
+  /// completed the slot's CC lane).
   Result execute(int32_t rank, const Signature& sig, int64_t scalar,
                  const std::vector<int64_t>& vec = {});
 
-  /// Snapshot of who is blocked where (for the watchdog's report).
+  /// Snapshot of who is blocked where (for the watchdog's report); the
+  /// human-readable strings are built here, not on the blocking hot path.
   [[nodiscard]] std::vector<BlockedInfo> blocked_snapshot();
+  /// Cheap poll: is any rank currently blocked in this communicator?
+  [[nodiscard]] bool any_blocked();
 
   /// Number of completed slots (tests & stats).
-  [[nodiscard]] uint64_t completed_slots();
+  [[nodiscard]] uint64_t completed_slots() const noexcept {
+    return completed_.load(std::memory_order_relaxed);
+  }
+  /// Number of slots whose piggybacked CC lane ran a full agreement
+  /// comparison (one per instrumented collective — the "rounds" the CC
+  /// protocol adds beyond the collective itself: zero).
+  [[nodiscard]] uint64_t cc_checked_slots() const noexcept {
+    return cc_checked_.load(std::memory_order_relaxed);
+  }
 
   // -- Nonblocking slot access (the request engine) ---------------------------
   /// Issues a nonblocking collective: claims `rank`'s next slot, stamps or
@@ -110,6 +162,7 @@ public:
   /// On a signature mismatch nothing is deposited: strict mode aborts the
   /// world immediately (MismatchError); otherwise `mismatch` is set and the
   /// hang surfaces when the request is waited on. Returns the slot index.
+  /// A piggybacked CC id is compared like in execute() (issue-time check).
   size_t post(int32_t rank, const Signature& sig, int64_t scalar,
               const std::vector<int64_t>& vec, bool& mismatch);
 
@@ -137,30 +190,79 @@ public:
 
 private:
   struct Slot {
+    // Stamped by the first arriver under `m`, read-only afterwards.
     Signature sig;
-    int32_t arrived = 0;
-    int32_t consumed = 0;
-    bool complete = false;
+    bool sig_stamped = false;
+
+    // Per-rank deposit lanes: disjoint indices, written lock-free before the
+    // arrival counter's release increment.
     std::vector<uint8_t> present;
     std::vector<int64_t> contrib;
     std::vector<std::vector<int64_t>> vec_contrib;
+
+    // CC lane (piggybacked agreement). Every arrival publishes an id
+    // (kCcUnchecked when unarmed) and bumps cc_seen with acq_rel; the
+    // arrival that brings it to comm size compares the armed ids.
+    std::vector<int64_t> cc_ids;
+    std::atomic<int32_t> cc_seen{0};
+    std::atomic<bool> cc_armed{false};
+
+    // Completion: deposited counts matching-signature contributions; the
+    // last depositor computes results and release-publishes `complete`.
+    std::atomic<int32_t> deposited{0};
+    std::atomic<bool> complete{false};
+    std::atomic<int32_t> consumed{0};
     std::vector<int64_t> out_scalar;
     std::vector<std::vector<int64_t>> out_vec;
+
+    // Per-slot parking lot: waiters of this slot only.
+    std::mutex m;
+    std::condition_variable cv;
   };
 
+  /// POD blocked-state record; strings are materialized only by
+  /// blocked_snapshot() (the watchdog), never on the blocking path.
+  struct BlockedRecord {
+    bool blocked = false;
+    bool mismatch = false;
+    bool in_wait = false;
+    size_t slot = 0;
+    Signature sig;
+    enum class P2p : uint8_t { None, Send, Recv } p2p = P2p::None;
+    int32_t peer = -1;
+    int32_t tag = 0;
+  };
+
+  /// RAII publication of a thread's blocked state around a park. Each scope
+  /// owns its record and registers it per rank, so several blocked threads
+  /// of one rank (MPI_THREAD_MULTIPLE) stay individually visible to the
+  /// watchdog — one thread unblocking must not hide another still parked.
+  class BlockedScope;
+
   void compute_results(Slot& s);
-  /// Grows slots_ until `idx` exists; returns the slot. Requires mu_ held.
-  Slot& ensure_slot(size_t idx);
-  /// Extracts `rank`'s result from a complete slot and pops fully consumed
-  /// slots off the front. Requires mu_ held.
+  /// Returns the slot for `idx`, creating it if needed (short structure
+  /// lock only; the returned pointer stays valid until the slot retires).
+  Slot* slot_for(size_t idx);
+  /// One arrival: stamps/checks the signature, runs the piggybacked CC
+  /// lane, deposits on match. Returns false when the signature mismatched
+  /// (caller parks for the hang); throws on strict mismatch / CC failure.
+  bool arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
+              int64_t scalar, const std::vector<int64_t>& vec,
+              const char* verb);
+  /// Publishes the CC id and, as the lane-completing arrival, compares the
+  /// agreement. Requires no locks; throws CcMismatchError on disagreement.
+  void cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc);
+  /// Extracts `rank`'s result from a complete slot (lock-free) and retires
+  /// fully consumed slots off the front.
   Result take_result(int32_t rank, Slot& s);
-  /// Records `rank`'s contribution; when the last rank arrives, computes
-  /// results, marks the slot complete, bumps world progress and wakes
-  /// waiters. Requires mu_ held.
-  void deposit(Slot& s, int32_t rank, int64_t scalar,
-               const std::vector<int64_t>& vec);
+  /// Parks until the slot completes or the world aborts.
+  void wait_complete(Slot& s);
+  /// Parks until the world aborts (signature-mismatch hang), then throws.
+  [[noreturn]] void wait_abort(Slot& s);
+  /// Wakes every parked waiter of every live slot (abort path).
+  void wake_all_slots();
   /// Strict-mode signature clash: aborts the world and throws. `verb` is
-  /// "called" (blocking) or "issued" (nonblocking). Requires mu_ held.
+  /// "called" (blocking) or "issued" (nonblocking).
   [[noreturn]] void fail_strict(size_t idx, int32_t rank, const Signature& sig,
                                 const Signature& slot_sig, const char* verb);
 
@@ -178,14 +280,25 @@ private:
     int32_t recv_waiting = 0; // receivers blocked on this key (rendezvous)
   };
 
-  std::mutex mu_;
-  std::condition_variable cv_;
+  // Mailboxes keep the classic lock (p2p is not the hot path).
+  std::mutex mail_mu_;
+  std::condition_variable mail_cv_;
   std::map<MailKey, Mailbox> mail_;
-  std::deque<Slot> slots_;
+
+  // Slot storage: unique_ptr gives address stability while the deque
+  // mutates; slots_mu_ guards only the structure, never a wait.
+  std::mutex slots_mu_;
+  std::deque<std::unique_ptr<Slot>> slots_;
   size_t slot_base_ = 0; // index of slots_.front()
-  std::vector<size_t> next_slot_;
-  std::vector<BlockedInfo> blocked_;
-  uint64_t completed_ = 0;
+  std::unique_ptr<std::atomic<size_t>[]> next_slot_;
+
+  std::mutex blocked_mu_; // guards blocked_ (slow path + watchdog only)
+  /// Active blocked records per rank, newest last; entries point into live
+  /// BlockedScope frames and are unregistered on scope exit.
+  std::vector<std::vector<const BlockedRecord*>> blocked_;
+
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> cc_checked_{0};
 };
 
 /// Applies a reduction operator.

@@ -6,8 +6,10 @@
 // RunReport — they never escape to the caller.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace parcoach::simmpi {
 
@@ -15,6 +17,21 @@ namespace parcoach::simmpi {
 class AbortedError : public std::runtime_error {
 public:
   explicit AbortedError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Piggybacked CC agreement failed at a slot: the arrival that completed the
+/// slot's CC lane (exactly one thread world-wide) throws this with the full
+/// per-rank id vector so the runtime verifier can produce the same report the
+/// dedicated-communicator allgather used to, without the second
+/// synchronization round. Only slots armed through Signature::cc can raise it.
+class CcMismatchError : public std::runtime_error {
+public:
+  CcMismatchError(size_t slot_idx, std::vector<int64_t> per_rank_ids)
+      : std::runtime_error("piggybacked CC mismatch"), slot(slot_idx),
+        ids(std::move(per_rank_ids)) {}
+
+  size_t slot;
+  std::vector<int64_t> ids; // per-rank CC ids gathered by the slot
 };
 
 /// The watchdog declared a hang (collective mismatch left ranks blocked).

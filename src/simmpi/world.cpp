@@ -222,35 +222,30 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   }
 
   // Watchdog: no progress for hang_timeout while not everyone finished and
-  // at least one rank is blocked in a collective => declare deadlock.
+  // at least one rank is blocked in a collective => declare deadlock. The
+  // cheap poll reads the atomic heartbeat and POD blocked flags only; the
+  // human-readable snapshot is materialized just for the final report.
   uint64_t last_progress = 0;
   auto last_change = std::chrono::steady_clock::now();
   while (finished.load() < opts_.num_ranks) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     if (state_.is_aborted()) break;
-    uint64_t progress;
-    {
-      std::scoped_lock lk(state_.mu);
-      progress = state_.progress;
-    }
+    const uint64_t progress = state_.progress.load(std::memory_order_relaxed);
     const auto now = std::chrono::steady_clock::now();
     if (progress != last_progress) {
       last_progress = progress;
       last_change = now;
       continue;
     }
-    const auto app_blocked = app_comm_->blocked_snapshot();
-    const auto ver_blocked = verifier_comm_->blocked_snapshot();
-    bool any_blocked = false;
-    for (const auto& b : app_blocked) any_blocked |= b.blocked;
-    for (const auto& b : ver_blocked) any_blocked |= b.blocked;
-    if (!any_blocked) {
+    if (!app_comm_->any_blocked() && !verifier_comm_->any_blocked()) {
       last_change = now; // ranks are computing, not stuck in MPI
       continue;
     }
     if (now - last_change < opts_.hang_timeout) continue;
 
     // Deadlock: build the arrival map, then abort so blocked ranks unwind.
+    const auto app_blocked = app_comm_->blocked_snapshot();
+    const auto ver_blocked = verifier_comm_->blocked_snapshot();
     std::ostringstream os;
     os << "hang detected: no collective progress for "
        << std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -285,6 +280,8 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   }
   report.app_slots_completed = app_comm_->completed_slots();
   report.verifier_slots_completed = verifier_comm_->completed_slots();
+  report.cc_piggybacked =
+      app_comm_->cc_checked_slots() + verifier_comm_->cc_checked_slots();
   for (int32_t r = 0; r < opts_.num_ranks; ++r)
     for (const auto& leak : requests_->outstanding(r))
       report.leaked_requests.push_back(str::cat("rank ", r, ": ", leak));

@@ -132,6 +132,11 @@ struct RunReport {
   std::vector<std::string> leaked_requests;
   uint64_t app_slots_completed = 0;
   uint64_t verifier_slots_completed = 0;
+  /// CC agreements that rode inside application slots (piggybacked checks):
+  /// each one is a runtime CC check that cost zero extra synchronization
+  /// rounds. Legacy dedicated-communicator rounds show up in
+  /// verifier_slots_completed instead.
+  uint64_t cc_piggybacked = 0;
 };
 
 class World {

@@ -150,9 +150,9 @@ TEST(CcProtocol, BlockingVsNonblockingKindDistinguished) {
   });
   EXPECT_FALSE(rep.deadlock);
   ASSERT_EQ(v.error_count(), 1u);
-  const auto& msg = v.diagnostics()[0].message;
-  EXPECT_NE(msg.find("MPI_Barrier"), std::string::npos);
-  EXPECT_NE(msg.find("MPI_Ibarrier"), std::string::npos);
+  const auto diags = v.diagnostics();
+  EXPECT_NE(diags[0].message.find("MPI_Barrier"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("MPI_Ibarrier"), std::string::npos);
 }
 
 TEST(CcProtocol, RootDivergenceCaught) {
@@ -335,9 +335,9 @@ TEST(CcProtocol, FinalSentinelAgainstNonblockingIssue) {
   EXPECT_FALSE(rep.ok);
   EXPECT_FALSE(rep.deadlock);
   ASSERT_GE(v.error_count(), 1u);
-  const auto& msg = v.diagnostics()[0].message;
-  EXPECT_NE(msg.find("leave main"), std::string::npos);
-  EXPECT_NE(msg.find("MPI_Iallreduce"), std::string::npos);
+  const auto diags = v.diagnostics();
+  EXPECT_NE(diags[0].message.find("leave main"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("MPI_Iallreduce"), std::string::npos);
 }
 
 TEST(CcProtocol, FinalSentinelSymmetricInTypeOnlyMode) {
