@@ -1,0 +1,166 @@
+// Communicator scaling: collectives/sec as the number of live communicators
+// grows 1 -> 8 on one world.
+//
+// Each point duplicates MPI_COMM_WORLD until C communicators are live, then
+// every rank drives allreduces round-robin across all C handles (all through
+// the registry's handle path, so the curve includes the resolve cost — the
+// honest price of first-class communicators). Flat ns/collective across the
+// sweep means per-comm slot engines scale independently; a rising curve
+// would expose contention in the registry or the watchdog polling.
+//
+// Flags (accepted before the google-benchmark flags):
+//   --json=PATH   write machine-readable results to PATH (BENCH_comm.json in
+//                 CI) with ns/collective and collectives/sec per point.
+//   --smoke       skip the registered google-benchmark runs and produce the
+//                 summary/JSON from fewer iterations (CI smoke step).
+#include "simmpi/world.h"
+#include "support/str.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <vector>
+
+namespace {
+
+using namespace parcoach;
+using simmpi::Rank;
+using simmpi::ReduceOp;
+using simmpi::Signature;
+using simmpi::World;
+
+constexpr int32_t kRanks = 4;
+constexpr int kCommCounts[] = {1, 2, 4, 8};
+
+struct Point {
+  int comms = 1;
+  double ns_per_coll = 0;
+  double colls_per_sec = 0;
+  uint64_t slots = 0;
+};
+
+/// One sweep point: C live comms, `iters` collectives per rank round-robin.
+Point run_once(int n_comms, int iters) {
+  World::Options o;
+  o.num_ranks = kRanks;
+  o.hang_timeout = std::chrono::milliseconds(10000);
+  World w(o);
+  const auto start = std::chrono::steady_clock::now();
+  const auto rep = w.run([&](Rank& mpi) {
+    std::vector<int64_t> comms{Rank::kCommWorld};
+    for (int c = 1; c < n_comms; ++c)
+      comms.push_back(mpi.comm_dup(Rank::kCommWorld));
+    const Signature sum{ir::CollectiveKind::Allreduce, -1, ReduceOp::Sum};
+    for (int i = 0; i < iters; ++i)
+      mpi.execute_on(comms[static_cast<size_t>(i) % comms.size()], sum, 1);
+  });
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!rep.ok) std::abort();
+  Point p;
+  p.comms = n_comms;
+  p.ns_per_coll = static_cast<double>(ns.count()) / iters;
+  p.colls_per_sec = 1e9 / p.ns_per_coll;
+  p.slots = rep.app_slots_completed;
+  return p;
+}
+
+std::vector<Point> measure_all(int iters, int reps) {
+  std::vector<Point> out;
+  for (int c : kCommCounts) {
+    Point best;
+    for (int r = 0; r < reps; ++r) {
+      const Point p = run_once(c, iters);
+      if (r == 0 || p.ns_per_coll < best.ns_per_coll) best = p;
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+void bench_point(benchmark::State& state) {
+  const int comms = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const Point p = run_once(comms, 2000);
+    state.SetIterationTime(p.ns_per_coll * 2000 / 1e9);
+    state.counters["ns_per_coll"] = benchmark::Counter(p.ns_per_coll);
+  }
+}
+
+void print_summary(const std::vector<Point>& points, int iters) {
+  std::cout << "\n=== Communicator scaling (" << kRanks
+            << " ranks, round-robin allreduce, " << iters
+            << " colls/rank) ===\n\n"
+            << std::left << std::setw(10) << "comms" << std::right
+            << std::setw(16) << "ns/collective" << std::setw(18)
+            << "collectives/s" << std::setw(12) << "slots" << '\n';
+  for (const auto& p : points) {
+    std::cout << std::left << std::setw(10) << p.comms << std::right
+              << std::setw(16) << std::fixed << std::setprecision(0)
+              << p.ns_per_coll << std::setw(18) << p.colls_per_sec
+              << std::setw(12) << p.slots << '\n';
+  }
+  std::cout << "\nShape to check: ns/collective stays roughly flat as live "
+               "comms grow — per-comm\nslot engines are independent; only "
+               "the registry resolve is shared.\n";
+}
+
+void write_json(const std::string& path, const std::vector<Point>& points) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n  \"ranks\": " << kRanks << ",\n  \"points\": [\n";
+  for (size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    os << "    {\"comms\": " << p.comms << ", \"ns_per_collective\": "
+       << std::fixed << std::setprecision(1) << p.ns_per_coll
+       << ", \"collectives_per_sec\": " << std::setprecision(0)
+       << p.colls_per_sec << ", \"slots\": " << p.slots << "}"
+       << (i + 1 < points.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!smoke) {
+    for (int c : kCommCounts) {
+      benchmark::RegisterBenchmark(
+          str::cat("CommScaling/live_comms:", c).c_str(), bench_point)
+          ->Arg(c)
+          ->Unit(benchmark::kMillisecond)
+          ->UseManualTime()
+          ->Iterations(3);
+    }
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const int iters = smoke ? 1500 : 6000;
+  const int reps = smoke ? 2 : 4;
+  const auto points = measure_all(iters, reps);
+  print_summary(points, iters);
+  if (!json_path.empty()) write_json(json_path, points);
+  return 0;
+}

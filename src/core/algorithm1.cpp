@@ -101,6 +101,10 @@ tainted_vars_of(const Function& fn, const std::vector<std::string>& tainted_para
                     in.collective == ir::CollectiveKind::Gather ||
                     in.collective == ir::CollectiveKind::Reduce ||
                     in.collective == ir::CollectiveKind::Scan;
+            // A split handle is per-process data when the color is: ranks
+            // with different colors hold handles to different communicators.
+            if (in.collective == ir::CollectiveKind::CommSplit)
+              taint = !in.args.empty() && expr_reads_rank(in.args[0], tainted);
             break;
           case Opcode::WaitReq:
           case Opcode::TestReq:
@@ -140,8 +144,20 @@ bool returns_tainted(const Function& fn,
   return rank_branch && returns > 1;
 }
 
+/// Communicator equivalence-class suffix of a collective site ("" = world).
+/// Matching is partitioned per class: an MPI_Allreduce on MPI_COMM_WORLD and
+/// one on a split communicator are different labels, so each class gets its
+/// own PDF+ divergence analysis. The textual criterion is conservative —
+/// different spellings of the same handle keep the warning, like the root
+/// criterion below.
+std::string comm_class_of(const Instruction& in) {
+  if (in.op != Opcode::CollComm || !in.comm) return "";
+  return str::cat("@", ir::to_string(*in.comm));
+}
+
 std::string label_of(const Instruction& in) {
-  if (in.op == Opcode::CollComm) return std::string(ir::to_string(in.collective));
+  if (in.op == Opcode::CollComm)
+    return str::cat(ir::to_string(in.collective), comm_class_of(in));
   if (in.op == Opcode::WaitReq) return "MPI_Wait";
   if (in.op == Opcode::WaitAllReq) return "MPI_Waitall";
   return str::cat("call ", in.callee, "()");
@@ -192,7 +208,9 @@ private:
 
     std::string own;
     for (const auto& in : fn_.block(b).instrs) {
-      const bool coll = in.op == Opcode::CollComm || in.is_request_sync();
+      const bool coll =
+          (in.op == Opcode::CollComm && ir::is_matched(in.collective)) ||
+          in.is_request_sync();
       const bool call = in.op == Opcode::Call && sums_.find(in.callee) &&
                         sums_.find(in.callee)->has_collective;
       if (coll || call) {
@@ -307,13 +325,19 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
     // a given collective-bearing callee.
     std::map<std::string, std::vector<BlockId>> seeds;
     std::map<std::string, std::vector<SourceLoc>> seed_locs;
+    bool has_split = false;
     for (const auto& bb : fn->blocks()) {
       for (const auto& in : bb.instrs) {
+        has_split |= in.op == Opcode::CollComm &&
+                     in.collective == ir::CollectiveKind::CommSplit;
         // Nonblocking collective/wait pairs both count as collective labels:
         // a rank-dependent branch that issues (or waits on) a different
         // nonblocking sequence desynchronizes slot matching exactly like a
-        // divergent blocking collective.
-        const bool coll = in.op == Opcode::CollComm || in.is_request_sync();
+        // divergent blocking collective. CommFree is local (never matched),
+        // so a rank-guarded free is not a divergence.
+        const bool coll =
+            (in.op == Opcode::CollComm && ir::is_matched(in.collective)) ||
+            in.is_request_sync();
         const bool call = in.op == Opcode::Call && sums.find(in.callee) &&
                           sums.find(in.callee)->has_collective;
         if (!coll && !call) continue;
@@ -322,6 +346,40 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
         if (std::find(blocks.begin(), blocks.end(), bb.id) == blocks.end())
           blocks.push_back(bb.id);
         seed_locs[label].push_back(in.loc);
+      }
+    }
+    // Rank-colored splits: a comm_split whose color depends on rank() makes
+    // processes join *different* communicators, and collectives subsequently
+    // issued on the result belong to per-process comm classes the static
+    // matcher cannot align — so the split itself is a divergence point
+    // (conservative: a program whose color groups stay balanced remains a
+    // false positive, exactly like balanced branches). The taint walk is
+    // paid only by functions that actually contain a split.
+    if (has_split) {
+      const auto local_taint =
+          tainted_vars_of(*fn, tainted_params[fn->name], &tainted_ret);
+      for (const auto& bb : fn->blocks()) {
+        for (const auto& in : bb.instrs) {
+          if (in.op != Opcode::CollComm ||
+              in.collective != ir::CollectiveKind::CommSplit)
+            continue;
+          if (in.args.empty() || !expr_reads_rank(in.args[0], local_taint))
+            continue;
+          DivergencePoint dp;
+          dp.function = fn->name;
+          dp.block = bb.id;
+          dp.loc = in.loc;
+          dp.label = "MPI_Comm_split";
+          dp.rank_dependent = true;
+          dp.collective_locs = {in.loc};
+          flagged_fns.insert(fn->name);
+          diags.report(
+              Severity::Warning, DiagKind::CollectiveMismatch, in.loc,
+              "rank-dependent color in mpi_comm_split: processes join "
+              "different communicators; collective sequences are matched per "
+              "communicator and can mismatch across MPI processes");
+          result.divergences.push_back(std::move(dp));
+        }
       }
     }
     if (seeds.empty()) continue;

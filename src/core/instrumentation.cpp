@@ -7,11 +7,17 @@ namespace {
 using ir::Instruction;
 using ir::Opcode;
 
+// CommFree is local (never matched), so it is neither a checkable site nor
+// part of the census.
+bool checkable_collective(const Instruction& in) {
+  return in.op == Opcode::CollComm && ir::is_matched(in.collective);
+}
+
 size_t count_collectives(const ir::Module& m) {
   size_t n = 0;
   for (const auto& fn : m.functions())
     for (const auto& bb : fn->blocks())
-      for (const auto& in : bb.instrs) n += in.op == Opcode::CollComm;
+      for (const auto& in : bb.instrs) n += checkable_collective(in);
   return n;
 }
 
@@ -36,7 +42,7 @@ InstrumentationPlan make_plan(const ir::Module& m, const PhaseResult& phases,
     for (const auto& fn : m.functions())
       for (const auto& bb : fn->blocks())
         for (const auto& in : bb.instrs)
-          if (in.op == Opcode::CollComm) plan.cc_stmts.insert(in.stmt_id);
+          if (checkable_collective(in)) plan.cc_stmts.insert(in.stmt_id);
     plan.cc_final_in_main = m.find("main") != nullptr;
   }
   return plan;
@@ -48,7 +54,7 @@ InstrumentationPlan make_blanket_plan(const ir::Module& m) {
   for (const auto& fn : m.functions()) {
     for (const auto& bb : fn->blocks()) {
       for (const auto& in : bb.instrs) {
-        if (in.op == Opcode::CollComm) {
+        if (checkable_collective(in)) {
           plan.cc_stmts.insert(in.stmt_id);
           plan.mono_stmts.insert(in.stmt_id);
         }

@@ -43,6 +43,15 @@ struct SiteOccurrence {
   std::string root;
 };
 
+/// Diagnostic name of an expanded site, comm class included ("MPI_Allreduce"
+/// on world, "MPI_Allreduce@c" on a named communicator) — per-comm streams
+/// make the communicator part of a collective's identity in reports.
+std::string site_name(const Summaries::Expanded& e) {
+  std::string name(ir::to_string(e.kind));
+  if (!e.comm.empty()) name += str::cat("@", e.comm);
+  return name;
+}
+
 } // namespace
 
 PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
@@ -77,7 +86,7 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
     if (mono && e.ambiguous) {
       if (opts.warn_ambiguous) {
         diags.report(Severity::Warning, DiagKind::WordAmbiguity, e.loc,
-                     str::cat(ir::to_string(e.kind),
+                     str::cat(site_name(e),
                               " has ambiguous parallelism word [", e.word.str(),
                               "] (disagreeing control-flow paths); treating as "
                               "potentially multithreaded"));
@@ -94,7 +103,7 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
       if (!mono) {
         auto& d = diags.report(
             Severity::Warning, DiagKind::MultithreadedCollective, e.loc,
-            str::cat(ir::to_string(e.kind),
+            str::cat(site_name(e),
                      " may be executed by multiple threads (parallelism word [",
                      e.word.str(), "], root ", occ.root, ")"));
         for (const auto& c : e.call_chain) d.notes.emplace_back(c, "reached via call");
@@ -140,12 +149,12 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
       watch(tb.id);
       auto& d = diags.report(
           Severity::Warning, DiagKind::ConcurrentCollectives, a.loc,
-          str::cat(ir::to_string(a.kind), " and ", ir::to_string(b.kind),
+          str::cat(site_name(a), " and ", site_name(b),
                    " are in concurrent monothreaded regions (S", ta.id, " vs S",
                    tb.id, ", words [", a.word.str(), "] / [", b.word.str(),
                    "]) and may execute simultaneously"));
       d.notes.emplace_back(b.loc, str::cat("second collective (",
-                                           ir::to_string(b.kind), ") here"));
+                                           site_name(b), ") here"));
       result.concurrent.push_back(std::move(v));
     }
   }

@@ -32,7 +32,7 @@ Summaries Summaries::build(const ir::Module& m) {
       for (const auto& in : bb.instrs) {
         if (in.op == ir::Opcode::OmpBegin && in.omp == ir::OmpKind::Parallel)
           fs.has_parallel_region = true;
-        else if (in.op == ir::Opcode::CollComm)
+        else if (in.op == ir::Opcode::CollComm && ir::is_matched(in.collective))
           fs.has_collective = true;
         else if (in.op == ir::Opcode::Call)
           edges.push_back(in.callee);
@@ -75,7 +75,8 @@ Summaries Summaries::build(const ir::Module& m) {
       if (fs.words.unreachable[static_cast<size_t>(bb.id)]) continue;
       for (size_t i = 0; i < bb.instrs.size(); ++i) {
         const ir::Instruction& in = bb.instrs[i];
-        const bool coll = in.op == ir::Opcode::CollComm;
+        const bool coll =
+            in.op == ir::Opcode::CollComm && ir::is_matched(in.collective);
         const bool call =
             in.op == ir::Opcode::Call &&
             s.by_name_.count(in.callee) &&
@@ -84,6 +85,7 @@ Summaries Summaries::build(const ir::Module& m) {
         Site site;
         site.site_kind = coll ? Site::Kind::Collective : Site::Kind::Call;
         if (coll) site.collective = in.collective;
+        if (coll && in.comm) site.comm = ir::to_string(*in.comm);
         if (call) site.callee = in.callee;
         site.loc = in.loc;
         site.stmt_id = in.stmt_id;
@@ -170,6 +172,7 @@ void Summaries::expand_into(const FunctionSummary& fs, const Word& base,
       e.ambiguous = amb;
       e.loc = site.loc;
       e.stmt_id = site.stmt_id;
+      e.comm = site.comm;
       e.call_chain = chain;
       out.push_back(std::move(e));
       continue;

@@ -27,6 +27,11 @@ struct Site {
   Kind site_kind = Kind::Collective;
   ir::CollectiveKind collective{}; // valid for Collective
   std::string callee;              // valid for Call
+  /// Textual communicator equivalence class of the site ("" = world),
+  /// propagated into Expanded occurrences so phase diagnostics can name the
+  /// collective with its comm ("MPI_Allreduce@c"). Function-local sequence
+  /// partitioning by class happens in Algorithm 1 over the IR directly.
+  std::string comm;
   SourceLoc loc;
   int32_t stmt_id = -1;
   ir::BlockId block = ir::kNoBlock;
@@ -66,6 +71,8 @@ public:
     bool ambiguous = false;
     SourceLoc loc;
     int32_t stmt_id = -1;
+    /// Communicator equivalence class of the collective ("" = world).
+    std::string comm;
     std::vector<SourceLoc> call_chain; // outermost call first
     bool truncated_by_recursion = false;
   };

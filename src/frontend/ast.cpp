@@ -36,17 +36,43 @@ void print_mpi_call(std::ostream& os, const Stmt& s) {
     return;
   }
   switch (s.coll) {
-    case CollectiveKind::Barrier: os << "mpi_barrier()"; return;
+    case CollectiveKind::Barrier:
+      os << "mpi_barrier(";
+      if (s.mpi_comm) os << to_string(*s.mpi_comm);
+      os << ')';
+      return;
     case CollectiveKind::Finalize: os << "mpi_finalize()"; return;
+    case CollectiveKind::CommSplit:
+      os << "mpi_comm_split(" << to_string(*s.mpi_value) << ", "
+         << to_string(*s.mpi_root);
+      if (s.mpi_comm) os << ", " << to_string(*s.mpi_comm);
+      os << ')';
+      return;
+    case CollectiveKind::CommDup:
+      os << "mpi_comm_dup(";
+      if (s.mpi_comm) os << to_string(*s.mpi_comm);
+      os << ')';
+      return;
+    case CollectiveKind::CommFree:
+      os << "mpi_comm_free(" << to_string(*s.mpi_comm) << ')';
+      return;
     default: break;
   }
   // Name: MPI_Reduce_scatter -> mpi_reduce_scatter.
   std::string name(ir::to_string(s.coll));
   for (auto& c : name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
   os << name << '(';
-  if (s.mpi_value) os << to_string(*s.mpi_value);
-  if (s.reduce_op) os << ", " << ir::to_string(*s.reduce_op);
-  if (s.mpi_root) os << ", " << to_string(*s.mpi_root);
+  // Payload-less collectives (mpi_ibarrier) may still carry a comm, so the
+  // separator depends on what was actually printed, not on position.
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ", ";
+    first = false;
+  };
+  if (s.mpi_value) { sep(); os << to_string(*s.mpi_value); }
+  if (s.reduce_op) { sep(); os << ir::to_string(*s.reduce_op); }
+  if (s.mpi_root) { sep(); os << to_string(*s.mpi_root); }
+  if (s.mpi_comm) { sep(); os << to_string(*s.mpi_comm); }
   os << ')';
 }
 

@@ -74,9 +74,12 @@ struct Stmt {
   ir::CollectiveKind coll{};
   bool is_mpi_init = false;
   ir::ThreadLevel init_level{};
-  ir::ExprPtr mpi_value;                 // payload expression
-  ir::ExprPtr mpi_root;                  // root rank expression
+  ir::ExprPtr mpi_value;                 // payload expression; split color
+  ir::ExprPtr mpi_root;                  // root rank expression; split key
   std::optional<ir::ReduceOp> reduce_op;
+  /// Optional trailing communicator argument (null = MPI_COMM_WORLD); the
+  /// managed handle for mpi_comm_dup / mpi_comm_free.
+  ir::ExprPtr mpi_comm;
 
   // Omp construct payload.
   int32_t region_id = -1;

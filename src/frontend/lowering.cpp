@@ -146,6 +146,13 @@ private:
           in.op = Opcode::MpiInit;
           in.thread_level = s.init_level;
           mod_.requested_thread_level = s.init_level;
+        } else if (s.coll == ir::CollectiveKind::CommSplit) {
+          in.op = Opcode::CollComm;
+          in.collective = s.coll;
+          in.var = s.name;
+          in.args.push_back(s.mpi_value->clone()); // color
+          in.args.push_back(s.mpi_root->clone());  // key
+          if (s.mpi_comm) in.comm = s.mpi_comm->clone();
         } else {
           in.op = Opcode::CollComm;
           in.collective = s.coll;
@@ -153,6 +160,7 @@ private:
           if (s.mpi_value) in.args.push_back(s.mpi_value->clone());
           if (s.mpi_root) in.root = s.mpi_root->clone();
           in.reduce_op = s.reduce_op;
+          if (s.mpi_comm) in.comm = s.mpi_comm->clone();
         }
         append(std::move(in));
         break;

@@ -186,8 +186,11 @@ private:
                             declares);
     if (callee == "mpi_waitall")
       return parse_mpi_waitall(name.loc, std::move(target));
-    if (auto kind = ir::collective_from_name(callee))
+    if (auto kind = ir::collective_from_name(callee)) {
+      if (ir::is_comm_op(*kind))
+        return parse_mpi_comm_op(*kind, name.loc, std::move(target), declares);
       return parse_mpi_collective(*kind, name.loc, std::move(target), declares);
+    }
 
     auto s = make_stmt(StmtKind::CallStmt, name.loc);
     s->callee = callee;
@@ -293,10 +296,47 @@ private:
         expect(Tok::Comma, "root rank");
         s->mpi_root = parse_expr();
       }
+      // Optional trailing communicator argument (default: world).
+      if (accept(Tok::Comma)) s->mpi_comm = parse_expr();
     } else if (!s->name.empty() && !ir::produces_value(kind)) {
       error(loc, str::cat(ir::to_string(kind), " does not produce a value"));
     }
+    // Payload-less collectives take the communicator as their only argument
+    // (`mpi_barrier(c)`); mpi_finalize stays world-only by definition.
+    if (!ir::takes_payload(kind) && !at(Tok::RParen)) {
+      if (kind == ir::CollectiveKind::Finalize)
+        error(loc, "mpi_finalize takes no arguments");
+      s->mpi_comm = parse_expr();
+    }
     expect(Tok::RParen, "collective call");
+    return s;
+  }
+
+  /// var C = mpi_comm_split(color, key);  var D = mpi_comm_dup([comm]);
+  /// mpi_comm_free(comm);
+  StmtPtr parse_mpi_comm_op(ir::CollectiveKind kind, SourceLoc loc,
+                            std::string target, bool declares) {
+    auto s = make_stmt(StmtKind::MpiCall, loc);
+    s->coll = kind;
+    s->name = std::move(target);
+    if (declares) s->declares_target = true;
+    if (ir::is_comm_ctor(kind) && s->name.empty())
+      error(loc, str::cat(ir::to_string(kind), " produces a communicator that "
+                          "must be assigned"));
+    if (kind == ir::CollectiveKind::CommFree && !s->name.empty())
+      error(loc, "mpi_comm_free does not produce a value");
+    expect(Tok::LParen, "communicator call");
+    if (kind == ir::CollectiveKind::CommSplit) {
+      s->mpi_value = parse_expr(); // color
+      expect(Tok::Comma, "split key");
+      s->mpi_root = parse_expr(); // key
+      if (accept(Tok::Comma)) s->mpi_comm = parse_expr(); // parent comm
+    } else if (kind == ir::CollectiveKind::CommDup) {
+      if (!at(Tok::RParen)) s->mpi_comm = parse_expr(); // default: world
+    } else { // CommFree
+      s->mpi_comm = parse_expr();
+    }
+    expect(Tok::RParen, "communicator call");
     return s;
   }
 

@@ -52,20 +52,24 @@ private:
   }
 
   // -- Scopes ---------------------------------------------------------------
-  // Each scope maps a variable name to whether it currently holds a request
-  // handle (the result of an mpi_i* call). Request variables form a tiny
-  // second type: they may only flow into mpi_wait/mpi_test/mpi_waitall, and
-  // plain values may not be waited on.
+  // Each scope maps a variable name to the handle kind it currently holds.
+  // Requests (results of mpi_i* calls) may only flow into mpi_wait/mpi_test/
+  // mpi_waitall; communicator handles (results of mpi_comm_split/dup) may
+  // only flow into a collective's trailing comm argument or into
+  // mpi_comm_dup/mpi_comm_free. Neither is a plain value.
+  enum class VarKind : uint8_t { Plain, Request, CommHandle };
+
   void push_scope() { scopes_.emplace_back(); }
   void pop_scope() { scopes_.pop_back(); }
-  void declare(SourceLoc loc, const std::string& name, bool is_request = false) {
+  void declare(SourceLoc loc, const std::string& name,
+               VarKind kind = VarKind::Plain) {
     if (scopes_.back().count(name)) {
       error(loc, str::cat("redeclaration of '", name, "' in the same scope"));
       return;
     }
-    scopes_.back().emplace(name, is_request);
+    scopes_.back().emplace(name, kind);
   }
-  bool* find_var(const std::string& name) {
+  VarKind* find_var(const std::string& name) {
     for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
       auto vit = it->find(name);
       if (vit != it->end()) return &vit->second;
@@ -79,13 +83,17 @@ private:
   void check_expr(const ir::Expr& e) {
     e.walk([&](const ir::Expr& n) {
       if (n.kind != ir::Expr::Kind::VarRef) return;
-      bool* req = find_var(n.var);
-      if (!req)
+      VarKind* kind = find_var(n.var);
+      if (!kind)
         error(n.loc, str::cat("use of undeclared variable '", n.var, "'"));
-      else if (*req)
+      else if (*kind == VarKind::Request)
         error(n.loc, str::cat("request variable '", n.var, "' used as a "
                               "plain value; only mpi_wait/mpi_test/"
                               "mpi_waitall accept requests"));
+      else if (*kind == VarKind::CommHandle)
+        error(n.loc, str::cat("communicator variable '", n.var, "' used as a "
+                              "plain value; pass it as a collective's comm "
+                              "argument or to mpi_comm_dup/mpi_comm_free"));
     });
   }
 
@@ -97,12 +105,30 @@ private:
                             "(the result of an mpi_i* call)"));
       return;
     }
-    bool* req = find_var(e.var);
-    if (!req) {
+    VarKind* kind = find_var(e.var);
+    if (!kind) {
       error(e.loc, str::cat("use of undeclared variable '", e.var, "'"));
-    } else if (!*req) {
+    } else if (*kind != VarKind::Request) {
       error(e.loc, str::cat("'", e.var, "' is not a request variable; ", what,
                             " needs the result of an mpi_i* call"));
+    }
+  }
+
+  /// Validates a communicator argument: must be a plain reference to a
+  /// comm-handle variable (the result of mpi_comm_split / mpi_comm_dup).
+  void check_comm_arg(const ir::Expr& e, std::string_view what) {
+    if (e.kind != ir::Expr::Kind::VarRef) {
+      error(e.loc, str::cat(what, " must be a communicator variable (the "
+                            "result of mpi_comm_split or mpi_comm_dup)"));
+      return;
+    }
+    VarKind* kind = find_var(e.var);
+    if (!kind) {
+      error(e.loc, str::cat("use of undeclared variable '", e.var, "'"));
+    } else if (*kind != VarKind::CommHandle) {
+      error(e.loc, str::cat("'", e.var, "' is not a communicator variable; ",
+                            what, " needs the result of mpi_comm_split or "
+                            "mpi_comm_dup"));
     }
   }
 
@@ -110,7 +136,8 @@ private:
   void check_function(const FuncDecl& f) {
     scopes_.clear();
     push_scope();
-    for (const auto& prm : f.params) scopes_.back().emplace(prm, false);
+    for (const auto& prm : f.params)
+      scopes_.back().emplace(prm, VarKind::Plain);
     check_body(f.body, OmpCtx::None, /*omp_depth=*/0);
     pop_scope();
   }
@@ -129,26 +156,27 @@ private:
         break;
       case StmtKind::Assign:
         check_expr(*s.value);
-        if (bool* req = find_var(s.name)) {
-          *req = false; // a plain assignment overwrites any request handle
+        if (VarKind* kind = find_var(s.name)) {
+          *kind = VarKind::Plain; // a plain assignment overwrites any handle
         } else {
           error(s.loc, str::cat("assignment to undeclared variable '", s.name, "'"));
         }
         break;
       case StmtKind::If: {
         check_expr(*s.value);
-        // Branches update request-ness independently and join with OR: if
-        // either path can leave a request in a variable, later uses must
-        // treat it as a request (conservative, like the runtime checks).
+        // Branches update handle kinds independently and join conservatively:
+        // if either path can leave a request (or comm handle) in a variable,
+        // later uses must treat it as one (like the runtime checks).
         const auto before = scopes_;
         check_body(s.body, ctx, omp_depth);
         const auto after_then = scopes_;
         scopes_ = before;
         check_body(s.else_body, ctx, omp_depth);
         for (size_t i = 0; i < scopes_.size() && i < after_then.size(); ++i) {
-          for (auto& [name, req] : scopes_[i]) {
+          for (auto& [name, kind] : scopes_[i]) {
             auto it = after_then[i].find(name);
-            if (it != after_then[i].end()) req = req || it->second;
+            if (it != after_then[i].end() && kind == VarKind::Plain)
+              kind = it->second;
           }
         }
         break;
@@ -196,19 +224,30 @@ private:
         check_expr(*s.hi);
         handle_target(s);
         break;
-      case StmtKind::MpiCall:
+      case StmtKind::MpiCall: {
         if (s.is_mpi_init) {
           if (saw_init_) warn(s.loc, "mpi_init called more than once");
           saw_init_ = true;
           level_ = s.init_level;
-        } else {
-          if (s.coll == ir::CollectiveKind::Finalize) saw_finalize_ = true;
-          if (s.mpi_value) check_expr(*s.mpi_value);
-          if (s.mpi_root) check_expr(*s.mpi_root);
+          handle_target(s);
+          break;
         }
-        handle_target(s, /*is_request=*/ir::is_nonblocking(s.coll) &&
-                            !s.is_mpi_init);
+        if (s.coll == ir::CollectiveKind::Finalize) saw_finalize_ = true;
+        if (s.mpi_value) check_expr(*s.mpi_value);
+        if (s.mpi_root) check_expr(*s.mpi_root);
+        if (s.mpi_comm)
+          check_comm_arg(*s.mpi_comm,
+                         ir::is_comm_op(s.coll)
+                             ? (s.coll == ir::CollectiveKind::CommFree
+                                    ? "mpi_comm_free"
+                                    : "the parent communicator")
+                             : "the collective's comm argument");
+        VarKind result = VarKind::Plain;
+        if (ir::is_nonblocking(s.coll)) result = VarKind::Request;
+        if (ir::is_comm_ctor(s.coll)) result = VarKind::CommHandle;
+        handle_target(s, result);
         break;
+      }
       case StmtKind::MpiWait:
         check_request_arg(*s.mpi_value, "mpi_wait");
         handle_target(s);
@@ -279,12 +318,12 @@ private:
                             "section region"));
   }
 
-  void handle_target(const Stmt& s, bool is_request = false) {
+  void handle_target(const Stmt& s, VarKind kind = VarKind::Plain) {
     if (s.name.empty()) return;
     if (s.declares_target) {
-      declare(s.loc, s.name, is_request);
-    } else if (bool* req = find_var(s.name)) {
-      *req = is_request;
+      declare(s.loc, s.name, kind);
+    } else if (VarKind* k = find_var(s.name)) {
+      *k = kind;
     } else {
       error(s.loc, str::cat("assignment to undeclared variable '", s.name, "'"));
     }
@@ -293,8 +332,8 @@ private:
   const Program& p_;
   DiagnosticEngine& diags_;
   std::unordered_map<std::string, size_t> arity_;
-  /// Scope chain: variable name -> currently-holds-a-request.
-  std::vector<std::unordered_map<std::string, bool>> scopes_;
+  /// Scope chain: variable name -> the handle kind it currently holds.
+  std::vector<std::unordered_map<std::string, VarKind>> scopes_;
   std::optional<ir::ThreadLevel> level_;
   bool saw_init_ = false;
   bool saw_finalize_ = false;

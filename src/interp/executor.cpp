@@ -409,6 +409,15 @@ private:
     if (shared_.plan)
       shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
                                            is_master_chain(ts.omp), s.loc);
+
+    // Communicator management routes through the registry. Split/dup are
+    // collectives over the parent comm — the CC id (scoped by the parent's
+    // comm id) rides in their agreement round; free is local.
+    if (ir::is_comm_op(s.coll)) {
+      exec_comm_op(s, cc, env, ts);
+      return;
+    }
+
     simmpi::Signature sig;
     sig.kind = s.coll;
     sig.root = s.mpi_root
@@ -418,16 +427,58 @@ private:
     if (s.coll == ir::CollectiveKind::Finalize && shared_.plan)
       shared_.verifier->report_leaked_requests(
           rank_, s.loc, rank_.requests().outstanding(rank_.rank()));
-    if (cc) sig.cc = shared_.verifier->cc_lane_id(s.coll, sig.op, sig.root);
     const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
     try {
-      if (ir::is_nonblocking(s.coll)) {
-        store_target(s, rank_.istart(sig, payload), env, ts);
+      // The comm operand: absent = MPI_COMM_WORLD via the registry-free
+      // fast path (the blocking hot path stays lock-light); present = ONE
+      // registry resolve covers the CC id and the execution.
+      if (!s.mpi_comm) {
+        if (cc) sig.cc = shared_.verifier->cc_lane_id(s.coll, sig.op, sig.root);
+        if (ir::is_nonblocking(s.coll)) {
+          store_target(s, rank_.istart(sig, payload), env, ts);
+          return;
+        }
+        const auto result = rank_.execute(sig, payload);
+        if (s.coll == ir::CollectiveKind::Finalize) return;
+        store_target(s, result.scalar, env, ts);
         return;
       }
-      const auto result = rank_.execute(sig, payload);
-      if (s.coll == ir::CollectiveKind::Finalize) return;
-      store_target(s, result.scalar, env, ts);
+      const auto ref = rank_.comm_ref(eval(*s.mpi_comm, env, ts));
+      if (cc)
+        sig.cc = shared_.verifier->cc_lane_id(s.coll, sig.op, sig.root,
+                                              ref.comm->comm_id());
+      if (ir::is_nonblocking(s.coll)) {
+        store_target(s, rank_.istart_on(ref, sig, payload), env, ts);
+        return;
+      }
+      store_target(s, rank_.execute_on(ref, sig, payload).scalar, env, ts);
+    } catch (const simmpi::CcMismatchError& e) {
+      shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    }
+  }
+
+  /// mpi_comm_split / mpi_comm_dup / mpi_comm_free.
+  void exec_comm_op(const Stmt& s, bool cc, Env& env, ThreadState& ts) {
+    const int64_t parent =
+        s.mpi_comm ? eval(*s.mpi_comm, env, ts) : simmpi::Rank::kCommWorld;
+    if (s.coll == ir::CollectiveKind::CommFree) {
+      rank_.comm_free(parent);
+      return;
+    }
+    int64_t cc_id = simmpi::kCcNone;
+    if (cc)
+      cc_id = shared_.verifier->cc_lane_id(
+          s.coll, std::nullopt, -1, s.mpi_comm ? rank_.comm_id_of(parent) : 0);
+    try {
+      int64_t handle = 0;
+      if (s.coll == ir::CollectiveKind::CommSplit) {
+        const int64_t color = eval(*s.mpi_value, env, ts);
+        const int64_t key = eval(*s.mpi_root, env, ts);
+        handle = rank_.comm_split(parent, color, key, cc_id);
+      } else {
+        handle = rank_.comm_dup(parent, cc_id);
+      }
+      store_target(s, handle, env, ts);
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
     }

@@ -19,6 +19,9 @@ std::string_view to_string(CollectiveKind k) noexcept {
     case CollectiveKind::Ibcast: return "MPI_Ibcast";
     case CollectiveKind::Ireduce: return "MPI_Ireduce";
     case CollectiveKind::Iallreduce: return "MPI_Iallreduce";
+    case CollectiveKind::CommSplit: return "MPI_Comm_split";
+    case CollectiveKind::CommDup: return "MPI_Comm_dup";
+    case CollectiveKind::CommFree: return "MPI_Comm_free";
   }
   return "?";
 }
@@ -68,6 +71,9 @@ std::optional<CollectiveKind> collective_from_name(std::string_view name) noexce
   if (name == "mpi_ibcast") return CollectiveKind::Ibcast;
   if (name == "mpi_ireduce") return CollectiveKind::Ireduce;
   if (name == "mpi_iallreduce") return CollectiveKind::Iallreduce;
+  if (name == "mpi_comm_split") return CollectiveKind::CommSplit;
+  if (name == "mpi_comm_dup") return CollectiveKind::CommDup;
+  if (name == "mpi_comm_free") return CollectiveKind::CommFree;
   return std::nullopt;
 }
 

@@ -35,8 +35,16 @@ enum class CollectiveKind : uint8_t {
   Ibcast,
   Ireduce,
   Iallreduce,
+  // Communicator management. Split and dup are collectives *over the parent
+  // communicator* (all members must call them, in matching order — a rank
+  // that splits while its peer broadcasts is a real mismatch bug); free is a
+  // local release in this model (documented divergence from MPI, where it is
+  // collective but never synchronizing in practice).
+  CommSplit,
+  CommDup,
+  CommFree,
 };
-inline constexpr int kNumCollectiveKinds = 15;
+inline constexpr int kNumCollectiveKinds = 18;
 
 enum class ReduceOp : uint8_t { Sum, Prod, Min, Max, Land, Lor, Band, Bor };
 
@@ -70,6 +78,26 @@ enum class ThreadLevel : uint8_t { Single, Funneled, Serialized, Multiple };
   }
 }
 
+/// True for the communicator-management kinds (split/dup/free).
+[[nodiscard]] constexpr bool is_comm_op(CollectiveKind k) noexcept {
+  return k == CollectiveKind::CommSplit || k == CollectiveKind::CommDup ||
+         k == CollectiveKind::CommFree;
+}
+
+/// True for the comm-management kinds that synchronize like a collective on
+/// the parent communicator (free is local in this model).
+[[nodiscard]] constexpr bool is_comm_ctor(CollectiveKind k) noexcept {
+  return k == CollectiveKind::CommSplit || k == CollectiveKind::CommDup;
+}
+
+/// True for kinds that claim a matching slot (synchronize across ranks).
+/// CommFree is a *local* release in this model, so it never participates in
+/// sequence matching: the static analyses must not seed it as a collective
+/// label (a rank-guarded free is legal), and no CC id is armed for it.
+[[nodiscard]] constexpr bool is_matched(CollectiveKind k) noexcept {
+  return k != CollectiveKind::CommFree;
+}
+
 /// True for collectives whose call site carries a root argument.
 [[nodiscard]] constexpr bool has_root(CollectiveKind k) noexcept {
   const CollectiveKind b = blocking_counterpart(k);
@@ -84,17 +112,21 @@ enum class ThreadLevel : uint8_t { Single, Funneled, Serialized, Multiple };
          b == CollectiveKind::Scan || b == CollectiveKind::ReduceScatter;
 }
 
-/// True for collectives whose call site carries a payload expression.
+/// True for collectives whose call site carries a payload expression. The
+/// comm-management kinds have their own argument forms (color/key, comm).
 [[nodiscard]] constexpr bool takes_payload(CollectiveKind k) noexcept {
+  if (is_comm_op(k)) return false;
   const CollectiveKind b = blocking_counterpart(k);
   return b != CollectiveKind::Barrier && b != CollectiveKind::Finalize;
 }
 
 /// True for collectives that produce a value in the DSL (used as call RHS).
 /// Nonblocking collectives always produce a value: the request handle.
+/// Split/dup produce a communicator handle.
 [[nodiscard]] constexpr bool produces_value(CollectiveKind k) noexcept {
-  if (is_nonblocking(k)) return true;
-  return k != CollectiveKind::Barrier && k != CollectiveKind::Finalize;
+  if (is_nonblocking(k) || is_comm_ctor(k)) return true;
+  return k != CollectiveKind::Barrier && k != CollectiveKind::Finalize &&
+         k != CollectiveKind::CommFree;
 }
 
 } // namespace parcoach::ir

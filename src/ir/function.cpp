@@ -33,6 +33,7 @@ Instruction Instruction::clone_instr() const {
   c.collective = collective;
   c.root = root ? root->clone() : nullptr;
   c.reduce_op = reduce_op;
+  c.comm = comm ? comm->clone() : nullptr;
   c.thread_level = thread_level;
   c.omp = omp;
   c.region_id = region_id;

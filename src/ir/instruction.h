@@ -70,6 +70,11 @@ struct Instruction {
   CollectiveKind collective{};         // CollComm / CheckCC
   ExprPtr root;                        // CollComm root rank (Bcast/Reduce/...)
   std::optional<ReduceOp> reduce_op;   // CollComm reduction
+  /// CollComm communicator operand: null = MPI_COMM_WORLD. For CommSplit the
+  /// color/key live in args[0]/args[1]; for CommDup/CommFree `comm` is the
+  /// managed handle. Static analyses partition sequence matching by the
+  /// textual equivalence class of this expression.
+  ExprPtr comm;
 
   ThreadLevel thread_level{};          // MpiInit
 

@@ -38,9 +38,15 @@ void print(std::ostream& os, const Instruction& in) {
       os << ' ';
       if (!in.var.empty()) os << in.var << " = ";
       os << to_string(in.collective);
-      if (!in.args.empty()) os << " value=" << to_string(*in.args[0]);
+      if (in.collective == CollectiveKind::CommSplit) {
+        if (in.args.size() > 0) os << " color=" << to_string(*in.args[0]);
+        if (in.args.size() > 1) os << " key=" << to_string(*in.args[1]);
+      } else if (!in.args.empty()) {
+        os << " value=" << to_string(*in.args[0]);
+      }
       if (in.root) os << " root=" << to_string(*in.root);
       if (in.reduce_op) os << " op=" << to_string(*in.reduce_op);
+      if (in.comm) os << " comm=" << to_string(*in.comm);
       break;
     case Opcode::MpiInit:
       os << ' ' << to_string(in.thread_level);

@@ -11,7 +11,7 @@ namespace {
 
 /// CC wire encoding, bit-packed into int64:
 ///
-///   id = (kind+1) << 41  |  (op+1) << 33  |  (root + 2 + 2^31)
+///   id = comm_id << 47  |  (kind+1) << 41  |  (op+1) << 33  |  (root + 2 + 2^31)
 ///
 /// The FINAL sentinel is negative and never collides with packed ids (they
 /// are strictly positive). The root field is biased by 2^31 so ANY evaluated
@@ -19,35 +19,57 @@ namespace {
 /// losslessly into its 33-bit field instead of silently carrying into the op
 /// field (the old decimal packing overflowed for root >= 9998). Field 0
 /// means "no arguments encoded" (type-only mode).
+///
+/// The comm-id field carries the registry identity of the communicator the
+/// collective runs on (0 = MPI_COMM_WORLD, which keeps world-only ids — and
+/// therefore every legacy diagnostic wording — bit-identical). Without it,
+/// two identical collectives issued on *different* communicators would
+/// spuriously agree in the dedicated-round protocol and in the exit
+/// sentinel; with it, the agreement is scoped per communicator. The field is
+/// always encoded, even in type-only mode: the paper skips *argument*
+/// checking, but "which communicator" is part of the collective's identity,
+/// not an argument.
 constexpr int64_t kFinalId = -1;
 constexpr int kOpShift = 33;
 constexpr int kKindShift = 41;
+constexpr int kCommShift = 47;
 constexpr int64_t kRootBias = int64_t{1} << 31;
+/// Registry comm ids must fit the 15 bits above the kind field (bit 62 stays
+/// clear so ids remain strictly positive).
+constexpr int64_t kMaxCommId = (int64_t{1} << (62 - kCommShift)) - 1;
 
 // Invariants: kind and op+1 must fit their fields; every int32 root must fit
-// below the op field once biased.
-static_assert(ir::kNumCollectiveKinds + 1 < (1 << (kKindShift - kOpShift)),
+// below the op field once biased. The registry enforces the comm-id cap at
+// creation time (UsageError, not assert), so no id that reaches encode_cc
+// can escape its field even in NDEBUG builds.
+static_assert(simmpi::CommRegistry::kMaxCommId == kMaxCommId,
+              "registry comm-id cap out of sync with the CC field width");
+static_assert(ir::kNumCollectiveKinds + 1 < (1 << (kCommShift - kKindShift)),
               "collective kind overflows its CC field");
 static_assert(kRootBias * 2 + 2 < (int64_t{1} << kOpShift),
               "biased root overflows its CC field");
 
 int64_t encode_cc(ir::CollectiveKind kind, std::optional<ir::ReduceOp> op,
-                  int32_t root, bool with_args) {
+                  int32_t root, bool with_args, int32_t comm_id) {
+  assert(comm_id >= 0 && comm_id <= kMaxCommId &&
+         "registry comm id escaped its CC field");
+  const int64_t c = static_cast<int64_t>(comm_id) << kCommShift;
   const int64_t k = static_cast<int64_t>(kind) + 1;
-  if (!with_args) return k << kKindShift;
+  if (!with_args) return c | (k << kKindShift);
   const int64_t o = op ? static_cast<int64_t>(*op) + 1 : 0;
   const int64_t root_field = static_cast<int64_t>(root) + 2 + kRootBias;
   assert(root_field > 0 && root_field < (int64_t{1} << kOpShift) &&
          "biased root escaped its CC field");
   assert(o >= 0 && o < (1 << (kKindShift - kOpShift)) &&
          "reduce op escaped its CC field");
-  return (k << kKindShift) | (o << kOpShift) | root_field;
+  return c | (k << kKindShift) | (o << kOpShift) | root_field;
 }
 
 std::string cc_name(int64_t id) {
   if (id == kFinalId) return "<left main>";
   if (id == simmpi::kCcUnchecked) return "<unchecked>";
-  const auto kind = static_cast<ir::CollectiveKind>((id >> kKindShift) - 1);
+  const auto kind = static_cast<ir::CollectiveKind>(
+      ((id >> kKindShift) & ((1 << (kCommShift - kKindShift)) - 1)) - 1);
   std::string name(ir::to_string(kind));
   const int64_t op = (id >> kOpShift) & ((1 << (kKindShift - kOpShift)) - 1);
   const int64_t root_field = id & ((int64_t{1} << kOpShift) - 1);
@@ -57,15 +79,27 @@ std::string cc_name(int64_t id) {
     const int64_t root = root_field - 2 - kRootBias;
     if (root >= 0) name += str::cat("(root=", root, ")");
   }
+  // Non-world communicator: name the comm identity so a per-comm divergence
+  // report reads "MPI_Allreduce[sum]@comm#2". World ids stay unadorned (and
+  // bit-identical to the pre-comm encoding).
+  const int64_t comm = id >> kCommShift;
+  if (comm > 0) name += str::cat("@comm#", comm);
   return name;
 }
 
 /// Shared per-rank mismatch-detail builder ("rank 0=MPI_Bcast, rank
-/// 1=MPI_Reduce"), used by every CC report.
-std::string per_rank_detail(const std::vector<int64_t>& ids) {
+/// 1=MPI_Reduce"), used by every CC report. `world_ranks` maps each index to
+/// its world rank (empty = identity): a sub-communicator's CC ids are indexed
+/// by comm-local rank, and reports must speak world ranks like every other
+/// diagnostic in the system.
+std::string per_rank_detail(const std::vector<int64_t>& ids,
+                            const std::vector<int32_t>& world_ranks = {}) {
   std::string detail;
-  for (size_t r = 0; r < ids.size(); ++r)
-    detail += str::cat(r ? ", " : "", "rank ", r, "=", cc_name(ids[r]));
+  for (size_t r = 0; r < ids.size(); ++r) {
+    const int32_t rank =
+        world_ranks.empty() ? static_cast<int32_t>(r) : world_ranks[r];
+    detail += str::cat(r ? ", " : "", "rank ", rank, "=", cc_name(ids[r]));
+  }
   return detail;
 }
 
@@ -93,8 +127,8 @@ void Verifier::record(Severity sev, DiagKind kind, SourceLoc loc, std::string ms
 
 void Verifier::check_cc(simmpi::Rank& rank, ir::CollectiveKind kind,
                         SourceLoc loc, std::optional<ir::ReduceOp> op,
-                        int32_t root) {
-  const int64_t my_id = encode_cc(kind, op, root, opts_.check_arguments);
+                        int32_t root, int32_t comm_id) {
+  const int64_t my_id = encode_cc(kind, op, root, opts_.check_arguments, comm_id);
   std::vector<int64_t> ids;
   {
     std::scoped_lock cc_lock(*cc_mu_[static_cast<size_t>(rank.rank())]);
@@ -141,9 +175,9 @@ void Verifier::check_cc_final(simmpi::Rank& rank, SourceLoc loc) {
 // ---- Piggybacked CC -----------------------------------------------------------
 
 int64_t Verifier::cc_lane_id(ir::CollectiveKind kind,
-                             std::optional<ir::ReduceOp> op,
-                             int32_t root) const {
-  return encode_cc(kind, op, root, opts_.check_arguments);
+                             std::optional<ir::ReduceOp> op, int32_t root,
+                             int32_t comm_id) const {
+  return encode_cc(kind, op, root, opts_.check_arguments, comm_id);
 }
 
 void Verifier::report_cc_mismatch(simmpi::Rank& rank, ir::CollectiveKind kind,
@@ -157,14 +191,15 @@ void Verifier::report_cc_mismatch(simmpi::Rank& rank, ir::CollectiveKind kind,
   if (rank0_left_main) {
     record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
            str::cat("CC check: some processes leave main while others still "
-                    "execute collectives (", per_rank_detail(e.ids),
+                    "execute collectives (",
+                    per_rank_detail(e.ids, e.world_ranks),
                     "); stopping before deadlock"));
     rank.abort(str::cat("CC mismatch at process exit, ", sm_.describe(loc)));
     throw simmpi::AbortedError("CC mismatch at exit");
   }
   record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
          str::cat("CC check: MPI processes are about to execute different "
-                  "collectives (", per_rank_detail(e.ids),
+                  "collectives (", per_rank_detail(e.ids, e.world_ranks),
                   "); stopping before deadlock"));
   rank.abort(str::cat("CC mismatch detected before ", ir::to_string(kind),
                       " at ", sm_.describe(loc)));

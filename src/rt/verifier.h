@@ -51,9 +51,13 @@ public:
   /// simmpi::AbortedError into the calling rank like any abort). `op` and
   /// `root` take part in the agreement when options.check_arguments is set;
   /// root is the *evaluated* root rank (-1 for rootless collectives).
+  /// `comm_id` is the registry identity of the communicator the collective
+  /// runs on (0 = MPI_COMM_WORLD); it always takes part in the agreement, so
+  /// identical collectives on different communicators no longer spuriously
+  /// agree.
   void check_cc(simmpi::Rank& rank, ir::CollectiveKind kind, SourceLoc loc,
                 std::optional<ir::ReduceOp> op = std::nullopt,
-                int32_t root = -1);
+                int32_t root = -1, int32_t comm_id = 0);
 
   /// CC sentinel before a process leaves main.
   void check_cc_final(simmpi::Rank& rank, SourceLoc loc);
@@ -66,7 +70,8 @@ public:
   /// check_cc.
   [[nodiscard]] int64_t cc_lane_id(ir::CollectiveKind kind,
                                    std::optional<ir::ReduceOp> op = std::nullopt,
-                                   int32_t root = -1) const;
+                                   int32_t root = -1,
+                                   int32_t comm_id = 0) const;
 
   /// Reports a piggybacked CC disagreement — the CcMismatchError the slot
   /// engine throws to exactly one thread world-wide — with the same wording

@@ -13,11 +13,15 @@ std::string Signature::str() const {
   return s;
 }
 
+std::string slot_site(std::string_view comm, size_t slot) {
+  return str::cat(comm, " slot ", slot);
+}
+
 std::string BlockedInfo::describe() const {
   if (!blocked) return "not blocked";
   if (!p2p.empty()) return str::cat("blocked on ", comm, " in ", p2p);
-  return str::cat(in_wait ? "blocked in MPI_Wait on " : "blocked on ", comm,
-                  " slot ", slot, " in ", sig.str(),
+  return str::cat(in_wait ? "blocked in MPI_Wait on " : "blocked on ",
+                  slot_site(comm, slot), " in ", sig.str(),
                   mismatch ? " (signature differs from the slot's)" : "");
 }
 
@@ -82,8 +86,10 @@ private:
   BlockedRecord rec_;
 };
 
-Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict)
+Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict,
+           int32_t comm_id, std::vector<int32_t> world_ranks)
     : name_(std::move(name)), size_(size), world_(world), strict_(strict),
+      comm_id_(comm_id), world_ranks_(std::move(world_ranks)),
       next_slot_(new std::atomic<size_t>[static_cast<size_t>(size)]),
       blocked_(static_cast<size_t>(size)) {
   for (int32_t r = 0; r < size; ++r) next_slot_[static_cast<size_t>(r)] = 0;
@@ -105,7 +111,22 @@ void Comm::compute_results(Slot& s) {
   switch (ir::blocking_counterpart(sig.kind)) {
     case CollectiveKind::Barrier:
     case CollectiveKind::Finalize:
+    case CollectiveKind::CommDup: // pure agreement round; data-free
       break;
+    case CollectiveKind::CommSplit: {
+      // Every member sees all (color, key) pairs in local-rank order so the
+      // registry can compute identical groups on every rank: out_vec[r] =
+      // [color0, key0, color1, key1, ...].
+      std::vector<int64_t> pairs;
+      pairs.reserve(2 * n);
+      for (size_t q = 0; q < n; ++q) {
+        const auto& ck = s.vec_contrib[q];
+        pairs.push_back(ck.size() > 0 ? ck[0] : 0);
+        pairs.push_back(ck.size() > 1 ? ck[1] : 0);
+      }
+      for (size_t r = 0; r < n; ++r) s.out_vec[r] = pairs;
+      break;
+    }
     case CollectiveKind::Bcast: {
       const int64_t v = s.contrib[static_cast<size_t>(sig.root)];
       std::fill(s.out_scalar.begin(), s.out_scalar.end(), v);
@@ -219,7 +240,8 @@ void Comm::cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc) {
   // Disagreement: this thread is the unique reporter; the slot can never
   // complete (the ids imply at least one signature clash), so nobody blocks
   // on a result. The verifier turns this into the CC diagnostic and aborts.
-  throw CcMismatchError(idx, s.cc_ids);
+  // The local->world map rides along so the report names world ranks.
+  throw CcMismatchError(idx, s.cc_ids, world_ranks_);
 }
 
 bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
@@ -265,10 +287,11 @@ bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
   return true;
 }
 
-Comm::Result Comm::take_result(int32_t rank, Slot& s) {
+Comm::Result Comm::take_result(int32_t rank, Slot& s, size_t idx) {
   Result r;
   r.scalar = s.out_scalar[static_cast<size_t>(rank)];
   r.vec = s.out_vec[static_cast<size_t>(rank)];
+  r.slot = idx;
   if (s.consumed.fetch_add(1, std::memory_order_acq_rel) + 1 == size_) {
     // Retire fully consumed slots from the front to bound memory. The
     // acq_rel counter guarantees every rank copied its result out first.
@@ -313,8 +336,8 @@ void Comm::wake_all_slots() {
 void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
                        const Signature& slot_sig, const char* verb) {
   const std::string msg =
-      str::cat("collective mismatch on ", name_, " slot ", idx, ": rank ",
-               rank, " ", verb, " ", sig.str(), " but slot is ",
+      str::cat("collective mismatch on ", slot_site(name_, idx), ": rank ",
+               world_rank_of(rank), " ", verb, " ", sig.str(), " but slot is ",
                slot_sig.str());
   world_.abort(msg);
   throw MismatchError(msg);
@@ -348,7 +371,7 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
     if (!s->complete.load(std::memory_order_acquire))
       throw AbortedError(world_.reason());
   }
-  return take_result(rank, *s);
+  return take_result(rank, *s, idx);
 }
 
 size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
@@ -396,7 +419,7 @@ Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
     if (!s->complete.load(std::memory_order_acquire))
       throw AbortedError(world_.reason());
   }
-  return take_result(rank, *s);
+  return take_result(rank, *s, slot);
 }
 
 bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
@@ -404,7 +427,7 @@ bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
   if (mismatched) return false; // never completes
   Slot* s = slot_for(slot);
   if (!s->complete.load(std::memory_order_acquire)) return false;
-  out = take_result(rank, *s);
+  out = take_result(rank, *s, slot);
   return true;
 }
 
@@ -478,6 +501,7 @@ std::vector<BlockedInfo> Comm::blocked_snapshot() {
     b.mismatch = r.mismatch;
     b.in_wait = r.in_wait;
     b.slot = r.slot;
+    b.rank = world_rank_of(static_cast<int32_t>(i));
     b.sig = r.sig;
     if (!r.blocked) continue;
     b.comm = name_;

@@ -108,6 +108,9 @@ struct BlockedInfo {
   bool mismatch = false; // arrived with a signature that differs from slot's
   bool in_wait = false;  // blocked in MPI_Wait on a nonblocking request
   size_t slot = 0;
+  /// WORLD rank of the blocked thread (sub-communicator snapshots translate
+  /// their local indices so cross-communicator reports name one rank space).
+  int32_t rank = -1;
   Signature sig;
   std::string comm; // communicator name ("" when not blocked)
   /// Non-empty for point-to-point waits ("recv from 1 tag 0").
@@ -118,16 +121,34 @@ struct BlockedInfo {
   [[nodiscard]] std::string describe() const;
 };
 
+/// Shared site formatter ("MPI_COMM_WORLD slot 3") used by every blocked /
+/// mismatch / leak description so communicator naming stays uniform now that
+/// comm names vary (world, comm_split#N, comm_dup#N, PARCOACH_COMM).
+[[nodiscard]] std::string slot_site(std::string_view comm, size_t slot);
+
 class Comm {
 public:
-  Comm(std::string name, int32_t size, WorldState& world, bool strict);
+  /// `comm_id` is the registry-assigned identity used by the CC encoding
+  /// (0 = MPI_COMM_WORLD); `world_ranks` maps local rank -> world rank for
+  /// sub-communicators (empty = identity, i.e. a world-sized communicator).
+  Comm(std::string name, int32_t size, WorldState& world, bool strict,
+       int32_t comm_id = 0, std::vector<int32_t> world_ranks = {});
 
   [[nodiscard]] int32_t size() const noexcept { return size_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] int32_t comm_id() const noexcept { return comm_id_; }
+  /// World rank of a member (identity when no member map is attached).
+  [[nodiscard]] int32_t world_rank_of(int32_t local) const noexcept {
+    return world_ranks_.empty() ? local
+                                : world_ranks_[static_cast<size_t>(local)];
+  }
 
   struct Result {
     int64_t scalar = 0;
     std::vector<int64_t> vec;
+    /// Matching-slot index the result came from; communicator-construction
+    /// collectives key their registry creation event on (comm, slot).
+    size_t slot = 0;
   };
 
   /// Executes one blocking collective for `rank`. `scalar` is the rank's
@@ -254,7 +275,7 @@ private:
   void cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc);
   /// Extracts `rank`'s result from a complete slot (lock-free) and retires
   /// fully consumed slots off the front.
-  Result take_result(int32_t rank, Slot& s);
+  Result take_result(int32_t rank, Slot& s, size_t idx);
   /// Parks until the slot completes or the world aborts.
   void wait_complete(Slot& s);
   /// Parks until the world aborts (signature-mismatch hang), then throws.
@@ -270,6 +291,8 @@ private:
   int32_t size_;
   WorldState& world_;
   bool strict_;
+  int32_t comm_id_ = 0;
+  std::vector<int32_t> world_ranks_; // local -> world (empty = identity)
 
   struct MailKey {
     int32_t src, dst, tag;

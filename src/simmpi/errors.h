@@ -26,12 +26,22 @@ public:
 /// synchronization round. Only slots armed through Signature::cc can raise it.
 class CcMismatchError : public std::runtime_error {
 public:
-  CcMismatchError(size_t slot_idx, std::vector<int64_t> per_rank_ids)
+  CcMismatchError(size_t slot_idx, std::vector<int64_t> per_rank_ids,
+                  std::vector<int32_t> world_ranks_by_index = {})
       : std::runtime_error("piggybacked CC mismatch"), slot(slot_idx),
-        ids(std::move(per_rank_ids)) {}
+        ids(std::move(per_rank_ids)),
+        world_ranks(std::move(world_ranks_by_index)) {}
 
   size_t slot;
-  std::vector<int64_t> ids; // per-rank CC ids gathered by the slot
+  std::vector<int64_t> ids; // CC ids gathered by the slot, by comm-local rank
+  /// World rank of each index in `ids` (empty = identity, i.e. a world-sized
+  /// communicator); reports must speak world ranks, not local indices.
+  std::vector<int32_t> world_ranks;
+
+  [[nodiscard]] int32_t world_rank_of(size_t index) const noexcept {
+    return world_ranks.empty() ? static_cast<int32_t>(index)
+                               : world_ranks[index];
+  }
 };
 
 /// The watchdog declared a hang (collective mismatch left ranks blocked).

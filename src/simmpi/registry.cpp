@@ -1,0 +1,168 @@
+#include "simmpi/registry.h"
+
+#include "support/str.h"
+
+#include <algorithm>
+
+namespace parcoach::simmpi {
+
+CommRegistry::CommRegistry(WorldState& world, int32_t world_size, bool strict)
+    : world_(world), world_size_(world_size), strict_(strict) {
+  auto e = std::make_unique<Entry>();
+  e->comm = std::make_unique<Comm>("MPI_COMM_WORLD", world_size, world_,
+                                   strict_, /*comm_id=*/0);
+  e->members.resize(static_cast<size_t>(world_size));
+  e->local_of.resize(static_cast<size_t>(world_size));
+  for (int32_t r = 0; r < world_size; ++r) {
+    e->members[static_cast<size_t>(r)] = r;
+    e->local_of[static_cast<size_t>(r)] = r;
+  }
+  e->freed.assign(static_cast<size_t>(world_size), 0);
+  order_.push_back(e.get());
+  by_handle_.emplace(kWorld, std::move(e));
+}
+
+CommRegistry::Entry& CommRegistry::entry_for(int64_t handle, int32_t world_rank,
+                                             const char* what) {
+  auto it = by_handle_.find(handle);
+  if (handle == kNull || it == by_handle_.end())
+    throw UsageError(str::cat("rank ", world_rank, ": ", what,
+                              " on invalid communicator handle ", handle));
+  Entry& e = *it->second;
+  if (e.local_of[static_cast<size_t>(world_rank)] < 0)
+    throw UsageError(str::cat("rank ", world_rank, ": ", what, " on ",
+                              e.comm->name(), ", but the rank is not a member"));
+  if (e.freed[static_cast<size_t>(world_rank)])
+    throw UsageError(str::cat("rank ", world_rank, ": ", what, " on ",
+                              e.comm->name(), " after mpi_comm_free"));
+  return e;
+}
+
+Comm& CommRegistry::resolve(int64_t handle, int32_t world_rank,
+                            int32_t& local_rank) {
+  std::scoped_lock lk(mu_);
+  Entry& e = entry_for(handle, world_rank, "MPI call");
+  local_rank = e.local_of[static_cast<size_t>(world_rank)];
+  return *e.comm;
+}
+
+int32_t CommRegistry::comm_id_of(int64_t handle, int32_t world_rank) {
+  std::scoped_lock lk(mu_);
+  return entry_for(handle, world_rank, "MPI call").comm->comm_id();
+}
+
+void CommRegistry::check_capacity(size_t new_comms) {
+  // Checked for the WHOLE event before any child is created, so hitting the
+  // cap never leaves orphan comms registered under an unrecorded event.
+  if (static_cast<int64_t>(next_comm_id_) + static_cast<int64_t>(new_comms) - 1 >
+      kMaxCommId)
+    throw UsageError(str::cat("communicator limit exceeded: ", kMaxCommId,
+                              " comm ids (ids are never reused; free does "
+                              "not reclaim them)"));
+}
+
+int64_t CommRegistry::create_child(const std::string& base,
+                                   std::vector<int32_t> members) {
+  const int32_t id = next_comm_id_++;
+  const int64_t handle = next_handle_++;
+  auto e = std::make_unique<Entry>();
+  e->local_of.assign(static_cast<size_t>(world_size_), -1);
+  for (size_t l = 0; l < members.size(); ++l)
+    e->local_of[static_cast<size_t>(members[l])] = static_cast<int32_t>(l);
+  e->freed.assign(static_cast<size_t>(world_size_), 0);
+  e->comm = std::make_unique<Comm>(str::cat(base, "#", id),
+                                   static_cast<int32_t>(members.size()),
+                                   world_, strict_, id, members);
+  e->members = std::move(members);
+  order_.push_back(e.get());
+  by_handle_.emplace(handle, std::move(e));
+  created_count_.fetch_add(1, std::memory_order_release);
+  return handle;
+}
+
+int64_t CommRegistry::split(int64_t parent, int32_t world_rank, int64_t color,
+                            int64_t key, int64_t cc) {
+  int32_t local = -1;
+  Comm& p = resolve(parent, world_rank, local);
+  Signature sig{CollectiveKind::CommSplit, -1, {}};
+  sig.cc = cc;
+  // The agreement round: one slot on the parent carrying this rank's
+  // (color, key); the result is every member's pair in local-rank order.
+  const Comm::Result res = p.execute(local, sig, 0, {color, key});
+
+  std::scoped_lock lk(mu_);
+  const auto event_key = std::make_pair(p.comm_id(), res.slot);
+  auto ev = events_.find(event_key);
+  if (ev == events_.end()) {
+    // First member through: build every color group (sorted by color so
+    // creation order — and therefore naming — is deterministic), ordered by
+    // (key, world rank) within the group.
+    std::map<int64_t, std::vector<std::pair<int64_t, int32_t>>> groups;
+    const size_t n = res.vec.size() / 2;
+    for (size_t q = 0; q < n; ++q) {
+      const int64_t c = res.vec[2 * q];
+      if (c < 0) continue; // MPI_UNDEFINED-style opt-out
+      groups[c].emplace_back(res.vec[2 * q + 1],
+                             p.world_rank_of(static_cast<int32_t>(q)));
+    }
+    check_capacity(groups.size());
+    Event event;
+    for (auto& [c, members] : groups) {
+      std::sort(members.begin(), members.end());
+      std::vector<int32_t> world_ranks;
+      world_ranks.reserve(members.size());
+      for (const auto& [k, wr] : members) world_ranks.push_back(wr);
+      event.handles.emplace(c,
+                            create_child("comm_split", std::move(world_ranks)));
+    }
+    ev = events_.emplace(event_key, std::move(event)).first;
+  }
+  const int64_t handle = color < 0 ? kNull : ev->second.handles.at(color);
+  // Retire the event once every parent member retrieved its handle.
+  if (++ev->second.consumed == p.size()) events_.erase(ev);
+  return handle;
+}
+
+int64_t CommRegistry::dup(int64_t parent, int32_t world_rank, int64_t cc) {
+  int32_t local = -1;
+  Comm& p = resolve(parent, world_rank, local);
+  Signature sig{CollectiveKind::CommDup, -1, {}};
+  sig.cc = cc;
+  const Comm::Result res = p.execute(local, sig, 0);
+
+  std::scoped_lock lk(mu_);
+  const auto event_key = std::make_pair(p.comm_id(), res.slot);
+  auto ev = events_.find(event_key);
+  if (ev == events_.end()) {
+    check_capacity(1);
+    std::vector<int32_t> members;
+    members.reserve(static_cast<size_t>(p.size()));
+    for (int32_t l = 0; l < p.size(); ++l)
+      members.push_back(p.world_rank_of(l));
+    Event event;
+    event.handles.emplace(0, create_child("comm_dup", std::move(members)));
+    ev = events_.emplace(event_key, std::move(event)).first;
+  }
+  const int64_t handle = ev->second.handles.at(0);
+  if (++ev->second.consumed == p.size()) events_.erase(ev);
+  return handle;
+}
+
+void CommRegistry::free(int64_t handle, int32_t world_rank) {
+  std::scoped_lock lk(mu_);
+  if (handle == kWorld)
+    throw UsageError(
+        str::cat("rank ", world_rank, ": mpi_comm_free on MPI_COMM_WORLD"));
+  Entry& e = entry_for(handle, world_rank, "mpi_comm_free");
+  e.freed[static_cast<size_t>(world_rank)] = 1;
+}
+
+std::vector<Comm*> CommRegistry::all_comms() {
+  std::scoped_lock lk(mu_);
+  std::vector<Comm*> out;
+  out.reserve(order_.size());
+  for (Entry* e : order_) out.push_back(e->comm.get());
+  return out;
+}
+
+} // namespace parcoach::simmpi

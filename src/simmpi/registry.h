@@ -1,0 +1,128 @@
+// Communicator registry: first-class communicators for the simulated world.
+//
+// MPI_COMM_WORLD is just the first entry; mpi_comm_split / mpi_comm_dup are
+// *collectives over the parent communicator* — every member contributes its
+// (color, key) through the parent's own slot protocol (one agreement round,
+// CC lane included), then every member deterministically computes the same
+// groups from the allgathered pairs. The registry keys each creation event
+// on (parent comm id, matching slot), so all members of one matched split
+// resolve to the same child Comm objects without any extra synchronization:
+// the slot index IS the agreement.
+//
+// Handles are world-global int64s (0 = null, 1 = MPI_COMM_WORLD); every
+// member of a child communicator holds the same handle value, which keeps
+// DSL comm variables plain integers. Each child carries its own lock-light
+// slot engine and an independent piggybacked-CC stream (slots are per-Comm),
+// plus a local->world rank map so watchdog reports across communicators
+// speak one rank space.
+//
+// mpi_comm_free is a *local* release in this model: the freeing rank may not
+// touch the handle again (UsageError), other members continue unaffected.
+// (Real MPI_Comm_free is collective but non-synchronizing in practice; the
+// divergence is documented in README.)
+#pragma once
+
+#include "simmpi/comm.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parcoach::simmpi {
+
+class CommRegistry {
+public:
+  /// Null handle (returned for split color < 0, MPI_UNDEFINED-style).
+  static constexpr int64_t kNull = 0;
+  /// Handle of MPI_COMM_WORLD.
+  static constexpr int64_t kWorld = 1;
+  /// Hard cap on registry comm ids: the CC encoding packs the id into a
+  /// 15-bit field (bits 47..61 of the int64 agreement value; bit 62 must
+  /// stay clear so packed ids remain strictly positive). Ids are never
+  /// reused, so a program creating more communicators than this is refused
+  /// with a UsageError instead of silently corrupting CC ids in NDEBUG
+  /// builds.
+  static constexpr int32_t kMaxCommId = (1 << 15) - 1;
+
+  CommRegistry(WorldState& world, int32_t world_size, bool strict);
+
+  [[nodiscard]] Comm& world_comm() noexcept { return *order_[0]->comm; }
+
+  /// Resolves `handle` for `world_rank`: returns the communicator and sets
+  /// `local_rank` to the caller's rank within it. Throws UsageError for
+  /// null/unknown handles, non-members, and use after mpi_comm_free.
+  Comm& resolve(int64_t handle, int32_t world_rank, int32_t& local_rank);
+
+  /// Collective split over `parent`: agrees on (color, key) through the
+  /// parent's slot protocol (`cc` rides in the CC lane), then returns the
+  /// handle of the caller's color group — the same value on every member of
+  /// that group. color < 0 opts out (returns kNull). Members are ordered by
+  /// (key, world rank).
+  int64_t split(int64_t parent, int32_t world_rank, int64_t color, int64_t key,
+                int64_t cc = kCcNone);
+
+  /// Collective dup of `parent`: one agreement round on the parent, then a
+  /// fresh communicator with the same members (independent slot stream).
+  int64_t dup(int64_t parent, int32_t world_rank, int64_t cc = kCcNone);
+
+  /// Local release: `world_rank` may not use `handle` afterwards. Freeing
+  /// MPI_COMM_WORLD is an error.
+  void free(int64_t handle, int32_t world_rank);
+
+  /// Registry-assigned identity of the communicator behind `handle` (for
+  /// the CC encoding's comm-id field). Validates like resolve().
+  int32_t comm_id_of(int64_t handle, int32_t world_rank);
+
+  /// Every communicator ever created (world first, freed ones included) —
+  /// the watchdog polls all of them so cross-communicator deadlock cycles
+  /// are rendered, not hung.
+  [[nodiscard]] std::vector<Comm*> all_comms();
+
+  /// Number of child communicators created by split/dup (stats). Lock-free:
+  /// the watchdog polls this every tick to decide whether its cached comm
+  /// list is stale, so it must not contend with hot-path resolves.
+  [[nodiscard]] uint64_t created_comms() const noexcept {
+    return created_count_.load(std::memory_order_acquire);
+  }
+
+private:
+  struct Entry {
+    std::unique_ptr<Comm> comm;
+    std::vector<int32_t> members;     // local order -> world rank
+    std::vector<int32_t> local_of;    // world rank -> local (-1 = not member)
+    std::vector<uint8_t> freed;       // per world rank
+  };
+
+  Entry& entry_for(int64_t handle, int32_t world_rank, const char* what);
+  /// Refuses a creation event that would exceed kMaxCommId — checked for the
+  /// whole event BEFORE any child exists, so failure is atomic. mu_ held.
+  void check_capacity(size_t new_comms);
+  /// Creates a child communicator entry; returns its handle. mu_ held.
+  int64_t create_child(const std::string& base, std::vector<int32_t> members);
+
+  WorldState& world_;
+  int32_t world_size_;
+  bool strict_;
+
+  std::mutex mu_;
+  std::map<int64_t, std::unique_ptr<Entry>> by_handle_;
+  std::vector<Entry*> order_; // creation order (world first)
+  std::atomic<uint64_t> created_count_{0}; // children only (order_ size - 1)
+  int64_t next_handle_ = kWorld + 1;
+  int32_t next_comm_id_ = 1;
+  /// Creation events keyed by (parent comm id, matching slot): color ->
+  /// child handle. All members of one matched split/dup land on one event;
+  /// the last member to retrieve its handle retires the event (the parent's
+  /// size bounds the consumers), so events never accumulate — even for
+  /// all-opt-out splits that create no communicator at all.
+  struct Event {
+    std::map<int64_t, int64_t> handles; // color -> child handle
+    int32_t consumed = 0;               // members that retrieved their handle
+  };
+  std::map<std::pair<int32_t, size_t>, Event> events_;
+};
+
+} // namespace parcoach::simmpi

@@ -4,15 +4,17 @@
 
 namespace parcoach::simmpi {
 
-int64_t RequestEngine::start(Comm& comm, int32_t rank, const Signature& sig,
-                             int64_t scalar, const std::vector<int64_t>& vec) {
+int64_t RequestEngine::start(Comm& comm, int32_t comm_rank, int32_t owner_rank,
+                             const Signature& sig, int64_t scalar,
+                             const std::vector<int64_t>& vec) {
   bool mismatch = false;
-  const size_t slot = comm.post(rank, sig, scalar, vec, mismatch);
+  const size_t slot = comm.post(comm_rank, sig, scalar, vec, mismatch);
   std::scoped_lock lk(mu_);
   const int64_t id = next_id_++;
   Request& r = requests_[id];
   r.comm = &comm;
-  r.rank = rank;
+  r.rank = owner_rank;
+  r.comm_rank = comm_rank;
   r.slot = slot;
   r.sig = sig;
   r.mismatched = mismatch;
@@ -70,7 +72,7 @@ RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {
 
   Comm::Result result;
   try {
-    result = r.comm->finish(rank, r.slot, r.sig, r.mismatched);
+    result = r.comm->finish(r.comm_rank, r.slot, r.sig, r.mismatched);
   } catch (...) {
     release(request, /*completed=*/false);
     throw;
@@ -98,7 +100,7 @@ RequestEngine::Outcome RequestEngine::test(int32_t rank, int64_t request,
   Comm::Result result;
   bool completed = false;
   try {
-    completed = r.comm->try_finish(rank, r.slot, r.mismatched, result);
+    completed = r.comm->try_finish(r.comm_rank, r.slot, r.mismatched, result);
   } catch (...) {
     release(request, /*completed=*/false);
     throw;
@@ -114,8 +116,8 @@ std::vector<std::string> RequestEngine::outstanding(int32_t rank) {
   std::vector<std::string> out;
   for (const auto& [id, r] : requests_) {
     if (r.rank != rank) continue;
-    out.push_back(str::cat(r.sig.str(), " on ", r.comm->name(), " slot ",
-                           r.slot, ", request ", id));
+    out.push_back(str::cat(r.sig.str(), " on ", slot_site(r.comm->name(), r.slot),
+                           ", request ", id));
   }
   return out;
 }

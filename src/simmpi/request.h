@@ -30,10 +30,14 @@ class RequestEngine {
 public:
   explicit RequestEngine(WorldState& world) : world_(world) {}
 
-  /// Issues a nonblocking collective for `rank` on `comm`; returns a fresh
-  /// request handle (> 0). Strict-mode signature mismatches abort the world
-  /// at issue time; otherwise a mismatched request hangs at wait time.
-  int64_t start(Comm& comm, int32_t rank, const Signature& sig, int64_t scalar,
+  /// Issues a nonblocking collective on `comm`; returns a fresh request
+  /// handle (> 0). `comm_rank` is the issuing rank *within comm* (slot
+  /// matching); `owner_rank` is its world rank (request ownership, leak
+  /// reports). They coincide on MPI_COMM_WORLD. Strict-mode signature
+  /// mismatches abort the world at issue time; otherwise a mismatched
+  /// request hangs at wait time.
+  int64_t start(Comm& comm, int32_t comm_rank, int32_t owner_rank,
+                const Signature& sig, int64_t scalar,
                 const std::vector<int64_t>& vec = {});
 
   struct Outcome {
@@ -71,7 +75,8 @@ public:
 private:
   struct Request {
     Comm* comm = nullptr;
-    int32_t rank = -1;
+    int32_t rank = -1;      // world rank (ownership)
+    int32_t comm_rank = -1; // rank within `comm` (slot completion)
     size_t slot = 0;
     Signature sig;
     bool mismatched = false; // signature clashed at issue time

@@ -39,8 +39,69 @@ ir::ThreadLevel Rank::init(ir::ThreadLevel requested) {
   return provided_;
 }
 
-Comm& Rank::app_comm() noexcept { return *world_->app_comm_; }
+Comm& Rank::app_comm() noexcept { return world_->comms_->world_comm(); }
 Comm& Rank::verifier_comm() noexcept { return *world_->verifier_comm_; }
+CommRegistry& Rank::comms() noexcept { return *world_->comms_; }
+
+// ---- Communicator management --------------------------------------------------
+
+int64_t Rank::comm_split(int64_t comm, int64_t color, int64_t key, int64_t cc) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_split");
+  return world_->comms_->split(comm, rank_, color, key, cc);
+}
+
+int64_t Rank::comm_dup(int64_t comm, int64_t cc) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_dup");
+  return world_->comms_->dup(comm, rank_, cc);
+}
+
+void Rank::comm_free(int64_t comm) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_free");
+  world_->comms_->free(comm, rank_);
+}
+
+int32_t Rank::comm_id_of(int64_t comm) {
+  return world_->comms_->comm_id_of(comm, rank_);
+}
+
+Rank::CommRef Rank::comm_ref(int64_t comm) {
+  CommRef ref;
+  ref.comm = &world_->comms_->resolve(comm, rank_, ref.local_rank);
+  return ref;
+}
+
+Comm::Result Rank::execute_on(int64_t comm, const Signature& sig,
+                              int64_t scalar, const std::vector<int64_t>& vec) {
+  return execute_on(comm_ref(comm), sig, scalar, vec);
+}
+
+Comm::Result Rank::execute_on(const CommRef& ref, const Signature& sig,
+                              int64_t scalar, const std::vector<int64_t>& vec) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, ir::to_string(sig.kind).data());
+  return ref.comm->execute(ref.local_rank, sig, scalar, vec);
+}
+
+int64_t Rank::istart_on(int64_t comm, const Signature& sig, int64_t scalar,
+                        const std::vector<int64_t>& vec) {
+  return istart_on(comm_ref(comm), sig, scalar, vec);
+}
+
+int64_t Rank::istart_on(const CommRef& ref, const Signature& sig,
+                        int64_t scalar, const std::vector<int64_t>& vec) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, ir::to_string(sig.kind).data());
+  return world_->requests_->start(*ref.comm, ref.local_rank, rank_, sig,
+                                  scalar, vec);
+}
 
 Comm::Result Rank::execute(const Signature& sig, int64_t scalar,
                            const std::vector<int64_t>& vec) {
@@ -117,7 +178,7 @@ int64_t Rank::istart(const Signature& sig, int64_t scalar,
   if (finalized_)
     throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
   CallGuard guard(*this, ir::to_string(sig.kind).data());
-  return world_->requests_->start(app_comm(), rank_, sig, scalar, vec);
+  return world_->requests_->start(app_comm(), rank_, rank_, sig, scalar, vec);
 }
 
 int64_t Rank::ibarrier() {
@@ -177,10 +238,11 @@ bool Rank::aborted() const { return world_->state_.is_aborted(); }
 // ---- World ------------------------------------------------------------------
 
 World::World(Options opts) : opts_(opts) {
-  app_comm_ = std::make_unique<Comm>("MPI_COMM_WORLD", opts_.num_ranks, state_,
-                                     opts_.strict_matching);
+  comms_ = std::make_unique<CommRegistry>(state_, opts_.num_ranks,
+                                          opts_.strict_matching);
   verifier_comm_ = std::make_unique<Comm>("PARCOACH_COMM", opts_.num_ranks,
-                                          state_, opts_.strict_matching);
+                                          state_, opts_.strict_matching,
+                                          /*comm_id=*/-1);
   requests_ = std::make_unique<RequestEngine>(state_);
   ranks_.reserve(static_cast<size_t>(opts_.num_ranks));
   for (int32_t r = 0; r < opts_.num_ranks; ++r) {
@@ -223,9 +285,14 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
 
   // Watchdog: no progress for hang_timeout while not everyone finished and
   // at least one rank is blocked in a collective => declare deadlock. The
-  // cheap poll reads the atomic heartbeat and POD blocked flags only; the
-  // human-readable snapshot is materialized just for the final report.
+  // cheap poll reads the atomic heartbeat, POD blocked flags and the cached
+  // comm list only (refreshed — one registry lock — just when the atomic
+  // creation counter says a split/dup added a comm; comms are never
+  // removed); the human-readable snapshot is materialized just for the
+  // final report.
   uint64_t last_progress = 0;
+  std::vector<Comm*> all_comms = comms_->all_comms();
+  uint64_t comms_version = comms_->created_comms();
   auto last_change = std::chrono::steady_clock::now();
   while (finished.load() < opts_.num_ranks) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
@@ -237,15 +304,25 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
       last_change = now;
       continue;
     }
-    if (!app_comm_->any_blocked() && !verifier_comm_->any_blocked()) {
+    // Poll every communicator the registry knows (world + split/dup
+    // children) plus the verifier's: a deadlock cycle can span several.
+    if (const uint64_t v = comms_->created_comms(); v != comms_version) {
+      all_comms = comms_->all_comms();
+      comms_version = v;
+    }
+    bool blocked_somewhere = verifier_comm_->any_blocked();
+    for (Comm* c : all_comms) blocked_somewhere |= c->any_blocked();
+    if (!blocked_somewhere) {
       last_change = now; // ranks are computing, not stuck in MPI
       continue;
     }
     if (now - last_change < opts_.hang_timeout) continue;
 
     // Deadlock: build the arrival map, then abort so blocked ranks unwind.
-    const auto app_blocked = app_comm_->blocked_snapshot();
-    const auto ver_blocked = verifier_comm_->blocked_snapshot();
+    // Sub-communicator snapshots already carry world ranks, so a cross-
+    // communicator cycle reads e.g. "rank 0 blocked on comm_split#1 slot 0
+    // in MPI_Allreduce[sum] / rank 1 blocked on MPI_COMM_WORLD slot 2 in
+    // MPI_Barrier".
     std::ostringstream os;
     os << "hang detected: no collective progress for "
        << std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -253,14 +330,13 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
               .count()
        << "ms\n";
     auto describe = [&](const std::vector<BlockedInfo>& blocked) {
-      for (size_t i = 0; i < blocked.size(); ++i) {
-        const auto& b = blocked[i];
+      for (const auto& b : blocked) {
         if (!b.blocked) continue;
-        os << "  rank " << i << ' ' << b.describe() << '\n';
+        os << "  rank " << b.rank << ' ' << b.describe() << '\n';
       }
     };
-    describe(app_blocked);
-    describe(ver_blocked);
+    for (Comm* c : all_comms) describe(c->blocked_snapshot());
+    describe(verifier_comm_->blocked_snapshot());
     report.deadlock = true;
     report.deadlock_details = os.str();
     state_.abort(str::cat("deadlock: ", os.str()));
@@ -278,10 +354,13 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
     std::scoped_lock lk(violations_mu_);
     report.thread_level_violations = violations_;
   }
-  report.app_slots_completed = app_comm_->completed_slots();
   report.verifier_slots_completed = verifier_comm_->completed_slots();
-  report.cc_piggybacked =
-      app_comm_->cc_checked_slots() + verifier_comm_->cc_checked_slots();
+  report.cc_piggybacked = verifier_comm_->cc_checked_slots();
+  for (Comm* c : comms_->all_comms()) {
+    report.app_slots_completed += c->completed_slots();
+    report.cc_piggybacked += c->cc_checked_slots();
+  }
+  report.comms_created = comms_->created_comms();
   for (int32_t r = 0; r < opts_.num_ranks; ++r)
     for (const auto& leak : requests_->outstanding(r))
       report.leaked_requests.push_back(str::cat("rank ", r, ": ", leak));

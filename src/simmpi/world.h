@@ -17,6 +17,7 @@
 #pragma once
 
 #include "simmpi/comm.h"
+#include "simmpi/registry.h"
 #include "simmpi/request.h"
 
 #include <atomic>
@@ -41,6 +42,24 @@ public:
   ir::ThreadLevel init(ir::ThreadLevel requested);
   [[nodiscard]] bool initialized() const noexcept { return initialized_; }
   [[nodiscard]] ir::ThreadLevel provided() const noexcept { return provided_; }
+
+  // -- Communicator management ----------------------------------------------
+  /// Handle of MPI_COMM_WORLD (the default communicator of every wrapper
+  /// below; pass it — or a split/dup result — to the *_on entry points).
+  static constexpr int64_t kCommWorld = CommRegistry::kWorld;
+
+  /// MPI_Comm_split: a collective over `comm`; returns the handle of the
+  /// caller's color group (0 for color < 0). `cc` rides in the agreement
+  /// round's CC lane. Ordering within the group follows (key, world rank).
+  int64_t comm_split(int64_t comm, int64_t color, int64_t key,
+                     int64_t cc = kCcNone);
+  /// MPI_Comm_dup: a collective over `comm`; fresh communicator, same
+  /// members, independent slot + CC streams.
+  int64_t comm_dup(int64_t comm, int64_t cc = kCcNone);
+  /// MPI_Comm_free: local release; this rank may not use the handle again.
+  void comm_free(int64_t comm);
+  /// Registry identity of `comm` (the CC encoding's comm-id field).
+  int32_t comm_id_of(int64_t comm);
 
   // -- Blocking collectives on the application communicator -----------------
   void barrier();
@@ -94,10 +113,37 @@ public:
   Comm::Result execute(const Signature& sig, int64_t scalar,
                        const std::vector<int64_t>& vec = {});
 
+  /// Resolved communicator reference: ONE registry lookup covers handle
+  /// validation, membership and the local rank; everything else (comm_id,
+  /// execute) then runs lock-free w.r.t. the registry. Instrumented callers
+  /// resolve once per collective instead of once for the CC id and again
+  /// for the execution.
+  struct CommRef {
+    Comm* comm = nullptr;
+    int32_t local_rank = -1;
+  };
+  /// Resolves `comm` for this rank. Throws UsageError for null/unknown
+  /// handles, non-members, and use after mpi_comm_free.
+  CommRef comm_ref(int64_t comm);
+
+  /// Like execute(), but on an arbitrary communicator handle (world-rank ->
+  /// local-rank translation included). Throws UsageError on bad handles.
+  Comm::Result execute_on(int64_t comm, const Signature& sig, int64_t scalar,
+                          const std::vector<int64_t>& vec = {});
+  Comm::Result execute_on(const CommRef& ref, const Signature& sig,
+                          int64_t scalar, const std::vector<int64_t>& vec = {});
+  /// Like istart(), but on an arbitrary communicator handle.
+  int64_t istart_on(int64_t comm, const Signature& sig, int64_t scalar,
+                    const std::vector<int64_t>& vec = {});
+  int64_t istart_on(const CommRef& ref, const Signature& sig, int64_t scalar,
+                    const std::vector<int64_t>& vec = {});
+
   /// Dedicated communicator for verifier traffic (the CC protocol) so that
   /// checks never perturb application slot matching.
   [[nodiscard]] Comm& verifier_comm() noexcept;
   [[nodiscard]] Comm& app_comm() noexcept;
+  /// The world's communicator registry (split/dup events, watchdog polling).
+  [[nodiscard]] CommRegistry& comms() noexcept;
 
   /// Aborts the whole world (all ranks unwind with AbortedError).
   void abort(const std::string& reason);
@@ -130,8 +176,12 @@ struct RunReport {
   /// Nonblocking requests never completed by wait/test, per description
   /// ("rank 1: MPI_Iallreduce[sum] on MPI_COMM_WORLD slot 3, request 7").
   std::vector<std::string> leaked_requests;
+  /// Completed matching slots across MPI_COMM_WORLD *and* every registry
+  /// child communicator (split/dup results).
   uint64_t app_slots_completed = 0;
   uint64_t verifier_slots_completed = 0;
+  /// Child communicators created by mpi_comm_split / mpi_comm_dup.
+  uint64_t comms_created = 0;
   /// CC agreements that rode inside application slots (piggybacked checks):
   /// each one is a runtime CC check that cost zero extra synchronization
   /// rounds. Legacy dedicated-communicator rounds show up in
@@ -174,7 +224,7 @@ private:
 
   Options opts_;
   WorldState state_;
-  std::unique_ptr<Comm> app_comm_;
+  std::unique_ptr<CommRegistry> comms_;
   std::unique_ptr<Comm> verifier_comm_;
   std::unique_ptr<RequestEngine> requests_;
   std::vector<std::unique_ptr<Rank>> ranks_;

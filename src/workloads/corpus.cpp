@@ -572,6 +572,95 @@ func main() {
       {},
       DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
 
+  // ---- Communicators (split / dup / per-comm matching) -----------------------
+  c.push_back(CorpusEntry{
+      "comm_split_matched",
+      "constant-color split (key reorders): every rank joins one subcomm and "
+      "runs the same per-comm sequence; clean statically and dynamically",
+      R"(func main() {
+  mpi_init(single);
+  var c = mpi_comm_split(0, size() - rank());
+  var x = rank() + 1;
+  var s = mpi_allreduce(x, sum, c);
+  var b = mpi_bcast(s, 0, c);
+  mpi_barrier(c);
+  mpi_barrier();
+  if (rank() == 0) {
+    print(s, b);
+  }
+  mpi_comm_free(c);
+  mpi_finalize();
+}
+)",
+      {},
+      {DiagKind::CollectiveMismatch, DiagKind::MultithreadedCollective,
+       DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "comm_rank_colored_split",
+      "rank-colored split: Algorithm 1 flags the split as a divergence point "
+      "(per-comm sequences cannot be aligned statically); the balanced "
+      "per-color usage still runs clean — a classic conservative warning",
+      R"(func main() {
+  mpi_init(single);
+  var c = mpi_comm_split(rank() % 2, 0);
+  var x = rank() + 1;
+  var s = mpi_allreduce(x, sum, c);
+  mpi_barrier();
+  print(s);
+  mpi_comm_free(c);
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean});
+
+  c.push_back(CorpusEntry{
+      "comm_dup_mismatch",
+      "rank-dependent reduce op on a dup'd comm: the per-comm piggybacked CC "
+      "names the comm identity and stops the hang",
+      R"(func main() {
+  mpi_init(single);
+  var d = mpi_comm_dup();
+  var x = rank() + 1;
+  if (rank() == 0) {
+    x = mpi_allreduce(x, sum, d);
+  } else {
+    x = mpi_allreduce(x, max, d);
+  }
+  mpi_comm_free(d);
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
+      "comm_cross_deadlock",
+      "rank 0 enters an allreduce on the subcomm while rank 1 enters a world "
+      "barrier: a deadlock cycle spanning two communicators that no single "
+      "CC stream can compare — the watchdog must report it, naming both",
+      R"(func main() {
+  mpi_init(single);
+  var c = mpi_comm_split(0, rank());
+  var x = rank() + 1;
+  if (rank() == 0) {
+    x = mpi_allreduce(x, sum, c);
+    mpi_barrier();
+  } else {
+    mpi_barrier();
+    x = mpi_allreduce(x, sum, c);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::DeadlockReported, DiagKind::RtCollectiveMismatch});
+
   return c;
 }
 

@@ -18,6 +18,10 @@ enum class DynamicOutcome : uint8_t {
   ThreadLevelWarn,  // instrumented: RtThreadLevelViolation recorded
   CaughtAtFinalize, // uninstrumented: completes (silently wrong);
                     // instrumented: rt error recorded at mpi_finalize
+  DeadlockReported, // cross-communicator cycle: no shared slot exists for
+                    // the CC agreement to compare, so the watchdog must
+                    // *report* the deadlock (naming every communicator in
+                    // the cycle) instead of hanging — instrumented or not
 };
 
 struct CorpusEntry {

@@ -113,17 +113,33 @@ GeneratedProgram make_npb_mz(NpbVariant variant, const NpbParams& p) {
      << "  var nx = 32;\n"
      << "  var ny = 24;\n"
      << "  var niter = " << p.steps << ";\n"
-     << "  var bound = mpi_bcast(niter, 0);\n"
-     << "  for (step = 0 to bound) {\n"
-     << "    var e = exch_qbc(step);\n";
+     << "  var bound = mpi_bcast(niter, 0);\n";
+  if (p.zone_comms) {
+    // One communicator per zone (constant color: all ranks join; the key
+    // keeps world order). Comm handles cannot cross function boundaries in
+    // MiniHPC, so the per-zone boundary exchange is inlined below.
+    for (int32_t z = 0; z < p.zones; ++z)
+      os << "  var zc" << z << " = mpi_comm_split(0, rank());\n";
+  }
+  os << "  for (step = 0 to bound) {\n";
+  if (p.zone_comms) {
+    for (int32_t z = 0; z < p.zones; ++z)
+      os << "    var e" << z << " = mpi_allgather(step * 17 + rank() + " << z
+         << ", zc" << z << ");\n";
+  } else {
+    os << "    var e = exch_qbc(step);\n";
+  }
   for (int32_t z = 0; z < p.zones; ++z)
     os << "    var r" << z << " = " << base << "_adi_zone" << z << "(nx, ny);\n";
   if (variant == NpbVariant::LU)
     os << "    var sl = ssor_sweep(nx, ny, 1);\n"
        << "    var su = ssor_sweep(nx, ny, -1);\n";
   os << "    mpi_barrier();\n"
-     << "  }\n"
-     << "  var ok = verify(niter);\n"
+     << "  }\n";
+  if (p.zone_comms)
+    for (int32_t z = 0; z < p.zones; ++z)
+      os << "  mpi_comm_free(zc" << z << ");\n";
+  os << "  var ok = verify(niter);\n"
      << "  var t_local = niter * 3 + rank();\n"
      << "  var t_max = mpi_reduce(t_local, max, 0);\n"
      << "  if (rank() == 0) {\n"
@@ -133,7 +149,7 @@ GeneratedProgram make_npb_mz(NpbVariant variant, const NpbParams& p) {
      << "}\n";
 
   GeneratedProgram g;
-  g.name = base;
+  g.name = p.zone_comms ? str::cat(base, "_zc") : base;
   g.source = os.str();
   g.code_lines = str::count_code_lines(g.source);
   return g;

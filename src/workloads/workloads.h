@@ -29,6 +29,11 @@ struct NpbParams {
   int32_t steps = 20;      // time steps in the driver loop
   int32_t threads = 4;     // omp team size in solve kernels
   int32_t stages = 8;      // per-zone solver stages (x/y/z solve sweeps)
+  /// Give every zone its own communicator (mpi_comm_split with a constant
+  /// color, keyed by rank): boundary exchange then runs per-zone-comm, like
+  /// the real MZ codes' per-zone process groups. Collective sequences are
+  /// matched per communicator.
+  bool zone_comms = false;
 };
 
 [[nodiscard]] GeneratedProgram make_npb_mz(NpbVariant variant, const NpbParams& p);

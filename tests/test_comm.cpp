@@ -1,0 +1,261 @@
+// Unit tests: first-class communicators — the registry (split/dup/free,
+// handle discipline, world-rank translation), per-comm slot streams, and the
+// watchdog's cross-communicator deadlock reporting.
+#include "simmpi/world.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <mutex>
+#include <string>
+
+namespace parcoach::simmpi {
+namespace {
+
+World::Options fast_world(int32_t ranks) {
+  World::Options o;
+  o.num_ranks = ranks;
+  o.hang_timeout = std::chrono::milliseconds(300);
+  return o;
+}
+
+Signature allreduce_sum() {
+  return Signature{CollectiveKind::Allreduce, -1, ReduceOp::Sum};
+}
+
+TEST(CommSplit, ParityGroupsGetIndependentAllreduces) {
+  World w(fast_world(4));
+  std::array<std::atomic<int64_t>, 4> handles{};
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t c = mpi.comm_split(Rank::kCommWorld, mpi.rank() % 2, 0);
+    handles[static_cast<size_t>(mpi.rank())] = c;
+    // Group sums: evens contribute 1+3, odds 2+4.
+    const auto r = mpi.execute_on(c, allreduce_sum(), mpi.rank() + 1);
+    EXPECT_EQ(r.scalar, mpi.rank() % 2 == 0 ? 4 : 6);
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_EQ(rep.comms_created, 2u);
+  // Same handle within a color group, different across groups.
+  EXPECT_EQ(handles[0], handles[2]);
+  EXPECT_EQ(handles[1], handles[3]);
+  EXPECT_NE(handles[0], handles[1]);
+}
+
+TEST(CommSplit, KeyOrderingControlsLocalRanks) {
+  // Keys reverse the world order, so local rank 0 (the bcast root) is the
+  // HIGHEST world rank.
+  constexpr int32_t kRanks = 3;
+  World w(fast_world(kRanks));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t c =
+        mpi.comm_split(Rank::kCommWorld, 0, kRanks - mpi.rank());
+    const Signature bcast{CollectiveKind::Bcast, 0, {}};
+    const auto r = mpi.execute_on(c, bcast, 100 + mpi.rank());
+    EXPECT_EQ(r.scalar, 100 + kRanks - 1) << "root must be world rank 2";
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+}
+
+TEST(CommSplit, NegativeColorOptsOut) {
+  World w(fast_world(2));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t color = mpi.rank() == 0 ? 0 : -1;
+    const int64_t c = mpi.comm_split(Rank::kCommWorld, color, 0);
+    if (mpi.rank() == 0) {
+      EXPECT_NE(c, CommRegistry::kNull);
+      // Singleton communicator: the allreduce is just the own value.
+      EXPECT_EQ(mpi.execute_on(c, allreduce_sum(), 7).scalar, 7);
+    } else {
+      EXPECT_EQ(c, CommRegistry::kNull);
+      EXPECT_THROW(mpi.execute_on(c, allreduce_sum(), 1), UsageError);
+    }
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_EQ(rep.comms_created, 1u);
+}
+
+TEST(CommDup, IndependentSlotAndCcStreams) {
+  constexpr int kIters = 5;
+  World w(fast_world(2));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t d = mpi.comm_dup(Rank::kCommWorld);
+    for (int i = 0; i < kIters; ++i) {
+      EXPECT_EQ(mpi.execute_on(d, allreduce_sum(), 1).scalar, 2);
+      mpi.barrier(); // interleaved world traffic must not disturb matching
+    }
+    // Dup of a dup still works.
+    const int64_t dd = mpi.comm_dup(d);
+    EXPECT_EQ(mpi.execute_on(dd, allreduce_sum(), 2).scalar, 4);
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_EQ(rep.comms_created, 2u);
+  // Slots complete once per matched collective: world = 1 (dup) + kIters
+  // (barriers); d = kIters (allreduces) + 1 (the dup-of-d agreement rides
+  // on d, not world); dd = 1.
+  EXPECT_EQ(rep.app_slots_completed, static_cast<uint64_t>(2 * kIters + 3));
+}
+
+TEST(CommSplit, NestedSplitOfSubcommunicator) {
+  // Split world into parity halves, then split the half again: world-rank
+  // translation must compose.
+  World w(fast_world(4));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t half = mpi.comm_split(Rank::kCommWorld, mpi.rank() % 2, 0);
+    // Each half {0,2} / {1,3} splits into singletons by world rank.
+    const int64_t solo = mpi.comm_split(half, mpi.rank(), 0);
+    EXPECT_EQ(mpi.execute_on(solo, allreduce_sum(), mpi.rank() + 10).scalar,
+              mpi.rank() + 10);
+    EXPECT_EQ(mpi.execute_on(half, allreduce_sum(), 1).scalar, 2);
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_EQ(rep.comms_created, 6u); // 2 halves + 4 singletons
+}
+
+TEST(CommFree, UseAfterFreeFailsOnlyForTheFreeingRank) {
+  World w(fast_world(2));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t d = mpi.comm_dup(Rank::kCommWorld);
+    EXPECT_EQ(mpi.execute_on(d, allreduce_sum(), 1).scalar, 2);
+    if (mpi.rank() == 0) {
+      mpi.comm_free(d);
+      try {
+        mpi.execute_on(d, allreduce_sum(), 1);
+        FAIL() << "use after mpi_comm_free must throw";
+      } catch (const UsageError& e) {
+        EXPECT_NE(std::string(e.what()).find("after mpi_comm_free"),
+                  std::string::npos)
+            << e.what();
+      }
+    }
+  });
+  // Rank 1 kept the comm alive and clean; rank 0's failure was caught above.
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+}
+
+TEST(CommFree, WorldCannotBeFreed) {
+  World w(fast_world(1));
+  const auto rep = w.run([&](Rank& mpi) {
+    EXPECT_THROW(mpi.comm_free(Rank::kCommWorld), UsageError);
+  });
+  EXPECT_TRUE(rep.ok);
+}
+
+TEST(CommRegistryTest, StrictMismatchNamesWorldRanks) {
+  // A strict-mode clash inside a subcomm of world ranks {1, 2}: the report
+  // must speak world ranks, not subcomm-local indices.
+  auto opts = fast_world(3);
+  opts.strict_matching = true;
+  World w(opts);
+  std::atomic<int> mismatches{0};
+  std::string message;
+  std::mutex mu;
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t c =
+        mpi.comm_split(Rank::kCommWorld, mpi.rank() == 0 ? -1 : 0, 0);
+    if (mpi.rank() == 0) return;
+    try {
+      if (mpi.rank() == 1) {
+        mpi.execute_on(c, allreduce_sum(), 1);
+      } else {
+        mpi.execute_on(c, Signature{CollectiveKind::Barrier, -1, {}}, 0);
+      }
+    } catch (const MismatchError& e) {
+      mismatches.fetch_add(1);
+      std::scoped_lock lk(mu);
+      message = e.what();
+    } catch (const AbortedError&) {
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  ASSERT_GE(mismatches.load(), 1);
+  EXPECT_NE(message.find("comm_split#"), std::string::npos) << message;
+  // Whichever rank lost the stamp race is named with its WORLD rank (1 or
+  // 2); local indices would print 0/1 with "rank 0" never correct here.
+  EXPECT_TRUE(message.find("rank 1") != std::string::npos ||
+              message.find("rank 2") != std::string::npos)
+      << message;
+}
+
+TEST(CommWatchdog, CrossCommunicatorDeadlockIsReportedNotHung) {
+  // Rank 0: allreduce on the subcomm, then world barrier. Rank 1: world
+  // barrier first. Neither sequence can complete — a cycle spanning two
+  // communicators. The watchdog must name both comms and both ranks.
+  World w(fast_world(2));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t c = mpi.comm_split(Rank::kCommWorld, 0, mpi.rank());
+    try {
+      if (mpi.rank() == 0) {
+        mpi.execute_on(c, allreduce_sum(), 1);
+        mpi.barrier();
+      } else {
+        mpi.barrier();
+        mpi.execute_on(c, allreduce_sum(), 1);
+      }
+    } catch (const AbortedError&) {
+      // expected: the watchdog aborts the world
+    }
+  });
+  EXPECT_TRUE(rep.deadlock) << "watchdog must detect the cross-comm cycle";
+  EXPECT_NE(rep.deadlock_details.find("rank 0 blocked on comm_split#1"),
+            std::string::npos)
+      << rep.deadlock_details;
+  EXPECT_NE(rep.deadlock_details.find("rank 1 blocked on MPI_COMM_WORLD"),
+            std::string::npos)
+      << rep.deadlock_details;
+  EXPECT_NE(rep.deadlock_details.find("MPI_Allreduce[sum]"), std::string::npos)
+      << rep.deadlock_details;
+  EXPECT_NE(rep.deadlock_details.find("MPI_Barrier"), std::string::npos)
+      << rep.deadlock_details;
+}
+
+TEST(CommNonblocking, RequestsOnSubcommCompleteAndLeaksNameTheComm) {
+  World w(fast_world(2));
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t d = mpi.comm_dup(Rank::kCommWorld);
+    Signature isum{CollectiveKind::Iallreduce, -1, ReduceOp::Sum};
+    const int64_t req = mpi.istart_on(d, isum, mpi.rank() + 1);
+    EXPECT_EQ(mpi.wait(req), 3);
+    // A second request is left outstanding: the leak description must name
+    // the dup'd communicator, not the world.
+    const int64_t leak = mpi.istart_on(d, isum, 1);
+    (void)leak;
+    const auto leaks = mpi.requests().outstanding(mpi.rank());
+    ASSERT_EQ(leaks.size(), 1u);
+    EXPECT_NE(leaks[0].find("comm_dup#"), std::string::npos) << leaks[0];
+    // Complete it so the run ends clean.
+    EXPECT_EQ(mpi.wait(leak), 2);
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_TRUE(rep.leaked_requests.empty());
+}
+
+TEST(CommSplit, SplitItselfIsMatchedLikeACollective) {
+  // Rank 0 splits while rank 1 calls a barrier on the same (world) stream:
+  // a real sequence mismatch. Strict mode reports it naming MPI_Comm_split.
+  auto opts = fast_world(2);
+  opts.strict_matching = true;
+  World w(opts);
+  std::atomic<int> mismatches{0};
+  std::string message;
+  std::mutex mu;
+  const auto rep = w.run([&](Rank& mpi) {
+    try {
+      if (mpi.rank() == 0) {
+        mpi.comm_split(Rank::kCommWorld, 0, 0);
+      } else {
+        mpi.barrier();
+      }
+    } catch (const MismatchError& e) {
+      mismatches.fetch_add(1);
+      std::scoped_lock lk(mu);
+      message = e.what();
+    } catch (const AbortedError&) {
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  ASSERT_GE(mismatches.load(), 1);
+  EXPECT_NE(message.find("MPI_Comm_split"), std::string::npos) << message;
+}
+
+} // namespace
+} // namespace parcoach::simmpi

@@ -190,6 +190,44 @@ func main() {
   EXPECT_EQ(to_source(p2), emitted);    // and is a fixpoint
 }
 
+TEST(Parser, CommSyntaxRoundTripsThroughSource) {
+  // Every comm form: split (with and without parent), dup (defaulted and
+  // explicit), trailing comm on payload collectives, comm as the only
+  // argument of a payload-less collective (the `mpi_ibarrier(d)` shape once
+  // printed as `mpi_ibarrier(, d)`), and free.
+  const char* src = R"(func main() {
+  mpi_init(single);
+  var d = mpi_comm_dup();
+  var c = mpi_comm_split(rank() % 2, 0, d);
+  var e = mpi_comm_dup(c);
+  var r = mpi_ibarrier(d);
+  mpi_wait(r);
+  mpi_barrier(c);
+  var s = mpi_allreduce(1, sum, c);
+  var b = mpi_bcast(s, 0, e);
+  mpi_comm_free(c);
+  mpi_comm_free(d);
+  mpi_comm_free(e);
+  mpi_finalize();
+}
+)";
+  const Program p1 = parse_ok(src);
+  const std::string emitted = to_source(p1);
+  const Program p2 = parse_ok(emitted); // re-parses cleanly
+  EXPECT_EQ(to_source(p2), emitted);    // and is a fixpoint
+}
+
+TEST(Parser, CommOpShapesAreEnforced) {
+  EXPECT_GE(parse_errors("func f() { mpi_comm_split(1, 0); }"), 1u)
+      << "split result must be assigned";
+  EXPECT_GE(parse_errors("func f() { mpi_comm_dup(); }"), 1u)
+      << "dup result must be assigned";
+  EXPECT_GE(parse_errors("func f() { var x = mpi_comm_free(1); }"), 1u)
+      << "free produces no value";
+  EXPECT_GE(parse_errors("func f() { mpi_finalize(1); }"), 1u)
+      << "finalize takes no arguments";
+}
+
 TEST(Parser, ErrorsAreReported) {
   EXPECT_GE(parse_errors("func f( { }"), 1u);
   EXPECT_GE(parse_errors("func f() { var = 3; }"), 1u);

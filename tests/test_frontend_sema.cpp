@@ -26,6 +26,54 @@ SemaRun run_sema(const std::string& src) {
   return r;
 }
 
+TEST(Sema, CommHandleTyping) {
+  // Comm handles are a second type: clean flows pass...
+  const auto ok = run_sema(R"(func main() {
+  mpi_init(single);
+  var c = mpi_comm_split(rank() % 2, 0);
+  var d = mpi_comm_dup(c);
+  var s = mpi_allreduce(1, sum, c);
+  mpi_barrier(d);
+  mpi_comm_free(c);
+  mpi_comm_free(d);
+  mpi_finalize();
+})");
+  EXPECT_TRUE(ok.result.ok) << ok.text;
+
+  // ...a comm used as a plain value is an error...
+  const auto plain = run_sema(R"(func main() {
+  mpi_init(single);
+  var c = mpi_comm_dup();
+  var y = c + 1;
+  mpi_finalize();
+})");
+  EXPECT_FALSE(plain.result.ok);
+  EXPECT_NE(plain.text.find("communicator variable"), std::string::npos)
+      << plain.text;
+
+  // ...a plain value as a comm argument is an error...
+  const auto notcomm = run_sema(R"(func main() {
+  mpi_init(single);
+  var x = 3;
+  mpi_barrier(x);
+  mpi_finalize();
+})");
+  EXPECT_FALSE(notcomm.result.ok);
+  EXPECT_NE(notcomm.text.find("not a communicator variable"),
+            std::string::npos)
+      << notcomm.text;
+
+  // ...and a request cannot stand in for a comm (or vice versa).
+  const auto req = run_sema(R"(func main() {
+  mpi_init(single);
+  var r = mpi_ibarrier();
+  var s = mpi_allreduce(1, sum, r);
+  mpi_wait(r);
+  mpi_finalize();
+})");
+  EXPECT_FALSE(req.result.ok);
+}
+
 TEST(Sema, CleanProgramPasses) {
   const auto r = run_sema(R"(func f(a) { return a * 2; }
 func main() {

@@ -54,6 +54,8 @@ TEST_P(CorpusTest, InstrumentedExecution) {
   opts.mpi.hang_timeout = std::chrono::milliseconds(2500);
   if (e.dynamic == DynamicOutcome::CaughtRace)
     opts.verify.rendezvous = std::chrono::milliseconds(40);
+  if (e.dynamic == DynamicOutcome::DeadlockReported)
+    opts.mpi.hang_timeout = std::chrono::milliseconds(300); // deadlock is the point
   const auto result = exec.run(opts);
 
   switch (e.dynamic) {
@@ -79,6 +81,18 @@ TEST_P(CorpusTest, InstrumentedExecution) {
       // The violating thread choice is scheduler-dependent; require only
       // that the run neither hangs nor aborts.
       EXPECT_FALSE(result.mpi.deadlock) << result.mpi.deadlock_details;
+      break;
+    case DynamicOutcome::DeadlockReported:
+      // A cross-communicator cycle: no shared slot exists for the CC
+      // agreement, so the watchdog must convert the hang into a report that
+      // names every communicator involved (the run returns — no hang).
+      EXPECT_TRUE(result.mpi.deadlock) << result.mpi.abort_reason;
+      EXPECT_NE(result.mpi.deadlock_details.find("MPI_COMM_WORLD"),
+                std::string::npos)
+          << result.mpi.deadlock_details;
+      EXPECT_NE(result.mpi.deadlock_details.find("comm_split#"),
+                std::string::npos)
+          << result.mpi.deadlock_details;
       break;
   }
 }

@@ -195,6 +195,121 @@ TEST(CcProtocol, AllFinalsPass) {
   EXPECT_EQ(v.error_count(), 0u);
 }
 
+TEST(CcProtocol, CommIdentityDistinguishesSameKindOnDifferentComms) {
+  // Before the comm-id field, two identical collectives on different
+  // communicators spuriously agreed in the dedicated-round protocol (same
+  // kind, op, root) and the run went on to deadlock. With the comm identity
+  // in the encoding, the CC catches the divergence and names both comms.
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    // Rank r is about to run the allreduce on comm id r+1.
+    v.check_cc(mpi, ir::CollectiveKind::Allreduce, {}, simmpi::ReduceOp::Sum,
+               -1, /*comm_id=*/mpi.rank() + 1);
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock) << "comm divergence must be a CC abort, not a hang";
+  ASSERT_EQ(v.error_count(), 1u);
+  const std::string msg = v.diagnostics()[0].message;
+  EXPECT_NE(msg.find("@comm#1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("@comm#2"), std::string::npos) << msg;
+}
+
+TEST(CcProtocol, CommIdentityTakesPartEvenInTypeOnlyMode) {
+  // "Which communicator" is part of the collective's identity, not an
+  // argument: the paper-faithful type-only mode must still see it.
+  SourceManager sm;
+  VerifierOptions vopts;
+  vopts.check_arguments = false;
+  World w(fast_world(2));
+  Verifier v(sm, vopts, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    v.check_cc(mpi, ir::CollectiveKind::Barrier, {}, std::nullopt, -1,
+               /*comm_id=*/mpi.rank() == 0 ? 0 : 3);
+  });
+  EXPECT_FALSE(rep.ok);
+  ASSERT_EQ(v.error_count(), 1u);
+  EXPECT_NE(v.diagnostics()[0].message.find("@comm#3"), std::string::npos)
+      << v.diagnostics()[0].message;
+}
+
+TEST(CcProtocol, WorldCommIdKeepsLegacyIdsBitIdentical) {
+  // comm id 0 must not change any world-only encoding: every pre-comm
+  // diagnostic wording (asserted string-equal elsewhere) depends on it.
+  SourceManager sm;
+  Verifier v(sm, {}, 2);
+  EXPECT_EQ(v.cc_lane_id(ir::CollectiveKind::Allreduce, simmpi::ReduceOp::Sum,
+                         -1),
+            v.cc_lane_id(ir::CollectiveKind::Allreduce, simmpi::ReduceOp::Sum,
+                         -1, /*comm_id=*/0));
+  EXPECT_NE(v.cc_lane_id(ir::CollectiveKind::Allreduce, simmpi::ReduceOp::Sum,
+                         -1, /*comm_id=*/1),
+            v.cc_lane_id(ir::CollectiveKind::Allreduce, simmpi::ReduceOp::Sum,
+                         -1, /*comm_id=*/2));
+}
+
+TEST(CcProtocol, PiggybackedPerCommStreamCatchesDupMismatch) {
+  // End-to-end on a dup'd communicator: ranks disagree on the reduce op of
+  // the collective they run on the dup; the CC id rides in the dup comm's
+  // own slot and the report names the comm identity.
+  SourceManager sm;
+  World w(fast_world(2));
+  Verifier v(sm, {}, 2);
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t d = mpi.comm_dup(Rank::kCommWorld);
+    const auto op =
+        mpi.rank() == 0 ? simmpi::ReduceOp::Sum : simmpi::ReduceOp::Max;
+    simmpi::Signature sig{ir::CollectiveKind::Allreduce, -1, op};
+    sig.cc = v.cc_lane_id(sig.kind, sig.op, sig.root, mpi.comm_id_of(d));
+    try {
+      mpi.execute_on(d, sig, 1);
+    } catch (const simmpi::CcMismatchError& e) {
+      v.report_cc_mismatch(mpi, sig.kind, {}, e);
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock) << "per-comm CC must fire before the hang";
+  ASSERT_EQ(v.error_count(), 1u);
+  const std::string msg = v.diagnostics()[0].message;
+  EXPECT_NE(msg.find("[sum]@comm#1"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("[max]@comm#1"), std::string::npos) << msg;
+}
+
+TEST(CcProtocol, SubcommMismatchReportNamesWorldRanks) {
+  // World ranks 1 and 2 form comm_split#1 (rank 0 opts out) and disagree on
+  // the reduce op there. The CC ids are gathered by comm-LOCAL rank; the
+  // report must translate to world ranks — naming rank 0 (not even a
+  // member) or misattributing rank 2's op to rank 1 would be wrong.
+  SourceManager sm;
+  World w(fast_world(3));
+  Verifier v(sm, {}, 3);
+  const auto rep = w.run([&](Rank& mpi) {
+    const int64_t c =
+        mpi.comm_split(Rank::kCommWorld, mpi.rank() == 0 ? -1 : 0, 0);
+    if (mpi.rank() == 0) return;
+    const auto op =
+        mpi.rank() == 1 ? simmpi::ReduceOp::Sum : simmpi::ReduceOp::Max;
+    simmpi::Signature sig{ir::CollectiveKind::Allreduce, -1, op};
+    sig.cc = v.cc_lane_id(sig.kind, sig.op, sig.root, mpi.comm_id_of(c));
+    try {
+      mpi.execute_on(c, sig, 1);
+    } catch (const simmpi::CcMismatchError& e) {
+      v.report_cc_mismatch(mpi, sig.kind, {}, e);
+    }
+  });
+  EXPECT_FALSE(rep.ok);
+  EXPECT_FALSE(rep.deadlock);
+  ASSERT_EQ(v.error_count(), 1u);
+  const std::string msg = v.diagnostics()[0].message;
+  EXPECT_NE(msg.find("rank 1=MPI_Allreduce[sum]@comm#1"), std::string::npos)
+      << msg;
+  EXPECT_NE(msg.find("rank 2=MPI_Allreduce[max]@comm#1"), std::string::npos)
+      << msg;
+  EXPECT_EQ(msg.find("rank 0="), std::string::npos)
+      << "non-members must not appear: " << msg;
+}
+
 TEST(MonoGuard, SingleThreadPasses) {
   SourceManager sm;
   World w(fast_world(2));

@@ -140,6 +140,71 @@ TEST(SlotEngineStress, WatchdogSeesSecondBlockedThreadOfARank) {
       << rep.deadlock_details;
 }
 
+TEST(SlotEngineStress, ThreadsSplitAcrossTwoCommsUnderSerialized) {
+  // Each rank joins a parity subcomm; threads alternate collectives between
+  // the subcomm and the world, serialized per rank. Both comms' lock-light
+  // slot engines run under churn; matching on one must not disturb the
+  // other.
+  constexpr int32_t kRanks = 4;
+  constexpr int kThreads = 3;
+  constexpr int kIters = 30;
+  World w(fast_world(kRanks));
+  std::atomic<int64_t> checked{0};
+  const auto rep = w.run([&](Rank& mpi) {
+    mpi.init(ir::ThreadLevel::Serialized);
+    const int64_t c = mpi.comm_split(Rank::kCommWorld, mpi.rank() % 2, 0);
+    std::mutex mpi_mu;
+    auto worker = [&] {
+      for (int i = 0; i < kIters; ++i) {
+        std::scoped_lock lk(mpi_mu);
+        const Signature sum{ir::CollectiveKind::Allreduce, -1, ReduceOp::Sum};
+        if (mpi.execute_on(c, sum, 1).scalar == 2) checked.fetch_add(1);
+        if (mpi.allreduce(1, ReduceOp::Sum) == kRanks) checked.fetch_add(1);
+      }
+    };
+    std::vector<std::thread> threads;
+    for (int t = 1; t < kThreads; ++t) threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads) t.join();
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_TRUE(rep.thread_level_violations.empty());
+  EXPECT_EQ(rep.comms_created, 2u);
+  // Per comm, each matched collective completes one slot: 1 split on world,
+  // kThreads*kIters world allreduces, kThreads*kIters per subcomm.
+  EXPECT_EQ(rep.app_slots_completed,
+            1u + static_cast<uint64_t>(kThreads) * kIters * 3);
+  EXPECT_EQ(checked.load(), int64_t{kRanks} * kThreads * kIters * 2);
+}
+
+TEST(SlotEngineStress, ThreadsSplitAcrossTwoCommsUnderMultiple) {
+  // MPI_THREAD_MULTIPLE: no external lock; homogeneous phases per comm so
+  // any interleaving matches. Threads hammer the subcomm and the world
+  // concurrently.
+  constexpr int32_t kRanks = 2;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 60;
+  World w(fast_world(kRanks));
+  const auto rep = w.run([&](Rank& mpi) {
+    mpi.init(ir::ThreadLevel::Multiple);
+    const int64_t c = mpi.comm_split(Rank::kCommWorld, 0, mpi.rank());
+    auto worker = [&] {
+      const Signature sum{ir::CollectiveKind::Allreduce, -1, ReduceOp::Sum};
+      for (int i = 0; i < kIters; ++i) mpi.execute_on(c, sum, 1);
+      for (int i = 0; i < kIters; ++i) mpi.allreduce(1, ReduceOp::Sum);
+    };
+    std::vector<std::thread> threads;
+    for (int t = 1; t < kThreads; ++t) threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads) t.join();
+  });
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_TRUE(rep.thread_level_violations.empty());
+  EXPECT_EQ(rep.comms_created, 1u);
+  EXPECT_EQ(rep.app_slots_completed,
+            1u + static_cast<uint64_t>(kThreads) * kIters * 2);
+}
+
 // ---- Piggybacked CC: round counting -------------------------------------------
 
 TEST(PiggybackedCc, AgreementCostsZeroDedicatedRounds) {

@@ -3,6 +3,7 @@
 // corpus table must be internally consistent.
 #include "driver/pipeline.h"
 #include "driver/report.h"
+#include "interp/executor.h"
 #include "support/str.h"
 #include "workloads/corpus.h"
 #include "workloads/workloads.h"
@@ -100,6 +101,41 @@ TEST(Workloads, EpccCoversThreadModels) {
   EXPECT_TRUE(str::contains(g.source, "_serialized"));
   EXPECT_TRUE(str::contains(g.source, "omp master"));
   EXPECT_TRUE(str::contains(g.source, "omp single"));
+}
+
+TEST(Workloads, NpbZoneCommsCompileAndRunClean) {
+  // The per-zone-comm MZ variant: one split communicator per zone, boundary
+  // exchange per comm. Must stay hybrid-clean statically (constant colors)
+  // and execute clean end-to-end with one live comm per zone.
+  NpbParams p;
+  p.zones = 3;
+  p.steps = 2;
+  p.stages = 2;
+  p.threads = 2;
+  p.zone_comms = true;
+  const auto g = make_npb_mz(NpbVariant::SP, p);
+  EXPECT_EQ(g.name, "sp_mz_zc");
+  EXPECT_TRUE(str::contains(g.source, "mpi_comm_split"));
+  SourceManager sm;
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  opts.verify_ir = true;
+  const auto r = driver::compile(sm, g.name, g.source, diags, opts);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+  EXPECT_EQ(diags.count(DiagKind::MultithreadedCollective), 0u)
+      << diags.to_text(sm);
+  EXPECT_EQ(diags.count(DiagKind::ConcurrentCollectives), 0u);
+
+  interp::Executor exec(r.program, sm, &r.plan);
+  interp::ExecOptions eopts;
+  eopts.num_ranks = 2;
+  eopts.num_threads = 2;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(5000);
+  const auto res = exec.run(eopts);
+  EXPECT_TRUE(res.clean) << res.mpi.abort_reason << "\n"
+                         << res.mpi.deadlock_details;
+  EXPECT_EQ(res.mpi.comms_created, 3u);
 }
 
 TEST(Workloads, HeraHasTheRegridFalsePositiveShape) {
