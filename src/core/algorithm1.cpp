@@ -1,6 +1,7 @@
 #include "core/algorithm1.h"
 
 #include "ir/dominators.h"
+#include "support/interner.h"
 #include "support/str.h"
 
 #include <algorithm>
@@ -144,20 +145,20 @@ bool returns_tainted(const Function& fn,
   return rank_branch && returns > 1;
 }
 
-/// Communicator equivalence-class suffix of a collective site ("" = world).
-/// Matching is partitioned per class: an MPI_Allreduce on MPI_COMM_WORLD and
-/// one on a split communicator are different labels, so each class gets its
-/// own PDF+ divergence analysis. The textual criterion is conservative —
-/// different spellings of the same handle keep the warning, like the root
-/// criterion below.
-std::string comm_class_of(const Instruction& in) {
-  if (in.op != Opcode::CollComm || !in.comm) return "";
-  return str::cat("@", ir::to_string(*in.comm));
+/// Label suffix for diagnostics ("@c"; "" = world), built on the shared
+/// ir::comm_class_of key. Matching is partitioned per class: an
+/// MPI_Allreduce on MPI_COMM_WORLD and one on a split communicator are
+/// different labels, so each class gets its own PDF+ divergence analysis.
+/// The textual criterion is conservative — different spellings of the same
+/// handle keep the warning, like the root criterion below.
+std::string comm_suffix_of(const Instruction& in) {
+  const std::string cls = ir::comm_class_of(in);
+  return cls.empty() ? cls : str::cat("@", cls);
 }
 
 std::string label_of(const Instruction& in) {
   if (in.op == Opcode::CollComm)
-    return str::cat(ir::to_string(in.collective), comm_class_of(in));
+    return str::cat(ir::to_string(in.collective), comm_suffix_of(in));
   if (in.op == Opcode::WaitReq) return "MPI_Wait";
   if (in.op == Opcode::WaitAllReq) return "MPI_Waitall";
   return str::cat("call ", in.callee, "()");
@@ -176,14 +177,16 @@ std::string sequence_label_of(const Instruction& in) {
   return label;
 }
 
-/// Computes, per block, the concatenated sequence of collective labels from
-/// the block (inclusive) to `stop` (exclusive), when that sequence is
+/// Computes, per block, the sequence of collective labels from the block
+/// (inclusive) to `stop` (exclusive), when that sequence is
 /// path-independent. Unknown (`nullopt`) when paths disagree or a cycle is
 /// hit — cycles make the count trip-dependent, so they stay conservative.
+/// Labels are interned: a sequence is a vector of dense ids, so equality is
+/// an integer-vector compare instead of a concatenated-string compare.
 class SequenceSolver {
 public:
-  SequenceSolver(const Function& fn, const Summaries& sums)
-      : fn_(fn), sums_(sums) {}
+  SequenceSolver(const Function& fn, const Summaries& sums, Interner& labels)
+      : fn_(fn), sums_(sums), labels_(labels) {}
 
   /// True iff every path from each successor of `cond` to `stop` carries
   /// the same collective sequence (and the two branch sequences are equal).
@@ -200,26 +203,25 @@ public:
   }
 
 private:
-  std::optional<std::string> sequence_from(BlockId b) {
-    if (b == stop_) return std::string();
+  using Sequence = std::vector<int32_t>; // interned sequence-label ids
+
+  std::optional<Sequence> sequence_from(BlockId b) {
+    if (b == stop_) return Sequence();
     if (on_stack_[static_cast<size_t>(b)]) return std::nullopt; // cycle
     auto it = memo_.find(b);
     if (it != memo_.end()) return it->second;
 
-    std::string own;
+    Sequence own;
     for (const auto& in : fn_.block(b).instrs) {
       const bool coll =
           (in.op == Opcode::CollComm && ir::is_matched(in.collective)) ||
           in.is_request_sync();
       const bool call = in.op == Opcode::Call && sums_.find(in.callee) &&
                         sums_.find(in.callee)->has_collective;
-      if (coll || call) {
-        own += sequence_label_of(in);
-        own += ';';
-      }
+      if (coll || call) own.push_back(labels_.intern(sequence_label_of(in)));
     }
 
-    std::optional<std::string> rest;
+    std::optional<Sequence> rest;
     const auto& succs = fn_.block(b).succs;
     on_stack_[static_cast<size_t>(b)] = 1;
     if (succs.empty()) {
@@ -236,18 +238,60 @@ private:
     }
     on_stack_[static_cast<size_t>(b)] = 0;
 
-    std::optional<std::string> result;
-    if (rest) result = own + *rest;
+    std::optional<Sequence> result;
+    if (rest) {
+      result = std::move(own);
+      result->insert(result->end(), rest->begin(), rest->end());
+    }
     memo_.emplace(b, result);
     return result;
   }
 
   const Function& fn_;
   const Summaries& sums_;
+  Interner& labels_;
   BlockId stop_ = ir::kNoBlock;
-  std::map<BlockId, std::optional<std::string>> memo_;
+  std::map<BlockId, std::optional<Sequence>> memo_;
   std::vector<uint8_t> on_stack_;
 };
+
+/// Comm classes each function transitively touches (direct collective sites
+/// plus everything its collective-bearing callees touch): the attribution
+/// target for "call foo()" divergence labels. Fixpoint over the summaries'
+/// call edges (cycle-safe: recursion just stops adding classes).
+std::map<std::string, std::set<std::string>>
+transitive_comm_classes(const Summaries& sums) {
+  std::map<std::string, std::set<std::string>> out;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& [name, fs] : sums.all()) {
+      auto& mine = out[name];
+      const size_t before = mine.size();
+      for (const auto& site : fs.sites) {
+        if (site.site_kind == Site::Kind::Collective) {
+          mine.insert(site.comm);
+        } else if (auto it = out.find(site.callee); it != out.end()) {
+          mine.insert(it->second.begin(), it->second.end());
+        }
+      }
+      changed |= mine.size() != before;
+    }
+  }
+  return out;
+}
+
+/// Comm classes of the nonblocking issue sites of `fn` — what a divergent
+/// MPI_Wait/MPI_Waitall can leave incomplete (requests cannot cross function
+/// boundaries, so the function's own issues bound the attribution).
+std::set<std::string> request_comm_classes(const Function& fn) {
+  std::set<std::string> classes;
+  for (const auto& bb : fn.blocks())
+    for (const auto& in : bb.instrs)
+      if (in.op == Opcode::CollComm && ir::is_nonblocking(in.collective))
+        classes.insert(ir::comm_class_of(in));
+  return classes;
+}
 
 } // namespace
 
@@ -319,12 +363,26 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
   }
   (void)callers;
 
+  // Attribution side tables: which comm classes each divergence label can
+  // desynchronize (call labels attribute to the callee's transitive classes).
+  const auto fn_classes = transitive_comm_classes(sums);
+
+  // Per-label maps are keyed on interned ids (dense int32s) instead of the
+  // concatenated label strings; the interner doubles as the diagnostics side
+  // table (ids render back through labels.name()).
+  Interner labels;
+
   std::set<std::string> flagged_fns;
+  std::set<std::string> divergent_classes;
   for (const auto& fn : m.functions()) {
     // Seeds per label: blocks executing a given collective kind or a call to
     // a given collective-bearing callee.
-    std::map<std::string, std::vector<BlockId>> seeds;
-    std::map<std::string, std::vector<SourceLoc>> seed_locs;
+    std::map<int32_t, std::vector<BlockId>> seeds;
+    std::map<int32_t, std::vector<SourceLoc>> seed_locs;
+    // Classes a divergence on this label desynchronizes (per function:
+    // "MPI_Wait" attributes to this function's nonblocking issues).
+    std::map<int32_t, std::set<std::string>> label_classes;
+    std::optional<std::set<std::string>> req_classes; // computed on demand
     bool has_split = false;
     for (const auto& bb : fn->blocks()) {
       for (const auto& in : bb.instrs) {
@@ -341,11 +399,21 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
         const bool call = in.op == Opcode::Call && sums.find(in.callee) &&
                           sums.find(in.callee)->has_collective;
         if (!coll && !call) continue;
-        const std::string label = label_of(in);
+        const int32_t label = labels.intern(label_of(in));
         auto& blocks = seeds[label];
         if (std::find(blocks.begin(), blocks.end(), bb.id) == blocks.end())
           blocks.push_back(bb.id);
         seed_locs[label].push_back(in.loc);
+        auto& classes = label_classes[label];
+        if (in.op == Opcode::CollComm) {
+          classes.insert(ir::comm_class_of(in));
+        } else if (in.is_request_sync()) {
+          if (!req_classes) req_classes = request_comm_classes(*fn);
+          classes.insert(req_classes->begin(), req_classes->end());
+        } else if (auto it = fn_classes.find(in.callee);
+                   it != fn_classes.end()) {
+          classes.insert(it->second.begin(), it->second.end());
+        }
       }
     }
     // Rank-colored splits: a comm_split whose color depends on rank() makes
@@ -372,6 +440,15 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
           dp.label = "MPI_Comm_split";
           dp.rank_dependent = true;
           dp.collective_locs = {in.loc};
+          // A rank-colored split makes processes join different
+          // communicators, so the sequences that can mismatch are the ones
+          // on the *result* handle — that handle's textual class (its result
+          // variable; sema forbids comm aliasing, so every later use spells
+          // this name). A discarded handle can never carry a collective.
+          if (!in.var.empty()) {
+            dp.comm_classes = {in.var};
+            divergent_classes.insert(in.var);
+          }
           flagged_fns.insert(fn->name);
           diags.report(
               Severity::Warning, DiagKind::CollectiveMismatch, in.loc,
@@ -387,16 +464,16 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
     const ir::DomTree pdom(*fn, ir::DomTree::Direction::Backward);
     const auto rank_dep =
         rank_dependent_branches(*fn, tainted_params[fn->name], &tainted_ret);
-    SequenceSolver solver(*fn, sums);
+    SequenceSolver solver(*fn, sums, labels);
     std::set<BlockId> known_balanced, known_unbalanced;
 
-    std::set<std::pair<BlockId, std::string>> reported;
-    for (const auto& [label, blocks] : seeds) {
+    std::set<std::pair<BlockId, int32_t>> reported;
+    for (const auto& [label_id, blocks] : seeds) {
       for (BlockId c : pdom.iterated_frontier(blocks)) {
         const ir::BasicBlock& cb = fn->block(c);
         const Instruction* t = cb.terminator();
         if (!t || t->op != Opcode::CondBr) continue; // only conditionals
-        if (!reported.emplace(c, label).second) continue;
+        if (!reported.emplace(c, label_id).second) continue;
         if (opts.match_sequences && !known_unbalanced.count(c)) {
           bool balanced = known_balanced.count(c) > 0;
           if (!balanced) {
@@ -412,13 +489,17 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
         if (rd) ++result.conditionals_flagged_filtered;
         if (opts.rank_taint_filter && !rd) continue;
 
+        const std::string label(labels.name(label_id));
         DivergencePoint dp;
         dp.function = fn->name;
         dp.block = c;
         dp.loc = t->loc;
         dp.label = label;
         dp.rank_dependent = rd;
-        dp.collective_locs = seed_locs[label];
+        dp.collective_locs = seed_locs[label_id];
+        const auto& classes = label_classes[label_id];
+        dp.comm_classes.assign(classes.begin(), classes.end());
+        divergent_classes.insert(classes.begin(), classes.end());
         flagged_fns.insert(fn->name);
 
         auto& d = diags.report(
@@ -433,6 +514,9 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
     }
   }
   result.flagged_functions.assign(flagged_fns.begin(), flagged_fns.end());
+  result.divergent_classes.assign(divergent_classes.begin(),
+                                  divergent_classes.end());
+  result.labels_interned = labels.size();
   return result;
 }
 

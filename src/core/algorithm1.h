@@ -44,18 +44,32 @@ struct DivergencePoint {
   std::string label;       // e.g. "MPI_Allreduce" or "call mpi_phase()"
   bool rank_dependent = false;
   std::vector<SourceLoc> collective_locs;
+  /// Communicator equivalence classes this divergence can desynchronize
+  /// ("" = MPI_COMM_WORLD). A collective label attributes to its own class;
+  /// a call label to every class the callee transitively touches; a wait to
+  /// the classes of the function's nonblocking issues; a rank-colored split
+  /// to the class of its result handle.
+  std::vector<std::string> comm_classes;
 };
 
 struct Algorithm1Result {
   std::vector<DivergencePoint> divergences; // the paper's set O
   /// Names of functions containing at least one divergence.
   std::vector<std::string> flagged_functions;
+  /// Sorted union of DivergencePoint::comm_classes over all divergences:
+  /// the comm equivalence classes whose collective sequences can diverge
+  /// between processes. The instrumentation planner arms the CC protocol
+  /// only for these classes.
+  std::vector<std::string> divergent_classes;
   /// Statistics for the ablation bench.
   size_t conditionals_flagged_unfiltered = 0;
   size_t conditionals_flagged_filtered = 0;
   /// Conditionals suppressed because both branches execute identical
   /// collective sequences (only counted when match_sequences is enabled).
   size_t conditionals_balanced = 0;
+  /// Distinct collective/sequence labels interned during the run (the
+  /// per-class partitioning cost scales with this, not with label length).
+  size_t labels_interned = 0;
 };
 
 [[nodiscard]] Algorithm1Result run_algorithm1(const ir::Module& m,

@@ -13,12 +13,46 @@ bool checkable_collective(const Instruction& in) {
   return in.op == Opcode::CollComm && ir::is_matched(in.collective);
 }
 
-size_t count_collectives(const ir::Module& m) {
-  size_t n = 0;
+/// Single traversal shared by planning and censuses: visits every checkable
+/// collective site of the module, in function/block/instruction order.
+template <typename F>
+void for_each_checkable_site(const ir::Module& m, F&& f) {
   for (const auto& fn : m.functions())
     for (const auto& bb : fn->blocks())
-      for (const auto& in : bb.instrs) n += checkable_collective(in);
-  return n;
+      for (const auto& in : bb.instrs)
+        if (checkable_collective(in)) f(in);
+}
+
+/// Arms `plan` for exactly the classes `armed` (empty = nothing), filling
+/// the flat cc_stmts union, the per-class matrix, and the class census.
+void arm_classes(const ir::Module& m, InstrumentationPlan& plan,
+                 const std::set<std::string>& armed) {
+  std::set<std::string> all_classes;
+  for_each_checkable_site(m, [&](const Instruction& in) {
+    ++plan.total_collective_sites;
+    std::string cls = ir::comm_class_of(in);
+    all_classes.insert(cls);
+    if (!armed.count(cls)) return;
+    plan.cc_stmts.insert(in.stmt_id);
+    plan.cc_stmts_by_class[cls].push_back(in.stmt_id);
+  });
+  plan.total_cc_classes = all_classes.size();
+  for (const auto& cls : plan.cc_stmts_by_class) plan.cc_classes.insert(cls.first);
+  // Every armed class that actually has sites triggers the exit sentinel.
+  plan.cc_final_in_main = !plan.cc_classes.empty() && m.find("main") != nullptr;
+}
+
+/// The armed set of the selective plan: classes that can diverge between
+/// processes (Algorithm 1) or be desynchronized by an intra-process hazard
+/// (phases 1/2). The union is per class — the safety invariant ("every rank
+/// of an armed comm runs the same checks") holds class-wise because classes
+/// are textual: all ranks execute the same sites of a class.
+std::set<std::string> divergent_or_hazard_classes(const PhaseResult& phases,
+                                                  const Algorithm1Result& alg1) {
+  std::set<std::string> armed(alg1.divergent_classes.begin(),
+                              alg1.divergent_classes.end());
+  armed.insert(phases.hazard_classes.begin(), phases.hazard_classes.end());
+  return armed;
 }
 
 } // namespace
@@ -26,43 +60,42 @@ size_t count_collectives(const ir::Module& m) {
 InstrumentationPlan make_plan(const ir::Module& m, const PhaseResult& phases,
                               const Algorithm1Result& alg1) {
   InstrumentationPlan plan;
-  plan.total_collective_sites = count_collectives(m);
-
   for (int32_t sid : phases.mono_check_stmts) plan.mono_stmts.insert(sid);
   for (int32_t rid : phases.watched_regions) plan.watched_regions.insert(rid);
+  arm_classes(m, plan, divergent_or_hazard_classes(phases, alg1));
+  return plan;
+}
 
-  // Any possible inter-process divergence (phase 3) or any intra-process
-  // hazard that could desynchronize the sequence enables the CC protocol
-  // program-wide: the protocol only converts divergence into clean aborts if
-  // every rank runs the same checks.
-  const bool needs_cc = !alg1.divergences.empty() ||
-                        !phases.multithreaded.empty() ||
-                        !phases.concurrent.empty();
-  if (needs_cc) {
-    for (const auto& fn : m.functions())
-      for (const auto& bb : fn->blocks())
-        for (const auto& in : bb.instrs)
-          if (checkable_collective(in)) plan.cc_stmts.insert(in.stmt_id);
-    plan.cc_final_in_main = m.find("main") != nullptr;
+InstrumentationPlan make_programwide_plan(const ir::Module& m,
+                                          const PhaseResult& phases,
+                                          const Algorithm1Result& alg1) {
+  InstrumentationPlan plan;
+  for (int32_t sid : phases.mono_check_stmts) plan.mono_stmts.insert(sid);
+  for (int32_t rid : phases.watched_regions) plan.watched_regions.insert(rid);
+  std::set<std::string> armed;
+  if (!alg1.divergences.empty() || !phases.multithreaded.empty() ||
+      !phases.concurrent.empty()) {
+    // Pre-matrix behaviour: anything divergent arms every class.
+    for_each_checkable_site(
+        m, [&](const Instruction& in) { armed.insert(ir::comm_class_of(in)); });
   }
+  arm_classes(m, plan, armed);
   return plan;
 }
 
 InstrumentationPlan make_blanket_plan(const ir::Module& m) {
   InstrumentationPlan plan;
-  plan.total_collective_sites = count_collectives(m);
-  for (const auto& fn : m.functions()) {
-    for (const auto& bb : fn->blocks()) {
-      for (const auto& in : bb.instrs) {
-        if (checkable_collective(in)) {
-          plan.cc_stmts.insert(in.stmt_id);
-          plan.mono_stmts.insert(in.stmt_id);
-        }
+  std::set<std::string> armed;
+  for_each_checkable_site(
+      m, [&](const Instruction& in) { armed.insert(ir::comm_class_of(in)); });
+  arm_classes(m, plan, armed);
+  for_each_checkable_site(
+      m, [&](const Instruction& in) { plan.mono_stmts.insert(in.stmt_id); });
+  for (const auto& fn : m.functions())
+    for (const auto& bb : fn->blocks())
+      for (const auto& in : bb.instrs)
         if (in.op == Opcode::OmpBegin && ir::is_single_threaded(in.omp))
           plan.watched_regions.insert(in.region_id);
-      }
-    }
-  }
   plan.cc_final_in_main = m.find("main") != nullptr;
   return plan;
 }

@@ -3,10 +3,13 @@
 // From the analysis results this pass derives an InstrumentationPlan and can
 // materialize it into the IR ("verification code generation", the measured
 // quantity of Figure 1):
-//   - CheckCC before every collective, and CheckCCFinal before returns of
-//     main, when any inter-process divergence is possible (the CC protocol
-//     is a distributed agreement, so it is enabled program-wide or not at
-//     all; a clean program gets zero checks);
+//   - CheckCC before collectives of *armed comm equivalence classes*, and
+//     CheckCCFinal before returns of main when any class is armed. The CC
+//     protocol is a distributed agreement per communicator, so it is armed
+//     per comm class or not at all: every rank of an armed comm runs the
+//     same checks (textual classes guarantee the uniformity), while
+//     provably-clean communicators — MPI_COMM_WORLD included — pay nothing.
+//     A clean program gets zero checks;
 //   - CheckMono before collectives in set S (phase-1 violations) — at
 //     runtime the occupancy counter validates that the region is *actually*
 //     monothreaded, killing the static false positives the paper mentions
@@ -20,21 +23,38 @@
 #include "core/phases.h"
 #include "ir/module.h"
 
+#include <map>
+#include <set>
 #include <unordered_set>
+#include <vector>
 
 namespace parcoach::core {
 
 struct InstrumentationPlan {
-  /// Stmt ids of collectives that get a CC check.
+  /// Stmt ids of collectives that get a CC check (union over armed classes;
+  /// the per-call lookup the interpreter and apply_plan use).
   std::unordered_set<int32_t> cc_stmts;
   /// Stmt ids of collectives that get an occupancy (monothread) check.
   std::unordered_set<int32_t> mono_stmts;
   /// Region ids watched by the concurrent-region registry.
   std::unordered_set<int32_t> watched_regions;
-  /// Insert CheckCCFinal before main's returns (and at its end).
+  /// Insert CheckCCFinal before main's returns (and at its end). At runtime
+  /// the sentinel is per-comm: FINAL is piggybacked on every armed comm the
+  /// rank still holds, and on MPI_COMM_WORLD only when world is armed.
   bool cc_final_in_main = false;
 
+  /// The arming matrix: armed comm equivalence class ("" = MPI_COMM_WORLD)
+  /// -> stmt ids of that class's collective sites, in stmt order.
+  std::map<std::string, std::vector<int32_t>> cc_stmts_by_class;
+  /// Armed classes (the keys of cc_stmts_by_class).
+  std::set<std::string> cc_classes;
+
   size_t total_collective_sites = 0; // census for selectivity stats
+  size_t total_cc_classes = 0;       // distinct comm classes in the module
+
+  [[nodiscard]] bool world_cc_armed() const {
+    return cc_classes.count(std::string()) > 0;
+  }
   [[nodiscard]] bool empty() const noexcept {
     return cc_stmts.empty() && mono_stmts.empty() && watched_regions.empty() &&
            !cc_final_in_main;
@@ -45,10 +65,19 @@ struct InstrumentationPlan {
   }
 };
 
-/// Derives the selective plan from the analysis results.
+/// Derives the selective plan from the analysis results: CC is armed only
+/// for the classes named by Algorithm1Result::divergent_classes and
+/// PhaseResult::hazard_classes.
 [[nodiscard]] InstrumentationPlan
 make_plan(const ir::Module& m, const PhaseResult& phases,
           const Algorithm1Result& alg1);
+
+/// Program-wide arming: like make_plan but, when anything diverges, arms
+/// every class (the pre-matrix behaviour; kept as the parity baseline for
+/// tests and bench_selective_instrumentation).
+[[nodiscard]] InstrumentationPlan
+make_programwide_plan(const ir::Module& m, const PhaseResult& phases,
+                      const Algorithm1Result& alg1);
 
 /// Blanket plan: checks at every collective site regardless of analysis
 /// results (the ablation baseline for bench_selective_instrumentation).

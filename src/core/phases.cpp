@@ -57,6 +57,7 @@ std::string site_name(const Summaries::Expanded& e) {
 PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
                        const AnalysisOptions& opts, DiagnosticEngine& diags) {
   PhaseResult result;
+  std::set<std::string> hazard_classes;
   Word base;
   if (opts.initial_context == InitialContext::Multithreaded)
     base.append_parallel(-1);
@@ -99,6 +100,8 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
       v.stmt_id = e.stmt_id;
       v.word = e.word;
       v.call_chain = e.call_chain;
+      v.comm_class = e.comm;
+      hazard_classes.insert(e.comm);
       if (const WordToken* p = e.word.innermost_parallel()) v.sipw_region = p->id;
       if (!mono) {
         auto& d = diags.report(
@@ -145,6 +148,10 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
       v.b_stmt = b.stmt_id;
       v.a_region = ta.id;
       v.b_region = tb.id;
+      v.a_comm = a.comm;
+      v.b_comm = b.comm;
+      hazard_classes.insert(a.comm);
+      hazard_classes.insert(b.comm);
       watch(ta.id);
       watch(tb.id);
       auto& d = diags.report(
@@ -175,16 +182,19 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
         if (in.omp != ir::OmpKind::Single && in.omp != ir::OmpKind::Section)
           continue;
         // The region must contain a collective (directly or via calls):
-        // check expanded sites for an S token with this region id.
+        // check expanded sites for an S token with this region id. Collect
+        // the comm classes of those collectives — a self-overlap reorders
+        // exactly their comms' slot sequences.
         bool region_has_collective = false;
+        std::set<std::string> region_classes;
         for (const auto& occ : occurrences) {
           for (const auto& t : occ.site.word.tokens()) {
             if (t.kind == TokKind::S && t.id == in.region_id) {
               region_has_collective = true;
+              region_classes.insert(occ.site.comm);
               break;
             }
           }
-          if (region_has_collective) break;
         }
         if (!region_has_collective) continue;
         // The region entry must be inside a parallel region (otherwise no
@@ -211,6 +221,13 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
           v.a_loc = v.b_loc = in.loc;
           v.a_stmt = v.b_stmt = in.stmt_id;
           v.a_region = v.b_region = in.region_id;
+          // Name up to two of the region's classes on the record (both ends
+          // of the set); the full set feeds hazard_classes below either way.
+          if (!region_classes.empty()) {
+            v.a_comm = *region_classes.begin();
+            v.b_comm = *region_classes.rbegin();
+          }
+          hazard_classes.insert(region_classes.begin(), region_classes.end());
           watch(in.region_id);
           diags.report(
               Severity::Warning, DiagKind::ConcurrentCollectives, in.loc,
@@ -227,6 +244,7 @@ PhaseResult run_phases(const ir::Module& m, const Summaries& sums,
 
   result.watched_regions.assign(watched.begin(), watched.end());
   std::sort(result.mono_check_stmts.begin(), result.mono_check_stmts.end());
+  result.hazard_classes.assign(hazard_classes.begin(), hazard_classes.end());
   return result;
 }
 

@@ -42,6 +42,10 @@ struct MonoViolation {
   /// Region id of the innermost enclosing parallel region (-1 when the
   /// multithreading comes from the initial context).
   int32_t sipw_region = -1;
+  /// Communicator equivalence class of the collective ("" = world): a
+  /// multithreaded collective can desynchronize exactly this comm's slot
+  /// sequence, so the planner arms the CC protocol for this class only.
+  std::string comm_class;
 };
 
 /// A phase-2 violation: two collectives in concurrent monothreaded regions
@@ -53,6 +57,10 @@ struct ConcurrencyViolation {
   int32_t a_stmt = -1, b_stmt = -1;
   int32_t a_region = -1, b_region = -1; // the diverging S region ids (Scc)
   bool self = false;
+  /// Comm equivalence classes of the two collectives ("" = world). A
+  /// nondeterministic interleaving reorders each comm's slot sequence, so
+  /// both classes need the CC protocol.
+  std::string a_comm, b_comm;
 };
 
 struct PhaseResult {
@@ -62,6 +70,10 @@ struct PhaseResult {
   std::vector<int32_t> watched_regions;
   /// Stmt ids of collectives that need runtime occupancy checks.
   std::vector<int32_t> mono_check_stmts;
+  /// Sorted union of the comm classes of all phase-1/2 violations: the
+  /// classes an intra-process hazard can desynchronize. Feeds the per-class
+  /// CC arming decision exactly like Algorithm1Result::divergent_classes.
+  std::vector<std::string> hazard_classes;
 };
 
 /// Runs phases 1 and 2 over the whole program. Roots: `main` when present;

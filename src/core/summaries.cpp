@@ -85,7 +85,7 @@ Summaries Summaries::build(const ir::Module& m) {
         Site site;
         site.site_kind = coll ? Site::Kind::Collective : Site::Kind::Call;
         if (coll) site.collective = in.collective;
-        if (coll && in.comm) site.comm = ir::to_string(*in.comm);
+        if (coll) site.comm = ir::comm_class_of(in);
         if (call) site.callee = in.callee;
         site.loc = in.loc;
         site.stmt_id = in.stmt_id;

@@ -30,6 +30,9 @@ WarningCensus census_of(const std::string& name, const CompileResult& r,
   c.thread_level = diags.count(DiagKind::ThreadLevelViolation);
   c.checks_inserted = r.inserted_checks;
   c.total_collective_sites = r.plan.total_collective_sites;
+  c.cc_sites_armed = r.plan.cc_stmts.size();
+  c.cc_classes_armed = r.plan.cc_classes.size();
+  c.cc_classes_total = r.plan.total_cc_classes;
   return c;
 }
 
@@ -39,14 +42,19 @@ std::string format_census_table(const std::vector<WarningCensus>& rows) {
      << "lines" << std::setw(7) << "funcs" << std::setw(7) << "colls"
      << std::setw(7) << "par" << std::setw(8) << "ph1" << std::setw(8) << "ph2"
      << std::setw(8) << "ph3" << std::setw(10) << "ph3-rank" << std::setw(7)
-     << "lvl" << std::setw(9) << "checks" << '\n';
+     << "lvl" << std::setw(9) << "checks" << std::setw(9) << "armed"
+     << std::setw(8) << "comms" << '\n';
   for (const auto& c : rows) {
     os << std::left << std::setw(14) << c.program << std::right << std::setw(8)
        << c.code_lines << std::setw(7) << c.functions << std::setw(7)
        << c.collectives << std::setw(7) << c.parallel_regions << std::setw(8)
        << c.multithreaded << std::setw(8) << c.concurrent << std::setw(8)
        << c.mismatch << std::setw(10) << c.mismatch_filtered << std::setw(7)
-       << c.thread_level << std::setw(9) << c.checks_inserted << '\n';
+       << c.thread_level << std::setw(9) << c.checks_inserted << std::setw(9)
+       << c.cc_sites_armed << std::setw(8)
+       << (std::to_string(c.cc_classes_armed) + "/" +
+           std::to_string(c.cc_classes_total))
+       << '\n';
   }
   return os.str();
 }

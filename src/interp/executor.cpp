@@ -98,8 +98,22 @@ public:
     ThreadState ts;
     ts.omp = &root;
     call_function(*main_fn, {}, ts);
-    if (shared_.plan && shared_.plan->cc_final_in_main)
-      shared_.verifier->check_cc_final_piggybacked(rank_, main_fn->loc);
+    if (shared_.plan && shared_.plan->cc_final_in_main) {
+      // Per-comm exit sentinels: every armed communicator this rank still
+      // holds gets a FINAL post (creation order, identical on all members
+      // since arming is per textual class), then world — blocking, as
+      // before — only when the world class itself is armed.
+      std::vector<int64_t> armed;
+      {
+        std::scoped_lock lk(armed_comms_mu_);
+        armed = armed_comms_;
+      }
+      for (int64_t handle : armed)
+        shared_.verifier->check_cc_final_piggybacked_on(rank_, handle,
+                                                        main_fn->loc);
+      if (shared_.plan->world_cc_armed())
+        shared_.verifier->check_cc_final_piggybacked(rank_, main_fn->loc);
+    }
   }
 
 private:
@@ -463,20 +477,34 @@ private:
         s.mpi_comm ? eval(*s.mpi_comm, env, ts) : simmpi::Rank::kCommWorld;
     if (s.coll == ir::CollectiveKind::CommFree) {
       rank_.comm_free(parent);
+      std::scoped_lock lk(armed_comms_mu_);
+      armed_comms_.erase(
+          std::remove(armed_comms_.begin(), armed_comms_.end(), parent),
+          armed_comms_.end());
       return;
     }
     int64_t cc_id = simmpi::kCcNone;
     if (cc)
       cc_id = shared_.verifier->cc_lane_id(
           s.coll, std::nullopt, -1, s.mpi_comm ? rank_.comm_id_of(parent) : 0);
+    // The result handle's comm class is the textual result variable (sema
+    // forbids comm aliasing, so every collective on the child spells this
+    // name). Unarmed classes get children without a CC lane — the true
+    // zero-overhead path — and are excluded from the exit sentinel.
+    const bool child_armed =
+        shared_.plan && shared_.plan->cc_classes.count(s.name) > 0;
     try {
       int64_t handle = 0;
       if (s.coll == ir::CollectiveKind::CommSplit) {
         const int64_t color = eval(*s.mpi_value, env, ts);
         const int64_t key = eval(*s.mpi_root, env, ts);
-        handle = rank_.comm_split(parent, color, key, cc_id);
+        handle = rank_.comm_split(parent, color, key, cc_id, child_armed);
       } else {
-        handle = rank_.comm_dup(parent, cc_id);
+        handle = rank_.comm_dup(parent, cc_id, child_armed);
+      }
+      if (child_armed && handle != simmpi::CommRegistry::kNull) {
+        std::scoped_lock lk(armed_comms_mu_);
+        armed_comms_.push_back(handle);
       }
       store_target(s, handle, env, ts);
     } catch (const simmpi::CcMismatchError& e) {
@@ -501,6 +529,11 @@ public:
 private:
   SharedState& shared_;
   simmpi::Rank& rank_;
+  /// Live handles of communicators created at armed-class split/dup sites
+  /// (the per-comm exit sentinel targets). Threads of one rank share this
+  /// under MPI_THREAD_MULTIPLE.
+  std::mutex armed_comms_mu_;
+  std::vector<int64_t> armed_comms_;
 };
 
 } // namespace
@@ -513,6 +546,11 @@ ExecResult Executor::run(const ExecOptions& opts) {
   ExecResult result;
   simmpi::World::Options wopts = opts.mpi;
   wopts.num_ranks = opts.num_ranks;
+  // World's CC lane exists only when the plan arms the world comm class: an
+  // unarmed (or uninstrumented) run's world collectives skip the lane
+  // bookkeeping entirely, so the clean-comm path matches the uninstrumented
+  // baseline instruction-for-instruction.
+  wopts.world_cc_lane = plan_ && plan_->world_cc_armed();
   simmpi::World world(wopts);
   rt::Verifier verifier(sm_, opts.verify, opts.num_ranks);
 
@@ -535,6 +573,14 @@ ExecResult Executor::run(const ExecOptions& opts) {
   });
 
   result.rt_diags = verifier.diagnostics();
+  if (plan_) {
+    // Selective-arming census: make the skipped work visible next to the
+    // run's slot counters.
+    result.mpi.cc_sites_armed = plan_->cc_stmts.size();
+    result.mpi.cc_classes_armed = plan_->cc_classes.size();
+    result.mpi.cc_classes_total = plan_->total_cc_classes;
+    result.mpi.total_collective_sites = plan_->total_collective_sites;
+  }
   {
     std::scoped_lock lk(shared.output_mu);
     result.output = std::move(shared.output);

@@ -107,4 +107,17 @@ struct Instruction {
   }
 };
 
+/// Textual communicator equivalence class of a collective site ("" =
+/// MPI_COMM_WORLD): the spelling of the comm operand. This single helper is
+/// load-bearing for the selective arming matrix — summaries, phases,
+/// Algorithm 1 and the instrumentation planner must all partition on
+/// byte-identical keys, or a divergent class could silently run the unarmed
+/// path. (The interpreter's split/dup result class is the Stmt's result
+/// variable name, which sema's no-aliasing rule keeps equal to every later
+/// operand spelling.)
+[[nodiscard]] inline std::string comm_class_of(const Instruction& in) {
+  if (in.op != Opcode::CollComm || !in.comm) return std::string();
+  return to_string(*in.comm);
+}
+
 } // namespace parcoach::ir

@@ -219,6 +219,29 @@ void Verifier::check_cc_final_piggybacked(simmpi::Rank& rank, SourceLoc loc) {
   }
 }
 
+void Verifier::check_cc_final_piggybacked_on(simmpi::Rank& rank,
+                                             int64_t comm_handle,
+                                             SourceLoc loc) {
+  simmpi::Rank::CommRef ref;
+  try {
+    ref = rank.comm_ref(comm_handle);
+  } catch (const simmpi::UsageError&) {
+    return; // freed meanwhile (or never a member): nothing left to seal
+  }
+  simmpi::Signature sig{ir::CollectiveKind::Finalize, -1, {}};
+  sig.cc = kFinalId;
+  bool mismatch = false;
+  try {
+    // Nonblocking on purpose: every member of the armed class posts its own
+    // sentinel (textual classes arm uniformly), so an agreeing lane
+    // completes; but a rank-guarded mpi_comm_free elsewhere must not leave
+    // this rank parked on a slot that can never fill.
+    ref.comm->post(ref.local_rank, sig, 0, {}, mismatch);
+  } catch (const simmpi::CcMismatchError& e) {
+    report_cc_mismatch(rank, ir::CollectiveKind::Finalize, loc, e);
+  }
+}
+
 // ---- MonoGuard ----------------------------------------------------------------
 
 Verifier::MonoGuard::MonoGuard(Verifier& v, simmpi::Rank& rank, int32_t stmt_id,

@@ -83,8 +83,18 @@ public:
   /// Piggybacked exit sentinel: deposits the FINAL id into the rank's next
   /// application-communicator slot, where it meets whatever the other ranks
   /// do next (their next collective, or their own sentinel) in one shared
-  /// synchronization round.
+  /// synchronization round. Used for MPI_COMM_WORLD, and only when world's
+  /// comm class is armed.
   void check_cc_final_piggybacked(simmpi::Rank& rank, SourceLoc loc);
+
+  /// Per-comm exit sentinel for an armed sub-communicator the rank still
+  /// holds: *posts* (nonblocking) the FINAL id into the comm's next slot, so
+  /// a member still issuing collectives on that comm trips the CC lane,
+  /// while legitimate membership divergence (a rank that already freed its
+  /// handle, or opted out of the split) cannot deadlock the exit path.
+  /// Freed/invalid handles are skipped silently.
+  void check_cc_final_piggybacked_on(simmpi::Rank& rank, int64_t comm_handle,
+                                     SourceLoc loc);
 
   /// RAII guard for collective-site occupancy (set S / Sipw validation).
   class MonoGuard {

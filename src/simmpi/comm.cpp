@@ -87,9 +87,11 @@ private:
 };
 
 Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict,
-           int32_t comm_id, std::vector<int32_t> world_ranks)
+           int32_t comm_id, std::vector<int32_t> world_ranks,
+           bool cc_lane_enabled)
     : name_(std::move(name)), size_(size), world_(world), strict_(strict),
       comm_id_(comm_id), world_ranks_(std::move(world_ranks)),
+      cc_enabled_(cc_lane_enabled),
       next_slot_(new std::atomic<size_t>[static_cast<size_t>(size)]),
       blocked_(static_cast<size_t>(size)) {
   for (int32_t r = 0; r < size; ++r) next_slot_[static_cast<size_t>(r)] = 0;
@@ -211,7 +213,9 @@ Comm::Slot* Comm::slot_for(size_t idx) {
     s->present.assign(n, 0);
     s->contrib.assign(n, 0);
     s->vec_contrib.assign(n, {});
-    s->cc_ids.assign(n, kCcUnchecked);
+    // Unarmed communicators carry no CC lane at all (no per-slot id vector,
+    // no lane bookkeeping on arrival).
+    if (cc_enabled_) s->cc_ids.assign(n, kCcUnchecked);
     slots_.push_back(std::move(s));
   }
   return slots_[idx - slot_base_].get();
@@ -259,7 +263,16 @@ bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
   }
   // CC agreement first: divergence must be reported before the signature
   // clash can turn into a hang (the paper's check-before-collective order).
-  cc_lane(s, idx, rank, sig.cc);
+  // Unarmed communicators skip the lane entirely — no id publication, no
+  // arrival counting, no compare; the planner guarantees no caller arms a
+  // CC id here, and a stray one is a bug worth failing loudly on.
+  if (cc_enabled_) {
+    cc_lane(s, idx, rank, sig.cc);
+  } else if (sig.cc != kCcNone) {
+    throw UsageError(str::cat("CC id piggybacked on ", slot_site(name_, idx),
+                              " but the communicator's CC lane is disabled "
+                              "(unarmed comm class)"));
+  }
   if (!(slot_sig == sig)) {
     // Strict mode is deliberately fail-fast: with 3+ ranks it can fire
     // before the CC lane completes (the lane needs every rank), in which

@@ -131,12 +131,19 @@ public:
   /// `comm_id` is the registry-assigned identity used by the CC encoding
   /// (0 = MPI_COMM_WORLD); `world_ranks` maps local rank -> world rank for
   /// sub-communicators (empty = identity, i.e. a world-sized communicator).
+  /// `cc_lane_enabled` = false gives an *unarmed* communicator the true
+  /// zero-overhead path: slots allocate no CC lane, arrivals never publish
+  /// or compare ids, and an arrival that does carry a CC id is a caller bug
+  /// (UsageError) — the instrumentation planner promises unarmed comms are
+  /// never checked.
   Comm(std::string name, int32_t size, WorldState& world, bool strict,
-       int32_t comm_id = 0, std::vector<int32_t> world_ranks = {});
+       int32_t comm_id = 0, std::vector<int32_t> world_ranks = {},
+       bool cc_lane_enabled = true);
 
   [[nodiscard]] int32_t size() const noexcept { return size_; }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int32_t comm_id() const noexcept { return comm_id_; }
+  [[nodiscard]] bool cc_lane_enabled() const noexcept { return cc_enabled_; }
   /// World rank of a member (identity when no member map is attached).
   [[nodiscard]] int32_t world_rank_of(int32_t local) const noexcept {
     return world_ranks_.empty() ? local
@@ -293,6 +300,7 @@ private:
   bool strict_;
   int32_t comm_id_ = 0;
   std::vector<int32_t> world_ranks_; // local -> world (empty = identity)
+  bool cc_enabled_ = true;           // false = no CC lane ever (unarmed comm)
 
   struct MailKey {
     int32_t src, dst, tag;

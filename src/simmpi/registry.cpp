@@ -6,11 +6,14 @@
 
 namespace parcoach::simmpi {
 
-CommRegistry::CommRegistry(WorldState& world, int32_t world_size, bool strict)
+CommRegistry::CommRegistry(WorldState& world, int32_t world_size, bool strict,
+                           bool world_cc_lane)
     : world_(world), world_size_(world_size), strict_(strict) {
   auto e = std::make_unique<Entry>();
   e->comm = std::make_unique<Comm>("MPI_COMM_WORLD", world_size, world_,
-                                   strict_, /*comm_id=*/0);
+                                   strict_, /*comm_id=*/0,
+                                   /*world_ranks=*/std::vector<int32_t>{},
+                                   world_cc_lane);
   e->members.resize(static_cast<size_t>(world_size));
   e->local_of.resize(static_cast<size_t>(world_size));
   for (int32_t r = 0; r < world_size; ++r) {
@@ -62,7 +65,8 @@ void CommRegistry::check_capacity(size_t new_comms) {
 }
 
 int64_t CommRegistry::create_child(const std::string& base,
-                                   std::vector<int32_t> members) {
+                                   std::vector<int32_t> members,
+                                   bool cc_lane_enabled) {
   const int32_t id = next_comm_id_++;
   const int64_t handle = next_handle_++;
   auto e = std::make_unique<Entry>();
@@ -72,7 +76,8 @@ int64_t CommRegistry::create_child(const std::string& base,
   e->freed.assign(static_cast<size_t>(world_size_), 0);
   e->comm = std::make_unique<Comm>(str::cat(base, "#", id),
                                    static_cast<int32_t>(members.size()),
-                                   world_, strict_, id, members);
+                                   world_, strict_, id, members,
+                                   cc_lane_enabled);
   e->members = std::move(members);
   order_.push_back(e.get());
   by_handle_.emplace(handle, std::move(e));
@@ -81,7 +86,7 @@ int64_t CommRegistry::create_child(const std::string& base,
 }
 
 int64_t CommRegistry::split(int64_t parent, int32_t world_rank, int64_t color,
-                            int64_t key, int64_t cc) {
+                            int64_t key, int64_t cc, bool child_cc_lane) {
   int32_t local = -1;
   Comm& p = resolve(parent, world_rank, local);
   Signature sig{CollectiveKind::CommSplit, -1, {}};
@@ -112,8 +117,9 @@ int64_t CommRegistry::split(int64_t parent, int32_t world_rank, int64_t color,
       std::vector<int32_t> world_ranks;
       world_ranks.reserve(members.size());
       for (const auto& [k, wr] : members) world_ranks.push_back(wr);
-      event.handles.emplace(c,
-                            create_child("comm_split", std::move(world_ranks)));
+      event.handles.emplace(c, create_child("comm_split",
+                                            std::move(world_ranks),
+                                            child_cc_lane));
     }
     ev = events_.emplace(event_key, std::move(event)).first;
   }
@@ -123,7 +129,8 @@ int64_t CommRegistry::split(int64_t parent, int32_t world_rank, int64_t color,
   return handle;
 }
 
-int64_t CommRegistry::dup(int64_t parent, int32_t world_rank, int64_t cc) {
+int64_t CommRegistry::dup(int64_t parent, int32_t world_rank, int64_t cc,
+                          bool child_cc_lane) {
   int32_t local = -1;
   Comm& p = resolve(parent, world_rank, local);
   Signature sig{CollectiveKind::CommDup, -1, {}};
@@ -140,7 +147,8 @@ int64_t CommRegistry::dup(int64_t parent, int32_t world_rank, int64_t cc) {
     for (int32_t l = 0; l < p.size(); ++l)
       members.push_back(p.world_rank_of(l));
     Event event;
-    event.handles.emplace(0, create_child("comm_dup", std::move(members)));
+    event.handles.emplace(0, create_child("comm_dup", std::move(members),
+                                          child_cc_lane));
     ev = events_.emplace(event_key, std::move(event)).first;
   }
   const int64_t handle = ev->second.handles.at(0);

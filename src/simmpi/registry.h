@@ -47,7 +47,10 @@ public:
   /// builds.
   static constexpr int32_t kMaxCommId = (1 << 15) - 1;
 
-  CommRegistry(WorldState& world, int32_t world_size, bool strict);
+  /// `world_cc_lane` = false builds MPI_COMM_WORLD without a CC lane (the
+  /// zero-overhead path for runs whose plan leaves world unarmed).
+  CommRegistry(WorldState& world, int32_t world_size, bool strict,
+               bool world_cc_lane = true);
 
   [[nodiscard]] Comm& world_comm() noexcept { return *order_[0]->comm; }
 
@@ -60,13 +63,16 @@ public:
   /// parent's slot protocol (`cc` rides in the CC lane), then returns the
   /// handle of the caller's color group — the same value on every member of
   /// that group. color < 0 opts out (returns kNull). Members are ordered by
-  /// (key, world rank).
+  /// (key, world rank). `child_cc_lane` = false creates the children without
+  /// a CC lane (the creating site's comm class is unarmed; the flag is
+  /// uniform across members because arming is per textual class).
   int64_t split(int64_t parent, int32_t world_rank, int64_t color, int64_t key,
-                int64_t cc = kCcNone);
+                int64_t cc = kCcNone, bool child_cc_lane = true);
 
   /// Collective dup of `parent`: one agreement round on the parent, then a
   /// fresh communicator with the same members (independent slot stream).
-  int64_t dup(int64_t parent, int32_t world_rank, int64_t cc = kCcNone);
+  int64_t dup(int64_t parent, int32_t world_rank, int64_t cc = kCcNone,
+              bool child_cc_lane = true);
 
   /// Local release: `world_rank` may not use `handle` afterwards. Freeing
   /// MPI_COMM_WORLD is an error.
@@ -101,7 +107,8 @@ private:
   /// whole event BEFORE any child exists, so failure is atomic. mu_ held.
   void check_capacity(size_t new_comms);
   /// Creates a child communicator entry; returns its handle. mu_ held.
-  int64_t create_child(const std::string& base, std::vector<int32_t> members);
+  int64_t create_child(const std::string& base, std::vector<int32_t> members,
+                       bool cc_lane_enabled);
 
   WorldState& world_;
   int32_t world_size_;

@@ -45,18 +45,19 @@ CommRegistry& Rank::comms() noexcept { return *world_->comms_; }
 
 // ---- Communicator management --------------------------------------------------
 
-int64_t Rank::comm_split(int64_t comm, int64_t color, int64_t key, int64_t cc) {
+int64_t Rank::comm_split(int64_t comm, int64_t color, int64_t key, int64_t cc,
+                         bool child_cc_lane) {
   if (finalized_)
     throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
   CallGuard guard(*this, "MPI_Comm_split");
-  return world_->comms_->split(comm, rank_, color, key, cc);
+  return world_->comms_->split(comm, rank_, color, key, cc, child_cc_lane);
 }
 
-int64_t Rank::comm_dup(int64_t comm, int64_t cc) {
+int64_t Rank::comm_dup(int64_t comm, int64_t cc, bool child_cc_lane) {
   if (finalized_)
     throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
   CallGuard guard(*this, "MPI_Comm_dup");
-  return world_->comms_->dup(comm, rank_, cc);
+  return world_->comms_->dup(comm, rank_, cc, child_cc_lane);
 }
 
 void Rank::comm_free(int64_t comm) {
@@ -239,7 +240,8 @@ bool Rank::aborted() const { return world_->state_.is_aborted(); }
 
 World::World(Options opts) : opts_(opts) {
   comms_ = std::make_unique<CommRegistry>(state_, opts_.num_ranks,
-                                          opts_.strict_matching);
+                                          opts_.strict_matching,
+                                          opts_.world_cc_lane);
   verifier_comm_ = std::make_unique<Comm>("PARCOACH_COMM", opts_.num_ranks,
                                           state_, opts_.strict_matching,
                                           /*comm_id=*/-1);

@@ -51,11 +51,14 @@ public:
   /// MPI_Comm_split: a collective over `comm`; returns the handle of the
   /// caller's color group (0 for color < 0). `cc` rides in the agreement
   /// round's CC lane. Ordering within the group follows (key, world rank).
+  /// `child_cc_lane` = false creates the children without a CC lane — the
+  /// zero-overhead path for comm classes the plan leaves unarmed.
   int64_t comm_split(int64_t comm, int64_t color, int64_t key,
-                     int64_t cc = kCcNone);
+                     int64_t cc = kCcNone, bool child_cc_lane = true);
   /// MPI_Comm_dup: a collective over `comm`; fresh communicator, same
   /// members, independent slot + CC streams.
-  int64_t comm_dup(int64_t comm, int64_t cc = kCcNone);
+  int64_t comm_dup(int64_t comm, int64_t cc = kCcNone,
+                   bool child_cc_lane = true);
   /// MPI_Comm_free: local release; this rank may not use the handle again.
   void comm_free(int64_t comm);
   /// Registry identity of `comm` (the CC encoding's comm-id field).
@@ -187,6 +190,15 @@ struct RunReport {
   /// rounds. Legacy dedicated-communicator rounds show up in
   /// verifier_slots_completed instead.
   uint64_t cc_piggybacked = 0;
+  /// Selective-arming census, filled by the interpreter from the
+  /// instrumentation plan driving the run (0 for plan-free direct API runs):
+  /// how many collective sites / comm classes carried CC checks versus the
+  /// program's totals. `cc_sites_armed < total_collective_sites` means some
+  /// communicators ran the true zero-overhead unarmed path.
+  uint64_t cc_sites_armed = 0;
+  uint64_t cc_classes_armed = 0;
+  uint64_t cc_classes_total = 0;
+  uint64_t total_collective_sites = 0;
 };
 
 class World {
@@ -206,6 +218,10 @@ public:
     /// Sends block until the matching receive (unbuffered MPI_Send
     /// semantics; exposes head-to-head exchange deadlocks). Default: eager.
     bool rendezvous_sends = false;
+    /// Build MPI_COMM_WORLD with its piggybacked-CC lane. The interpreter
+    /// turns this off when the plan leaves the world comm class unarmed, so
+    /// uninstrumented world collectives skip the lane bookkeeping entirely.
+    bool world_cc_lane = true;
   };
 
   explicit World(Options opts);

@@ -1,0 +1,53 @@
+// String interner: maps strings to dense small ids with a side table for
+// diagnostics. The static analyses key per-label and per-comm-class maps on
+// concatenated strings ("MPI_Allreduce@c"); interning turns those keys into
+// int32 ids, so the hot paths (seed grouping, sequence comparison) hash and
+// compare integers while reports still render the original spelling through
+// name().
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace parcoach {
+
+class Interner {
+public:
+  Interner() = default;
+  // The map's string_view keys point into names_; a copy would compare its
+  // entries against the *source's* strings and dangle once the source dies.
+  // Moves are fine (deque/map moves keep element addresses valid).
+  Interner(const Interner&) = delete;
+  Interner& operator=(const Interner&) = delete;
+  Interner(Interner&&) = default;
+  Interner& operator=(Interner&&) = default;
+
+  /// Id of `s`, allocating the next dense id on first sight. Ids are
+  /// assigned in first-appearance order, so iteration by id is
+  /// deterministic for a deterministic input order.
+  int32_t intern(std::string_view s) {
+    auto it = ids_.find(s);
+    if (it != ids_.end()) return it->second;
+    names_.emplace_back(s);
+    const int32_t id = static_cast<int32_t>(names_.size()) - 1;
+    // The key views into the deque element, whose address is stable.
+    ids_.emplace(names_.back(), id);
+    return id;
+  }
+
+  /// Side table: the original spelling of an interned id.
+  [[nodiscard]] std::string_view name(int32_t id) const {
+    return names_[static_cast<size_t>(id)];
+  }
+
+  [[nodiscard]] size_t size() const noexcept { return names_.size(); }
+
+private:
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, int32_t> ids_;
+};
+
+} // namespace parcoach

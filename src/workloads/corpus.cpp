@@ -639,6 +639,25 @@ func main() {
       DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
 
   c.push_back(CorpusEntry{
+      "comm_exit_divergence",
+      "rank 0 enters a subcomm allreduce that rank 1 skips before leaving "
+      "main: only the subcomm's class is armed (world never checked), and "
+      "the per-comm FINAL sentinel posted on the armed comm trips its CC "
+      "lane — stopping the hang without a single world-side check",
+      R"(func main() {
+  mpi_init(single);
+  var d = mpi_comm_dup();
+  var x = rank() + 1;
+  if (rank() == 0) {
+    x = mpi_allreduce(x, sum, d);
+  }
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {},
+      DynamicOutcome::CaughtBeforeHang, DiagKind::RtCollectiveMismatch});
+
+  c.push_back(CorpusEntry{
       "comm_cross_deadlock",
       "rank 0 enters an allreduce on the subcomm while rank 1 enters a world "
       "barrier: a deadlock cycle spanning two communicators that no single "

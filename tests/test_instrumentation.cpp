@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+
 namespace parcoach::core {
 namespace {
 
@@ -209,6 +211,162 @@ TEST(Apply, InstrumentedIrStillVerifies) {
   const std::string text = ir::to_text(*r->mod);
   EXPECT_TRUE(str::contains(text, "check_cc"));
   EXPECT_TRUE(str::contains(text, "region_enter"));
+}
+
+// ---- The per-comm-class arming matrix ---------------------------------------
+
+TEST(ArmingMatrix, CleanWorldDirtySubcommArmsOnlySubcomm) {
+  auto r = plan_for(R"(func main() {
+    mpi_init(single);
+    var d = mpi_comm_dup();
+    var x = rank() + 1;
+    if (rank() == 0) {
+      x = mpi_allreduce(x, sum, d);
+    } else {
+      x = mpi_allreduce(x, max, d);
+    }
+    x = mpi_allreduce(x, sum);
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  // Sites: dup (world class), 2x allreduce@d, allreduce, barrier, finalize.
+  EXPECT_EQ(r->plan.total_collective_sites, 6u);
+  EXPECT_EQ(r->plan.total_cc_classes, 2u);
+  // Only class "d" can diverge: its two sites are armed, world's four are not.
+  EXPECT_EQ(r->plan.cc_classes, (std::set<std::string>{"d"}));
+  EXPECT_FALSE(r->plan.world_cc_armed());
+  EXPECT_EQ(r->plan.cc_stmts.size(), 2u);
+  ASSERT_EQ(r->plan.cc_stmts_by_class.count("d"), 1u);
+  EXPECT_EQ(r->plan.cc_stmts_by_class.at("d").size(), 2u);
+  // The exit sentinel is still planned (it runs per armed comm at runtime).
+  EXPECT_TRUE(r->plan.cc_final_in_main);
+}
+
+TEST(ArmingMatrix, DirtyWorldArmsWorldOnly) {
+  auto r = plan_for(R"(func main() {
+    mpi_init(single);
+    var c = mpi_comm_split(0, 0);
+    var x = rank() + 1;
+    if (rank() == 0) {
+      mpi_barrier();
+    }
+    x = mpi_allreduce(x, sum, c);
+    mpi_comm_free(c);
+    mpi_finalize();
+  })");
+  // World diverges (the guarded barrier); the subcomm's sequence does not.
+  EXPECT_EQ(r->plan.cc_classes, (std::set<std::string>{""}));
+  EXPECT_TRUE(r->plan.world_cc_armed());
+  // Armed world sites: split (a collective over world), barrier, finalize.
+  EXPECT_EQ(r->plan.cc_stmts.size(), 3u);
+  EXPECT_EQ(r->plan.cc_stmts_by_class.count("c"), 0u);
+}
+
+TEST(ArmingMatrix, ThreadHazardArmsTheHazardsClass) {
+  auto r = plan_for(R"(func main() {
+    mpi_init(serialized);
+    var c = mpi_comm_split(0, 0);
+    var x = 0;
+    omp parallel {
+      x = mpi_allreduce(x, sum, c);
+    }
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  ASSERT_FALSE(r->phases.multithreaded.empty());
+  EXPECT_EQ(r->phases.multithreaded[0].comm_class, "c");
+  EXPECT_EQ(r->phases.hazard_classes, (std::vector<std::string>{"c"}));
+  // The hazard can desynchronize only class "c": world stays unarmed.
+  EXPECT_EQ(r->plan.cc_classes, (std::set<std::string>{"c"}));
+  EXPECT_EQ(r->plan.cc_stmts.size(), 1u);
+  EXPECT_EQ(r->plan.mono_stmts.size(), 1u);
+}
+
+TEST(ArmingMatrix, RankColoredSplitArmsTheResultClass) {
+  auto r = plan_for(R"(func main() {
+    mpi_init(single);
+    var c = mpi_comm_split(rank() % 2, 0);
+    var x = rank() + 1;
+    x = mpi_allreduce(x, sum, c);
+    mpi_barrier();
+    mpi_finalize();
+  })");
+  ASSERT_FALSE(r->alg1.divergences.empty());
+  EXPECT_EQ(r->alg1.divergent_classes, (std::vector<std::string>{"c"}));
+  EXPECT_EQ(r->plan.cc_classes, (std::set<std::string>{"c"}));
+  EXPECT_FALSE(r->plan.world_cc_armed());
+}
+
+TEST(ArmingMatrix, BlanketStillArmsEveryClass) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  auto prog = frontend::Parser::parse_source(sm, "t", R"(func main() {
+    mpi_init(single);
+    var c = mpi_comm_split(0, 0);
+    var x = 1;
+    x = mpi_allreduce(x, sum, c);
+    mpi_barrier();
+    mpi_finalize();
+  })",
+                                             d);
+  frontend::Sema::analyze(prog, d);
+  auto mod = frontend::Lowering::lower(prog, d);
+  const auto plan = make_blanket_plan(*mod);
+  EXPECT_EQ(plan.cc_classes, (std::set<std::string>{"", "c"}));
+  EXPECT_EQ(plan.cc_stmts.size(), plan.total_collective_sites);
+  EXPECT_TRUE(plan.cc_final_in_main);
+}
+
+TEST(ArmingMatrix, ProgramWidePlanArmsEverythingOnAnyDivergence) {
+  const std::string src = R"(func main() {
+    mpi_init(single);
+    var d = mpi_comm_dup();
+    var x = rank() + 1;
+    if (rank() == 0) {
+      x = mpi_allreduce(x, sum, d);
+    } else {
+      x = mpi_allreduce(x, max, d);
+    }
+    mpi_barrier();
+    mpi_finalize();
+  })";
+  auto r = plan_for(src, /*apply=*/false);
+  const auto pw = make_programwide_plan(*r->mod, r->phases, r->alg1);
+  // Selective arms the dirty class only; program-wide arms every site.
+  EXPECT_LT(r->plan.cc_stmts.size(), pw.cc_stmts.size());
+  EXPECT_EQ(pw.cc_stmts.size(), pw.total_collective_sites);
+  EXPECT_EQ(pw.cc_classes.size(), pw.total_cc_classes);
+  EXPECT_TRUE(pw.world_cc_armed());
+}
+
+TEST(ArmingMatrix, DivergenceAttributionNamesClasses) {
+  auto r = plan_for(R"(func sub(n) {
+    var y = n;
+    y = mpi_allreduce(y, sum);
+    return y;
+  }
+  func main() {
+    mpi_init(single);
+    var x = rank();
+    if (rank() == 0) {
+      x = sub(x);
+    }
+    mpi_finalize();
+  })",
+                    /*apply=*/false);
+  // The divergence is on "call sub()"; it attributes to sub's transitive
+  // classes — world.
+  ASSERT_FALSE(r->alg1.divergences.empty());
+  bool call_div = false;
+  for (const auto& dp : r->alg1.divergences) {
+    if (dp.label.rfind("call ", 0) == 0) {
+      call_div = true;
+      EXPECT_EQ(dp.comm_classes, (std::vector<std::string>{""}));
+    }
+  }
+  EXPECT_TRUE(call_div);
+  EXPECT_EQ(r->alg1.divergent_classes, (std::vector<std::string>{""}));
+  EXPECT_GT(r->alg1.labels_interned, 0u);
 }
 
 TEST(Plan, CheckCountReflectsSelectivity) {

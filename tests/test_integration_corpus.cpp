@@ -8,6 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+
 namespace parcoach {
 namespace {
 
@@ -95,6 +98,55 @@ TEST_P(CorpusTest, InstrumentedExecution) {
           << result.mpi.deadlock_details;
       break;
   }
+}
+
+// The comm-class arming matrix must be behaviour-preserving: for every
+// corpus entry, running under the selective per-class plan and under the
+// pre-matrix program-wide plan must produce byte-identical dynamic outcomes
+// (clean flag, deadlock report, runtime diagnostics, program output).
+// Scheduler-dependent entries (races, thread-level warnings) are skipped —
+// they are not deterministic under either plan.
+TEST_P(CorpusTest, SelectiveArmingMatchesProgramWideOutcome) {
+  const CorpusEntry& e = GetParam();
+  if (e.dynamic == DynamicOutcome::CaughtRace ||
+      e.dynamic == DynamicOutcome::ThreadLevelWarn)
+    GTEST_SKIP() << "scheduler-dependent outcome";
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_full(e, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+  const auto programwide =
+      core::make_programwide_plan(*r.module, r.phases, r.algorithm1);
+
+  auto run_with = [&](const core::InstrumentationPlan& plan) {
+    interp::Executor exec(r.program, sm, &plan);
+    interp::ExecOptions opts;
+    opts.num_ranks = e.ranks;
+    opts.num_threads = e.threads;
+    opts.mpi.hang_timeout = std::chrono::milliseconds(
+        e.dynamic == DynamicOutcome::DeadlockReported ? 300 : 2500);
+    return exec.run(opts);
+  };
+  const auto sel = run_with(r.plan);
+  const auto pw = run_with(programwide);
+
+  EXPECT_EQ(sel.clean, pw.clean);
+  EXPECT_EQ(sel.mpi.deadlock, pw.mpi.deadlock);
+  EXPECT_EQ(sel.mpi.deadlock_details, pw.mpi.deadlock_details);
+  EXPECT_EQ(sel.output, pw.output);
+  // Runtime diagnostics are compared as sorted (kind, message) pairs: the
+  // wording must be byte-identical, only cross-rank recording order may vary.
+  auto keyed = [](const std::vector<Diagnostic>& ds) {
+    std::vector<std::pair<int, std::string>> out;
+    for (const auto& d : ds)
+      out.emplace_back(static_cast<int>(d.kind), d.message);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  EXPECT_EQ(keyed(sel.rt_diags), keyed(pw.rt_diags));
+  // The selective plan never arms more than program-wide.
+  EXPECT_LE(r.plan.cc_stmts.size(), programwide.cc_stmts.size());
+  EXPECT_LE(r.plan.cc_classes.size(), programwide.cc_classes.size());
 }
 
 TEST_P(CorpusTest, UninstrumentedMismatchesDeadlock) {

@@ -1,5 +1,7 @@
-// Unit tests: support layer (source manager, diagnostics, string utils, rng).
+// Unit tests: support layer (source manager, diagnostics, string utils,
+// interner, rng).
 #include "support/diagnostics.h"
+#include "support/interner.h"
 #include "support/rng.h"
 #include "support/source_manager.h"
 #include "support/str.h"
@@ -99,6 +101,36 @@ func main() {
 }
 )";
   EXPECT_EQ(str::count_code_lines(src), 3u);
+}
+
+TEST(Interner, DenseIdsInFirstAppearanceOrder) {
+  Interner in;
+  EXPECT_EQ(in.intern("MPI_Allreduce"), 0);
+  EXPECT_EQ(in.intern("MPI_Allreduce@c"), 1);
+  EXPECT_EQ(in.intern("MPI_Allreduce"), 0); // stable on re-intern
+  EXPECT_EQ(in.intern(""), 2);              // world class is a valid key
+  EXPECT_EQ(in.size(), 3u);
+}
+
+TEST(Interner, SideTableRendersOriginalSpelling) {
+  Interner in;
+  const int32_t a = in.intern("MPI_Bcast(root=0)@d");
+  const int32_t b = in.intern("call mpi_phase()");
+  EXPECT_EQ(in.name(a), "MPI_Bcast(root=0)@d");
+  EXPECT_EQ(in.name(b), "call mpi_phase()");
+}
+
+TEST(Interner, StableAcrossGrowth) {
+  // Ids and name() views must survive the map/deque growing by thousands of
+  // entries (the deque gives the key storage address stability).
+  Interner in;
+  const int32_t first = in.intern("label-0");
+  std::vector<std::string_view> views{in.name(first)};
+  for (int i = 1; i < 5000; ++i) in.intern("label-" + std::to_string(i));
+  EXPECT_EQ(in.intern("label-0"), first);
+  EXPECT_EQ(in.name(first), "label-0");
+  EXPECT_EQ(views[0], "label-0");
+  EXPECT_EQ(in.size(), 5000u);
 }
 
 TEST(Rng, DeterministicAcrossInstances) {
