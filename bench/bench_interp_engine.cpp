@@ -1,0 +1,355 @@
+// Execution engines head-to-head: the AST tree-walker vs the bytecode VM.
+//
+// The dynamic side of the validator only pays off if instrumented execution
+// is fast enough for real workloads; after PR 2 (piggybacked CC) and PR 4
+// (zero-overhead unarmed comms) the dominant cost is the interpreter itself.
+// This bench pits the two engines against each other on:
+//
+//   corpus_interp_bound  an arithmetic/control-heavy kernel (1 rank, 1
+//                        thread, MPI only at the edges): pure interpreter
+//                        throughput, reported as ns/statement — the
+//                        bytecode engine's pre-resolved slots must beat the
+//                        tree-walker's scope-chain hash lookups by >= 3x;
+//   corpus_clean_sweep   every Clean corpus entry executed end-to-end under
+//                        its selective plan (the integration-suite shape);
+//   npb_bt_mz / epcc     the Figure-1 workload generators at bench scale,
+//                        reported as collectives/sec (MPI-bound, so the
+//                        expected win is smaller but must not regress).
+//
+// Flags (accepted before the google-benchmark flags):
+//   --json=PATH   machine-readable results (BENCH_interp.json in CI)
+//   --smoke       fewer repetitions, skip registered benchmarks (CI smoke)
+#include "driver/pipeline.h"
+#include "interp/executor.h"
+#include "support/str.h"
+#include "workloads/corpus.h"
+#include "workloads/workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+namespace {
+
+using namespace parcoach;
+
+constexpr interp::Engine kEngines[] = {interp::Engine::Ast,
+                                       interp::Engine::Bytecode};
+
+// ---- Scenario programs --------------------------------------------------------
+
+/// Arithmetic/control-heavy kernel. Statements executed per outer iteration
+/// (exec_stmt invocations in the AST engine): var t, t=, if, branch assign,
+/// var j, while entry, 4 * (2 body stmts), acc= -> ~15; used as the common
+/// ns/statement denominator for both engines.
+constexpr int kStmtsPerIter = 15;
+
+std::string interp_bound_source(int64_t iters) {
+  return str::cat(R"(func kernel(n) {
+  var acc = 0;
+  for (i = 0 to n) {
+    var t = i * 3 + acc;
+    t = t % 1009;
+    if (t % 2 == 0) {
+      acc = acc + t;
+    } else {
+      acc = acc - t / 2;
+    }
+    var j = 0;
+    while (j < 4) {
+      acc = acc + j * i;
+      j = j + 1;
+    }
+    acc = acc % 100003;
+  }
+  return acc;
+}
+func main() {
+  mpi_init(single);
+  var r = kernel()", iters, R"();
+  var s = mpi_allreduce(r, sum);
+  print(s);
+  mpi_finalize();
+}
+)");
+}
+
+struct Compiled {
+  SourceManager sm;
+  driver::CompileResult result;
+};
+
+std::unique_ptr<Compiled> compile_one(const std::string& name,
+                                      const std::string& source) {
+  auto c = std::make_unique<Compiled>();
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  opts.algorithm1.rank_taint_filter = true;
+  c->result = driver::compile(c->sm, name, source, diags, opts);
+  if (!c->result.ok) {
+    std::cerr << "compile failed: " << name << "\n" << diags.to_text(c->sm);
+    std::abort();
+  }
+  return c;
+}
+
+struct RunStats {
+  double wall_ns = 0;
+  uint64_t app_slots = 0;
+  uint64_t steps = 0;
+  uint64_t bytecode_ops = 0;
+};
+
+RunStats run_once(const Compiled& c, interp::Engine engine, int32_t ranks,
+                  int32_t threads, uint64_t max_steps = 200'000'000) {
+  interp::Executor exec(c.result.program, c.sm, &c.result.plan);
+  interp::ExecOptions eopts;
+  eopts.engine = engine;
+  eopts.num_ranks = ranks;
+  eopts.num_threads = threads;
+  eopts.max_steps = max_steps;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(10000);
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = exec.run(eopts);
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!result.clean) {
+    std::cerr << "bench run not clean: " << result.mpi.abort_reason << "\n"
+              << result.mpi.deadlock_details;
+    std::abort();
+  }
+  RunStats s;
+  s.wall_ns = static_cast<double>(ns.count());
+  s.app_slots = result.mpi.app_slots_completed;
+  s.steps = result.steps_executed;
+  s.bytecode_ops = result.mpi.bytecode_ops;
+  return s;
+}
+
+// ---- Scenario harness ---------------------------------------------------------
+
+struct EngineResult {
+  double wall_ms = 0;        // best of reps
+  double ns_per_stmt = 0;    // interp-bound scenarios
+  double ns_per_coll = 0;    // collective scenarios
+  double colls_per_sec = 0;
+  uint64_t bytecode_ops = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::string kind; // "ns_per_stmt" | "collectives_per_sec" | "wall_ms"
+  uint64_t work_stmts = 0;
+  EngineResult engines[2]; // indexed by Engine
+  [[nodiscard]] double speedup() const {
+    const double a = engines[0].wall_ms, b = engines[1].wall_ms;
+    return b > 0 ? a / b : 0;
+  }
+};
+
+ScenarioResult measure_interp_bound(int reps, int64_t iters) {
+  const auto c = compile_one("corpus_interp_bound", interp_bound_source(iters));
+  ScenarioResult sr;
+  sr.name = "corpus_interp_bound";
+  sr.kind = "ns_per_stmt";
+  sr.work_stmts = static_cast<uint64_t>(iters) * kStmtsPerIter;
+  for (size_t e = 0; e < 2; ++e) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto s = run_once(*c, kEngines[e], 1, 1);
+      best = std::min(best, s.wall_ns);
+      sr.engines[e].bytecode_ops = s.bytecode_ops;
+    }
+    sr.engines[e].wall_ms = best / 1e6;
+    sr.engines[e].ns_per_stmt = best / static_cast<double>(sr.work_stmts);
+  }
+  return sr;
+}
+
+ScenarioResult measure_corpus_sweep(int reps) {
+  // Compile every deterministic Clean entry once; time the full sweep.
+  std::vector<std::unique_ptr<Compiled>> cases;
+  std::vector<std::pair<int32_t, int32_t>> shapes;
+  for (const auto& e : workloads::corpus()) {
+    if (e.dynamic != workloads::DynamicOutcome::Clean) continue;
+    cases.push_back(compile_one(e.name, e.source));
+    shapes.emplace_back(e.ranks, e.threads);
+  }
+  ScenarioResult sr;
+  sr.name = "corpus_clean_sweep";
+  sr.kind = "wall_ms";
+  for (size_t e = 0; e < 2; ++e) {
+    double best = 1e300;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto start = std::chrono::steady_clock::now();
+      for (size_t i = 0; i < cases.size(); ++i)
+        run_once(*cases[i], kEngines[e], shapes[i].first, shapes[i].second);
+      const auto ns = std::chrono::steady_clock::now() - start;
+      best = std::min(best, static_cast<double>(ns.count()));
+    }
+    sr.engines[e].wall_ms = best / 1e6;
+  }
+  return sr;
+}
+
+ScenarioResult measure_workload(const std::string& name,
+                                const workloads::GeneratedProgram& g,
+                                int reps, int32_t ranks, int32_t threads) {
+  const auto c = compile_one(g.name, g.source);
+  ScenarioResult sr;
+  sr.name = name;
+  sr.kind = "collectives_per_sec";
+  for (size_t e = 0; e < 2; ++e) {
+    double best = 1e300;
+    uint64_t slots = 0;
+    for (int rep = 0; rep < reps; ++rep) {
+      const auto s = run_once(*c, kEngines[e], ranks, threads);
+      best = std::min(best, s.wall_ns);
+      slots = s.app_slots;
+      sr.engines[e].bytecode_ops = s.bytecode_ops;
+    }
+    sr.engines[e].wall_ms = best / 1e6;
+    if (slots > 0) {
+      sr.engines[e].ns_per_coll = best / static_cast<double>(slots);
+      sr.engines[e].colls_per_sec = 1e9 / sr.engines[e].ns_per_coll;
+    }
+  }
+  return sr;
+}
+
+std::vector<ScenarioResult> measure_all(bool smoke) {
+  const int reps = smoke ? 3 : 5;
+  std::vector<ScenarioResult> out;
+  out.push_back(measure_interp_bound(reps, smoke ? 60'000 : 200'000));
+  out.push_back(measure_corpus_sweep(smoke ? 1 : 3));
+  workloads::NpbParams np;
+  np.zones = 4;
+  np.steps = 2;
+  np.threads = 2;
+  np.stages = 2;
+  out.push_back(measure_workload(
+      "npb_bt_mz", workloads::make_npb_mz(workloads::NpbVariant::BT, np),
+      reps, 2, 2));
+  workloads::EpccParams ep;
+  ep.reps = smoke ? 3 : 6;
+  ep.threads = 2;
+  ep.data_sizes = 4;
+  out.push_back(
+      measure_workload("epcc", workloads::make_epcc_suite(ep), reps, 2, 2));
+  return out;
+}
+
+// ---- Output -------------------------------------------------------------------
+
+void print_table(const std::vector<ScenarioResult>& results) {
+  std::cout << "\n=== Execution engines: AST tree-walker vs bytecode VM ===\n\n"
+            << std::left << std::setw(24) << "scenario" << std::right
+            << std::setw(14) << "ast ms" << std::setw(14) << "bytecode ms"
+            << std::setw(10) << "speedup" << std::setw(16) << "ast ns/stmt"
+            << std::setw(14) << "bc ns/stmt" << '\n';
+  for (const auto& sr : results) {
+    std::cout << std::left << std::setw(24) << sr.name << std::right
+              << std::fixed << std::setprecision(2) << std::setw(14)
+              << sr.engines[0].wall_ms << std::setw(14)
+              << sr.engines[1].wall_ms << std::setw(9)
+              << std::setprecision(2) << sr.speedup() << 'x';
+    if (sr.kind == "ns_per_stmt")
+      std::cout << std::setw(16) << std::setprecision(1)
+                << sr.engines[0].ns_per_stmt << std::setw(14)
+                << sr.engines[1].ns_per_stmt;
+    std::cout << '\n';
+  }
+  std::cout << "\nShape to check: corpus_interp_bound is pure interpreter "
+               "work, so the bytecode VM's\npre-resolved slots and flat "
+               "dispatch should win >= 3x; the MPI-bound workloads are\n"
+               "dominated by slot matching, so their win is smaller but must "
+               "never dip below 1x.\n";
+}
+
+void write_json(const std::string& path,
+                const std::vector<ScenarioResult>& results) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  os << "{\n  \"engines\": [\"ast\", \"bytecode\"],\n  \"scenarios\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const auto& sr = results[i];
+    os << "    {\n      \"scenario\": \"" << sr.name << "\",\n"
+       << "      \"kind\": \"" << sr.kind << "\",\n";
+    if (sr.work_stmts > 0) os << "      \"stmts\": " << sr.work_stmts << ",\n";
+    for (size_t e = 0; e < 2; ++e) {
+      const auto& er = sr.engines[e];
+      os << "      \"" << (e == 0 ? "ast" : "bytecode") << "\": {"
+         << "\"wall_ms\": " << std::fixed << std::setprecision(3) << er.wall_ms;
+      if (sr.kind == "ns_per_stmt")
+        os << ", \"ns_per_stmt\": " << std::setprecision(2) << er.ns_per_stmt;
+      if (sr.kind == "collectives_per_sec")
+        os << ", \"ns_per_collective\": " << std::setprecision(1)
+           << er.ns_per_coll << ", \"collectives_per_sec\": "
+           << std::setprecision(0) << er.colls_per_sec;
+      if (e == 1 && er.bytecode_ops > 0)
+        os << ", \"bytecode_ops\": " << er.bytecode_ops;
+      os << "},\n";
+    }
+    os << "      \"speedup\": " << std::setprecision(3) << sr.speedup()
+       << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+void bench_engine(benchmark::State& state, interp::Engine engine) {
+  const auto c = compile_one("interp_bound", interp_bound_source(20'000));
+  for (auto _ : state) {
+    const auto s = run_once(*c, engine, 1, 1);
+    benchmark::DoNotOptimize(s.wall_ns);
+  }
+  state.SetItemsProcessed(state.iterations() * 20'000 * kStmtsPerIter);
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!smoke) {
+    benchmark::RegisterBenchmark("InterpEngine/interp_bound/ast",
+                                 [](benchmark::State& st) {
+                                   bench_engine(st, interp::Engine::Ast);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.1);
+    benchmark::RegisterBenchmark("InterpEngine/interp_bound/bytecode",
+                                 [](benchmark::State& st) {
+                                   bench_engine(st, interp::Engine::Bytecode);
+                                 })
+        ->Unit(benchmark::kMillisecond)
+        ->MinTime(0.1);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const auto results = measure_all(smoke);
+  print_table(results);
+  if (!json_path.empty()) write_json(json_path, results);
+  return 0;
+}

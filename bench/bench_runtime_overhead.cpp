@@ -250,7 +250,8 @@ void write_json(const std::string& path, const std::vector<KernelResult>& result
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  os << "{\n  \"protocol\": \"piggybacked\",\n  \"kernels\": [\n";
+  os << "{\n  \"protocol\": \"piggybacked\",\n  \"engine\": \""
+     << to_string(interp::ExecOptions{}.engine) << "\",\n  \"kernels\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& kr = results[i];
     os << "    {\n      \"kernel\": \"" << kr.kernel << "\",\n"

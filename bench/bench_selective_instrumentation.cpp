@@ -302,7 +302,8 @@ void write_json(const std::string& path, const std::vector<ScenarioResult>& resu
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  os << "{\n  \"arming\": \"per_comm_class\",\n  \"scenarios\": [\n";
+  os << "{\n  \"arming\": \"per_comm_class\",\n  \"engine\": \""
+     << to_string(interp::ExecOptions{}.engine) << "\",\n  \"scenarios\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const auto& sr = results[i];
     os << "    {\n      \"scenario\": \"" << sr.name << "\",\n"

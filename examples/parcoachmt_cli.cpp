@@ -14,6 +14,8 @@
 //                       analyze functions as if called from parallel code
 //   --timeout-ms=N      watchdog hang timeout for `run` (default 1000)
 //   --type-only-cc      paper-faithful CC (ignore reduction op / root)
+//   --engine=NAME       execution engine for `run`: bytecode (default, the
+//                       register VM) or ast (the tree-walking oracle)
 //
 // Exit codes: 0 clean, 1 usage/compile error, 2 static warnings found,
 // 3 runtime error detected, 4 deadlock detected.
@@ -41,12 +43,14 @@ struct CliOptions {
   bool multithreaded_initial = false;
   bool type_only_cc = false;
   int32_t timeout_ms = 1000;
+  interp::Engine engine = interp::Engine::Bytecode;
 };
 
 int usage() {
   std::cerr << "usage: parcoachmt {analyze|instrument|run} FILE"
                " [--ranks=N] [--threads=N] [--no-verify] [--taint-filter]"
-               " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]\n";
+               " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]"
+               " [--engine=bytecode|ast]\n";
   return 1;
 }
 
@@ -68,6 +72,8 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     else if (a.rfind("--threads=", 0) == 0) opts.threads = std::stoi(value_of("--threads="));
     else if (a.rfind("--timeout-ms=", 0) == 0)
       opts.timeout_ms = std::stoi(value_of("--timeout-ms="));
+    else if (a == "--engine=bytecode") opts.engine = interp::Engine::Bytecode;
+    else if (a == "--engine=ast") opts.engine = interp::Engine::Ast;
     else {
       std::cerr << "unknown option: " << a << '\n';
       return false;
@@ -136,8 +142,10 @@ int main(int argc, char** argv) {
   eopts.num_threads = cli.threads;
   eopts.mpi.hang_timeout = std::chrono::milliseconds(cli.timeout_ms);
   eopts.verify.check_arguments = !cli.type_only_cc;
+  eopts.engine = cli.engine;
   const auto result = exec.run(eopts);
 
+  std::cerr << driver::format_run_summary(result) << '\n';
   for (const auto& line : result.output) std::cout << line << '\n';
   for (const auto& d : result.rt_diags)
     std::cout << sm.describe(d.loc) << ": " << to_string(d.severity) << " ["

@@ -73,4 +73,17 @@ std::string format_stage_times(const StageTimes& t) {
   return os.str();
 }
 
+std::string format_run_summary(const interp::ExecResult& r) {
+  std::ostringstream os;
+  os << "engine=" << r.mpi.engine << " steps=" << r.steps_executed;
+  if (r.mpi.bytecode_ops > 0) os << " bytecode_ops=" << r.mpi.bytecode_ops;
+  os << " slots=" << r.mpi.app_slots_completed
+     << " cc_piggybacked=" << r.mpi.cc_piggybacked;
+  if (r.mpi.total_collective_sites > 0)
+    os << " cc_armed=" << r.mpi.cc_sites_armed << "/"
+       << r.mpi.total_collective_sites << " classes="
+       << r.mpi.cc_classes_armed << "/" << r.mpi.cc_classes_total;
+  return os.str();
+}
+
 } // namespace parcoach::driver

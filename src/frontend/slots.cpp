@@ -1,0 +1,192 @@
+#include "frontend/slots.h"
+
+namespace parcoach::frontend {
+
+namespace {
+
+/// One function's resolution walk. Mirrors the interpreter's Env chain
+/// exactly: a scope per block, per for-loop, per OpenMP region body, so
+/// shadowing resolves to the same declaration the tree-walker would find.
+class FuncResolver {
+public:
+  FuncResolver(const Program& program, SlotMap& out)
+      : program_(program), out_(out) {}
+
+  void run(const FuncDecl& fn) {
+    FunctionSlots fs;
+    num_slots_ = 0;
+    scopes_.clear();
+    push();
+    for (const auto& p : fn.params) fs.param_slots.push_back(declare(p));
+    block(fn.body);
+    pop();
+    fs.num_slots = num_slots_;
+    out_.funcs.emplace(&fn, std::move(fs));
+  }
+
+private:
+  using Scope = std::unordered_map<std::string, int32_t>;
+
+  void push() { scopes_.emplace_back(); }
+  void pop() { scopes_.pop_back(); }
+
+  int32_t declare(const std::string& name) {
+    const int32_t slot = num_slots_++;
+    scopes_.back()[name] = slot;
+    return slot;
+  }
+
+  int32_t lookup(const std::string& name) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    return -1;
+  }
+
+  void expr(const ir::Expr* e) {
+    if (!e) return;
+    if (e->kind == ir::Expr::Kind::VarRef) {
+      const int32_t slot = lookup(e->var);
+      if (slot >= 0)
+        out_.expr_slots.emplace(e, slot);
+      else
+        out_.issues.push_back({e->loc, e->var, false});
+    }
+    for (const auto& k : e->kids) expr(k.get());
+  }
+
+  void block(const std::vector<StmtPtr>& body) {
+    push();
+    for (const auto& s : body) stmt(*s);
+    pop();
+  }
+
+  /// Region body with its own scope (single/master/section/critical/parallel
+  /// thread view): the interpreter nests a scope around exec_block's own.
+  void region(const std::vector<StmtPtr>& body) {
+    push();
+    block(body);
+    pop();
+  }
+
+  /// Resolves (or declares) a statement's result target, recording the slot.
+  void target(const Stmt& s) {
+    if (s.name.empty()) return;
+    const int32_t slot = s.declares_target ? declare(s.name) : lookup(s.name);
+    if (slot >= 0)
+      out_.stmt_slots.emplace(&s, slot);
+    else
+      out_.issues.push_back({s.loc, s.name, false});
+  }
+
+  void stmt(const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::VarDecl:
+        // Declaration-before-initializer, like Env::declare runs before
+        // eval: `var x = x + 1;` reads the *new* (zeroed) x.
+        out_.stmt_slots.emplace(&s, declare(s.name));
+        expr(s.value.get());
+        return;
+      case StmtKind::Assign: {
+        const int32_t slot = lookup(s.name);
+        if (slot >= 0)
+          out_.stmt_slots.emplace(&s, slot);
+        else
+          out_.issues.push_back({s.loc, s.name, false});
+        expr(s.value.get());
+        return;
+      }
+      case StmtKind::If:
+        expr(s.value.get());
+        block(s.body);
+        block(s.else_body);
+        return;
+      case StmtKind::While:
+        expr(s.value.get());
+        block(s.body);
+        return;
+      case StmtKind::For:
+        expr(s.hi.get());
+        expr(s.lo.get());
+        push();
+        out_.stmt_slots.emplace(&s, declare(s.name));
+        block(s.body);
+        pop();
+        return;
+      case StmtKind::Return:
+        expr(s.value.get());
+        return;
+      case StmtKind::Print:
+        for (const auto& a : s.args) expr(a.get());
+        return;
+      case StmtKind::CallStmt:
+        if (!program_.find(s.callee))
+          out_.issues.push_back({s.loc, s.callee, true});
+        for (const auto& a : s.args) expr(a.get());
+        target(s);
+        return;
+      case StmtKind::MpiCall:
+        expr(s.mpi_root.get());
+        expr(s.mpi_value.get());
+        expr(s.mpi_comm.get());
+        target(s);
+        return;
+      case StmtKind::MpiSend:
+        expr(s.mpi_value.get());
+        expr(s.mpi_root.get());
+        expr(s.hi.get());
+        return;
+      case StmtKind::MpiRecv:
+      case StmtKind::MpiWait:
+      case StmtKind::MpiTest:
+        expr(s.mpi_value.get());
+        expr(s.mpi_root.get());
+        expr(s.hi.get());
+        target(s);
+        return;
+      case StmtKind::MpiWaitall:
+        for (const auto& a : s.args) expr(a.get());
+        return;
+      case StmtKind::OmpParallel:
+        expr(s.num_threads.get());
+        expr(s.if_clause.get());
+        region(s.body);
+        return;
+      case StmtKind::OmpSingle:
+      case StmtKind::OmpMaster:
+      case StmtKind::OmpCritical:
+      case StmtKind::OmpSection:
+        region(s.body);
+        return;
+      case StmtKind::OmpBarrier:
+        return;
+      case StmtKind::OmpSections:
+        for (const auto& sec : s.body) stmt(*sec);
+        return;
+      case StmtKind::OmpFor:
+        expr(s.lo.get());
+        expr(s.hi.get());
+        push();
+        out_.stmt_slots.emplace(&s, declare(s.name));
+        block(s.body);
+        pop();
+        return;
+    }
+  }
+
+  const Program& program_;
+  SlotMap& out_;
+  int32_t num_slots_ = 0;
+  std::vector<Scope> scopes_;
+};
+
+} // namespace
+
+SlotMap resolve_slots(const Program& program) {
+  SlotMap out;
+  for (const auto& fn : program.funcs) FuncResolver(program, out).run(fn);
+  return out;
+}
+
+} // namespace parcoach::frontend

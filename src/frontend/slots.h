@@ -1,0 +1,68 @@
+// Frame-slot resolution for MiniHPC programs.
+//
+// Walks the scope structure the interpreter's Env chain would build (a scope
+// per block / for-loop / OpenMP region / team thread) and assigns every
+// variable declaration a dense per-function frame slot; every reference
+// resolves to the slot of its innermost visible declaration. Slots are never
+// reused across sibling scopes, so a slot identifies one lexical variable for
+// the whole function — which is exactly what the bytecode engine needs to
+// replace scope-chain hash lookups with direct frame indexing, and what the
+// shared-slot indirection relies on for OpenMP shared-by-default semantics
+// (a team thread rebinds a slot to private storage the moment the region
+// body re-declares it; everything else keeps pointing at the forker's cell).
+//
+// The pass is a side table keyed by node address: the AST stays immutable and
+// shareable, and hand-built programs that never went through sema still
+// resolve (unresolved names are recorded as issues, which the bytecode
+// compiler lowers to trap instructions with the same diagnostics the AST
+// engine raises at execution time).
+#pragma once
+
+#include "frontend/ast.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace parcoach::frontend {
+
+/// A name that could not be resolved (a sema escape: the frontend rejects
+/// these, but programs can be built programmatically).
+struct SlotIssue {
+  SourceLoc loc;
+  std::string name;
+  bool is_function = false; // undefined callee vs undefined variable
+};
+
+struct FunctionSlots {
+  int32_t num_slots = 0;
+  /// Slot of each parameter, in declaration order.
+  std::vector<int32_t> param_slots;
+};
+
+/// The resolution result for a whole program.
+struct SlotMap {
+  std::unordered_map<const FuncDecl*, FunctionSlots> funcs;
+  /// Target slot of VarDecl / Assign / For / OmpFor / result-producing
+  /// call statements (CallStmt, MpiCall, MpiRecv, MpiWait, MpiTest).
+  std::unordered_map<const Stmt*, int32_t> stmt_slots;
+  /// Slot of every VarRef expression node.
+  std::unordered_map<const ir::Expr*, int32_t> expr_slots;
+  std::vector<SlotIssue> issues;
+
+  /// -1 when the statement has no (resolved) target.
+  [[nodiscard]] int32_t of(const Stmt& s) const {
+    auto it = stmt_slots.find(&s);
+    return it == stmt_slots.end() ? -1 : it->second;
+  }
+  /// -1 when the expression is not a resolved VarRef.
+  [[nodiscard]] int32_t of(const ir::Expr& e) const {
+    auto it = expr_slots.find(&e);
+    return it == expr_slots.end() ? -1 : it->second;
+  }
+};
+
+/// Resolves every function of `program`. Never fails: unresolved references
+/// are recorded in `issues` and simply absent from the maps.
+[[nodiscard]] SlotMap resolve_slots(const Program& program);
+
+} // namespace parcoach::frontend

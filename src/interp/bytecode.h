@@ -1,0 +1,178 @@
+// MiniHPC bytecode: a flat register-based instruction set compiled once per
+// (program, instrumentation plan) pair and executed by the VM in vm.cpp.
+//
+// What the compiler bakes in so the hot loop never looks anything up:
+//   - every variable access is a pre-resolved frame slot (frontend/slots.h);
+//     frames hold a slot->cell pointer array, so OpenMP shared-by-default
+//     falls out of pointer sharing: a team-thread view copies the forker's
+//     pointers (shared outer variables) and `Decl` rebinds a slot to the
+//     view's own storage the moment the region body re-declares it (private);
+//   - every collective site carries its compile-time arming decision (the
+//     plan's cc/mono membership) and, for armed sites, an index into the
+//     per-run CC-skeleton table: the skeleton pre-encodes kind + reduce op,
+//     and only the evaluated root and registry comm id are patched in at
+//     call time (rt::Verifier::cc_patch) — no per-call plan lookup, no
+//     encode_cc recomputation;
+//   - comm-handle operands get a per-thread CommRef cache slot: the registry
+//     is consulted once per acquisition (handle value + free-epoch checked
+//     per call, both thread-local except one relaxed atomic load), not once
+//     per collective;
+//   - callee names resolve to dense function ids at compile time.
+//
+// Control flow inside a function is flat jumps (if/while/for); OpenMP
+// constructs and other structured operations reference side-table "sites"
+// holding their body ranges and pre-evaluated operand registers, because
+// their bodies must run as closures under the miniomp runtime.
+//
+// Unresolved names (sema escapes in hand-built ASTs) compile to Trap
+// instructions carrying the exact diagnostic the AST engine would raise at
+// execution time — and only if the offending statement actually executes.
+// The statement's code is rolled back to the trap, so in the (sema-rejected)
+// corner where one statement combines an unresolved name with another
+// operand that faults at runtime, the engines agree on the faulting
+// statement but may report either of its faults.
+#pragma once
+
+#include "core/instrumentation.h"
+#include "frontend/ast.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace parcoach::interp {
+
+enum class Op : uint8_t {
+  // -- Registers and slots ---------------------------------------------------
+  Const,    // regs[a] = imm
+  Load,     // regs[a] = *slots[b]
+  Store,    // *slots[a] = regs[b]
+  Decl,     // rebind slot a to own storage, zero it (declaration point)
+  // -- Arithmetic / comparison ----------------------------------------------
+  Neg, Not, Bool,                    // regs[a] = op(regs[b])
+  Add, Sub, Mul, Div, Mod,           // regs[a] = regs[b] op regs[c]
+  Lt, Le, Gt, Ge, Eq, Ne,
+  AddImm,                            // regs[a] = regs[b] + imm
+  // -- Builtins ---------------------------------------------------------------
+  Rank, Size, ThreadNum, NumThreads, // regs[a] = builtin()
+  // -- Control flow -----------------------------------------------------------
+  Jump,     // pc = a
+  Jz,       // pc = regs[a] == 0 ? b : pc + 1
+  Jnz,      // pc = regs[a] != 0 ? b : pc + 1
+  // Fused compare-and-branch-if-false (the If/While/For condition shape,
+  // folded by the compiler when the comparison result is dead afterwards):
+  // pc = (regs[a] OP regs[b]) ? pc + 1 : c
+  JnLt, JnLe, JnGt, JnGe, JnEq, JnNe,
+  Ret,      // return regs[a] (a < 0: return 0)
+  Trap,     // throw EvalError(traps[a])
+  // -- Statements with side tables -------------------------------------------
+  PrintOp,  // print site a
+  Call,     // call site a
+  MpiColl,  // mpi site a: collectives, comm ops, init, finalize
+  MpiSend,  // value regs[a] -> dest regs[b], tag regs[c]
+  MpiRecv,  // mpi site a: recv into target
+  MpiWait, MpiTest, MpiWaitall, // mpi site a
+  Par,      // omp site a: parallel
+  OmpForOp, // omp site a: worksharing for
+  Single, Master, Critical, Sections, // omp site a
+  OmpBarrierOp, // barrier (no site)
+};
+
+struct BcInstr {
+  Op op;
+  int32_t a = -1, b = -1, c = -1;
+  int64_t imm = 0;
+};
+
+/// Half-open instruction range [begin, end) of a structured body.
+struct BcBlock {
+  uint32_t begin = 0, end = 0;
+};
+
+/// One MPI statement site (MpiColl / MpiRecv / MpiWait / MpiTest /
+/// MpiWaitall). Everything decidable at compile time is decided here.
+struct MpiSite {
+  const frontend::Stmt* stmt = nullptr;
+  bool armed = false;        // CC check planned (plan->cc_stmts)
+  bool mono = false;         // occupancy check planned (plan->mono_stmts)
+  bool child_armed = false;  // comm ctor: result class armed (exit sentinel)
+  int32_t root_reg = -1;     // evaluated root / split key / recv source
+  int32_t payload_reg = -1;  // payload / split color / request / recv tag
+  int32_t comm_reg = -1;     // evaluated communicator handle
+  int32_t comm_cache = -1;   // per-thread CommRef cache index
+  int32_t cc_slot = -1;      // per-run CC-skeleton table index (armed sites)
+  int32_t target_slot = -1;  // result destination (-1: none)
+  bool declares_target = false;
+  int32_t list = -1;         // reg_lists index (waitall requests)
+};
+
+/// One OpenMP construct site.
+struct OmpSite {
+  const frontend::Stmt* stmt = nullptr;
+  BcBlock body;
+  std::vector<int32_t> section_sites; // OmpSections: one OmpSite per section
+  int32_t nt_reg = -1, if_reg = -1; // parallel clauses
+  int32_t lo_reg = -1, hi_reg = -1; // worksharing bounds
+  int32_t iv_slot = -1;             // worksharing loop variable
+  bool nowait = false;
+  bool watched = false;             // region watched by the plan (set Scc)
+};
+
+struct CallSite {
+  int32_t func = -1;
+  int32_t args = -1; // reg_lists index (-1: no arguments)
+  int32_t target_slot = -1;
+  bool declares_target = false;
+};
+
+struct PrintSite {
+  int32_t args = -1; // reg_lists index
+};
+
+/// One armed collective site's compile-time CC knowledge. The skeleton value
+/// itself is computed once per *run* (it depends on VerifierOptions), into a
+/// table indexed by MpiSite::cc_slot.
+struct CcSiteInfo {
+  ir::CollectiveKind kind{};
+  std::optional<ir::ReduceOp> op;
+};
+
+struct BcFunction {
+  const frontend::FuncDecl* decl = nullptr;
+  std::vector<BcInstr> code;
+  int32_t num_slots = 0;
+  int32_t num_regs = 0;
+  std::vector<int32_t> param_slots;
+};
+
+struct BcProgram {
+  std::vector<BcFunction> funcs;
+  int32_t main_func = -1;
+  bool instrumented = false;    // a plan was attached at compile time
+  bool cc_final_in_main = false;
+  std::vector<MpiSite> mpi_sites;
+  std::vector<OmpSite> omp_sites;
+  std::vector<CallSite> call_sites;
+  std::vector<PrintSite> print_sites;
+  std::vector<std::vector<int32_t>> reg_lists;
+  std::vector<std::string> traps;
+  std::vector<CcSiteInfo> cc_sites;   // indexed by MpiSite::cc_slot
+  int32_t num_comm_caches = 0;
+
+  [[nodiscard]] size_t total_instrs() const {
+    size_t n = 0;
+    for (const auto& f : funcs) n += f.code.size();
+    return n;
+  }
+};
+
+/// Compiles `program` against `plan` (may be null: uninstrumented). `sm` is
+/// used to render source locations into trap diagnostics.
+[[nodiscard]] BcProgram compile(const frontend::Program& program,
+                                const SourceManager& sm,
+                                const core::InstrumentationPlan* plan);
+
+/// Human-readable listing (tests, debugging).
+[[nodiscard]] std::string disassemble(const BcProgram& p);
+
+} // namespace parcoach::interp

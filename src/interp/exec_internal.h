@@ -1,0 +1,145 @@
+// Internals shared by the two execution engines (the AST tree-walker in
+// executor.cpp and the bytecode VM in vm.cpp). Not part of the public
+// interpreter interface.
+#pragma once
+
+#include "core/instrumentation.h"
+#include "frontend/ast.h"
+#include "miniomp/team.h"
+#include "rt/verifier.h"
+#include "simmpi/world.h"
+#include "support/source_manager.h"
+#include "support/str.h"
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace parcoach::interp {
+
+/// Runtime fault in user code (division by zero, missing main, step limit).
+class EvalError : public std::runtime_error {
+public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Variable cell. Atomic so user-level data races (shared variables written
+/// from several OpenMP threads) are C++-defined; ordering is relaxed — the
+/// validator checks collective placement, not user data determinism.
+struct Cell {
+  std::atomic<int64_t> v{0};
+};
+
+/// State shared by every rank/thread of one run.
+struct SharedState {
+  const frontend::Program* program = nullptr;
+  const SourceManager* sm = nullptr;
+  const core::InstrumentationPlan* plan = nullptr;
+  rt::Verifier* verifier = nullptr;
+  uint64_t max_steps = 0;
+  /// Steps granted to threads in batches (see StepCounter). The global limit
+  /// is enforced at batch-claim time, so the two cache lines below are
+  /// touched once per kStepBatch statements instead of once per statement.
+  std::atomic<uint64_t> steps_claimed{0};
+  std::atomic<uint64_t> steps_executed{0};
+  std::mutex output_mu;
+  std::vector<std::string> output;
+};
+
+/// Batch size of the per-thread step budget. Large enough that the shared
+/// claim counter is touched ~once per 4k statements; small enough that the
+/// step limit still triggers within one batch (per live thread) of the
+/// configured maximum.
+inline constexpr uint64_t kStepBatch = 4096;
+
+/// Per-thread step budget: claims kStepBatch steps from the shared pool at a
+/// time and burns them locally, so the per-statement hot path is a plain
+/// decrement instead of a contended atomic increment. Unused budget is
+/// returned on destruction (threads that execute a handful of statements do
+/// not inflate the global count), and the executed total is published then.
+class StepCounter {
+public:
+  StepCounter(SharedState& shared, simmpi::Rank& rank)
+      : shared_(&shared), rank_(&rank) {}
+  ~StepCounter() { settle(); }
+  StepCounter(const StepCounter&) = delete;
+  StepCounter& operator=(const StepCounter&) = delete;
+
+  /// One executed statement / bytecode instruction.
+  void bump() {
+    if (left_ == 0) refill();
+    --left_;
+  }
+
+  /// Returns unclaimed budget to the pool and publishes the executed count.
+  void settle() {
+    if (left_ > 0) {
+      shared_->steps_claimed.fetch_sub(left_, std::memory_order_relaxed);
+      granted_ -= left_;
+      left_ = 0;
+    }
+    if (granted_ > published_) {
+      shared_->steps_executed.fetch_add(granted_ - published_,
+                                        std::memory_order_relaxed);
+      published_ = granted_;
+    }
+  }
+
+private:
+  void refill() {
+    const uint64_t base =
+        shared_->steps_claimed.fetch_add(kStepBatch, std::memory_order_relaxed);
+    if (base >= shared_->max_steps) {
+      shared_->steps_claimed.fetch_sub(kStepBatch, std::memory_order_relaxed);
+      settle();
+      rank_->abort("interpreter step limit exceeded (runaway program?)");
+      throw simmpi::AbortedError("step limit exceeded");
+    }
+    left_ = kStepBatch;
+    granted_ += kStepBatch;
+  }
+
+  SharedState* shared_;
+  simmpi::Rank* rank_;
+  uint64_t left_ = 0;      // locally claimed, not yet burned
+  uint64_t granted_ = 0;   // total claimed by this thread (minus returns)
+  uint64_t published_ = 0; // executed count already added to the shared total
+};
+
+/// True iff the executing thread is thread 0 of every enclosing team — the
+/// process main thread, which is what MPI_THREAD_FUNNELED permits.
+inline bool is_master_chain(const miniomp::ThreadContext* ctx) {
+  for (const miniomp::ThreadContext* c = ctx; c; c = c->parent)
+    if (c->thread_num != 0) return false;
+  return true;
+}
+
+/// Diagnostic wording shared by both engines so outcomes stay byte-identical.
+inline std::string undefined_var_msg(const SourceManager& sm,
+                                     const std::string& name, SourceLoc loc) {
+  return str::cat("undefined variable '", name, "' at ", sm.describe(loc));
+}
+inline std::string undefined_fn_msg(const SourceManager& sm,
+                                    const std::string& name, SourceLoc loc) {
+  return str::cat("undefined function '", name, "' at ", sm.describe(loc));
+}
+
+// Bytecode-engine entry points (vm.cpp).
+struct BcProgram;
+
+/// Per-run CC-skeleton table: one pre-encoded (kind, reduce-op) id per armed
+/// site, indexed by MpiSite::cc_slot. Depends on VerifierOptions, so it is
+/// built once per run rather than at compile time.
+[[nodiscard]] std::vector<int64_t> make_cc_skeletons(const BcProgram& bc,
+                                                     const rt::Verifier& v);
+
+/// Runs one rank's main() under the bytecode VM. Throws EvalError for user
+/// faults (the caller wraps them into rank aborts, like the AST engine).
+void run_rank_bytecode(SharedState& shared, const BcProgram& bc,
+                       const std::vector<int64_t>& cc_skeletons,
+                       simmpi::Rank& rank, int32_t default_threads);
+
+} // namespace parcoach::interp

@@ -1,5 +1,7 @@
 #include "interp/executor.h"
 
+#include "interp/bytecode.h"
+#include "interp/exec_internal.h"
 #include "miniomp/team.h"
 #include "support/str.h"
 
@@ -15,19 +17,6 @@ namespace {
 using frontend::Stmt;
 using frontend::StmtKind;
 using ir::Expr;
-
-/// Runtime fault in user code (division by zero, missing main, step limit).
-class EvalError : public std::runtime_error {
-public:
-  using std::runtime_error::runtime_error;
-};
-
-/// Variable cell. Atomic so user-level data races (shared variables written
-/// from several OpenMP threads) are C++-defined; ordering is relaxed — the
-/// validator checks collective placement, not user data determinism.
-struct Cell {
-  std::atomic<int64_t> v{0};
-};
 
 /// Lexical scope chain. Scopes are created per block / function call / team
 /// thread; lookups walk outward. Cells live in a deque for address
@@ -57,32 +46,19 @@ private:
   std::deque<Cell> cells_;
 };
 
-struct SharedState {
-  const frontend::Program* program = nullptr;
-  const SourceManager* sm = nullptr;
-  const core::InstrumentationPlan* plan = nullptr;
-  rt::Verifier* verifier = nullptr;
-  std::atomic<uint64_t> steps{0};
-  uint64_t max_steps = 0;
-  std::mutex output_mu;
-  std::vector<std::string> output;
-};
-
 /// Per-thread execution state within one rank.
 struct ThreadState {
   miniomp::ThreadContext* omp = nullptr;
   /// Worksharing-construct counter; identical across team threads in
   /// conforming programs, used as the construct-instance id.
   uint64_t construct_counter = 0;
-};
+  /// Batched step budget (burns locally, claims from the shared pool in
+  /// kStepBatch chunks).
+  StepCounter steps;
 
-/// True iff the executing thread is thread 0 of every enclosing team — the
-/// process main thread, which is what MPI_THREAD_FUNNELED permits.
-bool is_master_chain(const miniomp::ThreadContext* ctx) {
-  for (const miniomp::ThreadContext* c = ctx; c; c = c->parent)
-    if (c->thread_num != 0) return false;
-  return true;
-}
+  ThreadState(SharedState& shared, simmpi::Rank& rank)
+      : steps(shared, rank) {}
+};
 
 class RankExec {
 public:
@@ -95,7 +71,7 @@ public:
     miniomp::ProcessDomain domain; // per-rank process-wide OpenMP state
     miniomp::ThreadContext root;   // serial context (no team)
     root.domain = &domain;
-    ThreadState ts;
+    ThreadState ts(shared_, rank_);
     ts.omp = &root;
     call_function(*main_fn, {}, ts);
     if (shared_.plan && shared_.plan->cc_final_in_main) {
@@ -119,13 +95,13 @@ public:
 private:
   // ---- Expressions ----------------------------------------------------------
   int64_t eval(const Expr& e, Env& env, ThreadState& ts) {
-    bump_step();
+    ts.steps.bump();
     switch (e.kind) {
       case Expr::Kind::IntLit:
         return e.int_val;
       case Expr::Kind::VarRef: {
         Cell* c = env.lookup(e.var);
-        if (!c) throw EvalError(str::cat("undefined variable '", e.var, "'"));
+        if (!c) throw EvalError(undefined_var_msg(*shared_.sm, e.var, e.loc));
         return c->v.load(std::memory_order_relaxed);
       }
       case Expr::Kind::Unary: {
@@ -171,14 +147,6 @@ private:
     return 0;
   }
 
-  void bump_step() {
-    if (shared_.steps.fetch_add(1, std::memory_order_relaxed) >
-        shared_.max_steps) {
-      rank_.abort("interpreter step limit exceeded (runaway program?)");
-      throw simmpi::AbortedError("step limit exceeded");
-    }
-  }
-
   // ---- Statements -----------------------------------------------------------
   /// Returns the function's return value when a `return` executed.
   std::optional<int64_t> exec_block(const std::vector<frontend::StmtPtr>& body,
@@ -191,7 +159,7 @@ private:
   }
 
   std::optional<int64_t> exec_stmt(const Stmt& s, Env& env, ThreadState& ts) {
-    bump_step();
+    ts.steps.bump();
     switch (s.kind) {
       case StmtKind::VarDecl: {
         Cell* c = env.declare(s.name);
@@ -199,8 +167,11 @@ private:
         return std::nullopt;
       }
       case StmtKind::Assign: {
+        // Env::lookup legitimately returns null for sema escapes
+        // (programmatically built ASTs): fault with the source location
+        // instead of a bare name.
         Cell* c = env.lookup(s.name);
-        if (!c) throw EvalError(str::cat("undefined variable '", s.name, "'"));
+        if (!c) throw EvalError(undefined_var_msg(*shared_.sm, s.name, s.loc));
         c->v.store(eval(*s.value, env, ts), std::memory_order_relaxed);
         return std::nullopt;
       }
@@ -233,7 +204,8 @@ private:
       }
       case StmtKind::CallStmt: {
         const frontend::FuncDecl* callee = shared_.program->find(s.callee);
-        if (!callee) throw EvalError(str::cat("undefined function '", s.callee, "'"));
+        if (!callee)
+          throw EvalError(undefined_fn_msg(*shared_.sm, s.callee, s.loc));
         std::vector<int64_t> args;
         args.reserve(s.args.size());
         for (const auto& a : s.args) args.push_back(eval(*a, env, ts));
@@ -275,9 +247,13 @@ private:
         return std::nullopt;
       }
       case StmtKind::MpiWaitall: {
+        // Request expressions are pure: evaluate them all first (the order
+        // the bytecode compiler emits), then check, then complete in order.
+        std::vector<int64_t> reqs;
+        reqs.reserve(s.args.size());
+        for (const auto& a : s.args) reqs.push_back(eval(*a, env, ts));
         check_wait_thread_usage(s, ts);
-        for (const auto& a : s.args) {
-          const int64_t req = eval(*a, env, ts);
+        for (const int64_t req : reqs) {
           const auto out = rank_.wait_outcome(req);
           if (!out.ok()) request_misuse(s.loc, out.error);
         }
@@ -370,9 +346,8 @@ private:
     const bool if_clause = !s.if_clause || eval(*s.if_clause, env, ts) != 0;
     miniomp::Runtime::parallel(
         *ts.omp, n, if_clause, [&](miniomp::ThreadContext& child) {
-          ThreadState child_ts;
+          ThreadState child_ts(shared_, rank_);
           child_ts.omp = &child;
-          child_ts.construct_counter = 0;
           Env scope(&env); // thread-private inner scope, shared outer scopes
           exec_block_no_return(s.body, scope, child_ts);
         });
@@ -382,7 +357,7 @@ private:
     (void)ts;
     if (s.name.empty()) return;
     Cell* c = s.declares_target ? env.declare(s.name) : env.lookup(s.name);
-    if (!c) throw EvalError(str::cat("undefined variable '", s.name, "'"));
+    if (!c) throw EvalError(undefined_var_msg(*shared_.sm, s.name, s.loc));
     c->v.store(value, std::memory_order_relaxed);
   }
 
@@ -407,6 +382,29 @@ private:
       rank_.init(s.init_level);
       return;
     }
+    // Communicator management routes through the registry. Split/dup are
+    // collectives over the parent comm — the CC id (scoped by the parent's
+    // comm id) rides in their agreement round; free is local.
+    const bool mono = shared_.plan && shared_.plan->mono_stmts.count(s.stmt_id);
+    const bool cc = shared_.plan && shared_.plan->cc_stmts.count(s.stmt_id);
+    if (ir::is_comm_op(s.coll)) {
+      exec_comm_op(s, cc, mono, env, ts);
+      return;
+    }
+
+    // Operand expressions are pure, so they are evaluated *before* the
+    // planned checks — the same order the bytecode compiler emits (operand
+    // code precedes the collective instruction), keeping engine outcomes
+    // identical when an operand faults (e.g. a divide-by-zero root).
+    simmpi::Signature sig;
+    sig.kind = s.coll;
+    sig.root = s.mpi_root
+                   ? static_cast<int32_t>(eval(*s.mpi_root, env, ts))
+                   : -1;
+    sig.op = s.reduce_op;
+    const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
+    const int64_t comm_handle = s.mpi_comm ? eval(*s.mpi_comm, env, ts) : 0;
+
     // Planned runtime checks, in paper order: occupancy first (validates the
     // monothread assumption), then CC (validates sequence agreement), then
     // the collective itself. The CC agreement is piggybacked: the id rides
@@ -415,33 +413,15 @@ private:
     // CcMismatchError on exactly one thread, which produces the report.
     // Nonblocking collectives are checked at *issue* time — that is where
     // the slot is claimed, so that is where divergence must be stopped.
-    const bool mono = shared_.plan && shared_.plan->mono_stmts.count(s.stmt_id);
-    const bool cc = shared_.plan && shared_.plan->cc_stmts.count(s.stmt_id);
     std::optional<rt::Verifier::MonoGuard> mono_guard;
     if (mono)
       mono_guard.emplace(*shared_.verifier, rank_, s.stmt_id, s.loc);
     if (shared_.plan)
       shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
                                            is_master_chain(ts.omp), s.loc);
-
-    // Communicator management routes through the registry. Split/dup are
-    // collectives over the parent comm — the CC id (scoped by the parent's
-    // comm id) rides in their agreement round; free is local.
-    if (ir::is_comm_op(s.coll)) {
-      exec_comm_op(s, cc, env, ts);
-      return;
-    }
-
-    simmpi::Signature sig;
-    sig.kind = s.coll;
-    sig.root = s.mpi_root
-                   ? static_cast<int32_t>(eval(*s.mpi_root, env, ts))
-                   : -1;
-    sig.op = s.reduce_op;
     if (s.coll == ir::CollectiveKind::Finalize && shared_.plan)
       shared_.verifier->report_leaked_requests(
           rank_, s.loc, rank_.requests().outstanding(rank_.rank()));
-    const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
     try {
       // The comm operand: absent = MPI_COMM_WORLD via the registry-free
       // fast path (the blocking hot path stays lock-light); present = ONE
@@ -457,7 +437,7 @@ private:
         store_target(s, result.scalar, env, ts);
         return;
       }
-      const auto ref = rank_.comm_ref(eval(*s.mpi_comm, env, ts));
+      const auto ref = rank_.comm_ref(comm_handle);
       if (cc)
         sig.cc = shared_.verifier->cc_lane_id(s.coll, sig.op, sig.root,
                                               ref.comm->comm_id());
@@ -471,10 +451,25 @@ private:
     }
   }
 
-  /// mpi_comm_split / mpi_comm_dup / mpi_comm_free.
-  void exec_comm_op(const Stmt& s, bool cc, Env& env, ThreadState& ts) {
+  /// mpi_comm_split / mpi_comm_dup / mpi_comm_free. Operand expressions are
+  /// evaluated before the planned checks, like everywhere else (the bytecode
+  /// compiler's operand order: parent comm, then color, then key).
+  void exec_comm_op(const Stmt& s, bool cc, bool mono, Env& env,
+                    ThreadState& ts) {
     const int64_t parent =
         s.mpi_comm ? eval(*s.mpi_comm, env, ts) : simmpi::Rank::kCommWorld;
+    const int64_t color = s.coll == ir::CollectiveKind::CommSplit
+                              ? eval(*s.mpi_value, env, ts)
+                              : 0;
+    const int64_t key = s.coll == ir::CollectiveKind::CommSplit
+                            ? eval(*s.mpi_root, env, ts)
+                            : 0;
+    std::optional<rt::Verifier::MonoGuard> mono_guard;
+    if (mono)
+      mono_guard.emplace(*shared_.verifier, rank_, s.stmt_id, s.loc);
+    if (shared_.plan)
+      shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
+                                           is_master_chain(ts.omp), s.loc);
     if (s.coll == ir::CollectiveKind::CommFree) {
       rank_.comm_free(parent);
       std::scoped_lock lk(armed_comms_mu_);
@@ -496,8 +491,6 @@ private:
     try {
       int64_t handle = 0;
       if (s.coll == ir::CollectiveKind::CommSplit) {
-        const int64_t color = eval(*s.mpi_value, env, ts);
-        const int64_t key = eval(*s.mpi_root, env, ts);
         handle = rank_.comm_split(parent, color, key, cc_id, child_armed);
       } else {
         handle = rank_.comm_dup(parent, cc_id, child_armed);
@@ -561,16 +554,34 @@ ExecResult Executor::run(const ExecOptions& opts) {
   shared.verifier = &verifier;
   shared.max_steps = opts.max_steps;
 
-  result.mpi = world.run([&](simmpi::Rank& rank) {
-    RankExec exec(shared, rank);
-    exec.default_threads_ = opts.num_threads;
-    try {
-      exec.run_main();
-    } catch (const EvalError& e) {
-      rank.abort(str::cat("rank ", rank.rank(), ": ", e.what()));
-      throw;
-    }
-  });
+  if (opts.engine == Engine::Bytecode) {
+    // Compile once per run: the bytecode bakes in the plan's arming
+    // decisions, and the per-run skeleton table bakes in VerifierOptions.
+    const BcProgram bc = interp::compile(program_, sm_, plan_);
+    const std::vector<int64_t> skeletons = make_cc_skeletons(bc, verifier);
+    result.mpi = world.run([&](simmpi::Rank& rank) {
+      try {
+        run_rank_bytecode(shared, bc, skeletons, rank, opts.num_threads);
+      } catch (const EvalError& e) {
+        rank.abort(str::cat("rank ", rank.rank(), ": ", e.what()));
+        throw;
+      }
+    });
+    result.mpi.bytecode_ops = shared.steps_executed.load();
+  } else {
+    result.mpi = world.run([&](simmpi::Rank& rank) {
+      RankExec exec(shared, rank);
+      exec.default_threads_ = opts.num_threads;
+      try {
+        exec.run_main();
+      } catch (const EvalError& e) {
+        rank.abort(str::cat("rank ", rank.rank(), ": ", e.what()));
+        throw;
+      }
+    });
+  }
+  result.mpi.engine = to_string(opts.engine);
+  result.steps_executed = shared.steps_executed.load();
 
   result.rt_diags = verifier.diagnostics();
   if (plan_) {

@@ -22,9 +22,20 @@
 
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace parcoach::interp {
+
+/// Which execution engine runs the program. Bytecode is the default (the
+/// fast path: pre-resolved frame slots, baked arming decisions, pre-encoded
+/// CC skeletons, cached CommRefs); the AST tree-walker survives as the
+/// differential-testing oracle and reference semantics.
+enum class Engine : uint8_t { Ast, Bytecode };
+
+[[nodiscard]] constexpr std::string_view to_string(Engine e) noexcept {
+  return e == Engine::Ast ? "ast" : "bytecode";
+}
 
 struct ExecOptions {
   int32_t num_ranks = 2;
@@ -33,7 +44,10 @@ struct ExecOptions {
   simmpi::World::Options mpi; // num_ranks is overwritten from the above
   rt::VerifierOptions verify;
   /// Global step budget (all ranks/threads); exceeding it aborts the run.
+  /// Enforced in batches of ~4096 per thread, so the abort triggers within
+  /// one batch per live thread of this maximum.
   uint64_t max_steps = 50'000'000;
+  Engine engine = Engine::Bytecode;
 };
 
 struct ExecResult {
@@ -45,6 +59,9 @@ struct ExecResult {
   /// Convenience: true if the run finished with no deadlock, no abort, no
   /// rank errors and no runtime verifier errors.
   bool clean = false;
+  /// Statements (AST engine) / instructions (bytecode engine) executed,
+  /// summed over all ranks and threads via the batched step budgets.
+  uint64_t steps_executed = 0;
   [[nodiscard]] size_t rt_error_count() const {
     size_t n = 0;
     for (const auto& d : rt_diags) n += d.severity == Severity::Error;

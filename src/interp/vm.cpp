@@ -1,0 +1,543 @@
+// The bytecode VM: executes interp::BcProgram (see bytecode.h for what the
+// compiler pre-resolved). Semantics mirror the AST tree-walker in
+// executor.cpp statement for statement — the corpus-wide differential test
+// (BytecodeMatchesAstOutcome) holds the two engines to byte-identical
+// diagnostics, deadlock details and program output.
+#include "interp/bytecode.h"
+#include "interp/exec_internal.h"
+
+#include <algorithm>
+#include <functional>
+#include <optional>
+
+namespace parcoach::interp {
+
+namespace {
+
+using frontend::Stmt;
+
+/// Execution frame of one function invocation, as seen by one thread.
+///
+/// `slots` is the shared-slot indirection: each entry points at the cell a
+/// slot currently denotes. The root view points into its own `storage`; a
+/// team-thread view copies the forker's pointers (OpenMP shared-by-default)
+/// and Op::Decl rebinds a slot to the view's own storage at the declaration
+/// point, which is exactly where the tree-walker's per-scope Env would have
+/// created a thread-private cell.
+struct Frame {
+  const BcFunction* fn;
+  std::vector<Cell> storage;
+  std::vector<Cell*> slots;
+  std::vector<int64_t> regs;
+
+  explicit Frame(const BcFunction& f)
+      : fn(&f), storage(static_cast<size_t>(f.num_slots)),
+        slots(static_cast<size_t>(f.num_slots)),
+        regs(static_cast<size_t>(f.num_regs), 0) {
+    for (size_t i = 0; i < storage.size(); ++i) slots[i] = &storage[i];
+  }
+
+  struct TeamView {};
+  Frame(const Frame& parent, TeamView)
+      : fn(parent.fn), storage(parent.storage.size()), slots(parent.slots),
+        regs(parent.regs.size(), 0) {}
+};
+
+/// One entry of the per-thread CommRef cache: a resolved communicator stays
+/// valid while the handle value matches and no mpi_comm_free ran on this
+/// rank since (the epoch), so steady-state collectives on a sub-communicator
+/// cost one thread-local compare plus one relaxed atomic load instead of a
+/// registry lookup.
+struct CommCacheEntry {
+  int64_t handle = 0;
+  uint64_t epoch = 0;
+  bool valid = false;
+  simmpi::Rank::CommRef ref;
+};
+
+/// Per-thread execution state within one rank.
+struct VmThread {
+  miniomp::ThreadContext* omp = nullptr;
+  /// Worksharing-construct counter; identical across team threads in
+  /// conforming programs, used as the construct-instance id.
+  uint64_t construct_counter = 0;
+  StepCounter steps;
+  std::vector<CommCacheEntry> comm_cache;
+
+  VmThread(SharedState& shared, simmpi::Rank& rank, int32_t num_caches)
+      : steps(shared, rank),
+        comm_cache(static_cast<size_t>(num_caches)) {}
+};
+
+class VmRank {
+public:
+  VmRank(SharedState& shared, const BcProgram& bc,
+         const std::vector<int64_t>& skeletons, simmpi::Rank& rank,
+         int32_t default_threads)
+      : shared_(shared), bc_(bc), skeletons_(skeletons), rank_(rank),
+        default_threads_(default_threads) {}
+
+  void run_main() {
+    if (bc_.main_func < 0) throw EvalError("program has no main()");
+    const BcFunction& main_fn = bc_.funcs[static_cast<size_t>(bc_.main_func)];
+    miniomp::ProcessDomain domain; // per-rank process-wide OpenMP state
+    miniomp::ThreadContext root;   // serial context (no team)
+    root.domain = &domain;
+    VmThread ts(shared_, rank_, bc_.num_comm_caches);
+    ts.omp = &root;
+    call(main_fn, {}, ts);
+    if (bc_.cc_final_in_main) {
+      // Per-comm exit sentinels, then world — identical to the AST engine.
+      std::vector<int64_t> armed;
+      {
+        std::scoped_lock lk(armed_comms_mu_);
+        armed = armed_comms_;
+      }
+      for (int64_t handle : armed)
+        shared_.verifier->check_cc_final_piggybacked_on(rank_, handle,
+                                                        main_fn.decl->loc);
+      if (shared_.plan->world_cc_armed())
+        shared_.verifier->check_cc_final_piggybacked(rank_, main_fn.decl->loc);
+    }
+  }
+
+private:
+  int64_t call(const BcFunction& fn, const std::vector<int64_t>& args,
+               VmThread& ts) {
+    Frame f(fn);
+    for (size_t i = 0; i < fn.param_slots.size(); ++i)
+      f.slots[static_cast<size_t>(fn.param_slots[i])]->v.store(
+          i < args.size() ? args[i] : 0, std::memory_order_relaxed);
+    const auto ret =
+        exec(f, ts, 0, static_cast<uint32_t>(fn.code.size()));
+    return ret.value_or(0);
+  }
+
+  /// Region bodies cannot contain `return` (sema guarantee); guard anyway.
+  void exec_no_return(Frame& f, VmThread& ts, BcBlock body) {
+    if (exec(f, ts, body.begin, body.end))
+      throw EvalError("return escaped an OpenMP structured block");
+  }
+
+  // ---- The dispatch loop ----------------------------------------------------
+  std::optional<int64_t> exec(Frame& f, VmThread& ts, uint32_t pc,
+                              uint32_t end) {
+    const BcInstr* code = f.fn->code.data();
+    int64_t* regs = f.regs.data();
+    Cell** slots = f.slots.data();
+    while (pc < end) {
+      const BcInstr& I = code[pc];
+      ts.steps.bump();
+      switch (I.op) {
+        case Op::Const:
+          regs[I.a] = I.imm;
+          break;
+        case Op::Load:
+          regs[I.a] = slots[I.b]->v.load(std::memory_order_relaxed);
+          break;
+        case Op::Store:
+          slots[I.a]->v.store(regs[I.b], std::memory_order_relaxed);
+          break;
+        case Op::Decl:
+          slots[I.a] = &f.storage[static_cast<size_t>(I.a)];
+          slots[I.a]->v.store(0, std::memory_order_relaxed);
+          break;
+        case Op::Neg: regs[I.a] = -regs[I.b]; break;
+        case Op::Not: regs[I.a] = regs[I.b] == 0 ? 1 : 0; break;
+        case Op::Bool: regs[I.a] = regs[I.b] != 0 ? 1 : 0; break;
+        case Op::Add: regs[I.a] = regs[I.b] + regs[I.c]; break;
+        case Op::Sub: regs[I.a] = regs[I.b] - regs[I.c]; break;
+        case Op::Mul: regs[I.a] = regs[I.b] * regs[I.c]; break;
+        case Op::Div:
+          if (regs[I.c] == 0) throw EvalError("division by zero");
+          regs[I.a] = regs[I.b] / regs[I.c];
+          break;
+        case Op::Mod:
+          if (regs[I.c] == 0) throw EvalError("modulo by zero");
+          regs[I.a] = regs[I.b] % regs[I.c];
+          break;
+        case Op::Lt: regs[I.a] = regs[I.b] < regs[I.c]; break;
+        case Op::Le: regs[I.a] = regs[I.b] <= regs[I.c]; break;
+        case Op::Gt: regs[I.a] = regs[I.b] > regs[I.c]; break;
+        case Op::Ge: regs[I.a] = regs[I.b] >= regs[I.c]; break;
+        case Op::Eq: regs[I.a] = regs[I.b] == regs[I.c]; break;
+        case Op::Ne: regs[I.a] = regs[I.b] != regs[I.c]; break;
+        case Op::AddImm: regs[I.a] = regs[I.b] + I.imm; break;
+        case Op::Rank: regs[I.a] = rank_.rank(); break;
+        case Op::Size: regs[I.a] = rank_.size(); break;
+        case Op::ThreadNum: regs[I.a] = ts.omp->thread_num; break;
+        case Op::NumThreads: regs[I.a] = ts.omp->team_size(); break;
+        case Op::Jump:
+          pc = static_cast<uint32_t>(I.a);
+          continue;
+        case Op::Jz:
+          if (regs[I.a] == 0) {
+            pc = static_cast<uint32_t>(I.b);
+            continue;
+          }
+          break;
+        case Op::Jnz:
+          if (regs[I.a] != 0) {
+            pc = static_cast<uint32_t>(I.b);
+            continue;
+          }
+          break;
+        case Op::JnLt:
+          if (!(regs[I.a] < regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+          break;
+        case Op::JnLe:
+          if (!(regs[I.a] <= regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+          break;
+        case Op::JnGt:
+          if (!(regs[I.a] > regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+          break;
+        case Op::JnGe:
+          if (!(regs[I.a] >= regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+          break;
+        case Op::JnEq:
+          if (!(regs[I.a] == regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+          break;
+        case Op::JnNe:
+          if (!(regs[I.a] != regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+          break;
+        case Op::Ret:
+          return I.a >= 0 ? regs[I.a] : 0;
+        case Op::Trap:
+          throw EvalError(bc_.traps[static_cast<size_t>(I.a)]);
+        case Op::PrintOp: {
+          const PrintSite& st = bc_.print_sites[static_cast<size_t>(I.a)];
+          std::string line = str::cat("rank ", rank_.rank(), ":");
+          if (st.args >= 0)
+            for (int32_t r : bc_.reg_lists[static_cast<size_t>(st.args)])
+              line += str::cat(" ", regs[r]);
+          std::scoped_lock lk(shared_.output_mu);
+          shared_.output.push_back(std::move(line));
+          break;
+        }
+        case Op::Call: {
+          const CallSite& cs = bc_.call_sites[static_cast<size_t>(I.a)];
+          std::vector<int64_t> args;
+          if (cs.args >= 0) {
+            const auto& lst = bc_.reg_lists[static_cast<size_t>(cs.args)];
+            args.reserve(lst.size());
+            for (int32_t r : lst) args.push_back(regs[r]);
+          }
+          const int64_t ret =
+              call(bc_.funcs[static_cast<size_t>(cs.func)], args, ts);
+          if (cs.target_slot >= 0)
+            store_slot(f, cs.target_slot, cs.declares_target, ret);
+          break;
+        }
+        case Op::MpiColl:
+          exec_mpi(bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiSend:
+          rank_.send(regs[I.a], static_cast<int32_t>(regs[I.b]),
+                     static_cast<int32_t>(regs[I.c]));
+          break;
+        case Op::MpiRecv: {
+          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
+          const auto src = static_cast<int32_t>(regs[st.root_reg]);
+          const auto tag = static_cast<int32_t>(regs[st.payload_reg]);
+          store_target(st, rank_.recv(src, tag), f);
+          break;
+        }
+        case Op::MpiWait: {
+          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
+          const int64_t req = regs[st.payload_reg];
+          check_wait_thread_usage(st, ts);
+          const auto out = rank_.wait_outcome(req);
+          if (!out.ok()) request_misuse(st.stmt->loc, out.error);
+          store_target(st, out.value, f);
+          break;
+        }
+        case Op::MpiTest: {
+          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
+          const int64_t req = regs[st.payload_reg];
+          check_wait_thread_usage(st, ts);
+          bool done = false;
+          const auto out = rank_.test_outcome(req, done);
+          if (!out.ok()) request_misuse(st.stmt->loc, out.error);
+          store_target(st, done ? 1 : 0, f);
+          break;
+        }
+        case Op::MpiWaitall: {
+          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
+          check_wait_thread_usage(st, ts);
+          for (int32_t r : bc_.reg_lists[static_cast<size_t>(st.list)]) {
+            const auto out = rank_.wait_outcome(regs[r]);
+            if (!out.ok()) request_misuse(st.stmt->loc, out.error);
+          }
+          break;
+        }
+        case Op::Par: {
+          const OmpSite& st = bc_.omp_sites[static_cast<size_t>(I.a)];
+          int32_t n = default_threads_;
+          if (st.nt_reg >= 0) {
+            n = static_cast<int32_t>(regs[st.nt_reg]);
+            if (n < 1) n = 1;
+          }
+          const bool if_clause = st.if_reg < 0 || regs[st.if_reg] != 0;
+          miniomp::Runtime::parallel(
+              *ts.omp, n, if_clause, [&](miniomp::ThreadContext& child) {
+                VmThread cts(shared_, rank_, bc_.num_comm_caches);
+                cts.omp = &child;
+                Frame view(f, Frame::TeamView{});
+                exec_no_return(view, cts, st.body);
+              });
+          pc = st.body.end;
+          continue;
+        }
+        case Op::OmpForOp: {
+          const OmpSite& st = bc_.omp_sites[static_cast<size_t>(I.a)];
+          ts.construct_counter++;
+          const int64_t lo = regs[st.lo_reg];
+          const int64_t hi = regs[st.hi_reg];
+          // Privatize the loop variable for this thread's view, like the
+          // per-iteration scope.declare in the tree-walker.
+          Cell* iv = &f.storage[static_cast<size_t>(st.iv_slot)];
+          slots[st.iv_slot] = iv;
+          miniomp::Runtime::ws_for(*ts.omp, st.nowait, lo, hi,
+                                   [&](int64_t i) {
+                                     iv->v.store(i, std::memory_order_relaxed);
+                                     exec_no_return(f, ts, st.body);
+                                   });
+          pc = st.body.end;
+          continue;
+        }
+        case Op::Single: {
+          const OmpSite& st = bc_.omp_sites[static_cast<size_t>(I.a)];
+          const uint64_t cid = ts.construct_counter++;
+          miniomp::Runtime::single(*ts.omp, cid, st.nowait,
+                                   [&] { region_body(st, f, ts); });
+          pc = st.body.end;
+          continue;
+        }
+        case Op::Master: {
+          const OmpSite& st = bc_.omp_sites[static_cast<size_t>(I.a)];
+          miniomp::Runtime::master(*ts.omp, [&] { region_body(st, f, ts); });
+          pc = st.body.end;
+          continue;
+        }
+        case Op::Critical: {
+          const OmpSite& st = bc_.omp_sites[static_cast<size_t>(I.a)];
+          miniomp::Runtime::critical(*ts.omp,
+                                     [&] { exec_no_return(f, ts, st.body); });
+          pc = st.body.end;
+          continue;
+        }
+        case Op::Sections: {
+          const OmpSite& st = bc_.omp_sites[static_cast<size_t>(I.a)];
+          const uint64_t cid = ts.construct_counter++;
+          std::vector<std::function<void()>> bodies;
+          bodies.reserve(st.section_sites.size());
+          for (int32_t sec_id : st.section_sites) {
+            const OmpSite* sec = &bc_.omp_sites[static_cast<size_t>(sec_id)];
+            bodies.push_back([this, sec, &f, &ts] {
+              region_body(*sec, f, ts);
+            });
+          }
+          miniomp::Runtime::sections(*ts.omp, cid, st.nowait, bodies);
+          pc = st.body.end;
+          continue;
+        }
+        case Op::OmpBarrierOp:
+          miniomp::Runtime::barrier(*ts.omp);
+          break;
+      }
+      ++pc;
+    }
+    return std::nullopt;
+  }
+
+  /// Single/master/section body with the optional RegionGuard for watched
+  /// regions (set Scc); the arming decision was baked at compile time.
+  void region_body(const OmpSite& st, Frame& f, VmThread& ts) {
+    if (st.watched) {
+      rt::Verifier::RegionGuard guard(*shared_.verifier, rank_,
+                                      st.stmt->region_id, st.stmt->loc);
+      exec_no_return(f, ts, st.body);
+    } else {
+      exec_no_return(f, ts, st.body);
+    }
+  }
+
+  void store_slot(Frame& f, int32_t slot, bool declares, int64_t value) {
+    if (declares)
+      f.slots[static_cast<size_t>(slot)] =
+          &f.storage[static_cast<size_t>(slot)];
+    f.slots[static_cast<size_t>(slot)]->v.store(value,
+                                                std::memory_order_relaxed);
+  }
+
+  void store_target(const MpiSite& st, int64_t value, Frame& f) {
+    if (st.target_slot < 0) return;
+    store_slot(f, st.target_slot, st.declares_target, value);
+  }
+
+  /// MPI_Wait/Test are MPI calls: same thread-level usage rules as
+  /// collectives (e.g. non-master wait under FUNNELED).
+  void check_wait_thread_usage(const MpiSite& st, VmThread& ts) {
+    if (!bc_.instrumented) return;
+    shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
+                                         is_master_chain(ts.omp),
+                                         st.stmt->loc);
+  }
+
+  [[noreturn]] void request_misuse(SourceLoc loc, const std::string& what) {
+    if (bc_.instrumented)
+      shared_.verifier->report_request_misuse(rank_, loc, what);
+    throw EvalError(what);
+  }
+
+  /// Cached communicator resolution: one registry lookup per acquisition,
+  /// then thread-local hits until the handle changes or a comm_free on this
+  /// rank bumps the epoch.
+  simmpi::Rank::CommRef resolve_comm(const MpiSite& st, int64_t handle,
+                                     VmThread& ts) {
+    CommCacheEntry& e = ts.comm_cache[static_cast<size_t>(st.comm_cache)];
+    const uint64_t epoch = comm_epoch_.load(std::memory_order_acquire);
+    if (e.valid && e.handle == handle && e.epoch == epoch) return e.ref;
+    e.ref = rank_.comm_ref(handle); // throws UsageError on bad handles
+    e.handle = handle;
+    e.epoch = epoch;
+    e.valid = true;
+    return e.ref;
+  }
+
+  void exec_mpi(const MpiSite& st, Frame& f, VmThread& ts) {
+    const Stmt& s = *st.stmt;
+    if (s.is_mpi_init) {
+      rank_.init(s.init_level);
+      return;
+    }
+    // Planned runtime checks in paper order — occupancy, thread usage, CC —
+    // with the plan membership decided at compile time (st.mono/st.armed).
+    std::optional<rt::Verifier::MonoGuard> mono_guard;
+    if (st.mono)
+      mono_guard.emplace(*shared_.verifier, rank_, s.stmt_id, s.loc);
+    if (bc_.instrumented)
+      shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
+                                           is_master_chain(ts.omp), s.loc);
+
+    if (ir::is_comm_op(s.coll)) {
+      exec_comm_op(st, f, ts);
+      return;
+    }
+
+    int64_t* regs = f.regs.data();
+    simmpi::Signature sig;
+    sig.kind = s.coll;
+    sig.root =
+        st.root_reg >= 0 ? static_cast<int32_t>(regs[st.root_reg]) : -1;
+    sig.op = s.reduce_op;
+    if (s.coll == ir::CollectiveKind::Finalize && bc_.instrumented)
+      shared_.verifier->report_leaked_requests(
+          rank_, s.loc, rank_.requests().outstanding(rank_.rank()));
+    const int64_t payload = st.payload_reg >= 0 ? regs[st.payload_reg] : 0;
+    try {
+      if (st.comm_reg < 0) {
+        // MPI_COMM_WORLD fast path; armed sites patch root into the
+        // pre-encoded skeleton (comm id 0).
+        if (st.armed)
+          sig.cc = shared_.verifier->cc_patch(
+              skeletons_[static_cast<size_t>(st.cc_slot)], sig.root, 0);
+        if (ir::is_nonblocking(s.coll)) {
+          store_target(st, rank_.istart(sig, payload), f);
+          return;
+        }
+        const auto result = rank_.execute(sig, payload);
+        if (s.coll == ir::CollectiveKind::Finalize) return;
+        store_target(st, result.scalar, f);
+        return;
+      }
+      const auto ref = resolve_comm(st, regs[st.comm_reg], ts);
+      if (st.armed)
+        sig.cc = shared_.verifier->cc_patch(
+            skeletons_[static_cast<size_t>(st.cc_slot)], sig.root,
+            ref.comm->comm_id());
+      if (ir::is_nonblocking(s.coll)) {
+        store_target(st, rank_.istart_on(ref, sig, payload), f);
+        return;
+      }
+      store_target(st, rank_.execute_on(ref, sig, payload).scalar, f);
+    } catch (const simmpi::CcMismatchError& e) {
+      shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    }
+  }
+
+  /// mpi_comm_split / mpi_comm_dup / mpi_comm_free.
+  void exec_comm_op(const MpiSite& st, Frame& f, VmThread& ts) {
+    const Stmt& s = *st.stmt;
+    int64_t* regs = f.regs.data();
+    const int64_t parent =
+        st.comm_reg >= 0 ? regs[st.comm_reg] : simmpi::Rank::kCommWorld;
+    if (s.coll == ir::CollectiveKind::CommFree) {
+      rank_.comm_free(parent);
+      // Invalidate every thread's CommRef cache for this rank: handles are
+      // never reused, so a stale hit would bypass the use-after-free check.
+      comm_epoch_.fetch_add(1, std::memory_order_release);
+      std::scoped_lock lk(armed_comms_mu_);
+      armed_comms_.erase(
+          std::remove(armed_comms_.begin(), armed_comms_.end(), parent),
+          armed_comms_.end());
+      return;
+    }
+    int64_t cc_id = simmpi::kCcNone;
+    if (st.armed)
+      cc_id = shared_.verifier->cc_patch(
+          skeletons_[static_cast<size_t>(st.cc_slot)], -1,
+          st.comm_reg >= 0 ? rank_.comm_id_of(parent) : 0);
+    try {
+      int64_t handle = 0;
+      if (s.coll == ir::CollectiveKind::CommSplit) {
+        const int64_t color = regs[st.payload_reg];
+        const int64_t key = regs[st.root_reg];
+        handle = rank_.comm_split(parent, color, key, cc_id, st.child_armed);
+      } else {
+        handle = rank_.comm_dup(parent, cc_id, st.child_armed);
+      }
+      if (st.child_armed && handle != simmpi::CommRegistry::kNull) {
+        std::scoped_lock lk(armed_comms_mu_);
+        armed_comms_.push_back(handle);
+      }
+      store_target(st, handle, f);
+    } catch (const simmpi::CcMismatchError& e) {
+      shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    }
+    (void)ts;
+  }
+
+  SharedState& shared_;
+  const BcProgram& bc_;
+  const std::vector<int64_t>& skeletons_;
+  simmpi::Rank& rank_;
+  int32_t default_threads_;
+  /// Bumped by every mpi_comm_free on this rank; invalidates CommRef caches.
+  std::atomic<uint64_t> comm_epoch_{0};
+  /// Live handles of communicators created at armed-class split/dup sites
+  /// (the per-comm exit sentinel targets). Threads of one rank share this
+  /// under MPI_THREAD_MULTIPLE.
+  std::mutex armed_comms_mu_;
+  std::vector<int64_t> armed_comms_;
+};
+
+} // namespace
+
+std::vector<int64_t> make_cc_skeletons(const BcProgram& bc,
+                                       const rt::Verifier& v) {
+  std::vector<int64_t> out;
+  out.reserve(bc.cc_sites.size());
+  for (const CcSiteInfo& info : bc.cc_sites)
+    out.push_back(v.cc_skeleton(info.kind, info.op));
+  return out;
+}
+
+void run_rank_bytecode(SharedState& shared, const BcProgram& bc,
+                       const std::vector<int64_t>& cc_skeletons,
+                       simmpi::Rank& rank, int32_t default_threads) {
+  VmRank vm(shared, bc, cc_skeletons, rank, default_threads);
+  vm.run_main();
+}
+
+} // namespace parcoach::interp

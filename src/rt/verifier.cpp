@@ -180,6 +180,26 @@ int64_t Verifier::cc_lane_id(ir::CollectiveKind kind,
   return encode_cc(kind, op, root, opts_.check_arguments, comm_id);
 }
 
+int64_t Verifier::cc_skeleton(ir::CollectiveKind kind,
+                              std::optional<ir::ReduceOp> op) const {
+  const int64_t k = static_cast<int64_t>(kind) + 1;
+  if (!opts_.check_arguments) return k << kKindShift;
+  const int64_t o = op ? static_cast<int64_t>(*op) + 1 : 0;
+  return (k << kKindShift) | (o << kOpShift);
+}
+
+int64_t Verifier::cc_patch(int64_t skeleton, int32_t root,
+                           int32_t comm_id) const {
+  assert(comm_id >= 0 && comm_id <= kMaxCommId &&
+         "registry comm id escaped its CC field");
+  int64_t id = skeleton | (static_cast<int64_t>(comm_id) << kCommShift);
+  // The biased root field sits entirely below the op field, so OR-ing it in
+  // is the same addition encode_cc performs.
+  if (opts_.check_arguments)
+    id |= static_cast<int64_t>(root) + 2 + kRootBias;
+  return id;
+}
+
 void Verifier::report_cc_mismatch(simmpi::Rank& rank, ir::CollectiveKind kind,
                                   SourceLoc loc,
                                   const simmpi::CcMismatchError& e) {

@@ -73,6 +73,21 @@ public:
                                    int32_t root = -1,
                                    int32_t comm_id = 0) const;
 
+  /// Compile-once CC id skeleton for an armed collective site: the kind and
+  /// reduce-op fields are pre-encoded (honouring check_arguments), the root
+  /// and comm-id fields are left empty. The bytecode engine builds one
+  /// skeleton per armed site per run instead of re-running encode_cc per
+  /// call.
+  [[nodiscard]] int64_t
+  cc_skeleton(ir::CollectiveKind kind,
+              std::optional<ir::ReduceOp> op = std::nullopt) const;
+
+  /// Patches the runtime-dependent fields — the *evaluated* root rank (when
+  /// arguments are checked) and the registry comm id — into a skeleton.
+  /// Invariant: cc_patch(cc_skeleton(k, op), r, c) == cc_lane_id(k, op, r, c).
+  [[nodiscard]] int64_t cc_patch(int64_t skeleton, int32_t root,
+                                 int32_t comm_id) const;
+
   /// Reports a piggybacked CC disagreement — the CcMismatchError the slot
   /// engine throws to exactly one thread world-wide — with the same wording
   /// check_cc / check_cc_final produce, then aborts the world.

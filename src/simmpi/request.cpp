@@ -10,7 +10,9 @@ int64_t RequestEngine::start(Comm& comm, int32_t comm_rank, int32_t owner_rank,
   bool mismatch = false;
   const size_t slot = comm.post(comm_rank, sig, scalar, vec, mismatch);
   std::scoped_lock lk(mu_);
-  const int64_t id = next_id_++;
+  const int64_t id =
+      next_seq_[static_cast<size_t>(owner_rank)]++ * num_ranks_ +
+      owner_rank + 1;
   Request& r = requests_[id];
   r.comm = &comm;
   r.rank = owner_rank;
@@ -28,7 +30,7 @@ RequestEngine::Outcome RequestEngine::claim(int32_t rank, int64_t request,
   if (it == requests_.end()) {
     // Completed requests are erased, so a plausible id that is gone means
     // the operation was already completed by an earlier wait/test.
-    if (request > 0 && request < next_id_) {
+    if (was_issued(request)) {
       // Retired handle: ownership is no longer known, so this is either a
       // double completion or a foreign rank touching a completed request.
       return {Outcome::Status::AlreadyDone, 0, {},
@@ -60,6 +62,13 @@ void RequestEngine::release(int64_t request, bool completed) {
   if (it == requests_.end()) return;
   --it->second.claimants;
   if (completed) requests_.erase(it);
+}
+
+bool RequestEngine::was_issued(int64_t request) const {
+  if (request <= 0) return false;
+  const int64_t owner = (request - 1) % num_ranks_;
+  const int64_t seq = (request - 1) / num_ranks_;
+  return seq < next_seq_[static_cast<size_t>(owner)];
 }
 
 RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {

@@ -28,7 +28,13 @@ namespace parcoach::simmpi {
 
 class RequestEngine {
 public:
-  explicit RequestEngine(WorldState& world) : world_(world) {}
+  /// Handles are rank-interleaved sequences (id = seq * num_ranks + rank + 1)
+  /// so the id a rank observes depends only on its *own* issue order, never
+  /// on cross-rank timing — request-leak and misuse diagnostics stay
+  /// byte-identical across schedules (and across execution engines).
+  RequestEngine(WorldState& world, int32_t num_ranks)
+      : world_(world), num_ranks_(num_ranks),
+        next_seq_(static_cast<size_t>(num_ranks), 0) {}
 
   /// Issues a nonblocking collective on `comm`; returns a fresh request
   /// handle (> 0). `comm_rank` is the issuing rank *within comm* (slot
@@ -85,17 +91,22 @@ private:
 
   /// Validates the handle and claims it for the calling thread (bumps
   /// `claimants`), or returns the discipline violation. Requires mu_ held.
-  /// Completed requests are erased from the map; ids below next_id_ that are
-  /// no longer present were therefore already completed (AlreadyDone), which
-  /// keeps the map proportional to *outstanding* requests.
+  /// Completed requests are erased from the map; issued ids (per the owner
+  /// rank's sequence counter) that are no longer present were therefore
+  /// already completed (AlreadyDone), which keeps the map proportional to
+  /// *outstanding* requests.
   Outcome claim(int32_t rank, int64_t request, std::string_view verb,
                 Request& out);
   /// Drops a claim; erases the entry when the operation completed.
   void release(int64_t request, bool completed);
+  /// True iff `request` decodes to an id some rank has already handed out.
+  [[nodiscard]] bool was_issued(int64_t request) const;
 
   WorldState& world_;
+  const int32_t num_ranks_;
   std::mutex mu_;
-  int64_t next_id_ = 1;
+  /// Per-rank issue counters (the `seq` part of the handle encoding).
+  std::vector<int64_t> next_seq_;
   std::map<int64_t, Request> requests_;
 };
 

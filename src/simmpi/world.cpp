@@ -245,7 +245,7 @@ World::World(Options opts) : opts_(opts) {
   verifier_comm_ = std::make_unique<Comm>("PARCOACH_COMM", opts_.num_ranks,
                                           state_, opts_.strict_matching,
                                           /*comm_id=*/-1);
-  requests_ = std::make_unique<RequestEngine>(state_);
+  requests_ = std::make_unique<RequestEngine>(state_, opts_.num_ranks);
   ranks_.reserve(static_cast<size_t>(opts_.num_ranks));
   for (int32_t r = 0; r < opts_.num_ranks; ++r) {
     ranks_.push_back(std::unique_ptr<Rank>(new Rank()));

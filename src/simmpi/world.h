@@ -199,6 +199,12 @@ struct RunReport {
   uint64_t cc_classes_armed = 0;
   uint64_t cc_classes_total = 0;
   uint64_t total_collective_sites = 0;
+  /// Which interpreter engine drove the run ("ast" / "bytecode"; empty for
+  /// plan-free direct API runs) and, for the bytecode engine, how many VM
+  /// instructions were dispatched in total (contention-free per-thread
+  /// counters, reconciled at thread exit).
+  std::string engine;
+  uint64_t bytecode_ops = 0;
 };
 
 class World {

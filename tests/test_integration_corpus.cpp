@@ -149,6 +149,78 @@ TEST_P(CorpusTest, SelectiveArmingMatchesProgramWideOutcome) {
   EXPECT_LE(r.plan.cc_classes.size(), programwide.cc_classes.size());
 }
 
+// The two execution engines must be observationally identical: for every
+// corpus entry, running under the AST tree-walker and under the bytecode VM
+// must produce byte-identical dynamic outcomes — clean flag, deadlock
+// report, runtime diagnostics, program output — under the uninstrumented,
+// selective, and program-wide plans alike. Scheduler-dependent entries
+// (races, thread-level warnings) are skipped, as they are nondeterministic
+// under either engine.
+TEST_P(CorpusTest, BytecodeMatchesAstOutcome) {
+  const CorpusEntry& e = GetParam();
+  if (e.dynamic == DynamicOutcome::CaughtRace ||
+      e.dynamic == DynamicOutcome::ThreadLevelWarn)
+    GTEST_SKIP() << "scheduler-dependent outcome";
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_full(e, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+  const auto programwide =
+      core::make_programwide_plan(*r.module, r.phases, r.algorithm1);
+
+  auto run_with = [&](const core::InstrumentationPlan* plan,
+                      interp::Engine engine) {
+    interp::Executor exec(r.program, sm, plan);
+    interp::ExecOptions opts;
+    opts.engine = engine;
+    opts.num_ranks = e.ranks;
+    opts.num_threads = e.threads;
+    // Entries that hang without instrumentation (and the cross-comm
+    // deadlock entry) run into the watchdog on purpose; keep those short.
+    const bool expects_deadlock =
+        e.dynamic == DynamicOutcome::DeadlockReported ||
+        (!plan && e.dynamic == DynamicOutcome::CaughtBeforeHang);
+    opts.mpi.hang_timeout =
+        std::chrono::milliseconds(expects_deadlock ? 300 : 2500);
+    return exec.run(opts);
+  };
+  auto keyed = [](const std::vector<Diagnostic>& ds) {
+    std::vector<std::pair<int, std::string>> out;
+    for (const auto& d : ds)
+      out.emplace_back(static_cast<int>(d.kind), d.message);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  // An uninstrumented mismatch hang annotates whichever rank deposited into
+  // the contested slot *second* with "(signature differs from the slot's)" —
+  // that attribution depends on arrival order, not on engine semantics, so
+  // it is stripped before the byte-for-byte comparison. Everything else
+  // (blocked ranks, slots, collective names) must match exactly.
+  auto normalized = [](std::string details) {
+    static const std::string kRaceTag = " (signature differs from the slot's)";
+    for (size_t at; (at = details.find(kRaceTag)) != std::string::npos;)
+      details.erase(at, kRaceTag.size());
+    return details;
+  };
+
+  const core::InstrumentationPlan* plans[] = {nullptr, &r.plan, &programwide};
+  const char* plan_names[] = {"uninstrumented", "selective", "programwide"};
+  for (size_t p = 0; p < 3; ++p) {
+    const auto ast = run_with(plans[p], interp::Engine::Ast);
+    const auto bc = run_with(plans[p], interp::Engine::Bytecode);
+    SCOPED_TRACE(plan_names[p]);
+    EXPECT_EQ(ast.clean, bc.clean);
+    EXPECT_EQ(ast.mpi.deadlock, bc.mpi.deadlock);
+    EXPECT_EQ(normalized(ast.mpi.deadlock_details),
+              normalized(bc.mpi.deadlock_details));
+    EXPECT_EQ(ast.output, bc.output);
+    EXPECT_EQ(keyed(ast.rt_diags), keyed(bc.rt_diags));
+    EXPECT_EQ(ast.mpi.engine, "ast");
+    EXPECT_EQ(bc.mpi.engine, "bytecode");
+    if (!bc.mpi.aborted) EXPECT_GT(bc.mpi.bytecode_ops, 0u);
+  }
+}
+
 TEST_P(CorpusTest, UninstrumentedMismatchesDeadlock) {
   const CorpusEntry& e = GetParam();
   if (e.dynamic != DynamicOutcome::CaughtBeforeHang)

@@ -546,5 +546,36 @@ TEST(ThreadUsage, UninitializedRankIsIgnored) {
   EXPECT_TRUE(v.diagnostics().empty());
 }
 
+// The bytecode engine pre-encodes the CC id skeleton (kind + reduce op) once
+// per armed site per run and patches only root/comm-id at call time; the
+// patched id must be bit-identical to the per-call encoding the AST engine
+// uses, for every kind/op/root/comm combination, in both argument-checking
+// modes — otherwise the engines would disagree about agreement itself.
+TEST(CcProtocol, SkeletonPlusPatchMatchesLaneId) {
+  SourceManager sm;
+  for (const bool check_args : {true, false}) {
+    VerifierOptions opts;
+    opts.check_arguments = check_args;
+    Verifier v(sm, opts, 2);
+    for (int k = 0; k < ir::kNumCollectiveKinds; ++k) {
+      const auto kind = static_cast<ir::CollectiveKind>(k);
+      const std::optional<ir::ReduceOp> ops[] = {std::nullopt,
+                                                 ir::ReduceOp::Sum,
+                                                 ir::ReduceOp::Max};
+      for (const auto& op : ops) {
+        const int64_t skeleton = v.cc_skeleton(kind, op);
+        for (const int32_t root : {-1, 0, 3, 9999, -77}) {
+          for (const int32_t comm : {0, 1, 42}) {
+            EXPECT_EQ(v.cc_patch(skeleton, root, comm),
+                      v.cc_lane_id(kind, op, root, comm))
+                << "kind=" << static_cast<int>(k) << " root=" << root
+                << " comm=" << comm << " check_args=" << check_args;
+          }
+        }
+      }
+    }
+  }
+}
+
 } // namespace
 } // namespace parcoach::rt
