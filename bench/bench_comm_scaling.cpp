@@ -14,6 +14,7 @@
 //   --smoke       skip the registered google-benchmark runs and produce the
 //                 summary/JSON from fewer iterations (CI smoke step).
 #include "simmpi/world.h"
+#include "support/json_writer.h"
 #include "support/str.h"
 
 #include <benchmark/benchmark.h>
@@ -113,16 +114,22 @@ void write_json(const std::string& path, const std::vector<Point>& points) {
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  os << "{\n  \"ranks\": " << kRanks << ",\n  \"points\": [\n";
-  for (size_t i = 0; i < points.size(); ++i) {
-    const auto& p = points[i];
-    os << "    {\"comms\": " << p.comms << ", \"ns_per_collective\": "
-       << std::fixed << std::setprecision(1) << p.ns_per_coll
-       << ", \"collectives_per_sec\": " << std::setprecision(0)
-       << p.colls_per_sec << ", \"slots\": " << p.slots << "}"
-       << (i + 1 < points.size() ? "," : "") << "\n";
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("ranks", kRanks);
+  w.key("points");
+  w.begin_array();
+  for (const auto& p : points) {
+    w.begin_object();
+    w.kv("comms", p.comms);
+    w.kv("ns_per_collective", p.ns_per_coll, 1);
+    w.kv("collectives_per_sec", p.colls_per_sec, 0);
+    w.kv("slots", p.slots);
+    w.end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  os << "\n";
   std::cout << "wrote " << path << "\n";
 }
 

@@ -21,6 +21,7 @@
 //   --smoke       fewer repetitions, skip registered benchmarks (CI smoke)
 #include "driver/pipeline.h"
 #include "interp/executor.h"
+#include "support/json_writer.h"
 #include "support/str.h"
 #include "workloads/corpus.h"
 #include "workloads/workloads.h"
@@ -277,30 +278,39 @@ void write_json(const std::string& path,
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  os << "{\n  \"engines\": [\"ast\", \"bytecode\"],\n  \"scenarios\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const auto& sr = results[i];
-    os << "    {\n      \"scenario\": \"" << sr.name << "\",\n"
-       << "      \"kind\": \"" << sr.kind << "\",\n";
-    if (sr.work_stmts > 0) os << "      \"stmts\": " << sr.work_stmts << ",\n";
+  JsonWriter w(os);
+  w.begin_object();
+  w.key("engines");
+  w.begin_array();
+  w.value("ast");
+  w.value("bytecode");
+  w.end_array();
+  w.key("scenarios");
+  w.begin_array();
+  for (const auto& sr : results) {
+    w.begin_object();
+    w.kv("scenario", sr.name);
+    w.kv("kind", sr.kind);
+    if (sr.work_stmts > 0) w.kv("stmts", sr.work_stmts);
     for (size_t e = 0; e < 2; ++e) {
       const auto& er = sr.engines[e];
-      os << "      \"" << (e == 0 ? "ast" : "bytecode") << "\": {"
-         << "\"wall_ms\": " << std::fixed << std::setprecision(3) << er.wall_ms;
-      if (sr.kind == "ns_per_stmt")
-        os << ", \"ns_per_stmt\": " << std::setprecision(2) << er.ns_per_stmt;
-      if (sr.kind == "collectives_per_sec")
-        os << ", \"ns_per_collective\": " << std::setprecision(1)
-           << er.ns_per_coll << ", \"collectives_per_sec\": "
-           << std::setprecision(0) << er.colls_per_sec;
-      if (e == 1 && er.bytecode_ops > 0)
-        os << ", \"bytecode_ops\": " << er.bytecode_ops;
-      os << "},\n";
+      w.key(e == 0 ? "ast" : "bytecode");
+      w.begin_object();
+      w.kv("wall_ms", er.wall_ms, 3);
+      if (sr.kind == "ns_per_stmt") w.kv("ns_per_stmt", er.ns_per_stmt, 2);
+      if (sr.kind == "collectives_per_sec") {
+        w.kv("ns_per_collective", er.ns_per_coll, 1);
+        w.kv("collectives_per_sec", er.colls_per_sec, 0);
+      }
+      if (e == 1 && er.bytecode_ops > 0) w.kv("bytecode_ops", er.bytecode_ops);
+      w.end_object();
     }
-    os << "      \"speedup\": " << std::setprecision(3) << sr.speedup()
-       << "\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    w.kv("speedup", sr.speedup(), 3);
+    w.end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  os << "\n";
   std::cout << "wrote " << path << "\n";
 }
 

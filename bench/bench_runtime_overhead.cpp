@@ -25,6 +25,7 @@
 //                 summary/JSON from fewer repetitions (CI smoke step).
 #include "driver/pipeline.h"
 #include "interp/executor.h"
+#include "support/json_writer.h"
 #include "support/str.h"
 
 #include <benchmark/benchmark.h>
@@ -250,24 +251,33 @@ void write_json(const std::string& path, const std::vector<KernelResult>& result
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  os << "{\n  \"protocol\": \"piggybacked\",\n  \"engine\": \""
-     << to_string(interp::ExecOptions{}.engine) << "\",\n  \"kernels\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const auto& kr = results[i];
-    os << "    {\n      \"kernel\": \"" << kr.kernel << "\",\n"
-       << "      \"levels\": {\n";
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("protocol", "piggybacked");
+  w.kv("engine", to_string(interp::ExecOptions{}.engine));
+  w.key("kernels");
+  w.begin_array();
+  for (const auto& kr : results) {
+    w.begin_object();
+    w.kv("kernel", kr.kernel);
+    w.key("levels");
+    w.begin_object();
     for (size_t l = 0; l < 4; ++l) {
       const auto& lv = kr.levels[l];
-      os << "        \"" << kLevelNames[l] << "\": {"
-         << "\"ns\": " << static_cast<long long>(lv.ns)
-         << ", \"overhead_vs_none\": " << std::fixed << std::setprecision(4)
-         << lv.overhead << ", \"cc_rounds\": " << lv.cc_rounds
-         << ", \"sync_rounds_per_collective\": " << std::setprecision(4)
-         << lv.rounds_per_coll << "}" << (l + 1 < 4 ? "," : "") << "\n";
+      w.key(kLevelNames[l]);
+      w.begin_object();
+      w.kv("ns", static_cast<int64_t>(lv.ns));
+      w.kv("overhead_vs_none", lv.overhead, 4);
+      w.kv("cc_rounds", lv.cc_rounds);
+      w.kv("sync_rounds_per_collective", lv.rounds_per_coll, 4);
+      w.end_object();
     }
-    os << "      }\n    }" << (i + 1 < results.size() ? "," : "") << "\n";
+    w.end_object();
+    w.end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  os << "\n";
   std::cout << "wrote " << path << "\n";
 }
 

@@ -25,6 +25,7 @@
 #include "core/summaries.h"
 #include "driver/pipeline.h"
 #include "interp/executor.h"
+#include "support/json_writer.h"
 #include "support/str.h"
 #include "workloads/corpus.h"
 #include "workloads/workloads.h"
@@ -302,30 +303,38 @@ void write_json(const std::string& path, const std::vector<ScenarioResult>& resu
     std::cerr << "cannot write " << path << "\n";
     std::exit(1);
   }
-  os << "{\n  \"arming\": \"per_comm_class\",\n  \"engine\": \""
-     << to_string(interp::ExecOptions{}.engine) << "\",\n  \"scenarios\": [\n";
-  for (size_t i = 0; i < results.size(); ++i) {
-    const auto& sr = results[i];
-    os << "    {\n      \"scenario\": \"" << sr.name << "\",\n"
-       << "      \"sites\": " << sr.sites
-       << ", \"sites_armed\": " << sr.sites_armed
-       << ", \"sites_skipped\": " << (sr.sites - sr.sites_armed)
-       << ",\n      \"classes_total\": " << sr.classes_total
-       << ", \"classes_armed\": " << sr.classes_armed << ",\n"
-       << "      \"levels\": {\n";
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("arming", "per_comm_class");
+  w.kv("engine", to_string(interp::ExecOptions{}.engine));
+  w.key("scenarios");
+  w.begin_array();
+  for (const auto& sr : results) {
+    w.begin_object();
+    w.kv("scenario", sr.name);
+    w.kv("sites", sr.sites);
+    w.kv("sites_armed", sr.sites_armed);
+    w.kv("sites_skipped", sr.sites - sr.sites_armed);
+    w.kv("classes_total", sr.classes_total);
+    w.kv("classes_armed", sr.classes_armed);
+    w.key("levels");
+    w.begin_object();
     for (size_t l = 0; l < 3; ++l) {
       const auto& lv = sr.levels[l];
-      os << "        \"" << kLevelNames[l] << "\": {"
-         << "\"ns_per_collective\": " << std::fixed << std::setprecision(1)
-         << lv.ns_per_coll << ", \"overhead_vs_none\": " << std::setprecision(4)
-         << lv.overhead << ", \"cc_rounds\": " << lv.cc_rounds << "}"
-         << (l + 1 < 3 ? "," : "") << "\n";
+      w.key(kLevelNames[l]);
+      w.begin_object();
+      w.kv("ns_per_collective", lv.ns_per_coll, 1);
+      w.kv("overhead_vs_none", lv.overhead, 4);
+      w.kv("cc_rounds", lv.cc_rounds);
+      w.end_object();
     }
-    os << "      },\n      \"clean_comm_overhead_vs_none\": "
-       << std::setprecision(4) << sr.levels[1].overhead << "\n    }"
-       << (i + 1 < results.size() ? "," : "") << "\n";
+    w.end_object();
+    w.kv("clean_comm_overhead_vs_none", sr.levels[1].overhead, 4);
+    w.end_object();
   }
-  os << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  os << "\n";
   std::cout << "wrote " << path << "\n";
 }
 

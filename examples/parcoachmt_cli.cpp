@@ -16,16 +16,23 @@
 //   --type-only-cc      paper-faithful CC (ignore reduction op / root)
 //   --engine=NAME       execution engine for `run`: bytecode (default, the
 //                       register VM) or ast (the tree-walking oracle)
+//   --trace=FILE        record a flight-recorder trace of `run` and export
+//                       it as Chrome trace-event JSON (load in Perfetto)
+//   --metrics-json=FILE dump the runtime metrics registry as JSON after `run`
+//   --timings           print compile stage times to stderr
 //
 // Exit codes: 0 clean, 1 usage/compile error, 2 static warnings found,
 // 3 runtime error detected, 4 deadlock detected.
 #include "driver/pipeline.h"
 #include "driver/report.h"
 #include "interp/executor.h"
+#include "support/metrics.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 
 namespace {
@@ -44,13 +51,17 @@ struct CliOptions {
   bool type_only_cc = false;
   int32_t timeout_ms = 1000;
   interp::Engine engine = interp::Engine::Bytecode;
+  std::string trace_path;
+  std::string metrics_path;
+  bool timings = false;
 };
 
 int usage() {
   std::cerr << "usage: parcoachmt {analyze|instrument|run} FILE"
                " [--ranks=N] [--threads=N] [--no-verify] [--taint-filter]"
                " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]"
-               " [--engine=bytecode|ast]\n";
+               " [--engine=bytecode|ast] [--trace=FILE] [--metrics-json=FILE]"
+               " [--timings]\n";
   return 1;
 }
 
@@ -74,6 +85,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.timeout_ms = std::stoi(value_of("--timeout-ms="));
     else if (a == "--engine=bytecode") opts.engine = interp::Engine::Bytecode;
     else if (a == "--engine=ast") opts.engine = interp::Engine::Ast;
+    else if (a.rfind("--trace=", 0) == 0) opts.trace_path = value_of("--trace=");
+    else if (a.rfind("--metrics-json=", 0) == 0)
+      opts.metrics_path = value_of("--metrics-json=");
+    else if (a == "--timings") opts.timings = true;
     else {
       std::cerr << "unknown option: " << a << '\n';
       return false;
@@ -111,6 +126,9 @@ int main(int argc, char** argv) {
     diags.print(std::cerr, sm);
     return 1;
   }
+  if (cli.timings)
+    std::cerr << "stage times: " << driver::format_stage_times(compiled.times)
+              << '\n';
 
   if (cli.command == "analyze") {
     diags.print(std::cout, sm);
@@ -143,7 +161,37 @@ int main(int argc, char** argv) {
   eopts.mpi.hang_timeout = std::chrono::milliseconds(cli.timeout_ms);
   eopts.verify.check_arguments = !cli.type_only_cc;
   eopts.engine = cli.engine;
+  std::unique_ptr<Tracer> tracer;
+  std::unique_ptr<MetricsRegistry> metrics;
+  if (!cli.trace_path.empty()) {
+    tracer = std::make_unique<Tracer>();
+    eopts.tracer = tracer.get();
+  }
+  if (!cli.metrics_path.empty()) {
+    metrics = std::make_unique<MetricsRegistry>();
+    eopts.metrics = metrics.get();
+  }
   const auto result = exec.run(eopts);
+  if (tracer) {
+    std::ofstream out(cli.trace_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli.trace_path << '\n';
+      return 1;
+    }
+    tracer->write_chrome_trace(out);
+    std::cerr << "wrote trace to " << cli.trace_path << " ("
+              << tracer->events_captured() << " events, "
+              << tracer->events_dropped() << " dropped)\n";
+  }
+  if (metrics) {
+    std::ofstream out(cli.metrics_path);
+    if (!out) {
+      std::cerr << "cannot write " << cli.metrics_path << '\n';
+      return 1;
+    }
+    metrics->write_json(out);
+    std::cerr << "wrote metrics to " << cli.metrics_path << '\n';
+  }
 
   std::cerr << driver::format_run_summary(result) << '\n';
   for (const auto& line : result.output) std::cout << line << '\n';

@@ -83,6 +83,11 @@ std::string format_run_summary(const interp::ExecResult& r) {
     os << " cc_armed=" << r.mpi.cc_sites_armed << "/"
        << r.mpi.total_collective_sites << " classes="
        << r.mpi.cc_classes_armed << "/" << r.mpi.cc_classes_total;
+  if (!r.mpi.metrics.empty()) {
+    os << " | metrics:";
+    for (const auto& [name, value] : r.mpi.metrics)
+      os << ' ' << name << '=' << value;
+  }
   return os.str();
 }
 

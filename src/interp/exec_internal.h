@@ -47,6 +47,13 @@ struct SharedState {
   std::atomic<uint64_t> steps_executed{0};
   std::mutex output_mu;
   std::vector<std::string> output;
+  /// Observability (resolved once by Executor::run; null = off). The tracer
+  /// is effective()-filtered; the two counters are pre-resolved metric cells
+  /// bumped on the StepCounter's cold paths (batch claim / settle), so the
+  /// per-statement hot path stays untouched.
+  Tracer* tracer = nullptr;
+  std::atomic<uint64_t>* steps_retired_metric = nullptr;
+  std::atomic<uint64_t>* batch_claims_metric = nullptr;
 };
 
 /// Batch size of the per-thread step budget. Large enough that the shared
@@ -82,8 +89,11 @@ public:
       left_ = 0;
     }
     if (granted_ > published_) {
-      shared_->steps_executed.fetch_add(granted_ - published_,
-                                        std::memory_order_relaxed);
+      const uint64_t delta = granted_ - published_;
+      shared_->steps_executed.fetch_add(delta, std::memory_order_relaxed);
+      if (shared_->steps_retired_metric)
+        shared_->steps_retired_metric->fetch_add(delta,
+                                                 std::memory_order_relaxed);
       published_ = granted_;
     }
   }
@@ -98,6 +108,8 @@ private:
       rank_->abort("interpreter step limit exceeded (runaway program?)");
       throw simmpi::AbortedError("step limit exceeded");
     }
+    if (shared_->batch_claims_metric)
+      shared_->batch_claims_metric->fetch_add(1, std::memory_order_relaxed);
     left_ = kStepBatch;
     granted_ += kStepBatch;
   }

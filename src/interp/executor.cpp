@@ -3,7 +3,9 @@
 #include "interp/bytecode.h"
 #include "interp/exec_internal.h"
 #include "miniomp/team.h"
+#include "support/metrics.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -405,6 +407,14 @@ private:
     const int64_t payload = s.mpi_value ? eval(*s.mpi_value, env, ts) : 0;
     const int64_t comm_handle = s.mpi_comm ? eval(*s.mpi_comm, env, ts) : 0;
 
+    // Collective enter/exit span; the exit fires on exception unwind too,
+    // so every CollEnter in an exported trace has its matching CollExit.
+    TraceSpan span(
+        shared_.tracer, rank_.rank(),
+        trace_pack_coll(static_cast<int32_t>(s.coll),
+                        sig.op ? static_cast<int32_t>(*sig.op) + 1 : 0),
+        sig.root);
+
     // Planned runtime checks, in paper order: occupancy first (validates the
     // monothread assumption), then CC (validates sequence agreement), then
     // the collective itself. The CC agreement is piggybacked: the id rides
@@ -464,6 +474,8 @@ private:
     const int64_t key = s.coll == ir::CollectiveKind::CommSplit
                             ? eval(*s.mpi_root, env, ts)
                             : 0;
+    TraceSpan span(shared_.tracer, rank_.rank(),
+                   trace_pack_coll(static_cast<int32_t>(s.coll), 0), -1);
     std::optional<rt::Verifier::MonoGuard> mono_guard;
     if (mono)
       mono_guard.emplace(*shared_.verifier, rank_, s.stmt_id, s.loc);
@@ -544,8 +556,12 @@ ExecResult Executor::run(const ExecOptions& opts) {
   // bookkeeping entirely, so the clean-comm path matches the uninstrumented
   // baseline instruction-for-instruction.
   wopts.world_cc_lane = plan_ && plan_->world_cc_armed();
+  wopts.tracer = opts.tracer;
+  wopts.metrics = opts.metrics;
   simmpi::World world(wopts);
-  rt::Verifier verifier(sm_, opts.verify, opts.num_ranks);
+  rt::VerifierOptions vopts = opts.verify;
+  vopts.tracer = opts.tracer;
+  rt::Verifier verifier(sm_, vopts, opts.num_ranks);
 
   SharedState shared;
   shared.program = &program_;
@@ -553,6 +569,12 @@ ExecResult Executor::run(const ExecOptions& opts) {
   shared.plan = plan_;
   shared.verifier = &verifier;
   shared.max_steps = opts.max_steps;
+  shared.tracer = Tracer::effective(opts.tracer);
+  if (opts.metrics) {
+    shared.steps_retired_metric =
+        &opts.metrics->counter("vm.instructions_retired");
+    shared.batch_claims_metric = &opts.metrics->counter("steps.batch_claims");
+  }
 
   if (opts.engine == Engine::Bytecode) {
     // Compile once per run: the bytecode bakes in the plan's arming

@@ -48,6 +48,11 @@ struct ExecOptions {
   /// one batch per live thread of this maximum.
   uint64_t max_steps = 50'000'000;
   Engine engine = Engine::Bytecode;
+  /// Observability: optional flight-recorder tracer and metrics registry,
+  /// threaded through the MPI world, the verifier and the engines. Null =
+  /// off; a disabled tracer costs one predictable branch per emit point.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct ExecResult {

@@ -5,6 +5,7 @@
 // diagnostics, deadlock details and program output.
 #include "interp/bytecode.h"
 #include "interp/exec_internal.h"
+#include "support/trace.h"
 
 #include <algorithm>
 #include <functional>
@@ -431,6 +432,12 @@ private:
     sig.root =
         st.root_reg >= 0 ? static_cast<int32_t>(regs[st.root_reg]) : -1;
     sig.op = s.reduce_op;
+    // Collective enter/exit span; the exit fires on exception unwind too.
+    TraceSpan span(
+        shared_.tracer, rank_.rank(),
+        trace_pack_coll(static_cast<int32_t>(s.coll),
+                        sig.op ? static_cast<int32_t>(*sig.op) + 1 : 0),
+        sig.root);
     if (s.coll == ir::CollectiveKind::Finalize && bc_.instrumented)
       shared_.verifier->report_leaked_requests(
           rank_, s.loc, rank_.requests().outstanding(rank_.rank()));
@@ -472,6 +479,8 @@ private:
     int64_t* regs = f.regs.data();
     const int64_t parent =
         st.comm_reg >= 0 ? regs[st.comm_reg] : simmpi::Rank::kCommWorld;
+    TraceSpan span(shared_.tracer, rank_.rank(),
+                   trace_pack_coll(static_cast<int32_t>(s.coll), 0), -1);
     if (s.coll == ir::CollectiveKind::CommFree) {
       rank_.comm_free(parent);
       // Invalidate every thread's CommRef cache for this rank: handles are

@@ -1,6 +1,7 @@
 #include "rt/verifier.h"
 
 #include "support/str.h"
+#include "support/trace.h"
 
 #include <cassert>
 #include <thread>
@@ -107,7 +108,8 @@ std::string per_rank_detail(const std::vector<int64_t>& ids,
 
 Verifier::Verifier(const SourceManager& sm, VerifierOptions opts,
                    int32_t num_ranks)
-    : sm_(sm), opts_(opts), num_ranks_(num_ranks) {
+    : sm_(sm), opts_(opts), num_ranks_(num_ranks),
+      trace_(Tracer::effective(opts.tracer)) {
   cc_mu_.reserve(static_cast<size_t>(num_ranks));
   for (int32_t r = 0; r < num_ranks; ++r)
     cc_mu_.push_back(std::make_unique<std::mutex>());
@@ -137,7 +139,11 @@ void Verifier::check_cc(simmpi::Rank& rank, ir::CollectiveKind kind,
   }
   bool mismatch = false;
   for (int64_t id : ids) mismatch |= id != ids[0];
+  // The dedicated round runs on the verifier communicator (comm id -1).
+  if (trace_)
+    trace_->emit(TraceEv::CcCompare, rank.rank(), -1, -1, mismatch ? 1 : 0);
   if (!mismatch) return;
+  if (trace_) trace_->emit(TraceEv::CcMismatch, rank.rank(), -1, -1);
 
   // Every rank observes the same allgather result; let rank 0's thread
   // produce the report to avoid duplicates, then abort the world.
@@ -161,7 +167,10 @@ void Verifier::check_cc_final(simmpi::Rank& rank, SourceLoc loc) {
   }
   bool mismatch = false;
   for (int64_t id : ids) mismatch |= id != kFinalId;
+  if (trace_)
+    trace_->emit(TraceEv::CcCompare, rank.rank(), -1, -1, mismatch ? 1 : 0);
   if (!mismatch) return;
+  if (trace_) trace_->emit(TraceEv::CcMismatch, rank.rank(), -1, -1);
   if (rank.rank() == 0) {
     record(Severity::Error, DiagKind::RtCollectiveMismatch, loc,
            str::cat("CC check: some processes leave main while others still "

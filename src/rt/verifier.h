@@ -41,6 +41,10 @@ struct VerifierOptions {
   /// of collectives arguments ... is not checked"). Off = paper-faithful:
   /// an op/root divergence then manifests as a hang caught by the watchdog.
   bool check_arguments = true;
+  /// Observability: optional flight-recorder tracer (the verifier emits
+  /// CC compare/mismatch events for its legacy dedicated rounds). The
+  /// verifier caches the effective()-filtered pointer; null = off.
+  Tracer* tracer = nullptr;
 };
 
 class Verifier {
@@ -170,6 +174,7 @@ private:
   const SourceManager& sm_;
   VerifierOptions opts_;
   int32_t num_ranks_;
+  Tracer* trace_ = nullptr; // effective()-filtered copy of opts_.tracer
 
   mutable std::mutex mu_;
   std::vector<Diagnostic> diags_;

@@ -1,10 +1,22 @@
 #include "simmpi/comm.h"
 
+#include "support/metrics.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 #include <algorithm>
 
 namespace parcoach::simmpi {
+namespace {
+
+/// The tracer's collective payload word for a signature (kind + reduce op;
+/// root travels separately since it doesn't fit the packed byte layout).
+int64_t packed_sig(const Signature& sig) {
+  return trace_pack_coll(static_cast<int32_t>(sig.kind),
+                         sig.op ? static_cast<int32_t>(*sig.op) + 1 : 0);
+}
+
+} // namespace
 
 std::string Signature::str() const {
   std::string s(ir::to_string(kind));
@@ -69,10 +81,32 @@ class Comm::BlockedScope {
 public:
   BlockedScope(Comm& c, int32_t rank, const BlockedRecord& rec)
       : c_(c), rank_(static_cast<size_t>(rank)), rec_(rec) {
-    std::scoped_lock lk(c_.blocked_mu_);
-    c_.blocked_[rank_].push_back(&rec_);
+    {
+      std::scoped_lock lk(c_.blocked_mu_);
+      c_.blocked_[rank_].push_back(&rec_);
+    }
+    if (c_.slot_waits_)
+      c_.slot_waits_->fetch_add(1, std::memory_order_relaxed);
+    if (c_.trace_) {
+      // Park/Unpark must carry identical payloads: they render as a "B"/"E"
+      // duration pair in the Chrome export.
+      park_c_ = packed_sig(rec_.sig) |
+                (rec_.mismatch ? kTraceParkMismatch : 0) |
+                (rec_.in_wait ? kTraceParkInWait : 0) |
+                (rec_.p2p == BlockedRecord::P2p::Send ? kTraceParkSend : 0) |
+                (rec_.p2p == BlockedRecord::P2p::Recv ? kTraceParkRecv : 0);
+      park_a_ = rec_.p2p == BlockedRecord::P2p::None
+                    ? static_cast<int64_t>(rec_.slot)
+                    : rec_.peer;
+      c_.trace_->emit(TraceEv::Park, c_.world_rank_of(rank), park_a_,
+                      c_.comm_id_, park_c_);
+    }
   }
   ~BlockedScope() {
+    if (c_.trace_)
+      c_.trace_->emit(TraceEv::Unpark,
+                      c_.world_rank_of(static_cast<int32_t>(rank_)), park_a_,
+                      c_.comm_id_, park_c_);
     std::scoped_lock lk(c_.blocked_mu_);
     auto& active = c_.blocked_[rank_];
     active.erase(std::find(active.begin(), active.end(), &rec_));
@@ -84,6 +118,8 @@ private:
   Comm& c_;
   size_t rank_;
   BlockedRecord rec_;
+  int64_t park_a_ = 0;
+  int64_t park_c_ = 0;
 };
 
 Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict,
@@ -95,6 +131,13 @@ Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict,
       next_slot_(new std::atomic<size_t>[static_cast<size_t>(size)]),
       blocked_(static_cast<size_t>(size)) {
   for (int32_t r = 0; r < size; ++r) next_slot_[static_cast<size_t>(r)] = 0;
+  trace_ = world_.tracer; // already effective()-filtered by World
+  if (trace_) trace_->register_comm(comm_id_, name_);
+  if (world_.metrics) {
+    slot_waits_ =
+        &world_.metrics->counter(str::cat("comm.", name_, ".slot_waits"));
+    cc_rounds_ = &world_.metrics->counter("cc.rounds");
+  }
   world_.register_waker([this] {
     wake_all_slots();
     {
@@ -225,6 +268,9 @@ void Comm::cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc) {
   if (cc != kCcNone) {
     s.cc_ids[static_cast<size_t>(rank)] = cc;
     s.cc_armed.store(true, std::memory_order_relaxed);
+    if (trace_)
+      trace_->emit(TraceEv::CcPublish, world_rank_of(rank),
+                   static_cast<int64_t>(idx), comm_id_, cc);
   } else {
     s.cc_ids[static_cast<size_t>(rank)] = kCcUnchecked;
   }
@@ -233,6 +279,7 @@ void Comm::cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc) {
   const int32_t seen = s.cc_seen.fetch_add(1, std::memory_order_acq_rel) + 1;
   if (seen != size_ || !s.cc_armed.load(std::memory_order_relaxed)) return;
   cc_checked_.fetch_add(1, std::memory_order_relaxed);
+  if (cc_rounds_) cc_rounds_->fetch_add(1, std::memory_order_relaxed);
   int64_t agreed = kCcUnchecked;
   bool mismatch = false;
   for (int64_t id : s.cc_ids) {
@@ -240,7 +287,13 @@ void Comm::cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc) {
     if (agreed == kCcUnchecked) agreed = id;
     mismatch |= id != agreed;
   }
+  if (trace_)
+    trace_->emit(TraceEv::CcCompare, world_rank_of(rank),
+                 static_cast<int64_t>(idx), comm_id_, mismatch ? 1 : 0);
   if (!mismatch) return;
+  if (trace_)
+    trace_->emit(TraceEv::CcMismatch, world_rank_of(rank),
+                 static_cast<int64_t>(idx), comm_id_);
   // Disagreement: this thread is the unique reporter; the slot can never
   // complete (the ids imply at least one signature clash), so nobody blocks
   // on a result. The verifier turns this into the CC diagnostic and aborts.
@@ -251,6 +304,9 @@ void Comm::cc_lane(Slot& s, size_t idx, int32_t rank, int64_t cc) {
 bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
                   int64_t scalar, const std::vector<int64_t>& vec,
                   const char* verb) {
+  if (trace_)
+    trace_->emit(TraceEv::SlotArrive, world_rank_of(rank),
+                 static_cast<int64_t>(idx), comm_id_, packed_sig(sig));
   Signature slot_sig;
   {
     std::scoped_lock lk(s.m);
@@ -292,6 +348,9 @@ bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
     s.complete.store(true, std::memory_order_release);
     completed_.fetch_add(1, std::memory_order_relaxed);
     world_.progress.fetch_add(1, std::memory_order_relaxed);
+    if (trace_)
+      trace_->emit(TraceEv::SlotComplete, world_rank_of(rank),
+                   static_cast<int64_t>(idx), comm_id_);
     {
       std::scoped_lock lk(s.m);
     }
@@ -362,6 +421,9 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
 
   const size_t idx =
       next_slot_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+  if (trace_)
+    trace_->emit(TraceEv::SlotClaim, world_rank_of(rank),
+                 static_cast<int64_t>(idx), comm_id_);
   Slot* s = slot_for(idx);
   if (!arrive(*s, idx, rank, sig, scalar, vec, "called")) {
     // Signature mismatch: real MPI would hang or corrupt. Default: block
@@ -394,6 +456,9 @@ size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
   mismatch = false;
   const size_t idx =
       next_slot_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
+  if (trace_)
+    trace_->emit(TraceEv::SlotClaim, world_rank_of(rank),
+                 static_cast<int64_t>(idx), comm_id_);
   Slot* s = slot_for(idx);
   // Nonblocking issue never blocks: on a signature clash the contribution is
   // withheld, the slot stays incomplete, and the hang surfaces at wait time

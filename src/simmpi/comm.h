@@ -46,6 +46,11 @@
 #include <string>
 #include <vector>
 
+namespace parcoach {
+class MetricsRegistry;
+class Tracer;
+} // namespace parcoach
+
 namespace parcoach::simmpi {
 
 using ir::CollectiveKind;
@@ -94,6 +99,12 @@ struct WorldState {
   /// Registers a callback run on abort (communicators wake their per-slot
   /// parkers and mail waiters through this).
   void register_waker(std::function<void()> waker);
+
+  /// Observability hooks, set by World before any component is constructed.
+  /// `tracer` is already effective()-filtered (null = tracing off), so
+  /// components cache it and every emit point is one predictable branch.
+  Tracer* tracer = nullptr;
+  MetricsRegistry* metrics = nullptr;
 
 private:
   std::vector<std::function<void()>> wakers_;
@@ -330,6 +341,11 @@ private:
 
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> cc_checked_{0};
+
+  // Observability (cached from WorldState at construction; null = off).
+  Tracer* trace_ = nullptr;
+  std::atomic<uint64_t>* slot_waits_ = nullptr; // metrics: parks on this comm
+  std::atomic<uint64_t>* cc_rounds_ = nullptr;  // metrics: CC agreements run
 };
 
 /// Applies a reduction operator.

@@ -1,6 +1,8 @@
 #include "simmpi/registry.h"
 
+#include "support/metrics.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 #include <algorithm>
 
@@ -9,6 +11,9 @@ namespace parcoach::simmpi {
 CommRegistry::CommRegistry(WorldState& world, int32_t world_size, bool strict,
                            bool world_cc_lane)
     : world_(world), world_size_(world_size), strict_(strict) {
+  trace_ = world_.tracer;
+  if (world_.metrics)
+    comms_created_metric_ = &world_.metrics->counter("comms.created");
   auto e = std::make_unique<Entry>();
   e->comm = std::make_unique<Comm>("MPI_COMM_WORLD", world_size, world_,
                                    strict_, /*comm_id=*/0,
@@ -79,9 +84,13 @@ int64_t CommRegistry::create_child(const std::string& base,
                                    world_, strict_, id, members,
                                    cc_lane_enabled);
   e->members = std::move(members);
+  if (trace_)
+    trace_->emit(TraceEv::CommCreate, /*rank=*/-1, id, e->comm->size());
   order_.push_back(e.get());
   by_handle_.emplace(handle, std::move(e));
   created_count_.fetch_add(1, std::memory_order_release);
+  if (comms_created_metric_)
+    comms_created_metric_->fetch_add(1, std::memory_order_relaxed);
   return handle;
 }
 
@@ -163,6 +172,7 @@ void CommRegistry::free(int64_t handle, int32_t world_rank) {
         str::cat("rank ", world_rank, ": mpi_comm_free on MPI_COMM_WORLD"));
   Entry& e = entry_for(handle, world_rank, "mpi_comm_free");
   e.freed[static_cast<size_t>(world_rank)] = 1;
+  if (trace_) trace_->emit(TraceEv::CommFree, world_rank, e.comm->comm_id());
 }
 
 std::vector<Comm*> CommRegistry::all_comms() {

@@ -113,6 +113,9 @@ private:
   WorldState& world_;
   int32_t world_size_;
   bool strict_;
+  // Observability (cached from WorldState at construction; null = off).
+  Tracer* trace_ = nullptr;
+  std::atomic<uint64_t>* comms_created_metric_ = nullptr;
 
   std::mutex mu_;
   std::map<int64_t, std::unique_ptr<Entry>> by_handle_;

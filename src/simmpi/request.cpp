@@ -1,8 +1,20 @@
 #include "simmpi/request.h"
 
+#include "support/metrics.h"
 #include "support/str.h"
+#include "support/trace.h"
 
 namespace parcoach::simmpi {
+
+RequestEngine::RequestEngine(WorldState& world, int32_t num_ranks)
+    : world_(world), num_ranks_(num_ranks),
+      next_seq_(static_cast<size_t>(num_ranks), 0) {
+  trace_ = world_.tracer;
+  if (world_.metrics) {
+    issued_metric_ = &world_.metrics->counter("requests.issued");
+    completed_metric_ = &world_.metrics->counter("requests.completed");
+  }
+}
 
 int64_t RequestEngine::start(Comm& comm, int32_t comm_rank, int32_t owner_rank,
                              const Signature& sig, int64_t scalar,
@@ -20,6 +32,10 @@ int64_t RequestEngine::start(Comm& comm, int32_t comm_rank, int32_t owner_rank,
   r.slot = slot;
   r.sig = sig;
   r.mismatched = mismatch;
+  if (issued_metric_) issued_metric_->fetch_add(1, std::memory_order_relaxed);
+  if (trace_)
+    trace_->emit(TraceEv::ReqIssue, owner_rank, id, comm.comm_id(),
+                 static_cast<int64_t>(slot));
   return id;
 }
 
@@ -79,6 +95,7 @@ RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {
     if (!bad.ok()) return bad;
   }
 
+  if (trace_) trace_->emit(TraceEv::ReqWait, rank, request);
   Comm::Result result;
   try {
     result = r.comm->finish(r.comm_rank, r.slot, r.sig, r.mismatched);
@@ -87,6 +104,9 @@ RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {
     throw;
   }
   release(request, /*completed=*/true);
+  if (completed_metric_)
+    completed_metric_->fetch_add(1, std::memory_order_relaxed);
+  if (trace_) trace_->emit(TraceEv::ReqComplete, rank, request);
   return {Outcome::Status::Ok, result.scalar, std::move(result.vec), {}};
 }
 
@@ -117,6 +137,9 @@ RequestEngine::Outcome RequestEngine::test(int32_t rank, int64_t request,
   release(request, completed);
   if (!completed) return {};
   done = true;
+  if (completed_metric_)
+    completed_metric_->fetch_add(1, std::memory_order_relaxed);
+  if (trace_) trace_->emit(TraceEv::ReqComplete, rank, request, 0, /*c=*/1);
   return {Outcome::Status::Ok, result.scalar, std::move(result.vec), {}};
 }
 

@@ -32,9 +32,7 @@ public:
   /// so the id a rank observes depends only on its *own* issue order, never
   /// on cross-rank timing — request-leak and misuse diagnostics stay
   /// byte-identical across schedules (and across execution engines).
-  RequestEngine(WorldState& world, int32_t num_ranks)
-      : world_(world), num_ranks_(num_ranks),
-        next_seq_(static_cast<size_t>(num_ranks), 0) {}
+  RequestEngine(WorldState& world, int32_t num_ranks);
 
   /// Issues a nonblocking collective on `comm`; returns a fresh request
   /// handle (> 0). `comm_rank` is the issuing rank *within comm* (slot
@@ -104,6 +102,10 @@ private:
 
   WorldState& world_;
   const int32_t num_ranks_;
+  // Observability (cached from WorldState at construction; null = off).
+  Tracer* trace_ = nullptr;
+  std::atomic<uint64_t>* issued_metric_ = nullptr;
+  std::atomic<uint64_t>* completed_metric_ = nullptr;
   std::mutex mu_;
   /// Per-rank issue counters (the `seq` part of the handle encoding).
   std::vector<int64_t> next_seq_;

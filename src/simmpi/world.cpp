@@ -1,7 +1,10 @@
 #include "simmpi/world.h"
 
+#include "support/metrics.h"
 #include "support/str.h"
+#include "support/trace.h"
 
+#include <algorithm>
 #include <sstream>
 #include <thread>
 
@@ -239,6 +242,11 @@ bool Rank::aborted() const { return world_->state_.is_aborted(); }
 // ---- World ------------------------------------------------------------------
 
 World::World(Options opts) : opts_(opts) {
+  // Observability hooks go into WorldState before any component exists:
+  // comms, the verifier comm and the request engine all cache them at
+  // construction.
+  state_.tracer = Tracer::effective(opts_.tracer);
+  state_.metrics = opts_.metrics;
   comms_ = std::make_unique<CommRegistry>(state_, opts_.num_ranks,
                                           opts_.strict_matching,
                                           opts_.world_cc_lane);
@@ -295,9 +303,13 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   uint64_t last_progress = 0;
   std::vector<Comm*> all_comms = comms_->all_comms();
   uint64_t comms_version = comms_->created_comms();
+  std::atomic<uint64_t>* watchdog_polls =
+      state_.metrics ? &state_.metrics->counter("watchdog.polls") : nullptr;
   auto last_change = std::chrono::steady_clock::now();
   while (finished.load() < opts_.num_ranks) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    if (watchdog_polls) watchdog_polls->fetch_add(1, std::memory_order_relaxed);
+    if (state_.tracer) state_.tracer->emit(TraceEv::WatchdogTick, -1);
     if (state_.is_aborted()) break;
     const uint64_t progress = state_.progress.load(std::memory_order_relaxed);
     const auto now = std::chrono::steady_clock::now();
@@ -331,17 +343,30 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
               opts_.hang_timeout)
               .count()
        << "ms\n";
+    std::vector<int32_t> blocked_ranks;
     auto describe = [&](const std::vector<BlockedInfo>& blocked) {
       for (const auto& b : blocked) {
         if (!b.blocked) continue;
         os << "  rank " << b.rank << ' ' << b.describe() << '\n';
+        blocked_ranks.push_back(b.rank);
       }
     };
     for (Comm* c : all_comms) describe(c->blocked_snapshot());
     describe(verifier_comm_->blocked_snapshot());
     report.deadlock = true;
     report.deadlock_details = os.str();
+    // Abort with the base report only; the flight-recorder appendix below
+    // is additive to deadlock_details and must not leak into the abort
+    // reason the unwinding ranks record.
     state_.abort(str::cat("deadlock: ", os.str()));
+    if (state_.tracer) {
+      state_.tracer->emit(TraceEv::Deadlock, -1);
+      std::sort(blocked_ranks.begin(), blocked_ranks.end());
+      blocked_ranks.erase(
+          std::unique(blocked_ranks.begin(), blocked_ranks.end()),
+          blocked_ranks.end());
+      report.deadlock_details += state_.tracer->flight_recorder(blocked_ranks);
+    }
     break;
   }
 
@@ -369,6 +394,18 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   bool all_clean = !report.deadlock && !report.aborted;
   for (const auto& e : report.rank_errors) all_clean &= e.empty();
   report.ok = all_clean;
+  if (state_.metrics) {
+    if (state_.tracer) {
+      state_.metrics->set_gauge(
+          "trace.events_captured",
+          static_cast<int64_t>(state_.tracer->events_captured()));
+      state_.metrics->set_gauge(
+          "trace.events_dropped",
+          static_cast<int64_t>(state_.tracer->events_dropped()));
+    }
+    for (const auto& s : state_.metrics->snapshot())
+      report.metrics.emplace_back(s.name, s.value);
+  }
   return report;
 }
 

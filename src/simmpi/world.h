@@ -205,6 +205,10 @@ struct RunReport {
   /// counters, reconciled at thread exit).
   std::string engine;
   uint64_t bytecode_ops = 0;
+  /// Snapshot of the attached MetricsRegistry at end of run (name/value,
+  /// sorted by name; counters and gauges merged). Empty when no registry
+  /// was attached.
+  std::vector<std::pair<std::string, int64_t>> metrics;
 };
 
 class World {
@@ -228,6 +232,12 @@ public:
     /// turns this off when the plan leaves the world comm class unarmed, so
     /// uninstrumented world collectives skip the lane bookkeeping entirely.
     bool world_cc_lane = true;
+    /// Observability: optional flight-recorder tracer and metrics registry,
+    /// owned by the caller and shared by every component of the world. A
+    /// null (or disabled) tracer costs one predictable branch per emit
+    /// point — the same zero-overhead-when-off contract as the CC lane.
+    Tracer* tracer = nullptr;
+    MetricsRegistry* metrics = nullptr;
   };
 
   explicit World(Options opts);

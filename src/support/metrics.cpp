@@ -1,0 +1,62 @@
+#include "support/metrics.h"
+
+#include "support/json_writer.h"
+
+#include <ostream>
+
+namespace parcoach {
+
+std::atomic<uint64_t>& MetricsRegistry::counter(const std::string& name) {
+  std::scoped_lock lk(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<std::atomic<uint64_t>>(0);
+  return *slot;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, int64_t value) {
+  std::scoped_lock lk(mu_);
+  gauges_[name] = value;
+}
+
+std::vector<MetricsRegistry::Sample> MetricsRegistry::snapshot() const {
+  std::scoped_lock lk(mu_);
+  std::vector<Sample> out;
+  out.reserve(counters_.size() + gauges_.size());
+  // Both maps iterate in name order; merge keeps the combined list sorted.
+  auto ci = counters_.begin();
+  auto gi = gauges_.begin();
+  while (ci != counters_.end() || gi != gauges_.end()) {
+    const bool take_counter =
+        gi == gauges_.end() ||
+        (ci != counters_.end() && ci->first <= gi->first);
+    if (take_counter) {
+      out.push_back({ci->first,
+                     static_cast<int64_t>(
+                         ci->second->load(std::memory_order_relaxed)),
+                     false});
+      ++ci;
+    } else {
+      out.push_back({gi->first, gi->second, true});
+      ++gi;
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::write_json(std::ostream& os) const {
+  const auto samples = snapshot();
+  JsonWriter w(os, /*pretty=*/true);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& s : samples)
+    if (!s.is_gauge) w.kv(s.name, s.value);
+  w.end_object();
+  w.key("gauges").begin_object();
+  for (const auto& s : samples)
+    if (s.is_gauge) w.kv(s.name, s.value);
+  w.end_object();
+  w.end_object();
+  os << '\n';
+}
+
+} // namespace parcoach

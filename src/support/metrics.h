@@ -1,0 +1,55 @@
+// Named monotonic counters and gauges for the runtime.
+//
+// Counters are created once at a cold site (`counter()` hands back a stable
+// `std::atomic<uint64_t>&` that components cache as a raw pointer) and then
+// bumped with relaxed `fetch_add` on the hot path — no map lookup, no lock.
+// Gauges are set-once/overwrite values for end-of-run facts (events captured,
+// events dropped). A snapshot merges both, sorted by name, for RunReport and
+// the JSON exporter.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace parcoach {
+
+class MetricsRegistry {
+public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Returns the counter registered under `name`, creating it at zero on
+  /// first use. The reference stays valid for the registry's lifetime
+  /// (counters are heap-allocated, never moved), so callers cache `&counter`
+  /// once and bump it lock-free afterwards.
+  [[nodiscard]] std::atomic<uint64_t>& counter(const std::string& name);
+
+  /// Sets (or overwrites) a gauge — a point-in-time value, not monotonic.
+  void set_gauge(const std::string& name, int64_t value);
+
+  struct Sample {
+    std::string name;
+    int64_t value = 0;
+    bool is_gauge = false;
+  };
+
+  /// All counters and gauges, sorted by name.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  /// {"counters": {...}, "gauges": {...}} via JsonWriter (pretty).
+  void write_json(std::ostream& os) const;
+
+private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<std::atomic<uint64_t>>> counters_;
+  std::map<std::string, int64_t> gauges_;
+};
+
+} // namespace parcoach

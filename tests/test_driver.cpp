@@ -124,6 +124,77 @@ TEST(Driver, CensusCountsArtifacts) {
   EXPECT_TRUE(str::contains(table, "ph2"));
 }
 
+// Golden tests: the report formatters are part of the tool's observable
+// surface (CLI output, bench summaries), so their exact wording is pinned.
+
+TEST(Driver, GoldenStageTimes) {
+  StageTimes t;
+  t.parse = std::chrono::nanoseconds(1'500'000);
+  t.sema = std::chrono::nanoseconds(250'000);
+  t.lower = std::chrono::nanoseconds(125'000);
+  t.optimize = std::chrono::nanoseconds(2'000'000);
+  t.emit = std::chrono::nanoseconds(100'000);
+  t.analysis = std::chrono::nanoseconds(3'000'000);
+  t.instrument = std::chrono::nanoseconds(500'000);
+  EXPECT_EQ(format_stage_times(t),
+            "parse=1.500ms sema=0.250ms lower=0.125ms opt=2.000ms "
+            "emit=0.100ms | analysis=3.000ms instrument=0.500ms | "
+            "baseline=3.975ms total=7.475ms");
+}
+
+TEST(Driver, GoldenRunSummary) {
+  interp::ExecResult r;
+  r.steps_executed = 1234;
+  r.mpi.engine = "bytecode";
+  r.mpi.bytecode_ops = 5678;
+  r.mpi.app_slots_completed = 42;
+  r.mpi.cc_piggybacked = 7;
+  r.mpi.total_collective_sites = 10;
+  r.mpi.cc_sites_armed = 4;
+  r.mpi.cc_classes_armed = 2;
+  r.mpi.cc_classes_total = 3;
+  EXPECT_EQ(format_run_summary(r),
+            "engine=bytecode steps=1234 bytecode_ops=5678 slots=42 "
+            "cc_piggybacked=7 cc_armed=4/10 classes=2/3");
+  r.mpi.metrics = {{"cc.rounds", 7}, {"watchdog.polls", 1}};
+  EXPECT_EQ(format_run_summary(r),
+            "engine=bytecode steps=1234 bytecode_ops=5678 slots=42 "
+            "cc_piggybacked=7 cc_armed=4/10 classes=2/3 | metrics: "
+            "cc.rounds=7 watchdog.polls=1");
+}
+
+TEST(Driver, GoldenRunSummaryMinimal) {
+  interp::ExecResult r;
+  r.steps_executed = 9;
+  r.mpi.engine = "ast";
+  r.mpi.app_slots_completed = 3;
+  EXPECT_EQ(format_run_summary(r),
+            "engine=ast steps=9 slots=3 cc_piggybacked=0");
+}
+
+TEST(Driver, GoldenCensusTable) {
+  WarningCensus c;
+  c.program = "demo";
+  c.code_lines = 12;
+  c.functions = 2;
+  c.collectives = 3;
+  c.parallel_regions = 1;
+  c.multithreaded = 0;
+  c.concurrent = 1;
+  c.mismatch = 2;
+  c.mismatch_filtered = 1;
+  c.thread_level = 0;
+  c.checks_inserted = 4;
+  c.cc_sites_armed = 3;
+  c.cc_classes_armed = 1;
+  c.cc_classes_total = 2;
+  EXPECT_EQ(format_census_table({c}),
+            "program          lines  funcs  colls    par     ph1     ph2"
+            "     ph3  ph3-rank    lvl   checks    armed   comms\n"
+            "demo                12      2      3      1       0       1"
+            "       2         1      0        4        3     1/2\n");
+}
+
 TEST(Driver, CompileBufferReusesRegisteredSource) {
   SourceManager sm;
   const int32_t id = sm.add_buffer("x", "func main() { mpi_barrier(); }");

@@ -4,6 +4,8 @@
 // Parameterized over the corpus so each program shows up as its own test.
 #include "driver/pipeline.h"
 #include "interp/executor.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 #include "workloads/corpus.h"
 
 #include <gtest/gtest.h>
@@ -218,6 +220,77 @@ TEST_P(CorpusTest, BytecodeMatchesAstOutcome) {
     EXPECT_EQ(ast.mpi.engine, "ast");
     EXPECT_EQ(bc.mpi.engine, "bytecode");
     if (!bc.mpi.aborted) EXPECT_GT(bc.mpi.bytecode_ops, 0u);
+  }
+}
+
+// The observability layer must be a pure observer: for every corpus entry
+// and both engines, running with an enabled tracer + metrics registry must
+// produce byte-identical dynamic outcomes to running with none attached.
+// The only allowed difference is additive — the flight-recorder appendix on
+// a watchdog deadlock report — which is stripped at its marker before the
+// comparison. Scheduler-dependent entries are skipped as usual.
+TEST_P(CorpusTest, TracingOnMatchesTracingOff) {
+  const CorpusEntry& e = GetParam();
+  if (e.dynamic == DynamicOutcome::CaughtRace ||
+      e.dynamic == DynamicOutcome::ThreadLevelWarn)
+    GTEST_SKIP() << "scheduler-dependent outcome";
+  SourceManager sm;
+  DiagnosticEngine diags;
+  const auto r = compile_full(e, sm, diags);
+  ASSERT_TRUE(r.ok) << diags.to_text(sm);
+
+  auto run_with = [&](interp::Engine engine, bool traced) {
+    // Fresh observers per run: ring contents must never leak across runs.
+    Tracer tracer;
+    MetricsRegistry metrics;
+    interp::Executor exec(r.program, sm, &r.plan);
+    interp::ExecOptions opts;
+    opts.engine = engine;
+    opts.num_ranks = e.ranks;
+    opts.num_threads = e.threads;
+    opts.mpi.hang_timeout = std::chrono::milliseconds(
+        e.dynamic == DynamicOutcome::DeadlockReported ? 300 : 2500);
+    if (traced) {
+      opts.tracer = &tracer;
+      opts.metrics = &metrics;
+    }
+    auto result = exec.run(opts);
+    if (traced) EXPECT_GT(tracer.events_captured(), 0u);
+    return result;
+  };
+  auto keyed = [](const std::vector<Diagnostic>& ds) {
+    std::vector<std::pair<int, std::string>> out;
+    for (const auto& d : ds)
+      out.emplace_back(static_cast<int>(d.kind), d.message);
+    std::sort(out.begin(), out.end());
+    return out;
+  };
+  // The flight-recorder appendix is the one sanctioned addition.
+  auto stripped = [](std::string details) {
+    const size_t at = details.find(kFlightRecorderMarker);
+    if (at != std::string::npos) details.erase(at);
+    return details;
+  };
+
+  for (interp::Engine engine :
+       {interp::Engine::Ast, interp::Engine::Bytecode}) {
+    SCOPED_TRACE(to_string(engine));
+    const auto off = run_with(engine, false);
+    const auto on = run_with(engine, true);
+    EXPECT_EQ(off.clean, on.clean);
+    EXPECT_EQ(off.mpi.deadlock, on.mpi.deadlock);
+    EXPECT_EQ(off.mpi.deadlock_details, stripped(on.mpi.deadlock_details));
+    EXPECT_EQ(off.output, on.output);
+    // Which rank carries the detailed abort wording (vs the cascade
+    // message) is arrival-order dependent with or without tracing, so
+    // rank_errors are not compared byte-for-byte — but the flight-recorder
+    // appendix must never leak into them.
+    for (const auto& err : on.mpi.rank_errors)
+      EXPECT_EQ(err.find(kFlightRecorderMarker), std::string::npos) << err;
+    EXPECT_EQ(keyed(off.rt_diags), keyed(on.rt_diags));
+    // Metrics ride in the report only for the traced run.
+    EXPECT_TRUE(off.mpi.metrics.empty());
+    EXPECT_FALSE(on.mpi.metrics.empty());
   }
 }
 

@@ -14,6 +14,8 @@
 #include "interp/executor.h"
 #include "rt/verifier.h"
 #include "simmpi/world.h"
+#include "support/metrics.h"
+#include "support/trace.h"
 
 #include <gtest/gtest.h>
 
@@ -203,6 +205,47 @@ TEST(SlotEngineStress, ThreadsSplitAcrossTwoCommsUnderMultiple) {
   EXPECT_EQ(rep.comms_created, 1u);
   EXPECT_EQ(rep.app_slots_completed,
             1u + static_cast<uint64_t>(kThreads) * kIters * 2);
+}
+
+TEST(SlotEngineStress, TracedMultipleWithConcurrentFlightRecorderReader) {
+  // MPI_THREAD_MULTIPLE churn with the flight recorder armed, while another
+  // thread keeps reading the rings (snapshot + flight_recorder), exactly
+  // what the watchdog does on a live hang. The all-relaxed-atomic ring slots
+  // and the release/acquire head handoff must keep this TSan-clean, and
+  // tracing must not disturb the slot accounting.
+  constexpr int32_t kRanks = 2;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 60;
+  Tracer tracer(Tracer::Options{true, /*ring_capacity=*/128});
+  MetricsRegistry metrics;
+  World::Options o = fast_world(kRanks);
+  o.tracer = &tracer;
+  o.metrics = &metrics;
+  World w(o);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tracer.snapshot();
+      (void)tracer.flight_recorder({0, 1}, 4);
+    }
+  });
+  const auto rep = w.run([&](Rank& mpi) {
+    mpi.init(ir::ThreadLevel::Multiple);
+    auto worker = [&] {
+      for (int i = 0; i < kIters; ++i) mpi.allreduce(1, ReduceOp::Sum);
+    };
+    std::vector<std::thread> threads;
+    for (int t = 1; t < kThreads; ++t) threads.emplace_back(worker);
+    worker();
+    for (auto& t : threads) t.join();
+  });
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_EQ(rep.app_slots_completed,
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_GT(tracer.events_captured(), 0u);
+  EXPECT_GT(metrics.counter("comm.MPI_COMM_WORLD.slot_waits").load(), 0u);
 }
 
 // ---- Piggybacked CC: round counting -------------------------------------------
