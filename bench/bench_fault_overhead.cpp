@@ -1,0 +1,274 @@
+// Cost of the fault-injection layer ("zero overhead when off").
+//
+// Two collective-heavy kernels run uninstrumented under three variants:
+//   baseline     no FaultInjector attached at all
+//   fault_off    an injector constructed with enabled=false is attached —
+//                effective() filters it to null, so every hook reduces to one
+//                branch on a cached null pointer and must sit on the baseline
+//   fault_idle   an armed injector whose crash never fires (crash_at far
+//                beyond program length, no delay/jitter) — the price of the
+//                live per-arrival counter on the hot path
+// The summary reports ns per application collective and the overhead of each
+// variant against the baseline.
+//
+// Flags (accepted before the google-benchmark flags):
+//   --json=PATH   write machine-readable results to PATH (BENCH_fault.json
+//                 in CI) with ns/collective per kernel/variant and overheads.
+//   --smoke       skip the registered google-benchmark runs and produce the
+//                 summary/JSON from fewer repetitions (CI smoke step).
+#include "driver/pipeline.h"
+#include "interp/executor.h"
+#include "support/fault.h"
+#include "support/json_writer.h"
+#include "support/str.h"
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+
+namespace {
+
+using namespace parcoach;
+
+struct Kernel {
+  const char* name;
+  std::string source;
+};
+
+std::vector<Kernel> kernels() {
+  return {
+      Kernel{"bcast_reduce_loop",
+             str::cat("func main() {\n  mpi_init(serialized);\n"
+                      "  var x = rank() + 1;\n  for (r = 0 to ", 300, ") {\n"
+                      "    x = mpi_bcast(x, 0);\n"
+                      "    x = mpi_reduce(x, sum, 0);\n"
+                      "  }\n  mpi_finalize();\n}\n")},
+      Kernel{"funneled_barrier",
+             str::cat("func main() {\n  mpi_init(serialized);\n"
+                      "  for (r = 0 to ", 150, ") {\n"
+                      "    omp parallel num_threads(2) {\n"
+                      "      omp barrier;\n"
+                      "      omp master {\n"
+                      "        mpi_barrier();\n"
+                      "      }\n"
+                      "      omp barrier;\n"
+                      "    }\n"
+                      "  }\n  mpi_finalize();\n}\n")},
+  };
+}
+
+enum class Variant { Baseline, FaultOff, FaultIdle };
+
+constexpr const char* kVariantNames[] = {"baseline", "fault_off", "fault_idle"};
+
+struct Compiled {
+  SourceManager sm;
+  driver::CompileResult result;
+};
+
+std::unique_ptr<Compiled> compile_kernel(const Kernel& k) {
+  auto c = std::make_unique<Compiled>();
+  DiagnosticEngine diags;
+  driver::PipelineOptions opts;
+  opts.mode = driver::Mode::WarningsAndCodegen;
+  c->result = driver::compile(c->sm, k.name, k.source, diags, opts);
+  if (!c->result.ok) std::abort();
+  return c;
+}
+
+struct RunStats {
+  double ns = 0;
+  uint64_t slots = 0; // application collectives completed
+};
+
+RunStats run_once(const Compiled& c, Variant variant) {
+  // Fresh injector per run: the per-rank arrival counters are run state.
+  std::unique_ptr<FaultInjector> inj;
+  if (variant == Variant::FaultOff) {
+    FaultPlan plan;
+    plan.enabled = false;
+    plan.crash_rank = 0; // armed on paper, filtered by effective()
+    plan.crash_at = 1u << 30;
+    inj = std::make_unique<FaultInjector>(plan, 2);
+  }
+  if (variant == Variant::FaultIdle) {
+    FaultPlan plan;
+    plan.crash_rank = 0;
+    plan.crash_at = 1u << 30; // never reached: counter cost only
+    inj = std::make_unique<FaultInjector>(plan, 2);
+  }
+  interp::Executor exec(c.result.program, c.sm, /*plan=*/nullptr);
+  interp::ExecOptions eopts;
+  eopts.num_ranks = 2;
+  eopts.num_threads = 2;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(5000);
+  eopts.mpi.fault = inj.get();
+  const auto start = std::chrono::steady_clock::now();
+  const auto result = exec.run(eopts);
+  const auto ns = std::chrono::steady_clock::now() - start;
+  if (!result.clean) std::abort();
+  if (inj && inj->crashes_fired() != 0) std::abort();
+  RunStats s;
+  s.ns = static_cast<double>(ns.count());
+  s.slots = result.mpi.app_slots_completed;
+  return s;
+}
+
+void bench_run(benchmark::State& state, size_t kernel, Variant variant) {
+  static const auto ks = kernels();
+  const auto c = compile_kernel(ks[kernel]);
+  for (auto _ : state) {
+    const auto stats = run_once(*c, variant);
+    state.SetIterationTime(stats.ns / 1e9);
+  }
+}
+
+void register_benchmarks() {
+  static const auto ks = kernels();
+  static constexpr Variant kVariants[] = {Variant::Baseline, Variant::FaultOff,
+                                          Variant::FaultIdle};
+  for (size_t k = 0; k < ks.size(); ++k) {
+    for (Variant v : kVariants) {
+      benchmark::RegisterBenchmark(
+          (std::string("FaultOverhead/") + ks[k].name + "/" +
+           kVariantNames[static_cast<size_t>(v)])
+              .c_str(),
+          [k, v](benchmark::State& st) { bench_run(st, k, v); })
+          ->Unit(benchmark::kMillisecond)
+          ->UseManualTime()
+          ->Iterations(3);
+    }
+  }
+}
+
+double min_of(const std::vector<double>& v) {
+  return *std::min_element(v.begin(), v.end());
+}
+
+struct VariantResult {
+  double ns = 0;          // best-of-reps wall clock
+  double ns_per_coll = 0; // best-of-reps / app collectives
+  double overhead = 0;    // vs baseline, fractional
+};
+
+struct KernelResult {
+  std::string kernel;
+  VariantResult variants[3]; // indexed by Variant
+};
+
+std::vector<KernelResult> measure_all(int reps) {
+  std::vector<KernelResult> out;
+  for (const auto& k : kernels()) {
+    const auto c = compile_kernel(k);
+    KernelResult kr;
+    kr.kernel = k.name;
+    std::vector<double> ns[3];
+    uint64_t slots = 1;
+    for (int rep = 0; rep < reps; ++rep) {
+      for (size_t v = 0; v < 3; ++v) {
+        const auto s = run_once(*c, static_cast<Variant>(v));
+        ns[v].push_back(s.ns);
+        if (s.slots > 0) slots = s.slots;
+      }
+    }
+    for (size_t v = 0; v < 3; ++v) {
+      kr.variants[v].ns = min_of(ns[v]);
+      kr.variants[v].ns_per_coll =
+          kr.variants[v].ns / static_cast<double>(slots);
+      kr.variants[v].overhead = kr.variants[v].ns / kr.variants[0].ns - 1.0;
+    }
+    out.push_back(std::move(kr));
+  }
+  return out;
+}
+
+void print_summary(const std::vector<KernelResult>& results, int reps) {
+  std::cout << "\n=== Fault-injection overhead (2 ranks x 2 threads, best of "
+            << reps << " runs) ===\n\n"
+            << std::left << std::setw(22) << "kernel" << std::right
+            << std::setw(14) << "baseline ns" << std::setw(12) << "off %"
+            << std::setw(12) << "idle %" << '\n';
+  for (const auto& kr : results) {
+    std::cout << std::left << std::setw(22) << kr.kernel << std::right
+              << std::setw(14) << std::fixed << std::setprecision(0)
+              << kr.variants[0].ns_per_coll << std::setw(11)
+              << std::setprecision(2) << 100.0 * kr.variants[1].overhead << '%'
+              << std::setw(11) << 100.0 * kr.variants[2].overhead << '%'
+              << '\n';
+  }
+  std::cout << "\nShape to check: fault_off must sit on the baseline (the "
+               "disabled layer is one\nbranch on a cached null pointer per "
+               "hook — <1% is the budget); fault_idle pays\nfor one relaxed "
+               "fetch_add per collective arrival and should stay within a\n"
+               "few percent.\n";
+}
+
+void write_json(const std::string& path,
+                const std::vector<KernelResult>& results) {
+  std::ofstream os(path);
+  if (!os) {
+    std::cerr << "cannot write " << path << "\n";
+    std::exit(1);
+  }
+  JsonWriter w(os);
+  w.begin_object();
+  w.kv("ranks", 2);
+  w.key("kernels");
+  w.begin_array();
+  for (const auto& kr : results) {
+    w.begin_object();
+    w.kv("kernel", kr.kernel);
+    w.key("variants");
+    w.begin_object();
+    for (size_t v = 0; v < 3; ++v) {
+      const auto& vr = kr.variants[v];
+      w.key(kVariantNames[v]);
+      w.begin_object();
+      w.kv("ns", static_cast<int64_t>(vr.ns));
+      w.kv("ns_per_collective", vr.ns_per_coll, 1);
+      w.kv("overhead_vs_baseline", vr.overhead, 4);
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  os << "\n";
+  std::cout << "wrote " << path << "\n";
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool smoke = false;
+  // Strip our flags before handing argv to google-benchmark.
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--smoke") {
+      smoke = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+
+  if (!smoke) {
+    register_benchmarks();
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+  const int reps = smoke ? 2 : 5;
+  const auto results = measure_all(reps);
+  print_summary(results, reps);
+  if (!json_path.empty()) write_json(json_path, results);
+  return 0;
+}

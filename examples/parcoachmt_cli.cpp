@@ -19,6 +19,10 @@
 //   --trace=FILE        record a flight-recorder trace of `run` and export
 //                       it as Chrome trace-event JSON (load in Perfetto)
 //   --metrics-json=FILE dump the runtime metrics registry as JSON after `run`
+//   --fault-seed=N      run under a seeded chaos fault schedule (rank crash +
+//                       delay/jitter/PCT perturbation; deterministic per seed)
+//   --fault-plan=FILE   run under an explicit fault plan (key = value lines;
+//                       see FaultPlan::parse)
 //   --timings           print compile stage times to stderr
 //
 // Exit codes: 0 clean, 1 usage/compile error, 2 static warnings found,
@@ -26,6 +30,7 @@
 #include "driver/pipeline.h"
 #include "driver/report.h"
 #include "interp/executor.h"
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/str.h"
 #include "support/trace.h"
@@ -53,6 +58,9 @@ struct CliOptions {
   interp::Engine engine = interp::Engine::Bytecode;
   std::string trace_path;
   std::string metrics_path;
+  bool fault_seed_set = false;
+  uint64_t fault_seed = 0;
+  std::string fault_plan_path;
   bool timings = false;
 };
 
@@ -61,7 +69,7 @@ int usage() {
                " [--ranks=N] [--threads=N] [--no-verify] [--taint-filter]"
                " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]"
                " [--engine=bytecode|ast] [--trace=FILE] [--metrics-json=FILE]"
-               " [--timings]\n";
+               " [--fault-seed=N] [--fault-plan=FILE] [--timings]\n";
   return 1;
 }
 
@@ -88,6 +96,11 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     else if (a.rfind("--trace=", 0) == 0) opts.trace_path = value_of("--trace=");
     else if (a.rfind("--metrics-json=", 0) == 0)
       opts.metrics_path = value_of("--metrics-json=");
+    else if (a.rfind("--fault-seed=", 0) == 0) {
+      opts.fault_seed = std::stoull(value_of("--fault-seed="));
+      opts.fault_seed_set = true;
+    } else if (a.rfind("--fault-plan=", 0) == 0)
+      opts.fault_plan_path = value_of("--fault-plan=");
     else if (a == "--timings") opts.timings = true;
     else {
       std::cerr << "unknown option: " << a << '\n';
@@ -170,6 +183,33 @@ int main(int argc, char** argv) {
   if (!cli.metrics_path.empty()) {
     metrics = std::make_unique<MetricsRegistry>();
     eopts.metrics = metrics.get();
+  }
+  std::unique_ptr<FaultInjector> injector;
+  if (cli.fault_seed_set || !cli.fault_plan_path.empty()) {
+    FaultPlan plan;
+    if (!cli.fault_plan_path.empty()) {
+      std::ifstream pin(cli.fault_plan_path);
+      if (!pin) {
+        std::cerr << "cannot open " << cli.fault_plan_path << '\n';
+        return 1;
+      }
+      std::stringstream pbuf;
+      pbuf << pin.rdbuf();
+      std::string perr;
+      const auto parsed = FaultPlan::parse(pbuf.str(), perr);
+      if (!parsed) {
+        std::cerr << "bad fault plan " << cli.fault_plan_path << ": " << perr
+                  << '\n';
+        return 1;
+      }
+      plan = *parsed;
+      if (cli.fault_seed_set) plan.seed = cli.fault_seed;
+    } else {
+      plan = FaultPlan::chaos(cli.fault_seed, cli.ranks);
+    }
+    std::cerr << "fault plan: " << plan.str() << '\n';
+    injector = std::make_unique<FaultInjector>(plan, cli.ranks);
+    eopts.mpi.fault = injector.get();
   }
   const auto result = exec.run(eopts);
   if (tracer) {

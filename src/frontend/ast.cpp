@@ -35,6 +35,10 @@ void print_mpi_call(std::ostream& os, const Stmt& s) {
     os << "mpi_init(" << ir::to_string(s.init_level) << ")";
     return;
   }
+  if (s.is_mpi_abort) {
+    os << "mpi_abort(" << to_string(*s.mpi_value) << ")";
+    return;
+  }
   switch (s.coll) {
     case CollectiveKind::Barrier:
       os << "mpi_barrier(";

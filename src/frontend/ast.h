@@ -73,6 +73,7 @@ struct Stmt {
   // MpiCall payload.
   ir::CollectiveKind coll{};
   bool is_mpi_init = false;
+  bool is_mpi_abort = false; // mpi_abort(code); mpi_value carries the code
   ir::ThreadLevel init_level{};
   ir::ExprPtr mpi_value;                 // payload expression; split color
   ir::ExprPtr mpi_root;                  // root rank expression; split key

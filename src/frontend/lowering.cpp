@@ -146,6 +146,9 @@ private:
           in.op = Opcode::MpiInit;
           in.thread_level = s.init_level;
           mod_.requested_thread_level = s.init_level;
+        } else if (s.is_mpi_abort) {
+          in.op = Opcode::MpiAbort;
+          in.args.push_back(s.mpi_value->clone()); // the error code
         } else if (s.coll == ir::CollectiveKind::CommSplit) {
           in.op = Opcode::CollComm;
           in.collective = s.coll;

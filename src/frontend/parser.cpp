@@ -178,6 +178,7 @@ private:
     const Token name = eat();
     const std::string callee(name.text);
     if (callee == "mpi_init") return parse_mpi_init(name.loc, target, declares);
+    if (callee == "mpi_abort") return parse_mpi_abort(name.loc, target);
     if (callee == "mpi_send" || callee == "mpi_recv")
       return parse_mpi_p2p(callee == "mpi_send", name.loc, std::move(target),
                            declares);
@@ -269,6 +270,18 @@ private:
                              "' (want single|funneled|serialized|multiple)"));
     }
     expect(Tok::RParen, "mpi_init");
+    return s;
+  }
+
+  /// mpi_abort(code); — kills the whole world with the given exit code.
+  StmtPtr parse_mpi_abort(SourceLoc loc, const std::string& target) {
+    if (!target.empty())
+      error(loc, "mpi_abort does not produce a value");
+    auto s = make_stmt(StmtKind::MpiCall, loc);
+    s->is_mpi_abort = true;
+    expect(Tok::LParen, "mpi_abort");
+    s->mpi_value = parse_expr(); // the error code
+    expect(Tok::RParen, "mpi_abort");
     return s;
   }
 

@@ -232,6 +232,12 @@ private:
           handle_target(s);
           break;
         }
+        if (s.is_mpi_abort) {
+          // Not a collective: no matching, no CC class, no target. The code
+          // expression is the only thing to validate.
+          check_expr(*s.mpi_value);
+          break;
+        }
         if (s.coll == ir::CollectiveKind::Finalize) saw_finalize_ = true;
         if (s.mpi_value) check_expr(*s.mpi_value);
         if (s.mpi_root) check_expr(*s.mpi_root);

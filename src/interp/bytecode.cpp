@@ -444,6 +444,11 @@ private:
       emit(Op::MpiColl, add_mpi_site(std::move(st)));
       return;
     }
+    if (s.is_mpi_abort) {
+      st.payload_reg = c_expr(*s.mpi_value); // the error code
+      emit(Op::MpiColl, add_mpi_site(std::move(st)));
+      return;
+    }
     st.mono = plan_ && plan_->mono_stmts.count(s.stmt_id) > 0;
     const bool cc = plan_ && plan_->cc_stmts.count(s.stmt_id) > 0;
     st.armed = cc;

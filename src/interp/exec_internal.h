@@ -8,6 +8,7 @@
 #include "miniomp/team.h"
 #include "rt/verifier.h"
 #include "simmpi/world.h"
+#include "support/fault.h"
 #include "support/source_manager.h"
 #include "support/str.h"
 
@@ -54,6 +55,9 @@ struct SharedState {
   Tracer* tracer = nullptr;
   std::atomic<uint64_t>* steps_retired_metric = nullptr;
   std::atomic<uint64_t>* batch_claims_metric = nullptr;
+  /// Fault injector (effective()-filtered; null = off). Engines use it for
+  /// PCT-style thread-spawn jitter; simmpi consumes it independently.
+  FaultInjector* fault = nullptr;
 };
 
 /// Batch size of the per-thread step budget. Large enough that the shared
@@ -137,6 +141,9 @@ inline std::string undefined_var_msg(const SourceManager& sm,
 inline std::string undefined_fn_msg(const SourceManager& sm,
                                     const std::string& name, SourceLoc loc) {
   return str::cat("undefined function '", name, "' at ", sm.describe(loc));
+}
+inline std::string mpi_abort_msg(int32_t rank, int64_t code) {
+  return str::cat("rank ", rank, ": mpi_abort(", code, ")");
 }
 
 // Bytecode-engine entry points (vm.cpp).

@@ -71,6 +71,13 @@ public:
     const frontend::FuncDecl* main_fn = shared_.program->find("main");
     if (!main_fn) throw EvalError("program has no main()");
     miniomp::ProcessDomain domain; // per-rank process-wide OpenMP state
+    if (shared_.fault) {
+      FaultInjector* fault = shared_.fault;
+      const int32_t wr = rank_.rank();
+      domain.spawn_jitter = [fault, wr](int32_t tid) {
+        fault->thread_start_jitter(wr, tid);
+      };
+    }
     miniomp::ThreadContext root;   // serial context (no team)
     root.domain = &domain;
     ThreadState ts(shared_, rank_);
@@ -384,6 +391,12 @@ private:
       rank_.init(s.init_level);
       return;
     }
+    if (s.is_mpi_abort) {
+      const int64_t code = eval(*s.mpi_value, env, ts);
+      const std::string msg = mpi_abort_msg(rank_.rank(), code);
+      rank_.abort(msg);
+      throw simmpi::AbortedError(msg);
+    }
     // Communicator management routes through the registry. Split/dup are
     // collectives over the parent comm — the CC id (scoped by the parent's
     // comm id) rides in their agreement round; free is local.
@@ -570,6 +583,7 @@ ExecResult Executor::run(const ExecOptions& opts) {
   shared.verifier = &verifier;
   shared.max_steps = opts.max_steps;
   shared.tracer = Tracer::effective(opts.tracer);
+  shared.fault = FaultInjector::effective(opts.mpi.fault);
   if (opts.metrics) {
     shared.steps_retired_metric =
         &opts.metrics->counter("vm.instructions_retired");

@@ -82,6 +82,13 @@ public:
     if (bc_.main_func < 0) throw EvalError("program has no main()");
     const BcFunction& main_fn = bc_.funcs[static_cast<size_t>(bc_.main_func)];
     miniomp::ProcessDomain domain; // per-rank process-wide OpenMP state
+    if (shared_.fault) {
+      FaultInjector* fault = shared_.fault;
+      const int32_t wr = rank_.rank();
+      domain.spawn_jitter = [fault, wr](int32_t tid) {
+        fault->thread_start_jitter(wr, tid);
+      };
+    }
     miniomp::ThreadContext root;   // serial context (no team)
     root.domain = &domain;
     VmThread ts(shared_, rank_, bc_.num_comm_caches);
@@ -411,6 +418,12 @@ private:
     if (s.is_mpi_init) {
       rank_.init(s.init_level);
       return;
+    }
+    if (s.is_mpi_abort) {
+      const std::string msg =
+          mpi_abort_msg(rank_.rank(), f.regs[st.payload_reg]);
+      rank_.abort(msg);
+      throw simmpi::AbortedError(msg);
     }
     // Planned runtime checks in paper order — occupancy, thread usage, CC —
     // with the plan membership decided at compile time (st.mono/st.armed).

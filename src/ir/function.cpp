@@ -7,7 +7,8 @@ namespace parcoach::ir {
 namespace {
 
 std::string_view opcode_names[] = {
-    "assign", "print", "call", "collcomm", "mpi_init", "send", "recv",
+    "assign", "print", "call", "collcomm", "mpi_init", "mpi_abort", "send",
+    "recv",
     "wait", "test", "waitall",
     "omp_begin", "omp_end", "implicit_barrier", "explicit_barrier",
     "br", "cond_br", "return",

@@ -27,6 +27,7 @@ enum class Opcode : uint8_t {
   Call,         // [var =] callee(args...)    user function call
   CollComm,     // [var =] collective(...)    MPI collective operation
   MpiInit,      // mpi_init(thread_level)
+  MpiAbort,     // mpi_abort(code)              kills the whole world
   SendMsg,      // mpi_send(value, dest, tag)   point-to-point send
   RecvMsg,      // var = mpi_recv(source, tag)  point-to-point receive
   WaitReq,      // [var =] mpi_wait(request)    completes a nonblocking op

@@ -51,6 +51,9 @@ void print(std::ostream& os, const Instruction& in) {
     case Opcode::MpiInit:
       os << ' ' << to_string(in.thread_level);
       break;
+    case Opcode::MpiAbort:
+      os << ' ' << to_string(*in.args[0]);
+      break;
     case Opcode::SendMsg:
       os << " value=" << to_string(*in.args[0]) << " dest=" << to_string(*in.root)
          << " tag=" << to_string(*in.expr);

@@ -86,6 +86,7 @@ void Runtime::parallel(const ThreadContext& parent, int32_t num_threads,
     ctx.parent = &parent;
     ctx.domain = parent.domain;
     try {
+      if (ctx.domain && ctx.domain->spawn_jitter) ctx.domain->spawn_jitter(tid);
       body(ctx);
       team.barrier(); // implicit join barrier
     } catch (const TeamCancelled&) {

@@ -36,6 +36,11 @@ class Team;
 /// rank A blocking inside a critical region can never starve rank B.
 struct ProcessDomain {
   std::mutex critical_mu;
+  /// Optional fault-injection hook (PCT-style priority perturbation): when
+  /// set, every team member calls it with its thread number before running
+  /// its region body, letting a seeded injector reshuffle which thread
+  /// "wins" each region. Null (the default) costs one branch per spawn.
+  std::function<void(int32_t)> spawn_jitter;
 };
 
 /// Per-thread view of its innermost team. Contexts form a chain to the root

@@ -1,5 +1,6 @@
 #include "simmpi/comm.h"
 
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/str.h"
 #include "support/trace.h"
@@ -101,6 +102,9 @@ public:
       c_.trace_->emit(TraceEv::Park, c_.world_rank_of(rank), park_a_,
                       c_.comm_id_, park_c_);
     }
+    // Forced park jitter: widen the window between publishing the blocked
+    // state and actually parking, where lost-wakeup bugs would hide.
+    if (c_.fault_) c_.fault_->park_jitter(c_.world_rank_of(rank));
   }
   ~BlockedScope() {
     if (c_.trace_)
@@ -132,6 +136,7 @@ Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict,
       blocked_(static_cast<size_t>(size)) {
   for (int32_t r = 0; r < size; ++r) next_slot_[static_cast<size_t>(r)] = 0;
   trace_ = world_.tracer; // already effective()-filtered by World
+  fault_ = world_.fault;  // same discipline: null unless faults are armed
   if (trace_) trace_->register_comm(comm_id_, name_);
   if (world_.metrics) {
     slot_waits_ =
@@ -405,6 +410,20 @@ void Comm::wake_all_slots() {
   }
 }
 
+void Comm::fault_arrival(int32_t rank, const Signature& sig) {
+  const int32_t wr = world_rank_of(rank);
+  fault_->maybe_delay(wr);
+  if (fault_->should_crash(wr)) {
+    // The rank dies here: abort the world with the precise site so every
+    // peer parked in a slot/wait/creation-event unwinds with this exact
+    // diagnostic instead of a generic watchdog hang.
+    const std::string msg =
+        str::cat("rank ", wr, " died in ", sig.str(), " @", name_);
+    world_.abort(msg);
+    throw AbortedError(msg);
+  }
+}
+
 void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
                        const Signature& slot_sig, const char* verb) {
   const std::string msg =
@@ -417,7 +436,10 @@ void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
 
 Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
                            const std::vector<int64_t>& vec) {
-  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  throw_if_aborted();
+  // The crash fires before the slot is claimed, so a dead rank leaves no
+  // half-deposited arrival behind.
+  if (fault_) fault_arrival(rank, sig);
 
   const size_t idx =
       next_slot_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
@@ -451,7 +473,8 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
 
 size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
                   const std::vector<int64_t>& vec, bool& mismatch) {
-  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  throw_if_aborted();
+  if (fault_) fault_arrival(rank, sig);
 
   mismatch = false;
   const size_t idx =
@@ -469,7 +492,7 @@ size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
 
 Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
                           bool mismatched) {
-  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  throw_if_aborted();
 
   if (mismatched) {
     // The deferred hang of a mismatched issue: real MPI would never complete
@@ -501,7 +524,7 @@ Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
 }
 
 bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
-  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  throw_if_aborted();
   if (mismatched) return false; // never completes
   Slot* s = slot_for(slot);
   if (!s->complete.load(std::memory_order_acquire)) return false;
@@ -511,8 +534,9 @@ bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
 
 void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
                 bool rendezvous) {
+  if (fault_) fault_->maybe_delay(world_rank_of(src)); // delayed delivery
   std::unique_lock lk(mail_mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  throw_if_aborted();
   if (dst < 0 || dst >= size_)
     throw UsageError(str::cat("send to invalid rank ", dst));
   Mailbox& box = mail_[MailKey{src, dst, tag}];
@@ -538,8 +562,9 @@ void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
 }
 
 int64_t Comm::recv(int32_t dst, int32_t src, int32_t tag) {
+  if (fault_) fault_->maybe_delay(world_rank_of(dst)); // delayed pickup
   std::unique_lock lk(mail_mu_);
-  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  throw_if_aborted();
   if (src < 0 || src >= size_)
     throw UsageError(str::cat("recv from invalid rank ", src));
   Mailbox& box = mail_[MailKey{src, dst, tag}];

@@ -47,6 +47,7 @@
 #include <vector>
 
 namespace parcoach {
+class FaultInjector;
 class MetricsRegistry;
 class Tracer;
 } // namespace parcoach
@@ -105,6 +106,9 @@ struct WorldState {
   /// components cache it and every emit point is one predictable branch.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Fault-injection hook, same discipline: already effective()-filtered
+  /// (null = no faults armed), cached by every component at construction.
+  FaultInjector* fault = nullptr;
 
 private:
   std::vector<std::function<void()>> wakers_;
@@ -304,6 +308,15 @@ private:
   /// "called" (blocking) or "issued" (nonblocking).
   [[noreturn]] void fail_strict(size_t idx, int32_t rank, const Signature& sig,
                                 const Signature& slot_sig, const char* verb);
+  /// Entry pre-check shared by every public operation: an already-aborted
+  /// world fails fast with the recorded reason.
+  void throw_if_aborted() {
+    if (world_.is_aborted()) throw AbortedError(world_.reason());
+  }
+  /// Fault hooks for a collective arrival: a seeded delayed arrival, then a
+  /// possible rank crash — "rank R died in <sig> @<comm>" aborts the world
+  /// so every parked peer unwinds with that exact diagnostic.
+  void fault_arrival(int32_t rank, const Signature& sig);
 
   std::string name_;
   int32_t size_;
@@ -346,6 +359,8 @@ private:
   Tracer* trace_ = nullptr;
   std::atomic<uint64_t>* slot_waits_ = nullptr; // metrics: parks on this comm
   std::atomic<uint64_t>* cc_rounds_ = nullptr;  // metrics: CC agreements run
+  // Fault injection (cached from WorldState at construction; null = off).
+  FaultInjector* fault_ = nullptr;
 };
 
 /// Applies a reduction operator.

@@ -1,5 +1,6 @@
 #include "simmpi/registry.h"
 
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/str.h"
 #include "support/trace.h"
@@ -12,6 +13,7 @@ CommRegistry::CommRegistry(WorldState& world, int32_t world_size, bool strict,
                            bool world_cc_lane)
     : world_(world), world_size_(world_size), strict_(strict) {
   trace_ = world_.tracer;
+  fault_ = world_.fault;
   if (world_.metrics)
     comms_created_metric_ = &world_.metrics->counter("comms.created");
   auto e = std::make_unique<Entry>();
@@ -100,6 +102,10 @@ int64_t CommRegistry::split(int64_t parent, int32_t world_rank, int64_t color,
   Comm& p = resolve(parent, world_rank, local);
   Signature sig{CollectiveKind::CommSplit, -1, {}};
   sig.cc = cc;
+  // Creation-event perturbation: delay this member's arrival at the
+  // agreement round (the crash fault also covers it — the round runs on
+  // the parent's own slot via execute below).
+  if (fault_) fault_->maybe_delay(world_rank);
   // The agreement round: one slot on the parent carrying this rank's
   // (color, key); the result is every member's pair in local-rank order.
   const Comm::Result res = p.execute(local, sig, 0, {color, key});
@@ -144,6 +150,7 @@ int64_t CommRegistry::dup(int64_t parent, int32_t world_rank, int64_t cc,
   Comm& p = resolve(parent, world_rank, local);
   Signature sig{CollectiveKind::CommDup, -1, {}};
   sig.cc = cc;
+  if (fault_) fault_->maybe_delay(world_rank);
   const Comm::Result res = p.execute(local, sig, 0);
 
   std::scoped_lock lk(mu_);

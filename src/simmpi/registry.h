@@ -116,6 +116,8 @@ private:
   // Observability (cached from WorldState at construction; null = off).
   Tracer* trace_ = nullptr;
   std::atomic<uint64_t>* comms_created_metric_ = nullptr;
+  // Fault injection (cached from WorldState at construction; null = off).
+  FaultInjector* fault_ = nullptr;
 
   std::mutex mu_;
   std::map<int64_t, std::unique_ptr<Entry>> by_handle_;

@@ -1,5 +1,6 @@
 #include "simmpi/request.h"
 
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/str.h"
 #include "support/trace.h"
@@ -10,6 +11,7 @@ RequestEngine::RequestEngine(WorldState& world, int32_t num_ranks)
     : world_(world), num_ranks_(num_ranks),
       next_seq_(static_cast<size_t>(num_ranks), 0) {
   trace_ = world_.tracer;
+  fault_ = world_.fault;
   if (world_.metrics) {
     issued_metric_ = &world_.metrics->counter("requests.issued");
     completed_metric_ = &world_.metrics->counter("requests.completed");
@@ -96,6 +98,10 @@ RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {
   }
 
   if (trace_) trace_->emit(TraceEv::ReqWait, rank, request);
+  // Delayed completion: widen the issue->wait window so completion races
+  // (double waits, cross-thread claims, finalize-time leaks) get room to
+  // manifest under chaos schedules.
+  if (fault_) fault_->maybe_delay(rank);
   Comm::Result result;
   try {
     result = r.comm->finish(r.comm_rank, r.slot, r.sig, r.mismatched);

@@ -106,6 +106,8 @@ private:
   Tracer* trace_ = nullptr;
   std::atomic<uint64_t>* issued_metric_ = nullptr;
   std::atomic<uint64_t>* completed_metric_ = nullptr;
+  // Fault injection (cached from WorldState at construction; null = off).
+  FaultInjector* fault_ = nullptr;
   std::mutex mu_;
   /// Per-rank issue counters (the `seq` part of the handle encoding).
   std::vector<int64_t> next_seq_;

@@ -1,5 +1,6 @@
 #include "simmpi/world.h"
 
+#include "support/fault.h"
 #include "support/metrics.h"
 #include "support/str.h"
 #include "support/trace.h"
@@ -247,6 +248,7 @@ World::World(Options opts) : opts_(opts) {
   // construction.
   state_.tracer = Tracer::effective(opts_.tracer);
   state_.metrics = opts_.metrics;
+  state_.fault = FaultInjector::effective(opts_.fault);
   comms_ = std::make_unique<CommRegistry>(state_, opts_.num_ranks,
                                           opts_.strict_matching,
                                           opts_.world_cc_lane);
@@ -305,7 +307,34 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   uint64_t comms_version = comms_->created_comms();
   std::atomic<uint64_t>* watchdog_polls =
       state_.metrics ? &state_.metrics->counter("watchdog.polls") : nullptr;
-  auto last_change = std::chrono::steady_clock::now();
+  const auto run_start = std::chrono::steady_clock::now();
+  auto last_change = run_start;
+  bool soft_fired = false;
+  // Shared by the soft (stall report) and hard (deadlock) ladder stages:
+  // describes every blocked rank across all communicators. Sub-communicator
+  // snapshots already carry world ranks, so a cross-communicator cycle reads
+  // e.g. "rank 0 blocked on comm_split#1 slot 0 in MPI_Allreduce[sum] /
+  // rank 1 blocked on MPI_COMM_WORLD slot 2 in MPI_Barrier".
+  auto describe_blocked = [&](std::ostream& os,
+                              std::vector<int32_t>& blocked_ranks) {
+    auto describe = [&](const std::vector<BlockedInfo>& blocked) {
+      for (const auto& b : blocked) {
+        if (!b.blocked) continue;
+        os << "  rank " << b.rank << ' ' << b.describe() << '\n';
+        blocked_ranks.push_back(b.rank);
+      }
+    };
+    for (Comm* c : all_comms) describe(c->blocked_snapshot());
+    describe(verifier_comm_->blocked_snapshot());
+  };
+  auto recorder_appendix = [&](std::vector<int32_t> blocked_ranks) {
+    if (!state_.tracer) return std::string();
+    std::sort(blocked_ranks.begin(), blocked_ranks.end());
+    blocked_ranks.erase(
+        std::unique(blocked_ranks.begin(), blocked_ranks.end()),
+        blocked_ranks.end());
+    return state_.tracer->flight_recorder(blocked_ranks);
+  };
   while (finished.load() < opts_.num_ranks) {
     std::this_thread::sleep_for(std::chrono::milliseconds(2));
     if (watchdog_polls) watchdog_polls->fetch_add(1, std::memory_order_relaxed);
@@ -313,9 +342,18 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
     if (state_.is_aborted()) break;
     const uint64_t progress = state_.progress.load(std::memory_order_relaxed);
     const auto now = std::chrono::steady_clock::now();
+    // Ladder stage 3 (hard backstop): bound the whole run's wall-clock even
+    // while progress is still being made — no fault may wedge the world.
+    if (opts_.hard_deadline.count() > 0 &&
+        now - run_start >= opts_.hard_deadline) {
+      state_.abort(str::cat("hard deadline exceeded: run still active after ",
+                            opts_.hard_deadline.count(), "ms"));
+      break;
+    }
     if (progress != last_progress) {
       last_progress = progress;
       last_change = now;
+      soft_fired = false; // progress resumed: re-arm the soft stage
       continue;
     }
     // Poll every communicator the registry knows (world + split/dup
@@ -330,13 +368,22 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
       last_change = now; // ranks are computing, not stuck in MPI
       continue;
     }
+    // Ladder stage 1 (soft): capture the blocked picture + flight recorder
+    // without aborting; the stall may still resolve on its own.
+    if (!soft_fired && opts_.soft_deadline.count() > 0 &&
+        now - last_change >= opts_.soft_deadline) {
+      soft_fired = true;
+      std::ostringstream os;
+      os << "stall: no collective progress for " << opts_.soft_deadline.count()
+         << "ms (soft deadline)\n";
+      std::vector<int32_t> blocked_ranks;
+      describe_blocked(os, blocked_ranks);
+      report.stall_report = os.str() + recorder_appendix(std::move(blocked_ranks));
+    }
     if (now - last_change < opts_.hang_timeout) continue;
 
-    // Deadlock: build the arrival map, then abort so blocked ranks unwind.
-    // Sub-communicator snapshots already carry world ranks, so a cross-
-    // communicator cycle reads e.g. "rank 0 blocked on comm_split#1 slot 0
-    // in MPI_Allreduce[sum] / rank 1 blocked on MPI_COMM_WORLD slot 2 in
-    // MPI_Barrier".
+    // Ladder stage 2: declare deadlock — build the arrival map, then abort
+    // so blocked ranks unwind.
     std::ostringstream os;
     os << "hang detected: no collective progress for "
        << std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -344,29 +391,15 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
               .count()
        << "ms\n";
     std::vector<int32_t> blocked_ranks;
-    auto describe = [&](const std::vector<BlockedInfo>& blocked) {
-      for (const auto& b : blocked) {
-        if (!b.blocked) continue;
-        os << "  rank " << b.rank << ' ' << b.describe() << '\n';
-        blocked_ranks.push_back(b.rank);
-      }
-    };
-    for (Comm* c : all_comms) describe(c->blocked_snapshot());
-    describe(verifier_comm_->blocked_snapshot());
+    describe_blocked(os, blocked_ranks);
     report.deadlock = true;
     report.deadlock_details = os.str();
     // Abort with the base report only; the flight-recorder appendix below
     // is additive to deadlock_details and must not leak into the abort
     // reason the unwinding ranks record.
     state_.abort(str::cat("deadlock: ", os.str()));
-    if (state_.tracer) {
-      state_.tracer->emit(TraceEv::Deadlock, -1);
-      std::sort(blocked_ranks.begin(), blocked_ranks.end());
-      blocked_ranks.erase(
-          std::unique(blocked_ranks.begin(), blocked_ranks.end()),
-          blocked_ranks.end());
-      report.deadlock_details += state_.tracer->flight_recorder(blocked_ranks);
-    }
+    if (state_.tracer) state_.tracer->emit(TraceEv::Deadlock, -1);
+    report.deadlock_details += recorder_appendix(std::move(blocked_ranks));
     break;
   }
 

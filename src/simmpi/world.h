@@ -209,6 +209,12 @@ struct RunReport {
   /// sorted by name; counters and gauges merged). Empty when no registry
   /// was attached.
   std::vector<std::pair<std::string, int64_t>> metrics;
+  /// Escalation-ladder soft deadline: non-empty when progress stalled past
+  /// Options::soft_deadline before the run resolved. Carries the blocked
+  /// picture at stall time (plus the flight-recorder appendix when a tracer
+  /// is attached) even when the run later completes or aborts for another
+  /// reason.
+  std::string stall_report;
 };
 
 class World {
@@ -238,6 +244,22 @@ public:
     /// point — the same zero-overhead-when-off contract as the CC lane.
     Tracer* tracer = nullptr;
     MetricsRegistry* metrics = nullptr;
+    /// Fault injection: optional injector (caller-owned), consulted by the
+    /// slot engine, registry, request engine, and mailboxes. Null or an
+    /// inert plan costs one predictable branch per hook — the tracer's
+    /// contract exactly.
+    FaultInjector* fault = nullptr;
+    /// Watchdog escalation ladder, stage 1 (soft): after this long without
+    /// progress while a rank is blocked, capture a stall report (plus
+    /// flight-recorder dump when tracing) into RunReport::stall_report
+    /// WITHOUT aborting; the run may still recover. Zero = disabled. Fires
+    /// at most once per stall (re-arms when progress resumes).
+    std::chrono::milliseconds soft_deadline{0};
+    /// Stage 2 (abort on stall) is `hang_timeout` above. Stage 3 (hard):
+    /// abort unconditionally after this much wall-clock time, even while
+    /// progress is still being made — the backstop that bounds teardown
+    /// when a fault keeps the world busy-looping. Zero = disabled.
+    std::chrono::milliseconds hard_deadline{0};
   };
 
   explicit World(Options opts);

@@ -1,0 +1,171 @@
+#include "support/fault.h"
+
+#include "support/rng.h"
+#include "support/str.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace parcoach {
+
+namespace {
+
+/// Mixes (seed, rank, stream, draw index) into one SplitMix64 seed so every
+/// draw is an independent deterministic function of the plan seed.
+uint64_t key(uint64_t seed, int32_t rank, uint32_t stream, uint64_t n) noexcept {
+  return seed ^ (static_cast<uint64_t>(static_cast<uint32_t>(rank)) << 32) ^
+         (static_cast<uint64_t>(stream) << 56) ^ n;
+}
+
+} // namespace
+
+FaultPlan FaultPlan::chaos(uint64_t seed, int32_t num_ranks) {
+  FaultPlan p;
+  p.seed = seed;
+  SplitMix64 g(seed ^ 0x5eedfa11ULL);
+  // Crash a seed-chosen rank at a seed-chosen early collective. crash_at may
+  // exceed the program's collective count, in which case the run completes
+  // with the hooks armed but no fault fired — that path is worth exercising
+  // too.
+  p.crash_rank = num_ranks > 0 ? static_cast<int32_t>(g.below(
+                                     static_cast<uint64_t>(num_ranks)))
+                               : -1;
+  p.crash_at = g.below(12);
+  // Moderate, bounded timing perturbation on every run.
+  p.delay_num = 1;
+  p.delay_den = 4;
+  p.max_delay_us = static_cast<uint32_t>(50 + g.below(150));
+  p.jitter_num = 1;
+  p.jitter_den = 4;
+  p.pct_num = 1;
+  p.pct_den = 2;
+  return p;
+}
+
+std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
+                                          std::string& error) {
+  FaultPlan p;
+  // The plan file arms nothing by default; every fault is opt-in per line.
+  size_t pos = 0;
+  int line_no = 0;
+  while (pos <= text.size()) {
+    const size_t eol = text.find('\n', pos);
+    std::string line = text.substr(
+        pos, eol == std::string::npos ? std::string::npos : eol - pos);
+    pos = eol == std::string::npos ? text.size() + 1 : eol + 1;
+    ++line_no;
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const auto is_space = [](char c) { return c == ' ' || c == '\t' || c == '\r'; };
+    size_t b = 0, e = line.size();
+    while (b < e && is_space(line[b])) ++b;
+    while (e > b && is_space(line[e - 1])) --e;
+    line = line.substr(b, e - b);
+    if (line.empty()) continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      error = str::cat("line ", line_no, ": expected 'key = value', got '",
+                       line, "'");
+      return std::nullopt;
+    }
+    std::string k = line.substr(0, eq), v = line.substr(eq + 1);
+    while (!k.empty() && is_space(k.back())) k.pop_back();
+    size_t vb = 0;
+    while (vb < v.size() && is_space(v[vb])) ++vb;
+    v = v.substr(vb);
+    int64_t val = 0;
+    try {
+      size_t used = 0;
+      val = std::stoll(v, &used, 0);
+      if (used != v.size()) throw std::invalid_argument(v);
+    } catch (const std::exception&) {
+      error = str::cat("line ", line_no, ": '", v, "' is not an integer");
+      return std::nullopt;
+    }
+    if (k == "seed") p.seed = static_cast<uint64_t>(val);
+    else if (k == "crash_rank") p.crash_rank = static_cast<int32_t>(val);
+    else if (k == "crash_at") p.crash_at = static_cast<uint64_t>(val);
+    else if (k == "delay_num") p.delay_num = static_cast<uint32_t>(val);
+    else if (k == "delay_den") p.delay_den = static_cast<uint32_t>(val);
+    else if (k == "max_delay_us") p.max_delay_us = static_cast<uint32_t>(val);
+    else if (k == "jitter_num") p.jitter_num = static_cast<uint32_t>(val);
+    else if (k == "jitter_den") p.jitter_den = static_cast<uint32_t>(val);
+    else if (k == "pct_num") p.pct_num = static_cast<uint32_t>(val);
+    else if (k == "pct_den") p.pct_den = static_cast<uint32_t>(val);
+    else {
+      error = str::cat("line ", line_no, ": unknown key '", k, "'");
+      return std::nullopt;
+    }
+  }
+  if (p.delay_den == 0 || p.jitter_den == 0 || p.pct_den == 0) {
+    error = "probability denominators must be nonzero";
+    return std::nullopt;
+  }
+  return p;
+}
+
+std::string FaultPlan::str() const {
+  std::string s = str::cat("seed=", seed);
+  if (crash_rank >= 0) s += str::cat(" crash=", crash_rank, "@", crash_at);
+  if (delay_num > 0 && max_delay_us > 0)
+    s += str::cat(" delay=", delay_num, "/", delay_den, "x", max_delay_us,
+                  "us");
+  if (jitter_num > 0) s += str::cat(" jitter=", jitter_num, "/", jitter_den);
+  if (pct_num > 0 && max_delay_us > 0)
+    s += str::cat(" pct=", pct_num, "/", pct_den);
+  return s;
+}
+
+FaultInjector::FaultInjector(FaultPlan plan, int32_t num_ranks)
+    : plan_(plan), num_ranks_(num_ranks > 0 ? num_ranks : 1),
+      ranks_(std::make_unique<PerRank[]>(static_cast<size_t>(num_ranks_))) {}
+
+uint64_t FaultInjector::draw(int32_t world_rank, uint32_t stream) noexcept {
+  const int32_t r =
+      world_rank >= 0 && world_rank < num_ranks_ ? world_rank : 0;
+  const uint64_t n = ranks_[static_cast<size_t>(r)].draws[stream].fetch_add(
+      1, std::memory_order_relaxed);
+  SplitMix64 g(key(plan_.seed, r, stream, n));
+  return g.next();
+}
+
+bool FaultInjector::should_crash(int32_t world_rank) noexcept {
+  if (world_rank < 0 || world_rank >= num_ranks_) return false;
+  const uint64_t n = ranks_[static_cast<size_t>(world_rank)]
+                         .collectives.fetch_add(1, std::memory_order_relaxed);
+  if (world_rank != plan_.crash_rank || n != plan_.crash_at) return false;
+  bool expected = false;
+  return crash_fired_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel);
+}
+
+void FaultInjector::maybe_delay(int32_t world_rank) noexcept {
+  if (plan_.delay_num == 0 || plan_.max_delay_us == 0) return;
+  const uint64_t d = draw(world_rank, 0);
+  if (d % plan_.delay_den >= plan_.delay_num) return;
+  const uint64_t us = (d >> 32) % (plan_.max_delay_us + 1ULL);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+void FaultInjector::park_jitter(int32_t world_rank) noexcept {
+  if (plan_.jitter_num == 0) return;
+  const uint64_t d = draw(world_rank, 1);
+  if (d % plan_.jitter_den >= plan_.jitter_num) return;
+  std::this_thread::yield();
+  // A nested coin flip widens some windows with a short bounded sleep.
+  if ((d >> 32) & 1)
+    std::this_thread::sleep_for(std::chrono::microseconds(1 + ((d >> 33) % 50)));
+}
+
+void FaultInjector::thread_start_jitter(int32_t world_rank,
+                                        int32_t thread_num) noexcept {
+  if (plan_.pct_num == 0 || plan_.max_delay_us == 0) return;
+  const uint64_t d =
+      draw(world_rank, 2) ^ (static_cast<uint64_t>(thread_num) << 17);
+  if (d % plan_.pct_den >= plan_.pct_num) return;
+  const uint64_t us = (d >> 32) % (plan_.max_delay_us + 1ULL);
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+} // namespace parcoach
