@@ -19,15 +19,20 @@
 // Flags (accepted before the google-benchmark flags):
 //   --json=PATH   machine-readable results (BENCH_interp.json in CI)
 //   --smoke       fewer repetitions, skip registered benchmarks (CI smoke)
+//   --opmix       run the scenarios once with opcode-mix profiling and print
+//                 the retire histogram (vm.op.* counters) instead of timing;
+//                 this is the workflow that picks fusion candidates
 #include "driver/pipeline.h"
 #include "interp/executor.h"
 #include "support/json_writer.h"
+#include "support/metrics.h"
 #include "support/str.h"
 #include "workloads/corpus.h"
 #include "workloads/workloads.h"
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
 #include <fstream>
 #include <iomanip>
@@ -314,6 +319,67 @@ void write_json(const std::string& path,
   std::cout << "wrote " << path << "\n";
 }
 
+// ---- Opcode-mix profiling (--opmix) -------------------------------------------
+
+/// Runs one scenario under the bytecode engine with vm.op.* profiling on and
+/// prints the retire histogram, highest share first. This is the loop that
+/// drives superinstruction selection: a hot Load/Const/compare shape at the
+/// top of this table is the next fusion candidate in bc_passes.cpp.
+void profile_opmix(const std::string& name, const Compiled& c, int32_t ranks,
+                   int32_t threads) {
+  interp::Executor exec(c.result.program, c.sm, &c.result.plan);
+  interp::ExecOptions eopts;
+  eopts.engine = interp::Engine::Bytecode;
+  eopts.num_ranks = ranks;
+  eopts.num_threads = threads;
+  eopts.max_steps = 200'000'000;
+  eopts.mpi.hang_timeout = std::chrono::milliseconds(10000);
+  eopts.opmix = true;
+  MetricsRegistry metrics;
+  eopts.metrics = &metrics;
+  const auto result = exec.run(eopts);
+  if (!result.clean) {
+    std::cerr << "opmix run not clean: " << result.mpi.abort_reason << "\n";
+    std::abort();
+  }
+  std::vector<std::pair<std::string, uint64_t>> ops;
+  uint64_t total = 0;
+  for (const auto& s : metrics.snapshot()) {
+    if (s.name.rfind("vm.op.", 0) != 0) continue;
+    ops.emplace_back(s.name.substr(6), s.value);
+    total += s.value;
+  }
+  std::sort(ops.begin(), ops.end(), [](const auto& a, const auto& b) {
+    return a.second != b.second ? a.second > b.second : a.first < b.first;
+  });
+  std::cout << "\n--- opcode mix: " << name << " (" << total
+            << " instructions retired) ---\n";
+  for (const auto& [op, n] : ops)
+    std::cout << "  " << std::left << std::setw(14) << op << std::right
+              << std::setw(12) << n << std::setw(7) << std::fixed
+              << std::setprecision(1)
+              << 100.0 * static_cast<double>(n) / static_cast<double>(total)
+              << "%\n";
+}
+
+void run_opmix() {
+  {
+    const auto c =
+        compile_one("corpus_interp_bound", interp_bound_source(60'000));
+    profile_opmix("corpus_interp_bound", *c, 1, 1);
+  }
+  {
+    workloads::NpbParams np;
+    np.zones = 4;
+    np.steps = 2;
+    np.threads = 2;
+    np.stages = 2;
+    const auto g = workloads::make_npb_mz(workloads::NpbVariant::BT, np);
+    const auto c = compile_one(g.name, g.source);
+    profile_opmix("npb_bt_mz", *c, 2, 2);
+  }
+}
+
 void bench_engine(benchmark::State& state, interp::Engine engine) {
   const auto c = compile_one("interp_bound", interp_bound_source(20'000));
   for (auto _ : state) {
@@ -328,6 +394,7 @@ void bench_engine(benchmark::State& state, interp::Engine engine) {
 int main(int argc, char** argv) {
   std::string json_path;
   bool smoke = false;
+  bool opmix = false;
   int out = 1;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -335,11 +402,18 @@ int main(int argc, char** argv) {
       json_path = arg.substr(7);
     } else if (arg == "--smoke") {
       smoke = true;
+    } else if (arg == "--opmix") {
+      opmix = true;
     } else {
       argv[out++] = argv[i];
     }
   }
   argc = out;
+
+  if (opmix) {
+    run_opmix();
+    return 0;
+  }
 
   if (!smoke) {
     benchmark::RegisterBenchmark("InterpEngine/interp_bound/ast",

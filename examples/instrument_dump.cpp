@@ -1,10 +1,13 @@
 // Instrument dump: shows the "verification code generation" step — the IR
 // of a buggy program before and after the selective instrumentation pass
 // (check_cc / check_cc_final / check_mono / region_enter / region_exit),
-// plus the plan summary. This is the code-transformation half of the paper.
+// plus the plan summary and the optimized bytecode the VM will actually
+// execute (baked arming, fused superinstructions, quickened collectives).
+// This is the code-transformation half of the paper.
 //
 // Usage: instrument_dump [corpus-entry-name]   (default: bug_concurrent_singles)
 #include "driver/pipeline.h"
+#include "interp/bytecode.h"
 #include "ir/printer.h"
 #include "workloads/corpus.h"
 
@@ -51,5 +54,14 @@ int main(int argc, char** argv) {
             << r.plan.mono_stmts.size() << " occupancy checks, "
             << r.plan.watched_regions.size() << " watched regions, final="
             << (r.plan.cc_final_in_main ? "yes" : "no") << '\n';
+
+  // The executable form: baseline bytecode vs the pass-optimized listing
+  // (the bytecode engine runs the latter).
+  interp::BcProgram bc = interp::compile(r.program, sm, &r.plan);
+  std::cout << "\n=== bytecode (baseline encoding) ===\n"
+            << interp::disassemble(bc);
+  interp::run_passes(bc, {});
+  std::cout << "=== bytecode (optimized: fuse + regalloc + quicken) ===\n"
+            << interp::disassemble(bc);
   return 0;
 }

@@ -16,6 +16,12 @@
 //   --type-only-cc      paper-faithful CC (ignore reduction op / root)
 //   --engine=NAME       execution engine for `run`: bytecode (default, the
 //                       register VM) or ast (the tree-walking oracle)
+//   --dump-bytecode     print the bytecode listing for `run`/`instrument`,
+//                       both the baseline encoding and the optimized form
+//                       after the pass pipeline
+//   --no-fuse / --no-regalloc / --no-quicken
+//                       disable one bytecode optimization pass (bisection
+//                       aid; affects `run` and --dump-bytecode)
 //   --trace=FILE        record a flight-recorder trace of `run` and export
 //                       it as Chrome trace-event JSON (load in Perfetto)
 //   --metrics-json=FILE dump the runtime metrics registry as JSON after `run`
@@ -56,6 +62,8 @@ struct CliOptions {
   bool type_only_cc = false;
   int32_t timeout_ms = 1000;
   interp::Engine engine = interp::Engine::Bytecode;
+  bool dump_bytecode = false;
+  interp::BcPassOptions passes;
   std::string trace_path;
   std::string metrics_path;
   bool fault_seed_set = false;
@@ -68,7 +76,9 @@ int usage() {
   std::cerr << "usage: parcoachmt {analyze|instrument|run} FILE"
                " [--ranks=N] [--threads=N] [--no-verify] [--taint-filter]"
                " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]"
-               " [--engine=bytecode|ast] [--trace=FILE] [--metrics-json=FILE]"
+               " [--engine=bytecode|ast] [--dump-bytecode] [--no-fuse]"
+               " [--no-regalloc] [--no-quicken] [--trace=FILE]"
+               " [--metrics-json=FILE]"
                " [--fault-seed=N] [--fault-plan=FILE] [--timings]\n";
   return 1;
 }
@@ -93,6 +103,10 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
       opts.timeout_ms = std::stoi(value_of("--timeout-ms="));
     else if (a == "--engine=bytecode") opts.engine = interp::Engine::Bytecode;
     else if (a == "--engine=ast") opts.engine = interp::Engine::Ast;
+    else if (a == "--dump-bytecode") opts.dump_bytecode = true;
+    else if (a == "--no-fuse") opts.passes.fuse = false;
+    else if (a == "--no-regalloc") opts.passes.regalloc = false;
+    else if (a == "--no-quicken") opts.passes.quicken = false;
     else if (a.rfind("--trace=", 0) == 0) opts.trace_path = value_of("--trace=");
     else if (a.rfind("--metrics-json=", 0) == 0)
       opts.metrics_path = value_of("--metrics-json=");
@@ -109,6 +123,23 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
   }
   return opts.command == "analyze" || opts.command == "instrument" ||
          opts.command == "run";
+}
+
+/// --dump-bytecode: prints the baseline encoding next to the optimized form
+/// so a fusion/quickening rewrite can be inspected (and bisected with the
+/// --no-* pass switches).
+void dump_bytecode(const driver::CompileResult& compiled,
+                   const SourceManager& sm,
+                   const core::InstrumentationPlan* plan,
+                   const interp::BcPassOptions& passes) {
+  interp::BcProgram bc = interp::compile(compiled.program, sm, plan);
+  std::cout << "=== bytecode (baseline encoding) ===\n"
+            << interp::disassemble(bc);
+  interp::run_passes(bc, passes);
+  std::cout << "=== bytecode (after passes: fuse=" << (passes.fuse ? "on" : "off")
+            << " regalloc=" << (passes.regalloc ? "on" : "off")
+            << " quicken=" << (passes.quicken ? "on" : "off") << ") ===\n"
+            << interp::disassemble(bc);
 }
 
 } // namespace
@@ -158,6 +189,8 @@ int main(int argc, char** argv) {
   if (cli.command == "instrument") {
     diags.print(std::cerr, sm);
     std::cout << compiled.emitted;
+    if (cli.dump_bytecode)
+      dump_bytecode(compiled, sm, &compiled.plan, cli.passes);
     std::cerr << "inserted " << compiled.inserted_checks << " checks over "
               << compiled.plan.total_collective_sites
               << " collective sites\n";
@@ -166,6 +199,9 @@ int main(int argc, char** argv) {
 
   // run
   diags.print(std::cout, sm);
+  if (cli.dump_bytecode)
+    dump_bytecode(compiled, sm, cli.verify ? &compiled.plan : nullptr,
+                  cli.passes);
   interp::Executor exec(compiled.program, sm,
                         cli.verify ? &compiled.plan : nullptr);
   interp::ExecOptions eopts;
@@ -174,6 +210,7 @@ int main(int argc, char** argv) {
   eopts.mpi.hang_timeout = std::chrono::milliseconds(cli.timeout_ms);
   eopts.verify.check_arguments = !cli.type_only_cc;
   eopts.engine = cli.engine;
+  eopts.passes = cli.passes;
   std::unique_ptr<Tracer> tracer;
   std::unique_ptr<MetricsRegistry> metrics;
   if (!cli.trace_path.empty()) {

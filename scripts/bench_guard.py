@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Bench regression guard for the bytecode execution engine.
+
+Compares a fresh bench_interp_engine JSON report against the committed
+baseline (bench/BENCH_interp.baseline.json) and fails if the interpreter-
+bound scenario regressed.
+
+CI machines differ in raw speed, so absolute ns/stmt numbers are not
+comparable across runs. The guard instead compares the *ratio*
+bytecode.ns_per_stmt / ast.ns_per_stmt on corpus_interp_bound: the AST
+tree-walker runs the identical workload in the same process, so it acts as
+the machine-speed normalizer. A pass-pipeline regression shows up as the
+bytecode engine losing ground against the oracle regardless of host.
+
+Usage: bench_guard.py CURRENT.json BASELINE.json [--threshold=0.15]
+
+Exit codes: 0 ok, 1 regression beyond threshold, 2 bad input.
+"""
+
+import json
+import sys
+
+SCENARIO = "corpus_interp_bound"
+
+
+def load_ratio(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    for sc in doc.get("scenarios", []):
+        if sc.get("scenario") == SCENARIO:
+            try:
+                ast_ns = float(sc["ast"]["ns_per_stmt"])
+                bc_ns = float(sc["bytecode"]["ns_per_stmt"])
+            except (KeyError, TypeError, ValueError):
+                print(f"bench_guard: malformed {SCENARIO} entry in {path}",
+                      file=sys.stderr)
+                sys.exit(2)
+            if ast_ns <= 0 or bc_ns <= 0:
+                print(f"bench_guard: non-positive timing in {path}",
+                      file=sys.stderr)
+                sys.exit(2)
+            return bc_ns / ast_ns, ast_ns, bc_ns
+    print(f"bench_guard: scenario {SCENARIO!r} not found in {path}",
+          file=sys.stderr)
+    sys.exit(2)
+
+
+def main(argv):
+    threshold = 0.15
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--threshold="):
+            threshold = float(arg.split("=", 1)[1])
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    cur_ratio, cur_ast, cur_bc = load_ratio(paths[0])
+    base_ratio, base_ast, base_bc = load_ratio(paths[1])
+
+    # ratio < 1 means the bytecode engine is faster than the oracle; a
+    # growing ratio means it is losing its lead.
+    regression = cur_ratio / base_ratio - 1.0
+    print(f"bench_guard: {SCENARIO}")
+    print(f"  baseline: ast {base_ast:8.2f} ns/stmt  bytecode {base_bc:8.2f}"
+          f"  ratio {base_ratio:.4f} ({1 / base_ratio:.2f}x)")
+    print(f"  current:  ast {cur_ast:8.2f} ns/stmt  bytecode {cur_bc:8.2f}"
+          f"  ratio {cur_ratio:.4f} ({1 / cur_ratio:.2f}x)")
+    print(f"  normalized change: {regression:+.1%} (threshold +{threshold:.0%})")
+    if regression > threshold:
+        print("bench_guard: FAIL — bytecode engine regressed vs the AST-"
+              "normalized baseline", file=sys.stderr)
+        return 1
+    print("bench_guard: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,6 +1,7 @@
 #include "interp/bytecode.h"
 
 #include "frontend/slots.h"
+#include "interp/bc_ops.h"
 #include "interp/exec_internal.h"
 #include "support/source_manager.h"
 #include "support/str.h"
@@ -519,23 +520,18 @@ BcProgram compile(const frontend::Program& program, const SourceManager& sm,
 
 namespace {
 
-constexpr const char* kOpNames[] = {
-    "const", "load", "store", "decl",
-    "neg", "not", "bool",
-    "add", "sub", "mul", "div", "mod",
-    "lt", "le", "gt", "ge", "eq", "ne",
-    "addimm",
-    "rank", "size", "thread_num", "num_threads",
-    "jump", "jz", "jnz",
-    "jnlt", "jnle", "jngt", "jnge", "jneq", "jnne",
-    "ret", "trap",
-    "print", "call",
-    "mpi_coll", "mpi_send", "mpi_recv", "mpi_wait", "mpi_test", "mpi_waitall",
-    "parallel", "omp_for", "single", "master", "critical", "sections",
-    "omp_barrier",
+constexpr OpSpec kOpSpecs[] = {
+#define PARCOACH_OP(id, name, ra, rb, rc, imm) \
+  {name, OpField::ra, OpField::rb, OpField::rc, (imm) != 0},
+#include "interp/bc_ops.def"
+#undef PARCOACH_OP
 };
+static_assert(sizeof(kOpSpecs) / sizeof(kOpSpecs[0]) == kNumOps,
+              "bc_ops.def and kNumOps disagree");
 
 } // namespace
+
+const OpSpec& op_spec(Op op) { return kOpSpecs[static_cast<size_t>(op)]; }
 
 std::string disassemble(const BcProgram& p) {
   std::string out;
@@ -545,13 +541,13 @@ std::string disassemble(const BcProgram& p) {
                     " (slots=", fn.num_slots, ", regs=", fn.num_regs, ")\n");
     for (size_t i = 0; i < fn.code.size(); ++i) {
       const BcInstr& in = fn.code[i];
-      out += str::cat("  ", i, ": ",
-                      kOpNames[static_cast<size_t>(in.op)]);
+      const OpSpec& spec = op_spec(in.op);
+      out += str::cat("  ", i, ": ", spec.name);
       if (in.a >= 0) out += str::cat(" a=", in.a);
       if (in.b >= 0) out += str::cat(" b=", in.b);
       if (in.c >= 0) out += str::cat(" c=", in.c);
-      if (in.imm != 0) out += str::cat(" imm=", in.imm);
-      if (in.op == Op::MpiColl) {
+      if (in.imm != 0 || spec.imm) out += str::cat(" imm=", in.imm);
+      if (is_mpi_coll(in.op)) {
         const MpiSite& st = p.mpi_sites[static_cast<size_t>(in.a)];
         out += str::cat(" [", ir::to_string(st.stmt->coll));
         if (st.armed) out += " cc";

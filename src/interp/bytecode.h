@@ -42,41 +42,27 @@
 
 namespace parcoach::interp {
 
+// The opcode set lives in bc_ops.def (one X-macro line per op: enumerator,
+// disassembler name, per-operand roles). The baseline compiler emits only the
+// simple core; the peephole/quickening passes (run_passes) rewrite hot shapes
+// into the fused and specialized blocks.
 enum class Op : uint8_t {
-  // -- Registers and slots ---------------------------------------------------
-  Const,    // regs[a] = imm
-  Load,     // regs[a] = *slots[b]
-  Store,    // *slots[a] = regs[b]
-  Decl,     // rebind slot a to own storage, zero it (declaration point)
-  // -- Arithmetic / comparison ----------------------------------------------
-  Neg, Not, Bool,                    // regs[a] = op(regs[b])
-  Add, Sub, Mul, Div, Mod,           // regs[a] = regs[b] op regs[c]
-  Lt, Le, Gt, Ge, Eq, Ne,
-  AddImm,                            // regs[a] = regs[b] + imm
-  // -- Builtins ---------------------------------------------------------------
-  Rank, Size, ThreadNum, NumThreads, // regs[a] = builtin()
-  // -- Control flow -----------------------------------------------------------
-  Jump,     // pc = a
-  Jz,       // pc = regs[a] == 0 ? b : pc + 1
-  Jnz,      // pc = regs[a] != 0 ? b : pc + 1
-  // Fused compare-and-branch-if-false (the If/While/For condition shape,
-  // folded by the compiler when the comparison result is dead afterwards):
-  // pc = (regs[a] OP regs[b]) ? pc + 1 : c
-  JnLt, JnLe, JnGt, JnGe, JnEq, JnNe,
-  Ret,      // return regs[a] (a < 0: return 0)
-  Trap,     // throw EvalError(traps[a])
-  // -- Statements with side tables -------------------------------------------
-  PrintOp,  // print site a
-  Call,     // call site a
-  MpiColl,  // mpi site a: collectives, comm ops, init, finalize
-  MpiSend,  // value regs[a] -> dest regs[b], tag regs[c]
-  MpiRecv,  // mpi site a: recv into target
-  MpiWait, MpiTest, MpiWaitall, // mpi site a
-  Par,      // omp site a: parallel
-  OmpForOp, // omp site a: worksharing for
-  Single, Master, Critical, Sections, // omp site a
-  OmpBarrierOp, // barrier (no site)
+#define PARCOACH_OP(id, name, ra, rb, rc, imm) id,
+#include "interp/bc_ops.def"
+#undef PARCOACH_OP
 };
+
+namespace detail {
+enum : size_t {
+#define PARCOACH_OP(id, name, ra, rb, rc, imm) op_index_##id,
+#include "interp/bc_ops.def"
+#undef PARCOACH_OP
+  op_count
+};
+} // namespace detail
+
+/// Number of opcodes (sizes the opcode-mix counter tables).
+inline constexpr size_t kNumOps = detail::op_count;
 
 struct BcInstr {
   Op op;
@@ -167,12 +153,31 @@ struct BcProgram {
 };
 
 /// Compiles `program` against `plan` (may be null: uninstrumented). `sm` is
-/// used to render source locations into trap diagnostics.
+/// used to render source locations into trap diagnostics. The result is
+/// always the baseline encoding; apply run_passes() for the optimized form.
 [[nodiscard]] BcProgram compile(const frontend::Program& program,
                                 const SourceManager& sm,
                                 const core::InstrumentationPlan* plan);
 
-/// Human-readable listing (tests, debugging).
+/// Off-switches for the post-compile optimization passes. All on by default;
+/// the property/differential tests run every combination, and the CLI
+/// exposes them (--no-fuse etc.) for bisecting a suspect pass.
+struct BcPassOptions {
+  bool regalloc = true; // linear-scan temporary-register reallocation
+  bool fuse = true;     // peephole superinstruction fusion
+  bool quicken = true;  // MpiColl -> per-flavor specialized opcodes
+};
+
+/// Rewrites `p` in place through the optimization pipeline: peephole fusion
+/// (superinstructions over the hot Load/Const/compare/store shapes), then
+/// collective quickening (per-flavor MpiColl opcodes from the baked arming
+/// plan), then linear-scan register allocation (live-interval reuse of the
+/// one-pass encoder's virtual registers; frame-slot arrays stay the variable
+/// ABI). Each pass preserves the AST-oracle semantics exactly — the corpus
+/// differential holds every pass combination to byte-identical outcomes.
+void run_passes(BcProgram& p, const BcPassOptions& opts = {});
+
+/// Human-readable listing (tests, --dump-bytecode, debugging).
 [[nodiscard]] std::string disassemble(const BcProgram& p);
 
 } // namespace parcoach::interp

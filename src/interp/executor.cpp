@@ -1,5 +1,6 @@
 #include "interp/executor.h"
 
+#include "interp/bc_ops.h"
 #include "interp/bytecode.h"
 #include "interp/exec_internal.h"
 #include "miniomp/team.h"
@@ -593,8 +594,16 @@ ExecResult Executor::run(const ExecOptions& opts) {
   if (opts.engine == Engine::Bytecode) {
     // Compile once per run: the bytecode bakes in the plan's arming
     // decisions, and the per-run skeleton table bakes in VerifierOptions.
-    const BcProgram bc = interp::compile(program_, sm_, plan_);
+    // The optimization passes (fusion / quickening / regalloc) rewrite the
+    // baseline encoding in place; opts.passes can disable any of them.
+    BcProgram bc = interp::compile(program_, sm_, plan_);
+    run_passes(bc, opts.passes);
     const std::vector<int64_t> skeletons = make_cc_skeletons(bc, verifier);
+    std::vector<std::atomic<uint64_t>> opmix;
+    if (opts.opmix && opts.metrics) {
+      opmix = std::vector<std::atomic<uint64_t>>(kNumOps);
+      shared.opmix_table = opmix.data();
+    }
     result.mpi = world.run([&](simmpi::Rank& rank) {
       try {
         run_rank_bytecode(shared, bc, skeletons, rank, opts.num_threads);
@@ -604,6 +613,14 @@ ExecResult Executor::run(const ExecOptions& opts) {
       }
     });
     result.mpi.bytecode_ops = shared.steps_executed.load();
+    if (shared.opmix_table)
+      for (size_t i = 0; i < kNumOps; ++i) {
+        const uint64_t n = opmix[i].load(std::memory_order_relaxed);
+        if (n > 0)
+          opts.metrics
+              ->counter(str::cat("vm.op.", op_name(static_cast<Op>(i))))
+              .fetch_add(n, std::memory_order_relaxed);
+      }
   } else {
     result.mpi = world.run([&](simmpi::Rank& rank) {
       RankExec exec(shared, rank);

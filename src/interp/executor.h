@@ -16,6 +16,7 @@
 
 #include "core/instrumentation.h"
 #include "frontend/ast.h"
+#include "interp/bytecode.h"
 #include "rt/verifier.h"
 #include "simmpi/world.h"
 #include "support/source_manager.h"
@@ -53,6 +54,14 @@ struct ExecOptions {
   /// off; a disabled tracer costs one predictable branch per emit point.
   Tracer* tracer = nullptr;
   MetricsRegistry* metrics = nullptr;
+  /// Bytecode-engine pass pipeline off-switches (all on by default). The
+  /// differential tests run every combination; the CLI exposes them
+  /// (--no-fuse etc.) for bisecting a suspect pass.
+  BcPassOptions passes;
+  /// Opcode-mix profiling (bytecode engine; needs `metrics`): per-opcode
+  /// retire counts exported as the vm.op.<name> counter family. One
+  /// predictable branch per dispatch when off.
+  bool opmix = false;
 };
 
 struct ExecResult {

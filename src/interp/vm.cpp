@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <memory>
 #include <optional>
 
 namespace parcoach::interp {
@@ -64,10 +65,30 @@ struct VmThread {
   uint64_t construct_counter = 0;
   StepCounter steps;
   std::vector<CommCacheEntry> comm_cache;
+  /// Opcode-mix profiling (null = off): plain per-thread counters, flushed
+  /// into SharedState::opmix_table when the thread retires.
+  uint64_t* opmix = nullptr;
 
   VmThread(SharedState& shared, simmpi::Rank& rank, int32_t num_caches)
       : steps(shared, rank),
-        comm_cache(static_cast<size_t>(num_caches)) {}
+        comm_cache(static_cast<size_t>(num_caches)), shared_(&shared) {
+    if (shared.opmix_table) {
+      opmix_local_ = std::make_unique<uint64_t[]>(kNumOps); // value-initialized
+      opmix = opmix_local_.get();
+    }
+  }
+  ~VmThread() {
+    if (!opmix) return;
+    for (size_t i = 0; i < kNumOps; ++i)
+      if (opmix[i])
+        shared_->opmix_table[i].fetch_add(opmix[i], std::memory_order_relaxed);
+  }
+  VmThread(const VmThread&) = delete;
+  VmThread& operator=(const VmThread&) = delete;
+
+private:
+  SharedState* shared_;
+  std::unique_ptr<uint64_t[]> opmix_local_;
 };
 
 class VmRank {
@@ -133,8 +154,79 @@ private:
     const BcInstr* code = f.fn->code.data();
     int64_t* regs = f.regs.data();
     Cell** slots = f.slots.data();
+    // Direct slot read, the fused superinstructions' memory operand.
+    const auto lds = [&](int32_t s) {
+      return slots[s]->v.load(std::memory_order_relaxed);
+    };
+
+// One binary kind across its five operand variants (see bc_ops.def): RR,
+// imm rhs, slot/slot, slot/imm, reg/slot. EXPR sees int64_t x (lhs), y (rhs).
+#define PARCOACH_BINOP_CASES(NAME, EXPR)                                       \
+  case Op::NAME: {                                                             \
+    const int64_t x = regs[I.b], y = regs[I.c];                                \
+    regs[I.a] = (EXPR);                                                        \
+    break;                                                                     \
+  }                                                                            \
+  case Op::NAME##Imm: {                                                        \
+    const int64_t x = regs[I.b], y = I.imm;                                    \
+    regs[I.a] = (EXPR);                                                        \
+    break;                                                                     \
+  }                                                                            \
+  case Op::NAME##LL: {                                                         \
+    const int64_t x = lds(I.b), y = lds(I.c);                                  \
+    regs[I.a] = (EXPR);                                                        \
+    break;                                                                     \
+  }                                                                            \
+  case Op::NAME##LI: {                                                         \
+    const int64_t x = lds(I.b), y = I.imm;                                     \
+    regs[I.a] = (EXPR);                                                        \
+    break;                                                                     \
+  }                                                                            \
+  case Op::NAME##RL: {                                                         \
+    const int64_t x = regs[I.b], y = lds(I.c);                                 \
+    regs[I.a] = (EXPR);                                                        \
+    break;                                                                     \
+  }
+
+// One fused branch kind across its four operand variants: branch to c when
+// the comparison is false, fall through when it holds.
+#define PARCOACH_JN_CASES(NAME, CMP)                                           \
+  case Op::Jn##NAME: {                                                         \
+    const int64_t x = regs[I.a], y = regs[I.b];                                \
+    if (!(CMP)) {                                                              \
+      pc = static_cast<uint32_t>(I.c);                                         \
+      continue;                                                                \
+    }                                                                          \
+    break;                                                                     \
+  }                                                                            \
+  case Op::Jn##NAME##Imm: {                                                    \
+    const int64_t x = regs[I.a], y = I.imm;                                    \
+    if (!(CMP)) {                                                              \
+      pc = static_cast<uint32_t>(I.c);                                         \
+      continue;                                                                \
+    }                                                                          \
+    break;                                                                     \
+  }                                                                            \
+  case Op::Jn##NAME##LL: {                                                     \
+    const int64_t x = lds(I.a), y = lds(I.b);                                  \
+    if (!(CMP)) {                                                              \
+      pc = static_cast<uint32_t>(I.c);                                         \
+      continue;                                                                \
+    }                                                                          \
+    break;                                                                     \
+  }                                                                            \
+  case Op::Jn##NAME##LI: {                                                     \
+    const int64_t x = lds(I.a), y = I.imm;                                     \
+    if (!(CMP)) {                                                              \
+      pc = static_cast<uint32_t>(I.c);                                         \
+      continue;                                                                \
+    }                                                                          \
+    break;                                                                     \
+  }
+
     while (pc < end) {
       const BcInstr& I = code[pc];
+      if (ts.opmix) ++ts.opmix[static_cast<size_t>(I.op)];
       ts.steps.bump();
       switch (I.op) {
         case Op::Const:
@@ -153,24 +245,19 @@ private:
         case Op::Neg: regs[I.a] = -regs[I.b]; break;
         case Op::Not: regs[I.a] = regs[I.b] == 0 ? 1 : 0; break;
         case Op::Bool: regs[I.a] = regs[I.b] != 0 ? 1 : 0; break;
-        case Op::Add: regs[I.a] = regs[I.b] + regs[I.c]; break;
-        case Op::Sub: regs[I.a] = regs[I.b] - regs[I.c]; break;
-        case Op::Mul: regs[I.a] = regs[I.b] * regs[I.c]; break;
-        case Op::Div:
-          if (regs[I.c] == 0) throw EvalError("division by zero");
-          regs[I.a] = regs[I.b] / regs[I.c];
-          break;
-        case Op::Mod:
-          if (regs[I.c] == 0) throw EvalError("modulo by zero");
-          regs[I.a] = regs[I.b] % regs[I.c];
-          break;
-        case Op::Lt: regs[I.a] = regs[I.b] < regs[I.c]; break;
-        case Op::Le: regs[I.a] = regs[I.b] <= regs[I.c]; break;
-        case Op::Gt: regs[I.a] = regs[I.b] > regs[I.c]; break;
-        case Op::Ge: regs[I.a] = regs[I.b] >= regs[I.c]; break;
-        case Op::Eq: regs[I.a] = regs[I.b] == regs[I.c]; break;
-        case Op::Ne: regs[I.a] = regs[I.b] != regs[I.c]; break;
-        case Op::AddImm: regs[I.a] = regs[I.b] + I.imm; break;
+        PARCOACH_BINOP_CASES(Add, x + y)
+        PARCOACH_BINOP_CASES(Sub, x - y)
+        PARCOACH_BINOP_CASES(Mul, x * y)
+        PARCOACH_BINOP_CASES(
+            Div, y == 0 ? throw EvalError("division by zero") : x / y)
+        PARCOACH_BINOP_CASES(
+            Mod, y == 0 ? throw EvalError("modulo by zero") : x % y)
+        PARCOACH_BINOP_CASES(Lt, x < y ? 1 : 0)
+        PARCOACH_BINOP_CASES(Le, x <= y ? 1 : 0)
+        PARCOACH_BINOP_CASES(Gt, x > y ? 1 : 0)
+        PARCOACH_BINOP_CASES(Ge, x >= y ? 1 : 0)
+        PARCOACH_BINOP_CASES(Eq, x == y ? 1 : 0)
+        PARCOACH_BINOP_CASES(Ne, x != y ? 1 : 0)
         case Op::Rank: regs[I.a] = rank_.rank(); break;
         case Op::Size: regs[I.a] = rank_.size(); break;
         case Op::ThreadNum: regs[I.a] = ts.omp->thread_num; break;
@@ -190,23 +277,37 @@ private:
             continue;
           }
           break;
-        case Op::JnLt:
-          if (!(regs[I.a] < regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+        case Op::JzL:
+          if (lds(I.a) == 0) {
+            pc = static_cast<uint32_t>(I.b);
+            continue;
+          }
           break;
-        case Op::JnLe:
-          if (!(regs[I.a] <= regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+        case Op::JnzL:
+          if (lds(I.a) != 0) {
+            pc = static_cast<uint32_t>(I.b);
+            continue;
+          }
           break;
-        case Op::JnGt:
-          if (!(regs[I.a] > regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+        PARCOACH_JN_CASES(Lt, x < y)
+        PARCOACH_JN_CASES(Le, x <= y)
+        PARCOACH_JN_CASES(Gt, x > y)
+        PARCOACH_JN_CASES(Ge, x >= y)
+        PARCOACH_JN_CASES(Eq, x == y)
+        PARCOACH_JN_CASES(Ne, x != y)
+        case Op::StoreImm:
+          slots[I.a]->v.store(I.imm, std::memory_order_relaxed);
           break;
-        case Op::JnGe:
-          if (!(regs[I.a] >= regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+        case Op::StoreJump:
+          slots[I.a]->v.store(regs[I.b], std::memory_order_relaxed);
+          pc = static_cast<uint32_t>(I.c);
+          continue;
+        case Op::DeclImm:
+          slots[I.a] = &f.storage[static_cast<size_t>(I.a)];
+          slots[I.a]->v.store(I.imm, std::memory_order_relaxed);
           break;
-        case Op::JnEq:
-          if (!(regs[I.a] == regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
-          break;
-        case Op::JnNe:
-          if (!(regs[I.a] != regs[I.b])) { pc = static_cast<uint32_t>(I.c); continue; }
+        case Op::MovSS:
+          slots[I.a]->v.store(lds(I.b), std::memory_order_relaxed);
           break;
         case Op::Ret:
           return I.a >= 0 ? regs[I.a] : 0;
@@ -238,6 +339,41 @@ private:
         }
         case Op::MpiColl:
           exec_mpi(bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        // Quickened collectives (run_passes): the site's flavor — world vs
+        // registry comm, armed vs unarmed, blocking vs nonblocking — was
+        // decided at compile time, so the handler stops re-branching on it.
+        case Op::MpiCollWU:
+          exec_mpi_quick<false, false, false>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiCollWA:
+          exec_mpi_quick<true, false, false>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiCollCU:
+          exec_mpi_quick<false, true, false>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiCollCA:
+          exec_mpi_quick<true, true, false>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiICollWU:
+          exec_mpi_quick<false, false, true>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiICollWA:
+          exec_mpi_quick<true, false, true>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiICollCU:
+          exec_mpi_quick<false, true, true>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
+          break;
+        case Op::MpiICollCA:
+          exec_mpi_quick<true, true, true>(
+              bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
           break;
         case Op::MpiSend:
           rank_.send(regs[I.a], static_cast<int32_t>(regs[I.b]),
@@ -357,6 +493,9 @@ private:
     }
     return std::nullopt;
   }
+
+#undef PARCOACH_BINOP_CASES
+#undef PARCOACH_JN_CASES
 
   /// Single/master/section body with the optional RegionGuard for watched
   /// regions (set Scc); the arming decision was baked at compile time.
@@ -481,6 +620,53 @@ private:
         return;
       }
       store_target(st, rank_.execute_on(ref, sig, payload).scalar, f);
+    } catch (const simmpi::CcMismatchError& e) {
+      shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    }
+  }
+
+  /// Quickened collective handler: exec_mpi with the site flavor fixed as
+  /// template parameters. Only sites with none of the cold-path semantics
+  /// (init/abort, comm management, Finalize, mono occupancy guard) are
+  /// rewritten to these opcodes — see quicken_function in bc_passes.cpp.
+  template <bool kArmed, bool kComm, bool kNb>
+  void exec_mpi_quick(const MpiSite& st, Frame& f, VmThread& ts) {
+    const Stmt& s = *st.stmt;
+    if (bc_.instrumented)
+      shared_.verifier->check_thread_usage(rank_, ts.omp->in_parallel(),
+                                           is_master_chain(ts.omp), s.loc);
+    int64_t* regs = f.regs.data();
+    simmpi::Signature sig;
+    sig.kind = s.coll;
+    sig.root =
+        st.root_reg >= 0 ? static_cast<int32_t>(regs[st.root_reg]) : -1;
+    sig.op = s.reduce_op;
+    TraceSpan span(
+        shared_.tracer, rank_.rank(),
+        trace_pack_coll(static_cast<int32_t>(s.coll),
+                        sig.op ? static_cast<int32_t>(*sig.op) + 1 : 0),
+        sig.root);
+    const int64_t payload = st.payload_reg >= 0 ? regs[st.payload_reg] : 0;
+    try {
+      if constexpr (!kComm) {
+        if constexpr (kArmed)
+          sig.cc = shared_.verifier->cc_patch(
+              skeletons_[static_cast<size_t>(st.cc_slot)], sig.root, 0);
+        if constexpr (kNb)
+          store_target(st, rank_.istart(sig, payload), f);
+        else
+          store_target(st, rank_.execute(sig, payload).scalar, f);
+      } else {
+        const auto ref = resolve_comm(st, regs[st.comm_reg], ts);
+        if constexpr (kArmed)
+          sig.cc = shared_.verifier->cc_patch(
+              skeletons_[static_cast<size_t>(st.cc_slot)], sig.root,
+              ref.comm->comm_id());
+        if constexpr (kNb)
+          store_target(st, rank_.istart_on(ref, sig, payload), f);
+        else
+          store_target(st, rank_.execute_on(ref, sig, payload).scalar, f);
+      }
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
     }

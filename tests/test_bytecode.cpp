@@ -135,6 +135,126 @@ TEST(Bytecode, DisassemblyShowsBakedArming) {
   EXPECT_EQ(disassemble(plain).find(" cc]"), std::string::npos);
 }
 
+// ---- Optimization-pass pipeline -----------------------------------------------
+
+namespace {
+size_t instr_count(const BcProgram& bc) {
+  size_t n = 0;
+  for (const auto& f : bc.funcs) n += f.code.size();
+  return n;
+}
+} // namespace
+
+TEST(BcPasses, FusionEmitsSuperinstructionsAndShrinksCode) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  driver::PipelineOptions popts;
+  popts.mode = driver::Mode::Baseline;
+  const auto c = driver::compile(sm, "t", R"(func main() {
+    var n = 10;
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+      acc = (acc + i * 3) % 100003;
+      i = i + 1;
+    }
+    print(acc);
+  })",
+                                 d, popts);
+  ASSERT_TRUE(c.ok) << d.to_text(sm);
+  auto bc = compile(c.program, sm, nullptr);
+  const size_t before = instr_count(bc);
+  BcPassOptions only_fuse;
+  only_fuse.regalloc = false;
+  only_fuse.quicken = false;
+  run_passes(bc, only_fuse);
+  const std::string dis = disassemble(bc);
+  // The loop shape must collapse into the expected superinstructions:
+  // decl+const+store -> decl_imm, the loop guard -> a slot/slot fused
+  // branch, the increment -> add_li, the back-edge -> store_jump.
+  EXPECT_NE(dis.find("decl_imm"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("jnlt_ll"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("add_li"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("mul_li"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("store_jump"), std::string::npos) << dis;
+  EXPECT_LT(instr_count(bc), before) << dis;
+}
+
+TEST(BcPasses, RegallocShrinksRegisterFileAfterFusion) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  driver::PipelineOptions popts;
+  popts.mode = driver::Mode::Baseline;
+  // The one-pass compiler's stack discipline is already near-minimal on
+  // straight-line code; the register-file win appears once fusion deletes
+  // producers and shortens the temporaries' live ranges. So compare
+  // fuse-only against fuse+regalloc on a loop shape.
+  const auto c = driver::compile(sm, "t", R"(func main() {
+    var n = 10;
+    var acc = 0;
+    var i = 0;
+    while (i < n) {
+      acc = (acc + i * 3) % 100003;
+      i = i + 1;
+    }
+    print(acc);
+  })",
+                                 d, popts);
+  ASSERT_TRUE(c.ok) << d.to_text(sm);
+  auto fused = compile(c.program, sm, nullptr);
+  BcPassOptions only_fuse;
+  only_fuse.regalloc = false;
+  only_fuse.quicken = false;
+  run_passes(fused, only_fuse);
+
+  auto packed = compile(c.program, sm, nullptr);
+  BcPassOptions fuse_ra;
+  fuse_ra.quicken = false;
+  run_passes(packed, fuse_ra);
+
+  EXPECT_LT(packed.funcs[0].num_regs, fused.funcs[0].num_regs)
+      << disassemble(packed);
+  EXPECT_GE(packed.funcs[0].num_regs, 1);
+}
+
+TEST(BcPasses, QuickeningSpecializesArmedAndUnarmedCollectives) {
+  SourceManager sm;
+  DiagnosticEngine d;
+  driver::PipelineOptions popts;
+  popts.mode = driver::Mode::WarningsAndCodegen;
+  const auto c = driver::compile(sm, "t", R"(func main() {
+    mpi_init(single);
+    var x = 1;
+    if (rank() == 0) {
+      x = mpi_allreduce(x, sum);
+    } else {
+      x = mpi_bcast(x, 0);
+    }
+    mpi_finalize();
+  })",
+                                 d, popts);
+  ASSERT_TRUE(c.ok);
+  auto bc = compile(c.program, sm, &c.plan);
+  BcPassOptions only_quicken;
+  only_quicken.fuse = false;
+  only_quicken.regalloc = false;
+  run_passes(bc, only_quicken);
+  const std::string dis = disassemble(bc);
+  // Armed world-comm collectives become the wa flavor; mpi_init/finalize
+  // must stay on the generic opcode (init/finalize do extra work in the
+  // generic handler and are deliberately excluded from quickening).
+  EXPECT_NE(dis.find("mpi_coll_wa"), std::string::npos) << dis;
+  EXPECT_NE(dis.find("mpi_coll "), std::string::npos) << dis;
+
+  // Uninstrumented compile of the same program quickens to the unarmed
+  // flavor instead.
+  auto plain = compile(c.program, sm, nullptr);
+  run_passes(plain, only_quicken);
+  const std::string pdis = disassemble(plain);
+  EXPECT_NE(pdis.find("mpi_coll_wu"), std::string::npos) << pdis;
+  EXPECT_EQ(pdis.find("mpi_coll_wa"), std::string::npos) << pdis;
+}
+
 // ---- Engine parity on targeted semantics --------------------------------------
 
 TEST(Bytecode, RedeclarationInLoopGetsFreshCell) {

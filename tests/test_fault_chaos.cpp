@@ -28,6 +28,19 @@ struct ChaosRun {
   uint64_t crashes = 0;
 };
 
+// Bytecode-engine runs rotate through every optimization-pass combination
+// by seed, so the chaos invariants hold under all-on, each pass
+// individually off, and all-off — at no extra run count.
+interp::BcPassOptions pass_cfg_for(uint64_t seed) {
+  switch (seed % 5) {
+    case 1: return {false, true, true};  // no regalloc
+    case 2: return {true, false, true};  // no fuse
+    case 3: return {true, true, false};  // no quicken
+    case 4: return {false, false, false};
+    default: return {};
+  }
+}
+
 ChaosRun run_chaos(const driver::CompileResult& r, const SourceManager& sm,
                    const CorpusEntry& e, interp::Engine engine, uint64_t seed) {
   // Fresh injector per run: the per-rank draw counters are part of the
@@ -36,6 +49,7 @@ ChaosRun run_chaos(const driver::CompileResult& r, const SourceManager& sm,
   interp::Executor exec(r.program, sm, &r.plan);
   interp::ExecOptions opts;
   opts.engine = engine;
+  if (engine == interp::Engine::Bytecode) opts.passes = pass_cfg_for(seed);
   opts.num_ranks = e.ranks;
   opts.num_threads = e.threads;
   opts.mpi.fault = &inj;

@@ -5,6 +5,7 @@
 #include "driver/pipeline.h"
 #include "interp/executor.h"
 #include "support/metrics.h"
+#include "support/str.h"
 #include "support/trace.h"
 #include "workloads/corpus.h"
 
@@ -171,10 +172,12 @@ TEST_P(CorpusTest, BytecodeMatchesAstOutcome) {
       core::make_programwide_plan(*r.module, r.phases, r.algorithm1);
 
   auto run_with = [&](const core::InstrumentationPlan* plan,
-                      interp::Engine engine) {
+                      interp::Engine engine,
+                      interp::BcPassOptions passes = {}) {
     interp::Executor exec(r.program, sm, plan);
     interp::ExecOptions opts;
     opts.engine = engine;
+    opts.passes = passes;
     opts.num_ranks = e.ranks;
     opts.num_threads = e.threads;
     // Entries that hang without instrumentation (and the cross-comm
@@ -205,21 +208,39 @@ TEST_P(CorpusTest, BytecodeMatchesAstOutcome) {
     return details;
   };
 
+  // The AST oracle is compared against the bytecode engine under every
+  // optimization-pass combination of interest: the production default
+  // (everything on), each pass individually disabled (localizes a culprit
+  // immediately when a pass rewrite goes wrong), and the bare one-pass
+  // compiler output (all off).
+  const struct {
+    const char* name;
+    interp::BcPassOptions passes;
+  } pass_cfgs[] = {
+      {"passes=all-on", {true, true, true}},
+      {"passes=no-regalloc", {false, true, true}},
+      {"passes=no-fuse", {true, false, true}},
+      {"passes=no-quicken", {true, true, false}},
+      {"passes=all-off", {false, false, false}},
+  };
+
   const core::InstrumentationPlan* plans[] = {nullptr, &r.plan, &programwide};
   const char* plan_names[] = {"uninstrumented", "selective", "programwide"};
   for (size_t p = 0; p < 3; ++p) {
     const auto ast = run_with(plans[p], interp::Engine::Ast);
-    const auto bc = run_with(plans[p], interp::Engine::Bytecode);
-    SCOPED_TRACE(plan_names[p]);
-    EXPECT_EQ(ast.clean, bc.clean);
-    EXPECT_EQ(ast.mpi.deadlock, bc.mpi.deadlock);
-    EXPECT_EQ(normalized(ast.mpi.deadlock_details),
-              normalized(bc.mpi.deadlock_details));
-    EXPECT_EQ(ast.output, bc.output);
-    EXPECT_EQ(keyed(ast.rt_diags), keyed(bc.rt_diags));
-    EXPECT_EQ(ast.mpi.engine, "ast");
-    EXPECT_EQ(bc.mpi.engine, "bytecode");
-    if (!bc.mpi.aborted) EXPECT_GT(bc.mpi.bytecode_ops, 0u);
+    ASSERT_EQ(ast.mpi.engine, "ast");
+    for (const auto& cfg : pass_cfgs) {
+      const auto bc = run_with(plans[p], interp::Engine::Bytecode, cfg.passes);
+      SCOPED_TRACE(str::cat(plan_names[p], " ", cfg.name));
+      EXPECT_EQ(ast.clean, bc.clean);
+      EXPECT_EQ(ast.mpi.deadlock, bc.mpi.deadlock);
+      EXPECT_EQ(normalized(ast.mpi.deadlock_details),
+                normalized(bc.mpi.deadlock_details));
+      EXPECT_EQ(ast.output, bc.output);
+      EXPECT_EQ(keyed(ast.rt_diags), keyed(bc.rt_diags));
+      EXPECT_EQ(bc.mpi.engine, "bytecode");
+      if (!bc.mpi.aborted) EXPECT_GT(bc.mpi.bytecode_ops, 0u);
+    }
   }
 }
 
