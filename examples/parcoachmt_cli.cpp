@@ -13,6 +13,12 @@
 //   --initial=multithreaded
 //                       analyze functions as if called from parallel code
 //   --timeout-ms=N      watchdog hang timeout for `run` (default 1000)
+//   --hang-timeout-ms=N same as --timeout-ms (escalation-ladder stage 2)
+//   --soft-deadline-ms=N stage 1: record a stall report (and flight-recorder
+//                       dump when tracing) without aborting; 0 = disabled
+//   --hard-deadline-ms=N stage 3: abort unconditionally after this much
+//                       wall-clock time, even while progress is being made;
+//                       0 = disabled
 //   --type-only-cc      paper-faithful CC (ignore reduction op / root)
 //   --engine=NAME       execution engine for `run`: bytecode (default, the
 //                       register VM) or ast (the tree-walking oracle)
@@ -61,6 +67,8 @@ struct CliOptions {
   bool multithreaded_initial = false;
   bool type_only_cc = false;
   int32_t timeout_ms = 1000;
+  int32_t soft_deadline_ms = 0;
+  int32_t hard_deadline_ms = 0;
   interp::Engine engine = interp::Engine::Bytecode;
   bool dump_bytecode = false;
   interp::BcPassOptions passes;
@@ -75,7 +83,9 @@ struct CliOptions {
 int usage() {
   std::cerr << "usage: parcoachmt {analyze|instrument|run} FILE"
                " [--ranks=N] [--threads=N] [--no-verify] [--taint-filter]"
-               " [--initial=multithreaded] [--timeout-ms=N] [--type-only-cc]"
+               " [--initial=multithreaded] [--timeout-ms=N]"
+               " [--hang-timeout-ms=N] [--soft-deadline-ms=N]"
+               " [--hard-deadline-ms=N] [--type-only-cc]"
                " [--engine=bytecode|ast] [--dump-bytecode] [--no-fuse]"
                " [--no-regalloc] [--no-quicken] [--trace=FILE]"
                " [--metrics-json=FILE]"
@@ -101,6 +111,12 @@ bool parse_args(int argc, char** argv, CliOptions& opts) {
     else if (a.rfind("--threads=", 0) == 0) opts.threads = std::stoi(value_of("--threads="));
     else if (a.rfind("--timeout-ms=", 0) == 0)
       opts.timeout_ms = std::stoi(value_of("--timeout-ms="));
+    else if (a.rfind("--hang-timeout-ms=", 0) == 0)
+      opts.timeout_ms = std::stoi(value_of("--hang-timeout-ms="));
+    else if (a.rfind("--soft-deadline-ms=", 0) == 0)
+      opts.soft_deadline_ms = std::stoi(value_of("--soft-deadline-ms="));
+    else if (a.rfind("--hard-deadline-ms=", 0) == 0)
+      opts.hard_deadline_ms = std::stoi(value_of("--hard-deadline-ms="));
     else if (a == "--engine=bytecode") opts.engine = interp::Engine::Bytecode;
     else if (a == "--engine=ast") opts.engine = interp::Engine::Ast;
     else if (a == "--dump-bytecode") opts.dump_bytecode = true;
@@ -208,6 +224,8 @@ int main(int argc, char** argv) {
   eopts.num_ranks = cli.ranks;
   eopts.num_threads = cli.threads;
   eopts.mpi.hang_timeout = std::chrono::milliseconds(cli.timeout_ms);
+  eopts.mpi.soft_deadline = std::chrono::milliseconds(cli.soft_deadline_ms);
+  eopts.mpi.hard_deadline = std::chrono::milliseconds(cli.hard_deadline_ms);
   eopts.verify.check_arguments = !cli.type_only_cc;
   eopts.engine = cli.engine;
   eopts.passes = cli.passes;
@@ -244,7 +262,12 @@ int main(int argc, char** argv) {
     } else {
       plan = FaultPlan::chaos(cli.fault_seed, cli.ranks);
     }
-    std::cerr << "fault plan: " << plan.str() << '\n';
+    // The repro line: everything needed to re-run this exact schedule —
+    // the fault plan plus the watchdog escalation ladder it raced against.
+    std::cerr << "fault plan: " << plan.str() << " --hang-timeout-ms="
+              << cli.timeout_ms << " --soft-deadline-ms="
+              << cli.soft_deadline_ms << " --hard-deadline-ms="
+              << cli.hard_deadline_ms << '\n';
     injector = std::make_unique<FaultInjector>(plan, cli.ranks);
     eopts.mpi.fault = injector.get();
   }

@@ -1,20 +1,38 @@
 #!/usr/bin/env python3
-"""Bench regression guard for the bytecode execution engine.
+"""Bench regression guards for the execution engines and the fault layer.
 
-Compares a fresh bench_interp_engine JSON report against the committed
-baseline (bench/BENCH_interp.baseline.json) and fails if the interpreter-
-bound scenario regressed.
+Two modes, selected by the shape of the input:
 
-CI machines differ in raw speed, so absolute ns/stmt numbers are not
-comparable across runs. The guard instead compares the *ratio*
-bytecode.ns_per_stmt / ast.ns_per_stmt on corpus_interp_bound: the AST
-tree-walker runs the identical workload in the same process, so it acts as
-the machine-speed normalizer. A pass-pipeline regression shows up as the
-bytecode engine losing ground against the oracle regardless of host.
+1. Bytecode-engine guard (default, two positional files):
+   Compares a fresh bench_interp_engine JSON report against the committed
+   baseline (bench/BENCH_interp.baseline.json) and fails if the interpreter-
+   bound scenario regressed.
 
-Usage: bench_guard.py CURRENT.json BASELINE.json [--threshold=0.15]
+   CI machines differ in raw speed, so absolute ns/stmt numbers are not
+   comparable across runs. The guard instead compares the *ratio*
+   bytecode.ns_per_stmt / ast.ns_per_stmt on corpus_interp_bound: the AST
+   tree-walker runs the identical workload in the same process, so it acts
+   as the machine-speed normalizer. A pass-pipeline regression shows up as
+   the bytecode engine losing ground against the oracle regardless of host.
 
-Exit codes: 0 ok, 1 regression beyond threshold, 2 bad input.
+2. Fault-layer guard (--fault, one positional file):
+   Gates a bench_fault_overhead report (BENCH_fault.json). That bench is
+   self-normalizing — each variant's overhead_vs_baseline is a ratio against
+   an in-process baseline run — so no committed baseline file is needed.
+   Budgets (generous; locally both sit at ~0%):
+     fault_off  <= --fault-off-budget  (default 8%): a disabled injector is
+                one branch on a cached null pointer per hook;
+     fault_idle <= --fault-idle-budget (default 20%): an armed injector that
+                never fires pays one relaxed fetch_add per collective
+                arrival — the failure-detection hot path the recovery ops
+                (revoke/shrink/agree) rely on.
+
+Usage:
+  bench_guard.py CURRENT.json BASELINE.json [--threshold=0.15]
+  bench_guard.py --fault BENCH_fault.json [--fault-off-budget=0.08]
+                 [--fault-idle-budget=0.20]
+
+Exit codes: 0 ok, 1 regression beyond threshold/budget, 2 bad input.
 """
 
 import json
@@ -23,13 +41,17 @@ import sys
 SCENARIO = "corpus_interp_bound"
 
 
-def load_ratio(path):
+def load_json(path):
     try:
         with open(path) as f:
-            doc = json.load(f)
+            return json.load(f)
     except (OSError, ValueError) as e:
         print(f"bench_guard: cannot read {path}: {e}", file=sys.stderr)
         sys.exit(2)
+
+
+def load_ratio(path):
+    doc = load_json(path)
     for sc in doc.get("scenarios", []):
         if sc.get("scenario") == SCENARIO:
             try:
@@ -49,14 +71,61 @@ def load_ratio(path):
     sys.exit(2)
 
 
+def guard_fault(path, off_budget, idle_budget):
+    doc = load_json(path)
+    kernels = doc.get("kernels")
+    if not kernels:
+        print(f"bench_guard: no kernels in {path}", file=sys.stderr)
+        return 2
+    budgets = {"fault_off": off_budget, "fault_idle": idle_budget}
+    failed = False
+    print(f"bench_guard: fault-layer overhead (off<={off_budget:.0%}, "
+          f"idle<={idle_budget:.0%})")
+    for k in kernels:
+        name = k.get("kernel", "?")
+        variants = k.get("variants", {})
+        for variant, budget in budgets.items():
+            try:
+                overhead = float(variants[variant]["overhead_vs_baseline"])
+            except (KeyError, TypeError, ValueError):
+                print(f"bench_guard: malformed {variant} entry for kernel "
+                      f"{name!r} in {path}", file=sys.stderr)
+                return 2
+            verdict = "ok" if overhead <= budget else "FAIL"
+            print(f"  {name:24s} {variant:10s} {overhead:+7.2%}  {verdict}")
+            failed |= overhead > budget
+    if failed:
+        print("bench_guard: FAIL — fault-injection layer exceeded its "
+              "overhead budget", file=sys.stderr)
+        return 1
+    print("bench_guard: OK")
+    return 0
+
+
 def main(argv):
     threshold = 0.15
+    fault_mode = False
+    off_budget = 0.08
+    idle_budget = 0.20
     paths = []
     for arg in argv[1:]:
-        if arg.startswith("--threshold="):
+        if arg == "--fault":
+            fault_mode = True
+        elif arg.startswith("--threshold="):
             threshold = float(arg.split("=", 1)[1])
+        elif arg.startswith("--fault-off-budget="):
+            off_budget = float(arg.split("=", 1)[1])
+        elif arg.startswith("--fault-idle-budget="):
+            idle_budget = float(arg.split("=", 1)[1])
         else:
             paths.append(arg)
+
+    if fault_mode:
+        if len(paths) != 1:
+            print(__doc__, file=sys.stderr)
+            return 2
+        return guard_fault(paths[0], off_budget, idle_budget)
+
     if len(paths) != 2:
         print(__doc__, file=sys.stderr)
         return 2

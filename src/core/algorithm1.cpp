@@ -391,8 +391,11 @@ Algorithm1Result run_algorithm1(const ir::Module& m, const Summaries& sums,
         // Nonblocking collective/wait pairs both count as collective labels:
         // a rank-dependent branch that issues (or waits on) a different
         // nonblocking sequence desynchronizes slot matching exactly like a
-        // divergent blocking collective. CommFree is local (never matched),
-        // so a rank-guarded free is not a divergence.
+        // divergent blocking collective. CommFree, CommRevoke and
+        // CommSetErrhandler are local (never matched), so rank-guarding them
+        // is legal — the ULFM recovery idiom `if (rank == 0) revoke(c)` must
+        // not warn. CommShrink/CommAgree ARE matched recovery collectives:
+        // a rank-divergent shrink is a divergence point like any collective.
         const bool coll =
             (in.op == Opcode::CollComm && ir::is_matched(in.collective)) ||
             in.is_request_sync();

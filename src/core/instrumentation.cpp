@@ -7,8 +7,10 @@ namespace {
 using ir::Instruction;
 using ir::Opcode;
 
-// CommFree is local (never matched), so it is neither a checkable site nor
-// part of the census.
+// CommFree / CommRevoke / CommSetErrhandler are local (never matched), so
+// they are neither checkable sites nor part of the census. The recovery
+// collectives CommShrink/CommAgree ARE matched (registry events) and check
+// like any collective.
 bool checkable_collective(const Instruction& in) {
   return in.op == Opcode::CollComm && ir::is_matched(in.collective);
 }

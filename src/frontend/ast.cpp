@@ -60,6 +60,26 @@ void print_mpi_call(std::ostream& os, const Stmt& s) {
     case CollectiveKind::CommFree:
       os << "mpi_comm_free(" << to_string(*s.mpi_comm) << ')';
       return;
+    case CollectiveKind::CommSetErrhandler:
+      os << "mpi_comm_set_errhandler(" << to_string(*s.mpi_value);
+      if (s.mpi_comm) os << ", " << to_string(*s.mpi_comm);
+      os << ')';
+      return;
+    case CollectiveKind::CommRevoke:
+      os << "mpi_comm_revoke(";
+      if (s.mpi_comm) os << to_string(*s.mpi_comm);
+      os << ')';
+      return;
+    case CollectiveKind::CommShrink:
+      os << "mpi_comm_shrink(";
+      if (s.mpi_comm) os << to_string(*s.mpi_comm);
+      os << ')';
+      return;
+    case CollectiveKind::CommAgree:
+      os << "mpi_comm_agree(";
+      if (s.mpi_comm) os << to_string(*s.mpi_comm) << ", ";
+      os << to_string(*s.mpi_value) << ')';
+      return;
     default: break;
   }
   // Name: MPI_Reduce_scatter -> mpi_reduce_scatter.

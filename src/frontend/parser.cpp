@@ -327,6 +327,11 @@ private:
 
   /// var C = mpi_comm_split(color, key);  var D = mpi_comm_dup([comm]);
   /// mpi_comm_free(comm);
+  /// ULFM recovery forms:
+  ///   mpi_comm_set_errhandler(mode[, comm]);   // 0 = abort, 1 = return
+  ///   mpi_comm_revoke(comm);
+  ///   var S = mpi_comm_shrink(comm);           // survivor communicator
+  ///   var F = mpi_comm_agree(comm, flag);      // fault-tolerant AND
   StmtPtr parse_mpi_comm_op(ir::CollectiveKind kind, SourceLoc loc,
                             std::string target, bool declares) {
     auto s = make_stmt(StmtKind::MpiCall, loc);
@@ -336,18 +341,47 @@ private:
     if (ir::is_comm_ctor(kind) && s->name.empty())
       error(loc, str::cat(ir::to_string(kind), " produces a communicator that "
                           "must be assigned"));
-    if (kind == ir::CollectiveKind::CommFree && !s->name.empty())
-      error(loc, "mpi_comm_free does not produce a value");
+    if (kind == ir::CollectiveKind::CommAgree && s->name.empty())
+      error(loc, "mpi_comm_agree produces the agreed flag, which must be "
+                 "assigned");
+    if (!ir::produces_value(kind) && !s->name.empty())
+      error(loc, str::cat(ir::to_string(kind), " does not produce a value"));
     expect(Tok::LParen, "communicator call");
-    if (kind == ir::CollectiveKind::CommSplit) {
-      s->mpi_value = parse_expr(); // color
-      expect(Tok::Comma, "split key");
-      s->mpi_root = parse_expr(); // key
-      if (accept(Tok::Comma)) s->mpi_comm = parse_expr(); // parent comm
-    } else if (kind == ir::CollectiveKind::CommDup) {
-      if (!at(Tok::RParen)) s->mpi_comm = parse_expr(); // default: world
-    } else { // CommFree
-      s->mpi_comm = parse_expr();
+    switch (kind) {
+      case ir::CollectiveKind::CommSplit:
+        s->mpi_value = parse_expr(); // color
+        expect(Tok::Comma, "split key");
+        s->mpi_root = parse_expr(); // key
+        if (accept(Tok::Comma)) s->mpi_comm = parse_expr(); // parent comm
+        break;
+      case ir::CollectiveKind::CommDup:
+        if (!at(Tok::RParen)) s->mpi_comm = parse_expr(); // default: world
+        break;
+      case ir::CollectiveKind::CommSetErrhandler:
+        s->mpi_value = parse_expr(); // mode: 0 = abort, 1 = return
+        if (accept(Tok::Comma)) s->mpi_comm = parse_expr(); // default: world
+        break;
+      case ir::CollectiveKind::CommShrink:
+        // The (possibly revoked) parent; default: world.
+        if (!at(Tok::RParen)) s->mpi_comm = parse_expr();
+        break;
+      case ir::CollectiveKind::CommAgree: {
+        // mpi_comm_agree(flag) on world, or mpi_comm_agree(comm, flag).
+        ExprPtr first = parse_expr();
+        if (accept(Tok::Comma)) {
+          s->mpi_comm = std::move(first);
+          s->mpi_value = parse_expr();
+        } else {
+          s->mpi_value = std::move(first);
+        }
+        break;
+      }
+      case ir::CollectiveKind::CommRevoke:
+        if (!at(Tok::RParen)) s->mpi_comm = parse_expr(); // default: world
+        break;
+      default: // CommFree: just the handle (world cannot be freed)
+        s->mpi_comm = parse_expr();
+        break;
     }
     expect(Tok::RParen, "communicator call");
     return s;

@@ -93,7 +93,8 @@ private:
       else if (*kind == VarKind::CommHandle)
         error(n.loc, str::cat("communicator variable '", n.var, "' used as a "
                               "plain value; pass it as a collective's comm "
-                              "argument or to mpi_comm_dup/mpi_comm_free"));
+                              "argument or to a communicator operation "
+                              "(dup/free/revoke/shrink/agree)"));
     });
   }
 
@@ -115,11 +116,13 @@ private:
   }
 
   /// Validates a communicator argument: must be a plain reference to a
-  /// comm-handle variable (the result of mpi_comm_split / mpi_comm_dup).
+  /// comm-handle variable (the result of mpi_comm_split / mpi_comm_dup /
+  /// mpi_comm_shrink).
   void check_comm_arg(const ir::Expr& e, std::string_view what) {
     if (e.kind != ir::Expr::Kind::VarRef) {
       error(e.loc, str::cat(what, " must be a communicator variable (the "
-                            "result of mpi_comm_split or mpi_comm_dup)"));
+                            "result of mpi_comm_split, mpi_comm_dup or "
+                            "mpi_comm_shrink)"));
       return;
     }
     VarKind* kind = find_var(e.var);
@@ -127,8 +130,8 @@ private:
       error(e.loc, str::cat("use of undeclared variable '", e.var, "'"));
     } else if (*kind != VarKind::CommHandle) {
       error(e.loc, str::cat("'", e.var, "' is not a communicator variable; ",
-                            what, " needs the result of mpi_comm_split or "
-                            "mpi_comm_dup"));
+                            what, " needs the result of mpi_comm_split, "
+                            "mpi_comm_dup or mpi_comm_shrink"));
     }
   }
 
@@ -241,13 +244,28 @@ private:
         if (s.coll == ir::CollectiveKind::Finalize) saw_finalize_ = true;
         if (s.mpi_value) check_expr(*s.mpi_value);
         if (s.mpi_root) check_expr(*s.mpi_root);
-        if (s.mpi_comm)
-          check_comm_arg(*s.mpi_comm,
-                         ir::is_comm_op(s.coll)
-                             ? (s.coll == ir::CollectiveKind::CommFree
-                                    ? "mpi_comm_free"
-                                    : "the parent communicator")
-                             : "the collective's comm argument");
+        if (s.mpi_comm) {
+          std::string_view what = "the collective's comm argument";
+          if (ir::is_comm_op(s.coll)) {
+            switch (s.coll) {
+              case ir::CollectiveKind::CommFree: what = "mpi_comm_free"; break;
+              case ir::CollectiveKind::CommRevoke:
+                what = "mpi_comm_revoke";
+                break;
+              case ir::CollectiveKind::CommShrink:
+                what = "mpi_comm_shrink";
+                break;
+              case ir::CollectiveKind::CommAgree:
+                what = "mpi_comm_agree";
+                break;
+              case ir::CollectiveKind::CommSetErrhandler:
+                what = "mpi_comm_set_errhandler";
+                break;
+              default: what = "the parent communicator"; break;
+            }
+          }
+          check_comm_arg(*s.mpi_comm, what);
+        }
         VarKind result = VarKind::Plain;
         if (ir::is_nonblocking(s.coll)) result = VarKind::Request;
         if (ir::is_comm_ctor(s.coll)) result = VarKind::CommHandle;

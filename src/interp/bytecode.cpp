@@ -463,14 +463,19 @@ private:
       st.cc_slot = static_cast<int32_t>(out_.cc_sites.size() - 1);
     }
     if (ir::is_comm_op(s.coll)) {
-      // AST evaluation order: parent comm, then color, then key.
+      // AST evaluation order: parent comm, then color/key (split) or the
+      // scalar operand (agree flag, errhandler mode).
       if (s.mpi_comm) st.comm_reg = c_expr(*s.mpi_comm);
       if (s.coll == ir::CollectiveKind::CommSplit) {
         st.payload_reg = c_expr(*s.mpi_value); // color
         st.root_reg = c_expr(*s.mpi_root);     // key
+      } else if (s.coll == ir::CollectiveKind::CommAgree ||
+                 s.coll == ir::CollectiveKind::CommSetErrhandler) {
+        st.payload_reg = c_expr(*s.mpi_value); // flag / mode
       }
       st.child_armed = plan_ && plan_->cc_classes.count(s.name) > 0;
-      if (ir::is_comm_ctor(s.coll)) fill_target(st, s);
+      if (ir::is_comm_ctor(s.coll) || s.coll == ir::CollectiveKind::CommAgree)
+        fill_target(st, s);
     } else {
       if (s.mpi_root) st.root_reg = c_expr(*s.mpi_root);
       if (s.mpi_value) st.payload_reg = c_expr(*s.mpi_value);

@@ -236,24 +236,42 @@ private:
       case StmtKind::MpiRecv: {
         const int32_t src = static_cast<int32_t>(eval(*s.mpi_root, env, ts));
         const int32_t tag = static_cast<int32_t>(eval(*s.hi, env, ts));
-        store_target(s, rank_.recv(src, tag), env, ts);
+        try {
+          store_target(s, rank_.recv(src, tag), env, ts);
+        } catch (const simmpi::RankFailedError& e) {
+          store_failure_status(s, e, env, ts);
+        } catch (const simmpi::RevokedError&) {
+          store_revoked_status(s, env, ts);
+        }
         return std::nullopt;
       }
       case StmtKind::MpiWait: {
         const int64_t req = eval(*s.mpi_value, env, ts);
         check_wait_thread_usage(s, ts);
-        const auto out = rank_.wait_outcome(req);
-        if (!out.ok()) request_misuse(s.loc, out.error);
-        store_target(s, out.value, env, ts);
+        try {
+          const auto out = rank_.wait_outcome(req);
+          if (!out.ok()) request_misuse(s.loc, out.error);
+          store_target(s, out.value, env, ts);
+        } catch (const simmpi::RankFailedError& e) {
+          store_failure_status(s, e, env, ts);
+        } catch (const simmpi::RevokedError&) {
+          store_revoked_status(s, env, ts);
+        }
         return std::nullopt;
       }
       case StmtKind::MpiTest: {
         const int64_t req = eval(*s.mpi_value, env, ts);
         check_wait_thread_usage(s, ts);
-        bool done = false;
-        const auto out = rank_.test_outcome(req, done);
-        if (!out.ok()) request_misuse(s.loc, out.error);
-        store_target(s, done ? 1 : 0, env, ts);
+        try {
+          bool done = false;
+          const auto out = rank_.test_outcome(req, done);
+          if (!out.ok()) request_misuse(s.loc, out.error);
+          store_target(s, done ? 1 : 0, env, ts);
+        } catch (const simmpi::RankFailedError& e) {
+          store_failure_status(s, e, env, ts);
+        } catch (const simmpi::RevokedError&) {
+          store_revoked_status(s, env, ts);
+        }
         return std::nullopt;
       }
       case StmtKind::MpiWaitall: {
@@ -371,6 +389,22 @@ private:
     c->v.store(value, std::memory_order_relaxed);
   }
 
+  /// Error-status delivery for `return`-mode failures (ULFM semantics): a
+  /// status form `var st = mpi_xxx(...)` absorbs the error as a negative
+  /// status; a statement with no target rethrows and the rank unwinds. The
+  /// dying rank itself always rethrows — its own crash is not a recoverable
+  /// peer failure. Only callable from a catch block (bare rethrow).
+  void store_failure_status(const Stmt& s, const simmpi::RankFailedError& e,
+                            Env& env, ThreadState& ts) {
+    if (e.dead_rank == rank_.rank() || s.name.empty()) throw;
+    store_target(s, simmpi::kMpiErrRankFailed, env, ts);
+  }
+
+  void store_revoked_status(const Stmt& s, Env& env, ThreadState& ts) {
+    if (s.name.empty()) throw;
+    store_target(s, simmpi::kMpiErrRevoked, env, ts);
+  }
+
   /// MPI_Wait/Test are MPI calls: they fall under the same thread-level
   /// usage rules as collectives (e.g. non-master wait under FUNNELED).
   void check_wait_thread_usage(const Stmt& s, ThreadState& ts) {
@@ -472,6 +506,10 @@ private:
       store_target(s, rank_.execute_on(ref, sig, payload).scalar, env, ts);
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(s, e, env, ts);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(s, env, ts);
     }
   }
 
@@ -488,6 +526,10 @@ private:
     const int64_t key = s.coll == ir::CollectiveKind::CommSplit
                             ? eval(*s.mpi_root, env, ts)
                             : 0;
+    const int64_t payload = (s.coll == ir::CollectiveKind::CommAgree ||
+                             s.coll == ir::CollectiveKind::CommSetErrhandler)
+                                ? eval(*s.mpi_value, env, ts)
+                                : 0;
     TraceSpan span(shared_.tracer, rank_.rank(),
                    trace_pack_coll(static_cast<int32_t>(s.coll), 0), -1);
     std::optional<rt::Verifier::MonoGuard> mono_guard;
@@ -504,6 +546,19 @@ private:
           armed_comms_.end());
       return;
     }
+    // Local (unmatched) recovery ops: set_errhandler configures, revoke
+    // poisons asynchronously. Neither synchronizes, so the ULFM idiom
+    // `if (rank == 0) mpi_comm_revoke(c)` is legal rank-guarded.
+    if (s.coll == ir::CollectiveKind::CommSetErrhandler) {
+      rank_.comm_set_errhandler(parent, payload != 0
+                                            ? simmpi::Errhandler::Return
+                                            : simmpi::Errhandler::Abort);
+      return;
+    }
+    if (s.coll == ir::CollectiveKind::CommRevoke) {
+      rank_.comm_revoke(parent);
+      return;
+    }
     int64_t cc_id = simmpi::kCcNone;
     if (cc)
       cc_id = shared_.verifier->cc_lane_id(
@@ -515,9 +570,17 @@ private:
     const bool child_armed =
         shared_.plan && shared_.plan->cc_classes.count(s.name) > 0;
     try {
+      if (s.coll == ir::CollectiveKind::CommAgree) {
+        // Fault-tolerant AND-reduction: completes despite failed members
+        // (and on revoked communicators) — the agreed flag is the result.
+        store_target(s, rank_.comm_agree(parent, payload, cc_id), env, ts);
+        return;
+      }
       int64_t handle = 0;
       if (s.coll == ir::CollectiveKind::CommSplit) {
         handle = rank_.comm_split(parent, color, key, cc_id, child_armed);
+      } else if (s.coll == ir::CollectiveKind::CommShrink) {
+        handle = rank_.comm_shrink(parent, cc_id, child_armed);
       } else {
         handle = rank_.comm_dup(parent, cc_id, child_armed);
       }
@@ -528,6 +591,10 @@ private:
       store_target(s, handle, env, ts);
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(s, e, env, ts);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(s, env, ts);
     }
   }
 

@@ -379,32 +379,15 @@ private:
           rank_.send(regs[I.a], static_cast<int32_t>(regs[I.b]),
                      static_cast<int32_t>(regs[I.c]));
           break;
-        case Op::MpiRecv: {
-          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
-          const auto src = static_cast<int32_t>(regs[st.root_reg]);
-          const auto tag = static_cast<int32_t>(regs[st.payload_reg]);
-          store_target(st, rank_.recv(src, tag), f);
+        case Op::MpiRecv:
+          exec_recv_guarded(bc_.mpi_sites[static_cast<size_t>(I.a)], f);
           break;
-        }
-        case Op::MpiWait: {
-          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
-          const int64_t req = regs[st.payload_reg];
-          check_wait_thread_usage(st, ts);
-          const auto out = rank_.wait_outcome(req);
-          if (!out.ok()) request_misuse(st.stmt->loc, out.error);
-          store_target(st, out.value, f);
+        case Op::MpiWait:
+          exec_wait_guarded(bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
           break;
-        }
-        case Op::MpiTest: {
-          const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
-          const int64_t req = regs[st.payload_reg];
-          check_wait_thread_usage(st, ts);
-          bool done = false;
-          const auto out = rank_.test_outcome(req, done);
-          if (!out.ok()) request_misuse(st.stmt->loc, out.error);
-          store_target(st, done ? 1 : 0, f);
+        case Op::MpiTest:
+          exec_test_guarded(bc_.mpi_sites[static_cast<size_t>(I.a)], f, ts);
           break;
-        }
         case Op::MpiWaitall: {
           const MpiSite& st = bc_.mpi_sites[static_cast<size_t>(I.a)];
           check_wait_thread_usage(st, ts);
@@ -522,6 +505,68 @@ private:
     store_slot(f, st.target_slot, st.declares_target, value);
   }
 
+  /// Error-status delivery for `return`-mode failures (ULFM semantics),
+  /// mirroring the tree-walker byte for byte: a status form stores a
+  /// negative status; no target (or the dying rank itself) rethrows and the
+  /// rank unwinds. Only callable from a catch block (bare rethrow).
+  void store_failure_status(const MpiSite& st, const simmpi::RankFailedError& e,
+                            Frame& f) {
+    if (e.dead_rank == rank_.rank() || st.target_slot < 0) throw;
+    store_target(st, simmpi::kMpiErrRankFailed, f);
+  }
+
+  void store_revoked_status(const MpiSite& st, Frame& f) {
+    if (st.target_slot < 0) throw;
+    store_target(st, simmpi::kMpiErrRevoked, f);
+  }
+
+  // The p2p/request status-form handlers live out of line on purpose: their
+  // catch blocks are the only landing pads otherwise reachable from the
+  // dispatch loop, and EH regions inside the loop function cost the hot
+  // interpreter path real register pressure.
+  [[gnu::noinline]] void exec_recv_guarded(const MpiSite& st, Frame& f) {
+    const auto src = static_cast<int32_t>(f.regs[st.root_reg]);
+    const auto tag = static_cast<int32_t>(f.regs[st.payload_reg]);
+    try {
+      store_target(st, rank_.recv(src, tag), f);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(st, e, f);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(st, f);
+    }
+  }
+
+  [[gnu::noinline]] void exec_wait_guarded(const MpiSite& st, Frame& f,
+                                           VmThread& ts) {
+    const int64_t req = f.regs[st.payload_reg];
+    check_wait_thread_usage(st, ts);
+    try {
+      const auto out = rank_.wait_outcome(req);
+      if (!out.ok()) request_misuse(st.stmt->loc, out.error);
+      store_target(st, out.value, f);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(st, e, f);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(st, f);
+    }
+  }
+
+  [[gnu::noinline]] void exec_test_guarded(const MpiSite& st, Frame& f,
+                                           VmThread& ts) {
+    const int64_t req = f.regs[st.payload_reg];
+    check_wait_thread_usage(st, ts);
+    try {
+      bool done = false;
+      const auto out = rank_.test_outcome(req, done);
+      if (!out.ok()) request_misuse(st.stmt->loc, out.error);
+      store_target(st, done ? 1 : 0, f);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(st, e, f);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(st, f);
+    }
+  }
+
   /// MPI_Wait/Test are MPI calls: same thread-level usage rules as
   /// collectives (e.g. non-master wait under FUNNELED).
   void check_wait_thread_usage(const MpiSite& st, VmThread& ts) {
@@ -622,6 +667,10 @@ private:
       store_target(st, rank_.execute_on(ref, sig, payload).scalar, f);
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(st, e, f);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(st, f);
     }
   }
 
@@ -669,6 +718,10 @@ private:
       }
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(st, e, f);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(st, f);
     }
   }
 
@@ -691,17 +744,37 @@ private:
           armed_comms_.end());
       return;
     }
+    // Local (unmatched) recovery ops — no epoch bump: the handle stays
+    // valid, and shrink/agree still resolve revoked comms.
+    if (s.coll == ir::CollectiveKind::CommSetErrhandler) {
+      rank_.comm_set_errhandler(parent,
+                                regs[st.payload_reg] != 0
+                                    ? simmpi::Errhandler::Return
+                                    : simmpi::Errhandler::Abort);
+      return;
+    }
+    if (s.coll == ir::CollectiveKind::CommRevoke) {
+      rank_.comm_revoke(parent);
+      return;
+    }
     int64_t cc_id = simmpi::kCcNone;
     if (st.armed)
       cc_id = shared_.verifier->cc_patch(
           skeletons_[static_cast<size_t>(st.cc_slot)], -1,
           st.comm_reg >= 0 ? rank_.comm_id_of(parent) : 0);
     try {
+      if (s.coll == ir::CollectiveKind::CommAgree) {
+        store_target(st, rank_.comm_agree(parent, regs[st.payload_reg], cc_id),
+                     f);
+        return;
+      }
       int64_t handle = 0;
       if (s.coll == ir::CollectiveKind::CommSplit) {
         const int64_t color = regs[st.payload_reg];
         const int64_t key = regs[st.root_reg];
         handle = rank_.comm_split(parent, color, key, cc_id, st.child_armed);
+      } else if (s.coll == ir::CollectiveKind::CommShrink) {
+        handle = rank_.comm_shrink(parent, cc_id, st.child_armed);
       } else {
         handle = rank_.comm_dup(parent, cc_id, st.child_armed);
       }
@@ -712,6 +785,10 @@ private:
       store_target(st, handle, f);
     } catch (const simmpi::CcMismatchError& e) {
       shared_.verifier->report_cc_mismatch(rank_, s.coll, s.loc, e);
+    } catch (const simmpi::RankFailedError& e) {
+      store_failure_status(st, e, f);
+    } catch (const simmpi::RevokedError&) {
+      store_revoked_status(st, f);
     }
     (void)ts;
   }

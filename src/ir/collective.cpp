@@ -22,6 +22,10 @@ std::string_view to_string(CollectiveKind k) noexcept {
     case CollectiveKind::CommSplit: return "MPI_Comm_split";
     case CollectiveKind::CommDup: return "MPI_Comm_dup";
     case CollectiveKind::CommFree: return "MPI_Comm_free";
+    case CollectiveKind::CommRevoke: return "MPI_Comm_revoke";
+    case CollectiveKind::CommShrink: return "MPI_Comm_shrink";
+    case CollectiveKind::CommAgree: return "MPI_Comm_agree";
+    case CollectiveKind::CommSetErrhandler: return "MPI_Comm_set_errhandler";
   }
   return "?";
 }
@@ -74,6 +78,10 @@ std::optional<CollectiveKind> collective_from_name(std::string_view name) noexce
   if (name == "mpi_comm_split") return CollectiveKind::CommSplit;
   if (name == "mpi_comm_dup") return CollectiveKind::CommDup;
   if (name == "mpi_comm_free") return CollectiveKind::CommFree;
+  if (name == "mpi_comm_revoke") return CollectiveKind::CommRevoke;
+  if (name == "mpi_comm_shrink") return CollectiveKind::CommShrink;
+  if (name == "mpi_comm_agree") return CollectiveKind::CommAgree;
+  if (name == "mpi_comm_set_errhandler") return CollectiveKind::CommSetErrhandler;
   return std::nullopt;
 }
 

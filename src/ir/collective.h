@@ -43,8 +43,19 @@ enum class CollectiveKind : uint8_t {
   CommSplit,
   CommDup,
   CommFree,
+  // ULFM-style recovery operations. Revoke is an asynchronous poison (local
+  // call, never matched — a rank-guarded revoke is legal, like free). Shrink
+  // is a creation collective over the *live* members of the parent: it
+  // allgathers the survivor set and yields a new communicator, so it is a
+  // matched collective label for the static analyses. Agree is a
+  // fault-tolerant AND-reduction that completes despite dead members — also
+  // a matched collective label. Set-errhandler is a local mode switch.
+  CommRevoke,
+  CommShrink,
+  CommAgree,
+  CommSetErrhandler,
 };
-inline constexpr int kNumCollectiveKinds = 18;
+inline constexpr int kNumCollectiveKinds = 22;
 
 enum class ReduceOp : uint8_t { Sum, Prod, Min, Max, Land, Lor, Band, Bor };
 
@@ -78,24 +89,40 @@ enum class ThreadLevel : uint8_t { Single, Funneled, Serialized, Multiple };
   }
 }
 
-/// True for the communicator-management kinds (split/dup/free).
+/// True for the communicator-management kinds (split/dup/free + the ULFM
+/// recovery family revoke/shrink/agree/set_errhandler).
 [[nodiscard]] constexpr bool is_comm_op(CollectiveKind k) noexcept {
   return k == CollectiveKind::CommSplit || k == CollectiveKind::CommDup ||
-         k == CollectiveKind::CommFree;
+         k == CollectiveKind::CommFree || k == CollectiveKind::CommRevoke ||
+         k == CollectiveKind::CommShrink || k == CollectiveKind::CommAgree ||
+         k == CollectiveKind::CommSetErrhandler;
 }
 
-/// True for the comm-management kinds that synchronize like a collective on
-/// the parent communicator (free is local in this model).
+/// True for the comm-management kinds that create a new communicator
+/// (split/dup synchronize on the parent; shrink synchronizes on the parent's
+/// survivor set).
 [[nodiscard]] constexpr bool is_comm_ctor(CollectiveKind k) noexcept {
-  return k == CollectiveKind::CommSplit || k == CollectiveKind::CommDup;
+  return k == CollectiveKind::CommSplit || k == CollectiveKind::CommDup ||
+         k == CollectiveKind::CommShrink;
+}
+
+/// True for the fault-tolerant recovery collectives that complete despite
+/// dead (or revoked) members: they match over the *live* survivor set.
+[[nodiscard]] constexpr bool is_recovery_collective(CollectiveKind k) noexcept {
+  return k == CollectiveKind::CommShrink || k == CollectiveKind::CommAgree;
 }
 
 /// True for kinds that claim a matching slot (synchronize across ranks).
 /// CommFree is a *local* release in this model, so it never participates in
 /// sequence matching: the static analyses must not seed it as a collective
 /// label (a rank-guarded free is legal), and no CC id is armed for it.
+/// CommRevoke (asynchronous poison) and CommSetErrhandler (local mode
+/// switch) are likewise local: rank-guarded calls are legal. Shrink and
+/// agree ARE matched — they are collective over the survivors, so a
+/// rank-divergent shrink is a real divergence bug the static pass must flag.
 [[nodiscard]] constexpr bool is_matched(CollectiveKind k) noexcept {
-  return k != CollectiveKind::CommFree;
+  return k != CollectiveKind::CommFree && k != CollectiveKind::CommRevoke &&
+         k != CollectiveKind::CommSetErrhandler;
 }
 
 /// True for collectives whose call site carries a root argument.
@@ -122,11 +149,13 @@ enum class ThreadLevel : uint8_t { Single, Funneled, Serialized, Multiple };
 
 /// True for collectives that produce a value in the DSL (used as call RHS).
 /// Nonblocking collectives always produce a value: the request handle.
-/// Split/dup produce a communicator handle.
+/// Split/dup/shrink produce a communicator handle; agree produces the agreed
+/// flag. Revoke and set_errhandler produce nothing.
 [[nodiscard]] constexpr bool produces_value(CollectiveKind k) noexcept {
   if (is_nonblocking(k) || is_comm_ctor(k)) return true;
   return k != CollectiveKind::Barrier && k != CollectiveKind::Finalize &&
-         k != CollectiveKind::CommFree;
+         k != CollectiveKind::CommFree && k != CollectiveKind::CommRevoke &&
+         k != CollectiveKind::CommSetErrhandler;
 }
 
 } // namespace parcoach::ir

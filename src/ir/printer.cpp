@@ -41,6 +41,12 @@ void print(std::ostream& os, const Instruction& in) {
       if (in.collective == CollectiveKind::CommSplit) {
         if (in.args.size() > 0) os << " color=" << to_string(*in.args[0]);
         if (in.args.size() > 1) os << " key=" << to_string(*in.args[1]);
+      } else if (in.collective == CollectiveKind::CommAgree &&
+                 !in.args.empty()) {
+        os << " flag=" << to_string(*in.args[0]);
+      } else if (in.collective == CollectiveKind::CommSetErrhandler &&
+                 !in.args.empty()) {
+        os << " mode=" << to_string(*in.args[0]);
       } else if (!in.args.empty()) {
         os << " value=" << to_string(*in.args[0]);
       }

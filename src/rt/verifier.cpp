@@ -245,6 +245,9 @@ void Verifier::check_cc_final_piggybacked(simmpi::Rank& rank, SourceLoc loc) {
     rank.app_comm().execute(rank.rank(), sig, 0);
   } catch (const simmpi::CcMismatchError& e) {
     report_cc_mismatch(rank, ir::CollectiveKind::Finalize, loc, e);
+  } catch (const simmpi::RankFailedError&) {
+    // Degraded world (return-mode errhandler, a peer died): the sentinel has
+    // nothing to seal — survivors already reached exit cleanly.
   }
 }
 
@@ -268,6 +271,10 @@ void Verifier::check_cc_final_piggybacked_on(simmpi::Rank& rank,
     ref.comm->post(ref.local_rank, sig, 0, {}, mismatch);
   } catch (const simmpi::CcMismatchError& e) {
     report_cc_mismatch(rank, ir::CollectiveKind::Finalize, loc, e);
+  } catch (const simmpi::RankFailedError&) {
+    // Degraded comm: nothing left to seal, members already exited cleanly.
+  } catch (const simmpi::RevokedError&) {
+    // Revoked comm: its CC stream is dead by construction; sealing is void.
   }
 }
 

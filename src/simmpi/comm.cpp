@@ -60,6 +60,52 @@ void WorldState::register_waker(std::function<void()> waker) {
   wakers_.push_back(std::move(waker));
 }
 
+void WorldState::init_failure(int32_t num_ranks) {
+  failure_slots_ = num_ranks > 0 ? num_ranks : 0;
+  failed_ = std::make_unique<std::atomic<bool>[]>(
+      static_cast<size_t>(failure_slots_));
+  for (int32_t r = 0; r < failure_slots_; ++r)
+    failed_[static_cast<size_t>(r)].store(false, std::memory_order_relaxed);
+  std::scoped_lock lk(mu);
+  death_notes_.assign(static_cast<size_t>(failure_slots_), "");
+}
+
+void WorldState::mark_failed(int32_t world_rank, const std::string& note) {
+  if (world_rank < 0 || world_rank >= failure_slots_) return;
+  std::vector<std::function<void()>> wakers;
+  {
+    std::scoped_lock lk(mu);
+    if (failed_[static_cast<size_t>(world_rank)].load(
+            std::memory_order_relaxed))
+      return; // already dead; first death site wins
+    death_notes_[static_cast<size_t>(world_rank)] = note;
+    failed_[static_cast<size_t>(world_rank)].store(true,
+                                                   std::memory_order_release);
+    failures_.fetch_add(1, std::memory_order_acq_rel);
+    wakers = wakers_;
+  }
+  if (tracer) tracer->emit(TraceEv::RankFail, world_rank, world_rank);
+  // A failure event counts as world progress: it unblocks waiters (they
+  // unwind with per-peer errors) rather than stalling them.
+  progress.fetch_add(1, std::memory_order_relaxed);
+  cv.notify_all();
+  for (auto& w : wakers) w();
+}
+
+std::vector<int32_t> WorldState::failed_ranks() {
+  std::vector<int32_t> out;
+  for (int32_t r = 0; r < failure_slots_; ++r)
+    if (failed_[static_cast<size_t>(r)].load(std::memory_order_acquire))
+      out.push_back(r);
+  return out;
+}
+
+std::string WorldState::death_note(int32_t world_rank) {
+  if (world_rank < 0 || world_rank >= failure_slots_) return {};
+  std::scoped_lock lk(mu);
+  return death_notes_[static_cast<size_t>(world_rank)];
+}
+
 int64_t apply_reduce(ReduceOp op, int64_t a, int64_t b) noexcept {
   switch (op) {
     case ReduceOp::Sum: return a + b;
@@ -74,57 +120,47 @@ int64_t apply_reduce(ReduceOp op, int64_t a, int64_t b) noexcept {
   return 0;
 }
 
-/// RAII publication of a thread's blocked state around a park; unregistering
-/// on unwind keeps the watchdog's view consistent on every exit path. The
-/// scope owns its record (stack frame outlives the park), so concurrent
-/// blocked threads of one rank each stay visible.
-class Comm::BlockedScope {
-public:
-  BlockedScope(Comm& c, int32_t rank, const BlockedRecord& rec)
-      : c_(c), rank_(static_cast<size_t>(rank)), rec_(rec) {
-    {
-      std::scoped_lock lk(c_.blocked_mu_);
-      c_.blocked_[rank_].push_back(&rec_);
-    }
-    if (c_.slot_waits_)
-      c_.slot_waits_->fetch_add(1, std::memory_order_relaxed);
-    if (c_.trace_) {
-      // Park/Unpark must carry identical payloads: they render as a "B"/"E"
-      // duration pair in the Chrome export.
-      park_c_ = packed_sig(rec_.sig) |
-                (rec_.mismatch ? kTraceParkMismatch : 0) |
-                (rec_.in_wait ? kTraceParkInWait : 0) |
-                (rec_.p2p == BlockedRecord::P2p::Send ? kTraceParkSend : 0) |
-                (rec_.p2p == BlockedRecord::P2p::Recv ? kTraceParkRecv : 0);
-      park_a_ = rec_.p2p == BlockedRecord::P2p::None
-                    ? static_cast<int64_t>(rec_.slot)
-                    : rec_.peer;
-      c_.trace_->emit(TraceEv::Park, c_.world_rank_of(rank), park_a_,
-                      c_.comm_id_, park_c_);
-    }
-    // Forced park jitter: widen the window between publishing the blocked
-    // state and actually parking, where lost-wakeup bugs would hide.
-    if (c_.fault_) c_.fault_->park_jitter(c_.world_rank_of(rank));
-  }
-  ~BlockedScope() {
-    if (c_.trace_)
-      c_.trace_->emit(TraceEv::Unpark,
-                      c_.world_rank_of(static_cast<int32_t>(rank_)), park_a_,
-                      c_.comm_id_, park_c_);
+// RAII publication of a thread's blocked state around a park; unregistering
+// on unwind keeps the watchdog's view consistent on every exit path. The
+// scope owns its record (stack frame outlives the park), so concurrent
+// blocked threads of one rank each stay visible.
+Comm::BlockedScope::BlockedScope(Comm& c, int32_t rank,
+                                 const BlockedRecord& rec)
+    : c_(c), rank_(static_cast<size_t>(rank)), rec_(rec) {
+  {
     std::scoped_lock lk(c_.blocked_mu_);
-    auto& active = c_.blocked_[rank_];
-    active.erase(std::find(active.begin(), active.end(), &rec_));
+    c_.blocked_[rank_].push_back(&rec_);
   }
-  BlockedScope(const BlockedScope&) = delete;
-  BlockedScope& operator=(const BlockedScope&) = delete;
+  if (c_.slot_waits_)
+    c_.slot_waits_->fetch_add(1, std::memory_order_relaxed);
+  if (c_.trace_) {
+    // Park/Unpark must carry identical payloads: they render as a "B"/"E"
+    // duration pair in the Chrome export.
+    park_c_ = packed_sig(rec_.sig) |
+              (rec_.mismatch ? kTraceParkMismatch : 0) |
+              (rec_.in_wait ? kTraceParkInWait : 0) |
+              (rec_.p2p == BlockedRecord::P2p::Send ? kTraceParkSend : 0) |
+              (rec_.p2p == BlockedRecord::P2p::Recv ? kTraceParkRecv : 0);
+    park_a_ = rec_.p2p == BlockedRecord::P2p::None
+                  ? static_cast<int64_t>(rec_.slot)
+                  : rec_.peer;
+    c_.trace_->emit(TraceEv::Park, c_.world_rank_of(rank), park_a_,
+                    c_.comm_id_, park_c_);
+  }
+  // Forced park jitter: widen the window between publishing the blocked
+  // state and actually parking, where lost-wakeup bugs would hide.
+  if (c_.fault_) c_.fault_->park_jitter(c_.world_rank_of(rank));
+}
 
-private:
-  Comm& c_;
-  size_t rank_;
-  BlockedRecord rec_;
-  int64_t park_a_ = 0;
-  int64_t park_c_ = 0;
-};
+Comm::BlockedScope::~BlockedScope() {
+  if (c_.trace_)
+    c_.trace_->emit(TraceEv::Unpark,
+                    c_.world_rank_of(static_cast<int32_t>(rank_)), park_a_,
+                    c_.comm_id_, park_c_);
+  std::scoped_lock lk(c_.blocked_mu_);
+  auto& active = c_.blocked_[rank_];
+  active.erase(std::find(active.begin(), active.end(), &rec_));
+}
 
 Comm::Comm(std::string name, int32_t size, WorldState& world, bool strict,
            int32_t comm_id, std::vector<int32_t> world_ranks,
@@ -258,7 +294,7 @@ Comm::Slot* Comm::slot_for(size_t idx) {
   const size_t n = static_cast<size_t>(size_);
   while (slots_.size() <= idx - slot_base_) {
     auto s = std::make_unique<Slot>();
-    s->present.assign(n, 0);
+    s->present = std::vector<std::atomic<uint8_t>>(n);
     s->contrib.assign(n, 0);
     s->vec_contrib.assign(n, {});
     // Unarmed communicators carry no CC lane at all (no per-slot id vector,
@@ -343,7 +379,7 @@ bool Comm::arrive(Slot& s, size_t idx, int32_t rank, const Signature& sig,
     return false;
   }
   const size_t r = static_cast<size_t>(rank);
-  s.present[r] = 1;
+  s.present[r].store(1, std::memory_order_release);
   s.contrib[r] = scalar;
   s.vec_contrib[r] = vec;
   const int32_t deposited =
@@ -386,16 +422,89 @@ Comm::Result Comm::take_result(int32_t rank, Slot& s, size_t idx) {
 void Comm::wait_complete(Slot& s) {
   std::unique_lock lk(s.m);
   s.cv.wait(lk, [&] {
-    return s.complete.load(std::memory_order_acquire) || world_.is_aborted();
+    return s.complete.load(std::memory_order_acquire) || world_.is_aborted() ||
+           revoked_.load(std::memory_order_acquire) || slot_dead(s);
   });
 }
 
+void Comm::resolve_incomplete(Slot& s) {
+  // Map a wait that ended without completion onto the right error. Order
+  // matters for abort-mode parity: an aborted world always unwinds with the
+  // recorded reason, exactly as before recovery existed.
+  if (world_.is_aborted()) throw AbortedError(world_.reason());
+  if (is_revoked()) raise_revoked();
+  if (const int32_t dead = dead_nondepositor(s); dead >= 0)
+    raise_failure(dead);
+  // Spurious resolution (e.g. a dead rank's sibling thread deposited after
+  // the predicate fired): the caller parks again.
+}
+
 void Comm::wait_abort(Slot& s) {
-  {
-    std::unique_lock lk(s.m);
-    s.cv.wait(lk, [&] { return world_.is_aborted(); });
+  for (;;) {
+    {
+      std::unique_lock lk(s.m);
+      s.cv.wait(lk, [&] {
+        return world_.is_aborted() ||
+               revoked_.load(std::memory_order_acquire) || slot_dead(s);
+      });
+    }
+    // A mismatch park never completes; in a degraded world revocation or a
+    // dead nondepositor resolves the hang into an error instead of waiting
+    // for the watchdog.
+    resolve_incomplete(s);
   }
-  throw AbortedError(world_.reason());
+}
+
+int32_t Comm::dead_nondepositor(Slot& s) const noexcept {
+  for (int32_t l = 0; l < size_; ++l) {
+    const int32_t wr = world_rank_of(l);
+    if (world_.is_failed(wr) &&
+        !s.present[static_cast<size_t>(l)].load(std::memory_order_acquire))
+      return wr;
+  }
+  return -1;
+}
+
+void Comm::raise_failure(int32_t dead_world_rank) {
+  std::string note = world_.death_note(dead_world_rank);
+  if (note.empty()) note = str::cat("rank ", dead_world_rank, " died");
+  if (errhandler() == Errhandler::Abort) {
+    // ULFM MPI_ERRORS_ARE_FATAL on this communicator: the failure is fatal
+    // for the whole world, with the precise death site as the reason.
+    world_.abort(note);
+    throw AbortedError(note);
+  }
+  throw RankFailedError(note, dead_world_rank);
+}
+
+void Comm::raise_revoked() {
+  const std::string msg = str::cat("communicator ", name_, " revoked");
+  if (errhandler() == Errhandler::Abort) {
+    world_.abort(msg);
+    throw AbortedError(msg);
+  }
+  throw RevokedError(msg);
+}
+
+bool Comm::revoke(int32_t world_rank) {
+  if (revoked_.exchange(true, std::memory_order_acq_rel))
+    return false; // idempotent: later revocations are no-ops
+  if (trace_) trace_->emit(TraceEv::CommRevoke, world_rank, comm_id_);
+  // Revocation is progress: parked members unwind with RevokedError rather
+  // than stalling toward the watchdog.
+  world_.progress.fetch_add(1, std::memory_order_relaxed);
+  wake_all_slots();
+  {
+    std::scoped_lock lk(mail_mu_);
+  }
+  mail_cv_.notify_all();
+  return true;
+}
+
+void Comm::recovery_arrival(int32_t rank, const Signature& sig) {
+  throw_if_aborted();
+  throw_if_self_failed(rank);
+  if (fault_) fault_arrival(rank, sig);
 }
 
 void Comm::wake_all_slots() {
@@ -414,13 +523,20 @@ void Comm::fault_arrival(int32_t rank, const Signature& sig) {
   const int32_t wr = world_rank_of(rank);
   fault_->maybe_delay(wr);
   if (fault_->should_crash(wr)) {
-    // The rank dies here: abort the world with the precise site so every
-    // peer parked in a slot/wait/creation-event unwinds with this exact
-    // diagnostic instead of a generic watchdog hang.
     const std::string msg =
         str::cat("rank ", wr, " died in ", sig.str(), " @", name_);
-    world_.abort(msg);
-    throw AbortedError(msg);
+    if (errhandler() == Errhandler::Abort) {
+      // Fail-stop (default): abort the world with the precise site so every
+      // peer parked in a slot/wait/creation-event unwinds with this exact
+      // diagnostic instead of a generic watchdog hang.
+      world_.abort(msg);
+      throw AbortedError(msg);
+    }
+    // ULFM return mode: the rank dies quietly — peers learn of it at their
+    // next arrival (or park) on any communicator containing it, each
+    // unwinding with a per-peer RankFailedError naming this death site.
+    world_.mark_failed(wr, msg);
+    throw RankFailedError(msg, wr);
   }
 }
 
@@ -437,9 +553,19 @@ void Comm::fail_strict(size_t idx, int32_t rank, const Signature& sig,
 Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
                            const std::vector<int64_t>& vec) {
   throw_if_aborted();
+  throw_if_self_failed(rank);
+  // ULFM model choice: on a return-mode communicator MPI_Finalize completes
+  // *locally* — the standard requires finalize to succeed despite process
+  // failures, and a degraded world could never fill a world-sized slot.
+  // Abort-mode (default) keeps the synchronizing finalize, and with it the
+  // "rank 0 finalizes while rank 1 broadcasts" mismatch detection.
+  if (sig.kind == CollectiveKind::Finalize &&
+      errhandler() == Errhandler::Return)
+    return {};
   // The crash fires before the slot is claimed, so a dead rank leaves no
   // half-deposited arrival behind.
   if (fault_) fault_arrival(rank, sig);
+  if (is_revoked()) raise_revoked();
 
   const size_t idx =
       next_slot_[static_cast<size_t>(rank)].fetch_add(1, std::memory_order_relaxed);
@@ -456,7 +582,7 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
     rec.slot = idx;
     rec.sig = sig;
     BlockedScope scope(*this, rank, rec);
-    wait_abort(*s); // throws AbortedError
+    wait_abort(*s); // always throws
   }
   if (!s->complete.load(std::memory_order_acquire)) {
     BlockedRecord rec;
@@ -464,9 +590,11 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
     rec.slot = idx;
     rec.sig = sig;
     BlockedScope scope(*this, rank, rec);
-    wait_complete(*s);
-    if (!s->complete.load(std::memory_order_acquire))
-      throw AbortedError(world_.reason());
+    for (;;) {
+      wait_complete(*s);
+      if (s->complete.load(std::memory_order_acquire)) break;
+      resolve_incomplete(*s); // throws except on spurious resolution
+    }
   }
   return take_result(rank, *s, idx);
 }
@@ -474,7 +602,16 @@ Comm::Result Comm::execute(int32_t rank, const Signature& sig, int64_t scalar,
 size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
                   const std::vector<int64_t>& vec, bool& mismatch) {
   throw_if_aborted();
+  throw_if_self_failed(rank);
+  // Finalize-kind arrivals (the exit sentinel) are local on return-mode
+  // communicators, mirroring execute() above.
+  if (sig.kind == CollectiveKind::Finalize &&
+      errhandler() == Errhandler::Return) {
+    mismatch = false;
+    return 0;
+  }
   if (fault_) fault_arrival(rank, sig);
+  if (is_revoked()) raise_revoked();
 
   mismatch = false;
   const size_t idx =
@@ -493,6 +630,10 @@ size_t Comm::post(int32_t rank, const Signature& sig, int64_t scalar,
 Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
                           bool mismatched) {
   throw_if_aborted();
+  throw_if_self_failed(rank);
+  // An outstanding request on a revoked communicator completes with the
+  // revoked error even if the slot's data is ready — the ULFM contract.
+  if (is_revoked()) raise_revoked();
 
   if (mismatched) {
     // The deferred hang of a mismatched issue: real MPI would never complete
@@ -505,7 +646,7 @@ Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
     rec.sig = sig;
     BlockedScope scope(*this, rank, rec);
     Slot* s = slot_for(slot);
-    wait_abort(*s); // throws AbortedError
+    wait_abort(*s); // always throws
   }
 
   Slot* s = slot_for(slot);
@@ -516,34 +657,51 @@ Comm::Result Comm::finish(int32_t rank, size_t slot, const Signature& sig,
     rec.slot = slot;
     rec.sig = sig;
     BlockedScope scope(*this, rank, rec);
-    wait_complete(*s);
-    if (!s->complete.load(std::memory_order_acquire))
-      throw AbortedError(world_.reason());
+    for (;;) {
+      wait_complete(*s);
+      if (s->complete.load(std::memory_order_acquire)) break;
+      resolve_incomplete(*s); // throws except on spurious resolution
+    }
   }
   return take_result(rank, *s, slot);
 }
 
 bool Comm::try_finish(int32_t rank, size_t slot, bool mismatched, Result& out) {
   throw_if_aborted();
-  if (mismatched) return false; // never completes
+  throw_if_self_failed(rank);
+  if (is_revoked()) raise_revoked();
   Slot* s = slot_for(slot);
-  if (!s->complete.load(std::memory_order_acquire)) return false;
-  out = take_result(rank, *s, slot);
-  return true;
+  if (s->complete.load(std::memory_order_acquire)) {
+    if (mismatched) return false; // never completes
+    out = take_result(rank, *s, slot);
+    return true;
+  }
+  if (mismatched) return false;
+  // A test on a permanently dead slot errors instead of spinning forever.
+  if (world_.any_failed()) {
+    if (const int32_t dead = dead_nondepositor(*s); dead >= 0)
+      raise_failure(dead);
+  }
+  return false;
 }
 
 void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
                 bool rendezvous) {
   if (fault_) fault_->maybe_delay(world_rank_of(src)); // delayed delivery
+  throw_if_self_failed(src);
   std::unique_lock lk(mail_mu_);
   throw_if_aborted();
+  if (revoked_.load(std::memory_order_acquire)) {
+    lk.unlock(); // raise_revoked may run wakers that take mail_mu_
+    raise_revoked();
+  }
   if (dst < 0 || dst >= size_)
     throw UsageError(str::cat("send to invalid rank ", dst));
   Mailbox& box = mail_[MailKey{src, dst, tag}];
   box.messages.push_back(value);
   world_.progress.fetch_add(1, std::memory_order_relaxed);
   mail_cv_.notify_all();
-  if (!rendezvous) return;
+  if (!rendezvous) return; // eager sends to a dead peer buffer successfully
   // Rendezvous: wait until a receiver consumed this message (box drained to
   // before-our-message level is hard to track exactly; we wait until our
   // message is gone, which for FIFO order means all earlier ones went too).
@@ -554,17 +712,29 @@ void Comm::send(int32_t src, int32_t dst, int32_t tag, int64_t value,
   rec.tag = tag;
   BlockedScope scope(*this, src, rec);
   const size_t target = box.messages.size() - 1; // entries that must drain
+  const int32_t dst_wr = world_rank_of(dst);
   mail_cv_.wait(lk, [&] {
     return world_.is_aborted() ||
-           mail_[MailKey{src, dst, tag}].messages.size() <= target;
+           mail_[MailKey{src, dst, tag}].messages.size() <= target ||
+           revoked_.load(std::memory_order_acquire) ||
+           world_.is_failed(dst_wr);
   });
+  if (mail_[MailKey{src, dst, tag}].messages.size() <= target) return;
   if (world_.is_aborted()) throw AbortedError(world_.reason());
+  lk.unlock(); // the raise paths may abort the world (wakers take mail_mu_)
+  if (is_revoked()) raise_revoked();
+  raise_failure(dst_wr); // a dead receiver can never match this rendezvous
 }
 
 int64_t Comm::recv(int32_t dst, int32_t src, int32_t tag) {
   if (fault_) fault_->maybe_delay(world_rank_of(dst)); // delayed pickup
+  throw_if_self_failed(dst);
   std::unique_lock lk(mail_mu_);
   throw_if_aborted();
+  if (revoked_.load(std::memory_order_acquire)) {
+    lk.unlock();
+    raise_revoked();
+  }
   if (src < 0 || src >= size_)
     throw UsageError(str::cat("recv from invalid rank ", src));
   Mailbox& box = mail_[MailKey{src, dst, tag}];
@@ -575,9 +745,18 @@ int64_t Comm::recv(int32_t dst, int32_t src, int32_t tag) {
     rec.peer = src;
     rec.tag = tag;
     BlockedScope scope(*this, dst, rec);
-    mail_cv_.wait(lk, [&] { return world_.is_aborted() || !box.messages.empty(); });
-    if (world_.is_aborted() && box.messages.empty())
-      throw AbortedError(world_.reason());
+    const int32_t src_wr = world_rank_of(src);
+    mail_cv_.wait(lk, [&] {
+      return world_.is_aborted() || !box.messages.empty() ||
+             revoked_.load(std::memory_order_acquire) ||
+             world_.is_failed(src_wr);
+    });
+    if (box.messages.empty()) {
+      if (world_.is_aborted()) throw AbortedError(world_.reason());
+      lk.unlock(); // the raise paths may abort the world (wakers take mail_mu_)
+      if (is_revoked()) raise_revoked();
+      raise_failure(src_wr); // a dead sender will never post this message
+    }
   }
   const int64_t v = box.messages.front();
   box.messages.pop_front();

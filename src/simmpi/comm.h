@@ -79,6 +79,13 @@ struct Signature {
   [[nodiscard]] std::string str() const;
 };
 
+/// Per-communicator error-handler mode (ULFM semantics). `Abort` is the
+/// historical fail-stop behavior and the default: a rank crash aborts the
+/// whole world with the precise death site. `Return` delivers failures to
+/// the caller instead (RankFailedError / RevokedError), enabling
+/// revoke/shrink/agree recovery on the survivors.
+enum class Errhandler : uint8_t { Abort, Return };
+
 /// Shared world state: abort flag + progress heartbeat for the watchdog.
 /// Communicators register wakers so that an abort wakes every rank blocked
 /// anywhere in the world (per-slot condvars included).
@@ -101,6 +108,31 @@ struct WorldState {
   /// parkers and mail waiters through this).
   void register_waker(std::function<void()> waker);
 
+  // -- Failure tracking (ULFM return-mode recovery) ---------------------------
+  /// Sizes the per-rank failed flags; called once by World before any rank
+  /// runs.
+  void init_failure(int32_t num_ranks);
+  /// Marks `world_rank` dead with the human-readable death site ("rank 1
+  /// died in MPI_Allreduce[sum] @MPI_COMM_WORLD") and wakes every parked
+  /// waiter in the world WITHOUT aborting: the wait loops re-check their
+  /// predicates and surface per-peer RankFailedError where the dead rank
+  /// blocks completion. Idempotent per rank.
+  void mark_failed(int32_t world_rank, const std::string& note);
+  /// Fast guard for the failure-aware paths: one relaxed atomic load when no
+  /// rank ever died (the hot-path contract of the tracer/fault hooks).
+  [[nodiscard]] bool any_failed() const noexcept {
+    return failures_.load(std::memory_order_acquire) > 0;
+  }
+  [[nodiscard]] bool is_failed(int32_t world_rank) const noexcept {
+    return world_rank >= 0 && world_rank < failure_slots_ &&
+           failed_[static_cast<size_t>(world_rank)].load(
+               std::memory_order_acquire);
+  }
+  /// Sorted world ranks that died (census for RunReport).
+  [[nodiscard]] std::vector<int32_t> failed_ranks();
+  /// The recorded death site of a failed rank ("" when alive).
+  [[nodiscard]] std::string death_note(int32_t world_rank);
+
   /// Observability hooks, set by World before any component is constructed.
   /// `tracer` is already effective()-filtered (null = tracing off), so
   /// components cache it and every emit point is one predictable branch.
@@ -112,6 +144,10 @@ struct WorldState {
 
 private:
   std::vector<std::function<void()>> wakers_;
+  std::atomic<uint64_t> failures_{0};
+  std::unique_ptr<std::atomic<bool>[]> failed_;
+  int32_t failure_slots_ = 0;
+  std::vector<std::string> death_notes_; // under mu, indexed by world rank
 };
 
 /// Per-rank blocked-state snapshot for deadlock reports. Every blocked path
@@ -159,6 +195,35 @@ public:
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] int32_t comm_id() const noexcept { return comm_id_; }
   [[nodiscard]] bool cc_lane_enabled() const noexcept { return cc_enabled_; }
+
+  // -- ULFM error-handler mode ------------------------------------------------
+  /// The mode is a property of the (shared) simulated communicator object:
+  /// all members see one mode, last set_errhandler wins (programs set it
+  /// uniformly; a real per-process handler table is a documented
+  /// simplification). Children created by split/dup/shrink inherit the
+  /// parent's mode at creation.
+  void set_errhandler(Errhandler mode) noexcept {
+    errh_.store(static_cast<uint8_t>(mode), std::memory_order_release);
+  }
+  [[nodiscard]] Errhandler errhandler() const noexcept {
+    return static_cast<Errhandler>(errh_.load(std::memory_order_acquire));
+  }
+
+  /// ULFM revoke: asynchronous poison. Marks the communicator revoked and
+  /// wakes every parked member; all operations except the registry's
+  /// shrink/agree then unwind with RevokedError (Return mode) or abort the
+  /// world (Abort mode). Idempotent; returns true on the first revocation.
+  bool revoke(int32_t world_rank);
+  [[nodiscard]] bool is_revoked() const noexcept {
+    return revoked_.load(std::memory_order_acquire);
+  }
+
+  /// Entry hooks for registry-driven recovery collectives (shrink/agree):
+  /// aborted-world fail-fast, self-failure check, and the fault-injection
+  /// arrival hooks (delay + possible crash) under this communicator's
+  /// error-handler semantics. Deliberately does NOT check revocation:
+  /// shrink/agree complete on revoked communicators.
+  void recovery_arrival(int32_t rank, const Signature& sig);
   /// World rank of a member (identity when no member map is attached).
   [[nodiscard]] int32_t world_rank_of(int32_t local) const noexcept {
     return world_ranks_.empty() ? local
@@ -231,6 +296,40 @@ public:
   /// same (src, dst, tag) triple arrive in send order (MPI ordering rule).
   int64_t recv(int32_t dst, int32_t src, int32_t tag);
 
+  /// POD blocked-state record; strings are materialized only by
+  /// blocked_snapshot() (the watchdog), never on the blocking path. Public
+  /// so the registry's recovery events (shrink/agree waiters parked outside
+  /// the slot engine) publish their blocked state through the same channel.
+  struct BlockedRecord {
+    bool blocked = false;
+    bool mismatch = false;
+    bool in_wait = false;
+    size_t slot = 0;
+    Signature sig;
+    enum class P2p : uint8_t { None, Send, Recv } p2p = P2p::None;
+    int32_t peer = -1;
+    int32_t tag = 0;
+  };
+
+  /// RAII publication of a thread's blocked state around a park. Each scope
+  /// owns its record and registers it per rank, so several blocked threads
+  /// of one rank (MPI_THREAD_MULTIPLE) stay individually visible to the
+  /// watchdog — one thread unblocking must not hide another still parked.
+  class BlockedScope {
+  public:
+    BlockedScope(Comm& c, int32_t rank, const BlockedRecord& rec);
+    ~BlockedScope();
+    BlockedScope(const BlockedScope&) = delete;
+    BlockedScope& operator=(const BlockedScope&) = delete;
+
+  private:
+    Comm& c_;
+    size_t rank_;
+    BlockedRecord rec_;
+    int64_t park_a_ = 0;
+    int64_t park_c_ = 0;
+  };
+
 private:
   struct Slot {
     // Stamped by the first arriver under `m`, read-only afterwards.
@@ -238,8 +337,10 @@ private:
     bool sig_stamped = false;
 
     // Per-rank deposit lanes: disjoint indices, written lock-free before the
-    // arrival counter's release increment.
-    std::vector<uint8_t> present;
+    // arrival counter's release increment. `present` is atomic because the
+    // failure-aware wait loops read it concurrently (dead-nondepositor
+    // accounting) while late arrivers are still depositing.
+    std::vector<std::atomic<uint8_t>> present;
     std::vector<int64_t> contrib;
     std::vector<std::vector<int64_t>> vec_contrib;
 
@@ -263,25 +364,6 @@ private:
     std::condition_variable cv;
   };
 
-  /// POD blocked-state record; strings are materialized only by
-  /// blocked_snapshot() (the watchdog), never on the blocking path.
-  struct BlockedRecord {
-    bool blocked = false;
-    bool mismatch = false;
-    bool in_wait = false;
-    size_t slot = 0;
-    Signature sig;
-    enum class P2p : uint8_t { None, Send, Recv } p2p = P2p::None;
-    int32_t peer = -1;
-    int32_t tag = 0;
-  };
-
-  /// RAII publication of a thread's blocked state around a park. Each scope
-  /// owns its record and registers it per rank, so several blocked threads
-  /// of one rank (MPI_THREAD_MULTIPLE) stay individually visible to the
-  /// watchdog — one thread unblocking must not hide another still parked.
-  class BlockedScope;
-
   void compute_results(Slot& s);
   /// Returns the slot for `idx`, creating it if needed (short structure
   /// lock only; the returned pointer stays valid until the slot retires).
@@ -298,10 +380,41 @@ private:
   /// Extracts `rank`'s result from a complete slot (lock-free) and retires
   /// fully consumed slots off the front.
   Result take_result(int32_t rank, Slot& s, size_t idx);
-  /// Parks until the slot completes or the world aborts.
+  /// Parks until the slot completes, the world aborts, the communicator is
+  /// revoked, or a failed member leaves the slot permanently incomplete.
   void wait_complete(Slot& s);
-  /// Parks until the world aborts (signature-mismatch hang), then throws.
+  /// Parks until the world aborts (signature-mismatch hang) — or, in a
+  /// degraded world, until revocation / a dead nondepositor resolves the
+  /// hang into an error. Always throws.
   [[noreturn]] void wait_abort(Slot& s);
+  /// Shared resolution of a wait that ended without slot completion: maps
+  /// aborted/revoked/dead-member to the right exception, or returns to park
+  /// again on a spurious resolution.
+  void resolve_incomplete(Slot& s);
+  /// World rank of a failed member that has NOT deposited into `s` (-1 =
+  /// none). Stable once non-negative: crashes fire before the slot claim,
+  /// so a dead rank never deposits afterwards — survivors' collectives on a
+  /// comm containing it deterministically complete (dead rank already
+  /// deposited) or error (it never will), never hang.
+  [[nodiscard]] int32_t dead_nondepositor(Slot& s) const noexcept;
+  /// Fast predicate form of the above (guarded by WorldState::any_failed).
+  [[nodiscard]] bool slot_dead(Slot& s) const noexcept {
+    return world_.any_failed() && dead_nondepositor(s) >= 0;
+  }
+  /// Raises a peer failure under this communicator's error-handler mode:
+  /// Abort => world abort with the recorded death site + AbortedError;
+  /// Return => RankFailedError carrying the dead world rank.
+  [[noreturn]] void raise_failure(int32_t dead_world_rank);
+  /// Raises revocation under the error-handler mode (Abort => world abort,
+  /// Return => RevokedError).
+  [[noreturn]] void raise_revoked();
+  /// A failed rank may still have live sibling threads (a crash unwinds one
+  /// thread); every MPI entry re-checks so the whole rank fails stop.
+  void throw_if_self_failed(int32_t rank) {
+    if (!world_.any_failed()) return;
+    const int32_t wr = world_rank_of(rank);
+    if (world_.is_failed(wr)) throw RankFailedError(world_.death_note(wr), wr);
+  }
   /// Wakes every parked waiter of every live slot (abort path).
   void wake_all_slots();
   /// Strict-mode signature clash: aborts the world and throws. `verb` is
@@ -325,6 +438,8 @@ private:
   int32_t comm_id_ = 0;
   std::vector<int32_t> world_ranks_; // local -> world (empty = identity)
   bool cc_enabled_ = true;           // false = no CC lane ever (unarmed comm)
+  std::atomic<uint8_t> errh_{static_cast<uint8_t>(Errhandler::Abort)};
+  std::atomic<bool> revoked_{false};
 
   struct MailKey {
     int32_t src, dst, tag;

@@ -44,6 +44,32 @@ public:
   }
 };
 
+/// Status codes stored by the DSL's `var st = mpi_xxx(...)` error-status
+/// forms when a `return`-mode operation fails. Both engines must store the
+/// same values so reports stay byte-identical.
+inline constexpr int64_t kMpiErrRankFailed = -1;
+inline constexpr int64_t kMpiErrRevoked = -2;
+
+/// A peer rank died (fault injection) and the communicator's error handler
+/// is `return`: the operation completes with this error instead of aborting
+/// the world. Carries the world rank that died so both engines can produce
+/// the identical status/diagnostic. Thrown at the next slot arrival (or
+/// wait) on any communicator containing the dead rank.
+class RankFailedError : public std::runtime_error {
+public:
+  RankFailedError(const std::string& what, int32_t dead_world_rank)
+      : std::runtime_error(what), dead_rank(dead_world_rank) {}
+  int32_t dead_rank;
+};
+
+/// The communicator was revoked (mpi_comm_revoke): every parked or arriving
+/// member unwinds with this error. Only shrink/agree still complete on a
+/// revoked communicator.
+class RevokedError : public std::runtime_error {
+public:
+  explicit RevokedError(const std::string& what) : std::runtime_error(what) {}
+};
+
 /// The watchdog declared a hang (collective mismatch left ranks blocked).
 class DeadlockError : public std::runtime_error {
 public:

@@ -16,6 +16,13 @@ CommRegistry::CommRegistry(WorldState& world, int32_t world_size, bool strict,
   fault_ = world_.fault;
   if (world_.metrics)
     comms_created_metric_ = &world_.metrics->counter("comms.created");
+  // Recovery waiters park on recovery_cv_ under mu_; abort and mark_failed
+  // must wake them like any slot parker. The empty critical section orders
+  // the notify after any in-flight predicate evaluation.
+  world_.register_waker([this] {
+    { std::scoped_lock lk(mu_); }
+    recovery_cv_.notify_all();
+  });
   auto e = std::make_unique<Entry>();
   e->comm = std::make_unique<Comm>("MPI_COMM_WORLD", world_size, world_,
                                    strict_, /*comm_id=*/0,
@@ -73,7 +80,7 @@ void CommRegistry::check_capacity(size_t new_comms) {
 
 int64_t CommRegistry::create_child(const std::string& base,
                                    std::vector<int32_t> members,
-                                   bool cc_lane_enabled) {
+                                   bool cc_lane_enabled, Errhandler errh) {
   const int32_t id = next_comm_id_++;
   const int64_t handle = next_handle_++;
   auto e = std::make_unique<Entry>();
@@ -85,6 +92,7 @@ int64_t CommRegistry::create_child(const std::string& base,
                                    static_cast<int32_t>(members.size()),
                                    world_, strict_, id, members,
                                    cc_lane_enabled);
+  e->comm->set_errhandler(errh);
   e->members = std::move(members);
   if (trace_)
     trace_->emit(TraceEv::CommCreate, /*rank=*/-1, id, e->comm->size());
@@ -134,7 +142,7 @@ int64_t CommRegistry::split(int64_t parent, int32_t world_rank, int64_t color,
       for (const auto& [k, wr] : members) world_ranks.push_back(wr);
       event.handles.emplace(c, create_child("comm_split",
                                             std::move(world_ranks),
-                                            child_cc_lane));
+                                            child_cc_lane, p.errhandler()));
     }
     ev = events_.emplace(event_key, std::move(event)).first;
   }
@@ -164,7 +172,7 @@ int64_t CommRegistry::dup(int64_t parent, int32_t world_rank, int64_t cc,
       members.push_back(p.world_rank_of(l));
     Event event;
     event.handles.emplace(0, create_child("comm_dup", std::move(members),
-                                          child_cc_lane));
+                                          child_cc_lane, p.errhandler()));
     ev = events_.emplace(event_key, std::move(event)).first;
   }
   const int64_t handle = ev->second.handles.at(0);
@@ -180,6 +188,163 @@ void CommRegistry::free(int64_t handle, int32_t world_rank) {
   Entry& e = entry_for(handle, world_rank, "mpi_comm_free");
   e.freed[static_cast<size_t>(world_rank)] = 1;
   if (trace_) trace_->emit(TraceEv::CommFree, world_rank, e.comm->comm_id());
+}
+
+void CommRegistry::set_errhandler(int64_t handle, int32_t world_rank,
+                                  Errhandler mode) {
+  std::scoped_lock lk(mu_);
+  entry_for(handle, world_rank, "mpi_comm_set_errhandler")
+      .comm->set_errhandler(mode);
+}
+
+void CommRegistry::revoke(int64_t handle, int32_t world_rank) {
+  Comm* c = nullptr;
+  {
+    std::scoped_lock lk(mu_);
+    c = entry_for(handle, world_rank, "mpi_comm_revoke").comm.get();
+  }
+  // Comm::revoke wakes parked members itself; dropped mu_ first because the
+  // Abort-mode delivery path a woken member takes may call back into the
+  // registry.
+  if (c->revoke(world_rank))
+    comms_revoked_.fetch_add(1, std::memory_order_release);
+}
+
+bool CommRegistry::recovery_ready(Comm& p, const RecoveryEvent& ev) const {
+  for (int32_t l = 0; l < p.size(); ++l)
+    if (!ev.arrived[static_cast<size_t>(l)] &&
+        !world_.is_failed(p.world_rank_of(l)))
+      return false;
+  return true;
+}
+
+void CommRegistry::maybe_complete_recovery(Comm& p, uint8_t kind, uint64_t seq,
+                                           RecoveryEvent& ev,
+                                           bool child_cc_lane) {
+  if (ev.completed || ev.cc_reported || !recovery_ready(p, ev)) return;
+  // Piggybacked CC lane, recovery edition: the completer alone compares the
+  // armed ids of the *arrived* members (dead ranks contribute nothing) and
+  // reports a disagreement exactly once; the event then never completes and
+  // the other waiters unwind when the verifier aborts the world.
+  if (ev.cc_armed) {
+    int64_t first = kCcUnchecked;
+    bool mismatch = false;
+    for (int32_t l = 0; l < p.size(); ++l) {
+      const auto li = static_cast<size_t>(l);
+      if (!ev.arrived[li] || ev.cc_ids[li] == kCcUnchecked) continue;
+      if (first == kCcUnchecked)
+        first = ev.cc_ids[li];
+      else if (ev.cc_ids[li] != first)
+        mismatch = true;
+    }
+    if (mismatch) {
+      ev.cc_reported = true;
+      std::vector<int32_t> world_ranks;
+      world_ranks.reserve(static_cast<size_t>(p.size()));
+      for (int32_t l = 0; l < p.size(); ++l)
+        world_ranks.push_back(p.world_rank_of(l));
+      throw CcMismatchError(static_cast<size_t>(seq), ev.cc_ids,
+                            std::move(world_ranks));
+    }
+  }
+  int32_t arrived_count = 0;
+  for (const uint8_t a : ev.arrived) arrived_count += a;
+  if (kind == kRecoveryAgree) {
+    int64_t flag = ~int64_t{0}; // bitwise-AND identity (ULFM MPI_Comm_agree)
+    for (int32_t l = 0; l < p.size(); ++l)
+      if (ev.arrived[static_cast<size_t>(l)])
+        flag &= ev.flags[static_cast<size_t>(l)];
+    ev.agree_flag = flag;
+  } else {
+    std::vector<int32_t> survivors; // parent-local order => deterministic
+    survivors.reserve(static_cast<size_t>(arrived_count));
+    for (int32_t l = 0; l < p.size(); ++l)
+      if (ev.arrived[static_cast<size_t>(l)])
+        survivors.push_back(p.world_rank_of(l));
+    check_capacity(1);
+    ev.child_handle = create_child("comm_shrink", std::move(survivors),
+                                   child_cc_lane, p.errhandler());
+    comms_shrunk_.fetch_add(1, std::memory_order_release);
+  }
+  ev.expected_consumers = arrived_count;
+  ev.completed = true;
+  if (trace_)
+    trace_->emit(TraceEv::RecoveryDone, /*rank=*/-1,
+                 static_cast<int64_t>(seq), p.comm_id(), arrived_count);
+  world_.progress.fetch_add(1, std::memory_order_relaxed);
+  recovery_cv_.notify_all();
+}
+
+int64_t CommRegistry::run_recovery(int64_t handle, int32_t world_rank,
+                                   uint8_t kind, int64_t flag, int64_t cc,
+                                   bool child_cc_lane) {
+  const char* what =
+      kind == kRecoveryShrink ? "mpi_comm_shrink" : "mpi_comm_agree";
+  int32_t local = -1;
+  Comm* pc = nullptr;
+  {
+    std::scoped_lock lk(mu_);
+    Entry& e = entry_for(handle, world_rank, what);
+    local = e.local_of[static_cast<size_t>(world_rank)];
+    pc = e.comm.get();
+  }
+  Comm& p = *pc;
+  Signature sig{kind == kRecoveryShrink ? CollectiveKind::CommShrink
+                                        : CollectiveKind::CommAgree,
+                -1,
+                {}};
+  sig.cc = cc;
+  // Fault hooks (seeded delay + possible crash) and the aborted/self-failed
+  // fail-fasts run through the parent under its errhandler semantics;
+  // revocation is deliberately NOT checked — shrink/agree complete on
+  // revoked communicators.
+  p.recovery_arrival(local, sig);
+
+  std::unique_lock lk(mu_);
+  const uint64_t seq = recovery_seq_[{p.comm_id(), kind, local}]++;
+  const auto key = std::make_tuple(p.comm_id(), kind, seq);
+  RecoveryEvent& ev = recovery_events_[key];
+  if (ev.arrived.empty()) {
+    ev.arrived.assign(static_cast<size_t>(p.size()), 0);
+    ev.flags.assign(static_cast<size_t>(p.size()), 0);
+    ev.cc_ids.assign(static_cast<size_t>(p.size()), kCcUnchecked);
+  }
+  ev.arrived[static_cast<size_t>(local)] = 1;
+  ev.flags[static_cast<size_t>(local)] = flag;
+  if (cc != kCcNone) {
+    ev.cc_ids[static_cast<size_t>(local)] = cc;
+    ev.cc_armed = true;
+  }
+  for (;;) {
+    maybe_complete_recovery(p, kind, seq, ev, child_cc_lane);
+    if (ev.completed) break;
+    if (world_.is_aborted()) throw AbortedError(world_.reason());
+    Comm::BlockedRecord rec;
+    rec.blocked = true;
+    rec.slot = static_cast<size_t>(seq);
+    rec.sig = sig;
+    Comm::BlockedScope scope(p, local, rec);
+    recovery_cv_.wait(lk, [&] {
+      return ev.completed || world_.is_aborted() ||
+             (!ev.cc_reported && recovery_ready(p, ev));
+    });
+  }
+  const int64_t out =
+      kind == kRecoveryAgree ? ev.agree_flag : ev.child_handle;
+  if (++ev.consumed == ev.expected_consumers) recovery_events_.erase(key);
+  return out;
+}
+
+int64_t CommRegistry::shrink(int64_t handle, int32_t world_rank, int64_t cc,
+                             bool child_cc_lane) {
+  return run_recovery(handle, world_rank, kRecoveryShrink, /*flag=*/0, cc,
+                      child_cc_lane);
+}
+
+int64_t CommRegistry::agree(int64_t handle, int32_t world_rank, int64_t flag,
+                            int64_t cc) {
+  return run_recovery(handle, world_rank, kRecoveryAgree, flag, cc,
+                      /*child_cc_lane=*/true);
 }
 
 std::vector<Comm*> CommRegistry::all_comms() {

@@ -24,11 +24,14 @@
 
 #include "simmpi/comm.h"
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <tuple>
 #include <vector>
 
 namespace parcoach::simmpi {
@@ -78,6 +81,39 @@ public:
   /// MPI_COMM_WORLD is an error.
   void free(int64_t handle, int32_t world_rank);
 
+  // -- ULFM recovery ----------------------------------------------------------
+  /// Local errhandler switch (validates membership). The mode is a property
+  /// of the shared communicator object: last set wins, children inherit the
+  /// parent's mode at creation.
+  void set_errhandler(int64_t handle, int32_t world_rank, Errhandler mode);
+
+  /// ULFM revoke: asynchronous poison. Any member may call it; every other
+  /// operation on the communicator then errors (Return mode) or aborts the
+  /// world (Abort mode). Idempotent.
+  void revoke(int64_t handle, int32_t world_rank);
+
+  /// ULFM shrink: fault-tolerant creation collective. All *live* members of
+  /// `handle` must call it (the k-th shrink a rank issues on a communicator
+  /// matches every other live rank's k-th); the event completes once every
+  /// member has arrived or died, and produces a child containing exactly the
+  /// survivors, with a fresh slot/CC stream and the parent's errhandler.
+  /// Works on revoked communicators — that is the whole point.
+  int64_t shrink(int64_t handle, int32_t world_rank, int64_t cc = kCcNone,
+                 bool child_cc_lane = true);
+
+  /// ULFM agree: fault-tolerant agreement. Bitwise-AND of `flag` over the
+  /// members that arrived; completes despite dead members and revocation.
+  int64_t agree(int64_t handle, int32_t world_rank, int64_t flag,
+                int64_t cc = kCcNone);
+
+  /// Census counters for RunReport (lock-free reads).
+  [[nodiscard]] uint64_t comms_revoked() const noexcept {
+    return comms_revoked_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] uint64_t comms_shrunk() const noexcept {
+    return comms_shrunk_.load(std::memory_order_acquire);
+  }
+
   /// Registry-assigned identity of the communicator behind `handle` (for
   /// the CC encoding's comm-id field). Validates like resolve().
   int32_t comm_id_of(int64_t handle, int32_t world_rank);
@@ -107,8 +143,10 @@ private:
   /// whole event BEFORE any child exists, so failure is atomic. mu_ held.
   void check_capacity(size_t new_comms);
   /// Creates a child communicator entry; returns its handle. mu_ held.
+  /// `errh` is the inherited error-handler mode (the parent's at creation).
   int64_t create_child(const std::string& base, std::vector<int32_t> members,
-                       bool cc_lane_enabled);
+                       bool cc_lane_enabled,
+                       Errhandler errh = Errhandler::Abort);
 
   WorldState& world_;
   int32_t world_size_;
@@ -135,6 +173,47 @@ private:
     int32_t consumed = 0;               // members that retrieved their handle
   };
   std::map<std::pair<int32_t, size_t>, Event> events_;
+
+  // -- Recovery events (shrink/agree) ----------------------------------------
+  // Shrink/agree cannot ride the parent's slot protocol: a slot with a dead
+  // member never completes by design. Recovery events are matched in the
+  // registry instead, keyed (comm id, op kind, per-rank sequence number) —
+  // a rank's k-th shrink on a communicator matches every other live rank's
+  // k-th — and complete once every parent member has arrived *or died*.
+  // Waiters park on recovery_cv_ (under mu_) with a Comm::BlockedScope
+  // published on the parent so the watchdog renders them like slot waits;
+  // WorldState wakers (abort / mark_failed) notify the condvar.
+  enum RecoveryKind : uint8_t { kRecoveryShrink = 0, kRecoveryAgree = 1 };
+  struct RecoveryEvent {
+    std::vector<uint8_t> arrived; // per parent-local rank
+    std::vector<int64_t> flags;   // agree contributions (arrived lanes only)
+    std::vector<int64_t> cc_ids;  // piggybacked CC lane (kCcUnchecked = unarmed)
+    bool cc_armed = false;
+    bool cc_reported = false; // a CC mismatch was thrown; never completes
+    bool completed = false;
+    int64_t agree_flag = 0;
+    int64_t child_handle = kNull;
+    int32_t expected_consumers = 0; // arrived count at completion
+    int32_t consumed = 0;
+  };
+  /// True once every member of `p` has arrived at `ev` or is dead. mu_ held.
+  [[nodiscard]] bool recovery_ready(Comm& p, const RecoveryEvent& ev) const;
+  /// Completes a ready event: runs the CC comparison (throwing
+  /// CcMismatchError exactly once), computes the agree flag or creates the
+  /// shrunk child, and wakes the parked members. mu_ held.
+  void maybe_complete_recovery(Comm& p, uint8_t kind, uint64_t seq,
+                               RecoveryEvent& ev, bool child_cc_lane);
+  /// Shared shrink/agree flow (arrival, park, completion, consumption).
+  int64_t run_recovery(int64_t handle, int32_t world_rank, uint8_t kind,
+                       int64_t flag, int64_t cc, bool child_cc_lane);
+
+  std::condition_variable recovery_cv_;
+  std::map<std::tuple<int32_t, uint8_t, uint64_t>, RecoveryEvent>
+      recovery_events_;
+  /// Next sequence number per (comm id, kind, parent-local rank).
+  std::map<std::tuple<int32_t, uint8_t, int32_t>, uint64_t> recovery_seq_;
+  std::atomic<uint64_t> comms_revoked_{0};
+  std::atomic<uint64_t> comms_shrunk_{0};
 };
 
 } // namespace parcoach::simmpi

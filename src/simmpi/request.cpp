@@ -105,6 +105,15 @@ RequestEngine::Outcome RequestEngine::wait(int32_t rank, int64_t request) {
   Comm::Result result;
   try {
     result = r.comm->finish(r.comm_rank, r.slot, r.sig, r.mismatched);
+  } catch (const RankFailedError&) {
+    // ULFM: a failed/revoked operation still COMPLETES its request — the
+    // handle retires with an error status instead of dangling (a second
+    // wait would otherwise report a phantom double-completion).
+    release(request, /*completed=*/true);
+    throw;
+  } catch (const RevokedError&) {
+    release(request, /*completed=*/true);
+    throw;
   } catch (...) {
     release(request, /*completed=*/false);
     throw;
@@ -136,6 +145,12 @@ RequestEngine::Outcome RequestEngine::test(int32_t rank, int64_t request,
   bool completed = false;
   try {
     completed = r.comm->try_finish(r.comm_rank, r.slot, r.mismatched, result);
+  } catch (const RankFailedError&) {
+    release(request, /*completed=*/true); // see wait(): errors retire handles
+    throw;
+  } catch (const RevokedError&) {
+    release(request, /*completed=*/true);
+    throw;
   } catch (...) {
     release(request, /*completed=*/false);
     throw;

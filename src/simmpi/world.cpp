@@ -75,6 +75,34 @@ int32_t Rank::comm_id_of(int64_t comm) {
   return world_->comms_->comm_id_of(comm, rank_);
 }
 
+void Rank::comm_set_errhandler(int64_t comm, Errhandler mode) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_set_errhandler");
+  world_->comms_->set_errhandler(comm, rank_, mode);
+}
+
+void Rank::comm_revoke(int64_t comm) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_revoke");
+  world_->comms_->revoke(comm, rank_);
+}
+
+int64_t Rank::comm_shrink(int64_t comm, int64_t cc, bool child_cc_lane) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_shrink");
+  return world_->comms_->shrink(comm, rank_, cc, child_cc_lane);
+}
+
+int64_t Rank::comm_agree(int64_t comm, int64_t flag, int64_t cc) {
+  if (finalized_)
+    throw UsageError(str::cat("rank ", rank_, ": MPI call after mpi_finalize"));
+  CallGuard guard(*this, "MPI_Comm_agree");
+  return world_->comms_->agree(comm, rank_, flag, cc);
+}
+
 Rank::CommRef Rank::comm_ref(int64_t comm) {
   CommRef ref;
   ref.comm = &world_->comms_->resolve(comm, rank_, ref.local_rank);
@@ -249,6 +277,7 @@ World::World(Options opts) : opts_(opts) {
   state_.tracer = Tracer::effective(opts_.tracer);
   state_.metrics = opts_.metrics;
   state_.fault = FaultInjector::effective(opts_.fault);
+  state_.init_failure(opts_.num_ranks);
   comms_ = std::make_unique<CommRegistry>(state_, opts_.num_ranks,
                                           opts_.strict_matching,
                                           opts_.world_cc_lane);
@@ -288,6 +317,13 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
         report.rank_errors[static_cast<size_t>(r)] = str::cat("deadlock: ", e.what());
       } catch (const MismatchError& e) {
         report.rank_errors[static_cast<size_t>(r)] = str::cat("mismatch: ", e.what());
+      } catch (const RankFailedError& e) {
+        // Either this rank died (its own unwind) or a peer failure escaped
+        // the program unhandled; the census below distinguishes the two.
+        report.rank_errors[static_cast<size_t>(r)] =
+            str::cat("rank failed: ", e.what());
+      } catch (const RevokedError& e) {
+        report.rank_errors[static_cast<size_t>(r)] = str::cat("revoked: ", e.what());
       } catch (const std::exception& e) {
         report.rank_errors[static_cast<size_t>(r)] = str::cat("error: ", e.what());
       }
@@ -317,6 +353,18 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
   // rank 1 blocked on MPI_COMM_WORLD slot 2 in MPI_Barrier".
   auto describe_blocked = [&](std::ostream& os,
                               std::vector<int32_t>& blocked_ranks) {
+    // A degraded world (dead ranks / revoked comms) is reported as such up
+    // front: a stall involving them is recovery-in-progress, not a classic
+    // mismatch hang, and the report must not read like one.
+    if (state_.any_failed()) {
+      os << "  degraded: failed ranks {";
+      const auto failed = state_.failed_ranks();
+      for (size_t i = 0; i < failed.size(); ++i)
+        os << (i ? ", " : "") << failed[i];
+      os << "}\n";
+    }
+    for (Comm* c : all_comms)
+      if (c->is_revoked()) os << "  degraded: " << c->name() << " revoked\n";
     auto describe = [&](const std::vector<BlockedInfo>& blocked) {
       for (const auto& b : blocked) {
         if (!b.blocked) continue;
@@ -421,11 +469,20 @@ RunReport World::run(const std::function<void(Rank&)>& body) {
     report.cc_piggybacked += c->cc_checked_slots();
   }
   report.comms_created = comms_->created_comms();
+  report.ranks_failed = state_.failed_ranks();
+  report.comms_revoked = comms_->comms_revoked();
+  report.comms_shrunk = comms_->comms_shrunk();
   for (int32_t r = 0; r < opts_.num_ranks; ++r)
     for (const auto& leak : requests_->outstanding(r))
       report.leaked_requests.push_back(str::cat("rank ", r, ": ", leak));
   bool all_clean = !report.deadlock && !report.aborted;
-  for (const auto& e : report.rank_errors) all_clean &= e.empty();
+  // Recovery contract: a dead rank's own unwind ("rank failed: ...") is the
+  // expected outcome of its injected crash, not a program failure — `ok`
+  // judges the SURVIVORS. The census above still reports every death.
+  for (int32_t r = 0; r < opts_.num_ranks; ++r) {
+    if (state_.is_failed(r)) continue;
+    all_clean &= report.rank_errors[static_cast<size_t>(r)].empty();
+  }
   report.ok = all_clean;
   if (state_.metrics) {
     if (state_.tracer) {

@@ -64,6 +64,21 @@ public:
   /// Registry identity of `comm` (the CC encoding's comm-id field).
   int32_t comm_id_of(int64_t comm);
 
+  // -- ULFM recovery ----------------------------------------------------------
+  /// MPI_Comm_set_errhandler: local switch between fail-stop (`Abort`, the
+  /// default) and ULFM return-mode failure delivery on `comm`.
+  void comm_set_errhandler(int64_t comm, Errhandler mode);
+  /// MPI_Comm_revoke: asynchronous poison — every member's operations on
+  /// `comm` (except shrink/agree) error out from now on.
+  void comm_revoke(int64_t comm);
+  /// MPI_Comm_shrink: fault-tolerant creation collective over the live
+  /// members; returns the survivor communicator's handle.
+  int64_t comm_shrink(int64_t comm, int64_t cc = kCcNone,
+                      bool child_cc_lane = true);
+  /// MPI_Comm_agree: fault-tolerant bitwise-AND agreement on `flag` that
+  /// completes despite dead members and revocation.
+  int64_t comm_agree(int64_t comm, int64_t flag, int64_t cc = kCcNone);
+
   // -- Blocking collectives on the application communicator -----------------
   void barrier();
   int64_t bcast(int64_t value, int32_t root);
@@ -215,6 +230,13 @@ struct RunReport {
   /// is attached) even when the run later completes or aborts for another
   /// reason.
   std::string stall_report;
+  /// ULFM recovery census. `ranks_failed` lists the world ranks that died
+  /// under return-mode error handling (sorted); their rank_errors entries
+  /// record the death site but do not count against `ok` — a run where every
+  /// SURVIVOR finished cleanly after revoke/shrink is a successful recovery.
+  std::vector<int32_t> ranks_failed;
+  uint64_t comms_revoked = 0;
+  uint64_t comms_shrunk = 0;
 };
 
 class World {

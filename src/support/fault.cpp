@@ -4,6 +4,7 @@
 #include "support/str.h"
 
 #include <chrono>
+#include <limits>
 #include <stdexcept>
 #include <thread>
 
@@ -83,20 +84,57 @@ std::optional<FaultPlan> FaultPlan::parse(const std::string& text,
       error = str::cat("line ", line_no, ": '", v, "' is not an integer");
       return std::nullopt;
     }
-    if (k == "seed") p.seed = static_cast<uint64_t>(val);
-    else if (k == "crash_rank") p.crash_rank = static_cast<int32_t>(val);
-    else if (k == "crash_at") p.crash_at = static_cast<uint64_t>(val);
-    else if (k == "delay_num") p.delay_num = static_cast<uint32_t>(val);
-    else if (k == "delay_den") p.delay_den = static_cast<uint32_t>(val);
-    else if (k == "max_delay_us") p.max_delay_us = static_cast<uint32_t>(val);
-    else if (k == "jitter_num") p.jitter_num = static_cast<uint32_t>(val);
-    else if (k == "jitter_den") p.jitter_den = static_cast<uint32_t>(val);
-    else if (k == "pct_num") p.pct_num = static_cast<uint32_t>(val);
-    else if (k == "pct_den") p.pct_den = static_cast<uint32_t>(val);
-    else {
+    // Range validation happens here, per line, so a typo'd plan names the
+    // exact offending line instead of silently truncating into a uint32 and
+    // producing a schedule the author never asked for.
+    const auto fail = [&](const char* why) {
+      error = str::cat("line ", line_no, ": ", k, " = ", val, ": ", why);
+      return std::nullopt;
+    };
+    const auto u32 = [](int64_t x) {
+      return x >= 0 && x <= std::numeric_limits<uint32_t>::max();
+    };
+    if (k == "seed") {
+      p.seed = static_cast<uint64_t>(val);
+    } else if (k == "crash_rank") {
+      if (val < -1 || val > std::numeric_limits<int32_t>::max())
+        return fail("must be -1 (no crash) or a rank index");
+      p.crash_rank = static_cast<int32_t>(val);
+    } else if (k == "crash_at") {
+      if (val < 0) return fail("must be a collective arrival index >= 0");
+      p.crash_at = static_cast<uint64_t>(val);
+    } else if (k == "delay_num") {
+      if (!u32(val)) return fail("must fit in an unsigned 32-bit count");
+      p.delay_num = static_cast<uint32_t>(val);
+    } else if (k == "delay_den") {
+      if (val <= 0 || !u32(val)) return fail("denominator must be positive");
+      p.delay_den = static_cast<uint32_t>(val);
+    } else if (k == "max_delay_us") {
+      if (!u32(val)) return fail("must fit in an unsigned 32-bit count");
+      if (val > 60'000'000)
+        return fail("delays above 60s are almost certainly a ms/us mixup");
+      p.max_delay_us = static_cast<uint32_t>(val);
+    } else if (k == "jitter_num") {
+      if (!u32(val)) return fail("must fit in an unsigned 32-bit count");
+      p.jitter_num = static_cast<uint32_t>(val);
+    } else if (k == "jitter_den") {
+      if (val <= 0 || !u32(val)) return fail("denominator must be positive");
+      p.jitter_den = static_cast<uint32_t>(val);
+    } else if (k == "pct_num") {
+      if (!u32(val)) return fail("must fit in an unsigned 32-bit count");
+      p.pct_num = static_cast<uint32_t>(val);
+    } else if (k == "pct_den") {
+      if (val <= 0 || !u32(val)) return fail("denominator must be positive");
+      p.pct_den = static_cast<uint32_t>(val);
+    } else {
       error = str::cat("line ", line_no, ": unknown key '", k, "'");
       return std::nullopt;
     }
+  }
+  if (p.delay_num > p.delay_den || p.jitter_num > p.jitter_den ||
+      p.pct_num > p.pct_den) {
+    error = "probability numerator exceeds its denominator";
+    return std::nullopt;
   }
   if (p.delay_den == 0 || p.jitter_den == 0 || p.pct_den == 0) {
     error = "probability denominators must be nonzero";

@@ -68,6 +68,9 @@ const char* to_string(TraceEv ev) noexcept {
     case TraceEv::Unpark: return "unpark";
     case TraceEv::WatchdogTick: return "watchdog_tick";
     case TraceEv::Deadlock: return "deadlock";
+    case TraceEv::RankFail: return "rank_fail";
+    case TraceEv::CommRevoke: return "comm_revoke";
+    case TraceEv::RecoveryDone: return "recovery_done";
   }
   return "?";
 }

@@ -52,6 +52,9 @@ enum class TraceEv : int32_t {
   Unpark,        // same payload as the matching Park
   WatchdogTick,  // rank = -1
   Deadlock,      // rank = -1: the watchdog declared a deadlock
+  RankFail,      // a=dead world rank (ULFM return-mode crash)
+  CommRevoke,    // a=comm_id
+  RecoveryDone,  // a=recovery event seq, b=comm_id, c=survivor count
 };
 
 [[nodiscard]] const char* to_string(TraceEv ev) noexcept;

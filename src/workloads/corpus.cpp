@@ -680,6 +680,94 @@ func main() {
       {},
       DynamicOutcome::DeadlockReported, DiagKind::RtCollectiveMismatch});
 
+  // --- ULFM-style recovery: the three entries below never take their
+  // recovery branch in a fault-free run (they are Clean here), but under the
+  // chaos harness a fired crash routes the survivors through shrink/agree
+  // and the run must still complete — that is the survivability contract.
+
+  c.push_back(CorpusEntry{
+      "ft_shrink_continue",
+      "return-mode errhandler turns a peer death into a negative status; "
+      "survivors shrink the world and continue on the shrunk comm. The "
+      "status conditional is a classic conservative divergence warning — at "
+      "runtime every survivor observes the failure and takes the same arm",
+      R"(func main() {
+  mpi_init(single);
+  mpi_comm_set_errhandler(1);
+  var st = mpi_allreduce(1, sum);
+  if (st < 0) {
+    var shrunk = mpi_comm_shrink();
+    var ok = mpi_comm_agree(st < 0);
+    var total = mpi_allreduce(1, sum, shrunk);
+    print(total, ok);
+  } else {
+    print(st);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 4});
+
+  c.push_back(CorpusEntry{
+      "ft_revoke_divergent",
+      "rank-guarded revoke is local (legal, like a rank-guarded send) and "
+      "must not be flagged on its own; the rank-divergent shrink behind the "
+      "status conditional IS a static divergence point. Under a crash the "
+      "revoke races survivors still parked in the failed allreduce, so they "
+      "may observe revoked (-2) instead of rank-failed (-1) — the program "
+      "only branches on the sign, keeping the run deterministic",
+      R"(func main() {
+  mpi_init(single);
+  mpi_comm_set_errhandler(1);
+  var st = mpi_allreduce(rank() + 1, min);
+  if (st < 0) {
+    if (rank() == 0) {
+      mpi_comm_revoke();
+    }
+    var shrunk = mpi_comm_shrink();
+    var ok = mpi_comm_agree(1);
+    var n = mpi_allreduce(1, sum, shrunk);
+    print(n, ok);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 4});
+
+  c.push_back(CorpusEntry{
+      "ft_agree_after_crash",
+      "the canonical ULFM consensus idiom: every rank turns its local view "
+      "of the failure into a flag, mpi_comm_agree AND-reduces the flags over "
+      "the survivors, and the agreed value — not the racy local status — "
+      "decides whether to shrink. The agree completes even though a member "
+      "died, so both arms of the decision stay collectively aligned",
+      R"(func main() {
+  mpi_init(single);
+  mpi_comm_set_errhandler(1);
+  var st = mpi_allreduce(rank(), sum);
+  var flag = 1;
+  if (st < 0) {
+    flag = 0;
+  }
+  var ok = mpi_comm_agree(flag);
+  if (ok == 0) {
+    var shrunk = mpi_comm_shrink();
+    var n = mpi_allreduce(1, sum, shrunk);
+    print(n);
+  } else {
+    print(st);
+  }
+  mpi_finalize();
+}
+)",
+      {DiagKind::CollectiveMismatch},
+      {DiagKind::MultithreadedCollective, DiagKind::ConcurrentCollectives},
+      DynamicOutcome::Clean, DiagKind::RtCollectiveMismatch, 4});
+
   return c;
 }
 

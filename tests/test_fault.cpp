@@ -61,6 +61,51 @@ TEST(FaultPlan, ParseRejectsMalformedInput) {
   EXPECT_FALSE(FaultPlan::parse("delay_den = 0\n", err).has_value());
 }
 
+// A typo'd plan must be rejected with a diagnostic naming the exact line —
+// not silently truncated into a uint32 schedule the author never wrote.
+TEST(FaultPlan, ParseRejectsOutOfRangeValuesWithLineNumbers) {
+  std::string err;
+
+  // crash_rank = -2: only -1 (disabled) or a rank index makes sense.
+  EXPECT_FALSE(
+      FaultPlan::parse("seed = 1\ncrash_rank = -2\n", err).has_value());
+  EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+  EXPECT_NE(err.find("crash_rank"), std::string::npos) << err;
+
+  // Negative arrival index.
+  EXPECT_FALSE(FaultPlan::parse("crash_at = -1\n", err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+
+  // Negative count would wrap through the uint32 cast.
+  EXPECT_FALSE(FaultPlan::parse("delay_num = -3\n", err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+
+  // Value too large for a uint32 field.
+  EXPECT_FALSE(
+      FaultPlan::parse("# comment\n\njitter_num = 4294967296\n", err)
+          .has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+
+  // Zero denominator, diagnosed at its line (not only by the final sweep).
+  EXPECT_FALSE(FaultPlan::parse("seed = 1\n\npct_den = 0\n", err).has_value());
+  EXPECT_NE(err.find("line 3"), std::string::npos) << err;
+
+  // The classic ms/us mixup: an hour-long "microsecond" delay.
+  EXPECT_FALSE(
+      FaultPlan::parse("max_delay_us = 3600000000\n", err).has_value());
+  EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+
+  // Probability above 1 is a typo, not a schedule.
+  EXPECT_FALSE(
+      FaultPlan::parse("delay_num = 9\ndelay_den = 4\n", err).has_value());
+  EXPECT_NE(err.find("numerator"), std::string::npos) << err;
+
+  // A valid plan still parses after all the gating.
+  EXPECT_TRUE(
+      FaultPlan::parse("crash_rank = -1\ncrash_at = 0\n", err).has_value())
+      << err;
+}
+
 TEST(FaultPlan, ChaosIsDeterministicPerSeed) {
   const auto a = FaultPlan::chaos(42, 4);
   const auto b = FaultPlan::chaos(42, 4);

@@ -248,6 +248,83 @@ TEST(SlotEngineStress, TracedMultipleWithConcurrentFlightRecorderReader) {
   EXPECT_GT(metrics.counter("comm.MPI_COMM_WORLD.slot_waits").load(), 0u);
 }
 
+// ---- Recovery stress: revoke racing parked arrivals ---------------------------
+
+TEST(RecoveryStress, ConcurrentRevokeVsParkedArrivalsAndFlightReader) {
+  // One rank per round revokes a dup'd comm while the other ranks' threads
+  // are still hammering allreduces on it — so arrivals are parked in slots
+  // the revoker will never fill — and a flight-recorder reader thread keeps
+  // snapshotting the rings throughout (what the watchdog does on a live
+  // hang). Every parked thread must wake with RevokedError (no hang), the
+  // post-revoke agree must still complete on the revoked comm, and the
+  // shrink must hand back a working communicator. The whole dance must be
+  // TSan-clean.
+  constexpr int32_t kRanks = 4;
+  constexpr int kThreads = 3;
+  constexpr int kIters = 50;
+  constexpr int kRounds = 4;
+  Tracer tracer(Tracer::Options{true, /*ring_capacity=*/128});
+  World::Options o = fast_world(kRanks);
+  o.tracer = &tracer;
+  World w(o);
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)tracer.snapshot();
+      (void)tracer.flight_recorder({0, 1, 2, 3}, 4);
+    }
+  });
+  std::atomic<int64_t> revoked_seen{0};
+  std::atomic<int64_t> shrunk_checked{0};
+  const auto rep = w.run([&](Rank& mpi) {
+    mpi.init(ir::ThreadLevel::Multiple);
+    mpi.comm_set_errhandler(Rank::kCommWorld, simmpi::Errhandler::Return);
+    for (int round = 0; round < kRounds; ++round) {
+      const int64_t c = mpi.comm_dup(Rank::kCommWorld);
+      auto worker = [&] {
+        const Signature sum{ir::CollectiveKind::Allreduce, -1, ReduceOp::Sum};
+        for (int i = 0; i < kIters; ++i) {
+          try {
+            mpi.execute_on(c, sum, 1);
+          } catch (const simmpi::RevokedError&) {
+            revoked_seen.fetch_add(1);
+            break;
+          }
+        }
+      };
+      std::vector<std::thread> threads;
+      for (int t = 1; t < kThreads; ++t) threads.emplace_back(worker);
+      if (mpi.rank() == round % kRanks) {
+        // The revoker's main thread poisons the comm while its sibling
+        // threads and every other rank are mid-hammer.
+        mpi.comm_revoke(c);
+      } else {
+        worker();
+      }
+      for (auto& t : threads) t.join();
+      // Fault-tolerant consensus completes on the revoked comm and
+      // resynchronizes the round; the shrunk comm (same membership — nobody
+      // died) must be fully usable.
+      EXPECT_EQ(mpi.comm_agree(c, 1), 1);
+      const int64_t fresh = mpi.comm_shrink(c);
+      const Signature sum{ir::CollectiveKind::Allreduce, -1, ReduceOp::Sum};
+      if (mpi.execute_on(fresh, sum, 1).scalar == kRanks)
+        shrunk_checked.fetch_add(1);
+    }
+  });
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_TRUE(rep.ok) << rep.abort_reason << rep.deadlock_details;
+  EXPECT_FALSE(rep.deadlock) << rep.deadlock_details;
+  EXPECT_EQ(rep.comms_revoked, static_cast<uint64_t>(kRounds));
+  EXPECT_EQ(rep.comms_shrunk, static_cast<uint64_t>(kRounds));
+  // At least the revoker's own parked siblings observe the revocation every
+  // round; typically far more do.
+  EXPECT_GT(revoked_seen.load(), 0);
+  EXPECT_EQ(shrunk_checked.load(), int64_t{kRanks} * kRounds);
+  EXPECT_GT(tracer.events_captured(), 0u);
+}
+
 // ---- Piggybacked CC: round counting -------------------------------------------
 
 TEST(PiggybackedCc, AgreementCostsZeroDedicatedRounds) {
